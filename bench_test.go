@@ -1,0 +1,437 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md §4 for the experiment index). Each benchmark both measures
+// the cost of producing the artefact and asserts its shape, so a behavioural
+// regression fails the bench run. Absolute timings are machine-dependent;
+// the asserted shapes are not.
+package sitm_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sitm"
+)
+
+// benchParams is a reduced-size calibration for per-iteration work; the
+// exact §4.1 numbers are exercised once in TestExperimentD1 (facade_test.go)
+// and by cmd/sitm stats.
+func benchParams() sitm.DatasetParams {
+	p := sitm.DefaultDatasetParams()
+	p.Visitors = 300
+	p.ReturningVisitors = 110
+	p.RepeatVisits = 155
+	p.TargetDetections = 1880
+	return p
+}
+
+// BenchmarkTable1Terminology regenerates Table 1: the terminology
+// correspondence between the n-intersection model, the primal space, the
+// dual space (NRG) and the navigation view.
+func BenchmarkTable1Terminology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := sitm.Table1()
+		if len(rows) != 3 {
+			b.Fatalf("Table 1 rows = %d", len(rows))
+		}
+		if rows[0].DualNavigation != "state" || rows[1].DualNavigation != "transition" {
+			b.Fatal("Table 1 content drifted")
+		}
+	}
+}
+
+// BenchmarkFigure1DenonGraph rebuilds the Figure 1 two-level hierarchical
+// graph of the central Denon wing and checks its signature properties: the
+// 5a/5b/5c subdivision of hall 5 and the Salle des États one-way rule.
+func BenchmarkFigure1DenonGraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sg, err := sitm.LouvreFigure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := len(sg.ActiveStates("5", "denon1-fine")); got != 3 {
+			b.Fatalf("hall 5 splits into %d cells", got)
+		}
+		if !sg.Accessible("4", "2") || sg.Accessible("2", "4") {
+			b.Fatal("Salle des États one-way rule broken")
+		}
+	}
+}
+
+// BenchmarkFigure2Hierarchy rebuilds the full five-layer-plus-zone Louvre
+// hierarchy of Figure 2 and §4.2 and revalidates it.
+func BenchmarkFigure2Hierarchy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sg, h, err := sitm.BuildLouvre()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := h.Validate(sg); err != nil {
+			b.Fatal(err)
+		}
+		if len(h.Layers) != 6 {
+			b.Fatalf("hierarchy depth = %d", len(h.Layers))
+		}
+	}
+}
+
+// BenchmarkFigure3Choropleth regenerates the Figure 3 choropleth series:
+// visitor detection counts over the 11 ground-floor zones.
+func BenchmarkFigure3Choropleth(b *testing.B) {
+	d, _, err := sitm.GenerateLouvreDataset(benchParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dets := d.Detections()
+	ground := make(map[string]bool)
+	for _, z := range sitm.LouvreZones() {
+		if z.Floor == 0 {
+			ground[z.ID] = true
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counts := sitm.DetectionCounts(dets, func(c string) bool { return ground[c] })
+		if len(counts) != 11 {
+			b.Fatalf("ground-floor zones with detections = %d, want 11", len(counts))
+		}
+		for j := 1; j < len(counts); j++ {
+			if counts[j].Count > counts[j-1].Count {
+				b.Fatal("choropleth not sorted")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure4Coverage regenerates the Figure 4 analysis: exhibit RoIs
+// do not fully cover their room, while rooms do tile their zone — the
+// paper's argument against the full-coverage hypothesis.
+func BenchmarkFigure4Coverage(b *testing.B) {
+	sg, _, err := sitm.BuildLouvre()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		roi, err := sg.Coverage("room60853_1", 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		room, err := sg.Coverage("zone60853", 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if roi.Ratio >= 0.9 || room.Ratio < 0.9 {
+			b.Fatalf("coverage shape broken: RoIs %.2f, rooms %.2f", roi.Ratio, room.Ratio)
+		}
+	}
+}
+
+// BenchmarkFigure5Episodes regenerates the Figure 5 overlapping episodic
+// segmentation: "exit museum" over E→P→S→C and "buy souvenir" over its
+// E→P→S prefix.
+func BenchmarkFigure5Episodes(b *testing.B) {
+	day := time.Date(2017, 2, 14, 17, 0, 0, 0, time.UTC)
+	trace := sitm.Trace{
+		{Cell: "zone60887", Start: day, End: day.Add(30 * time.Minute)},
+		{Transition: "checkpoint002", Cell: "zone60888", Start: day.Add(30 * time.Minute), End: day.Add(32 * time.Minute)},
+		{Transition: "passage003", Cell: "zone60890", Start: day.Add(32 * time.Minute), End: day.Add(50 * time.Minute)},
+		{Transition: "carrousel-exit", Cell: "zone60891", Start: day.Add(50 * time.Minute), End: day.Add(55 * time.Minute)},
+	}
+	parent, err := sitm.NewTrajectory("figure5", trace, sitm.NewAnnotations("activity", "visit"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exit, err := sitm.NewEpisode(parent, 1, 4, "exit museum",
+			sitm.NewAnnotations("goals", "museumExit"), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buy, err := sitm.NewEpisode(parent, 0, 3, "buy souvenir",
+			sitm.NewAnnotations("goals", "buySouvenir"), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seg := sitm.Segmentation{Parent: parent, Episodes: []sitm.Episode{exit, buy}}
+		if err := seg.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		if len(seg.OverlappingPairs()) != 1 {
+			b.Fatal("the two goal episodes must overlap in time")
+		}
+	}
+}
+
+// BenchmarkFigure6Inference regenerates the Figure 6 inference: a visitor
+// detected in Zone 60887 then Zone 60890 must have passed through Zone
+// 60888; an extra tuple is added to the trace.
+func BenchmarkFigure6Inference(b *testing.B) {
+	sg, _, err := sitm.BuildLouvre()
+	if err != nil {
+		b.Fatal(err)
+	}
+	day := time.Date(2017, 2, 14, 17, 0, 0, 0, time.UTC)
+	sparse := sitm.Trace{
+		{Cell: "zone60887", Start: day, End: day.Add(30*time.Minute + 21*time.Second)},
+		{Cell: "zone60890", Start: day.Add(31*time.Minute + 42*time.Second), End: day.Add(40 * time.Minute)},
+	}
+	extra := sitm.NewAnnotations("goals", "cloakroomPickup", "goals", "souvenirBuy", "goals", "museumExit")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, infs, err := sitm.InferMissing(sg, sparse, extra, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != 3 || len(infs) != 1 || out[1].Cell != "zone60888" {
+			b.Fatalf("inference shape: %d tuples, %d inferences", len(out), len(infs))
+		}
+		if out[1].Transition != "checkpoint002" {
+			b.Fatalf("inferred transition = %q", out[1].Transition)
+		}
+	}
+}
+
+// BenchmarkDatasetStats regenerates the §4.1 statistics table on a
+// reduced-size seeded dataset (exact population identities still hold).
+func BenchmarkDatasetStats(b *testing.B) {
+	p := benchParams()
+	env, _, err := sitm.GenerateLouvreDataset(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sitm.ComputeDatasetStats(env)
+		if s.Visits != p.Visitors+p.RepeatVisits || s.Detections != p.TargetDetections {
+			b.Fatalf("stats drifted: %+v", s)
+		}
+	}
+}
+
+// BenchmarkEventSplit measures the §3.3 event-based interval split (the
+// room006 goal-change example).
+func BenchmarkEventSplit(b *testing.B) {
+	day := time.Date(2017, 2, 14, 14, 12, 0, 0, time.UTC)
+	tr := sitm.Trace{{
+		Transition: "door005", Cell: "room006",
+		Start: day, End: day.Add(16 * time.Minute),
+		Ann: sitm.NewAnnotations("goals", "visit"),
+	}}
+	after := sitm.NewAnnotations("goals", "visit", "goals", "buy")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := tr.SplitAt(0, day.Add(9*time.Minute+46*time.Second), after)
+		if err != nil || len(out) != 2 {
+			b.Fatalf("split: %v, %d tuples", err, len(out))
+		}
+	}
+}
+
+// BenchmarkRollupAblation measures the §3.2 claim that one dataset serves
+// multiple granularities: the same zone-level trajectories are mined at
+// zone level and, after roll-up, at floor and wing level.
+func BenchmarkRollupAblation(b *testing.B) {
+	sg, _, err := sitm.BuildLouvre()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, _, err := sitm.GenerateLouvreDataset(benchParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	trajs, _ := sitm.BuildTrajectories(d.Detections(), sitm.BuildOptions{
+		DropZeroDuration: true, SessionGap: 10 * time.Hour,
+	})
+	if len(trajs) == 0 {
+		b.Fatal("no trajectories")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		zonePatterns := sitm.PrefixSpan(sitm.SequencesOf(trajs), len(trajs)/10, 3)
+		floorTrajs := make([]sitm.Trajectory, 0, len(trajs))
+		for _, t := range trajs {
+			up, err := t.RollUp(sg, sitm.LouvreFloorLayer)
+			if err != nil {
+				b.Fatal(err)
+			}
+			floorTrajs = append(floorTrajs, up)
+		}
+		floorPatterns := sitm.PrefixSpan(sitm.SequencesOf(floorTrajs), len(trajs)/10, 3)
+		if len(zonePatterns) == 0 || len(floorPatterns) == 0 {
+			b.Fatal("patterns vanished")
+		}
+		// Floor-level mining runs over a far coarser alphabet.
+		if len(floorAlphabet(floorTrajs)) >= len(floorAlphabet(trajs)) {
+			b.Fatal("roll-up did not coarsen the alphabet")
+		}
+	}
+}
+
+func floorAlphabet(trajs []sitm.Trajectory) map[string]bool {
+	set := make(map[string]bool)
+	for _, t := range trajs {
+		for _, c := range t.Trace.DistinctCells() {
+			set[c] = true
+		}
+	}
+	return set
+}
+
+// BenchmarkDirectedAblation contrasts the paper's directed accessibility
+// NRGs against an undirected reading: paths legal in the undirected view
+// (re-entering through the Carrousel exit, entering the Salle des États
+// from room 2) are illegal in the directed model.
+func BenchmarkDirectedAblation(b *testing.B) {
+	sg, _, err := sitm.BuildLouvre()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fig1, err := sitm.LouvreFigure1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		directed, err := sg.AccessGraph(sitm.LouvreZoneLayer)
+		if err != nil {
+			b.Fatal(err)
+		}
+		undirected := directed.Undirected()
+		if _, err := directed.ShortestPath("zone60891", "zone60890"); err == nil {
+			b.Fatal("directed model must forbid re-entry through the exit")
+		}
+		if _, err := undirected.ShortestPath("zone60891", "zone60890"); err != nil {
+			b.Fatal("undirected model would (wrongly) allow it")
+		}
+		if fig1.Accessible("2", "4") {
+			b.Fatal("one-way room rule lost")
+		}
+	}
+}
+
+// ---- Performance benches on the substrates ------------------------------
+
+// BenchmarkBuildLouvre measures constructing the full ~750-cell model.
+func BenchmarkBuildLouvre(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sitm.BuildLouvre(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateDataset measures the seeded generator.
+func BenchmarkGenerateDataset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sitm.GenerateLouvreDataset(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildTrajectories measures detection→trajectory extraction.
+func BenchmarkBuildTrajectories(b *testing.B) {
+	d, _, err := sitm.GenerateLouvreDataset(benchParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dets := d.Detections()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trajs, _ := sitm.BuildTrajectories(dets, sitm.BuildOptions{
+			DropZeroDuration: true, SessionGap: 10 * time.Hour,
+		})
+		if len(trajs) == 0 {
+			b.Fatal("no trajectories")
+		}
+	}
+}
+
+// BenchmarkTrilateration measures one positioning solve against the
+// Louvre's beacon plant.
+func BenchmarkTrilateration(b *testing.B) {
+	beacons := sitm.LouvreBeacons()
+	model := sitm.PathLoss{Exponent: 2.2}
+	// Strongest few beacons around a point in zone 60853.
+	var meas []sitm.Measurement
+	for id, bc := range beacons {
+		if strings.HasPrefix(id, "beacon60853_") {
+			d := bc.Pos.Dist(sitm.Point{X: 330, Y: 30})
+			meas = append(meas, sitm.Measurement{BeaconID: id, RSSI: model.RSSI(bc, d, nil)})
+			if len(meas) == 8 {
+				break
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sitm.Trilaterate(beacons, meas, model); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPrefixSpan measures sequential pattern mining on the synthetic
+// visit sequences.
+func BenchmarkPrefixSpan(b *testing.B) {
+	d, _, err := sitm.GenerateLouvreDataset(benchParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	trajs, _ := sitm.BuildTrajectories(d.Detections(), sitm.BuildOptions{
+		DropZeroDuration: true, SessionGap: 10 * time.Hour,
+	})
+	seqs := sitm.SequencesOf(trajs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := sitm.PrefixSpan(seqs, len(seqs)/20, 4); len(got) == 0 {
+			b.Fatal("no patterns")
+		}
+	}
+}
+
+// BenchmarkStoreQueries measures the indexed store queries.
+func BenchmarkStoreQueries(b *testing.B) {
+	d, _, err := sitm.GenerateLouvreDataset(benchParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	trajs, _ := sitm.BuildTrajectories(d.Detections(), sitm.BuildOptions{
+		DropZeroDuration: true, SessionGap: 10 * time.Hour,
+	})
+	st := sitm.NewStore()
+	st.PutAll(trajs)
+	from := time.Date(2017, 3, 1, 0, 0, 0, 0, time.UTC)
+	to := from.AddDate(0, 1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.ThroughCell("zone60879")
+		st.InCellDuring("zone60885", from, to)
+		st.Overlapping(from, to)
+	}
+}
+
+// BenchmarkTrajectorySimilarity measures the hierarchy-aware similarity.
+func BenchmarkTrajectorySimilarity(b *testing.B) {
+	sg, h, err := sitm.BuildLouvre()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, _, err := sitm.GenerateLouvreDataset(benchParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	trajs, _ := sitm.BuildTrajectories(d.Detections(), sitm.BuildOptions{
+		DropZeroDuration: true, SessionGap: 10 * time.Hour,
+	})
+	if len(trajs) < 2 {
+		b.Fatal("need trajectories")
+	}
+	sim := sitm.HierarchyCellSimilarity(sg, h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sitm.TrajectorySimilarity(trajs[i%len(trajs)], trajs[(i+1)%len(trajs)], sim, 0.7)
+	}
+}

@@ -1,0 +1,495 @@
+// Command sitm regenerates the paper's tables and figures from the library:
+//
+//	sitm stats              reproduce the §4.1 dataset statistics table (D1)
+//	sitm figures -id F3     print one artefact (T1, F1–F6, X1) or all
+//	sitm generate -out f    write the calibrated synthetic dataset as CSV
+//	sitm mine               run the mining pipeline (patterns, rules, stays)
+//
+// All output is deterministic for a given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"sitm"
+	"sitm/internal/gml"
+	"sitm/internal/louvre"
+	"sitm/internal/store"
+	"sitm/internal/viz"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "stats":
+		err = runStats(os.Args[2:])
+	case "figures":
+		err = runFigures(os.Args[2:])
+	case "generate":
+		err = runGenerate(os.Args[2:])
+	case "mine":
+		err = runMine(os.Args[2:])
+	case "gml":
+		err = runGML(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "sitm: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sitm:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: sitm <command> [flags]
+
+commands:
+  stats      reproduce the paper's §4.1 dataset statistics (experiment D1)
+  figures    print the paper's tables/figures (-id T1|F1|F2|F3|F4|F5|F6|X1)
+  generate   write the calibrated synthetic dataset as CSV (-out file)
+  mine       run the mining pipeline on a seeded dataset
+  gml        export the Louvre space graph as IndoorGML-style XML (-out file)
+             and verify the round trip`)
+}
+
+func params(seed int64, scale float64) sitm.DatasetParams {
+	p := sitm.DefaultDatasetParams()
+	p.Seed = seed
+	if scale > 0 && scale != 1 {
+		p.Visitors = int(float64(p.Visitors) * scale)
+		p.ReturningVisitors = int(float64(p.ReturningVisitors) * scale)
+		p.RepeatVisits = int(float64(p.RepeatVisits) * scale)
+		p.TargetDetections = int(float64(p.TargetDetections) * scale)
+	}
+	return p
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	seed := fs.Int64("seed", sitm.DefaultDatasetParams().Seed, "generator seed")
+	scale := fs.Float64("scale", 1, "population scale factor (1 = the paper's size)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, _, err := sitm.GenerateLouvreDataset(params(*seed, *scale))
+	if err != nil {
+		return err
+	}
+	s := sitm.ComputeDatasetStats(d)
+	paper := map[string]string{
+		"visits":                 "4945",
+		"distinct visitors":      "3228",
+		"returning visitors":     "1227",
+		"second/third visits":    "1717",
+		"zone detections":        "20245",
+		"zone transitions":       "15300",
+		"zero-duration (~10%)":   "≈10%",
+		"visit duration min":     "0s",
+		"visit duration max":     "7h41m37s",
+		"detection duration min": "0s",
+		"detection duration max": "5h39m20s",
+		"zones in dataset":       "30",
+	}
+	rows := [][]string{
+		{"visits", paper["visits"], fmt.Sprint(s.Visits)},
+		{"distinct visitors", paper["distinct visitors"], fmt.Sprint(s.Visitors)},
+		{"returning visitors", paper["returning visitors"], fmt.Sprint(s.ReturningVisitors)},
+		{"second/third visits", paper["second/third visits"], fmt.Sprint(s.RepeatVisits)},
+		{"zone detections", paper["zone detections"], fmt.Sprint(s.Detections)},
+		{"zone transitions", paper["zone transitions"], fmt.Sprint(s.Transitions)},
+		{"zero-duration (~10%)", paper["zero-duration (~10%)"], fmt.Sprintf("%.1f%%", s.ZeroDurationPercent)},
+		{"visit duration min", paper["visit duration min"], s.MinVisitDuration.String()},
+		{"visit duration max", paper["visit duration max"], s.MaxVisitDuration.String()},
+		{"detection duration min", paper["detection duration min"], s.MinDetectionDuration.String()},
+		{"detection duration max", paper["detection duration max"], s.MaxDetectionDuration.String()},
+		{"zones in dataset", paper["zones in dataset"], fmt.Sprint(s.DistinctZones)},
+	}
+	fmt.Println("Experiment D1 — §4.1 dataset statistics (paper vs synthetic reproduction)")
+	fmt.Print(viz.Table([]string{"statistic", "paper", "measured"}, rows))
+	return nil
+}
+
+func runFigures(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ExitOnError)
+	id := fs.String("id", "all", "artefact id: T1, F1, F2, F3, F4, F5, F6, X1 or all")
+	seed := fs.Int64("seed", sitm.DefaultDatasetParams().Seed, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	all := map[string]func(int64) error{
+		"T1": figT1, "F1": figF1, "F2": figF2, "F3": figF3,
+		"F4": figF4, "F5": figF5, "F6": figF6, "X1": figX1,
+	}
+	if *id != "all" {
+		f, ok := all[strings.ToUpper(*id)]
+		if !ok {
+			return fmt.Errorf("unknown artefact %q", *id)
+		}
+		return f(*seed)
+	}
+	for _, key := range []string{"T1", "F1", "F2", "F3", "F4", "F5", "F6", "X1"} {
+		if err := all[key](*seed); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func figT1(int64) error {
+	fmt.Println("Table 1 — closely related terms across models")
+	var rows [][]string
+	for _, r := range sitm.Table1() {
+		rows = append(rows, []string{r.NIntersection, r.PrimalSpace, r.DualSpaceNRG, r.DualNavigation})
+	}
+	fmt.Print(viz.Table([]string{"n-intersection", "primal space (2D)", "dual space (NRG)", "dual space (navigation)"}, rows))
+	return nil
+}
+
+func figF1(int64) error {
+	fmt.Println("Figure 1 — 2-level hierarchical graph, central Denon wing, 1st floor")
+	sg, err := sitm.LouvreFigure1()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hall 5 refines into: %v (joint edges: contains)\n", sg.ActiveStates("5", louvre.Figure1Lower))
+	fmt.Printf("Salle des États one-way rule: 4→2 accessible = %v, 2→4 accessible = %v\n",
+		sg.Accessible("4", "2"), sg.Accessible("2", "4"))
+	dot, err := viz.SpaceGraphDOT(sg, louvre.Figure1Upper)
+	if err != nil {
+		return err
+	}
+	fmt.Print(dot)
+	return nil
+}
+
+func figF2(int64) error {
+	fmt.Println("Figure 2 — core layer hierarchy with building-complex root and RoI leaf")
+	sg, h, err := sitm.BuildLouvre()
+	if err != nil {
+		return err
+	}
+	if err := h.Validate(sg); err != nil {
+		return fmt.Errorf("hierarchy invalid: %w", err)
+	}
+	var rows [][]string
+	for _, lid := range h.Layers {
+		l, _ := sg.Layer(lid)
+		rows = append(rows, []string{
+			fmt.Sprint(l.Rank), l.ID, l.Kind.String(),
+			fmt.Sprint(len(sg.CellsInLayer(lid))), l.Desc,
+		})
+	}
+	fmt.Print(viz.Table([]string{"rank", "layer", "kind", "cells", "description"}, rows))
+	fmt.Println("hierarchy valid: joint edges carry only contains/covers, no layer skipping, single parents")
+	return nil
+}
+
+func figF3(seed int64) error {
+	fmt.Println("Figure 3 — choropleth of visitor detections, 11 ground-floor zones")
+	d, _, err := sitm.GenerateLouvreDataset(params(seed, 1))
+	if err != nil {
+		return err
+	}
+	ground := make(map[string]bool)
+	names := make(map[string]string)
+	for _, z := range sitm.LouvreZones() {
+		if z.Floor == 0 {
+			ground[z.ID] = true
+			names[z.ID] = z.Name
+		}
+	}
+	counts := sitm.DetectionCounts(d.Detections(), func(c string) bool { return ground[c] })
+	var bars []viz.Bar
+	for _, c := range counts {
+		bars = append(bars, viz.Bar{Label: fmt.Sprintf("%s (%s)", c.Cell, names[c.Cell]), Value: float64(c.Count)})
+	}
+	fmt.Print(viz.BarChart(bars, 40))
+	return nil
+}
+
+func figF4(int64) error {
+	fmt.Println("Figure 4 — RoIs do not fully cover their containing spaces")
+	sg, _, err := sitm.BuildLouvre()
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, probe := range []struct{ parent, what string }{
+		{"room60853_1", "RoIs in a zone-60853 room"},
+		{"room60854_1", "RoIs in a zone-60854 room"},
+		{"zone60853", "rooms tiling zone 60853"},
+		{louvre.FloorID(louvre.WingSully, 0), "zones on the Sully ground floor"},
+	} {
+		rep, err := sg.Coverage(probe.parent, 40)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{probe.what, probe.parent,
+			fmt.Sprint(len(rep.Children)), fmt.Sprintf("%.2f", rep.Ratio)})
+	}
+	fmt.Print(viz.Table([]string{"coverage of", "parent cell", "children", "ratio"}, rows))
+	fmt.Println("full-coverage hypothesis holds for rooms-in-zones but fails for RoIs and for floors (corridor)")
+	return nil
+}
+
+func figF5(int64) error {
+	fmt.Println("Figure 5 — overlapping 'exit museum' and 'buy souvenir' episodes on E→P→S→C")
+	day := time.Date(2017, 2, 14, 17, 0, 0, 0, time.UTC)
+	trace := sitm.Trace{
+		{Cell: louvre.ZoneE, Start: day, End: day.Add(30 * time.Minute)},
+		{Transition: louvre.BoundaryCheckpoint002, Cell: louvre.ZoneP, Start: day.Add(30 * time.Minute), End: day.Add(32 * time.Minute)},
+		{Transition: louvre.BoundaryPassage003, Cell: louvre.ZoneS, Start: day.Add(32 * time.Minute), End: day.Add(50 * time.Minute)},
+		{Transition: louvre.BoundaryCarrousel, Cell: louvre.ZoneC, Start: day.Add(50 * time.Minute), End: day.Add(55 * time.Minute)},
+	}
+	parent, err := sitm.NewTrajectory("figure5-visitor", trace, sitm.NewAnnotations("activity", "visit"))
+	if err != nil {
+		return err
+	}
+	exit, err := sitm.NewEpisode(parent, 1, 4, "exit museum", sitm.NewAnnotations("goals", "museumExit"), nil)
+	if err != nil {
+		return err
+	}
+	buy, err := sitm.NewEpisode(parent, 0, 3, "buy souvenir", sitm.NewAnnotations("goals", "buySouvenir"), nil)
+	if err != nil {
+		return err
+	}
+	seg := sitm.Segmentation{Parent: parent, Episodes: []sitm.Episode{exit, buy}}
+	if err := seg.Validate(); err != nil {
+		return err
+	}
+	fmt.Println("trace:", parent.Trace)
+	for _, ep := range seg.Episodes {
+		fmt.Printf("episode %q: %v → %v over %v\n", ep.Label,
+			ep.Start().Format("15:04:05"), ep.End().Format("15:04:05"), ep.Trace.Cells())
+	}
+	fmt.Printf("overlapping episode pairs: %v (the paper's point: overlap is allowed)\n", seg.OverlappingPairs())
+	return nil
+}
+
+func figF6(int64) error {
+	fmt.Println("Figure 6 — zone accessibility topology and the Zone-60888 inference")
+	sg, _, err := sitm.BuildLouvre()
+	if err != nil {
+		return err
+	}
+	day := time.Date(2017, 2, 14, 17, 0, 0, 0, time.UTC)
+	sparse := sitm.Trace{
+		{Cell: louvre.ZoneE, Start: day, End: day.Add(30*time.Minute + 21*time.Second)},
+		{Cell: louvre.ZoneS, Start: day.Add(31*time.Minute + 42*time.Second), End: day.Add(40 * time.Minute)},
+	}
+	fmt.Println("observed:", sparse)
+	extra := sitm.NewAnnotations("goals", "cloakroomPickup", "goals", "souvenirBuy", "goals", "museumExit")
+	out, infs, err := sitm.InferMissing(sg, sparse, extra, true)
+	if err != nil {
+		return err
+	}
+	fmt.Println("reconstructed:", out)
+	for _, inf := range infs {
+		fmt.Printf("inferred tuple at index %d: %v (between %s and %s)\n",
+			inf.Index, inf.Tuple, inf.From, inf.To)
+	}
+	// δt1 ≫ δt2 expectation: E is a ticketed temporary exhibition.
+	fmt.Printf("δt1 (E) = %v ≫ δt2 (S) = %v — E requires a separate ticket\n",
+		sparse[0].Duration(), sparse[1].Duration())
+	dot, err := viz.SpaceGraphDOT(sg, sitm.LouvreZoneLayer)
+	if err != nil {
+		return err
+	}
+	// Print only the −2 floor cluster lines to keep output focused, like
+	// the paper's lower part of the figure.
+	for _, line := range strings.Split(dot, "\n") {
+		if strings.Contains(line, "6088") || strings.Contains(line, "floor -2") {
+			fmt.Println(line)
+		}
+	}
+	return nil
+}
+
+func figX1(int64) error {
+	fmt.Println("X1 — §3.3 event-based split: the visitor's goals change inside room006")
+	day := time.Date(2017, 2, 14, 14, 12, 0, 0, time.UTC)
+	tr := sitm.Trace{{
+		Transition: "door005", Cell: "room006",
+		Start: day, End: day.Add(16 * time.Minute),
+		Ann: sitm.NewAnnotations("goals", "visit"),
+	}}
+	fmt.Println("before:", tr)
+	split, err := tr.SplitAt(0, day.Add(9*time.Minute+46*time.Second),
+		sitm.NewAnnotations("goals", "visit", "goals", "buy"))
+	if err != nil {
+		return err
+	}
+	fmt.Println("after: ", split)
+	return nil
+}
+
+func runGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	out := fs.String("out", "dataset.csv", "output CSV path")
+	seed := fs.Int64("seed", sitm.DefaultDatasetParams().Seed, "generator seed")
+	scale := fs.Float64("scale", 1, "population scale factor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, _, err := sitm.GenerateLouvreDataset(params(*seed, *scale))
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := store.WriteDetectionsCSV(f, d.Detections()); err != nil {
+		return err
+	}
+	s := sitm.ComputeDatasetStats(d)
+	fmt.Printf("wrote %d detections (%d visits, %d visitors) to %s\n",
+		s.Detections, s.Visits, s.Visitors, *out)
+	return nil
+}
+
+func runGML(args []string) error {
+	fs := flag.NewFlagSet("gml", flag.ExitOnError)
+	out := fs.String("out", "louvre.gml.xml", "output XML path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sg, h, err := sitm.BuildLouvre()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := gml.Encode(f, sg); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Verify the round trip: decode and revalidate the hierarchy.
+	rf, err := os.Open(*out)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	back, err := gml.Decode(rf)
+	if err != nil {
+		return fmt.Errorf("round trip decode: %w", err)
+	}
+	if err := h.Validate(back); err != nil {
+		return fmt.Errorf("round trip hierarchy: %w", err)
+	}
+	fmt.Printf("wrote %s (%d cells, %d joints); round trip verified\n",
+		*out, back.NumCells(), len(back.Joints()))
+	return nil
+}
+
+func runMine(args []string) error {
+	fs := flag.NewFlagSet("mine", flag.ExitOnError)
+	seed := fs.Int64("seed", sitm.DefaultDatasetParams().Seed, "generator seed")
+	scale := fs.Float64("scale", 0.1, "population scale factor")
+	topK := fs.Int("top", 10, "how many items per report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sg, _, err := sitm.BuildLouvre()
+	if err != nil {
+		return err
+	}
+	d, _, err := sitm.GenerateLouvreDataset(params(*seed, *scale))
+	if err != nil {
+		return err
+	}
+	trajs, bstats := sitm.BuildTrajectories(d.Detections(), sitm.BuildOptions{
+		DropZeroDuration: true,
+		SessionGap:       10 * time.Hour,
+	})
+	fmt.Printf("built %d trajectories from %d detections (%d zero-duration dropped)\n\n",
+		bstats.Trajectories, bstats.Input, bstats.DroppedZero)
+
+	tm := sitm.NewTransitionMatrix(trajs)
+	var rows [][]string
+	for _, tr := range tm.Top(*topK) {
+		rows = append(rows, []string{tr.From, tr.To, fmt.Sprint(tr.Count),
+			fmt.Sprintf("%.2f", tm.Probability(tr.From, tr.To))})
+	}
+	fmt.Println("top transitions")
+	fmt.Print(viz.Table([]string{"from", "to", "count", "P(to|from)"}, rows))
+	fmt.Println()
+
+	pats := sitm.PrefixSpan(sitm.SequencesOf(trajs), len(trajs)/20+1, 4)
+	rows = rows[:0]
+	for i, p := range pats {
+		if i == *topK {
+			break
+		}
+		rows = append(rows, []string{strings.Join(p.Cells, " → "), fmt.Sprint(p.Support)})
+	}
+	fmt.Println("frequent sequential patterns (PrefixSpan)")
+	fmt.Print(viz.Table([]string{"pattern", "support"}, rows))
+	fmt.Println()
+
+	rules := sitm.MineRules(pats, 0.4)
+	rows = rows[:0]
+	for i, r := range rules {
+		if i == *topK {
+			break
+		}
+		rows = append(rows, []string{
+			strings.Join(r.Antecedent, " → "), strings.Join(r.Consequent, " → "),
+			fmt.Sprint(r.Support), fmt.Sprintf("%.2f", r.Confidence)})
+	}
+	fmt.Println("association rules")
+	fmt.Print(viz.Table([]string{"if visited", "then", "support", "confidence"}, rows))
+	fmt.Println()
+
+	stays := sitm.LengthOfStay(trajs)
+	rows = rows[:0]
+	for i, s := range stays {
+		if i == *topK {
+			break
+		}
+		rows = append(rows, []string{s.Cell, fmt.Sprint(s.Visits),
+			s.Mean.Round(time.Second).String(), s.Median.Round(time.Second).String(),
+			s.Max.Round(time.Second).String()})
+	}
+	fmt.Println("length of stay per zone")
+	fmt.Print(viz.Table([]string{"zone", "stays", "mean", "median", "max"}, rows))
+	fmt.Println()
+
+	switches, err := sitm.FloorSwitches(sg, trajs, sitm.LouvreFloorLayer)
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for i, s := range switches {
+		if i == *topK {
+			break
+		}
+		rows = append(rows, []string{fmt.Sprint(s.FromFloor), fmt.Sprint(s.ToFloor), fmt.Sprint(s.Count)})
+	}
+	fmt.Println("floor-switching patterns (§5)")
+	fmt.Print(viz.Table([]string{"from floor", "to floor", "count"}, rows))
+
+	// Deterministic ordering sanity for scripts consuming this output.
+	sort.SliceIsSorted(switches, func(i, j int) bool { return switches[i].Count >= switches[j].Count })
+	return nil
+}

@@ -1,0 +1,85 @@
+package sitm_test
+
+import (
+	"fmt"
+	"time"
+
+	"sitm"
+)
+
+// ExampleNewTrajectory reproduces the paper's §3.3 museum trace and shows
+// Definition 3.1's shape: a (trace, annotations) couple.
+func ExampleNewTrajectory() {
+	day := time.Date(2017, 2, 14, 0, 0, 0, 0, time.UTC)
+	at := func(h, m, s int) time.Time {
+		return day.Add(time.Duration(h)*time.Hour + time.Duration(m)*time.Minute + time.Duration(s)*time.Second)
+	}
+	trace := sitm.Trace{
+		{Cell: "room001", Start: at(11, 30, 0), End: at(11, 32, 35)},
+		{Transition: "door012", Cell: "hall003", Start: at(11, 32, 31), End: at(11, 40, 0)},
+		{Transition: "door005", Cell: "room006", Start: at(14, 12, 0), End: at(14, 28, 0)},
+	}
+	t, err := sitm.NewTrajectory("visitor", trace, sitm.NewAnnotations("activity", "visit"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(t.Trace.Cells(), t.Duration())
+	// Output: [room001 hall003 room006] 2h58m0s
+}
+
+// ExampleTrace_SplitAt shows the event-based model: the stay splits when
+// the visitor's goal set changes inside room006.
+func ExampleTrace_SplitAt() {
+	day := time.Date(2017, 2, 14, 14, 12, 0, 0, time.UTC)
+	tr := sitm.Trace{{
+		Transition: "door005", Cell: "room006",
+		Start: day, End: day.Add(16 * time.Minute),
+		Ann: sitm.NewAnnotations("goals", "visit"),
+	}}
+	split, err := tr.SplitAt(0, day.Add(9*time.Minute+46*time.Second),
+		sitm.NewAnnotations("goals", "visit", "goals", "buy"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, p := range split {
+		fmt.Println(p)
+	}
+	// Output:
+	// (door005, room006, 14:12:00, 14:21:46, {goals:[visit]})
+	// (_, room006, 14:21:46, 14:28:00, {goals:[visit,buy]})
+}
+
+// ExampleInferMissing reproduces the Figure 6 reasoning: the visitor seen
+// in E then S must have crossed P.
+func ExampleInferMissing() {
+	sg, _, err := sitm.BuildLouvre()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	day := time.Date(2017, 2, 14, 17, 0, 0, 0, time.UTC)
+	sparse := sitm.Trace{
+		{Cell: "zone60887", Start: day, End: day.Add(30*time.Minute + 21*time.Second)},
+		{Cell: "zone60890", Start: day.Add(31*time.Minute + 42*time.Second), End: day.Add(40 * time.Minute)},
+	}
+	out, infs, err := sitm.InferMissing(sg, sparse, nil, true)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(len(infs), out[1].Cell, out[1].Transition)
+	// Output: 1 zone60888 checkpoint002
+}
+
+// ExampleTable1 prints the paper's terminology mapping.
+func ExampleTable1() {
+	for _, row := range sitm.Table1() {
+		fmt.Println(row.DualSpaceNRG, "→", row.DualNavigation)
+	}
+	// Output:
+	// node → state
+	// (intra-layer) edge → transition
+	// (inter-layer) joint edge → valid active state combination / valid overall state
+}

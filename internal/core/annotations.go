@@ -1,0 +1,188 @@
+// Package core implements the paper's Semantic Indoor Trajectory Model
+// (SITM, §3.3): semantic trajectories as couples of a spatiotemporal trace
+// (a sequence of presence intervals at cells of an indoor space graph,
+// entered through explicit transitions) and a set of semantic annotations;
+// subtrajectories, episodes with user-defined predicates, overlapping
+// episodic segmentations, event-based interval splitting, gap
+// classification, hierarchical roll-up, and topology-based inference of
+// missing presence intervals (the paper's Zone-60888 example, Fig 6).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Annotations is a set of semantic annotations: a mapping from an annotation
+// key (e.g. "goals", "activity", "behavior") to an ordered list of values.
+// The paper's trace example uses exactly this shape:
+// {goals:["visit","buy"]}. A nil map is a valid empty annotation set.
+type Annotations map[string][]string
+
+// NewAnnotations builds an annotation set from alternating key/value pairs;
+// repeated keys accumulate values.
+func NewAnnotations(pairs ...string) Annotations {
+	if len(pairs)%2 != 0 {
+		panic("core: NewAnnotations requires key/value pairs")
+	}
+	a := Annotations{}
+	for i := 0; i < len(pairs); i += 2 {
+		a.Add(pairs[i], pairs[i+1])
+	}
+	return a
+}
+
+// Add appends a value under key if not already present.
+func (a Annotations) Add(key, value string) {
+	for _, v := range a[key] {
+		if v == value {
+			return
+		}
+	}
+	a[key] = append(a[key], value)
+}
+
+// Has reports whether key holds value.
+func (a Annotations) Has(key, value string) bool {
+	for _, v := range a[key] {
+		if v == value {
+			return true
+		}
+	}
+	return false
+}
+
+// HasKey reports whether the key carries any value.
+func (a Annotations) HasKey(key string) bool { return len(a[key]) > 0 }
+
+// Values returns a copy of the values under key.
+func (a Annotations) Values(key string) []string {
+	return append([]string(nil), a[key]...)
+}
+
+// Keys returns the sorted annotation keys.
+func (a Annotations) Keys() []string {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// IsEmpty reports whether no annotation is present.
+func (a Annotations) IsEmpty() bool {
+	for _, vs := range a {
+		if len(vs) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (a Annotations) Clone() Annotations {
+	if a == nil {
+		return nil
+	}
+	c := make(Annotations, len(a))
+	for k, vs := range a {
+		c[k] = append([]string(nil), vs...)
+	}
+	return c
+}
+
+// Merge returns the union of a and b (values deduplicated, a unchanged).
+func (a Annotations) Merge(b Annotations) Annotations {
+	out := a.Clone()
+	if out == nil {
+		out = Annotations{}
+	}
+	for k, vs := range b {
+		for _, v := range vs {
+			out.Add(k, v)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two annotation sets hold the same keys and value
+// sets (order-insensitive). The event-based SITM splits a presence interval
+// exactly when this predicate flips (§3.3).
+func (a Annotations) Equal(b Annotations) bool {
+	if len(a.nonEmptyKeys()) != len(b.nonEmptyKeys()) {
+		return false
+	}
+	for k, vs := range a {
+		if len(vs) == 0 {
+			continue
+		}
+		bs := b[k]
+		if len(vs) != len(bs) {
+			return false
+		}
+		set := make(map[string]bool, len(vs))
+		for _, v := range vs {
+			set[v] = true
+		}
+		for _, v := range bs {
+			if !set[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (a Annotations) nonEmptyKeys() []string {
+	var out []string
+	for k, vs := range a {
+		if len(vs) > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Jaccard returns the Jaccard similarity of the two annotation sets viewed
+// as sets of (key, value) pairs: |A∩B| / |A∪B|, with 1 for two empty sets.
+func (a Annotations) Jaccard(b Annotations) float64 {
+	pairs := func(x Annotations) map[string]bool {
+		m := make(map[string]bool)
+		for k, vs := range x {
+			for _, v := range vs {
+				m[k+"\x00"+v] = true
+			}
+		}
+		return m
+	}
+	pa, pb := pairs(a), pairs(b)
+	if len(pa) == 0 && len(pb) == 0 {
+		return 1
+	}
+	inter := 0
+	for p := range pa {
+		if pb[p] {
+			inter++
+		}
+	}
+	union := len(pa) + len(pb) - inter
+	return float64(inter) / float64(union)
+}
+
+// String renders annotations in the paper's style:
+// {goals:[visit,buy], mood:[curious]} with sorted keys.
+func (a Annotations) String() string {
+	if a.IsEmpty() {
+		return "∅"
+	}
+	var parts []string
+	for _, k := range a.Keys() {
+		if len(a[k]) == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s:[%s]", k, strings.Join(a[k], ",")))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAnnotations(t *testing.T) {
+	a := NewAnnotations("goals", "visit", "goals", "buy", "mood", "curious")
+	if !a.Has("goals", "visit") || !a.Has("goals", "buy") || !a.Has("mood", "curious") {
+		t.Error("Has failed")
+	}
+	if a.Has("goals", "sleep") || a.Has("none", "x") {
+		t.Error("Has false positive")
+	}
+	if !a.HasKey("goals") || a.HasKey("none") {
+		t.Error("HasKey wrong")
+	}
+	if got := a.Values("goals"); len(got) != 2 || got[0] != "visit" {
+		t.Errorf("Values = %v", got)
+	}
+	if got := a.Keys(); len(got) != 2 || got[0] != "goals" || got[1] != "mood" {
+		t.Errorf("Keys = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("odd pair count must panic")
+		}
+	}()
+	NewAnnotations("only-key")
+}
+
+func TestAnnotationsAddDedup(t *testing.T) {
+	a := Annotations{}
+	a.Add("k", "v")
+	a.Add("k", "v")
+	if len(a["k"]) != 1 {
+		t.Errorf("duplicate value stored: %v", a["k"])
+	}
+}
+
+func TestAnnotationsEmptyCloneMerge(t *testing.T) {
+	var nilAnn Annotations
+	if !nilAnn.IsEmpty() {
+		t.Error("nil is empty")
+	}
+	if nilAnn.Clone() != nil {
+		t.Error("nil clones to nil")
+	}
+	a := NewAnnotations("k", "1")
+	m := nilAnn.Merge(a)
+	if !m.Has("k", "1") {
+		t.Error("merge into nil failed")
+	}
+	b := a.Merge(NewAnnotations("k", "2", "j", "x"))
+	if !b.Has("k", "1") || !b.Has("k", "2") || !b.Has("j", "x") {
+		t.Error("merge union failed")
+	}
+	if a.Has("k", "2") {
+		t.Error("merge must not mutate receiver")
+	}
+	c := a.Clone()
+	c.Add("k", "3")
+	if a.Has("k", "3") {
+		t.Error("clone must be deep")
+	}
+}
+
+func TestAnnotationsEqual(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Annotations
+		want bool
+	}{
+		{"both empty", Annotations{}, nil, true},
+		{"same", NewAnnotations("g", "v"), NewAnnotations("g", "v"), true},
+		{"order-insensitive", NewAnnotations("g", "a", "g", "b"), NewAnnotations("g", "b", "g", "a"), true},
+		{"different value", NewAnnotations("g", "v"), NewAnnotations("g", "w"), false},
+		{"subset", NewAnnotations("g", "v"), NewAnnotations("g", "v", "g", "w"), false},
+		{"different key", NewAnnotations("g", "v"), NewAnnotations("h", "v"), false},
+		{"empty-valued key ignored", Annotations{"g": nil}, Annotations{}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.Equal(tc.b); got != tc.want {
+				t.Errorf("Equal = %v, want %v", got, tc.want)
+			}
+			if got := tc.b.Equal(tc.a); got != tc.want {
+				t.Errorf("Equal (swapped) = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestAnnotationsJaccard(t *testing.T) {
+	a := NewAnnotations("g", "v", "g", "w")
+	b := NewAnnotations("g", "v")
+	if got := a.Jaccard(b); got != 0.5 {
+		t.Errorf("Jaccard = %v", got)
+	}
+	if got := a.Jaccard(a); got != 1 {
+		t.Errorf("self Jaccard = %v", got)
+	}
+	if got := (Annotations{}).Jaccard(nil); got != 1 {
+		t.Errorf("empty Jaccard = %v", got)
+	}
+	if got := a.Jaccard(NewAnnotations("x", "y")); got != 0 {
+		t.Errorf("disjoint Jaccard = %v", got)
+	}
+}
+
+func TestAnnotationsString(t *testing.T) {
+	if got := (Annotations{}).String(); got != "∅" {
+		t.Errorf("empty String = %q", got)
+	}
+	a := NewAnnotations("goals", "visit", "goals", "buy")
+	if got := a.String(); got != "{goals:[visit,buy]}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestQuickAnnotationsMergeIdempotent(t *testing.T) {
+	// Property: a.Merge(a) equals a.
+	f := func(keys, vals []uint8) bool {
+		a := Annotations{}
+		for i := range keys {
+			v := "v"
+			if i < len(vals) {
+				v = string(rune('a' + vals[i]%26))
+			}
+			a.Add(string(rune('k'+keys[i]%4)), v)
+		}
+		return a.Merge(a).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAnnotationsJaccardSymmetric(t *testing.T) {
+	f := func(ka, va, kb, vb []uint8) bool {
+		mk := func(ks, vs []uint8) Annotations {
+			a := Annotations{}
+			for i := range ks {
+				v := "v"
+				if i < len(vs) {
+					v = string(rune('a' + vs[i]%6))
+				}
+				a.Add(string(rune('k'+ks[i]%3)), v)
+			}
+			return a
+		}
+		a, b := mk(ka, va), mk(kb, vb)
+		return a.Jaccard(b) == b.Jaccard(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

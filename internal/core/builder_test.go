@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func det(mo, cell, start, end string) Detection {
+	return Detection{MO: mo, Cell: cell, Start: at(start), End: at(end)}
+}
+
+func TestBuildTrajectoriesBasic(t *testing.T) {
+	dets := []Detection{
+		det("v1", "a", "10:00:00", "10:05:00"),
+		det("v1", "b", "10:05:30", "10:15:00"),
+		det("v2", "a", "11:00:00", "11:01:00"),
+	}
+	trajs, stats := BuildTrajectories(dets, BuildOptions{})
+	if len(trajs) != 2 {
+		t.Fatalf("trajectories = %d", len(trajs))
+	}
+	if stats.Input != 3 || stats.Trajectories != 2 || stats.DroppedZero != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if trajs[0].MO != "v1" || len(trajs[0].Trace) != 2 {
+		t.Errorf("traj[0] = %+v", trajs[0])
+	}
+	// Def 3.1 default annotation applied.
+	if trajs[0].Ann.IsEmpty() {
+		t.Error("built trajectories must carry annotations")
+	}
+}
+
+func TestBuildTrajectoriesDropsZeroDuration(t *testing.T) {
+	dets := []Detection{
+		det("v1", "a", "10:00:00", "10:00:00"), // zero duration: error
+		det("v1", "b", "10:01:00", "10:05:00"),
+	}
+	trajs, stats := BuildTrajectories(dets, BuildOptions{DropZeroDuration: true})
+	if stats.DroppedZero != 1 {
+		t.Errorf("DroppedZero = %d", stats.DroppedZero)
+	}
+	if len(trajs) != 1 || len(trajs[0].Trace) != 1 || trajs[0].Trace[0].Cell != "b" {
+		t.Errorf("trajs = %+v", trajs)
+	}
+	// Without the option the zero-duration detection is kept.
+	trajs, stats = BuildTrajectories(dets, BuildOptions{})
+	if stats.DroppedZero != 0 || len(trajs[0].Trace) != 2 {
+		t.Errorf("kept: %+v %+v", trajs, stats)
+	}
+}
+
+func TestBuildTrajectoriesSessionSplit(t *testing.T) {
+	dets := []Detection{
+		det("v1", "a", "10:00:00", "10:05:00"),
+		det("v1", "b", "15:00:00", "15:05:00"), // 5h later: second visit
+	}
+	trajs, _ := BuildTrajectories(dets, BuildOptions{SessionGap: time.Hour})
+	if len(trajs) != 2 {
+		t.Fatalf("expected 2 visits, got %d", len(trajs))
+	}
+	trajs, _ = BuildTrajectories(dets, BuildOptions{})
+	if len(trajs) != 1 {
+		t.Fatalf("no session gap: expected 1 trajectory, got %d", len(trajs))
+	}
+}
+
+func TestBuildTrajectoriesMergeSameCell(t *testing.T) {
+	dets := []Detection{
+		det("v1", "a", "10:00:00", "10:05:00"),
+		det("v1", "a", "10:05:00", "10:08:00"),
+		det("v1", "b", "10:08:00", "10:09:00"),
+	}
+	trajs, stats := BuildTrajectories(dets, BuildOptions{MergeSameCell: true})
+	if stats.Merged != 1 {
+		t.Errorf("Merged = %d", stats.Merged)
+	}
+	if len(trajs[0].Trace) != 2 || !trajs[0].Trace[0].End.Equal(at("10:08:00")) {
+		t.Errorf("merged trace = %v", trajs[0].Trace)
+	}
+}
+
+func TestBuildTrajectoriesUnorderedInput(t *testing.T) {
+	dets := []Detection{
+		det("v1", "b", "10:05:30", "10:15:00"),
+		det("v1", "a", "10:00:00", "10:05:00"), // out of order
+	}
+	trajs, _ := BuildTrajectories(dets, BuildOptions{})
+	if len(trajs) != 1 {
+		t.Fatalf("trajs = %d", len(trajs))
+	}
+	if got := trajs[0].Trace.Cells(); got[0] != "a" || got[1] != "b" {
+		t.Errorf("cells = %v; input must be sorted", got)
+	}
+}
+
+func TestBuildTrajectoriesCustomAnn(t *testing.T) {
+	dets := []Detection{det("v1", "a", "10:00:00", "10:05:00")}
+	trajs, _ := BuildTrajectories(dets, BuildOptions{Ann: NewAnnotations("goal", "study")})
+	if !trajs[0].Ann.Has("goal", "study") {
+		t.Errorf("ann = %v", trajs[0].Ann)
+	}
+}
+
+func TestBuildTrajectoriesEmpty(t *testing.T) {
+	trajs, stats := BuildTrajectories(nil, BuildOptions{})
+	if len(trajs) != 0 || stats.Input != 0 {
+		t.Errorf("empty input: %v %+v", trajs, stats)
+	}
+}
+
+func TestQuickBuildTrajectoriesInvariants(t *testing.T) {
+	// Property: every built trajectory has a valid (overlap-tolerant) trace,
+	// and the total tuple count never exceeds the input detection count.
+	f := func(raw []uint16) bool {
+		var dets []Detection
+		base := at("08:00:00")
+		for i, r := range raw {
+			mo := string(rune('a' + int(r)%3))
+			cell := string(rune('A' + int(r>>2)%5))
+			start := base.Add(time.Duration(int(r)%1440) * time.Minute)
+			dur := time.Duration(int(r>>4)%30) * time.Minute
+			_ = i
+			dets = append(dets, Detection{MO: mo, Cell: cell, Start: start, End: start.Add(dur)})
+		}
+		trajs, stats := BuildTrajectories(dets, BuildOptions{
+			DropZeroDuration: true,
+			MergeSameCell:    true,
+			SessionGap:       2 * time.Hour,
+		})
+		total := 0
+		for _, tj := range trajs {
+			if err := tj.Trace.Validate(ValidateOptions{AllowOverlap: true}); err != nil {
+				return false
+			}
+			total += len(tj.Trace)
+		}
+		return total+stats.DroppedZero+stats.Merged == stats.Input
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

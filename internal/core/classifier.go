@@ -1,0 +1,56 @@
+package core
+
+import (
+	"time"
+
+	"sitm/internal/indoor"
+)
+
+// ExitAwareClassifier builds a GapClassifier that uses cell semantics the
+// way §4.2 describes: "we know that the visitor disappearing after
+// Zone60890 is normal because it is one of the Louvre's exit zones". A gap
+// is a SemanticGap (the MO plausibly left on purpose) when the cell before
+// the gap is an exit/entrance cell, or when the gap is so long that only
+// leaving explains it; otherwise it is an accidental Hole (sensor coverage
+// gap, app dropout).
+//
+// isExit decides exit-ness per cell id; when nil, cells whose Attrs carry
+// exit="true" or entrance="true" in the space graph count as exits.
+// longGap is the duration beyond which any gap counts as semantic
+// (0 disables the duration rule).
+func ExitAwareClassifier(sg *indoor.SpaceGraph, isExit func(cell string) bool, longGap time.Duration) GapClassifier {
+	if isExit == nil {
+		isExit = func(cell string) bool {
+			c, ok := sg.Cell(cell)
+			if !ok || c.Attrs == nil {
+				return false
+			}
+			return c.Attrs["exit"] == "true" || c.Attrs["entrance"] == "true"
+		}
+	}
+	return func(before, after PresenceInterval, d time.Duration) GapKind {
+		if isExit(before.Cell) {
+			return SemanticGap
+		}
+		if longGap > 0 && d >= longGap {
+			return SemanticGap
+		}
+		return Hole
+	}
+}
+
+// AnnotateGaps records each gap of the trace as a transition annotation on
+// the tuple following it ({gap:[hole]} or {gap:[semantic gap]}), returning
+// a new trace. The trace itself is not re-timed: gaps remain visible, but
+// downstream analytics can distinguish accidental from intentional absence.
+func AnnotateGaps(tr Trace, minDur time.Duration, cls GapClassifier) Trace {
+	out := tr.Clone()
+	for _, g := range tr.FindGaps(minDur, cls) {
+		i := g.After + 1
+		if out[i].TransitionAnn == nil {
+			out[i].TransitionAnn = Annotations{}
+		}
+		out[i].TransitionAnn.Add("gap", g.Kind.String())
+	}
+	return out
+}

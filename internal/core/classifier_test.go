@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sitm/internal/indoor"
+)
+
+// exitGraph builds a two-zone graph where "carrousel" is flagged as an exit
+// via cell attributes, mirroring the Louvre model's zone attrs.
+func exitGraph(t *testing.T) *indoor.SpaceGraph {
+	t.Helper()
+	sg := indoor.NewSpaceGraph()
+	if err := sg.AddLayer(indoor.Layer{ID: "zone"}); err != nil {
+		t.Fatal(err)
+	}
+	cells := []indoor.Cell{
+		{ID: "gallery", Layer: "zone"},
+		{ID: "carrousel", Layer: "zone", Attrs: map[string]string{"exit": "true"}},
+	}
+	for _, c := range cells {
+		if err := sg.AddCell(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sg
+}
+
+func TestExitAwareClassifier(t *testing.T) {
+	sg := exitGraph(t)
+	cls := ExitAwareClassifier(sg, nil, 2*time.Hour)
+	mk := func(cell string) PresenceInterval { return PresenceInterval{Cell: cell} }
+
+	// §4.2: disappearing after an exit zone is normal — a semantic gap.
+	if got := cls(mk("carrousel"), mk("gallery"), 10*time.Minute); got != SemanticGap {
+		t.Errorf("after exit zone = %v, want semantic gap", got)
+	}
+	// A short gap after an ordinary gallery is a sensing hole.
+	if got := cls(mk("gallery"), mk("gallery"), 10*time.Minute); got != Hole {
+		t.Errorf("short mid-gallery gap = %v, want hole", got)
+	}
+	// A very long absence counts as semantic regardless of the cell.
+	if got := cls(mk("gallery"), mk("gallery"), 3*time.Hour); got != SemanticGap {
+		t.Errorf("long gap = %v, want semantic gap", got)
+	}
+	// Unknown cells fall back to Hole.
+	if got := cls(mk("ghost"), mk("gallery"), time.Minute); got != Hole {
+		t.Errorf("unknown cell = %v, want hole", got)
+	}
+	// longGap = 0 disables the duration rule.
+	cls0 := ExitAwareClassifier(sg, nil, 0)
+	if got := cls0(mk("gallery"), mk("gallery"), 100*time.Hour); got != Hole {
+		t.Errorf("duration rule must be off: %v", got)
+	}
+	// A custom isExit overrides the attribute lookup.
+	custom := ExitAwareClassifier(sg, func(cell string) bool { return cell == "gallery" }, 0)
+	if got := custom(mk("gallery"), mk("carrousel"), time.Minute); got != SemanticGap {
+		t.Errorf("custom isExit = %v", got)
+	}
+}
+
+func TestAnnotateGaps(t *testing.T) {
+	sg := exitGraph(t)
+	tr := Trace{
+		{Cell: "gallery", Start: at("10:00:00"), End: at("10:30:00")},
+		{Cell: "carrousel", Start: at("10:40:00"), End: at("10:50:00")}, // 10m hole
+		{Cell: "gallery", Start: at("14:00:00"), End: at("14:10:00")},   // gap after exit
+	}
+	cls := ExitAwareClassifier(sg, nil, 0)
+	out := AnnotateGaps(tr, time.Minute, cls)
+	if !out[1].TransitionAnn.Has("gap", "hole") {
+		t.Errorf("tuple 1 transition ann = %v", out[1].TransitionAnn)
+	}
+	if !out[2].TransitionAnn.Has("gap", "semantic gap") {
+		t.Errorf("tuple 2 transition ann = %v", out[2].TransitionAnn)
+	}
+	// The original trace is untouched.
+	if tr[1].TransitionAnn != nil {
+		t.Error("AnnotateGaps must not mutate its input")
+	}
+	// Small gaps below the threshold are not annotated.
+	out = AnnotateGaps(tr, time.Hour, cls)
+	if out[1].TransitionAnn.HasKey("gap") {
+		t.Error("sub-threshold gap annotated")
+	}
+	if !out[2].TransitionAnn.Has("gap", "semantic gap") {
+		t.Error("large gap lost")
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Predicate is the user-defined, domain-dependent spatiotemporal and/or
+// semantic predicate P_ep of Definition 3.4: it decides whether a candidate
+// subtrajectory is a meaningful episode.
+type Predicate func(Trajectory) bool
+
+// Episode is a particularly meaningful part of a semantic trajectory
+// (Def 3.4): a proper subtrajectory whose annotation set differs from the
+// parent's and which satisfies a predicate.
+type Episode struct {
+	Trajectory
+	// Label names the episode kind (e.g. "exit museum", "buy souvenir").
+	Label string
+}
+
+// NewEpisode extracts tuples [i, j) of parent as an episode labelled label
+// with annotations ann, enforcing all three Def 3.4 conditions:
+// (1) proper subtrajectory, (2) A'_traj ≠ A_traj, (3) pred holds.
+func NewEpisode(parent Trajectory, i, j int, label string, ann Annotations, pred Predicate) (Episode, error) {
+	sub, err := parent.Subtrajectory(i, j, ann)
+	if err != nil {
+		return Episode{}, err
+	}
+	if ann.Equal(parent.Ann) {
+		return Episode{}, ErrEpisodeSameAnn
+	}
+	if pred != nil && !pred(sub) {
+		return Episode{}, ErrEpisodePredicate
+	}
+	return Episode{Trajectory: sub, Label: label}, nil
+}
+
+// Segmentation is an episodic segmentation of a semantic trajectory: any
+// subset of its episodes that covers it time-wise. Contrary to typical
+// literature practice, episodes MAY overlap in time (§3.3): the same
+// movement part can carry multiple meanings — the paper's E→P→S→C path is
+// simultaneously an "exit museum" and (its E→P→S prefix) a "buy souvenir"
+// episode.
+type Segmentation struct {
+	Parent   Trajectory
+	Episodes []Episode
+}
+
+// Covers reports whether the episodes jointly cover the parent time-wise:
+// every presence interval of the parent's trace falls inside at least one
+// episode's time span. Coverage is judged at tuple granularity because real
+// traces contain small inter-detection gaps that no episode can fill; the
+// observed presence, not the unobserved void, must be accounted for.
+// Overlap between episodes is permitted (§3.3).
+func (s Segmentation) Covers() bool {
+	if len(s.Episodes) == 0 {
+		return false
+	}
+	type span struct{ start, end time.Time }
+	spans := make([]span, len(s.Episodes))
+	for i, e := range s.Episodes {
+		spans[i] = span{e.Start(), e.End()}
+	}
+	for _, p := range s.Parent.Trace {
+		covered := false
+		for _, sp := range spans {
+			if !sp.start.After(p.Start) && !sp.end.Before(p.End) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks that every episode is a proper subtrajectory of the
+// parent with differing annotations, and that the segmentation covers the
+// parent time-wise.
+func (s Segmentation) Validate() error {
+	for i, e := range s.Episodes {
+		if !e.IsSubtrajectoryOf(s.Parent) {
+			return fmt.Errorf("%w: episode %d (%s)", ErrNotSubtrajectory, i, e.Label)
+		}
+		if e.Ann.Equal(s.Parent.Ann) {
+			return fmt.Errorf("%w: episode %d (%s)", ErrEpisodeSameAnn, i, e.Label)
+		}
+	}
+	if !s.Covers() {
+		return fmt.Errorf("core: segmentation does not cover parent time span")
+	}
+	return nil
+}
+
+// OverlappingPairs returns the index pairs of episodes whose time spans
+// overlap — the paper's signature feature (Fig 5 shows two overlapping
+// goal episodes).
+func (s Segmentation) OverlappingPairs() [][2]int {
+	var out [][2]int
+	for i := 0; i < len(s.Episodes); i++ {
+		for j := i + 1; j < len(s.Episodes); j++ {
+			a, b := s.Episodes[i], s.Episodes[j]
+			if a.Start().Before(b.End()) && b.Start().Before(a.End()) {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// IntervalPredicate decides whether a single presence interval belongs to
+// an episode kind; used by MaximalEpisodes to segment traces the SeMiTri
+// way ("a maximal subsequence ... such that all its spatiotemporal
+// positions comply with a given predicate").
+type IntervalPredicate func(PresenceInterval) bool
+
+// MaximalEpisodes extracts all maximal runs of consecutive tuples
+// satisfying pred as episodes labelled label with annotations ann. Runs
+// spanning the whole trace are skipped (they would not be proper
+// subtrajectories). Episode-level predicate checks are bypassed: maximality
+// by construction plays that role.
+func MaximalEpisodes(parent Trajectory, pred IntervalPredicate, label string, ann Annotations) []Episode {
+	var out []Episode
+	n := len(parent.Trace)
+	i := 0
+	for i < n {
+		if !pred(parent.Trace[i]) {
+			i++
+			continue
+		}
+		j := i
+		for j < n && pred(parent.Trace[j]) {
+			j++
+		}
+		if j-i < n { // proper subsequence only
+			if ep, err := NewEpisode(parent, i, j, label, ann, nil); err == nil {
+				out = append(out, ep)
+			}
+		}
+		i = j
+	}
+	return out
+}
+
+// EpisodesByCells extracts maximal episodes over a cell set: every tuple
+// whose cell is in cells belongs to the run. The Figure 5 example is
+// EpisodesByCells(t, {E,P,S}, "buy souvenir", ...) against a full E→P→S→C
+// trace.
+func EpisodesByCells(parent Trajectory, cells map[string]bool, label string, ann Annotations) []Episode {
+	return MaximalEpisodes(parent, func(p PresenceInterval) bool { return cells[p.Cell] }, label, ann)
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// figure5Trajectory reproduces the paper's Figure 5 walk on the −2 floor:
+// E → P → S → C, where E hosts the temporary exhibition, P is the passage,
+// S the souvenir shops and C the Carrousel exit.
+func figure5Trajectory(t *testing.T) Trajectory {
+	t.Helper()
+	tr := Trace{
+		{Cell: "E", Start: at("17:00:00"), End: at("17:30:00")},
+		{Transition: "checkpoint002", Cell: "P", Start: at("17:30:21"), End: at("17:31:42")},
+		{Transition: "passage003", Cell: "S", Start: at("17:31:50"), End: at("17:50:00")},
+		{Transition: "carrousel", Cell: "C", Start: at("17:50:10"), End: at("17:55:00")},
+	}
+	traj, err := NewTrajectory("visitorF5", tr, NewAnnotations("activity", "visit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traj
+}
+
+func TestNewEpisode(t *testing.T) {
+	traj := figure5Trajectory(t)
+	longEnough := func(min time.Duration) Predicate {
+		return func(tj Trajectory) bool { return tj.Duration() >= min }
+	}
+	ep, err := NewEpisode(traj, 0, 3, "buy souvenir",
+		NewAnnotations("goals", "buySouvenir"), longEnough(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Label != "buy souvenir" || len(ep.Trace) != 3 {
+		t.Errorf("episode = %+v", ep)
+	}
+	if !ep.IsSubtrajectoryOf(traj) {
+		t.Error("episode must be a subtrajectory")
+	}
+	// Def 3.4 (2): annotations must differ from the parent's.
+	if _, err := NewEpisode(traj, 0, 3, "x", NewAnnotations("activity", "visit"), nil); !errors.Is(err, ErrEpisodeSameAnn) {
+		t.Errorf("same annotations: %v", err)
+	}
+	// Def 3.4 (3): the predicate must hold.
+	never := func(Trajectory) bool { return false }
+	if _, err := NewEpisode(traj, 0, 3, "x", NewAnnotations("g", "v"), never); !errors.Is(err, ErrEpisodePredicate) {
+		t.Errorf("failed predicate: %v", err)
+	}
+	// Def 3.4 (1): must be a proper subtrajectory.
+	if _, err := NewEpisode(traj, 0, 4, "x", NewAnnotations("g", "v"), nil); !errors.Is(err, ErrNotSubtrajectory) {
+		t.Errorf("whole trace: %v", err)
+	}
+}
+
+func TestFigure5OverlappingEpisodes(t *testing.T) {
+	// The paper's example: the whole E→P→S→C part is an "exit museum"
+	// episode while its E→P→S prefix is simultaneously a "buy souvenir"
+	// episode. Both belong to one episodic segmentation.
+	traj := figure5Trajectory(t)
+
+	exit, err := NewEpisode(traj, 1, 4, "exit museum",
+		NewAnnotations("goals", "museumExit"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buy, err := NewEpisode(traj, 0, 3, "buy souvenir",
+		NewAnnotations("goals", "buySouvenir"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := Segmentation{Parent: traj, Episodes: []Episode{exit, buy}}
+	if err := seg.Validate(); err != nil {
+		t.Fatalf("segmentation: %v", err)
+	}
+	pairs := seg.OverlappingPairs()
+	if len(pairs) != 1 || pairs[0] != [2]int{0, 1} {
+		t.Errorf("overlapping pairs = %v; the two episodes must overlap in time", pairs)
+	}
+}
+
+func TestSegmentationCoverage(t *testing.T) {
+	traj := figure5Trajectory(t)
+	prefix, _ := NewEpisode(traj, 0, 2, "p", NewAnnotations("g", "a"), nil)
+	suffix, _ := NewEpisode(traj, 2, 4, "s", NewAnnotations("g", "b"), nil)
+	full := Segmentation{Parent: traj, Episodes: []Episode{prefix, suffix}}
+	if !full.Covers() {
+		t.Error("prefix+suffix must cover")
+	}
+	if err := full.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	gappy := Segmentation{Parent: traj, Episodes: []Episode{prefix}}
+	if gappy.Covers() {
+		t.Error("prefix alone must not cover")
+	}
+	if err := gappy.Validate(); err == nil {
+		t.Error("non-covering segmentation must fail validation")
+	}
+	empty := Segmentation{Parent: traj}
+	if empty.Covers() {
+		t.Error("empty segmentation cannot cover")
+	}
+}
+
+func TestSegmentationValidateRejectsForeignEpisode(t *testing.T) {
+	traj := figure5Trajectory(t)
+	other, _ := NewTrajectory("someone-else", Trace{
+		{Cell: "X", Start: at("17:00:00"), End: at("17:55:00")},
+	}, NewAnnotations("a", "b"))
+	foreign := Episode{Trajectory: other, Label: "foreign"}
+	seg := Segmentation{Parent: traj, Episodes: []Episode{foreign}}
+	if err := seg.Validate(); !errors.Is(err, ErrNotSubtrajectory) {
+		t.Errorf("foreign episode: %v", err)
+	}
+}
+
+func TestMaximalEpisodes(t *testing.T) {
+	traj := figure5Trajectory(t)
+	// Stays longer than 10 minutes: E (30m) and S (18m): two separate runs.
+	long := func(p PresenceInterval) bool { return p.Duration() > 10*time.Minute }
+	eps := MaximalEpisodes(traj, long, "long stay", NewAnnotations("kind", "longStay"))
+	if len(eps) != 2 {
+		t.Fatalf("episodes = %d", len(eps))
+	}
+	if eps[0].Trace[0].Cell != "E" || eps[1].Trace[0].Cell != "S" {
+		t.Errorf("episode cells = %q, %q", eps[0].Trace[0].Cell, eps[1].Trace[0].Cell)
+	}
+	// A predicate true everywhere yields no PROPER subtrajectory: no episode.
+	always := func(PresenceInterval) bool { return true }
+	if eps := MaximalEpisodes(traj, always, "all", NewAnnotations("k", "v")); len(eps) != 0 {
+		t.Errorf("whole-trace run must yield no episodes, got %d", len(eps))
+	}
+	// A predicate true nowhere yields none either.
+	nowhere := func(PresenceInterval) bool { return false }
+	if eps := MaximalEpisodes(traj, nowhere, "none", NewAnnotations("k", "v")); len(eps) != 0 {
+		t.Errorf("expected no episodes, got %d", len(eps))
+	}
+}
+
+func TestEpisodesByCells(t *testing.T) {
+	traj := figure5Trajectory(t)
+	eps := EpisodesByCells(traj, map[string]bool{"E": true, "P": true, "S": true},
+		"buy souvenir", NewAnnotations("goals", "buySouvenir"))
+	if len(eps) != 1 {
+		t.Fatalf("episodes = %d", len(eps))
+	}
+	if got := eps[0].Trace.Cells(); len(got) != 3 || got[0] != "E" || got[2] != "S" {
+		t.Errorf("cells = %v", got)
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sitm/internal/indoor"
+)
+
+// GapKind classifies temporal gaps in a movement track greater than the
+// sampling rate (§2.2, after Parent et al. 2013): accidental "holes"
+// (sensor coverage gaps, app dropouts) versus intentional "semantic gaps"
+// (e.g. the MO left the building).
+type GapKind int
+
+// Gap kinds.
+const (
+	Hole GapKind = iota
+	SemanticGap
+)
+
+// String implements fmt.Stringer.
+func (k GapKind) String() string {
+	if k == SemanticGap {
+		return "semantic gap"
+	}
+	return "hole"
+}
+
+// Gap is a temporal discontinuity between consecutive presence intervals.
+type Gap struct {
+	After    int // index of the tuple preceding the gap
+	Start    time.Time
+	End      time.Time
+	Kind     GapKind
+	Duration time.Duration
+}
+
+// GapClassifier decides the kind of a gap; the default classifier treats
+// gaps bounded by exit-class cells as semantic (the MO plausibly left) and
+// everything else as a hole.
+type GapClassifier func(before, after PresenceInterval, d time.Duration) GapKind
+
+// FindGaps returns the gaps of tr longer than minDur, classified by cls
+// (nil = every gap is a Hole).
+func (tr Trace) FindGaps(minDur time.Duration, cls GapClassifier) []Gap {
+	var out []Gap
+	for i := 1; i < len(tr); i++ {
+		gap := tr[i].Start.Sub(tr[i-1].End)
+		if gap <= minDur {
+			continue
+		}
+		g := Gap{After: i - 1, Start: tr[i-1].End, End: tr[i].Start, Duration: gap}
+		if cls != nil {
+			g.Kind = cls(tr[i-1], tr[i], gap)
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// Inference records one reconstructed presence interval: the paper's Fig 6
+// example infers a stay in Zone 60888 between detections in 60887 and
+// 60890, adding an extra tuple to the sequence.
+type Inference struct {
+	Index int              // index of the inserted tuple in the output trace
+	Tuple PresenceInterval // the inferred tuple
+	From  string           // detected cell before the inferred stretch
+	To    string           // detected cell after
+}
+
+// AnnInferred is the annotation key marking inferred tuples.
+const AnnInferred = "inferred"
+
+// InferMissing reconstructs undetected presence intervals: whenever two
+// consecutive tuples are not directly accessible in the space graph, the
+// shortest accessibility path between them is inserted as inferred tuples,
+// splitting the inter-detection time uniformly across the inserted cells.
+// Inferred tuples carry the annotation {inferred:[true]} plus any extra
+// annotations supplied (the paper's example adds goals such as
+// "cloakroomPickup" derived from cell semantics).
+//
+// Traces whose consecutive cells are already accessible are returned
+// unchanged. A pair with no accessibility path at all is left as a gap
+// (and reported in the error only if failHard is set).
+func InferMissing(sg *indoor.SpaceGraph, tr Trace, extra Annotations, failHard bool) (Trace, []Inference, error) {
+	if len(tr) < 2 {
+		return tr.Clone(), nil, nil
+	}
+	layerOf := func(cell string) (string, error) {
+		c, ok := sg.Cell(cell)
+		if !ok {
+			return "", fmt.Errorf("%w: %q", ErrUnknownCell, cell)
+		}
+		return c.Layer, nil
+	}
+
+	out := make(Trace, 0, len(tr))
+	var infs []Inference
+	out = append(out, tr[0])
+	for i := 1; i < len(tr); i++ {
+		prev := tr[i-1]
+		cur := tr[i]
+		if cur.Cell == prev.Cell || sg.Accessible(prev.Cell, cur.Cell) {
+			out = append(out, cur)
+			continue
+		}
+		la, err := layerOf(prev.Cell)
+		if err != nil {
+			return nil, nil, err
+		}
+		lb, err := layerOf(cur.Cell)
+		if err != nil {
+			return nil, nil, err
+		}
+		if la != lb {
+			if failHard {
+				return nil, nil, fmt.Errorf("core: tuples %d/%d cross layers %q/%q", i-1, i, la, lb)
+			}
+			out = append(out, cur)
+			continue
+		}
+		ag, err := sg.AccessGraph(la)
+		if err != nil {
+			return nil, nil, err
+		}
+		path, err := ag.ShortestPath(prev.Cell, cur.Cell)
+		if err != nil {
+			if failHard {
+				return nil, nil, fmt.Errorf("core: no accessibility path %s → %s: %v", prev.Cell, cur.Cell, err)
+			}
+			out = append(out, cur)
+			continue
+		}
+		middle := path.Nodes[1 : len(path.Nodes)-1]
+		gapStart, gapEnd := prev.End, cur.Start
+		gapDur := gapEnd.Sub(gapStart)
+		if gapDur < 0 {
+			gapDur = 0
+			gapEnd = gapStart
+		}
+		// The inferred stays tile the whole unobserved window, matching the
+		// paper's example where zone60888's tuple spans exactly the time
+		// between the two detections.
+		per := gapDur / time.Duration(len(middle))
+		at := gapStart
+		for k, cell := range middle {
+			end := at.Add(per)
+			if k == len(middle)-1 {
+				end = gapEnd // absorb integer-division remainder
+			}
+			ann := NewAnnotations(AnnInferred, "true").Merge(extra)
+			tuple := PresenceInterval{
+				Transition: path.Edges[k].ID,
+				Cell:       cell,
+				Start:      at,
+				End:        end,
+				Ann:        ann,
+			}
+			infs = append(infs, Inference{Index: len(out), Tuple: tuple, From: prev.Cell, To: cur.Cell})
+			out = append(out, tuple)
+			at = end
+		}
+		// The entering transition of the detected tuple is now known: the
+		// last edge of the reconstructed path.
+		if cur.Transition == "" && len(path.Edges) > 0 {
+			cur.Transition = path.Edges[len(path.Edges)-1].ID
+		}
+		out = append(out, cur)
+	}
+	return out, infs, nil
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFindGaps(t *testing.T) {
+	tr := Trace{
+		{Cell: "a", Start: at("10:00:00"), End: at("10:10:00")},
+		{Cell: "b", Start: at("10:10:05"), End: at("10:20:00")}, // 5s gap
+		{Cell: "c", Start: at("11:20:00"), End: at("11:30:00")}, // 1h gap
+	}
+	gaps := tr.FindGaps(time.Minute, nil)
+	if len(gaps) != 1 {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	g := gaps[0]
+	if g.After != 1 || g.Duration != time.Hour || g.Kind != Hole {
+		t.Errorf("gap = %+v", g)
+	}
+	// With a zero threshold the 5s gap is also reported.
+	if gaps := tr.FindGaps(0, nil); len(gaps) != 2 {
+		t.Errorf("gaps(0) = %d", len(gaps))
+	}
+	// A classifier can mark gaps bounded by exit cells as semantic.
+	cls := func(before, after PresenceInterval, d time.Duration) GapKind {
+		if before.Cell == "b" { // pretend b is an exit zone
+			return SemanticGap
+		}
+		return Hole
+	}
+	gaps = tr.FindGaps(time.Minute, cls)
+	if gaps[0].Kind != SemanticGap {
+		t.Errorf("classified kind = %v", gaps[0].Kind)
+	}
+	if Hole.String() != "hole" || SemanticGap.String() != "semantic gap" {
+		t.Error("GapKind strings")
+	}
+}
+
+func TestInferMissingFigure6(t *testing.T) {
+	// The paper's Figure 6 inference: detected in Zone60887 (E) for δt1,
+	// then in Zone60890 (S) for δt2, with no direct E→S accessibility. The
+	// visitor "must have passed from Zone60888 (P)": an extra tuple is
+	// added, e.g. (checkpoint002, zone60888, 17:30:21, 17:31:42, {...}).
+	sg := louvreMiniGraph(t)
+	tr := Trace{
+		{Cell: "zone60887", Start: at("17:00:00"), End: at("17:30:21")},
+		{Cell: "zone60890", Start: at("17:31:42"), End: at("17:33:00")},
+	}
+	extra := NewAnnotations("goals", "cloakroomPickup", "goals", "souvenirBuy", "goals", "museumExit")
+	out, infs, err := InferMissing(sg, tr, extra, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("inferred trace = %v", out)
+	}
+	mid := out[1]
+	if mid.Cell != "zone60888" {
+		t.Errorf("inferred cell = %q, want zone60888", mid.Cell)
+	}
+	if mid.Transition != "checkpoint002" {
+		t.Errorf("inferred transition = %q, want checkpoint002", mid.Transition)
+	}
+	if !mid.Start.Equal(at("17:30:21")) || !mid.End.Equal(at("17:31:42")) {
+		t.Errorf("inferred span = %v → %v", mid.Start, mid.End)
+	}
+	if !mid.Ann.Has(AnnInferred, "true") || !mid.Ann.Has("goals", "cloakroomPickup") {
+		t.Errorf("inferred annotations = %v", mid.Ann)
+	}
+	if len(infs) != 1 || infs[0].From != "zone60887" || infs[0].To != "zone60890" {
+		t.Errorf("inference records = %+v", infs)
+	}
+	// The arrival tuple's transition is reconstructed too.
+	if out[2].Transition != "passage003" {
+		t.Errorf("arrival transition = %q", out[2].Transition)
+	}
+	// The reconstructed trace is now strictly valid.
+	if bad := out.CheckAccessibility(sg); len(bad) != 0 {
+		t.Errorf("reconstructed trace still inaccessible: %v", bad)
+	}
+}
+
+func TestInferMissingNoGap(t *testing.T) {
+	sg := louvreMiniGraph(t)
+	tr := Trace{
+		{Cell: "zone60887", Start: at("17:00:00"), End: at("17:30:00")},
+		{Cell: "zone60888", Start: at("17:30:00"), End: at("17:31:00")},
+	}
+	out, infs, err := InferMissing(sg, tr, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || len(infs) != 0 {
+		t.Errorf("no inference expected: %v %v", out, infs)
+	}
+}
+
+func TestInferMissingMultiHop(t *testing.T) {
+	// E … C requires two inferred tuples (P and S), splitting the gap time.
+	sg := louvreMiniGraph(t)
+	tr := Trace{
+		{Cell: "zone60887", Start: at("17:00:00"), End: at("17:30:00")},
+		{Cell: "zoneC", Start: at("17:33:00"), End: at("17:34:00")},
+	}
+	out, infs, err := InferMissing(sg, tr, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 || len(infs) != 2 {
+		t.Fatalf("out=%d infs=%d", len(out), len(infs))
+	}
+	if out[1].Cell != "zone60888" || out[2].Cell != "zone60890" {
+		t.Errorf("inferred cells = %q, %q", out[1].Cell, out[2].Cell)
+	}
+	// The 3-minute unobserved window tiles over the 2 inferred cells.
+	if out[1].Duration() != 90*time.Second || out[2].Duration() != 90*time.Second {
+		t.Errorf("inferred durations = %v, %v", out[1].Duration(), out[2].Duration())
+	}
+	if !out[1].Start.Equal(at("17:30:00")) || !out[2].End.Equal(at("17:33:00")) {
+		t.Errorf("inferred tiling = %v → %v", out[1].Start, out[2].End)
+	}
+	if bad := out.CheckAccessibility(sg); len(bad) != 0 {
+		t.Errorf("reconstructed trace invalid: %v", bad)
+	}
+}
+
+func TestInferMissingUnreachable(t *testing.T) {
+	// C → E is impossible (exit is one-way): failHard surfaces the error,
+	// lenient mode keeps the trace as-is.
+	sg := louvreMiniGraph(t)
+	tr := Trace{
+		{Cell: "zoneC", Start: at("17:00:00"), End: at("17:01:00")},
+		{Cell: "zone60887", Start: at("17:10:00"), End: at("17:11:00")},
+	}
+	if _, _, err := InferMissing(sg, tr, nil, true); err == nil {
+		t.Error("failHard must report unreachable pairs")
+	}
+	out, infs, err := InferMissing(sg, tr, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || len(infs) != 0 {
+		t.Errorf("lenient mode must pass through: %v %v", out, infs)
+	}
+}
+
+func TestInferMissingUnknownCell(t *testing.T) {
+	sg := louvreMiniGraph(t)
+	tr := Trace{
+		{Cell: "zone60887", Start: at("17:00:00"), End: at("17:01:00")},
+		{Cell: "ghost", Start: at("17:10:00"), End: at("17:11:00")},
+	}
+	if _, _, err := InferMissing(sg, tr, nil, true); err == nil {
+		t.Error("unknown cell must error")
+	}
+}
+
+func TestInferMissingShortTrace(t *testing.T) {
+	sg := louvreMiniGraph(t)
+	tr := Trace{{Cell: "zone60887", Start: at("17:00:00"), End: at("17:01:00")}}
+	out, infs, err := InferMissing(sg, tr, nil, true)
+	if err != nil || len(out) != 1 || len(infs) != 0 {
+		t.Errorf("single-tuple trace: %v %v %v", out, infs, err)
+	}
+}
+
+func TestInferMissingZeroGap(t *testing.T) {
+	// Touching intervals (no time between detections) still get an inferred
+	// zero-duration tuple rather than a crash.
+	sg := louvreMiniGraph(t)
+	tr := Trace{
+		{Cell: "zone60887", Start: at("17:00:00"), End: at("17:30:00")},
+		{Cell: "zone60890", Start: at("17:30:00"), End: at("17:31:00")},
+	}
+	out, infs, err := InferMissing(sg, tr, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || len(infs) != 1 {
+		t.Fatalf("out=%d infs=%d", len(out), len(infs))
+	}
+	if out[1].Duration() != 0 {
+		t.Errorf("zero gap must yield zero-duration inference, got %v", out[1].Duration())
+	}
+}

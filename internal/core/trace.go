@@ -1,0 +1,250 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sitm/internal/indoor"
+)
+
+// PresenceInterval is one tuple (e_i, v_i, tstart_i, tend_i, A_i) of a
+// semantic trajectory trace (Def 3.2): the MO entered cell Cell through
+// Transition (the boundary crossed — which door, staircase or elevator;
+// empty when unknown or for the first tuple), stayed from Start to End, and
+// the stay carries annotations Ann. TransitionAnn carries annotations on
+// the transition itself (footnote 2's e^sem_i extension).
+type PresenceInterval struct {
+	Transition    string
+	Cell          string
+	Start, End    time.Time
+	Ann           Annotations
+	TransitionAnn Annotations
+}
+
+// Duration returns the stay duration.
+func (p PresenceInterval) Duration() time.Duration { return p.End.Sub(p.Start) }
+
+// String renders the tuple in the paper's notation:
+// (door012, hall003, 11:32:31, 11:40:00, ∅).
+func (p PresenceInterval) String() string {
+	tr := p.Transition
+	if tr == "" {
+		tr = "_"
+	}
+	return fmt.Sprintf("(%s, %s, %s, %s, %s)",
+		tr, p.Cell, p.Start.Format("15:04:05"), p.End.Format("15:04:05"), p.Ann)
+}
+
+// Trace is the spatiotemporal aspect of a semantic trajectory: a sequence
+// of presence intervals ordered by start time.
+type Trace []PresenceInterval
+
+// Errors reported by trace validation.
+var (
+	ErrEmptyTrace       = errors.New("core: empty trace")
+	ErrIntervalInverted = errors.New("core: presence interval ends before it starts")
+	ErrOutOfOrder       = errors.New("core: presence intervals out of order")
+	ErrOverlap          = errors.New("core: presence intervals overlap")
+)
+
+// ValidateOptions tunes trace validation. Raw indoor tracking commonly
+// yields slightly overlapping consecutive stays (sensor detection areas
+// overlap — the paper's own trace example overlaps by 4 s), so overlap
+// tolerance is configurable.
+type ValidateOptions struct {
+	// AllowOverlap tolerates consecutive intervals whose time spans overlap
+	// by at most MaxOverlap (0 means any overlap length).
+	AllowOverlap bool
+	MaxOverlap   time.Duration
+}
+
+// Validate checks ordering invariants: every interval has Start ≤ End, and
+// consecutive intervals have non-decreasing starts; overlaps are rejected
+// unless allowed by opts.
+func (tr Trace) Validate(opts ValidateOptions) error {
+	if len(tr) == 0 {
+		return ErrEmptyTrace
+	}
+	for i, p := range tr {
+		if p.End.Before(p.Start) {
+			return fmt.Errorf("%w: tuple %d (%s)", ErrIntervalInverted, i, p.Cell)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := tr[i-1]
+		if p.Start.Before(prev.Start) {
+			return fmt.Errorf("%w: tuple %d starts before tuple %d", ErrOutOfOrder, i, i-1)
+		}
+		if p.Start.Before(prev.End) {
+			overlap := prev.End.Sub(p.Start)
+			if !opts.AllowOverlap || (opts.MaxOverlap > 0 && overlap > opts.MaxOverlap) {
+				return fmt.Errorf("%w: tuples %d/%d overlap by %v", ErrOverlap, i-1, i, overlap)
+			}
+		}
+	}
+	return nil
+}
+
+// Start returns the trace's first start time (zero for empty traces).
+func (tr Trace) Start() time.Time {
+	if len(tr) == 0 {
+		return time.Time{}
+	}
+	return tr[0].Start
+}
+
+// End returns the trace's last end time (zero for empty traces).
+func (tr Trace) End() time.Time {
+	if len(tr) == 0 {
+		return time.Time{}
+	}
+	end := tr[0].End
+	for _, p := range tr[1:] {
+		if p.End.After(end) {
+			end = p.End
+		}
+	}
+	return end
+}
+
+// Duration returns End − Start.
+func (tr Trace) Duration() time.Duration { return tr.End().Sub(tr.Start()) }
+
+// Cells returns the cell sequence of the trace (with consecutive
+// duplicates preserved).
+func (tr Trace) Cells() []string {
+	out := make([]string, len(tr))
+	for i, p := range tr {
+		out[i] = p.Cell
+	}
+	return out
+}
+
+// DistinctCells returns the set of visited cells in first-visit order.
+func (tr Trace) DistinctCells() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range tr {
+		if !seen[p.Cell] {
+			seen[p.Cell] = true
+			out = append(out, p.Cell)
+		}
+	}
+	return out
+}
+
+// TimeIn returns the total presence duration accumulated in the given cell.
+func (tr Trace) TimeIn(cell string) time.Duration {
+	var d time.Duration
+	for _, p := range tr {
+		if p.Cell == cell {
+			d += p.Duration()
+		}
+	}
+	return d
+}
+
+// Transitions returns the number of cell changes in the trace (tuples whose
+// cell differs from the previous tuple's cell).
+func (tr Trace) Transitions() int {
+	n := 0
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Cell != tr[i-1].Cell {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the trace.
+func (tr Trace) Clone() Trace {
+	out := make(Trace, len(tr))
+	for i, p := range tr {
+		p.Ann = p.Ann.Clone()
+		p.TransitionAnn = p.TransitionAnn.Clone()
+		out[i] = p
+	}
+	return out
+}
+
+// SplitAt implements the event-based model of §3.3: the interval at index i
+// is split at time t; the first part keeps the original annotations, the
+// second part — same cell, no entering transition — carries after. The
+// paper's example: a visitor's goal set changes from {visit} to
+// {visit,buy} while staying in room006.
+func (tr Trace) SplitAt(i int, t time.Time, after Annotations) (Trace, error) {
+	if i < 0 || i >= len(tr) {
+		return nil, fmt.Errorf("core: split index %d out of range [0,%d)", i, len(tr))
+	}
+	p := tr[i]
+	if !t.After(p.Start) || !t.Before(p.End) {
+		return nil, fmt.Errorf("core: split time %s outside (%s, %s)",
+			t.Format(time.RFC3339), p.Start.Format(time.RFC3339), p.End.Format(time.RFC3339))
+	}
+	out := make(Trace, 0, len(tr)+1)
+	out = append(out, tr[:i]...)
+	first := p
+	first.End = t
+	second := PresenceInterval{
+		Transition: "", // no physical transition: a semantic event
+		Cell:       p.Cell,
+		Start:      t,
+		End:        p.End,
+		Ann:        after.Clone(),
+	}
+	out = append(out, first, second)
+	out = append(out, tr[i+1:]...)
+	return out, nil
+}
+
+// Coalesce merges consecutive tuples that share the same cell and equal
+// annotations (the inverse of event-splitting), keeping the first tuple's
+// transition. Tuples must be contiguous (second starts when first ends).
+func (tr Trace) Coalesce() Trace {
+	if len(tr) == 0 {
+		return nil
+	}
+	out := Trace{tr[0]}
+	for _, p := range tr[1:] {
+		last := &out[len(out)-1]
+		if p.Cell == last.Cell && p.Ann.Equal(last.Ann) && !p.Start.After(last.End) {
+			if p.End.After(last.End) {
+				last.End = p.End
+			}
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// CheckAccessibility verifies every cell change of the trace against the
+// space graph's directed accessibility NRG and returns the violating tuple
+// indexes (empty when the trace is topologically plausible). The Figure 6
+// workflow uses this to spot detection gaps: E→S with no E→S edge.
+func (tr Trace) CheckAccessibility(sg *indoor.SpaceGraph) []int {
+	var bad []int
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Cell == tr[i-1].Cell {
+			continue
+		}
+		if !sg.Accessible(tr[i-1].Cell, tr[i].Cell) {
+			bad = append(bad, i)
+		}
+	}
+	return bad
+}
+
+// String renders the trace in the paper's set notation.
+func (tr Trace) String() string {
+	s := "{ "
+	for i, p := range tr {
+		if i > 0 {
+			s += ", "
+		}
+		s += p.String()
+	}
+	return s + " }"
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"sitm/internal/indoor"
+)
+
+var day = time.Date(2017, 2, 14, 0, 0, 0, 0, time.UTC)
+
+// at converts "HH:MM:SS" into a timestamp on the test day.
+func at(clock string) time.Time {
+	t, err := time.Parse("15:04:05", clock)
+	if err != nil {
+		panic(err)
+	}
+	return day.Add(time.Duration(t.Hour())*time.Hour +
+		time.Duration(t.Minute())*time.Minute +
+		time.Duration(t.Second())*time.Second)
+}
+
+// paperTrace reproduces the §3.3 museum example:
+// { (_,room001,11:30:00,11:32:35,∅), (door012,hall003,11:32:31,11:40:00,∅),
+//
+//	(door005,room006,14:12:00,14:28:00,∅) }
+//
+// Note the intentional 4-second overlap between the first two tuples.
+func paperTrace() Trace {
+	return Trace{
+		{Transition: "", Cell: "room001", Start: at("11:30:00"), End: at("11:32:35")},
+		{Transition: "door012", Cell: "hall003", Start: at("11:32:31"), End: at("11:40:00")},
+		{Transition: "door005", Cell: "room006", Start: at("14:12:00"), End: at("14:28:00")},
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	tr := paperTrace()
+	if err := tr.Validate(ValidateOptions{AllowOverlap: true}); err != nil {
+		t.Errorf("paper trace must validate with overlap allowed: %v", err)
+	}
+	if err := tr.Validate(ValidateOptions{}); !errors.Is(err, ErrOverlap) {
+		t.Errorf("strict validation must flag the 4s overlap: %v", err)
+	}
+	if err := tr.Validate(ValidateOptions{AllowOverlap: true, MaxOverlap: time.Second}); !errors.Is(err, ErrOverlap) {
+		t.Errorf("1s tolerance must flag 4s overlap: %v", err)
+	}
+	if err := tr.Validate(ValidateOptions{AllowOverlap: true, MaxOverlap: 10 * time.Second}); err != nil {
+		t.Errorf("10s tolerance must accept: %v", err)
+	}
+	if err := (Trace{}).Validate(ValidateOptions{}); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("empty: %v", err)
+	}
+	bad := Trace{{Cell: "x", Start: at("12:00:00"), End: at("11:00:00")}}
+	if err := bad.Validate(ValidateOptions{}); !errors.Is(err, ErrIntervalInverted) {
+		t.Errorf("inverted: %v", err)
+	}
+	ooo := Trace{
+		{Cell: "a", Start: at("12:00:00"), End: at("12:10:00")},
+		{Cell: "b", Start: at("11:00:00"), End: at("11:10:00")},
+	}
+	if err := ooo.Validate(ValidateOptions{}); !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("out of order: %v", err)
+	}
+}
+
+func TestTraceAccessors(t *testing.T) {
+	tr := paperTrace()
+	if !tr.Start().Equal(at("11:30:00")) {
+		t.Errorf("Start = %v", tr.Start())
+	}
+	if !tr.End().Equal(at("14:28:00")) {
+		t.Errorf("End = %v", tr.End())
+	}
+	if tr.Duration() != 2*time.Hour+58*time.Minute {
+		t.Errorf("Duration = %v", tr.Duration())
+	}
+	if got := tr.Cells(); len(got) != 3 || got[1] != "hall003" {
+		t.Errorf("Cells = %v", got)
+	}
+	if got := tr.Transitions(); got != 2 {
+		t.Errorf("Transitions = %d", got)
+	}
+	if got := tr.TimeIn("room006"); got != 16*time.Minute {
+		t.Errorf("TimeIn = %v", got)
+	}
+	if got := tr.TimeIn("nowhere"); got != 0 {
+		t.Errorf("TimeIn(nowhere) = %v", got)
+	}
+	var empty Trace
+	if !empty.Start().IsZero() || !empty.End().IsZero() {
+		t.Error("empty trace has zero bounds")
+	}
+}
+
+func TestTraceDistinctCells(t *testing.T) {
+	tr := Trace{
+		{Cell: "a", Start: at("10:00:00"), End: at("10:01:00")},
+		{Cell: "b", Start: at("10:01:00"), End: at("10:02:00")},
+		{Cell: "a", Start: at("10:02:00"), End: at("10:03:00")},
+	}
+	if got := tr.DistinctCells(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("DistinctCells = %v", got)
+	}
+	if got := tr.Transitions(); got != 2 {
+		t.Errorf("Transitions = %d", got)
+	}
+}
+
+func TestTraceSplitAt(t *testing.T) {
+	// The paper's event-based example: the room006 stay splits at 14:21:45/46
+	// when the visitor's goals change from {visit} to {visit, buy}.
+	tr := Trace{
+		{Transition: "door005", Cell: "room006", Start: at("14:12:00"), End: at("14:28:00"),
+			Ann: NewAnnotations("goals", "visit")},
+	}
+	split, err := tr.SplitAt(0, at("14:21:46"), NewAnnotations("goals", "visit", "goals", "buy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split) != 2 {
+		t.Fatalf("len = %d", len(split))
+	}
+	if !split[0].End.Equal(at("14:21:46")) || !split[1].Start.Equal(at("14:21:46")) {
+		t.Error("split boundary wrong")
+	}
+	if split[1].Transition != "" {
+		t.Error("second part must have no physical transition")
+	}
+	if !split[1].Ann.Has("goals", "buy") || split[0].Ann.Has("goals", "buy") {
+		t.Error("annotations wrong after split")
+	}
+	if split[0].Cell != "room006" || split[1].Cell != "room006" {
+		t.Error("cell must be preserved")
+	}
+	// Bad indexes and times.
+	if _, err := tr.SplitAt(5, at("14:20:00"), nil); err == nil {
+		t.Error("out-of-range index must fail")
+	}
+	if _, err := tr.SplitAt(0, at("14:12:00"), nil); err == nil {
+		t.Error("split at start must fail")
+	}
+	if _, err := tr.SplitAt(0, at("14:28:00"), nil); err == nil {
+		t.Error("split at end must fail")
+	}
+	if _, err := tr.SplitAt(0, at("15:00:00"), nil); err == nil {
+		t.Error("split outside must fail")
+	}
+}
+
+func TestTraceCoalesce(t *testing.T) {
+	ann := NewAnnotations("goals", "visit")
+	tr := Trace{
+		{Cell: "a", Start: at("10:00:00"), End: at("10:05:00"), Ann: ann},
+		{Cell: "a", Start: at("10:05:00"), End: at("10:09:00"), Ann: ann.Clone()},
+		{Cell: "b", Start: at("10:09:00"), End: at("10:12:00"), Ann: ann.Clone()},
+	}
+	got := tr.Coalesce()
+	if len(got) != 2 {
+		t.Fatalf("coalesced = %v", got)
+	}
+	if !got[0].End.Equal(at("10:09:00")) {
+		t.Errorf("merged end = %v", got[0].End)
+	}
+	// Different annotations must NOT merge (event-based model).
+	tr[1].Ann = NewAnnotations("goals", "buy")
+	if got := tr.Coalesce(); len(got) != 3 {
+		t.Errorf("annotation change must block coalescing: %v", got)
+	}
+	if got := (Trace{}).Coalesce(); got != nil {
+		t.Error("empty coalesce")
+	}
+	// Split followed by coalesce with equal annotations is identity.
+	tr2 := Trace{{Cell: "x", Start: at("10:00:00"), End: at("11:00:00"), Ann: ann}}
+	split, err := tr2.SplitAt(0, at("10:30:00"), ann.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := split.Coalesce()
+	if len(back) != 1 || !back[0].End.Equal(at("11:00:00")) {
+		t.Errorf("split∘coalesce ≠ id: %v", back)
+	}
+}
+
+func TestTraceCheckAccessibility(t *testing.T) {
+	sg := indoor.NewSpaceGraph()
+	if err := sg.AddLayer(indoor.Layer{ID: "zone"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E", "P", "S"} {
+		if err := sg.AddCell(indoor.Cell{ID: id, Layer: "zone"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sg.AddBiAccess("E", "P", "b1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sg.AddBiAccess("P", "S", "b2"); err != nil {
+		t.Fatal(err)
+	}
+	ok := Trace{
+		{Cell: "E", Start: at("10:00:00"), End: at("10:10:00")},
+		{Cell: "P", Start: at("10:10:00"), End: at("10:11:00")},
+		{Cell: "S", Start: at("10:11:00"), End: at("10:20:00")},
+	}
+	if bad := ok.CheckAccessibility(sg); len(bad) != 0 {
+		t.Errorf("valid trace flagged: %v", bad)
+	}
+	sparse := Trace{
+		{Cell: "E", Start: at("10:00:00"), End: at("10:10:00")},
+		{Cell: "S", Start: at("10:12:00"), End: at("10:20:00")},
+	}
+	if bad := sparse.CheckAccessibility(sg); len(bad) != 1 || bad[0] != 1 {
+		t.Errorf("E→S must be flagged: %v", bad)
+	}
+	same := Trace{
+		{Cell: "E", Start: at("10:00:00"), End: at("10:10:00")},
+		{Cell: "E", Start: at("10:12:00"), End: at("10:20:00")},
+	}
+	if bad := same.CheckAccessibility(sg); len(bad) != 0 {
+		t.Errorf("same-cell must not be flagged: %v", bad)
+	}
+}
+
+func TestTraceAndIntervalString(t *testing.T) {
+	tr := paperTrace()
+	s := tr.String()
+	for _, want := range []string{"(_, room001, 11:30:00, 11:32:35, ∅)", "door012", "room006"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace string missing %q in %q", want, s)
+		}
+	}
+	if tr[0].Duration() != 2*time.Minute+35*time.Second {
+		t.Errorf("Duration = %v", tr[0].Duration())
+	}
+}
+
+func TestTraceClone(t *testing.T) {
+	tr := paperTrace()
+	tr[0].Ann = NewAnnotations("k", "v")
+	cp := tr.Clone()
+	cp[0].Ann.Add("k", "w")
+	cp[1].Cell = "changed"
+	if tr[0].Ann.Has("k", "w") || tr[1].Cell == "changed" {
+		t.Error("Clone must be deep")
+	}
+}

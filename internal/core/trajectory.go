@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sitm/internal/indoor"
+)
+
+// Trajectory is a semantic trajectory per Definition 3.1: the couple of a
+// spatiotemporal trace and a non-empty set of semantic annotations
+// describing the trajectory in its entirety (typically an activity, a
+// behavior, or a goal).
+//
+// T_{IDmo, tstart, tend} = (trace_{IDmo, tstart, tend}, A_traj)
+type Trajectory struct {
+	MO    string // IDmo, the moving-object identifier
+	Trace Trace
+	Ann   Annotations // A_traj — must be non-empty (Def 3.1)
+}
+
+// Errors reported by trajectory construction and validation.
+var (
+	ErrNoMO             = errors.New("core: trajectory requires a moving object id")
+	ErrNoTrajectoryAnn  = errors.New("core: Def 3.1 requires a non-empty annotation set")
+	ErrNotSubtrajectory = errors.New("core: not a proper subtrajectory")
+	ErrEpisodeSameAnn   = errors.New("core: episode annotations must differ from the trajectory's (Def 3.4)")
+	ErrEpisodePredicate = errors.New("core: episode predicate not satisfied (Def 3.4)")
+	ErrUnknownCell      = errors.New("core: trace references unknown cell")
+	ErrWrongLayer       = errors.New("core: trace cell outside expected layer")
+)
+
+// NewTrajectory builds and validates a semantic trajectory. The trace must
+// be non-empty and well-ordered (overlaps tolerated per the paper's own
+// example), and the annotation set non-empty.
+func NewTrajectory(mo string, trace Trace, ann Annotations) (Trajectory, error) {
+	if mo == "" {
+		return Trajectory{}, ErrNoMO
+	}
+	if err := trace.Validate(ValidateOptions{AllowOverlap: true}); err != nil {
+		return Trajectory{}, err
+	}
+	if ann.IsEmpty() {
+		return Trajectory{}, ErrNoTrajectoryAnn
+	}
+	return Trajectory{MO: mo, Trace: trace, Ann: ann}, nil
+}
+
+// Start returns tstart — the trajectory's starting timestamp.
+func (t Trajectory) Start() time.Time { return t.Trace.Start() }
+
+// End returns tend — the trajectory's ending timestamp.
+func (t Trajectory) End() time.Time { return t.Trace.End() }
+
+// Duration returns tend − tstart.
+func (t Trajectory) Duration() time.Duration { return t.Trace.Duration() }
+
+// String renders the trajectory header in the paper's notation.
+func (t Trajectory) String() string {
+	return fmt.Sprintf("T[%s, %s → %s] ann=%s trace=%s",
+		t.MO, t.Start().Format("15:04:05"), t.End().Format("15:04:05"), t.Ann, t.Trace)
+}
+
+// Subtrajectory extracts tuples [i, j) as a semantic subtrajectory
+// (Def 3.3) with its own annotation set (which may equal the parent's —
+// the paper explicitly allows this, contrary to CONSTAnT). The extraction
+// must be proper: a strict subsequence, not the whole trace.
+func (t Trajectory) Subtrajectory(i, j int, ann Annotations) (Trajectory, error) {
+	if i < 0 || j > len(t.Trace) || i >= j {
+		return Trajectory{}, fmt.Errorf("%w: range [%d,%d) of %d tuples", ErrNotSubtrajectory, i, j, len(t.Trace))
+	}
+	if j-i == len(t.Trace) {
+		return Trajectory{}, fmt.Errorf("%w: whole trace is not a proper subsequence", ErrNotSubtrajectory)
+	}
+	if ann.IsEmpty() {
+		return Trajectory{}, ErrNoTrajectoryAnn
+	}
+	return Trajectory{MO: t.MO, Trace: t.Trace[i:j:j].Clone(), Ann: ann}, nil
+}
+
+// IsSubtrajectoryOf reports whether t is a proper subtrajectory of parent
+// per Def 3.3: same MO, t's trace is a contiguous subsequence of parent's,
+// and the time window is strictly smaller on at least one side:
+// tstart ≤ t'start < t'end < tend  or  tstart < t'start < t'end ≤ tend.
+func (t Trajectory) IsSubtrajectoryOf(parent Trajectory) bool {
+	if t.MO != parent.MO || len(t.Trace) == 0 || len(t.Trace) >= len(parent.Trace) {
+		return false
+	}
+	// Find the contiguous match.
+	match := -1
+	for off := 0; off+len(t.Trace) <= len(parent.Trace); off++ {
+		ok := true
+		for k := range t.Trace {
+			if !sameTuple(parent.Trace[off+k], t.Trace[k]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			match = off
+			break
+		}
+	}
+	if match < 0 {
+		return false
+	}
+	ts, te := parent.Start(), parent.End()
+	s, e := t.Start(), t.End()
+	caseA := !s.Before(ts) && s.Before(e) && e.Before(te)
+	caseB := s.After(ts) && s.Before(e) && !e.After(te)
+	return caseA || caseB
+}
+
+func sameTuple(a, b PresenceInterval) bool {
+	return a.Cell == b.Cell && a.Transition == b.Transition &&
+		a.Start.Equal(b.Start) && a.End.Equal(b.End)
+}
+
+// ValidateAgainst checks the trace against a space graph: all cells must
+// exist; when layer is non-empty they must belong to that layer; when
+// strict is true every cell change must follow a directed accessibility
+// edge.
+func (t Trajectory) ValidateAgainst(sg *indoor.SpaceGraph, layer string, strict bool) error {
+	for i, p := range t.Trace {
+		c, ok := sg.Cell(p.Cell)
+		if !ok {
+			return fmt.Errorf("%w: tuple %d cell %q", ErrUnknownCell, i, p.Cell)
+		}
+		if layer != "" && c.Layer != layer {
+			return fmt.Errorf("%w: tuple %d cell %q in layer %q, want %q",
+				ErrWrongLayer, i, p.Cell, c.Layer, layer)
+		}
+	}
+	if strict {
+		if bad := t.Trace.CheckAccessibility(sg); len(bad) > 0 {
+			return fmt.Errorf("core: %d inaccessible transitions (first at tuple %d: %s → %s)",
+				len(bad), bad[0], t.Trace[bad[0]-1].Cell, t.Trace[bad[0]].Cell)
+		}
+	}
+	return nil
+}
+
+// RollUp maps the trajectory to a coarser layer of the space graph through
+// the hierarchy's parent links (§3.2: a static layer hierarchy allows
+// identifying room-level patterns and floor-level patterns from the same
+// dataset). Consecutive tuples that land in the same ancestor cell are
+// coalesced, accumulating the time span and merging stay annotations; the
+// first entering transition is kept.
+func (t Trajectory) RollUp(sg *indoor.SpaceGraph, targetLayer string) (Trajectory, error) {
+	out := make(Trace, 0, len(t.Trace))
+	for i, p := range t.Trace {
+		anc, ok := sg.AncestorAt(p.Cell, targetLayer)
+		if !ok {
+			return Trajectory{}, fmt.Errorf("core: tuple %d cell %q has no ancestor in layer %q",
+				i, p.Cell, targetLayer)
+		}
+		q := p
+		q.Cell = anc
+		if len(out) > 0 {
+			last := &out[len(out)-1]
+			if last.Cell == anc {
+				if q.End.After(last.End) {
+					last.End = q.End
+				}
+				last.Ann = last.Ann.Merge(q.Ann)
+				continue
+			}
+		}
+		out = append(out, q)
+	}
+	return Trajectory{MO: t.MO, Trace: out, Ann: t.Ann.Clone()}, nil
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sitm/internal/indoor"
+	"sitm/internal/topo"
+)
+
+func visitAnn() Annotations { return NewAnnotations("activity", "museum-visit") }
+
+func mustTrajectory(t *testing.T) Trajectory {
+	t.Helper()
+	traj, err := NewTrajectory("visitor42", paperTrace(), visitAnn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traj
+}
+
+func TestNewTrajectory(t *testing.T) {
+	traj := mustTrajectory(t)
+	if traj.MO != "visitor42" {
+		t.Errorf("MO = %q", traj.MO)
+	}
+	if !traj.Start().Equal(at("11:30:00")) || !traj.End().Equal(at("14:28:00")) {
+		t.Errorf("bounds = %v %v", traj.Start(), traj.End())
+	}
+	if traj.Duration() != 2*time.Hour+58*time.Minute {
+		t.Errorf("Duration = %v", traj.Duration())
+	}
+	if _, err := NewTrajectory("", paperTrace(), visitAnn()); !errors.Is(err, ErrNoMO) {
+		t.Errorf("no MO: %v", err)
+	}
+	if _, err := NewTrajectory("v", nil, visitAnn()); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("empty trace: %v", err)
+	}
+	// Def 3.1: the annotation set must be non-empty.
+	if _, err := NewTrajectory("v", paperTrace(), nil); !errors.Is(err, ErrNoTrajectoryAnn) {
+		t.Errorf("no annotations: %v", err)
+	}
+}
+
+func TestSubtrajectory(t *testing.T) {
+	traj := mustTrajectory(t)
+	sub, err := traj.Subtrajectory(0, 2, NewAnnotations("goal", "see-wing"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Trace) != 2 || sub.MO != traj.MO {
+		t.Errorf("sub = %+v", sub)
+	}
+	if !sub.IsSubtrajectoryOf(traj) {
+		t.Error("extracted subtrajectory must verify IsSubtrajectoryOf")
+	}
+	// Whole trace is not a proper subtrajectory.
+	if _, err := traj.Subtrajectory(0, 3, visitAnn()); !errors.Is(err, ErrNotSubtrajectory) {
+		t.Errorf("whole trace: %v", err)
+	}
+	if _, err := traj.Subtrajectory(2, 1, visitAnn()); !errors.Is(err, ErrNotSubtrajectory) {
+		t.Errorf("inverted range: %v", err)
+	}
+	if _, err := traj.Subtrajectory(-1, 1, visitAnn()); !errors.Is(err, ErrNotSubtrajectory) {
+		t.Errorf("negative index: %v", err)
+	}
+	if _, err := traj.Subtrajectory(0, 1, nil); !errors.Is(err, ErrNoTrajectoryAnn) {
+		t.Errorf("empty ann: %v", err)
+	}
+	// The paper allows A'traj to equal Atraj for subtrajectories.
+	if _, err := traj.Subtrajectory(0, 1, visitAnn()); err != nil {
+		t.Errorf("same annotations must be allowed for subtrajectories: %v", err)
+	}
+	// Mutating the sub must not touch the parent.
+	sub.Trace[0].Cell = "mutated"
+	if traj.Trace[0].Cell == "mutated" {
+		t.Error("subtrajectory must deep-copy the trace")
+	}
+}
+
+func TestIsSubtrajectoryOf(t *testing.T) {
+	traj := mustTrajectory(t)
+	other, _ := NewTrajectory("someone-else", paperTrace()[:2], visitAnn())
+	if other.IsSubtrajectoryOf(traj) {
+		t.Error("different MO cannot be a subtrajectory")
+	}
+	whole, _ := NewTrajectory("visitor42", paperTrace(), visitAnn())
+	if whole.IsSubtrajectoryOf(traj) {
+		t.Error("whole trajectory is not a PROPER subtrajectory")
+	}
+	foreign, _ := NewTrajectory("visitor42", Trace{
+		{Cell: "elsewhere", Start: at("11:30:00"), End: at("11:31:00")},
+	}, visitAnn())
+	if foreign.IsSubtrajectoryOf(traj) {
+		t.Error("non-matching tuples are not a subtrajectory")
+	}
+}
+
+// louvreMiniGraph builds the zone-layer fragment of Figure 6's −2 floor:
+// E(60887) ↔ P(60888) ↔ S(60890) → C (exit, one-way).
+func louvreMiniGraph(t *testing.T) *indoor.SpaceGraph {
+	t.Helper()
+	sg := indoor.NewSpaceGraph()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(sg.AddLayer(indoor.Layer{ID: "zone", Kind: indoor.Semantic, Rank: 1}))
+	must(sg.AddLayer(indoor.Layer{ID: "floor", Kind: indoor.Topographic, Rank: 2}))
+	for _, z := range []string{"zone60887", "zone60888", "zone60890", "zoneC"} {
+		must(sg.AddCell(indoor.Cell{ID: z, Layer: "zone", Floor: -2}))
+	}
+	must(sg.AddCell(indoor.Cell{ID: "floor-2", Layer: "floor", Floor: -2}))
+	for _, z := range []string{"zone60887", "zone60888", "zone60890", "zoneC"} {
+		must(sg.AddJoint("floor-2", z, topo.TPPi))
+	}
+	must(sg.AddBiAccess("zone60887", "zone60888", "checkpoint002"))
+	must(sg.AddBiAccess("zone60888", "zone60890", "passage003"))
+	must(sg.AddAccess("zone60890", "zoneC", "carrousel-exit")) // exit is one-way
+	return sg
+}
+
+func TestValidateAgainst(t *testing.T) {
+	sg := louvreMiniGraph(t)
+	ok, _ := NewTrajectory("v", Trace{
+		{Cell: "zone60887", Start: at("17:20:00"), End: at("17:30:00")},
+		{Cell: "zone60888", Start: at("17:30:21"), End: at("17:31:42")},
+		{Cell: "zone60890", Start: at("17:31:50"), End: at("17:33:00")},
+	}, visitAnn())
+	if err := ok.ValidateAgainst(sg, "zone", true); err != nil {
+		t.Errorf("valid trajectory rejected: %v", err)
+	}
+	unknown, _ := NewTrajectory("v", Trace{
+		{Cell: "nowhere", Start: at("10:00:00"), End: at("10:01:00")},
+	}, visitAnn())
+	if err := unknown.ValidateAgainst(sg, "", false); !errors.Is(err, ErrUnknownCell) {
+		t.Errorf("unknown cell: %v", err)
+	}
+	wrongLayer, _ := NewTrajectory("v", Trace{
+		{Cell: "floor-2", Start: at("10:00:00"), End: at("10:01:00")},
+	}, visitAnn())
+	if err := wrongLayer.ValidateAgainst(sg, "zone", false); !errors.Is(err, ErrWrongLayer) {
+		t.Errorf("wrong layer: %v", err)
+	}
+	sparse, _ := NewTrajectory("v", Trace{
+		{Cell: "zone60887", Start: at("17:20:00"), End: at("17:30:00")},
+		{Cell: "zone60890", Start: at("17:31:50"), End: at("17:33:00")},
+	}, visitAnn())
+	if err := sparse.ValidateAgainst(sg, "zone", true); err == nil {
+		t.Error("strict validation must flag E→S")
+	}
+	if err := sparse.ValidateAgainst(sg, "zone", false); err != nil {
+		t.Errorf("lenient validation must pass: %v", err)
+	}
+}
+
+func TestRollUp(t *testing.T) {
+	sg := louvreMiniGraph(t)
+	traj, _ := NewTrajectory("v", Trace{
+		{Cell: "zone60887", Start: at("17:20:00"), End: at("17:30:00"),
+			Ann: NewAnnotations("goals", "tempExhibition")},
+		{Cell: "zone60888", Start: at("17:30:21"), End: at("17:31:42"),
+			Ann: NewAnnotations("goals", "museumExit")},
+		{Cell: "zone60890", Start: at("17:31:50"), End: at("17:33:00")},
+	}, visitAnn())
+	up, err := traj.RollUp(sg, "floor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(up.Trace) != 1 {
+		t.Fatalf("floor-level trace = %v", up.Trace)
+	}
+	got := up.Trace[0]
+	if got.Cell != "floor-2" {
+		t.Errorf("cell = %q", got.Cell)
+	}
+	if !got.Start.Equal(at("17:20:00")) || !got.End.Equal(at("17:33:00")) {
+		t.Errorf("span = %v → %v", got.Start, got.End)
+	}
+	if !got.Ann.Has("goals", "tempExhibition") || !got.Ann.Has("goals", "museumExit") {
+		t.Errorf("merged annotations = %v", got.Ann)
+	}
+	// Rolling up to a missing layer fails.
+	if _, err := traj.RollUp(sg, "building"); err == nil {
+		t.Error("missing ancestor must fail")
+	}
+}
+
+func TestTrajectoryString(t *testing.T) {
+	traj := mustTrajectory(t)
+	s := traj.String()
+	for _, want := range []string{"visitor42", "11:30:00", "14:28:00"} {
+		if !contains(s, want) {
+			t.Errorf("String missing %q: %s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,382 @@
+// Package geom provides the 2D geometry kernel underlying the indoor space
+// model: points, segments, rings, polygons with holes, and the point-set
+// predicates needed to derive qualitative topological relations between
+// indoor cells.
+//
+// The paper's indoor space is 2.5D: planar cell geometry per floor, with
+// floors stacked symbolically. All geometry here is therefore planar; the
+// floor a shape belongs to is tracked by the indoor model, not by geom.
+//
+// Coordinates are float64 metres in an arbitrary local frame. Predicates use
+// an epsilon tolerance (Eps) so that cells sharing a wall are detected as
+// touching even after floating-point round-trips.
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Eps is the tolerance used by all geometric predicates. Two coordinates
+// closer than Eps are considered equal.
+const Eps = 1e-9
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{x, y} }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector p−q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by f.
+func (p Point) Scale(f float64) Point { return Point{p.X * f, p.Y * f} }
+
+// Dot returns the dot product p·q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z component of the cross product p×q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Norm returns the Euclidean length of the vector p.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Eq reports whether p and q coincide within Eps.
+func (p Point) Eq(q Point) bool {
+	return math.Abs(p.X-q.X) <= Eps && math.Abs(p.Y-q.Y) <= Eps
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }
+
+// Segment is a directed line segment from A to B.
+type Segment struct {
+	A, B Point
+}
+
+// Seg is shorthand for Segment{a, b}.
+func Seg(a, b Point) Segment { return Segment{a, b} }
+
+// Length returns the segment length.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// Midpoint returns the segment midpoint.
+func (s Segment) Midpoint() Point {
+	return Point{(s.A.X + s.B.X) / 2, (s.A.Y + s.B.Y) / 2}
+}
+
+// orient classifies point r relative to the directed line a→b:
+// +1 left (counter-clockwise), −1 right (clockwise), 0 collinear within Eps.
+func orient(a, b, r Point) int {
+	v := b.Sub(a).Cross(r.Sub(a))
+	// Scale tolerance with magnitude so large coordinates behave.
+	tol := Eps * (1 + math.Abs(a.X) + math.Abs(a.Y) + math.Abs(b.X) + math.Abs(b.Y))
+	switch {
+	case v > tol:
+		return 1
+	case v < -tol:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// onSegment reports whether collinear point r lies within the bounding box
+// of segment a–b (callers must have established collinearity).
+func onSegment(a, b, r Point) bool {
+	return math.Min(a.X, b.X)-Eps <= r.X && r.X <= math.Max(a.X, b.X)+Eps &&
+		math.Min(a.Y, b.Y)-Eps <= r.Y && r.Y <= math.Max(a.Y, b.Y)+Eps
+}
+
+// ContainsPoint reports whether p lies on the segment (inclusive of
+// endpoints) within tolerance.
+func (s Segment) ContainsPoint(p Point) bool {
+	return orient(s.A, s.B, p) == 0 && onSegment(s.A, s.B, p)
+}
+
+// Intersects reports whether segments s and t share at least one point.
+func (s Segment) Intersects(t Segment) bool {
+	o1 := orient(s.A, s.B, t.A)
+	o2 := orient(s.A, s.B, t.B)
+	o3 := orient(t.A, t.B, s.A)
+	o4 := orient(t.A, t.B, s.B)
+	if o1 != o2 && o3 != o4 {
+		return true
+	}
+	// Collinear overlap / endpoint touch cases.
+	if o1 == 0 && onSegment(s.A, s.B, t.A) {
+		return true
+	}
+	if o2 == 0 && onSegment(s.A, s.B, t.B) {
+		return true
+	}
+	if o3 == 0 && onSegment(t.A, t.B, s.A) {
+		return true
+	}
+	if o4 == 0 && onSegment(t.A, t.B, s.B) {
+		return true
+	}
+	return false
+}
+
+// OverlapLength returns the length of the collinear overlap between s and t,
+// or 0 if the segments are not collinear or merely touch at a point. It is
+// used to decide whether two cells share a wall (positive shared boundary)
+// rather than just a corner.
+func (s Segment) OverlapLength(t Segment) float64 {
+	if orient(s.A, s.B, t.A) != 0 || orient(s.A, s.B, t.B) != 0 {
+		return 0
+	}
+	d := s.B.Sub(s.A)
+	n := d.Norm()
+	if n <= Eps { // degenerate segment
+		return 0
+	}
+	u := d.Scale(1 / n)
+	// Project all four endpoints on the s axis.
+	s0, s1 := 0.0, n
+	t0 := t.A.Sub(s.A).Dot(u)
+	t1 := t.B.Sub(s.A).Dot(u)
+	if t0 > t1 {
+		t0, t1 = t1, t0
+	}
+	lo := math.Max(s0, t0)
+	hi := math.Min(s1, t1)
+	if hi-lo <= Eps {
+		return 0
+	}
+	// Confirm the segments are truly collinear, not merely parallel: the
+	// perpendicular distance of t.A from line s must vanish.
+	perp := math.Abs(t.A.Sub(s.A).Cross(u))
+	if perp > 1e-6 {
+		return 0
+	}
+	return hi - lo
+}
+
+// BBox is an axis-aligned bounding box.
+type BBox struct {
+	Min, Max Point
+}
+
+// NewBBox returns the bounding box of the given points.
+func NewBBox(pts ...Point) BBox {
+	if len(pts) == 0 {
+		return BBox{}
+	}
+	b := BBox{pts[0], pts[0]}
+	for _, p := range pts[1:] {
+		b = b.ExtendPoint(p)
+	}
+	return b
+}
+
+// ExtendPoint returns b grown to include p.
+func (b BBox) ExtendPoint(p Point) BBox {
+	if p.X < b.Min.X {
+		b.Min.X = p.X
+	}
+	if p.Y < b.Min.Y {
+		b.Min.Y = p.Y
+	}
+	if p.X > b.Max.X {
+		b.Max.X = p.X
+	}
+	if p.Y > b.Max.Y {
+		b.Max.Y = p.Y
+	}
+	return b
+}
+
+// Union returns the smallest box covering both b and o.
+func (b BBox) Union(o BBox) BBox {
+	return b.ExtendPoint(o.Min).ExtendPoint(o.Max)
+}
+
+// Intersects reports whether the two boxes share any point (touching counts).
+func (b BBox) Intersects(o BBox) bool {
+	return b.Min.X <= o.Max.X+Eps && o.Min.X <= b.Max.X+Eps &&
+		b.Min.Y <= o.Max.Y+Eps && o.Min.Y <= b.Max.Y+Eps
+}
+
+// Contains reports whether p lies inside or on the boundary of b.
+func (b BBox) Contains(p Point) bool {
+	return b.Min.X-Eps <= p.X && p.X <= b.Max.X+Eps &&
+		b.Min.Y-Eps <= p.Y && p.Y <= b.Max.Y+Eps
+}
+
+// Width returns the box width.
+func (b BBox) Width() float64 { return b.Max.X - b.Min.X }
+
+// Height returns the box height.
+func (b BBox) Height() float64 { return b.Max.Y - b.Min.Y }
+
+// Center returns the box center.
+func (b BBox) Center() Point {
+	return Point{(b.Min.X + b.Max.X) / 2, (b.Min.Y + b.Max.Y) / 2}
+}
+
+// Area returns the box area.
+func (b BBox) Area() float64 { return b.Width() * b.Height() }
+
+// Ring is a simple closed polygon ring. The closing edge from the last
+// vertex back to the first is implicit; vertices must not repeat the first
+// point at the end. Orientation may be either way; use Area's sign or
+// Canonical to normalise.
+type Ring []Point
+
+// ErrDegenerateRing is returned by validators for rings with fewer than
+// three vertices or (near-)zero area.
+var ErrDegenerateRing = errors.New("geom: degenerate ring")
+
+// Validate checks that the ring has at least 3 vertices and non-zero area.
+func (r Ring) Validate() error {
+	if len(r) < 3 {
+		return fmt.Errorf("%w: %d vertices", ErrDegenerateRing, len(r))
+	}
+	if math.Abs(r.signedArea()) <= Eps {
+		return fmt.Errorf("%w: zero area", ErrDegenerateRing)
+	}
+	return nil
+}
+
+// signedArea returns the shoelace area: positive for counter-clockwise rings.
+func (r Ring) signedArea() float64 {
+	var s float64
+	n := len(r)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		s += r[i].Cross(r[j])
+	}
+	return s / 2
+}
+
+// Area returns the absolute area enclosed by the ring.
+func (r Ring) Area() float64 { return math.Abs(r.signedArea()) }
+
+// IsCCW reports whether the ring winds counter-clockwise.
+func (r Ring) IsCCW() bool { return r.signedArea() > 0 }
+
+// Canonical returns a copy of the ring wound counter-clockwise.
+func (r Ring) Canonical() Ring {
+	out := make(Ring, len(r))
+	copy(out, r)
+	if !out.IsCCW() {
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	return out
+}
+
+// Centroid returns the area centroid of the ring.
+func (r Ring) Centroid() Point {
+	var cx, cy, a float64
+	n := len(r)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		f := r[i].Cross(r[j])
+		cx += (r[i].X + r[j].X) * f
+		cy += (r[i].Y + r[j].Y) * f
+		a += f
+	}
+	if math.Abs(a) <= Eps {
+		// Degenerate: fall back to vertex mean.
+		var m Point
+		for _, p := range r {
+			m = m.Add(p)
+		}
+		return m.Scale(1 / float64(n))
+	}
+	return Point{cx / (3 * a), cy / (3 * a)}
+}
+
+// BBox returns the ring's bounding box.
+func (r Ring) BBox() BBox { return NewBBox(r...) }
+
+// Edges returns the ring's edges, including the closing edge.
+func (r Ring) Edges() []Segment {
+	n := len(r)
+	out := make([]Segment, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Segment{r[i], r[(i+1)%n]})
+	}
+	return out
+}
+
+// Perimeter returns the total boundary length.
+func (r Ring) Perimeter() float64 {
+	var s float64
+	for _, e := range r.Edges() {
+		s += e.Length()
+	}
+	return s
+}
+
+// pointLocation classifies p against the ring: +1 interior, 0 on boundary,
+// −1 exterior. Uses the winding-number crossing rule, robust to boundary
+// points via explicit on-edge checks.
+func (r Ring) pointLocation(p Point) int {
+	for _, e := range r.Edges() {
+		if e.ContainsPoint(p) {
+			return 0
+		}
+	}
+	inside := false
+	n := len(r)
+	for i := 0; i < n; i++ {
+		a, b := r[i], r[(i+1)%n]
+		if (a.Y > p.Y) != (b.Y > p.Y) {
+			xCross := a.X + (p.Y-a.Y)*(b.X-a.X)/(b.Y-a.Y)
+			if xCross > p.X {
+				inside = !inside
+			}
+		}
+	}
+	if inside {
+		return 1
+	}
+	return -1
+}
+
+// ContainsPoint reports whether p lies strictly inside the ring.
+func (r Ring) ContainsPoint(p Point) bool { return r.pointLocation(p) > 0 }
+
+// CoversPoint reports whether p lies inside or on the boundary of the ring.
+func (r Ring) CoversPoint(p Point) bool { return r.pointLocation(p) >= 0 }
+
+// Rect returns the axis-aligned rectangle ring with corners (x0,y0),(x1,y1),
+// wound counter-clockwise. It is the workhorse for synthetic floor plans.
+func Rect(x0, y0, x1, y1 float64) Ring {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Ring{Pt(x0, y0), Pt(x1, y0), Pt(x1, y1), Pt(x0, y1)}
+}
+
+// RegularNGon returns an n-vertex regular polygon centred at c with
+// circumradius rad, wound counter-clockwise.
+func RegularNGon(c Point, rad float64, n int) Ring {
+	if n < 3 {
+		n = 3
+	}
+	r := make(Ring, n)
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		r[i] = Pt(c.X+rad*math.Cos(a), c.Y+rad*math.Sin(a))
+	}
+	return r
+}

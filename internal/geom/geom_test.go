@@ -1,0 +1,419 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointOps(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, 4)
+	if got := p.Add(q); !got.Eq(Pt(4, 6)) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := q.Sub(p); !got.Eq(Pt(2, 2)) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); !got.Eq(Pt(2, 4)) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 11 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != -2 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := Pt(0, 0).Dist(Pt(3, 4)); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+	if !Pt(1, 1).Eq(Pt(1+1e-12, 1-1e-12)) {
+		t.Error("Eq should tolerate Eps")
+	}
+	if Pt(1, 1).Eq(Pt(1.1, 1)) {
+		t.Error("Eq too loose")
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	tests := []struct {
+		name string
+		s, u Segment
+		want bool
+	}{
+		{"crossing", Seg(Pt(0, 0), Pt(2, 2)), Seg(Pt(0, 2), Pt(2, 0)), true},
+		{"parallel apart", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(0, 1), Pt(1, 1)), false},
+		{"touch at endpoint", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(1, 0), Pt(2, 5)), true},
+		{"collinear overlap", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, 0), Pt(3, 0)), true},
+		{"collinear disjoint", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(2, 0), Pt(3, 0)), false},
+		{"T junction", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, 0), Pt(1, 1)), true},
+		{"near miss", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(0.5, 0.01), Pt(1, 1)), false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.s.Intersects(tc.u); got != tc.want {
+				t.Errorf("Intersects = %v, want %v", got, tc.want)
+			}
+			if got := tc.u.Intersects(tc.s); got != tc.want {
+				t.Errorf("Intersects (swapped) = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSegmentOverlapLength(t *testing.T) {
+	tests := []struct {
+		name string
+		s, u Segment
+		want float64
+	}{
+		{"full overlap", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(0, 0), Pt(2, 0)), 2},
+		{"half overlap", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, 0), Pt(3, 0)), 1},
+		{"touch point only", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(1, 0), Pt(2, 0)), 0},
+		{"perpendicular", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(0, 0), Pt(0, 1)), 0},
+		{"parallel offset", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(0, 1), Pt(1, 1)), 0},
+		{"contained", Seg(Pt(0, 0), Pt(4, 0)), Seg(Pt(1, 0), Pt(2, 0)), 1},
+		{"vertical overlap", Seg(Pt(5, 0), Pt(5, 4)), Seg(Pt(5, 2), Pt(5, 8)), 2},
+		{"reversed direction", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(3, 0), Pt(1, 0)), 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.s.OverlapLength(tc.u); math.Abs(got-tc.want) > 1e-9 {
+				t.Errorf("OverlapLength = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBBox(t *testing.T) {
+	b := NewBBox(Pt(0, 0), Pt(2, 3), Pt(-1, 1))
+	if !b.Min.Eq(Pt(-1, 0)) || !b.Max.Eq(Pt(2, 3)) {
+		t.Fatalf("NewBBox = %+v", b)
+	}
+	if b.Width() != 3 || b.Height() != 3 {
+		t.Errorf("Width/Height = %v/%v", b.Width(), b.Height())
+	}
+	if !b.Contains(Pt(0, 0)) || !b.Contains(Pt(2, 3)) || b.Contains(Pt(5, 5)) {
+		t.Error("Contains wrong")
+	}
+	o := NewBBox(Pt(10, 10), Pt(11, 11))
+	if b.Intersects(o) {
+		t.Error("should not intersect")
+	}
+	if got := b.Union(o); !got.Max.Eq(Pt(11, 11)) || !got.Min.Eq(Pt(-1, 0)) {
+		t.Errorf("Union = %+v", got)
+	}
+	if math.Abs(b.Area()-9) > 1e-9 {
+		t.Errorf("Area = %v", b.Area())
+	}
+}
+
+func TestRingAreaOrientation(t *testing.T) {
+	ccw := Ring{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	if !ccw.IsCCW() {
+		t.Error("ccw ring reported CW")
+	}
+	if got := ccw.Area(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Area = %v", got)
+	}
+	cw := Ring{Pt(0, 0), Pt(0, 2), Pt(2, 2), Pt(2, 0)}
+	if cw.IsCCW() {
+		t.Error("cw ring reported CCW")
+	}
+	if got := cw.Area(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Area(cw) = %v", got)
+	}
+	if !cw.Canonical().IsCCW() {
+		t.Error("Canonical must be CCW")
+	}
+	if got := ccw.Perimeter(); math.Abs(got-8) > 1e-9 {
+		t.Errorf("Perimeter = %v", got)
+	}
+}
+
+func TestRingValidate(t *testing.T) {
+	if err := (Ring{Pt(0, 0), Pt(1, 0)}).Validate(); err == nil {
+		t.Error("2-vertex ring must fail")
+	}
+	if err := (Ring{Pt(0, 0), Pt(1, 0), Pt(2, 0)}).Validate(); err == nil {
+		t.Error("collinear ring must fail")
+	}
+	if err := Rect(0, 0, 1, 1).Validate(); err != nil {
+		t.Errorf("rect: %v", err)
+	}
+}
+
+func TestRingCentroid(t *testing.T) {
+	r := Rect(0, 0, 4, 2)
+	if got := r.Centroid(); !got.Eq(Pt(2, 1)) {
+		t.Errorf("Centroid = %v", got)
+	}
+	tri := Ring{Pt(0, 0), Pt(3, 0), Pt(0, 3)}
+	if got := tri.Centroid(); !got.Eq(Pt(1, 1)) {
+		t.Errorf("triangle Centroid = %v", got)
+	}
+}
+
+func TestRingPointLocation(t *testing.T) {
+	r := Rect(0, 0, 10, 10)
+	tests := []struct {
+		p    Point
+		want int
+	}{
+		{Pt(5, 5), 1},
+		{Pt(0, 5), 0},
+		{Pt(10, 10), 0},
+		{Pt(5, 0), 0},
+		{Pt(-1, 5), -1},
+		{Pt(11, 5), -1},
+		{Pt(5, 10.0001), -1},
+	}
+	for _, tc := range tests {
+		if got := r.pointLocation(tc.p); got != tc.want {
+			t.Errorf("pointLocation(%v) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	if !r.ContainsPoint(Pt(1, 1)) || r.ContainsPoint(Pt(0, 0)) {
+		t.Error("ContainsPoint is strict-interior")
+	}
+	if !r.CoversPoint(Pt(0, 0)) {
+		t.Error("CoversPoint includes boundary")
+	}
+}
+
+func TestRegularNGon(t *testing.T) {
+	hex := RegularNGon(Pt(0, 0), 1, 6)
+	if len(hex) != 6 {
+		t.Fatalf("len = %d", len(hex))
+	}
+	want := 3 * math.Sqrt(3) / 2 // area of unit hexagon
+	if got := hex.Area(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("hex area = %v, want %v", got, want)
+	}
+	if !hex.ContainsPoint(Pt(0, 0)) {
+		t.Error("hexagon must contain its center")
+	}
+	if got := RegularNGon(Pt(0, 0), 1, 2); len(got) != 3 {
+		t.Errorf("n<3 clamps to 3, got %d vertices", len(got))
+	}
+}
+
+func TestPolygonWithHoles(t *testing.T) {
+	p := PolyWithHoles(Rect(0, 0, 10, 10), Rect(4, 4, 6, 6))
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := p.Area(); math.Abs(got-96) > 1e-9 {
+		t.Errorf("Area = %v", got)
+	}
+	if p.ContainsPoint(Pt(5, 5)) {
+		t.Error("hole interior must be outside")
+	}
+	if !p.CoversPoint(Pt(4, 5)) {
+		t.Error("hole boundary is polygon boundary")
+	}
+	if !p.ContainsPoint(Pt(1, 1)) {
+		t.Error("annulus interior")
+	}
+	bad := PolyWithHoles(Rect(0, 0, 2, 2), Rect(5, 5, 6, 6))
+	if err := bad.Validate(); err == nil {
+		t.Error("hole outside exterior must fail validation")
+	}
+}
+
+func TestRelateBasic(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Polygon
+		want SpatialRel
+	}{
+		{"disjoint", Poly(Rect(0, 0, 1, 1)), Poly(Rect(5, 5, 6, 6)), RelDisjoint},
+		{"meet wall", Poly(Rect(0, 0, 2, 2)), Poly(Rect(2, 0, 4, 2)), RelMeet},
+		{"meet corner", Poly(Rect(0, 0, 1, 1)), Poly(Rect(1, 1, 2, 2)), RelMeet},
+		{"overlap", Poly(Rect(0, 0, 4, 4)), Poly(Rect(2, 2, 6, 6)), RelOverlap},
+		{"equal", Poly(Rect(0, 0, 3, 3)), Poly(Rect(0, 0, 3, 3)), RelEqual},
+		{"contains", Poly(Rect(0, 0, 10, 10)), Poly(Rect(3, 3, 5, 5)), RelContains},
+		{"inside", Poly(Rect(3, 3, 5, 5)), Poly(Rect(0, 0, 10, 10)), RelInside},
+		{"covers", Poly(Rect(0, 0, 10, 10)), Poly(Rect(0, 0, 5, 5)), RelCovers},
+		{"coveredBy", Poly(Rect(0, 0, 5, 5)), Poly(Rect(0, 0, 10, 10)), RelCoveredBy},
+		{"covers shared edge", Poly(Rect(0, 0, 10, 10)), Poly(Rect(2, 0, 6, 4)), RelCovers},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.p.Relate(tc.q); got != tc.want {
+				t.Errorf("Relate = %v, want %v", got, tc.want)
+			}
+			// The converse must hold with swapped arguments.
+			if got := tc.q.Relate(tc.p); got != tc.want.Converse() {
+				t.Errorf("Relate(swapped) = %v, want %v", got, tc.want.Converse())
+			}
+		})
+	}
+}
+
+func TestRelateCrossShape(t *testing.T) {
+	// Regression: two rectangles crossing in a plus shape, where the
+	// crossing region contains no boundary-derived probe of either polygon.
+	// Discovered by TestQuickNetworkTriangleSound (topo) at seed
+	// 7945812206377740385: this pair was misclassified as "meet".
+	horiz := Poly(Rect(8, 9, 13, 10))
+	vert := Poly(Rect(9, 7, 10, 11))
+	if got := horiz.Relate(vert); got != RelOverlap {
+		t.Errorf("plus-shape Relate = %v, want overlap", got)
+	}
+	if got := vert.Relate(horiz); got != RelOverlap {
+		t.Errorf("plus-shape Relate (swapped) = %v, want overlap", got)
+	}
+	// A genuine shared-wall meet must remain "meet" (the witness grid must
+	// not upgrade degenerate intersections).
+	a := Poly(Rect(0, 0, 2, 2))
+	b := Poly(Rect(2, 0, 4, 2))
+	if got := a.Relate(b); got != RelMeet {
+		t.Errorf("shared wall = %v, want meet", got)
+	}
+}
+
+func TestSpatialRelConverse(t *testing.T) {
+	for r := RelDisjoint; r <= RelCoveredBy; r++ {
+		if got := r.Converse().Converse(); got != r {
+			t.Errorf("Converse is not an involution for %v", r)
+		}
+	}
+	if RelContains.Converse() != RelInside {
+		t.Error("contains↔insideOf")
+	}
+	if RelCovers.Converse() != RelCoveredBy {
+		t.Error("covers↔coveredBy")
+	}
+	for _, r := range []SpatialRel{RelDisjoint, RelMeet, RelOverlap, RelEqual} {
+		if r.Converse() != r {
+			t.Errorf("%v must be self-converse", r)
+		}
+	}
+}
+
+func TestSpatialRelString(t *testing.T) {
+	want := map[SpatialRel]string{
+		RelDisjoint: "disjoint", RelMeet: "meet", RelOverlap: "overlap",
+		RelEqual: "equal", RelContains: "contains", RelInside: "insideOf",
+		RelCovers: "covers", RelCoveredBy: "coveredBy",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("String(%d) = %q, want %q", r, r.String(), s)
+		}
+	}
+	if SpatialRel(99).String() == "" {
+		t.Error("unknown rel must still stringify")
+	}
+}
+
+func TestSharedBoundaryLength(t *testing.T) {
+	a := Poly(Rect(0, 0, 4, 4))
+	b := Poly(Rect(4, 1, 8, 3)) // shares x=4 wall from y=1..3
+	if got := a.SharedBoundaryLength(b); math.Abs(got-2) > 1e-9 {
+		t.Errorf("SharedBoundaryLength = %v, want 2", got)
+	}
+	c := Poly(Rect(10, 10, 12, 12))
+	if got := a.SharedBoundaryLength(c); got != 0 {
+		t.Errorf("disjoint shared boundary = %v", got)
+	}
+	d := Poly(Rect(4, 4, 8, 8)) // corner touch only
+	if got := a.SharedBoundaryLength(d); got != 0 {
+		t.Errorf("corner-touch shared boundary = %v", got)
+	}
+}
+
+func TestCoverageRatio(t *testing.T) {
+	room := Poly(Rect(0, 0, 10, 10))
+	full := []Polygon{Poly(Rect(0, 0, 10, 5)), Poly(Rect(0, 5, 10, 10))}
+	if got := room.CoverageRatio(full, 40); got < 0.99 {
+		t.Errorf("full coverage ratio = %v", got)
+	}
+	half := []Polygon{Poly(Rect(0, 0, 10, 5))}
+	if got := room.CoverageRatio(half, 40); math.Abs(got-0.5) > 0.05 {
+		t.Errorf("half coverage ratio = %v", got)
+	}
+	if got := room.CoverageRatio(nil, 40); got != 0 {
+		t.Errorf("empty parts ratio = %v", got)
+	}
+}
+
+// quickRect produces a random rectangle polygon from four floats.
+func quickRect(r *rand.Rand) Polygon {
+	x := r.Float64()*100 - 50
+	y := r.Float64()*100 - 50
+	w := r.Float64()*20 + 1
+	h := r.Float64()*20 + 1
+	return Poly(Rect(x, y, x+w, y+h))
+}
+
+func TestQuickRelateConverse(t *testing.T) {
+	// Property: Relate(p,q) must always be the converse of Relate(q,p).
+	cfg := &quick.Config{MaxCount: 300}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q := quickRect(r), quickRect(r)
+		return p.Relate(q) == q.Relate(p).Converse()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRelateSelf(t *testing.T) {
+	// Property: every polygon equals itself.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := quickRect(r)
+		return p.Relate(p) == RelEqual
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTranslatedDisjoint(t *testing.T) {
+	// Property: a polygon translated far beyond its own bbox is disjoint.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := quickRect(r)
+		shift := p.BBox().Width() + p.BBox().Height() + 10
+		q := Poly(translateRing(p.Exterior, shift, shift))
+		return p.Relate(q) == RelDisjoint
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func translateRing(r Ring, dx, dy float64) Ring {
+	out := make(Ring, len(r))
+	for i, p := range r {
+		out[i] = Pt(p.X+dx, p.Y+dy)
+	}
+	return out
+}
+
+func TestQuickCentroidInsideConvex(t *testing.T) {
+	// Property: centroid of a rectangle lies strictly inside it.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := quickRect(r)
+		return p.ContainsPoint(p.Centroid())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAreaPositive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := quickRect(r)
+		return p.Area() > 0 && p.Exterior.Canonical().IsCCW()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

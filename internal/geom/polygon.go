@@ -1,0 +1,421 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Polygon is a planar region bounded by an exterior ring and zero or more
+// interior rings (holes). Rings are stored in canonical orientation
+// (exterior CCW, holes CW is not enforced; holes are treated as point sets).
+type Polygon struct {
+	Exterior Ring
+	Holes    []Ring
+}
+
+// Poly returns a hole-free polygon from the given exterior ring.
+func Poly(exterior Ring) Polygon { return Polygon{Exterior: exterior.Canonical()} }
+
+// PolyWithHoles returns a polygon with holes.
+func PolyWithHoles(exterior Ring, holes ...Ring) Polygon {
+	p := Poly(exterior)
+	for _, h := range holes {
+		p.Holes = append(p.Holes, h.Canonical())
+	}
+	return p
+}
+
+// Validate checks all rings and that each hole lies within the exterior.
+func (p Polygon) Validate() error {
+	if err := p.Exterior.Validate(); err != nil {
+		return fmt.Errorf("exterior: %w", err)
+	}
+	for i, h := range p.Holes {
+		if err := h.Validate(); err != nil {
+			return fmt.Errorf("hole %d: %w", i, err)
+		}
+		for _, v := range h {
+			if p.Exterior.pointLocation(v) < 0 {
+				return fmt.Errorf("hole %d: vertex %v outside exterior", i, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Area returns the polygon area (exterior minus holes).
+func (p Polygon) Area() float64 {
+	a := p.Exterior.Area()
+	for _, h := range p.Holes {
+		a -= h.Area()
+	}
+	return a
+}
+
+// BBox returns the polygon's bounding box (holes cannot extend it).
+func (p Polygon) BBox() BBox { return p.Exterior.BBox() }
+
+// Centroid returns the centroid of the exterior ring. For the synthetic
+// indoor plans used here (convex cells, RoI islands) this is a suitable
+// representative point.
+func (p Polygon) Centroid() Point { return p.Exterior.Centroid() }
+
+// locate classifies point q against the polygon: +1 interior, 0 boundary,
+// −1 exterior. Hole boundaries are polygon boundary; hole interiors are
+// polygon exterior.
+func (p Polygon) locate(q Point) int {
+	switch p.Exterior.pointLocation(q) {
+	case -1:
+		return -1
+	case 0:
+		return 0
+	}
+	for _, h := range p.Holes {
+		switch h.pointLocation(q) {
+		case 1:
+			return -1 // inside a hole: outside the polygon
+		case 0:
+			return 0 // on a hole boundary: on the polygon boundary
+		}
+	}
+	return 1
+}
+
+// ContainsPoint reports whether q is strictly interior to the polygon.
+func (p Polygon) ContainsPoint(q Point) bool { return p.locate(q) > 0 }
+
+// CoversPoint reports whether q is interior to or on the boundary of p.
+func (p Polygon) CoversPoint(q Point) bool { return p.locate(q) >= 0 }
+
+// boundaryEdges returns all boundary segments (exterior and holes).
+func (p Polygon) boundaryEdges() []Segment {
+	out := p.Exterior.Edges()
+	for _, h := range p.Holes {
+		out = append(out, h.Edges()...)
+	}
+	return out
+}
+
+// SharedBoundaryLength returns the total length of collinear boundary
+// overlap between p and q. A positive value means the polygons share a wall
+// segment (not merely a corner), which is what the indoor duality uses to
+// decide adjacency.
+func (p Polygon) SharedBoundaryLength(q Polygon) float64 {
+	if !p.BBox().Intersects(q.BBox()) {
+		return 0
+	}
+	var total float64
+	for _, e := range p.boundaryEdges() {
+		for _, f := range q.boundaryEdges() {
+			total += e.OverlapLength(f)
+		}
+	}
+	return total
+}
+
+// SpatialRel is the qualitative topological relation between two planar
+// regions, following the eight RCC-8 / 4-intersection relations listed in
+// the paper (§2.1): disjoint, meet (touch), overlap, equal, contains,
+// insideOf (= inside), covers, coveredBy.
+type SpatialRel uint8
+
+// The eight binary topological relations of RCC-8 / the n-intersection
+// model, as enumerated in the paper.
+const (
+	RelDisjoint  SpatialRel = iota // no common point
+	RelMeet                        // boundaries touch, interiors disjoint
+	RelOverlap                     // interiors intersect, neither inside the other
+	RelEqual                       // same point set
+	RelContains                    // q strictly inside p (no boundary contact)
+	RelInside                      // p strictly inside q (converse of contains)
+	RelCovers                      // q inside p with boundary contact
+	RelCoveredBy                   // p inside q with boundary contact (converse of covers)
+)
+
+// String implements fmt.Stringer using the paper's vocabulary.
+func (r SpatialRel) String() string {
+	switch r {
+	case RelDisjoint:
+		return "disjoint"
+	case RelMeet:
+		return "meet"
+	case RelOverlap:
+		return "overlap"
+	case RelEqual:
+		return "equal"
+	case RelContains:
+		return "contains"
+	case RelInside:
+		return "insideOf"
+	case RelCovers:
+		return "covers"
+	case RelCoveredBy:
+		return "coveredBy"
+	default:
+		return fmt.Sprintf("SpatialRel(%d)", uint8(r))
+	}
+}
+
+// Converse returns the relation with arguments swapped.
+func (r SpatialRel) Converse() SpatialRel {
+	switch r {
+	case RelContains:
+		return RelInside
+	case RelInside:
+		return RelContains
+	case RelCovers:
+		return RelCoveredBy
+	case RelCoveredBy:
+		return RelCovers
+	default: // disjoint, meet, overlap, equal are symmetric
+		return r
+	}
+}
+
+// sampleRing returns probe points for relation testing: the ring's vertices,
+// edge midpoints, and centroid.
+func sampleRing(r Ring) []Point {
+	pts := make([]Point, 0, 2*len(r)+1)
+	pts = append(pts, r...)
+	for _, e := range r.Edges() {
+		pts = append(pts, e.Midpoint())
+	}
+	pts = append(pts, r.Centroid())
+	return pts
+}
+
+// samples returns probe points of p (exterior + holes).
+func (p Polygon) samples() []Point {
+	pts := sampleRing(p.Exterior)
+	for _, h := range p.Holes {
+		pts = append(pts, sampleRing(h)...)
+	}
+	return pts
+}
+
+// interiorSamples returns probe points strictly interior to p, derived by
+// nudging boundary samples toward the centroid and keeping those that land
+// inside. The centroid itself is included when interior.
+func (p Polygon) interiorSamples() []Point {
+	var pts []Point
+	c := p.Centroid()
+	if p.ContainsPoint(c) {
+		pts = append(pts, c)
+	}
+	for _, s := range p.samples() {
+		for _, f := range []float64{1e-7, 1e-4, 1e-2} {
+			q := s.Add(c.Sub(s).Scale(f))
+			if p.ContainsPoint(q) {
+				pts = append(pts, q)
+				break
+			}
+		}
+	}
+	return pts
+}
+
+// boundaryIntersects reports whether the boundaries of p and q touch.
+func (p Polygon) boundaryIntersects(q Polygon) bool {
+	for _, e := range p.boundaryEdges() {
+		for _, f := range q.boundaryEdges() {
+			if e.Intersects(f) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ringsEqual reports whether two polygons have identical vertex sets up to
+// rotation/orientation within Eps. It is a fast-path used by Relate.
+func ringsEqual(a, b Ring) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ac, bc := a.Canonical(), b.Canonical()
+	n := len(ac)
+	for shift := 0; shift < n; shift++ {
+		ok := true
+		for i := 0; i < n; i++ {
+			if !ac[i].Eq(bc[(i+shift)%n]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether p and q enclose the same point set (vertex-wise, up
+// to rotation), including identical holes in any order.
+func (p Polygon) Equal(q Polygon) bool {
+	if !ringsEqual(p.Exterior, q.Exterior) || len(p.Holes) != len(q.Holes) {
+		return false
+	}
+	used := make([]bool, len(q.Holes))
+outer:
+	for _, h := range p.Holes {
+		for i, g := range q.Holes {
+			if !used[i] && ringsEqual(h, g) {
+				used[i] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// Relate computes the qualitative topological relation between p and q
+// using point-set probing: interior/boundary samples of each polygon are
+// classified against the other. The probing is exact for the straight-edge
+// cell layouts used by the indoor models in this repository.
+func (p Polygon) Relate(q Polygon) SpatialRel {
+	if p.Equal(q) {
+		return RelEqual
+	}
+	if !p.BBox().Intersects(q.BBox()) {
+		return RelDisjoint
+	}
+
+	boundTouch := p.boundaryIntersects(q)
+
+	// Classify interior probes of each polygon against the other. A probe
+	// strictly interior to one polygon that lands strictly interior to the
+	// other witnesses interior intersection.
+	pInQ := classify(p.interiorSamples(), q)
+	qInP := classify(q.interiorSamples(), p)
+	interiorsIntersect := pInQ.in > 0 || qInP.in > 0
+	if !interiorsIntersect {
+		// Boundary-derived probes can miss a crossing whose interior region
+		// contains no nudged sample (e.g. two rectangles crossing in a plus
+		// shape). Probe a grid over the bounding-box intersection for a
+		// point strictly interior to both.
+		interiorsIntersect = sharedInteriorWitness(p, q)
+	}
+
+	switch {
+	case !interiorsIntersect && !boundTouch:
+		return RelDisjoint
+	case !interiorsIntersect && boundTouch:
+		return RelMeet
+	}
+
+	pAllInQ := pInQ.out == 0 // every interior probe of p is inside/on q
+	qAllInP := qInP.out == 0
+
+	switch {
+	case pAllInQ && qAllInP:
+		// Same interiors probed both ways but vertices differ: treat by
+		// area comparison to distinguish equal-with-different-vertices.
+		if math.Abs(p.Area()-q.Area()) <= 1e-6*(1+p.Area()) {
+			return RelEqual
+		}
+		if p.Area() < q.Area() {
+			return relWithin(boundTouch)
+		}
+		return relContaining(boundTouch)
+	case pAllInQ:
+		return relWithin(boundTouch)
+	case qAllInP:
+		return relContaining(boundTouch)
+	default:
+		return RelOverlap
+	}
+}
+
+// relWithin maps "p inside q" to inside/coveredBy based on boundary contact.
+func relWithin(boundTouch bool) SpatialRel {
+	if boundTouch {
+		return RelCoveredBy
+	}
+	return RelInside
+}
+
+// relContaining maps "q inside p" to contains/covers based on boundary contact.
+func relContaining(boundTouch bool) SpatialRel {
+	if boundTouch {
+		return RelCovers
+	}
+	return RelContains
+}
+
+// sharedInteriorWitness reports whether a grid probe over the intersection
+// of the two bounding boxes lies strictly interior to both polygons.
+func sharedInteriorWitness(p, q Polygon) bool {
+	bp, bq := p.BBox(), q.BBox()
+	lo := Pt(math.Max(bp.Min.X, bq.Min.X), math.Max(bp.Min.Y, bq.Min.Y))
+	hi := Pt(math.Min(bp.Max.X, bq.Max.X), math.Min(bp.Max.Y, bq.Max.Y))
+	if hi.X-lo.X <= Eps || hi.Y-lo.Y <= Eps {
+		return false // degenerate intersection region: at most a boundary
+	}
+	const n = 9
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			pt := Pt(
+				lo.X+(float64(i)+0.5)*(hi.X-lo.X)/n,
+				lo.Y+(float64(j)+0.5)*(hi.Y-lo.Y)/n,
+			)
+			if p.ContainsPoint(pt) && q.ContainsPoint(pt) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// classification tallies how probe points fall against a polygon.
+type classification struct{ in, on, out int }
+
+func classify(pts []Point, against Polygon) classification {
+	var c classification
+	for _, p := range pts {
+		switch against.locate(p) {
+		case 1:
+			c.in++
+		case 0:
+			c.on++
+		default:
+			c.out++
+		}
+	}
+	return c
+}
+
+// CoverageRatio returns the fraction of p's area covered by the union of the
+// given parts, estimated by uniform grid sampling (n×n probes over p's
+// bounding box). It is used for the paper's full-coverage analysis (Fig 4):
+// a floor is usually NOT fully covered by its rooms, and a room is usually
+// not fully covered by its RoIs.
+func (p Polygon) CoverageRatio(parts []Polygon, n int) float64 {
+	if n < 2 {
+		n = 2
+	}
+	bb := p.BBox()
+	var inP, covered int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			q := Pt(
+				bb.Min.X+(float64(i)+0.5)*bb.Width()/float64(n),
+				bb.Min.Y+(float64(j)+0.5)*bb.Height()/float64(n),
+			)
+			if !p.ContainsPoint(q) {
+				continue
+			}
+			inP++
+			for _, part := range parts {
+				if part.CoversPoint(q) {
+					covered++
+					break
+				}
+			}
+		}
+	}
+	if inP == 0 {
+		return 0
+	}
+	return float64(covered) / float64(inP)
+}

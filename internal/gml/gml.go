@@ -1,0 +1,284 @@
+// Package gml serialises indoor space graphs to an IndoorGML-core-flavoured
+// XML document and back. IndoorGML is "aimed at representing and allowing
+// the exchange of geoinformation for indoor navigational systems" (§2.1);
+// this package plays that exchange role for the repository's space model:
+// cell spaces with geometry, per-layer NRG transitions (the dual space) and
+// inter-layer joint edges, round-trip safe.
+package gml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sitm/internal/geom"
+	"sitm/internal/indoor"
+	"sitm/internal/topo"
+)
+
+// Document is the XML root.
+type Document struct {
+	XMLName     xml.Name         `xml:"IndoorFeatures"`
+	Layers      []LayerElem      `xml:"SpaceLayer"`
+	Cells       []CellElem       `xml:"CellSpace"`
+	Boundaries  []BoundaryElem   `xml:"CellSpaceBoundary"`
+	Transitions []TransitionElem `xml:"Transition"`
+	Joints      []JointElem      `xml:"InterLayerConnection"`
+}
+
+// LayerElem mirrors indoor.Layer.
+type LayerElem struct {
+	ID   string `xml:"id,attr"`
+	Kind string `xml:"kind,attr"`
+	Rank int    `xml:"rank,attr"`
+	Desc string `xml:"desc,attr,omitempty"`
+}
+
+// CellElem mirrors indoor.Cell.
+type CellElem struct {
+	ID       string     `xml:"id,attr"`
+	Name     string     `xml:"name,attr,omitempty"`
+	Layer    string     `xml:"layer,attr"`
+	Class    string     `xml:"class,attr,omitempty"`
+	Floor    int        `xml:"floor,attr"`
+	Building string     `xml:"building,attr,omitempty"`
+	Theme    string     `xml:"theme,attr,omitempty"`
+	Geometry *GeomElem  `xml:"Geometry,omitempty"`
+	Attrs    []AttrElem `xml:"Attr,omitempty"`
+}
+
+// AttrElem is one key/value cell attribute.
+type AttrElem struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:"value,attr"`
+}
+
+// GeomElem carries polygon rings as "x,y x,y ..." position lists.
+type GeomElem struct {
+	Exterior string   `xml:"Exterior"`
+	Holes    []string `xml:"Interior,omitempty"`
+}
+
+// BoundaryElem mirrors indoor.Boundary.
+type BoundaryElem struct {
+	ID   string `xml:"id,attr"`
+	Kind string `xml:"kind,attr"`
+	Name string `xml:"name,attr,omitempty"`
+}
+
+// TransitionElem is one intra-layer NRG edge (dual-space transition).
+type TransitionElem struct {
+	From     string `xml:"from,attr"`
+	To       string `xml:"to,attr"`
+	Boundary string `xml:"boundary,attr,omitempty"`
+	Kind     string `xml:"kind,attr"` // accessibility | connectivity | adjacency
+}
+
+// JointElem is one inter-layer joint edge with its topological relation.
+type JointElem struct {
+	From string `xml:"from,attr"`
+	To   string `xml:"to,attr"`
+	Rel  string `xml:"rel,attr"`
+}
+
+// Encode writes the space graph as XML.
+func Encode(w io.Writer, sg *indoor.SpaceGraph) error {
+	doc := Document{}
+	for _, l := range sg.Layers() {
+		doc.Layers = append(doc.Layers, LayerElem{
+			ID: l.ID, Kind: l.Kind.String(), Rank: l.Rank, Desc: l.Desc,
+		})
+	}
+	for _, c := range sg.Cells() {
+		ce := CellElem{
+			ID: c.ID, Name: c.Name, Layer: c.Layer, Class: c.Class,
+			Floor: c.Floor, Building: c.Building, Theme: c.Theme,
+		}
+		if c.Geometry != nil {
+			ge := GeomElem{Exterior: ringToPosList(c.Geometry.Exterior)}
+			for _, h := range c.Geometry.Holes {
+				ge.Holes = append(ge.Holes, ringToPosList(h))
+			}
+			ce.Geometry = &ge
+		}
+		for k, v := range c.Attrs {
+			ce.Attrs = append(ce.Attrs, AttrElem{Key: k, Value: v})
+		}
+		sortAttrs(ce.Attrs)
+		doc.Cells = append(doc.Cells, ce)
+	}
+	for _, l := range sg.Layers() {
+		g, ok := sg.NRG(l.ID)
+		if !ok {
+			continue
+		}
+		for _, e := range g.Edges() {
+			doc.Transitions = append(doc.Transitions, TransitionElem{
+				From: e.From, To: e.To, Boundary: e.ID, Kind: e.Kind,
+			})
+			if b, ok := sg.BoundaryOf(e.ID); ok {
+				doc.Boundaries = appendBoundaryOnce(doc.Boundaries, b)
+			}
+		}
+	}
+	for _, j := range sg.Joints() {
+		doc.Joints = append(doc.Joints, JointElem{From: j.From, To: j.To, Rel: j.Rel.RCCName()})
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("gml: encode: %w", err)
+	}
+	return enc.Flush()
+}
+
+func sortAttrs(attrs []AttrElem) {
+	for i := 1; i < len(attrs); i++ {
+		for j := i; j > 0 && attrs[j].Key < attrs[j-1].Key; j-- {
+			attrs[j], attrs[j-1] = attrs[j-1], attrs[j]
+		}
+	}
+}
+
+func appendBoundaryOnce(bs []BoundaryElem, b indoor.Boundary) []BoundaryElem {
+	for _, e := range bs {
+		if e.ID == b.ID {
+			return bs
+		}
+	}
+	return append(bs, BoundaryElem{ID: b.ID, Kind: b.Kind.String(), Name: b.Name})
+}
+
+// Decode parses a document produced by Encode into a fresh space graph.
+func Decode(r io.Reader) (*indoor.SpaceGraph, error) {
+	var doc Document
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("gml: decode: %w", err)
+	}
+	sg := indoor.NewSpaceGraph()
+	for _, l := range doc.Layers {
+		kind := indoor.Topographic
+		if l.Kind == indoor.Semantic.String() {
+			kind = indoor.Semantic
+		}
+		if err := sg.AddLayer(indoor.Layer{ID: l.ID, Kind: kind, Rank: l.Rank, Desc: l.Desc}); err != nil {
+			return nil, err
+		}
+	}
+	for _, b := range doc.Boundaries {
+		sg.AddBoundary(indoor.Boundary{ID: b.ID, Kind: boundaryKind(b.Kind), Name: b.Name})
+	}
+	for _, ce := range doc.Cells {
+		cell := indoor.Cell{
+			ID: ce.ID, Name: ce.Name, Layer: ce.Layer, Class: ce.Class,
+			Floor: ce.Floor, Building: ce.Building, Theme: ce.Theme,
+		}
+		if ce.Geometry != nil {
+			ext, err := posListToRing(ce.Geometry.Exterior)
+			if err != nil {
+				return nil, fmt.Errorf("gml: cell %q: %w", ce.ID, err)
+			}
+			var holes []geom.Ring
+			for _, h := range ce.Geometry.Holes {
+				ring, err := posListToRing(h)
+				if err != nil {
+					return nil, fmt.Errorf("gml: cell %q hole: %w", ce.ID, err)
+				}
+				holes = append(holes, ring)
+			}
+			p := geom.PolyWithHoles(ext, holes...)
+			cell.Geometry = &p
+		}
+		if len(ce.Attrs) > 0 {
+			cell.Attrs = make(map[string]string, len(ce.Attrs))
+			for _, a := range ce.Attrs {
+				cell.Attrs[a.Key] = a.Value
+			}
+		}
+		if err := sg.AddCell(cell); err != nil {
+			return nil, err
+		}
+	}
+	for _, tr := range doc.Transitions {
+		var err error
+		switch tr.Kind {
+		case indoor.EdgeAccessibility:
+			err = sg.AddAccess(tr.From, tr.To, tr.Boundary)
+		case indoor.EdgeConnectivity:
+			// Connectivity was stored bidirectionally; re-adding both
+			// directions would double edges, so add one directed edge's
+			// worth only when From < To and mirror once.
+			if tr.From < tr.To {
+				err = sg.AddConnectivity(tr.From, tr.To, tr.Boundary)
+			}
+		case indoor.EdgeAdjacency:
+			if tr.From < tr.To {
+				err = sg.AddAdjacency(tr.From, tr.To)
+			}
+		default:
+			err = fmt.Errorf("gml: unknown transition kind %q", tr.Kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, j := range doc.Joints {
+		rel, err := relFromRCC(j.Rel)
+		if err != nil {
+			return nil, err
+		}
+		if err := sg.AddJoint(j.From, j.To, rel); err != nil {
+			return nil, err
+		}
+	}
+	return sg, nil
+}
+
+func boundaryKind(s string) indoor.BoundaryKind {
+	for k := indoor.Wall; k <= indoor.Virtual; k++ {
+		if k.String() == s {
+			return k
+		}
+	}
+	return indoor.Door
+}
+
+func relFromRCC(s string) (topo.Rel, error) {
+	for _, r := range topo.AllRels {
+		if r.RCCName() == s {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("gml: unknown relation %q", s)
+}
+
+func ringToPosList(r geom.Ring) string {
+	parts := make([]string, len(r))
+	for i, p := range r {
+		parts[i] = strconv.FormatFloat(p.X, 'g', -1, 64) + "," + strconv.FormatFloat(p.Y, 'g', -1, 64)
+	}
+	return strings.Join(parts, " ")
+}
+
+func posListToRing(s string) (geom.Ring, error) {
+	fields := strings.Fields(s)
+	ring := make(geom.Ring, 0, len(fields))
+	for _, f := range fields {
+		xy := strings.Split(f, ",")
+		if len(xy) != 2 {
+			return nil, fmt.Errorf("bad position %q", f)
+		}
+		x, err := strconv.ParseFloat(xy[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad x in %q: %w", f, err)
+		}
+		y, err := strconv.ParseFloat(xy[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad y in %q: %w", f, err)
+		}
+		ring = append(ring, geom.Pt(x, y))
+	}
+	return ring, nil
+}

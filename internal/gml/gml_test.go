@@ -1,0 +1,164 @@
+package gml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sitm/internal/geom"
+	"sitm/internal/graph"
+	"sitm/internal/indoor"
+	"sitm/internal/louvre"
+	"sitm/internal/topo"
+)
+
+func smallGraph(t *testing.T) *indoor.SpaceGraph {
+	t.Helper()
+	sg := indoor.NewSpaceGraph()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(sg.AddLayer(indoor.Layer{ID: "floor", Kind: indoor.Topographic, Rank: 1, Desc: "floors"}))
+	must(sg.AddLayer(indoor.Layer{ID: "room", Kind: indoor.Semantic, Rank: 0}))
+	fg := geom.Poly(geom.Rect(0, 0, 20, 10))
+	must(sg.AddCell(indoor.Cell{ID: "f0", Layer: "floor", Class: "Floor", Floor: 0, Geometry: &fg}))
+	rg := geom.PolyWithHoles(geom.Rect(0, 0, 10, 10), geom.Rect(4, 4, 6, 6))
+	must(sg.AddCell(indoor.Cell{
+		ID: "r1", Name: "room one", Layer: "room", Class: "Room", Floor: 0,
+		Building: "wing", Theme: "paintings", Geometry: &rg,
+		Attrs: map[string]string{"exit": "true", "a": "b"},
+	}))
+	must(sg.AddCell(indoor.Cell{ID: "r2", Layer: "room", Floor: 0}))
+	sg.AddBoundary(indoor.Boundary{ID: "d1", Kind: indoor.Door, Name: "main"})
+	must(sg.AddAccess("r1", "r2", "d1"))
+	must(sg.AddConnectivity("r1", "r2", "d1"))
+	must(sg.AddAdjacency("r1", "r2"))
+	must(sg.AddJoint("f0", "r1", topo.TPPi))
+	must(sg.AddJoint("f0", "r2", topo.NTPPi))
+	return sg
+}
+
+func TestRoundTripSmall(t *testing.T) {
+	sg := smallGraph(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, sg); err != nil {
+		t.Fatal(err)
+	}
+	xml := buf.String()
+	for _, want := range []string{"IndoorFeatures", "CellSpace", "Transition", "InterLayerConnection", "TPPi"} {
+		if !strings.Contains(xml, want) {
+			t.Errorf("document missing %q", want)
+		}
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, sg, got)
+}
+
+func TestRoundTripLouvre(t *testing.T) {
+	sg, h, err := louvre.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, sg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, sg, got)
+	// The decoded graph still passes the paper's hierarchy validation.
+	if err := h.Validate(got); err != nil {
+		t.Errorf("decoded hierarchy: %v", err)
+	}
+	// And preserves the one-way Carrousel exit.
+	if !got.Accessible(louvre.ZoneS, louvre.ZoneC) || got.Accessible(louvre.ZoneC, louvre.ZoneS) {
+		t.Error("one-way exit lost in round trip")
+	}
+}
+
+func assertGraphsEqual(t *testing.T, want, got *indoor.SpaceGraph) {
+	t.Helper()
+	if len(want.Cells()) != len(got.Cells()) {
+		t.Fatalf("cells: %d vs %d", len(want.Cells()), len(got.Cells()))
+	}
+	for _, wc := range want.Cells() {
+		gc, ok := got.Cell(wc.ID)
+		if !ok {
+			t.Fatalf("cell %q lost", wc.ID)
+		}
+		if gc.Layer != wc.Layer || gc.Class != wc.Class || gc.Floor != wc.Floor ||
+			gc.Name != wc.Name || gc.Building != wc.Building || gc.Theme != wc.Theme {
+			t.Fatalf("cell %q fields: %+v vs %+v", wc.ID, gc, wc)
+		}
+		if (wc.Geometry == nil) != (gc.Geometry == nil) {
+			t.Fatalf("cell %q geometry presence differs", wc.ID)
+		}
+		if wc.Geometry != nil && !wc.Geometry.Equal(*gc.Geometry) {
+			t.Fatalf("cell %q geometry differs", wc.ID)
+		}
+		for k, v := range wc.Attrs {
+			if gc.Attrs[k] != v {
+				t.Fatalf("cell %q attr %q: %q vs %q", wc.ID, k, gc.Attrs[k], v)
+			}
+		}
+	}
+	if len(want.Joints()) != len(got.Joints()) {
+		t.Fatalf("joints: %d vs %d", len(want.Joints()), len(got.Joints()))
+	}
+	wj, gj := want.Joints(), got.Joints()
+	for i := range wj {
+		if wj[i] != gj[i] {
+			t.Fatalf("joint %d: %+v vs %+v", i, wj[i], gj[i])
+		}
+	}
+	// Edge multiset per layer.
+	for _, l := range want.Layers() {
+		wg, _ := want.NRG(l.ID)
+		gg, ok := got.NRG(l.ID)
+		if !ok {
+			t.Fatalf("layer %q lost", l.ID)
+		}
+		if wg.NumEdges() != gg.NumEdges() {
+			t.Fatalf("layer %q edges: %d vs %d", l.ID, wg.NumEdges(), gg.NumEdges())
+		}
+		wes, ges := edgeSet(wg.Edges()), edgeSet(gg.Edges())
+		for sig, n := range wes {
+			if ges[sig] != n {
+				t.Fatalf("layer %q edge %q: %d vs %d", l.ID, sig, ges[sig], n)
+			}
+		}
+	}
+}
+
+func edgeSet(edges []graph.Edge) map[string]int {
+	m := make(map[string]int)
+	for _, e := range edges {
+		m[e.From+"|"+e.To+"|"+e.ID+"|"+e.Kind]++
+	}
+	return m
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(strings.NewReader("not xml")); err == nil {
+		t.Error("bad xml must error")
+	}
+	bad := `<IndoorFeatures><SpaceLayer id="l" kind="topographic" rank="0"></SpaceLayer>` +
+		`<CellSpace id="c" layer="l" floor="0"><Geometry><Exterior>zz</Exterior></Geometry></CellSpace></IndoorFeatures>`
+	if _, err := Decode(strings.NewReader(bad)); err == nil {
+		t.Error("bad position must error")
+	}
+	badRel := `<IndoorFeatures><SpaceLayer id="a" kind="topographic" rank="1"/><SpaceLayer id="b" kind="topographic" rank="0"/>` +
+		`<CellSpace id="x" layer="a" floor="0"/><CellSpace id="y" layer="b" floor="0"/>` +
+		`<InterLayerConnection from="x" to="y" rel="NOPE"/></IndoorFeatures>`
+	if _, err := Decode(strings.NewReader(badRel)); err == nil {
+		t.Error("unknown relation must error")
+	}
+}

@@ -1,0 +1,591 @@
+// Package graph provides the directed multigraph substrate used by the
+// indoor space model: IndoorGML Node-Relation Graphs are multigraphs (two
+// rooms may be connected by several doors), accessibility is directed
+// (§3.2: one-way movement such as the Salle des États exit-only rule), and
+// the layered space graph is an edge-coloured multigraph.
+//
+// Nodes are identified by strings. Edges carry a kind (colour), an optional
+// identifier (e.g. a door name) and a weight. Iteration order is
+// deterministic: nodes and edges are visited in insertion order.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Edge is a directed edge of a multigraph.
+type Edge struct {
+	ID     string  // optional identifier, e.g. "door012"
+	From   string  // source node
+	To     string  // target node
+	Kind   string  // edge colour, e.g. "accessibility" or "contains"
+	Weight float64 // traversal cost; defaults to 1 when zero or negative
+}
+
+// cost returns the effective traversal weight.
+func (e Edge) cost() float64 {
+	if e.Weight <= 0 {
+		return 1
+	}
+	return e.Weight
+}
+
+// Graph is a directed multigraph. The zero value is not usable; call New.
+type Graph struct {
+	nodes   []string
+	nodeIdx map[string]int
+	edges   []Edge
+	out     map[string][]int // node -> indexes into edges
+	in      map[string][]int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodeIdx: make(map[string]int),
+		out:     make(map[string][]int),
+		in:      make(map[string][]int),
+	}
+}
+
+// ErrNodeExists is returned when adding a duplicate node.
+var ErrNodeExists = errors.New("graph: node already exists")
+
+// ErrNoNode is returned when an operation references an unknown node.
+var ErrNoNode = errors.New("graph: no such node")
+
+// ErrNoPath is returned when no path exists between the queried nodes.
+var ErrNoPath = errors.New("graph: no path")
+
+// AddNode inserts a node. Adding an existing node returns ErrNodeExists.
+func (g *Graph) AddNode(id string) error {
+	if _, ok := g.nodeIdx[id]; ok {
+		return fmt.Errorf("%w: %q", ErrNodeExists, id)
+	}
+	g.nodeIdx[id] = len(g.nodes)
+	g.nodes = append(g.nodes, id)
+	return nil
+}
+
+// EnsureNode inserts the node if absent.
+func (g *Graph) EnsureNode(id string) {
+	if !g.HasNode(id) {
+		_ = g.AddNode(id)
+	}
+}
+
+// HasNode reports whether the node exists.
+func (g *Graph) HasNode(id string) bool {
+	_, ok := g.nodeIdx[id]
+	return ok
+}
+
+// Nodes returns all node ids in insertion order.
+func (g *Graph) Nodes() []string {
+	out := make([]string, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddEdge inserts a directed edge; endpoints are created if missing.
+// Parallel edges are allowed (it is a multigraph).
+func (g *Graph) AddEdge(e Edge) {
+	g.EnsureNode(e.From)
+	g.EnsureNode(e.To)
+	idx := len(g.edges)
+	g.edges = append(g.edges, e)
+	g.out[e.From] = append(g.out[e.From], idx)
+	g.in[e.To] = append(g.in[e.To], idx)
+}
+
+// AddBiEdge inserts the edge and its reverse (for symmetric relations such
+// as adjacency and connectivity).
+func (g *Graph) AddBiEdge(e Edge) {
+	g.AddEdge(e)
+	rev := e
+	rev.From, rev.To = e.To, e.From
+	g.AddEdge(rev)
+}
+
+// Edges returns a copy of all edges in insertion order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// OutEdges returns the edges leaving node id, in insertion order.
+func (g *Graph) OutEdges(id string) []Edge {
+	idxs := g.out[id]
+	out := make([]Edge, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, g.edges[i])
+	}
+	return out
+}
+
+// InEdges returns the edges entering node id, in insertion order.
+func (g *Graph) InEdges(id string) []Edge {
+	idxs := g.in[id]
+	out := make([]Edge, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, g.edges[i])
+	}
+	return out
+}
+
+// EdgesBetween returns all edges from a to b, in insertion order.
+func (g *Graph) EdgesBetween(a, b string) []Edge {
+	var out []Edge
+	for _, i := range g.out[a] {
+		if g.edges[i].To == b {
+			out = append(out, g.edges[i])
+		}
+	}
+	return out
+}
+
+// HasEdge reports whether at least one edge a→b exists.
+func (g *Graph) HasEdge(a, b string) bool {
+	for _, i := range g.out[a] {
+		if g.edges[i].To == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Successors returns the distinct successor nodes of id, in first-seen order.
+func (g *Graph) Successors(id string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, i := range g.out[id] {
+		to := g.edges[i].To
+		if !seen[to] {
+			seen[to] = true
+			out = append(out, to)
+		}
+	}
+	return out
+}
+
+// Predecessors returns the distinct predecessor nodes of id.
+func (g *Graph) Predecessors(id string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, i := range g.in[id] {
+		from := g.edges[i].From
+		if !seen[from] {
+			seen[from] = true
+			out = append(out, from)
+		}
+	}
+	return out
+}
+
+// OutDegree returns the number of edges leaving id.
+func (g *Graph) OutDegree(id string) int { return len(g.out[id]) }
+
+// InDegree returns the number of edges entering id.
+func (g *Graph) InDegree(id string) int { return len(g.in[id]) }
+
+// FilterKind returns a subgraph view containing all nodes but only the edges
+// of the given kinds. The result is a new graph; mutations do not propagate.
+func (g *Graph) FilterKind(kinds ...string) *Graph {
+	want := make(map[string]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	f := New()
+	for _, n := range g.nodes {
+		f.EnsureNode(n)
+	}
+	for _, e := range g.edges {
+		if want[e.Kind] {
+			f.AddEdge(e)
+		}
+	}
+	return f
+}
+
+// BFS traverses breadth-first from start and returns nodes in visit order.
+// Returns ErrNoNode if start is unknown.
+func (g *Graph) BFS(start string) ([]string, error) {
+	if !g.HasNode(start) {
+		return nil, fmt.Errorf("%w: %q", ErrNoNode, start)
+	}
+	visited := map[string]bool{start: true}
+	order := []string{start}
+	queue := []string{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range g.Successors(cur) {
+			if !visited[next] {
+				visited[next] = true
+				order = append(order, next)
+				queue = append(queue, next)
+			}
+		}
+	}
+	return order, nil
+}
+
+// DFS traverses depth-first from start and returns nodes in preorder.
+func (g *Graph) DFS(start string) ([]string, error) {
+	if !g.HasNode(start) {
+		return nil, fmt.Errorf("%w: %q", ErrNoNode, start)
+	}
+	visited := make(map[string]bool)
+	var order []string
+	var rec func(string)
+	rec = func(id string) {
+		visited[id] = true
+		order = append(order, id)
+		for _, next := range g.Successors(id) {
+			if !visited[next] {
+				rec(next)
+			}
+		}
+	}
+	rec(start)
+	return order, nil
+}
+
+// Reachable returns the set of nodes reachable from start (including start).
+func (g *Graph) Reachable(start string) map[string]bool {
+	order, err := g.BFS(start)
+	if err != nil {
+		return nil
+	}
+	set := make(map[string]bool, len(order))
+	for _, n := range order {
+		set[n] = true
+	}
+	return set
+}
+
+// Path is a weighted node sequence with the edges taken between consecutive
+// nodes.
+type Path struct {
+	Nodes  []string
+	Edges  []Edge
+	Weight float64
+}
+
+// ShortestPath runs Dijkstra from src to dst using edge weights (weight ≤ 0
+// counts as 1). Among equal-cost edges between the same pair, the first
+// inserted wins, keeping results deterministic.
+func (g *Graph) ShortestPath(src, dst string) (Path, error) {
+	if !g.HasNode(src) {
+		return Path{}, fmt.Errorf("%w: %q", ErrNoNode, src)
+	}
+	if !g.HasNode(dst) {
+		return Path{}, fmt.Errorf("%w: %q", ErrNoNode, dst)
+	}
+	dist := map[string]float64{src: 0}
+	prevEdge := map[string]Edge{}
+	done := map[string]bool{}
+
+	for {
+		// Extract the unsettled node with minimal distance; linear scan is
+		// fine at indoor-model scale (thousands of cells).
+		cur, best := "", math.Inf(1)
+		for n, d := range dist {
+			if !done[n] && d < best {
+				cur, best = n, d
+			}
+		}
+		if cur == "" {
+			break
+		}
+		if cur == dst {
+			break
+		}
+		done[cur] = true
+		for _, e := range g.OutEdges(cur) {
+			nd := best + e.cost()
+			if d, ok := dist[e.To]; !ok || nd < d {
+				dist[e.To] = nd
+				prevEdge[e.To] = e
+			}
+		}
+	}
+	if _, ok := dist[dst]; !ok {
+		return Path{}, fmt.Errorf("%w: %s → %s", ErrNoPath, src, dst)
+	}
+	// Reconstruct.
+	var p Path
+	p.Weight = dist[dst]
+	for at := dst; at != src; {
+		e := prevEdge[at]
+		p.Edges = append(p.Edges, e)
+		p.Nodes = append(p.Nodes, at)
+		at = e.From
+	}
+	p.Nodes = append(p.Nodes, src)
+	reverseStrings(p.Nodes)
+	reverseEdges(p.Edges)
+	return p, nil
+}
+
+func reverseStrings(s []string) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+func reverseEdges(s []Edge) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// KShortestPaths returns up to k loopless shortest paths (Yen's algorithm)
+// from src to dst, ordered by weight. Used by the trajectory inference to
+// enumerate plausible undetected cell sequences between two detections.
+func (g *Graph) KShortestPaths(src, dst string, k int) ([]Path, error) {
+	first, err := g.ShortestPath(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	paths := []Path{first}
+	var candidates []Path
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		for i := 0; i < len(prev.Nodes)-1; i++ {
+			spurNode := prev.Nodes[i]
+			rootNodes := prev.Nodes[:i+1]
+			rootEdges := prev.Edges[:i]
+
+			banned := make(map[string]bool) // edge signatures removed
+			for _, p := range paths {
+				if len(p.Nodes) > i && equalPrefix(p.Nodes, rootNodes) {
+					banned[edgeSig(p.Edges[i])] = true
+				}
+			}
+			bannedNodes := make(map[string]bool)
+			for _, n := range rootNodes[:len(rootNodes)-1] {
+				bannedNodes[n] = true
+			}
+
+			sub := g.without(banned, bannedNodes)
+			spur, err := sub.ShortestPath(spurNode, dst)
+			if err != nil {
+				continue
+			}
+			total := Path{
+				Nodes:  append(append([]string{}, rootNodes...), spur.Nodes[1:]...),
+				Edges:  append(append([]Edge{}, rootEdges...), spur.Edges...),
+				Weight: pathWeight(rootEdges) + spur.Weight,
+			}
+			if !containsPath(candidates, total) && !containsPath(paths, total) {
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.SliceStable(candidates, func(a, b int) bool {
+			return candidates[a].Weight < candidates[b].Weight
+		})
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths, nil
+}
+
+func pathWeight(edges []Edge) float64 {
+	var w float64
+	for _, e := range edges {
+		w += e.cost()
+	}
+	return w
+}
+
+func edgeSig(e Edge) string {
+	return e.From + "\x00" + e.To + "\x00" + e.ID + "\x00" + e.Kind
+}
+
+func equalPrefix(nodes, prefix []string) bool {
+	if len(nodes) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if nodes[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(ps []Path, p Path) bool {
+	for _, q := range ps {
+		if len(q.Nodes) == len(p.Nodes) {
+			same := true
+			for i := range q.Nodes {
+				if q.Nodes[i] != p.Nodes[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// without returns a copy of g with the given edge signatures and nodes
+// removed.
+func (g *Graph) without(bannedEdges map[string]bool, bannedNodes map[string]bool) *Graph {
+	f := New()
+	for _, n := range g.nodes {
+		if !bannedNodes[n] {
+			f.EnsureNode(n)
+		}
+	}
+	for _, e := range g.edges {
+		if bannedNodes[e.From] || bannedNodes[e.To] || bannedEdges[edgeSig(e)] {
+			continue
+		}
+		f.AddEdge(e)
+	}
+	return f
+}
+
+// StronglyConnectedComponents returns the SCCs of the graph (Tarjan),
+// each sorted, the list ordered by each component's smallest member.
+func (g *Graph) StronglyConnectedComponents() [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var comps [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g.Successors(v) {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			comps = append(comps, comp)
+		}
+	}
+	for _, v := range g.nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	sort.Slice(comps, func(a, b int) bool { return comps[a][0] < comps[b][0] })
+	return comps
+}
+
+// ErrCycle is returned by TopoSort on cyclic graphs.
+var ErrCycle = errors.New("graph: cycle detected")
+
+// TopoSort returns a topological order of the nodes, or ErrCycle. Among
+// ready nodes, insertion order is preserved (deterministic).
+func (g *Graph) TopoSort() ([]string, error) {
+	indeg := make(map[string]int, len(g.nodes))
+	for _, n := range g.nodes {
+		indeg[n] = 0
+	}
+	for _, e := range g.edges {
+		indeg[e.To]++
+	}
+	var ready []string
+	for _, n := range g.nodes {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	var order []string
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		for _, e := range g.OutEdges(n) {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				ready = append(ready, e.To)
+			}
+		}
+	}
+	if len(order) != len(g.nodes) {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// Undirected returns a copy with every edge mirrored, for symmetric
+// analyses (e.g. weak connectivity of an accessibility NRG).
+func (g *Graph) Undirected() *Graph {
+	f := New()
+	for _, n := range g.nodes {
+		f.EnsureNode(n)
+	}
+	for _, e := range g.edges {
+		f.AddEdge(e)
+		rev := e
+		rev.From, rev.To = e.To, e.From
+		f.AddEdge(rev)
+	}
+	return f
+}
+
+// ConnectedComponents returns the weakly connected components, each sorted,
+// ordered by smallest member.
+func (g *Graph) ConnectedComponents() [][]string {
+	u := g.Undirected()
+	seen := make(map[string]bool)
+	var comps [][]string
+	for _, n := range u.nodes {
+		if seen[n] {
+			continue
+		}
+		order, _ := u.BFS(n)
+		for _, m := range order {
+			seen[m] = true
+		}
+		sort.Strings(order)
+		comps = append(comps, order)
+	}
+	sort.Slice(comps, func(a, b int) bool { return comps[a][0] < comps[b][0] })
+	return comps
+}

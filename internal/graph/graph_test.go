@@ -1,0 +1,372 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func lineGraph(n int) *Graph {
+	g := New()
+	for i := 0; i < n-1; i++ {
+		g.AddBiEdge(Edge{From: node(i), To: node(i + 1), Kind: "acc"})
+	}
+	return g
+}
+
+func node(i int) string { return string(rune('a' + i)) }
+
+func TestAddNode(t *testing.T) {
+	g := New()
+	if err := g.AddNode("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode("a"); !errors.Is(err, ErrNodeExists) {
+		t.Errorf("duplicate add: %v", err)
+	}
+	g.EnsureNode("a") // no-op
+	g.EnsureNode("b")
+	if g.NumNodes() != 2 {
+		t.Errorf("NumNodes = %d", g.NumNodes())
+	}
+	if !g.HasNode("b") || g.HasNode("zz") {
+		t.Error("HasNode wrong")
+	}
+}
+
+func TestEdgesAndDegrees(t *testing.T) {
+	g := New()
+	g.AddEdge(Edge{ID: "door1", From: "r1", To: "r2", Kind: "acc"})
+	g.AddEdge(Edge{ID: "door2", From: "r1", To: "r2", Kind: "acc"}) // parallel
+	g.AddEdge(Edge{ID: "wall", From: "r2", To: "r3", Kind: "adj"})
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if got := len(g.EdgesBetween("r1", "r2")); got != 2 {
+		t.Errorf("parallel edges = %d", got)
+	}
+	if !g.HasEdge("r1", "r2") || g.HasEdge("r2", "r1") {
+		t.Error("HasEdge direction wrong")
+	}
+	if g.OutDegree("r1") != 2 || g.InDegree("r2") != 2 || g.InDegree("r1") != 0 {
+		t.Error("degrees wrong")
+	}
+	if got := g.Successors("r1"); len(got) != 1 || got[0] != "r2" {
+		t.Errorf("Successors dedup = %v", got)
+	}
+	if got := g.Predecessors("r2"); len(got) != 1 || got[0] != "r1" {
+		t.Errorf("Predecessors = %v", got)
+	}
+	if got := g.OutEdges("r1"); len(got) != 2 || got[0].ID != "door1" {
+		t.Errorf("OutEdges order = %v", got)
+	}
+	if got := g.InEdges("r3"); len(got) != 1 || got[0].ID != "wall" {
+		t.Errorf("InEdges = %v", got)
+	}
+}
+
+func TestFilterKind(t *testing.T) {
+	g := New()
+	g.AddEdge(Edge{From: "a", To: "b", Kind: "acc"})
+	g.AddEdge(Edge{From: "a", To: "b", Kind: "adj"})
+	g.AddEdge(Edge{From: "b", To: "c", Kind: "joint"})
+	f := g.FilterKind("acc", "joint")
+	if f.NumEdges() != 2 {
+		t.Errorf("filtered edges = %d", f.NumEdges())
+	}
+	if f.NumNodes() != g.NumNodes() {
+		t.Error("filter must keep all nodes")
+	}
+}
+
+func TestBFSDFS(t *testing.T) {
+	g := lineGraph(5) // a-b-c-d-e bidirectional
+	order, err := g.BFS("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c", "d", "e"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("BFS order = %v", order)
+		}
+	}
+	dfs, err := g.DFS("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dfs) != 5 || dfs[0] != "a" {
+		t.Errorf("DFS = %v", dfs)
+	}
+	if _, err := g.BFS("zz"); !errors.Is(err, ErrNoNode) {
+		t.Error("BFS unknown start must fail")
+	}
+	if _, err := g.DFS("zz"); !errors.Is(err, ErrNoNode) {
+		t.Error("DFS unknown start must fail")
+	}
+	if set := g.Reachable("c"); len(set) != 5 {
+		t.Errorf("Reachable = %v", set)
+	}
+	if set := g.Reachable("zz"); set != nil {
+		t.Error("Reachable from unknown node must be nil")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := New()
+	g.AddEdge(Edge{From: "a", To: "b", Weight: 1})
+	g.AddEdge(Edge{From: "b", To: "c", Weight: 1})
+	g.AddEdge(Edge{From: "a", To: "c", Weight: 5})
+	p, err := g.ShortestPath("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Weight != 2 || len(p.Nodes) != 3 || p.Nodes[1] != "b" {
+		t.Errorf("path = %+v", p)
+	}
+	if len(p.Edges) != 2 || p.Edges[0].From != "a" || p.Edges[1].To != "c" {
+		t.Errorf("path edges = %+v", p.Edges)
+	}
+	// Direction matters.
+	if _, err := g.ShortestPath("c", "a"); !errors.Is(err, ErrNoPath) {
+		t.Error("reverse path must not exist")
+	}
+	if _, err := g.ShortestPath("zz", "a"); !errors.Is(err, ErrNoNode) {
+		t.Error("unknown src")
+	}
+	if _, err := g.ShortestPath("a", "zz"); !errors.Is(err, ErrNoNode) {
+		t.Error("unknown dst")
+	}
+	// Trivial path.
+	p, err = g.ShortestPath("a", "a")
+	if err != nil || p.Weight != 0 || len(p.Nodes) != 1 {
+		t.Errorf("self path = %+v, %v", p, err)
+	}
+}
+
+func TestShortestPathDefaultWeight(t *testing.T) {
+	g := lineGraph(4)
+	p, err := g.ShortestPath("a", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Weight != 3 {
+		t.Errorf("unit-weight path = %v", p.Weight)
+	}
+}
+
+func TestKShortestPaths(t *testing.T) {
+	// Diamond: a→b→d (2), a→c→d (2.5), a→d (4)
+	g := New()
+	g.AddEdge(Edge{From: "a", To: "b", Weight: 1})
+	g.AddEdge(Edge{From: "b", To: "d", Weight: 1})
+	g.AddEdge(Edge{From: "a", To: "c", Weight: 1.5})
+	g.AddEdge(Edge{From: "c", To: "d", Weight: 1})
+	g.AddEdge(Edge{From: "a", To: "d", Weight: 4})
+	paths, err := g.KShortestPaths("a", "d", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths", len(paths))
+	}
+	if paths[0].Weight != 2 || paths[1].Weight != 2.5 || paths[2].Weight != 4 {
+		t.Errorf("weights = %v %v %v", paths[0].Weight, paths[1].Weight, paths[2].Weight)
+	}
+	// Asking for more paths than exist returns what exists.
+	paths, err = g.KShortestPaths("a", "d", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Errorf("exhaustive k-shortest = %d", len(paths))
+	}
+	if _, err := g.KShortestPaths("d", "a", 2); !errors.Is(err, ErrNoPath) {
+		t.Error("no reverse path expected")
+	}
+}
+
+func TestSCC(t *testing.T) {
+	g := New()
+	// Cycle a→b→c→a plus tail c→d.
+	g.AddEdge(Edge{From: "a", To: "b"})
+	g.AddEdge(Edge{From: "b", To: "c"})
+	g.AddEdge(Edge{From: "c", To: "a"})
+	g.AddEdge(Edge{From: "c", To: "d"})
+	comps := g.StronglyConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("SCCs = %v", comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != "a" {
+		t.Errorf("big SCC = %v", comps[0])
+	}
+	if len(comps[1]) != 1 || comps[1][0] != "d" {
+		t.Errorf("singleton SCC = %v", comps[1])
+	}
+}
+
+func TestTopoSort(t *testing.T) {
+	g := New()
+	g.AddEdge(Edge{From: "building", To: "floor"})
+	g.AddEdge(Edge{From: "floor", To: "room"})
+	g.AddEdge(Edge{From: "building", To: "room"})
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if pos["building"] > pos["floor"] || pos["floor"] > pos["room"] {
+		t.Errorf("order = %v", order)
+	}
+	g.AddEdge(Edge{From: "room", To: "building"}) // cycle
+	if _, err := g.TopoSort(); !errors.Is(err, ErrCycle) {
+		t.Error("cycle must be detected")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New()
+	g.AddEdge(Edge{From: "a", To: "b"})
+	g.EnsureNode("z")
+	comps := g.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v", comps)
+	}
+	if len(comps[0]) != 2 || comps[1][0] != "z" {
+		t.Errorf("components = %v", comps)
+	}
+}
+
+func TestUndirected(t *testing.T) {
+	g := New()
+	g.AddEdge(Edge{From: "a", To: "b"})
+	u := g.Undirected()
+	if !u.HasEdge("b", "a") || !u.HasEdge("a", "b") {
+		t.Error("Undirected must mirror edges")
+	}
+	if g.HasEdge("b", "a") {
+		t.Error("original must be untouched")
+	}
+}
+
+func TestQuickBFSReachesAllOnRandomConnected(t *testing.T) {
+	// Property: on a random connected (bidirectional spanning tree + extras)
+	// graph, BFS from node 0 visits every node exactly once.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 2
+		g := New()
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = string(rune('A'+i%26)) + string(rune('0'+i/26))
+			g.EnsureNode(ids[i])
+		}
+		for i := 1; i < n; i++ {
+			j := rng.Intn(i)
+			g.AddBiEdge(Edge{From: ids[i], To: ids[j]})
+		}
+		for e := 0; e < n/2; e++ {
+			g.AddBiEdge(Edge{From: ids[rng.Intn(n)], To: ids[rng.Intn(n)]})
+		}
+		order, err := g.BFS(ids[0])
+		if err != nil {
+			return false
+		}
+		seen := map[string]int{}
+		for _, id := range order {
+			seen[id]++
+		}
+		if len(order) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDijkstraTriangleInequality(t *testing.T) {
+	// Property: shortest-path weights satisfy d(a,c) ≤ d(a,b) + d(b,c)
+	// whenever all three paths exist.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(15) + 3
+		g := New()
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = string(rune('A' + i))
+			g.EnsureNode(ids[i])
+		}
+		for e := 0; e < n*2; e++ {
+			g.AddEdge(Edge{
+				From:   ids[rng.Intn(n)],
+				To:     ids[rng.Intn(n)],
+				Weight: float64(rng.Intn(9) + 1),
+			})
+		}
+		a, b, c := ids[rng.Intn(n)], ids[rng.Intn(n)], ids[rng.Intn(n)]
+		pab, err1 := g.ShortestPath(a, b)
+		pbc, err2 := g.ShortestPath(b, c)
+		pac, err3 := g.ShortestPath(a, c)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return true // vacuously fine
+		}
+		return pac.Weight <= pab.Weight+pbc.Weight+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKShortestSorted(t *testing.T) {
+	// Property: KShortestPaths returns paths in non-decreasing weight and
+	// the first equals Dijkstra's result.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 4
+		g := New()
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = string(rune('A' + i))
+			g.EnsureNode(ids[i])
+		}
+		for e := 0; e < n*3; e++ {
+			g.AddEdge(Edge{
+				From:   ids[rng.Intn(n)],
+				To:     ids[rng.Intn(n)],
+				Weight: float64(rng.Intn(5) + 1),
+			})
+		}
+		src, dst := ids[0], ids[n-1]
+		sp, err := g.ShortestPath(src, dst)
+		if err != nil {
+			return true
+		}
+		paths, err := g.KShortestPaths(src, dst, 4)
+		if err != nil || len(paths) == 0 {
+			return false
+		}
+		if paths[0].Weight != sp.Weight {
+			return false
+		}
+		for i := 1; i < len(paths); i++ {
+			if paths[i].Weight < paths[i-1].Weight {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+package indoor
+
+import (
+	"fmt"
+
+	"sitm/internal/geom"
+	"sitm/internal/topo"
+)
+
+// sameFloorScope reports whether two cells can spatially interact: planar
+// geometry is only comparable on the same floor, unless one of them spans
+// all floors (buildings, complexes).
+func sameFloorScope(a, b *Cell) bool {
+	return a.Floor == b.Floor || a.Floor == AllFloors || b.Floor == AllFloors
+}
+
+// DeriveAdjacency applies the Poincaré duality to a layer's cell geometry:
+// every pair of same-floor cells sharing a positive-length boundary segment
+// (the paper's precondition for an intra-layer edge: the "meet" relation)
+// receives a symmetric adjacency edge. It returns the number of adjacent
+// pairs found. Cells without geometry are skipped.
+func (s *SpaceGraph) DeriveAdjacency(layerID string) (int, error) {
+	if _, ok := s.layers[layerID]; !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoLayer, layerID)
+	}
+	cells := s.CellsInLayer(layerID)
+	pairs := 0
+	for i := 0; i < len(cells); i++ {
+		for j := i + 1; j < len(cells); j++ {
+			a, b := cells[i], cells[j]
+			if a.Geometry == nil || b.Geometry == nil || !sameFloorScope(a, b) {
+				continue
+			}
+			if a.Geometry.SharedBoundaryLength(*b.Geometry) > geom.Eps {
+				if err := s.AddAdjacency(a.ID, b.ID); err != nil {
+					return pairs, err
+				}
+				pairs++
+			}
+		}
+	}
+	return pairs, nil
+}
+
+// DeriveJoints computes joint edges between two layers from cell geometry:
+// for every same-floor-scope cross-layer pair whose regions are neither
+// disjoint nor merely touching, a directed joint edge from the layerA cell
+// to the layerB cell is added with the computed RCC-8 relation. It returns
+// the number of joint edges added.
+func (s *SpaceGraph) DeriveJoints(layerA, layerB string) (int, error) {
+	if _, ok := s.layers[layerA]; !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoLayer, layerA)
+	}
+	if _, ok := s.layers[layerB]; !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoLayer, layerB)
+	}
+	if layerA == layerB {
+		return 0, fmt.Errorf("%w: %q", ErrSameLayer, layerA)
+	}
+	added := 0
+	for _, a := range s.CellsInLayer(layerA) {
+		for _, b := range s.CellsInLayer(layerB) {
+			if a.Geometry == nil || b.Geometry == nil || !sameFloorScope(a, b) {
+				continue
+			}
+			rel := topo.FromGeom(a.Geometry.Relate(*b.Geometry))
+			if !topo.JointEdgeRels.Has(rel) {
+				continue // disjoint or meet: no joint edge
+			}
+			if err := s.AddJoint(a.ID, b.ID, rel); err != nil {
+				return added, err
+			}
+			added++
+		}
+	}
+	return added, nil
+}
+
+// CoverageReport quantifies the full-coverage hypothesis of §4.2 (Figure 4):
+// the fraction of a parent cell's area covered by the union of its
+// hierarchy children. IndoorGML-adjacent work implicitly assumes ratio 1
+// ("a floor is fully covered by its rooms"), which the paper argues is
+// often unrealistic — e.g. exhibit RoIs never tile a whole room.
+type CoverageReport struct {
+	Parent   string
+	Children []string
+	Ratio    float64 // fraction of parent area covered by children, in [0,1]
+}
+
+// Coverage computes the coverage report of a parent cell with geometry,
+// probing on an n×n grid.
+func (s *SpaceGraph) Coverage(parentID string, n int) (CoverageReport, error) {
+	p, ok := s.Cell(parentID)
+	if !ok {
+		return CoverageReport{}, fmt.Errorf("%w: %q", ErrNoCell, parentID)
+	}
+	if p.Geometry == nil {
+		return CoverageReport{}, fmt.Errorf("indoor: cell %q has no geometry", parentID)
+	}
+	rep := CoverageReport{Parent: parentID}
+	var parts []geom.Polygon
+	for _, cid := range s.Children(parentID) {
+		c, _ := s.Cell(cid)
+		rep.Children = append(rep.Children, cid)
+		if c != nil && c.Geometry != nil {
+			parts = append(parts, *c.Geometry)
+		}
+	}
+	rep.Ratio = p.Geometry.CoverageRatio(parts, n)
+	return rep, nil
+}
+
+// ConstraintNetwork exports the joint edges touching the given cells into a
+// qualitative constraint network (package topo), enabling path-consistency
+// reasoning over the space model — e.g. inferring the relation between two
+// RoIs from their relations to a shared room.
+func (s *SpaceGraph) ConstraintNetwork(cellIDs ...string) (*topo.Network, error) {
+	want := make(map[string]bool, len(cellIDs))
+	for _, id := range cellIDs {
+		if _, ok := s.Cell(id); !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoCell, id)
+		}
+		want[id] = true
+	}
+	n := topo.NewNetwork(cellIDs...)
+	for _, j := range s.joints {
+		if want[j.From] && want[j.To] {
+			if err := n.AssertRel(j.From, j.To, j.Rel); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Same-layer cells never overlap (§2.1: ci ∩ cj = ∅): assert
+	// disjoint-or-meet for same-layer pairs on the same floor, and plain
+	// disjoint across floors.
+	for i, a := range cellIDs {
+		for _, b := range cellIDs[i+1:] {
+			ca, cb := s.cells[a], s.cells[b]
+			if ca.Layer != cb.Layer {
+				continue
+			}
+			var set topo.Set
+			if sameFloorScope(ca, cb) {
+				set = topo.NewSet(topo.DC, topo.EC)
+			} else {
+				set = topo.NewSet(topo.DC)
+			}
+			if err := n.Assert(a, b, set); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return n, nil
+}

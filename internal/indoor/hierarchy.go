@@ -1,0 +1,229 @@
+package indoor
+
+import (
+	"errors"
+	"fmt"
+
+	"sitm/internal/topo"
+)
+
+// Hierarchy is a layer hierarchy per §3.2: k ≥ 2 ordered layers connected
+// only consecutively by joint edges carrying "contains" or "covers"
+// (top-to-bottom direction). "overlap" is excluded (as in Kang & Li 2017)
+// and "equal" is excluded too, prohibiting node repetition in favour of a
+// proper hierarchy.
+//
+// Layers lists layer ids from coarsest (root) to finest (leaf).
+type Hierarchy struct {
+	Layers []string
+}
+
+// Canonical core layer names used by NewCoreHierarchy. Virtually any indoor
+// environment has the basic three-layer hierarchy Building–Floor–Room
+// (§3.2); BuildingComplex and RoI are the two optional typical extensions.
+const (
+	LayerBuildingComplex = "BuildingComplex"
+	LayerBuilding        = "Building"
+	LayerFloor           = "Floor"
+	LayerRoom            = "Room"
+	LayerRoI             = "RoI"
+)
+
+// NewCoreHierarchy returns the paper's core hierarchy Building → Floor →
+// Room, optionally extended with the BuildingComplex root and/or the RoI
+// leaf: "BuildingComplex" → "Building" → "Floor" → "Room" → "RoI".
+func NewCoreHierarchy(withComplex, withRoI bool) Hierarchy {
+	var layers []string
+	if withComplex {
+		layers = append(layers, LayerBuildingComplex)
+	}
+	layers = append(layers, LayerBuilding, LayerFloor, LayerRoom)
+	if withRoI {
+		layers = append(layers, LayerRoI)
+	}
+	return Hierarchy{Layers: layers}
+}
+
+// Errors reported by Hierarchy.Validate.
+var (
+	ErrHierarchyTooShort    = errors.New("indoor: hierarchy needs at least 2 layers")
+	ErrHierarchyLayerMiss   = errors.New("indoor: hierarchy layer not in space graph")
+	ErrHierarchyRankOrder   = errors.New("indoor: hierarchy layer ranks must strictly decrease")
+	ErrHierarchySkip        = errors.New("indoor: joint edge skips hierarchy layers")
+	ErrHierarchyBadRel      = errors.New("indoor: hierarchy joint edges admit only contains/covers")
+	ErrHierarchyOrphan      = errors.New("indoor: cell lacks a parent in the next coarser layer")
+	ErrHierarchyMultiParent = errors.New("indoor: cell has multiple parents")
+)
+
+// depth returns the index of a layer in the hierarchy, or -1.
+func (h Hierarchy) depth(layerID string) int {
+	for i, l := range h.Layers {
+		if l == layerID {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether the hierarchy includes the layer.
+func (h Hierarchy) Contains(layerID string) bool { return h.depth(layerID) >= 0 }
+
+// Root returns the coarsest layer id.
+func (h Hierarchy) Root() string { return h.Layers[0] }
+
+// Leaf returns the finest layer id.
+func (h Hierarchy) Leaf() string { return h.Layers[len(h.Layers)-1] }
+
+// CoarserThan reports whether layer a is strictly coarser than layer b in
+// the hierarchy.
+func (h Hierarchy) CoarserThan(a, b string) bool {
+	da, db := h.depth(a), h.depth(b)
+	return da >= 0 && db >= 0 && da < db
+}
+
+// normalizedJoint reorients a joint edge so that From is the coarser
+// (containing) cell, returning false for relations that cannot be oriented
+// that way (overlap, equal).
+func normalizedJoint(j JointEdge) (parent, child string, rel topo.Rel, ok bool) {
+	switch {
+	case j.Rel.IsProperWhole():
+		return j.From, j.To, j.Rel, true
+	case j.Rel.IsProperPart():
+		return j.To, j.From, j.Rel.Converse(), true
+	default:
+		return "", "", j.Rel, false
+	}
+}
+
+// Validate checks the hierarchy against a space graph:
+//
+//  1. at least two layers, all present in the graph, with strictly
+//     decreasing ranks (coarsest first);
+//  2. every joint edge between two hierarchy layers connects consecutive
+//     layers (no skipping) and carries contains/covers oriented
+//     coarse→fine (no overlap, no equal);
+//  3. every cell of a non-root hierarchy layer has exactly one parent in
+//     the next coarser layer (proper partonomy, enabling upward inference).
+func (h Hierarchy) Validate(s *SpaceGraph) error {
+	if len(h.Layers) < 2 {
+		return fmt.Errorf("%w: got %d", ErrHierarchyTooShort, len(h.Layers))
+	}
+	prevRank := 0
+	for i, lid := range h.Layers {
+		l, ok := s.Layer(lid)
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrHierarchyLayerMiss, lid)
+		}
+		if i > 0 && l.Rank >= prevRank {
+			return fmt.Errorf("%w: %q rank %d after rank %d", ErrHierarchyRankOrder, lid, l.Rank, prevRank)
+		}
+		prevRank = l.Rank
+	}
+
+	for _, j := range s.Joints() {
+		cf, _ := s.Cell(j.From)
+		ct, _ := s.Cell(j.To)
+		df, dt := h.depth(cf.Layer), h.depth(ct.Layer)
+		if df < 0 || dt < 0 {
+			continue // joint touches a layer outside this hierarchy
+		}
+		gap := df - dt
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap != 1 {
+			return fmt.Errorf("%w: %q(%s) → %q(%s)", ErrHierarchySkip, j.From, cf.Layer, j.To, ct.Layer)
+		}
+		parent, child, _, ok := normalizedJoint(j)
+		if !ok {
+			return fmt.Errorf("%w: %q→%q carries %v", ErrHierarchyBadRel, j.From, j.To, j.Rel)
+		}
+		// Orientation must match the hierarchy order.
+		pc, _ := s.Cell(parent)
+		cc, _ := s.Cell(child)
+		if !h.CoarserThan(pc.Layer, cc.Layer) {
+			return fmt.Errorf("%w: %q(%s) cannot contain %q(%s)", ErrHierarchyBadRel, parent, pc.Layer, child, cc.Layer)
+		}
+	}
+
+	// Parent uniqueness and existence for non-root layers.
+	for i := 1; i < len(h.Layers); i++ {
+		for _, c := range s.CellsInLayer(h.Layers[i]) {
+			parents := 0
+			for _, j := range s.JointsOf(c.ID) {
+				p, child, _, ok := normalizedJoint(j)
+				if !ok || child != c.ID {
+					continue
+				}
+				if pc, okc := s.Cell(p); okc && pc.Layer == h.Layers[i-1] {
+					parents++
+				}
+			}
+			switch {
+			case parents == 0:
+				return fmt.Errorf("%w: %q in layer %q", ErrHierarchyOrphan, c.ID, h.Layers[i])
+			case parents > 1:
+				return fmt.Errorf("%w: %q has %d parents", ErrHierarchyMultiParent, c.ID, parents)
+			}
+		}
+	}
+	return nil
+}
+
+// PathToRoot returns the chain of cells from the given cell up to the
+// hierarchy root (inclusive), using Parent links.
+func (h Hierarchy) PathToRoot(s *SpaceGraph, cellID string) ([]string, error) {
+	c, ok := s.Cell(cellID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoCell, cellID)
+	}
+	if !h.Contains(c.Layer) {
+		return nil, fmt.Errorf("%w: cell %q layer %q not in hierarchy", ErrHierarchyLayerMiss, cellID, c.Layer)
+	}
+	path := []string{cellID}
+	for c.Layer != h.Root() {
+		pid, _, ok := s.Parent(c.ID)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrHierarchyOrphan, c.ID)
+		}
+		path = append(path, pid)
+		c, _ = s.Cell(pid)
+	}
+	return path, nil
+}
+
+// LowestCommonAncestor returns the deepest cell that is an ancestor (or the
+// cell itself) of both arguments within the hierarchy. Mereological
+// transitivity makes this well-defined: parthood is isomorphic to set
+// inclusion (§3.2). The second result is false when the cells share no
+// ancestor (e.g. different building complexes).
+func (h Hierarchy) LowestCommonAncestor(s *SpaceGraph, a, b string) (string, bool) {
+	pa, err := h.PathToRoot(s, a)
+	if err != nil {
+		return "", false
+	}
+	pb, err := h.PathToRoot(s, b)
+	if err != nil {
+		return "", false
+	}
+	onB := make(map[string]bool, len(pb))
+	for _, id := range pb {
+		onB[id] = true
+	}
+	for _, id := range pa {
+		if onB[id] {
+			return id, true
+		}
+	}
+	return "", false
+}
+
+// Depth returns the hierarchy depth of the cell's layer (0 = root layer),
+// or -1 when the cell or its layer is outside the hierarchy.
+func (h Hierarchy) Depth(s *SpaceGraph, cellID string) int {
+	c, ok := s.Cell(cellID)
+	if !ok {
+		return -1
+	}
+	return h.depth(c.Layer)
+}

@@ -1,0 +1,215 @@
+package indoor
+
+import (
+	"errors"
+	"testing"
+
+	"sitm/internal/topo"
+)
+
+// buildCoreGraph constructs a minimal valid 5-layer instance of Figure 2:
+// complex → buildings A,B → floors → rooms → RoIs.
+func buildCoreGraph(t *testing.T) (*SpaceGraph, Hierarchy) {
+	t.Helper()
+	s := NewSpaceGraph()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AddLayer(Layer{ID: LayerBuildingComplex, Rank: 4}))
+	must(s.AddLayer(Layer{ID: LayerBuilding, Rank: 3}))
+	must(s.AddLayer(Layer{ID: LayerFloor, Rank: 2}))
+	must(s.AddLayer(Layer{ID: LayerRoom, Rank: 1}))
+	must(s.AddLayer(Layer{ID: LayerRoI, Rank: 0}))
+
+	must(s.AddCell(Cell{ID: "site", Layer: LayerBuildingComplex, Floor: AllFloors}))
+	for _, b := range []string{"A", "B"} {
+		must(s.AddCell(Cell{ID: b, Layer: LayerBuilding, Floor: AllFloors}))
+		must(s.AddJoint("site", b, topo.NTPPi))
+		must(s.AddCell(Cell{ID: "Floor" + b + "1", Layer: LayerFloor, Floor: 1, Building: b}))
+		must(s.AddJoint(b, "Floor"+b+"1", topo.TPPi))
+	}
+	must(s.AddCell(Cell{ID: "roomA11", Layer: LayerRoom, Floor: 1, Building: "A"}))
+	must(s.AddCell(Cell{ID: "roomA12", Layer: LayerRoom, Floor: 1, Building: "A"}))
+	must(s.AddCell(Cell{ID: "roomB11", Layer: LayerRoom, Floor: 1, Building: "B"}))
+	must(s.AddJoint("FloorA1", "roomA11", topo.TPPi))
+	must(s.AddJoint("FloorA1", "roomA12", topo.TPPi))
+	must(s.AddJoint("FloorB1", "roomB11", topo.TPPi))
+	must(s.AddCell(Cell{ID: "roi1", Layer: LayerRoI, Floor: 1, Building: "A"}))
+	must(s.AddJoint("roomA11", "roi1", topo.NTPPi))
+
+	h := NewCoreHierarchy(true, true)
+	return s, h
+}
+
+func TestNewCoreHierarchy(t *testing.T) {
+	h := NewCoreHierarchy(false, false)
+	if len(h.Layers) != 3 || h.Root() != LayerBuilding || h.Leaf() != LayerRoom {
+		t.Errorf("core = %v", h.Layers)
+	}
+	h = NewCoreHierarchy(true, true)
+	if len(h.Layers) != 5 || h.Root() != LayerBuildingComplex || h.Leaf() != LayerRoI {
+		t.Errorf("extended = %v", h.Layers)
+	}
+	if !h.Contains(LayerFloor) || h.Contains("nope") {
+		t.Error("Contains wrong")
+	}
+	if !h.CoarserThan(LayerBuilding, LayerRoom) || h.CoarserThan(LayerRoom, LayerBuilding) {
+		t.Error("CoarserThan wrong")
+	}
+	if h.CoarserThan("nope", LayerRoom) {
+		t.Error("unknown layer is never coarser")
+	}
+}
+
+func TestHierarchyValidateOK(t *testing.T) {
+	s, h := buildCoreGraph(t)
+	if err := h.Validate(s); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestHierarchyValidateTooShort(t *testing.T) {
+	s, _ := buildCoreGraph(t)
+	h := Hierarchy{Layers: []string{LayerRoom}}
+	if err := h.Validate(s); !errors.Is(err, ErrHierarchyTooShort) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestHierarchyValidateMissingLayer(t *testing.T) {
+	s, _ := buildCoreGraph(t)
+	h := Hierarchy{Layers: []string{LayerBuilding, "ghost"}}
+	if err := h.Validate(s); !errors.Is(err, ErrHierarchyLayerMiss) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestHierarchyValidateRankOrder(t *testing.T) {
+	s, _ := buildCoreGraph(t)
+	h := Hierarchy{Layers: []string{LayerRoom, LayerBuilding}} // fine before coarse
+	if err := h.Validate(s); !errors.Is(err, ErrHierarchyRankOrder) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestHierarchyValidateSkip(t *testing.T) {
+	s, h := buildCoreGraph(t)
+	// A joint from building straight to a room skips the floor layer.
+	if err := s.AddJoint("A", "roomA11", topo.NTPPi); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(s); !errors.Is(err, ErrHierarchySkip) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestHierarchyValidateBadRel(t *testing.T) {
+	s, h := buildCoreGraph(t)
+	// Overlap between consecutive hierarchy layers is prohibited.
+	if err := s.AddJoint("FloorA1", "roomA11", topo.PO); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(s); !errors.Is(err, ErrHierarchyBadRel) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestHierarchyValidateEqualProhibited(t *testing.T) {
+	s, h := buildCoreGraph(t)
+	if err := s.AddJoint("FloorB1", "roomB11", topo.EQ); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(s); !errors.Is(err, ErrHierarchyBadRel) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestHierarchyValidateOrphan(t *testing.T) {
+	s, h := buildCoreGraph(t)
+	if err := s.AddCell(Cell{ID: "lost", Layer: LayerRoom, Floor: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(s); !errors.Is(err, ErrHierarchyOrphan) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestHierarchyValidateMultiParent(t *testing.T) {
+	s, h := buildCoreGraph(t)
+	if err := s.AddJoint("FloorB1", "roomA11", topo.TPPi); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(s); !errors.Is(err, ErrHierarchyMultiParent) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestHierarchyValidateWrongOrientation(t *testing.T) {
+	s, h := buildCoreGraph(t)
+	// A room "containing" its floor inverts the hierarchy orientation.
+	if err := s.AddJoint("roomB11", "FloorB1", topo.NTPPi); err != nil {
+		t.Fatal(err)
+	}
+	err := h.Validate(s)
+	if !errors.Is(err, ErrHierarchyBadRel) && !errors.Is(err, ErrHierarchyMultiParent) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestPathToRoot(t *testing.T) {
+	s, h := buildCoreGraph(t)
+	path, err := h.PathToRoot(s, "roi1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"roi1", "roomA11", "FloorA1", "A", "site"}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Errorf("path[%d] = %q, want %q", i, path[i], want[i])
+		}
+	}
+	if _, err := h.PathToRoot(s, "zz"); !errors.Is(err, ErrNoCell) {
+		t.Errorf("missing cell: %v", err)
+	}
+}
+
+func TestLowestCommonAncestor(t *testing.T) {
+	s, h := buildCoreGraph(t)
+	tests := []struct {
+		a, b, want string
+	}{
+		{"roomA11", "roomA12", "FloorA1"},
+		{"roomA11", "roomB11", "site"},
+		{"roi1", "roomA12", "FloorA1"},
+		{"roi1", "roi1", "roi1"},
+		{"A", "roomA11", "A"},
+	}
+	for _, tc := range tests {
+		got, ok := h.LowestCommonAncestor(s, tc.a, tc.b)
+		if !ok || got != tc.want {
+			t.Errorf("LCA(%s,%s) = %q %v, want %q", tc.a, tc.b, got, ok, tc.want)
+		}
+	}
+	if _, ok := h.LowestCommonAncestor(s, "zz", "A"); ok {
+		t.Error("LCA with unknown cell")
+	}
+}
+
+func TestHierarchyDepth(t *testing.T) {
+	s, h := buildCoreGraph(t)
+	if d := h.Depth(s, "site"); d != 0 {
+		t.Errorf("Depth(site) = %d", d)
+	}
+	if d := h.Depth(s, "roi1"); d != 4 {
+		t.Errorf("Depth(roi1) = %d", d)
+	}
+	if d := h.Depth(s, "zz"); d != -1 {
+		t.Errorf("Depth(unknown) = %d", d)
+	}
+}

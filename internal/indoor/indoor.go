@@ -1,0 +1,544 @@
+// Package indoor implements the paper's indoor space model (§3.2): a
+// symbolic, semantically enriched representation of 2.5D indoor space as a
+// layered edge-coloured multigraph G = (V, ⋃ Eacc_i ∪ Etop), compatible with
+// OGC IndoorGML's Multi-Layered Space Model.
+//
+// Each layer is a directed accessibility Node-Relation Graph (NRG) over
+// non-overlapping cells; joint edges across layers carry RCC-8 topological
+// relations (any of the eight except "disjoint" and "meet"). Layer
+// hierarchies — ordered layers consecutively connected by "contains"/
+// "covers" joint edges only — enable location inference at every
+// granularity level above the detection data (§3.2).
+package indoor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sitm/internal/geom"
+	"sitm/internal/graph"
+	"sitm/internal/topo"
+)
+
+// LayerKind distinguishes the paper's topographic layers (Building, Floor,
+// Room: spatially defined) from semantic layers (thematic zones: defined by
+// meaning, e.g. exhibition themes).
+type LayerKind int
+
+// Layer kinds.
+const (
+	Topographic LayerKind = iota
+	Semantic
+)
+
+// String implements fmt.Stringer.
+func (k LayerKind) String() string {
+	switch k {
+	case Topographic:
+		return "topographic"
+	case Semantic:
+		return "semantic"
+	default:
+		return fmt.Sprintf("LayerKind(%d)", int(k))
+	}
+}
+
+// Layer is one decomposition of the indoor space (one NRG of the MLSM).
+// Rank orders layers by spatial granularity: higher rank = coarser (the
+// paper's Louvre instantiation numbers layers 4 (museum) down to 0 (RoIs)).
+type Layer struct {
+	ID   string
+	Kind LayerKind
+	Rank int
+	Desc string
+}
+
+// BoundaryKind classifies the physical or virtual boundary crossed by a
+// transition. Walls are non-traversable; the rest support movement and give
+// the accessibility NRG its multigraph character ("which door, staircase,
+// or elevator was used", Def 3.2).
+type BoundaryKind int
+
+// Boundary kinds.
+const (
+	Wall BoundaryKind = iota
+	Door
+	Opening // permanent opening without a door
+	Stair
+	Elevator
+	Escalator
+	Checkpoint // ticket/security control
+	Virtual    // purely semantic boundary (e.g. zone limit inside a hall)
+)
+
+// String implements fmt.Stringer.
+func (k BoundaryKind) String() string {
+	switch k {
+	case Wall:
+		return "wall"
+	case Door:
+		return "door"
+	case Opening:
+		return "opening"
+	case Stair:
+		return "stair"
+	case Elevator:
+		return "elevator"
+	case Escalator:
+		return "escalator"
+	case Checkpoint:
+		return "checkpoint"
+	case Virtual:
+		return "virtual"
+	default:
+		return fmt.Sprintf("BoundaryKind(%d)", int(k))
+	}
+}
+
+// Traversable reports whether a moving object can cross the boundary.
+func (k BoundaryKind) Traversable() bool { return k != Wall }
+
+// Boundary is a named cell boundary (the dual of an NRG edge, Table 1).
+type Boundary struct {
+	ID   string
+	Kind BoundaryKind
+	Name string
+}
+
+// AllFloors marks cells that span every floor (buildings, building
+// complexes).
+const AllFloors = -1 << 30
+
+// Cell is a symbolic indoor spatial region: the smallest organisational
+// unit of a layer (IndoorGML cellspace). Geometry is optional; purely
+// symbolic models work without it.
+type Cell struct {
+	ID       string
+	Name     string
+	Layer    string
+	Class    string // e.g. "BuildingComplex", "Building", "Floor", "Room", "RoI", "Zone"
+	Floor    int    // floor level; AllFloors for multi-floor cells
+	Building string // owning building id, "" when not applicable
+	Theme    string // semantic theme (e.g. "Italian Paintings")
+	Geometry *geom.Polygon
+	Attrs    map[string]string
+}
+
+// JointEdge is an inter-layer edge of the MLSM carrying a binary
+// topological relation between cells of two different layers. Joint edges
+// are directed (§3.2): "contains" and "covers" are not symmetric.
+type JointEdge struct {
+	From string
+	To   string
+	Rel  topo.Rel
+}
+
+// Edge kind labels used in the per-layer NRGs.
+const (
+	EdgeAccessibility = "accessibility"
+	EdgeConnectivity  = "connectivity"
+	EdgeAdjacency     = "adjacency"
+)
+
+// Errors returned by SpaceGraph operations.
+var (
+	ErrLayerExists    = errors.New("indoor: layer already exists")
+	ErrNoLayer        = errors.New("indoor: no such layer")
+	ErrCellExists     = errors.New("indoor: cell already exists")
+	ErrNoCell         = errors.New("indoor: no such cell")
+	ErrCrossLayer     = errors.New("indoor: intra-layer edge endpoints must share a layer")
+	ErrSameLayer      = errors.New("indoor: joint edge endpoints must be in different layers")
+	ErrBadJointRel    = errors.New("indoor: joint edges exclude disjoint and meet")
+	ErrNotTraversable = errors.New("indoor: boundary kind is not traversable")
+)
+
+// SpaceGraph is the layered multigraph G of §3.2. The zero value is not
+// usable; construct with NewSpaceGraph.
+type SpaceGraph struct {
+	layers     map[string]*Layer
+	layerOrder []string
+	cells      map[string]*Cell
+	cellOrder  []string
+	boundaries map[string]Boundary
+	nrg        map[string]*graph.Graph // per-layer intra-layer multigraph
+	joints     []JointEdge
+	jointsFrom map[string][]int
+	jointsTo   map[string][]int
+}
+
+// NewSpaceGraph returns an empty space graph.
+func NewSpaceGraph() *SpaceGraph {
+	return &SpaceGraph{
+		layers:     make(map[string]*Layer),
+		cells:      make(map[string]*Cell),
+		boundaries: make(map[string]Boundary),
+		nrg:        make(map[string]*graph.Graph),
+		jointsFrom: make(map[string][]int),
+		jointsTo:   make(map[string][]int),
+	}
+}
+
+// AddLayer registers a layer.
+func (s *SpaceGraph) AddLayer(l Layer) error {
+	if _, ok := s.layers[l.ID]; ok {
+		return fmt.Errorf("%w: %q", ErrLayerExists, l.ID)
+	}
+	cp := l
+	s.layers[l.ID] = &cp
+	s.layerOrder = append(s.layerOrder, l.ID)
+	s.nrg[l.ID] = graph.New()
+	return nil
+}
+
+// Layer returns the layer with the given id.
+func (s *SpaceGraph) Layer(id string) (*Layer, bool) {
+	l, ok := s.layers[id]
+	return l, ok
+}
+
+// Layers returns all layers sorted by descending rank (coarsest first),
+// breaking ties by insertion order.
+func (s *SpaceGraph) Layers() []*Layer {
+	out := make([]*Layer, 0, len(s.layerOrder))
+	for _, id := range s.layerOrder {
+		out = append(out, s.layers[id])
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Rank > out[b].Rank })
+	return out
+}
+
+// AddCell registers a cell; its layer must exist.
+func (s *SpaceGraph) AddCell(c Cell) error {
+	if _, ok := s.cells[c.ID]; ok {
+		return fmt.Errorf("%w: %q", ErrCellExists, c.ID)
+	}
+	if _, ok := s.layers[c.Layer]; !ok {
+		return fmt.Errorf("%w: %q (adding cell %q)", ErrNoLayer, c.Layer, c.ID)
+	}
+	cp := c
+	s.cells[c.ID] = &cp
+	s.cellOrder = append(s.cellOrder, c.ID)
+	s.nrg[c.Layer].EnsureNode(c.ID)
+	return nil
+}
+
+// Cell returns the cell with the given id.
+func (s *SpaceGraph) Cell(id string) (*Cell, bool) {
+	c, ok := s.cells[id]
+	return c, ok
+}
+
+// MustCell returns the cell or panics; for use in model-construction code
+// where absence is a programming error.
+func (s *SpaceGraph) MustCell(id string) *Cell {
+	c, ok := s.cells[id]
+	if !ok {
+		panic(fmt.Sprintf("indoor: no cell %q", id))
+	}
+	return c
+}
+
+// Cells returns all cells in insertion order.
+func (s *SpaceGraph) Cells() []*Cell {
+	out := make([]*Cell, 0, len(s.cellOrder))
+	for _, id := range s.cellOrder {
+		out = append(out, s.cells[id])
+	}
+	return out
+}
+
+// CellsInLayer returns the cells of a layer in insertion order.
+func (s *SpaceGraph) CellsInLayer(layerID string) []*Cell {
+	var out []*Cell
+	for _, id := range s.cellOrder {
+		if c := s.cells[id]; c.Layer == layerID {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// NumCells returns the total cell count.
+func (s *SpaceGraph) NumCells() int { return len(s.cells) }
+
+// AddBoundary registers boundary metadata (door, stair, ...). Re-adding a
+// boundary id overwrites it.
+func (s *SpaceGraph) AddBoundary(b Boundary) { s.boundaries[b.ID] = b }
+
+// BoundaryOf returns boundary metadata by id.
+func (s *SpaceGraph) BoundaryOf(id string) (Boundary, bool) {
+	b, ok := s.boundaries[id]
+	return b, ok
+}
+
+// checkIntra validates endpoints of an intra-layer edge and returns their
+// shared layer.
+func (s *SpaceGraph) checkIntra(from, to string) (string, error) {
+	cf, ok := s.cells[from]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNoCell, from)
+	}
+	ct, ok := s.cells[to]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNoCell, to)
+	}
+	if cf.Layer != ct.Layer {
+		return "", fmt.Errorf("%w: %q in %q, %q in %q", ErrCrossLayer, from, cf.Layer, to, ct.Layer)
+	}
+	return cf.Layer, nil
+}
+
+// AddAccess adds a directed accessibility edge from→to crossing the given
+// boundary. If the boundary is registered and not traversable, the edge is
+// rejected. Accessibility is directed (§3.2): one-way movement is the norm
+// in managed venues (Salle des États example).
+func (s *SpaceGraph) AddAccess(from, to, boundaryID string) error {
+	layer, err := s.checkIntra(from, to)
+	if err != nil {
+		return err
+	}
+	if b, ok := s.boundaries[boundaryID]; ok && !b.Kind.Traversable() {
+		return fmt.Errorf("%w: %q is a %v", ErrNotTraversable, boundaryID, b.Kind)
+	}
+	s.nrg[layer].AddEdge(graph.Edge{ID: boundaryID, From: from, To: to, Kind: EdgeAccessibility})
+	return nil
+}
+
+// AddBiAccess adds accessibility in both directions through one boundary.
+func (s *SpaceGraph) AddBiAccess(a, b, boundaryID string) error {
+	if err := s.AddAccess(a, b, boundaryID); err != nil {
+		return err
+	}
+	return s.AddAccess(b, a, boundaryID)
+}
+
+// AddAdjacency records the symmetric "meet" relation between two same-layer
+// cells (they share a boundary surface).
+func (s *SpaceGraph) AddAdjacency(a, b string) error {
+	layer, err := s.checkIntra(a, b)
+	if err != nil {
+		return err
+	}
+	s.nrg[layer].AddBiEdge(graph.Edge{From: a, To: b, Kind: EdgeAdjacency})
+	return nil
+}
+
+// AddConnectivity records the symmetric relation "there is an opening in the
+// common boundary" between two same-layer cells.
+func (s *SpaceGraph) AddConnectivity(a, b, boundaryID string) error {
+	layer, err := s.checkIntra(a, b)
+	if err != nil {
+		return err
+	}
+	s.nrg[layer].AddBiEdge(graph.Edge{ID: boundaryID, From: a, To: b, Kind: EdgeConnectivity})
+	return nil
+}
+
+// AddJoint adds a directed inter-layer joint edge carrying rel, which must
+// be one of the six relations IndoorGML admits on joint edges (§2.1).
+func (s *SpaceGraph) AddJoint(from, to string, rel topo.Rel) error {
+	cf, ok := s.cells[from]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoCell, from)
+	}
+	ct, ok := s.cells[to]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoCell, to)
+	}
+	if cf.Layer == ct.Layer {
+		return fmt.Errorf("%w: %q and %q both in %q", ErrSameLayer, from, to, cf.Layer)
+	}
+	if !topo.JointEdgeRels.Has(rel) {
+		return fmt.Errorf("%w: got %v", ErrBadJointRel, rel)
+	}
+	idx := len(s.joints)
+	s.joints = append(s.joints, JointEdge{From: from, To: to, Rel: rel})
+	s.jointsFrom[from] = append(s.jointsFrom[from], idx)
+	s.jointsTo[to] = append(s.jointsTo[to], idx)
+	return nil
+}
+
+// Joints returns all joint edges in insertion order.
+func (s *SpaceGraph) Joints() []JointEdge {
+	out := make([]JointEdge, len(s.joints))
+	copy(out, s.joints)
+	return out
+}
+
+// JointsOf returns every joint edge incident to the cell (either direction).
+func (s *SpaceGraph) JointsOf(cellID string) []JointEdge {
+	var out []JointEdge
+	for _, i := range s.jointsFrom[cellID] {
+		out = append(out, s.joints[i])
+	}
+	for _, i := range s.jointsTo[cellID] {
+		out = append(out, s.joints[i])
+	}
+	return out
+}
+
+// NRG returns the intra-layer multigraph of a layer (all edge kinds).
+// The returned graph is live; prefer AccessGraph for read-only traversal.
+func (s *SpaceGraph) NRG(layerID string) (*graph.Graph, bool) {
+	g, ok := s.nrg[layerID]
+	return g, ok
+}
+
+// AccessGraph returns a copy of the layer's NRG restricted to accessibility
+// edges — the graph movement happens on.
+func (s *SpaceGraph) AccessGraph(layerID string) (*graph.Graph, error) {
+	g, ok := s.nrg[layerID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoLayer, layerID)
+	}
+	return g.FilterKind(EdgeAccessibility), nil
+}
+
+// Accessible reports whether a moving object can transition directly
+// from cell a to cell b (same layer, directed).
+func (s *SpaceGraph) Accessible(a, b string) bool {
+	ca, ok := s.cells[a]
+	if !ok {
+		return false
+	}
+	cb, ok := s.cells[b]
+	if !ok || ca.Layer != cb.Layer {
+		return false
+	}
+	for _, e := range s.nrg[ca.Layer].EdgesBetween(a, b) {
+		if e.Kind == EdgeAccessibility {
+			return true
+		}
+	}
+	return false
+}
+
+// Parent returns the unique cell that properly contains or covers the given
+// cell via a joint edge, along with the relation. Both storage directions
+// are honoured: parent→child with contains/covers, or child→parent with
+// insideOf/coveredBy.
+func (s *SpaceGraph) Parent(cellID string) (string, topo.Rel, bool) {
+	for _, i := range s.jointsTo[cellID] {
+		j := s.joints[i]
+		if j.Rel.IsProperWhole() {
+			return j.From, j.Rel, true
+		}
+	}
+	for _, i := range s.jointsFrom[cellID] {
+		j := s.joints[i]
+		if j.Rel.IsProperPart() {
+			return j.To, j.Rel.Converse(), true
+		}
+	}
+	return "", 0, false
+}
+
+// Children returns the cells the given cell properly contains or covers via
+// joint edges, in insertion order.
+func (s *SpaceGraph) Children(cellID string) []string {
+	var out []string
+	for _, i := range s.jointsFrom[cellID] {
+		j := s.joints[i]
+		if j.Rel.IsProperWhole() {
+			out = append(out, j.To)
+		}
+	}
+	for _, i := range s.jointsTo[cellID] {
+		j := s.joints[i]
+		if j.Rel.IsProperPart() {
+			out = append(out, j.From)
+		}
+	}
+	return out
+}
+
+// AncestorAt walks Parent links until reaching a cell of the target layer.
+// This is the paper's location inference "at all levels of granularity
+// above the detection data level" (§3.2).
+func (s *SpaceGraph) AncestorAt(cellID, layerID string) (string, bool) {
+	cur, ok := s.cells[cellID]
+	if !ok {
+		return "", false
+	}
+	for {
+		if cur.Layer == layerID {
+			return cur.ID, true
+		}
+		pid, _, ok := s.Parent(cur.ID)
+		if !ok {
+			return "", false
+		}
+		cur = s.cells[pid]
+	}
+}
+
+// DescendantsAt returns the cells of the target layer reachable from cellID
+// by descending Children links.
+func (s *SpaceGraph) DescendantsAt(cellID, layerID string) []string {
+	var out []string
+	var walk func(id string)
+	walk = func(id string) {
+		c, ok := s.cells[id]
+		if !ok {
+			return
+		}
+		if c.Layer == layerID {
+			out = append(out, id)
+			return
+		}
+		for _, ch := range s.Children(id) {
+			walk(ch)
+		}
+	}
+	walk(cellID)
+	return out
+}
+
+// ActiveStates returns, for a cell of one layer, the valid active states in
+// another layer: the cells connected to it by joint edges (MLSM "overall
+// state" combinations, §2.1). For the Figure 1 example, ActiveStates(hall5,
+// layerI) = {5a, 5b, 5c}.
+func (s *SpaceGraph) ActiveStates(cellID, layerID string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, j := range s.JointsOf(cellID) {
+		other := j.From
+		if other == cellID {
+			other = j.To
+		}
+		if c, ok := s.cells[other]; ok && c.Layer == layerID && !seen[other] {
+			seen[other] = true
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants of the space graph:
+// intra-layer edges connect same-layer cells (guaranteed by construction),
+// joint edges connect different layers with admissible relations
+// (guaranteed by construction), and — checked here — that every cell's
+// layer exists and that no cell appears in two layers (§3.2: ⋂Vi = ∅ by
+// construction since a cell records exactly one layer).
+func (s *SpaceGraph) Validate() error {
+	for _, c := range s.cells {
+		if _, ok := s.layers[c.Layer]; !ok {
+			return fmt.Errorf("%w: cell %q references layer %q", ErrNoLayer, c.ID, c.Layer)
+		}
+	}
+	for _, j := range s.joints {
+		cf, ok := s.cells[j.From]
+		if !ok {
+			return fmt.Errorf("%w: joint references %q", ErrNoCell, j.From)
+		}
+		ct, ok := s.cells[j.To]
+		if !ok {
+			return fmt.Errorf("%w: joint references %q", ErrNoCell, j.To)
+		}
+		if cf.Layer == ct.Layer {
+			return fmt.Errorf("%w: joint %q→%q", ErrSameLayer, j.From, j.To)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,424 @@
+package indoor
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sitm/internal/geom"
+	"sitm/internal/topo"
+)
+
+// buildTwoLayer returns a space graph with a coarse "upper" layer (rooms
+// 1..5, mirroring Figure 1's layer i+1) and a fine "lower" layer where hall
+// 5 is split into 5a, 5b, 5c (Figure 1's layer i).
+func buildTwoLayer(t *testing.T) *SpaceGraph {
+	t.Helper()
+	s := NewSpaceGraph()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AddLayer(Layer{ID: "upper", Kind: Topographic, Rank: 1}))
+	must(s.AddLayer(Layer{ID: "lower", Kind: Topographic, Rank: 0}))
+	for _, id := range []string{"1", "2", "3", "4", "5"} {
+		must(s.AddCell(Cell{ID: id, Layer: "upper", Class: "Room", Floor: 1}))
+	}
+	for _, id := range []string{"5a", "5b", "5c"} {
+		must(s.AddCell(Cell{ID: id, Layer: "lower", Class: "Room", Floor: 1}))
+		must(s.AddJoint("5", id, topo.NTPPi)) // 5 contains 5a/5b/5c
+	}
+	// Accessibility on the upper layer: 1-2, 2-3, 3-4 bidirectional; the
+	// Salle des États rule: 4→2 allowed, 2→4 prohibited.
+	must(s.AddBiAccess("1", "2", "door12"))
+	must(s.AddBiAccess("2", "3", "door23"))
+	must(s.AddBiAccess("3", "4", "door34"))
+	must(s.AddAccess("4", "2", "exit42"))
+	return s
+}
+
+func TestLayerAndCellRegistration(t *testing.T) {
+	s := NewSpaceGraph()
+	if err := s.AddLayer(Layer{ID: "L"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddLayer(Layer{ID: "L"}); !errors.Is(err, ErrLayerExists) {
+		t.Errorf("dup layer: %v", err)
+	}
+	if err := s.AddCell(Cell{ID: "c", Layer: "missing"}); !errors.Is(err, ErrNoLayer) {
+		t.Errorf("cell in missing layer: %v", err)
+	}
+	if err := s.AddCell(Cell{ID: "c", Layer: "L"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddCell(Cell{ID: "c", Layer: "L"}); !errors.Is(err, ErrCellExists) {
+		t.Errorf("dup cell: %v", err)
+	}
+	if _, ok := s.Cell("c"); !ok {
+		t.Error("Cell lookup failed")
+	}
+	if s.NumCells() != 1 {
+		t.Errorf("NumCells = %d", s.NumCells())
+	}
+	if got := s.CellsInLayer("L"); len(got) != 1 || got[0].ID != "c" {
+		t.Errorf("CellsInLayer = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCell on missing cell must panic")
+		}
+	}()
+	s.MustCell("nope")
+}
+
+func TestLayersSortedByRank(t *testing.T) {
+	s := NewSpaceGraph()
+	_ = s.AddLayer(Layer{ID: "room", Rank: 1})
+	_ = s.AddLayer(Layer{ID: "building", Rank: 3})
+	_ = s.AddLayer(Layer{ID: "floor", Rank: 2})
+	got := s.Layers()
+	if got[0].ID != "building" || got[1].ID != "floor" || got[2].ID != "room" {
+		t.Errorf("Layers order: %v %v %v", got[0].ID, got[1].ID, got[2].ID)
+	}
+}
+
+func TestAccessibilityDirected(t *testing.T) {
+	s := buildTwoLayer(t)
+	// Salle des États: exit allowed, entry prohibited.
+	if !s.Accessible("4", "2") {
+		t.Error("4→2 must be accessible")
+	}
+	if s.Accessible("2", "4") {
+		t.Error("2→4 must NOT be accessible (one-way rule)")
+	}
+	if !s.Accessible("2", "3") || !s.Accessible("3", "2") {
+		t.Error("bi access failed")
+	}
+	if s.Accessible("1", "5a") {
+		t.Error("cross-layer accessibility must be false")
+	}
+	if s.Accessible("zz", "1") || s.Accessible("1", "zz") {
+		t.Error("unknown cells are not accessible")
+	}
+}
+
+func TestIntraLayerEdgeValidation(t *testing.T) {
+	s := buildTwoLayer(t)
+	if err := s.AddAccess("1", "5a", "x"); !errors.Is(err, ErrCrossLayer) {
+		t.Errorf("cross-layer access: %v", err)
+	}
+	if err := s.AddAccess("zz", "1", "x"); !errors.Is(err, ErrNoCell) {
+		t.Errorf("unknown from: %v", err)
+	}
+	if err := s.AddAccess("1", "zz", "x"); !errors.Is(err, ErrNoCell) {
+		t.Errorf("unknown to: %v", err)
+	}
+	s.AddBoundary(Boundary{ID: "wall9", Kind: Wall})
+	if err := s.AddAccess("1", "2", "wall9"); !errors.Is(err, ErrNotTraversable) {
+		t.Errorf("wall access: %v", err)
+	}
+	if err := s.AddAdjacency("1", "2"); err != nil {
+		t.Errorf("adjacency: %v", err)
+	}
+	if err := s.AddConnectivity("1", "2", "door12"); err != nil {
+		t.Errorf("connectivity: %v", err)
+	}
+}
+
+func TestBoundaryKinds(t *testing.T) {
+	if Wall.Traversable() {
+		t.Error("walls are not traversable")
+	}
+	for _, k := range []BoundaryKind{Door, Opening, Stair, Elevator, Escalator, Checkpoint, Virtual} {
+		if !k.Traversable() {
+			t.Errorf("%v must be traversable", k)
+		}
+		if k.String() == "" || strings.HasPrefix(k.String(), "BoundaryKind") {
+			t.Errorf("%d must have a name", k)
+		}
+	}
+	s := NewSpaceGraph()
+	s.AddBoundary(Boundary{ID: "d1", Kind: Door, Name: "main door"})
+	if b, ok := s.BoundaryOf("d1"); !ok || b.Name != "main door" {
+		t.Error("BoundaryOf failed")
+	}
+	if _, ok := s.BoundaryOf("zz"); ok {
+		t.Error("missing boundary lookup must fail")
+	}
+}
+
+func TestJointEdges(t *testing.T) {
+	s := buildTwoLayer(t)
+	if err := s.AddJoint("1", "2", topo.PO); !errors.Is(err, ErrSameLayer) {
+		t.Errorf("same-layer joint: %v", err)
+	}
+	if err := s.AddJoint("1", "5a", topo.DC); !errors.Is(err, ErrBadJointRel) {
+		t.Errorf("disjoint joint: %v", err)
+	}
+	if err := s.AddJoint("1", "5a", topo.EC); !errors.Is(err, ErrBadJointRel) {
+		t.Errorf("meet joint: %v", err)
+	}
+	if err := s.AddJoint("zz", "5a", topo.PO); !errors.Is(err, ErrNoCell) {
+		t.Errorf("unknown joint endpoint: %v", err)
+	}
+	if err := s.AddJoint("1", "zz", topo.PO); !errors.Is(err, ErrNoCell) {
+		t.Errorf("unknown joint endpoint: %v", err)
+	}
+	if got := len(s.Joints()); got != 3 {
+		t.Errorf("joints = %d", got)
+	}
+	if got := len(s.JointsOf("5")); got != 3 {
+		t.Errorf("JointsOf(5) = %d", got)
+	}
+}
+
+func TestActiveStates(t *testing.T) {
+	s := buildTwoLayer(t)
+	// Figure 1: a visitor inside hall 5 (layer i+1) can only be in 5a, 5b,
+	// or 5c in layer i.
+	got := s.ActiveStates("5", "lower")
+	if len(got) != 3 {
+		t.Fatalf("ActiveStates = %v", got)
+	}
+	want := map[string]bool{"5a": true, "5b": true, "5c": true}
+	for _, id := range got {
+		if !want[id] {
+			t.Errorf("unexpected active state %q", id)
+		}
+	}
+	if got := s.ActiveStates("1", "lower"); len(got) != 0 {
+		t.Errorf("room 1 has no lower-layer states, got %v", got)
+	}
+}
+
+func TestParentChildrenAncestor(t *testing.T) {
+	s := buildTwoLayer(t)
+	pid, rel, ok := s.Parent("5a")
+	if !ok || pid != "5" || rel != topo.NTPPi {
+		t.Errorf("Parent(5a) = %q %v %v", pid, rel, ok)
+	}
+	if _, _, ok := s.Parent("5"); ok {
+		t.Error("5 has no parent")
+	}
+	ch := s.Children("5")
+	if len(ch) != 3 {
+		t.Errorf("Children(5) = %v", ch)
+	}
+	if got, ok := s.AncestorAt("5a", "upper"); !ok || got != "5" {
+		t.Errorf("AncestorAt = %q %v", got, ok)
+	}
+	if got, ok := s.AncestorAt("5a", "lower"); !ok || got != "5a" {
+		t.Errorf("AncestorAt same layer = %q %v", got, ok)
+	}
+	if _, ok := s.AncestorAt("1", "lower"); ok {
+		t.Error("1 has no lower ancestor")
+	}
+	if _, ok := s.AncestorAt("zz", "upper"); ok {
+		t.Error("unknown cell")
+	}
+	desc := s.DescendantsAt("5", "lower")
+	if len(desc) != 3 {
+		t.Errorf("DescendantsAt = %v", desc)
+	}
+}
+
+func TestParentStoredAsChildToParent(t *testing.T) {
+	// The converse storage direction (child insideOf parent) must work too.
+	s := NewSpaceGraph()
+	_ = s.AddLayer(Layer{ID: "a", Rank: 1})
+	_ = s.AddLayer(Layer{ID: "b", Rank: 0})
+	_ = s.AddCell(Cell{ID: "parent", Layer: "a"})
+	_ = s.AddCell(Cell{ID: "child", Layer: "b"})
+	if err := s.AddJoint("child", "parent", topo.TPP); err != nil {
+		t.Fatal(err)
+	}
+	pid, rel, ok := s.Parent("child")
+	if !ok || pid != "parent" || rel != topo.TPPi {
+		t.Errorf("Parent = %q %v %v", pid, rel, ok)
+	}
+	if ch := s.Children("parent"); len(ch) != 1 || ch[0] != "child" {
+		t.Errorf("Children = %v", ch)
+	}
+}
+
+func TestAccessGraphAndNRG(t *testing.T) {
+	s := buildTwoLayer(t)
+	g, err := s.AccessGraph("upper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 bi edges (6 directed) + 1 one-way = 7 accessibility edges.
+	if g.NumEdges() != 7 {
+		t.Errorf("access edges = %d", g.NumEdges())
+	}
+	if _, err := s.AccessGraph("zz"); !errors.Is(err, ErrNoLayer) {
+		t.Errorf("missing layer: %v", err)
+	}
+	if _, ok := s.NRG("upper"); !ok {
+		t.Error("NRG lookup failed")
+	}
+	if _, ok := s.NRG("zz"); ok {
+		t.Error("NRG of missing layer")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := buildTwoLayer(t)
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 3 {
+		t.Fatalf("Table 1 has %d rows", len(rows))
+	}
+	if rows[0].DualNavigation != "state" || rows[1].DualNavigation != "transition" {
+		t.Error("Table 1 navigation column wrong")
+	}
+	if rows[0].DualSpaceNRG != "node" {
+		t.Error("region must map to node")
+	}
+	if !strings.Contains(rows[2].DualSpaceNRG, "joint edge") {
+		t.Error("relationship must map to joint edge")
+	}
+	// The six relations listed in row 3 are exactly the joint-edge set.
+	for _, rel := range topo.JointEdgeRels.Rels() {
+		name := rel.String()
+		if name == "insideOf" {
+			name = "inside" // the paper's table uses "inside"
+		}
+		if !strings.Contains(rows[2].NIntersection, name) {
+			t.Errorf("Table 1 row 3 must mention %q", name)
+		}
+	}
+}
+
+func TestDeriveAdjacency(t *testing.T) {
+	s := NewSpaceGraph()
+	_ = s.AddLayer(Layer{ID: "rooms", Rank: 0})
+	mk := func(id string, x0, y0, x1, y1 float64, floor int) {
+		p := geom.Poly(geom.Rect(x0, y0, x1, y1))
+		if err := s.AddCell(Cell{ID: id, Layer: "rooms", Floor: floor, Geometry: &p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("a", 0, 0, 4, 4, 1)
+	mk("b", 4, 0, 8, 4, 1)   // shares wall with a
+	mk("c", 20, 0, 24, 4, 1) // disjoint
+	mk("d", 4, 0, 8, 4, 2)   // same footprint as b but another floor
+	n, err := s.DeriveAdjacency("rooms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("adjacent pairs = %d, want 1", n)
+	}
+	g, _ := s.NRG("rooms")
+	if !g.HasEdge("a", "b") || !g.HasEdge("b", "a") {
+		t.Error("adjacency must be symmetric")
+	}
+	if g.HasEdge("a", "c") || g.HasEdge("b", "d") {
+		t.Error("no adjacency for disjoint or cross-floor cells")
+	}
+	if _, err := s.DeriveAdjacency("zz"); !errors.Is(err, ErrNoLayer) {
+		t.Errorf("missing layer: %v", err)
+	}
+}
+
+func TestDeriveJoints(t *testing.T) {
+	s := NewSpaceGraph()
+	_ = s.AddLayer(Layer{ID: "floor", Rank: 1})
+	_ = s.AddLayer(Layer{ID: "room", Rank: 0})
+	fp := geom.Poly(geom.Rect(0, 0, 20, 10))
+	_ = s.AddCell(Cell{ID: "F", Layer: "floor", Floor: 0, Geometry: &fp})
+	r1 := geom.Poly(geom.Rect(0, 0, 10, 10)) // coveredBy F (shares boundary)
+	r2 := geom.Poly(geom.Rect(12, 2, 18, 8)) // inside F
+	r3 := geom.Poly(geom.Rect(100, 0, 110, 10))
+	_ = s.AddCell(Cell{ID: "r1", Layer: "room", Floor: 0, Geometry: &r1})
+	_ = s.AddCell(Cell{ID: "r2", Layer: "room", Floor: 0, Geometry: &r2})
+	_ = s.AddCell(Cell{ID: "r3", Layer: "room", Floor: 0, Geometry: &r3})
+	n, err := s.DeriveJoints("floor", "room")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("joints added = %d, want 2 (r3 is disjoint)", n)
+	}
+	var rels []topo.Rel
+	for _, j := range s.Joints() {
+		rels = append(rels, j.Rel)
+	}
+	if rels[0] != topo.TPPi { // F covers r1
+		t.Errorf("F vs r1 = %v, want covers", rels[0])
+	}
+	if rels[1] != topo.NTPPi { // F contains r2
+		t.Errorf("F vs r2 = %v, want contains", rels[1])
+	}
+	if _, err := s.DeriveJoints("floor", "floor"); !errors.Is(err, ErrSameLayer) {
+		t.Errorf("same layer: %v", err)
+	}
+	if _, err := s.DeriveJoints("zz", "room"); !errors.Is(err, ErrNoLayer) {
+		t.Errorf("missing A: %v", err)
+	}
+	if _, err := s.DeriveJoints("floor", "zz"); !errors.Is(err, ErrNoLayer) {
+		t.Errorf("missing B: %v", err)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	s := NewSpaceGraph()
+	_ = s.AddLayer(Layer{ID: "room", Rank: 1})
+	_ = s.AddLayer(Layer{ID: "roi", Rank: 0})
+	room := geom.Poly(geom.Rect(0, 0, 10, 10))
+	_ = s.AddCell(Cell{ID: "R", Layer: "room", Geometry: &room})
+	a := geom.Poly(geom.Rect(1, 1, 4, 4))
+	b := geom.Poly(geom.Rect(6, 6, 9, 9))
+	_ = s.AddCell(Cell{ID: "roiA", Layer: "roi", Geometry: &a})
+	_ = s.AddCell(Cell{ID: "roiB", Layer: "roi", Geometry: &b})
+	_ = s.AddJoint("R", "roiA", topo.NTPPi)
+	_ = s.AddJoint("R", "roiB", topo.NTPPi)
+	rep, err := s.Coverage("R", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two 3×3 RoIs in a 10×10 room: 18% coverage — far from full (Fig 4).
+	if rep.Ratio < 0.1 || rep.Ratio > 0.3 {
+		t.Errorf("coverage ratio = %v, want ≈ 0.18", rep.Ratio)
+	}
+	if len(rep.Children) != 2 {
+		t.Errorf("children = %v", rep.Children)
+	}
+	if _, err := s.Coverage("zz", 10); !errors.Is(err, ErrNoCell) {
+		t.Errorf("missing cell: %v", err)
+	}
+	_ = s.AddCell(Cell{ID: "nogeo", Layer: "room"})
+	if _, err := s.Coverage("nogeo", 10); err == nil {
+		t.Error("cell without geometry must error")
+	}
+}
+
+func TestConstraintNetworkInference(t *testing.T) {
+	s := buildTwoLayer(t)
+	n, err := s.ConstraintNetwork("5", "5a", "5b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.PathConsistency() {
+		t.Fatal("network inconsistent")
+	}
+	// 5 contains 5a and 5b; 5a,5b same layer same floor ⇒ disjoint or meet.
+	got := n.Constraint("5a", "5b")
+	if got.Has(topo.EQ) || got.Has(topo.NTPP) {
+		t.Errorf("5a vs 5b = %v; equal/inside impossible", got)
+	}
+	if !got.Has(topo.DC) && !got.Has(topo.EC) {
+		t.Errorf("5a vs 5b = %v; must admit disjoint or meet", got)
+	}
+	if _, err := s.ConstraintNetwork("zz"); !errors.Is(err, ErrNoCell) {
+		t.Errorf("missing cell: %v", err)
+	}
+}

@@ -1,0 +1,127 @@
+package indoor
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OverallState is one valid combination of per-layer active states (§2.1):
+// "given that a physical object may be in only one cell of each layer at
+// any given point in time (called the 'active' state), joint edges express
+// all the valid active state combinations (called 'overall' states)".
+// Cells maps layer id → the active cell of that layer; layers where the
+// object is outside every cell are absent.
+type OverallState map[string]string
+
+// key renders a canonical form for deduplication.
+func (o OverallState) key() string {
+	layers := make([]string, 0, len(o))
+	for l := range o {
+		layers = append(layers, l)
+	}
+	sort.Strings(layers)
+	s := ""
+	for _, l := range layers {
+		s += l + "=" + o[l] + ";"
+	}
+	return s
+}
+
+// String renders the state deterministically.
+func (o OverallState) String() string { return "{" + o.key() + "}" }
+
+// OverallStates enumerates the valid overall states consistent with the
+// moving object being in the given cell: for every other layer, the cells
+// reachable from cellID through chains of joint edges (joint edges assert
+// non-empty intersection, so a chain witnesses potential co-location). The
+// result always includes cellID's own layer assignment and is sorted by
+// canonical key.
+//
+// For the Figure 1 example, OverallStates(sg, "5") yields {i+1: 5, i: 5a},
+// {i+1: 5, i: 5b}, {i+1: 5, i: 5c}.
+func (s *SpaceGraph) OverallStates(cellID string) ([]OverallState, error) {
+	c, ok := s.Cell(cellID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoCell, cellID)
+	}
+	// Collect, per layer, the candidate active states joint-connected to
+	// cellID (direct joints only: IndoorGML's joint edges are pairwise).
+	perLayer := make(map[string][]string)
+	for _, j := range s.JointsOf(cellID) {
+		other := j.From
+		if other == cellID {
+			other = j.To
+		}
+		oc, ok := s.Cell(other)
+		if !ok {
+			continue
+		}
+		perLayer[oc.Layer] = appendOnce(perLayer[oc.Layer], other)
+	}
+
+	layers := make([]string, 0, len(perLayer))
+	for l := range perLayer {
+		layers = append(layers, l)
+	}
+	sort.Strings(layers)
+
+	// Cartesian product over the candidate layers.
+	states := []OverallState{{c.Layer: cellID}}
+	for _, l := range layers {
+		var next []OverallState
+		for _, st := range states {
+			for _, cand := range perLayer[l] {
+				ns := OverallState{}
+				for k, v := range st {
+					ns[k] = v
+				}
+				ns[l] = cand
+				next = append(next, ns)
+			}
+		}
+		states = next
+	}
+	sort.Slice(states, func(a, b int) bool { return states[a].key() < states[b].key() })
+	return states, nil
+}
+
+func appendOnce(xs []string, x string) []string {
+	for _, v := range xs {
+		if v == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}
+
+// LocateAtAllLevels returns the moving object's cell at every hierarchy
+// level, given its cell at (or below) the hierarchy leaf — the §3.2
+// "inference of a MO's location at all levels of granularity above the
+// detection data level". The result maps layer id → cell id for every
+// hierarchy layer at or above the cell's layer.
+func (s *SpaceGraph) LocateAtAllLevels(h Hierarchy, cellID string) (map[string]string, error) {
+	c, ok := s.Cell(cellID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoCell, cellID)
+	}
+	start := h.depth(c.Layer)
+	if start < 0 {
+		return nil, fmt.Errorf("%w: cell %q layer %q", ErrHierarchyLayerMiss, cellID, c.Layer)
+	}
+	out := make(map[string]string, start+1)
+	cur := cellID
+	out[c.Layer] = cur
+	for d := start - 1; d >= 0; d-- {
+		pid, _, ok := s.Parent(cur)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrHierarchyOrphan, cur)
+		}
+		pc, _ := s.Cell(pid)
+		if pc == nil || pc.Layer != h.Layers[d] {
+			return nil, fmt.Errorf("%w: parent %q not in layer %q", ErrHierarchyLayerMiss, pid, h.Layers[d])
+		}
+		out[pc.Layer] = pid
+		cur = pid
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package indoor
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOverallStates(t *testing.T) {
+	s := buildTwoLayer(t)
+	// Figure 1: being in hall 5 admits exactly three overall states, one per
+	// fine-layer fragment.
+	states, err := s.OverallStates("5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 3 {
+		t.Fatalf("states = %v", states)
+	}
+	seen := map[string]bool{}
+	for _, st := range states {
+		if st["upper"] != "5" {
+			t.Errorf("own layer assignment lost: %v", st)
+		}
+		seen[st["lower"]] = true
+	}
+	for _, want := range []string{"5a", "5b", "5c"} {
+		if !seen[want] {
+			t.Errorf("missing overall state with lower=%s", want)
+		}
+	}
+	// A cell without joints has exactly one overall state: itself.
+	states, err = s.OverallStates("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 || states[0]["upper"] != "1" {
+		t.Errorf("states(1) = %v", states)
+	}
+	if _, err := s.OverallStates("ghost"); !errors.Is(err, ErrNoCell) {
+		t.Errorf("unknown cell: %v", err)
+	}
+	// Deterministic ordering.
+	a, _ := s.OverallStates("5")
+	b, _ := s.OverallStates("5")
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatal("OverallStates must be deterministic")
+		}
+	}
+}
+
+func TestOverallStatesFromFineSide(t *testing.T) {
+	s := buildTwoLayer(t)
+	// From 5a, the upper-layer active state must be 5.
+	states, err := s.OverallStates("5a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 || states[0]["upper"] != "5" || states[0]["lower"] != "5a" {
+		t.Errorf("states(5a) = %v", states)
+	}
+}
+
+func TestLocateAtAllLevels(t *testing.T) {
+	s, h := buildCoreGraph(t)
+	got, err := s.LocateAtAllLevels(h, "roi1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		LayerRoI:             "roi1",
+		LayerRoom:            "roomA11",
+		LayerFloor:           "FloorA1",
+		LayerBuilding:        "A",
+		LayerBuildingComplex: "site",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("levels = %v", got)
+	}
+	for l, cell := range want {
+		if got[l] != cell {
+			t.Errorf("level %s = %q, want %q", l, got[l], cell)
+		}
+	}
+	// From an intermediate level only the upper levels are reported.
+	got, err = s.LocateAtAllLevels(h, "FloorB1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[LayerBuilding] != "B" {
+		t.Errorf("levels from floor = %v", got)
+	}
+	if _, err := s.LocateAtAllLevels(h, "ghost"); !errors.Is(err, ErrNoCell) {
+		t.Errorf("unknown cell: %v", err)
+	}
+	// A cell outside the hierarchy errors.
+	if err := s.AddLayer(Layer{ID: "other", Rank: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddCell(Cell{ID: "alien", Layer: "other"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LocateAtAllLevels(h, "alien"); !errors.Is(err, ErrHierarchyLayerMiss) {
+		t.Errorf("alien cell: %v", err)
+	}
+	// An orphan mid-hierarchy errors.
+	if err := s.AddCell(Cell{ID: "lost", Layer: LayerRoom, Floor: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LocateAtAllLevels(h, "lost"); !errors.Is(err, ErrHierarchyOrphan) {
+		t.Errorf("orphan: %v", err)
+	}
+}

@@ -1,0 +1,39 @@
+package indoor
+
+// Table1Row is one row of the paper's Table 1: the correspondence between
+// the n-intersection vocabulary, the primal space (2D), the dual space
+// (NRG), and the navigation view of the same concept.
+type Table1Row struct {
+	NIntersection  string
+	PrimalSpace    string
+	DualSpaceNRG   string
+	DualNavigation string
+}
+
+// Table1 returns the paper's Table 1 verbatim: "closely related terms,
+// often used interchangeably under the context of indoor space modeling and
+// IndoorGML". The model code realises each column: Cell (primal region) ↔
+// graph node ↔ trajectory state; Boundary ↔ intra-layer edge ↔ transition;
+// topological relationship ↔ joint edge ↔ valid overall state.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{
+			NIntersection:  "(spatial) region",
+			PrimalSpace:    "cell/“cellspace”",
+			DualSpaceNRG:   "node",
+			DualNavigation: "state",
+		},
+		{
+			NIntersection:  "(region) boundary",
+			PrimalSpace:    "(cell/“cellspace”) boundary",
+			DualSpaceNRG:   "(intra-layer) edge",
+			DualNavigation: "transition",
+		},
+		{
+			NIntersection:  "“overlap” / “coveredBy” / “inside” / “covers” / “contains” / “equal”",
+			PrimalSpace:    "binary topological relationship (between cells/“cellspaces”)",
+			DualSpaceNRG:   "(inter-layer) joint edge",
+			DualNavigation: "valid active state combination / valid overall state",
+		},
+	}
+}

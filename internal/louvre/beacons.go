@@ -1,0 +1,51 @@
+package louvre
+
+import (
+	"fmt"
+
+	"sitm/internal/geom"
+	"sitm/internal/positioning"
+)
+
+// BeaconTxPower is the reference RSSI (dBm at 1 m) of the installed
+// beacons.
+const BeaconTxPower = -59.0
+
+// Beacons lays out the BLE infrastructure: a regular grid of beacons in
+// every zone, roughly reproducing the "around 1800 beacons installed across
+// all five floors" of the paper (footnote 3). With a 7×5 grid per zone the
+// total over 52 zones is 1820.
+func Beacons() map[string]positioning.Beacon {
+	out := make(map[string]positioning.Beacon)
+	const cols, rows = 7, 5
+	for _, z := range Zones() {
+		bb := z.Geometry.BBox()
+		for c := 0; c < cols; c++ {
+			for r := 0; r < rows; r++ {
+				id := fmt.Sprintf("beacon%d_%d_%d", z.Num, c, r)
+				out[id] = positioning.Beacon{
+					ID: id,
+					Pos: geom.Pt(
+						bb.Min.X+(float64(c)+0.5)*bb.Width()/cols,
+						bb.Min.Y+(float64(r)+0.5)*bb.Height()/rows,
+					),
+					Floor:   z.Floor,
+					TxPower: BeaconTxPower,
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BeaconsNear returns the beacons of the given floor within radius metres
+// of p — the subset a phone would hear.
+func BeaconsNear(beacons map[string]positioning.Beacon, p geom.Point, floor int, radius float64) []positioning.Beacon {
+	var out []positioning.Beacon
+	for _, b := range beacons {
+		if b.Floor == floor && b.Pos.Dist(p) <= radius {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package louvre
+
+import (
+	"fmt"
+
+	"sitm/internal/geom"
+	"sitm/internal/indoor"
+	"sitm/internal/topo"
+)
+
+// Layer ids of the Louvre space graph. The paper's §4.2 instantiation:
+// Layer 4 = the whole museum, Layer 3 = the wings (each treated as a
+// building), Layer 2 = a wing's five floors, Layer 1 = rooms, Layer 0 =
+// exhibit RoIs — plus the thematic-zone semantic layer that "happens to
+// fall right between Layer 2 and Layer 1".
+const (
+	LayerMuseum = "Museum" // building complex (rank 5)
+	LayerWing   = "Wing"   // buildings (rank 4)
+	LayerFloor  = "Floor"  // rank 3
+	LayerZone   = "Zone"   // semantic layer, rank 2
+	LayerRoom   = "Room"   // rank 1
+	LayerRoI    = "RoI"    // rank 0
+)
+
+// MuseumID is the cell id of the whole-museum root ("whether a visitor is
+// at the Louvre in general").
+const MuseumID = "louvre"
+
+// RoomsPerZone is the number of synthetic rooms tiling each zone (3×2 grid).
+const RoomsPerZone = 6
+
+// RoIsPerRoom is the number of exhibit RoIs synthesized in each room of a
+// dataset zone. RoIs deliberately do not tile the room (Figure 4).
+const RoIsPerRoom = 2
+
+// FloorID returns the cell id of a wing floor.
+func FloorID(wing string, floor int) string { return fmt.Sprintf("%s:%d", wing, floor) }
+
+// RoomID returns the cell id of the k-th room (1-based) of a zone.
+func RoomID(zoneNum, k int) string { return fmt.Sprintf("room%d_%d", zoneNum, k) }
+
+// RoIID returns the cell id of the j-th RoI of a room.
+func RoIID(zoneNum, room, j int) string { return fmt.Sprintf("roi%d_%d_%d", zoneNum, room, j) }
+
+// wingFloors lists the floor levels of each wing.
+func wingFloors(wing string) []int {
+	if wing == WingNapoleon {
+		return []int{-2}
+	}
+	return []int{-2, -1, 0, 1, 2}
+}
+
+// Build constructs the full Louvre space graph and its layer hierarchy:
+// Museum → Wing → Floor → Zone → Room → RoI, with the Figure 6 zone
+// accessibility topology, mirrored room-level accessibility, and synthetic
+// geometry throughout.
+func Build() (*indoor.SpaceGraph, indoor.Hierarchy, error) {
+	sg := indoor.NewSpaceGraph()
+	h := indoor.Hierarchy{Layers: []string{LayerMuseum, LayerWing, LayerFloor, LayerZone, LayerRoom, LayerRoI}}
+
+	layers := []indoor.Layer{
+		{ID: LayerMuseum, Kind: indoor.Topographic, Rank: 5, Desc: "the Louvre as a whole"},
+		{ID: LayerWing, Kind: indoor.Topographic, Rank: 4, Desc: "wings treated as buildings"},
+		{ID: LayerFloor, Kind: indoor.Topographic, Rank: 3, Desc: "five floors per wing"},
+		{ID: LayerZone, Kind: indoor.Semantic, Rank: 2, Desc: "52 thematic zones (dataset granularity)"},
+		{ID: LayerRoom, Kind: indoor.Topographic, Rank: 1, Desc: "rooms and halls"},
+		{ID: LayerRoI, Kind: indoor.Topographic, Rank: 0, Desc: "exhibit regions of interest"},
+	}
+	for _, l := range layers {
+		if err := sg.AddLayer(l); err != nil {
+			return nil, h, err
+		}
+	}
+
+	// Museum root.
+	museumGeom := geom.Poly(geom.Rect(0, 0, 1200, WingDepth))
+	if err := sg.AddCell(indoor.Cell{
+		ID: MuseumID, Name: "Louvre Museum", Layer: LayerMuseum,
+		Class: "BuildingComplex", Floor: indoor.AllFloors, Geometry: &museumGeom,
+	}); err != nil {
+		return nil, h, err
+	}
+
+	// Wings and floors.
+	for _, wing := range []string{WingRichelieu, WingSully, WingDenon, WingNapoleon} {
+		off := wingOffsets[wing]
+		wg := geom.Poly(geom.Rect(off, 0, off+WingWidth, WingDepth))
+		if err := sg.AddCell(indoor.Cell{
+			ID: wing, Name: wing, Layer: LayerWing, Class: "Building",
+			Floor: indoor.AllFloors, Building: wing, Geometry: &wg,
+		}); err != nil {
+			return nil, h, err
+		}
+		if err := sg.AddJoint(MuseumID, wing, topo.TPPi); err != nil {
+			return nil, h, err
+		}
+		for _, f := range wingFloors(wing) {
+			fg := geom.Poly(geom.Rect(off, 0, off+WingWidth, WingDepth))
+			if err := sg.AddCell(indoor.Cell{
+				ID: FloorID(wing, f), Name: fmt.Sprintf("%s floor %d", wing, f),
+				Layer: LayerFloor, Class: "Floor", Floor: f, Building: wing, Geometry: &fg,
+			}); err != nil {
+				return nil, h, err
+			}
+			if err := sg.AddJoint(wing, FloorID(wing, f), topo.TPPi); err != nil {
+				return nil, h, err
+			}
+		}
+	}
+
+	// Zones, rooms and RoIs.
+	for _, z := range Zones() {
+		zg := z.Geometry
+		if err := sg.AddCell(indoor.Cell{
+			ID: z.ID, Name: z.Name, Layer: LayerZone, Class: z.Class,
+			Floor: z.Floor, Building: z.Wing, Theme: z.Theme, Geometry: &zg,
+			Attrs: zoneAttrs(z),
+		}); err != nil {
+			return nil, h, err
+		}
+		// Zones tile part of the floor and share its boundary: covers.
+		if err := sg.AddJoint(FloorID(z.Wing, z.Floor), z.ID, topo.TPPi); err != nil {
+			return nil, h, err
+		}
+		if err := addRooms(sg, z); err != nil {
+			return nil, h, err
+		}
+	}
+
+	// Zone-level accessibility (Figure 6) with mirrored room-level edges.
+	for _, e := range zoneAccess() {
+		if err := addZoneAccess(sg, e); err != nil {
+			return nil, h, err
+		}
+	}
+
+	if err := sg.Validate(); err != nil {
+		return nil, h, err
+	}
+	return sg, h, nil
+}
+
+func zoneAttrs(z Zone) map[string]string {
+	attrs := map[string]string{}
+	if z.Entrance {
+		attrs["entrance"] = "true"
+	}
+	if z.Exit {
+		attrs["exit"] = "true"
+	}
+	if z.Ticket {
+		attrs["separateTicket"] = "true"
+	}
+	return attrs
+}
+
+// addRooms tiles the zone with a 3×2 room grid (full coverage), chains them
+// with doors, and — for dataset zones — drops RoIs inside each room
+// (partial coverage, Figure 4).
+func addRooms(sg *indoor.SpaceGraph, z Zone) error {
+	bb := z.Geometry.BBox()
+	cols, rows := 3, 2
+	k := 0
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			k++
+			x0 := bb.Min.X + float64(c)*bb.Width()/float64(cols)
+			x1 := bb.Min.X + float64(c+1)*bb.Width()/float64(cols)
+			y0 := bb.Min.Y + float64(r)*bb.Height()/float64(rows)
+			y1 := bb.Min.Y + float64(r+1)*bb.Height()/float64(rows)
+			rg := geom.Poly(geom.Rect(x0, y0, x1, y1))
+			id := RoomID(z.Num, k)
+			if err := sg.AddCell(indoor.Cell{
+				ID: id, Name: fmt.Sprintf("%s room %d", z.Name, k),
+				Layer: LayerRoom, Class: "Room", Floor: z.Floor,
+				Building: z.Wing, Theme: z.Theme, Geometry: &rg,
+			}); err != nil {
+				return err
+			}
+			// Rooms tile the zone: boundary rooms share the zone boundary.
+			if err := sg.AddJoint(z.ID, id, topo.TPPi); err != nil {
+				return err
+			}
+			if !z.InDataset {
+				continue
+			}
+			for j := 1; j <= RoIsPerRoom; j++ {
+				w := (x1 - x0) / 5
+				hgt := (y1 - y0) / 5
+				rx := x0 + float64(j)*(x1-x0)/3
+				ry := y0 + (y1-y0)/3
+				roiGeom := geom.Poly(geom.Rect(rx, ry, rx+w, ry+hgt))
+				roiID := RoIID(z.Num, k, j)
+				if err := sg.AddCell(indoor.Cell{
+					ID: roiID, Name: fmt.Sprintf("%s exhibit %d.%d", z.Name, k, j),
+					Layer: LayerRoI, Class: "RoI", Floor: z.Floor,
+					Building: z.Wing, Theme: z.Theme, Geometry: &roiGeom,
+				}); err != nil {
+					return err
+				}
+				if err := sg.AddJoint(id, roiID, topo.NTPPi); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Chain rooms 1↔2↔...↔6 with doors.
+	for i := 1; i < k; i++ {
+		b := fmt.Sprintf("door%d_%d", z.Num, i)
+		sg.AddBoundary(indoor.Boundary{ID: b, Kind: indoor.Door})
+		if err := sg.AddBiAccess(RoomID(z.Num, i), RoomID(z.Num, i+1), b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addZoneAccess adds one hand-extracted zone edge plus its mirrored
+// room-level edge (last room of a ↔ first room of b).
+func addZoneAccess(sg *indoor.SpaceGraph, e accessEdge) error {
+	a := fmt.Sprintf("zone%d", e.a)
+	b := fmt.Sprintf("zone%d", e.b)
+	boundary := e.boundary
+	if boundary == "" {
+		boundary = fmt.Sprintf("b%d_%d", e.a, e.b)
+	}
+	kind := indoor.Opening
+	switch e.kind {
+	case "stair":
+		kind = indoor.Stair
+	case "escalator":
+		kind = indoor.Escalator
+	case "checkpoint":
+		kind = indoor.Checkpoint
+	case "door":
+		kind = indoor.Door
+	}
+	sg.AddBoundary(indoor.Boundary{ID: boundary, Kind: kind})
+	roomA := RoomID(e.a, RoomsPerZone)
+	roomB := RoomID(e.b, 1)
+	if e.oneWay {
+		if err := sg.AddAccess(a, b, boundary); err != nil {
+			return err
+		}
+		return sg.AddAccess(roomA, roomB, boundary)
+	}
+	if err := sg.AddBiAccess(a, b, boundary); err != nil {
+		return err
+	}
+	return sg.AddBiAccess(roomA, roomB, boundary)
+}

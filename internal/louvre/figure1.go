@@ -1,0 +1,117 @@
+package louvre
+
+import (
+	"sitm/internal/indoor"
+	"sitm/internal/topo"
+)
+
+// Figure1Layers name the two layers of the paper's Figure 1: a 2-level
+// hierarchical graph of the central part of the Louvre Denon Wing's 1st
+// floor, where layer i+1 holds rooms 1–5 and layer i refines hall 5 into
+// 5a, 5b, 5c while replicating rooms 1–4 via "equal" joint edges.
+const (
+	Figure1Upper = "denon1-coarse" // the paper's layer i+1
+	Figure1Lower = "denon1-fine"   // the paper's layer i
+)
+
+// Figure1 builds the Figure 1 fragment as a standalone space graph:
+//
+//   - layer i+1: rooms 1, 2, 3, 5 and room 4 = "Salle des États" (Mona
+//     Lisa), with directed accessibility including the one-way rule the
+//     paper describes: "entering it from room 2 is often prohibited by the
+//     museum personnel while exiting it that way is allowed" (4→2 only);
+//   - layer i: hall 5 split into 5a, 5b, 5c ("contains" joints), rooms 1–4
+//     replicated as 1i–4i ("equal" joints, the node-replication mechanism
+//     of §3.2).
+func Figure1() (*indoor.SpaceGraph, error) {
+	sg := indoor.NewSpaceGraph()
+	if err := sg.AddLayer(indoor.Layer{ID: Figure1Upper, Kind: indoor.Topographic, Rank: 1,
+		Desc: "central Denon 1st floor, coarse"}); err != nil {
+		return nil, err
+	}
+	if err := sg.AddLayer(indoor.Layer{ID: Figure1Lower, Kind: indoor.Topographic, Rank: 0,
+		Desc: "central Denon 1st floor, hall 5 subdivided"}); err != nil {
+		return nil, err
+	}
+
+	names := map[string]string{
+		"1": "Denon room 1", "2": "Denon room 2", "3": "Denon room 3",
+		"4": "Salle des États (Mona Lisa)", "5": "Grande Galerie hall",
+	}
+	for _, id := range []string{"1", "2", "3", "4", "5"} {
+		if err := sg.AddCell(indoor.Cell{
+			ID: id, Name: names[id], Layer: Figure1Upper, Class: "Room",
+			Floor: 1, Building: WingDenon,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// Fine layer: replicas of 1–4 plus the subdivision of 5.
+	for _, id := range []string{"1i", "2i", "3i", "4i"} {
+		if err := sg.AddCell(indoor.Cell{
+			ID: id, Name: names[id[:1]], Layer: Figure1Lower, Class: "Room",
+			Floor: 1, Building: WingDenon,
+		}); err != nil {
+			return nil, err
+		}
+		// Replication via "equal" joint edges (§3.2).
+		if err := sg.AddJoint(id[:1], id, topo.EQ); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range []string{"5a", "5b", "5c"} {
+		if err := sg.AddCell(indoor.Cell{
+			ID: id, Name: "Grande Galerie " + id, Layer: Figure1Lower,
+			Class: "Room", Floor: 1, Building: WingDenon,
+		}); err != nil {
+			return nil, err
+		}
+		if err := sg.AddJoint("5", id, topo.NTPPi); err != nil {
+			return nil, err
+		}
+	}
+
+	// Coarse-layer accessibility. The hall 5 runs along rooms 1–3; room 4
+	// (Salle des États) is reachable from 3 and from the hall, and its
+	// door to room 2 is exit-only.
+	sg.AddBoundary(indoor.Boundary{ID: "door12", Kind: indoor.Door})
+	sg.AddBoundary(indoor.Boundary{ID: "door23", Kind: indoor.Door})
+	sg.AddBoundary(indoor.Boundary{ID: "door34", Kind: indoor.Door})
+	sg.AddBoundary(indoor.Boundary{ID: "door45", Kind: indoor.Door})
+	sg.AddBoundary(indoor.Boundary{ID: "exit42", Kind: indoor.Door, Name: "Salle des États exit-only door"})
+	sg.AddBoundary(indoor.Boundary{ID: "hall1", Kind: indoor.Opening})
+	sg.AddBoundary(indoor.Boundary{ID: "hall2", Kind: indoor.Opening})
+	sg.AddBoundary(indoor.Boundary{ID: "hall3", Kind: indoor.Opening})
+
+	type bi struct{ a, b, boundary string }
+	for _, e := range []bi{
+		{"1", "2", "door12"}, {"2", "3", "door23"}, {"3", "4", "door34"},
+		{"4", "5", "door45"},
+		{"5", "1", "hall1"}, {"5", "2", "hall2"}, {"5", "3", "hall3"},
+	} {
+		if err := sg.AddBiAccess(e.a, e.b, e.boundary); err != nil {
+			return nil, err
+		}
+	}
+	// The paper's one-way rule: exiting 4 into 2 is allowed, entering is not.
+	if err := sg.AddAccess("4", "2", "exit42"); err != nil {
+		return nil, err
+	}
+
+	// Fine-layer accessibility mirrors the coarse layer with 5 refined:
+	// the hall segments chain 5a↔5b↔5c and attach to their rooms.
+	for _, e := range []bi{
+		{"1i", "2i", "door12"}, {"2i", "3i", "door23"}, {"3i", "4i", "door34"},
+		{"4i", "5c", "door45"},
+		{"5a", "5b", "hallab"}, {"5b", "5c", "hallbc"},
+		{"5a", "1i", "hall1"}, {"5b", "2i", "hall2"}, {"5c", "3i", "hall3"},
+	} {
+		if err := sg.AddBiAccess(e.a, e.b, e.boundary); err != nil {
+			return nil, err
+		}
+	}
+	if err := sg.AddAccess("4i", "2i", "exit42"); err != nil {
+		return nil, err
+	}
+	return sg, sg.Validate()
+}

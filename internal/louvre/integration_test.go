@@ -1,0 +1,125 @@
+package louvre_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sitm/internal/geom"
+	"sitm/internal/louvre"
+	"sitm/internal/positioning"
+)
+
+// TestEndToEndPositioningPipeline replays the full chain that produced the
+// paper's dataset: a ground-truth walk through two adjacent Louvre zones is
+// observed via noisy BLE RSSI from the museum's beacon plant, positions are
+// solved by trilateration, smoothed by the Kalman filter, map-matched to
+// the zone layer and aggregated into zone detections. The detected zone
+// sequence must match the ground truth.
+func TestEndToEndPositioningPipeline(t *testing.T) {
+	sg, _, err := louvre.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	beacons := louvre.Beacons()
+	model := positioning.PathLoss{Exponent: 2.2, ShadowSigma: 1.5}
+	rng := rand.New(rand.NewSource(99))
+
+	// Ground truth: walk across zone60853 into zone60854 (both Sully,
+	// ground floor; the Figure 4 zones). Zone strips are adjacent in x.
+	zoneA, _ := louvre.ZoneByID("zone60853")
+	zoneB, _ := louvre.ZoneByID("zone60854")
+	startPt := zoneA.Geometry.Centroid()
+	endPt := zoneB.Geometry.Centroid()
+
+	const steps = 120
+	t0 := time.Date(2017, 3, 1, 10, 0, 0, 0, time.UTC)
+	kalman := positioning.NewKalman(0.1, 9.0)
+	var fixes []positioning.Fix
+	var truthZones []string
+	idx := positioning.NewZoneIndex(sg, louvre.LayerZone)
+	for i := 0; i < steps; i++ {
+		f := float64(i) / float64(steps-1)
+		truth := geom.Pt(startPt.X+(endPt.X-startPt.X)*f, startPt.Y+(endPt.Y-startPt.Y)*f)
+		truthZones = append(truthZones, idx.Match(positioning.Fix{Pos: truth, Floor: 0}))
+
+		// The phone hears nearby floor-0 beacons.
+		heard := louvre.BeaconsNear(beacons, truth, 0, 25)
+		if len(heard) < 3 {
+			t.Fatalf("step %d: only %d beacons audible", i, len(heard))
+		}
+		var meas []positioning.Measurement
+		for _, b := range heard {
+			meas = append(meas, positioning.Measurement{
+				BeaconID: b.ID,
+				RSSI:     model.RSSI(b, b.Pos.Dist(truth), rng),
+			})
+		}
+		meas = positioning.StrongestBeacons(meas, 6)
+		raw, err := positioning.Trilaterate(beacons, meas, model)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		smooth := kalman.Step(raw, 1)
+		fixes = append(fixes, positioning.Fix{
+			MO: "walker", T: t0.Add(time.Duration(i) * time.Second), Pos: smooth, Floor: 0,
+		})
+	}
+
+	dets := positioning.Aggregate(fixes, idx, positioning.AggregateOptions{})
+	if len(dets) < 2 {
+		t.Fatalf("detections = %+v", dets)
+	}
+	// The detected sequence must start in A and end in B; the filter may
+	// flicker briefly at the shared wall.
+	if dets[0].Cell != zoneA.ID {
+		t.Errorf("first detection = %s, want %s", dets[0].Cell, zoneA.ID)
+	}
+	if dets[len(dets)-1].Cell != zoneB.ID {
+		t.Errorf("last detection = %s, want %s", dets[len(dets)-1].Cell, zoneB.ID)
+	}
+	if len(dets) > 4 {
+		t.Errorf("excessive flicker: %d detections for a 2-zone walk", len(dets))
+	}
+	// Detection times cover the walk.
+	if dets[0].Start.After(t0.Add(5*time.Second)) ||
+		dets[len(dets)-1].End.Before(t0.Add((steps-5)*time.Second)) {
+		t.Error("detections do not span the walk")
+	}
+	// Ground truth actually crossed the boundary (sanity of the scenario).
+	if truthZones[0] != zoneA.ID || truthZones[len(truthZones)-1] != zoneB.ID {
+		t.Fatal("scenario broken: truth does not cross zones")
+	}
+}
+
+// TestPositioningAccuracyAgainstZoneSize verifies the pipeline's positional
+// error stays well under the zone width, which is what makes zone-level
+// detection (the paper's granularity) reliable.
+func TestPositioningAccuracyAgainstZoneSize(t *testing.T) {
+	beacons := louvre.Beacons()
+	model := positioning.PathLoss{Exponent: 2.2, ShadowSigma: 2}
+	rng := rand.New(rand.NewSource(4))
+	zone, _ := louvre.ZoneByID("zone60879") // Salle des États
+	truth := zone.Geometry.Centroid()
+	var worst float64
+	for i := 0; i < 40; i++ {
+		heard := louvre.BeaconsNear(beacons, truth, zone.Floor, 20)
+		var meas []positioning.Measurement
+		for _, b := range heard {
+			meas = append(meas, positioning.Measurement{
+				BeaconID: b.ID, RSSI: model.RSSI(b, b.Pos.Dist(truth), rng),
+			})
+		}
+		got, err := positioning.Trilaterate(beacons, positioning.StrongestBeacons(meas, 8), model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := got.Dist(truth); e > worst {
+			worst = e
+		}
+	}
+	zoneWidth := zone.Geometry.BBox().Width()
+	if worst > zoneWidth/2 {
+		t.Errorf("worst positional error %.1f m exceeds half the zone width %.1f m", worst, zoneWidth/2)
+	}
+}

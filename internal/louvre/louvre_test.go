@@ -1,0 +1,306 @@
+package louvre
+
+import (
+	"testing"
+
+	"sitm/internal/indoor"
+	"sitm/internal/topo"
+)
+
+func TestZonesTable(t *testing.T) {
+	zones := Zones()
+	if len(zones) != 52 {
+		t.Fatalf("zones = %d, want 52 (§4.1)", len(zones))
+	}
+	if got := len(DatasetZones()); got != 30 {
+		t.Errorf("dataset zones = %d, want 30 (Fig 6)", got)
+	}
+	if got := len(GroundFloorZones()); got != 11 {
+		t.Errorf("ground floor zones = %d, want 11 (Fig 3)", got)
+	}
+	// Ids are unique, ordered, and every zone has positive-area geometry on
+	// one single floor.
+	seen := map[int]bool{}
+	for i, z := range zones {
+		if seen[z.Num] {
+			t.Errorf("duplicate zone %d", z.Num)
+		}
+		seen[z.Num] = true
+		if i > 0 && zones[i-1].Num >= z.Num {
+			t.Errorf("zones not ordered at %d", z.Num)
+		}
+		if z.Geometry.Area() <= 0 {
+			t.Errorf("zone %d has no geometry", z.Num)
+		}
+		if z.Floor < -2 || z.Floor > 2 {
+			t.Errorf("zone %d floor %d out of range", z.Num, z.Floor)
+		}
+	}
+	// The Figure 5/6 protagonists.
+	e, _ := ZoneByID(ZoneE)
+	if !e.Ticket || e.Class != ClassTempExhibition {
+		t.Errorf("E must be the ticketed temporary exhibition: %+v", e)
+	}
+	c, _ := ZoneByID(ZoneC)
+	if !c.Exit {
+		t.Error("C must be an exit")
+	}
+	entr, _ := ZoneByID("zone60885")
+	if !entr.Entrance {
+		t.Error("Pyramid Hall must be an entrance")
+	}
+	if _, ok := ZoneByID("zone99999"); ok {
+		t.Error("unknown zone lookup must fail")
+	}
+}
+
+func TestZoneGeometryDisjointWithinLayer(t *testing.T) {
+	// Same-floor zones must not overlap (IndoorGML: cells are
+	// non-overlapping). Touching (shared walls) is fine.
+	zones := Zones()
+	for i := 0; i < len(zones); i++ {
+		for j := i + 1; j < len(zones); j++ {
+			a, b := zones[i], zones[j]
+			if a.Floor != b.Floor {
+				continue
+			}
+			rel := a.Geometry.Relate(b.Geometry)
+			if rel != 0 && rel != 1 { // RelDisjoint or RelMeet
+				t.Errorf("zones %d and %d overlap: %v", a.Num, b.Num, rel)
+			}
+		}
+	}
+}
+
+func TestBuildValidHierarchy(t *testing.T) {
+	sg, h, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(sg); err != nil {
+		t.Fatalf("hierarchy: %v", err)
+	}
+	// Layer census.
+	if got := len(sg.CellsInLayer(LayerZone)); got != 52 {
+		t.Errorf("zone cells = %d", got)
+	}
+	if got := len(sg.CellsInLayer(LayerWing)); got != 4 {
+		t.Errorf("wings = %d", got)
+	}
+	if got := len(sg.CellsInLayer(LayerFloor)); got != 16 {
+		t.Errorf("floors = %d (3 wings × 5 + napoleon)", got)
+	}
+	if got := len(sg.CellsInLayer(LayerRoom)); got != 52*RoomsPerZone {
+		t.Errorf("rooms = %d", got)
+	}
+	if got := len(sg.CellsInLayer(LayerRoI)); got != 30*RoomsPerZone*RoIsPerRoom {
+		t.Errorf("RoIs = %d", got)
+	}
+}
+
+func TestBuildAncestorChain(t *testing.T) {
+	sg, _, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A Mona Lisa room RoI rolls all the way up to the museum.
+	roi := RoIID(60879, 1, 1)
+	steps := []struct{ layer, want string }{
+		{LayerRoom, RoomID(60879, 1)},
+		{LayerZone, "zone60879"},
+		{LayerFloor, FloorID(WingDenon, 1)},
+		{LayerWing, WingDenon},
+		{LayerMuseum, MuseumID},
+	}
+	for _, s := range steps {
+		got, ok := sg.AncestorAt(roi, s.layer)
+		if !ok || got != s.want {
+			t.Errorf("AncestorAt(%s, %s) = %q %v, want %q", roi, s.layer, got, ok, s.want)
+		}
+	}
+}
+
+func TestBuildZoneAccessibility(t *testing.T) {
+	sg, _, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 6 chain on the −2 floor.
+	if !sg.Accessible(ZoneE, ZoneP) || !sg.Accessible(ZoneP, ZoneE) {
+		t.Error("E ↔ P must be accessible")
+	}
+	if !sg.Accessible(ZoneP, ZoneS) {
+		t.Error("P → S must be accessible")
+	}
+	if !sg.Accessible(ZoneS, ZoneC) {
+		t.Error("S → C must be accessible")
+	}
+	// Carrousel exit is one-way.
+	if sg.Accessible(ZoneC, ZoneS) {
+		t.Error("C → S must NOT be accessible (one-way exit)")
+	}
+	// E ↛ S directly: the Figure 6 inference precondition.
+	if sg.Accessible(ZoneE, ZoneS) {
+		t.Error("E → S must not be directly accessible")
+	}
+	// The checkpoint002 boundary of the paper's example.
+	b, ok := sg.BoundaryOf(BoundaryCheckpoint002)
+	if !ok || b.Kind != indoor.Checkpoint {
+		t.Errorf("checkpoint002 = %+v %v", b, ok)
+	}
+	// The zone access graph is connected over dataset zones (a visitor can
+	// reach every dataset zone from the entrance).
+	ag, err := sg.AccessGraph(LayerZone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := ag.Reachable("zone60885")
+	for _, z := range DatasetZones() {
+		if !reach[z.ID] {
+			t.Errorf("dataset zone %s unreachable from the entrance", z.ID)
+		}
+	}
+}
+
+func TestBuildRoomLevelMirror(t *testing.T) {
+	sg, _, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rooms chain within a zone.
+	if !sg.Accessible(RoomID(60853, 1), RoomID(60853, 2)) {
+		t.Error("intra-zone room chain missing")
+	}
+	// Zone-level edges are mirrored at room level: last room of E to first
+	// room of P.
+	if !sg.Accessible(RoomID(60887, RoomsPerZone), RoomID(60888, 1)) {
+		t.Error("room-level mirror of E→P missing")
+	}
+	// One-way zone edges are one-way at room level too.
+	if sg.Accessible(RoomID(60891, 1), RoomID(60890, RoomsPerZone)) {
+		t.Error("room-level C→S must not exist")
+	}
+}
+
+func TestBuildCoverage(t *testing.T) {
+	sg, _, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 4: RoIs do NOT fully cover their room.
+	rep, err := sg.Coverage(RoomID(60853, 1), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ratio >= 0.9 {
+		t.Errorf("RoI coverage of a room = %.2f; must be far from full", rep.Ratio)
+	}
+	if rep.Ratio <= 0 {
+		t.Error("RoIs must cover something")
+	}
+	// Rooms DO tile their zone.
+	rep, err = sg.Coverage("zone60853", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ratio < 0.95 {
+		t.Errorf("room coverage of a zone = %.2f; rooms tile zones", rep.Ratio)
+	}
+	// Zones do NOT fully cover their floor (circulation corridor).
+	rep, err = sg.Coverage(FloorID(WingSully, 0), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ratio >= 0.99 {
+		t.Errorf("zone coverage of a floor = %.2f; the corridor must stay uncovered", rep.Ratio)
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	sg, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Salle des États one-way rule.
+	if !sg.Accessible("4", "2") {
+		t.Error("4 → 2 (exit) must be accessible")
+	}
+	if sg.Accessible("2", "4") {
+		t.Error("2 → 4 (entry) must be prohibited")
+	}
+	// Hall 5's subdivision: active states in the fine layer.
+	states := sg.ActiveStates("5", Figure1Lower)
+	if len(states) != 3 {
+		t.Fatalf("ActiveStates(5) = %v", states)
+	}
+	want := map[string]bool{"5a": true, "5b": true, "5c": true}
+	for _, s := range states {
+		if !want[s] {
+			t.Errorf("unexpected state %q", s)
+		}
+	}
+	// Replication via equal joints: room 1's counterpart in the fine layer.
+	got := sg.ActiveStates("1", Figure1Lower)
+	if len(got) != 1 || got[0] != "1i" {
+		t.Errorf("replica of 1 = %v", got)
+	}
+	// The equal joints are not proper-part links: no Parent.
+	if _, _, ok := sg.Parent("1i"); ok {
+		t.Error("equal joints must not create parent links")
+	}
+	if _, _, ok := sg.Parent("5a"); !ok {
+		t.Error("5a must have parent 5")
+	}
+}
+
+func TestBeaconLayout(t *testing.T) {
+	beacons := Beacons()
+	// "Around 1800 beacons installed across all five floors" (§4.1 fn 3).
+	if len(beacons) < 1700 || len(beacons) > 1900 {
+		t.Errorf("beacons = %d, want ≈ 1800", len(beacons))
+	}
+	floors := map[int]int{}
+	for _, b := range beacons {
+		floors[b.Floor]++
+		if b.TxPower != BeaconTxPower {
+			t.Fatalf("beacon TxPower = %v", b.TxPower)
+		}
+	}
+	for f := -2; f <= 2; f++ {
+		if floors[f] == 0 {
+			t.Errorf("no beacons on floor %d", f)
+		}
+	}
+	// A phone in zone 60853 hears nearby beacons of floor 0 only.
+	z, _ := ZoneByID("zone60853")
+	p := z.Geometry.Centroid()
+	near := BeaconsNear(beacons, p, 0, 30)
+	if len(near) == 0 {
+		t.Error("no beacons near a zone centroid")
+	}
+	for _, b := range near {
+		if b.Floor != 0 {
+			t.Errorf("beacon %s on floor %d leaked in", b.ID, b.Floor)
+		}
+	}
+}
+
+func TestZoneConstraintNetwork(t *testing.T) {
+	sg, _, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reasoning across the hierarchy: two sibling rooms of one zone must be
+	// disjoint-or-meet after path consistency.
+	n, err := sg.ConstraintNetwork("zone60853", RoomID(60853, 1), RoomID(60853, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.PathConsistency() {
+		t.Fatal("inconsistent network")
+	}
+	got := n.Constraint(RoomID(60853, 1), RoomID(60853, 2))
+	if got.Has(topo.EQ) || got.Has(topo.PO) {
+		t.Errorf("sibling rooms constraint = %v", got)
+	}
+}

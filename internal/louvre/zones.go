@@ -1,0 +1,316 @@
+// Package louvre instantiates the paper's case study (§4): the Louvre
+// Museum modelled as a six-layer space graph — Museum (building complex),
+// Wing (building), Floor, thematic Zone (the semantic layer matching the
+// dataset granularity), Room, and RoI — plus the hand-extracted zone
+// accessibility topology of Figure 6, the Figure 1 Denon fragment with the
+// Salle des États one-way rule, and the ~1800-beacon BLE layout.
+//
+// The real museum's floor plans are proprietary; the geometry here is
+// synthetic (rectangular strips per wing) but the topology — which zones
+// touch, which are one-way, which floors and wings exist, the 52-zone /
+// 30-dataset-zone / 11-ground-floor-zone structure — follows the paper.
+package louvre
+
+import (
+	"fmt"
+
+	"sitm/internal/geom"
+)
+
+// Wing identifiers.
+const (
+	WingRichelieu = "richelieu"
+	WingSully     = "sully"
+	WingDenon     = "denon"
+	WingNapoleon  = "napoleon" // the area under the Pyramide
+)
+
+// Zone classes.
+const (
+	ClassExhibition     = "Exhibition"
+	ClassTempExhibition = "TemporaryExhibition"
+	ClassEntrance       = "Entrance"
+	ClassExit           = "Exit"
+	ClassShop           = "Shop"
+	ClassService        = "Service"
+)
+
+// The paper's Figure 5/6 protagonists on the −2 floor.
+const (
+	ZoneE = "zone60887" // temporary exhibition (E) — separate ticket
+	ZoneP = "zone60888" // passage with cloakroom services (P)
+	ZoneS = "zone60890" // souvenir shops (S)
+	ZoneC = "zone60891" // Carrousel exit (C)
+)
+
+// Boundary ids reused from the paper's examples.
+const (
+	BoundaryCheckpoint002 = "checkpoint002" // E ↔ P ticket checkpoint
+	BoundaryPassage003    = "passage003"    // P ↔ S passage
+	BoundaryCarrousel     = "carrousel-exit"
+)
+
+// Zone is one of the 52 thematic zones the museum administration defined:
+// a polygonal area reflecting a single exhibition theme and extending
+// within a single floor (§4.1).
+type Zone struct {
+	Num       int    // the paper-style numeric id (608xx)
+	ID        string // cell id, "zone<num>"
+	Name      string
+	Theme     string
+	Class     string
+	Wing      string
+	Floor     int
+	InDataset bool // one of the 30 zones present in the dataset
+	Entrance  bool
+	Exit      bool
+	// Ticket marks zones requiring a separate ticket (the paper notes the
+	// temporary exhibition E does, hence δt1 ≫ δt2 is expected).
+	Ticket bool
+	// Geometry is the zone's synthetic polygon (zones tile their wing
+	// strip's first ZoneBandWidth metres, leaving a corridor uncovered).
+	Geometry geom.Polygon
+}
+
+// zoneSpec is the static table behind Zones.
+type zoneSpec struct {
+	num       int
+	name      string
+	theme     string
+	class     string
+	wing      string
+	floor     int
+	inDataset bool
+	entrance  bool
+	exit      bool
+	ticket    bool
+}
+
+var zoneTable = []zoneSpec{
+	// Richelieu wing.
+	{60840, "Richelieu Lower Court", "Sculpture", ClassExhibition, WingRichelieu, -2, false, false, false, false},
+	{60841, "Richelieu Lower Galleries", "Sculpture", ClassExhibition, WingRichelieu, -2, false, false, false, false},
+	{60842, "Cour Marly", "French Sculpture", ClassExhibition, WingRichelieu, -1, true, false, false, false},
+	{60843, "Mesopotamia", "Near Eastern Antiquities", ClassExhibition, WingRichelieu, -1, true, false, false, false},
+	{60844, "Cour Puget Lower", "French Sculpture", ClassExhibition, WingRichelieu, -1, false, false, false, false},
+	{60849, "French Sculptures", "French Sculpture", ClassExhibition, WingRichelieu, 0, true, false, false, false},
+	{60850, "Near Eastern Antiquities", "Near Eastern Antiquities", ClassExhibition, WingRichelieu, 0, true, false, false, false},
+	{60851, "Cour Puget", "French Sculpture", ClassExhibition, WingRichelieu, 0, true, false, false, false},
+	{60852, "Cour Khorsabad", "Near Eastern Antiquities", ClassExhibition, WingRichelieu, 0, true, false, false, false},
+	{60860, "Decorative Arts", "Objets d'Art", ClassExhibition, WingRichelieu, 1, false, false, false, false},
+	{60861, "Napoleon III Apartments", "Objets d'Art", ClassExhibition, WingRichelieu, 1, false, false, false, false},
+	{60862, "Richelieu First Floor East", "Objets d'Art", ClassExhibition, WingRichelieu, 1, false, false, false, false},
+	{60863, "French Paintings XIV–XVII", "French Paintings", ClassExhibition, WingRichelieu, 2, false, false, false, false},
+	{60864, "Northern Schools", "Flemish & Dutch Paintings", ClassExhibition, WingRichelieu, 2, false, false, false, false},
+	{60865, "Galerie Médicis", "Rubens", ClassExhibition, WingRichelieu, 2, false, false, false, false},
+	// Sully wing.
+	{60845, "Medieval Louvre Moat", "Medieval Louvre", ClassExhibition, WingSully, -2, false, false, false, false},
+	{60846, "Crypt of the Sphinx Lower", "Medieval Louvre", ClassExhibition, WingSully, -2, false, false, false, false},
+	{60847, "Medieval Louvre", "Medieval Louvre", ClassExhibition, WingSully, -1, false, false, false, false},
+	{60848, "Sphinx Crypt", "Egyptian Antiquities", ClassExhibition, WingSully, -1, false, false, false, false},
+	{60866, "Sully Lower Galleries", "Greek Antiquities", ClassExhibition, WingSully, -1, false, false, false, false},
+	{60853, "Egyptian Antiquities I", "Egyptian Antiquities", ClassExhibition, WingSully, 0, true, false, false, false},
+	{60854, "Egyptian Antiquities II", "Egyptian Antiquities", ClassExhibition, WingSully, 0, true, false, false, false},
+	{60855, "Greek Antiquities", "Greek Antiquities", ClassExhibition, WingSully, 0, true, false, false, false},
+	{60856, "Venus de Milo Gallery", "Greek Antiquities", ClassExhibition, WingSully, 0, true, false, false, false},
+	{60867, "Egyptian Antiquities Upper", "Egyptian Antiquities", ClassExhibition, WingSully, 1, true, false, false, false},
+	{60868, "Greek Bronzes", "Greek Antiquities", ClassExhibition, WingSully, 1, true, false, false, false},
+	{60869, "Objets d'Art Sully", "Objets d'Art", ClassExhibition, WingSully, 1, true, false, false, false},
+	{60870, "French Paintings XVII–XIX", "French Paintings", ClassExhibition, WingSully, 2, false, false, false, false},
+	{60871, "Pastels", "French Paintings", ClassExhibition, WingSully, 2, false, false, false, false},
+	{60872, "Drawings Cabinet", "Drawings", ClassExhibition, WingSully, 2, false, false, false, false},
+	// Denon wing.
+	{60873, "Islamic Arts Lower", "Islamic Arts", ClassExhibition, WingDenon, -2, false, false, false, false},
+	{60874, "Italian Sculpture Lower", "Italian Sculpture", ClassExhibition, WingDenon, -2, false, false, false, false},
+	{60875, "Islamic Arts", "Islamic Arts", ClassExhibition, WingDenon, -1, true, false, false, false},
+	{60876, "Italian Sculpture", "Italian Sculpture", ClassExhibition, WingDenon, -1, true, false, false, false},
+	{60877, "Galerie Daru Lower", "Roman Antiquities", ClassExhibition, WingDenon, -1, true, false, false, false},
+	{60857, "Etruscan Antiquities", "Etruscan Antiquities", ClassExhibition, WingDenon, 0, true, false, false, false},
+	{60858, "Roman Antiquities", "Roman Antiquities", ClassExhibition, WingDenon, 0, true, false, false, false},
+	{60859, "Michelangelo Gallery", "Italian Sculpture", ClassExhibition, WingDenon, 0, true, false, false, false},
+	{60878, "Grande Galerie", "Italian Paintings", ClassExhibition, WingDenon, 1, true, false, false, false},
+	{60879, "Salle des États", "Italian Paintings (Mona Lisa)", ClassExhibition, WingDenon, 1, true, false, false, false},
+	{60880, "Large French Paintings", "French Paintings", ClassExhibition, WingDenon, 1, true, false, false, false},
+	{60881, "Apollo Gallery", "Crown Jewels", ClassExhibition, WingDenon, 1, true, false, false, false},
+	{60882, "Denon Second Floor I", "Paintings", ClassExhibition, WingDenon, 2, false, false, false, false},
+	{60883, "Denon Second Floor II", "Paintings", ClassExhibition, WingDenon, 2, false, false, false, false},
+	{60884, "Denon Second Floor III", "Paintings", ClassExhibition, WingDenon, 2, false, false, false, false},
+	// Napoleon area (under the Pyramide), −2 floor.
+	{60885, "Pyramid Hall", "Reception", ClassEntrance, WingNapoleon, -2, true, true, true, false},
+	{60886, "Cloakroom", "Services", ClassService, WingNapoleon, -2, true, false, false, false},
+	{60887, "Temporary Exhibition (E)", "Temporary Exhibition", ClassTempExhibition, WingNapoleon, -2, true, false, false, true},
+	{60888, "Passage (P)", "Circulation", ClassService, WingNapoleon, -2, true, false, false, false},
+	{60889, "Auditorium", "Services", ClassService, WingNapoleon, -2, true, false, false, false},
+	{60890, "Souvenir Shops (S)", "Shopping", ClassShop, WingNapoleon, -2, true, false, false, false},
+	{60891, "Carrousel Exit (C)", "Exit", ClassExit, WingNapoleon, -2, true, false, true, false},
+}
+
+// wingOffsets places each wing in a disjoint horizontal strip of the
+// synthetic plan (metres).
+var wingOffsets = map[string]float64{
+	WingRichelieu: 0,
+	WingSully:     300,
+	WingDenon:     600,
+	WingNapoleon:  900,
+}
+
+// WingWidth is the width of each wing strip; zones tile the first
+// ZoneBandWidth metres of it, leaving an uncovered circulation corridor —
+// the deliberate counter-example to the full-coverage hypothesis (§4.2).
+const (
+	WingWidth     = 300.0
+	WingDepth     = 60.0
+	ZoneBandWidth = 280.0
+)
+
+// Zones returns the 52-zone table with synthetic geometry attached, in
+// ascending numeric order.
+func Zones() []Zone {
+	// Group zones per wing+floor first so each group tiles its strip.
+	type key struct {
+		wing  string
+		floor int
+	}
+	groups := make(map[key][]int)
+	for i, z := range zoneTable {
+		k := key{z.wing, z.floor}
+		groups[k] = append(groups[k], i)
+	}
+	out := make([]Zone, len(zoneTable))
+	for k, idxs := range groups {
+		for slot, i := range idxs {
+			z := zoneTable[i]
+			out[i] = Zone{
+				Num:       z.num,
+				ID:        fmt.Sprintf("zone%d", z.num),
+				Name:      z.name,
+				Theme:     z.theme,
+				Class:     z.class,
+				Wing:      z.wing,
+				Floor:     z.floor,
+				InDataset: z.inDataset,
+				Entrance:  z.entrance,
+				Exit:      z.exit,
+				Ticket:    z.ticket,
+				Geometry:  zoneGeometry(k.wing, slot, len(idxs)),
+			}
+		}
+	}
+	// Order by numeric id for stable output.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Num < out[i].Num {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// zoneGeometry returns the synthetic rectangle of a zone, given its slot
+// within its wing+floor group.
+func zoneGeometry(wing string, slot, groupSize int) geom.Polygon {
+	n := float64(groupSize)
+	x0 := wingOffsets[wing] + float64(slot)*ZoneBandWidth/n
+	x1 := wingOffsets[wing] + float64(slot+1)*ZoneBandWidth/n
+	return geom.Poly(geom.Rect(x0, 0, x1, WingDepth))
+}
+
+// DatasetZones returns the 30 zones present in the dataset.
+func DatasetZones() []Zone {
+	var out []Zone
+	for _, z := range Zones() {
+		if z.InDataset {
+			out = append(out, z)
+		}
+	}
+	return out
+}
+
+// GroundFloorZones returns the 11 ground-floor zones of Figure 3.
+func GroundFloorZones() []Zone {
+	var out []Zone
+	for _, z := range Zones() {
+		if z.Floor == 0 {
+			out = append(out, z)
+		}
+	}
+	return out
+}
+
+// ZoneByID returns the zone with the given cell id.
+func ZoneByID(id string) (Zone, bool) {
+	for _, z := range Zones() {
+		if z.ID == id {
+			return z, true
+		}
+	}
+	return Zone{}, false
+}
+
+// accessEdge is one hand-extracted zone accessibility link (Figure 6: "the
+// accessibility topology ... was extracted by hand on site").
+type accessEdge struct {
+	a, b     int    // zone numbers
+	boundary string // boundary id ("" = synthesized)
+	kind     string // "door", "stair", "escalator", "checkpoint", "opening"
+	oneWay   bool   // a → b only
+}
+
+// zoneAccess lists the zone-level accessibility topology.
+func zoneAccess() []accessEdge {
+	var edges []accessEdge
+	// Horizontal chains within each wing+floor (ordered by zone number).
+	chains := [][]int{
+		{60840, 60841},               // richelieu −2
+		{60842, 60843, 60844},        // richelieu −1
+		{60849, 60850, 60851, 60852}, // richelieu 0
+		{60860, 60861, 60862},        // richelieu 1
+		{60863, 60864, 60865},        // richelieu 2
+		{60845, 60846},               // sully −2
+		{60847, 60848, 60866},        // sully −1
+		{60853, 60854, 60855, 60856}, // sully 0
+		{60867, 60868, 60869},        // sully 1
+		{60870, 60871, 60872},        // sully 2
+		{60873, 60874},               // denon −2
+		{60875, 60876, 60877},        // denon −1
+		{60857, 60858, 60859},        // denon 0
+		{60878, 60879, 60880, 60881}, // denon 1
+		{60882, 60883, 60884},        // denon 2
+	}
+	for _, chain := range chains {
+		for i := 0; i+1 < len(chain); i++ {
+			edges = append(edges, accessEdge{a: chain[i], b: chain[i+1], kind: "opening"})
+		}
+	}
+	// Vertical links (stairs/escalators) between consecutive floors of each
+	// wing, through the first zone of each floor.
+	stairs := [][2]int{
+		{60840, 60842}, {60842, 60849}, {60849, 60860}, {60860, 60863}, // richelieu
+		{60845, 60847}, {60847, 60853}, {60853, 60867}, {60867, 60870}, // sully
+		{60873, 60875}, {60875, 60857}, {60857, 60878}, {60878, 60882}, // denon
+	}
+	for _, s := range stairs {
+		edges = append(edges, accessEdge{a: s[0], b: s[1], kind: "stair"})
+	}
+	// Ground-floor wing-to-wing connections.
+	edges = append(edges,
+		accessEdge{a: 60852, b: 60853, kind: "opening"}, // richelieu ↔ sully
+		accessEdge{a: 60856, b: 60857, kind: "opening"}, // sully ↔ denon
+	)
+	// Napoleon area (Fig 5/6): pyramid hall fans out; E–P–S chain; one-way
+	// Carrousel exit.
+	edges = append(edges,
+		accessEdge{a: 60885, b: 60886, kind: "opening"},
+		accessEdge{a: 60885, b: 60888, kind: "opening"},
+		accessEdge{a: 60886, b: 60889, kind: "opening"},
+		accessEdge{a: 60887, b: 60888, boundary: BoundaryCheckpoint002, kind: "checkpoint"},
+		accessEdge{a: 60888, b: 60890, boundary: BoundaryPassage003, kind: "opening"},
+		accessEdge{a: 60890, b: 60891, boundary: BoundaryCarrousel, kind: "checkpoint", oneWay: true},
+		// Escalators from the pyramid up into the three wings' ground floor.
+		accessEdge{a: 60885, b: 60849, kind: "escalator"},
+		accessEdge{a: 60885, b: 60853, kind: "escalator"},
+		accessEdge{a: 60885, b: 60857, kind: "escalator"},
+	)
+	return edges
+}

@@ -1,0 +1,287 @@
+// Package mining implements the "mobility data mining and statistical
+// analytics methods" the SITM is designed to support (§1, §3, §5):
+// per-zone detection statistics (the Figure 3 choropleth), transition
+// matrices and first-order Markov next-zone models, PrefixSpan sequential
+// pattern mining over cell sequences, association rules, length-of-stay
+// distributions, and the floor-switching pattern extraction the paper's
+// conclusion mentions as an example of coarse-granularity insight.
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sitm/internal/core"
+	"sitm/internal/indoor"
+)
+
+// CellCount is a per-cell tally, the unit of the Figure 3 choropleth.
+type CellCount struct {
+	Cell  string
+	Count int
+}
+
+// DetectionCounts tallies detections per cell, optionally restricted to a
+// predicate over the cell (e.g. ground-floor zones only, as in Figure 3).
+func DetectionCounts(dets []core.Detection, keep func(cell string) bool) []CellCount {
+	counts := make(map[string]int)
+	for _, d := range dets {
+		if keep == nil || keep(d.Cell) {
+			counts[d.Cell]++
+		}
+	}
+	out := make([]CellCount, 0, len(counts))
+	for c, n := range counts {
+		out = append(out, CellCount{Cell: c, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Cell < out[j].Cell
+	})
+	return out
+}
+
+// VisitCounts tallies trajectories that touch each cell at least once
+// (distinct-visitor footfall rather than raw detections).
+func VisitCounts(trajs []core.Trajectory, keep func(cell string) bool) []CellCount {
+	counts := make(map[string]int)
+	for _, t := range trajs {
+		for _, c := range t.Trace.DistinctCells() {
+			if keep == nil || keep(c) {
+				counts[c]++
+			}
+		}
+	}
+	out := make([]CellCount, 0, len(counts))
+	for c, n := range counts {
+		out = append(out, CellCount{Cell: c, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Cell < out[j].Cell
+	})
+	return out
+}
+
+// Transition is one directed cell-to-cell movement with its frequency.
+type Transition struct {
+	From, To string
+	Count    int
+}
+
+// TransitionMatrix counts directed transitions over the trajectories'
+// traces.
+type TransitionMatrix struct {
+	counts map[string]map[string]int
+	outSum map[string]int
+}
+
+// NewTransitionMatrix builds the matrix from trajectories.
+func NewTransitionMatrix(trajs []core.Trajectory) *TransitionMatrix {
+	m := &TransitionMatrix{counts: make(map[string]map[string]int), outSum: make(map[string]int)}
+	for _, t := range trajs {
+		cells := t.Trace.Cells()
+		for i := 1; i < len(cells); i++ {
+			if cells[i] == cells[i-1] {
+				continue
+			}
+			if m.counts[cells[i-1]] == nil {
+				m.counts[cells[i-1]] = make(map[string]int)
+			}
+			m.counts[cells[i-1]][cells[i]]++
+			m.outSum[cells[i-1]]++
+		}
+	}
+	return m
+}
+
+// Count returns the number of observed from→to transitions.
+func (m *TransitionMatrix) Count(from, to string) int { return m.counts[from][to] }
+
+// Total returns the total number of transitions.
+func (m *TransitionMatrix) Total() int {
+	n := 0
+	for _, s := range m.outSum {
+		n += s
+	}
+	return n
+}
+
+// Probability returns P(to | from), the first-order Markov estimate.
+func (m *TransitionMatrix) Probability(from, to string) float64 {
+	if m.outSum[from] == 0 {
+		return 0
+	}
+	return float64(m.counts[from][to]) / float64(m.outSum[from])
+}
+
+// PredictNext returns the most likely next cell after from, with its
+// probability; ok is false when from was never seen.
+func (m *TransitionMatrix) PredictNext(from string) (string, float64, bool) {
+	best, bestN := "", -1
+	// Deterministic tie-break on cell id.
+	var tos []string
+	for to := range m.counts[from] {
+		tos = append(tos, to)
+	}
+	sort.Strings(tos)
+	for _, to := range tos {
+		if n := m.counts[from][to]; n > bestN {
+			best, bestN = to, n
+		}
+	}
+	if bestN < 0 {
+		return "", 0, false
+	}
+	return best, m.Probability(from, best), true
+}
+
+// Top returns the k most frequent transitions, ordered by count then
+// lexicographically.
+func (m *TransitionMatrix) Top(k int) []Transition {
+	var out []Transition
+	for from, tos := range m.counts {
+		for to, n := range tos {
+			out = append(out, Transition{From: from, To: to, Count: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// StayStats summarises presence durations in one cell.
+type StayStats struct {
+	Cell   string
+	Visits int
+	Total  time.Duration
+	Mean   time.Duration
+	Median time.Duration
+	Max    time.Duration
+}
+
+// LengthOfStay computes per-cell stay statistics over the trajectories —
+// the noninvasive Bluetooth "length of stay" analysis of the paper's Louvre
+// predecessor study [27].
+func LengthOfStay(trajs []core.Trajectory) []StayStats {
+	durs := make(map[string][]time.Duration)
+	for _, t := range trajs {
+		for _, p := range t.Trace {
+			durs[p.Cell] = append(durs[p.Cell], p.Duration())
+		}
+	}
+	var out []StayStats
+	for cell, ds := range durs {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		var total time.Duration
+		for _, d := range ds {
+			total += d
+		}
+		st := StayStats{
+			Cell:   cell,
+			Visits: len(ds),
+			Total:  total,
+			Mean:   total / time.Duration(len(ds)),
+			Median: ds[len(ds)/2],
+			Max:    ds[len(ds)-1],
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Visits != out[j].Visits {
+			return out[i].Visits > out[j].Visits
+		}
+		return out[i].Cell < out[j].Cell
+	})
+	return out
+}
+
+// FloorSwitch is a floor-to-floor movement pattern ("floor-switching
+// patterns", §5).
+type FloorSwitch struct {
+	FromFloor, ToFloor int
+	Count              int
+}
+
+// FloorSwitches rolls every trajectory up to the floor layer of the space
+// graph and tallies the observed floor changes.
+func FloorSwitches(sg *indoor.SpaceGraph, trajs []core.Trajectory, floorLayer string) ([]FloorSwitch, error) {
+	counts := make(map[[2]int]int)
+	for _, t := range trajs {
+		up, err := t.RollUp(sg, floorLayer)
+		if err != nil {
+			return nil, fmt.Errorf("mining: roll-up failed for %s: %w", t.MO, err)
+		}
+		var prev *indoor.Cell
+		for _, p := range up.Trace {
+			c, ok := sg.Cell(p.Cell)
+			if !ok {
+				continue
+			}
+			if prev != nil && prev.Floor != c.Floor {
+				counts[[2]int{prev.Floor, c.Floor}]++
+			}
+			prev = c
+		}
+	}
+	var out []FloorSwitch
+	for k, n := range counts {
+		out = append(out, FloorSwitch{FromFloor: k[0], ToFloor: k[1], Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].FromFloor != out[j].FromFloor {
+			return out[i].FromFloor < out[j].FromFloor
+		}
+		return out[i].ToFloor < out[j].ToFloor
+	})
+	return out, nil
+}
+
+// VisitDurationHistogram buckets trajectory durations.
+type DurationBucket struct {
+	UpTo  time.Duration // exclusive upper bound; 0 = overflow bucket
+	Count int
+}
+
+// VisitDurations histograms trajectory durations with the given bucket
+// bounds (ascending); durations beyond the last bound land in an overflow
+// bucket.
+func VisitDurations(trajs []core.Trajectory, bounds []time.Duration) []DurationBucket {
+	out := make([]DurationBucket, len(bounds)+1)
+	for i, b := range bounds {
+		out[i].UpTo = b
+	}
+	for _, t := range trajs {
+		d := t.Duration()
+		placed := false
+		for i, b := range bounds {
+			if d < b {
+				out[i].Count++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			out[len(bounds)].Count++
+		}
+	}
+	return out
+}

@@ -1,0 +1,297 @@
+package mining
+
+import (
+	"testing"
+	"time"
+
+	"sitm/internal/core"
+	"sitm/internal/indoor"
+	"sitm/internal/topo"
+)
+
+var day = time.Date(2017, 2, 14, 0, 0, 0, 0, time.UTC)
+
+func at(min int) time.Time { return day.Add(time.Duration(min) * time.Minute) }
+
+// traj builds a trajectory visiting the given cells for 10 minutes each.
+func traj(t *testing.T, mo string, cells ...string) core.Trajectory {
+	t.Helper()
+	var tr core.Trace
+	for i, c := range cells {
+		tr = append(tr, core.PresenceInterval{
+			Cell: c, Start: at(i * 10), End: at(i*10 + 10),
+		})
+	}
+	out, err := core.NewTrajectory(mo, tr, core.NewAnnotations("activity", "visit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestDetectionCounts(t *testing.T) {
+	dets := []core.Detection{
+		{MO: "a", Cell: "z1"}, {MO: "a", Cell: "z1"}, {MO: "b", Cell: "z2"},
+		{MO: "b", Cell: "hidden"},
+	}
+	got := DetectionCounts(dets, func(c string) bool { return c != "hidden" })
+	if len(got) != 2 || got[0].Cell != "z1" || got[0].Count != 2 || got[1].Count != 1 {
+		t.Errorf("counts = %v", got)
+	}
+	all := DetectionCounts(dets, nil)
+	if len(all) != 3 {
+		t.Errorf("unfiltered = %v", all)
+	}
+}
+
+func TestVisitCounts(t *testing.T) {
+	trajs := []core.Trajectory{
+		traj(t, "a", "z1", "z2", "z1"), // z1 visited twice but counted once
+		traj(t, "b", "z1"),
+	}
+	got := VisitCounts(trajs, nil)
+	if got[0].Cell != "z1" || got[0].Count != 2 {
+		t.Errorf("z1 = %+v", got[0])
+	}
+	if got[1].Cell != "z2" || got[1].Count != 1 {
+		t.Errorf("z2 = %+v", got[1])
+	}
+}
+
+func TestTransitionMatrix(t *testing.T) {
+	trajs := []core.Trajectory{
+		traj(t, "a", "x", "y", "z"),
+		traj(t, "b", "x", "y", "x"),
+		traj(t, "c", "x", "z"),
+	}
+	m := NewTransitionMatrix(trajs)
+	if m.Count("x", "y") != 2 || m.Count("y", "z") != 1 || m.Count("z", "x") != 0 {
+		t.Error("counts wrong")
+	}
+	if m.Total() != 5 {
+		t.Errorf("total = %d", m.Total())
+	}
+	if p := m.Probability("x", "y"); p != 2.0/3 {
+		t.Errorf("P(y|x) = %v", p)
+	}
+	if p := m.Probability("ghost", "y"); p != 0 {
+		t.Errorf("P from unseen = %v", p)
+	}
+	next, p, ok := m.PredictNext("x")
+	if !ok || next != "y" || p != 2.0/3 {
+		t.Errorf("predict = %q %v %v", next, p, ok)
+	}
+	if _, _, ok := m.PredictNext("ghost"); ok {
+		t.Error("unseen cell must not predict")
+	}
+	top := m.Top(2)
+	if len(top) != 2 || top[0].From != "x" || top[0].To != "y" || top[0].Count != 2 {
+		t.Errorf("top = %v", top)
+	}
+}
+
+func TestTransitionMatrixSkipsSameCell(t *testing.T) {
+	trajs := []core.Trajectory{traj(t, "a", "x", "x", "y")}
+	m := NewTransitionMatrix(trajs)
+	if m.Total() != 1 || m.Count("x", "x") != 0 {
+		t.Errorf("same-cell runs must not count: total=%d", m.Total())
+	}
+}
+
+func TestLengthOfStay(t *testing.T) {
+	trajs := []core.Trajectory{
+		traj(t, "a", "z1", "z2"),
+		traj(t, "b", "z1"),
+	}
+	st := LengthOfStay(trajs)
+	if st[0].Cell != "z1" || st[0].Visits != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st[0].Mean != 10*time.Minute || st[0].Max != 10*time.Minute {
+		t.Errorf("z1 stats = %+v", st[0])
+	}
+	if st[0].Total != 20*time.Minute {
+		t.Errorf("z1 total = %v", st[0].Total)
+	}
+}
+
+func TestVisitDurations(t *testing.T) {
+	trajs := []core.Trajectory{
+		traj(t, "a", "z1"),             // 10 min
+		traj(t, "b", "z1", "z2", "z3"), // 30 min
+	}
+	buckets := VisitDurations(trajs, []time.Duration{15 * time.Minute, time.Hour})
+	if buckets[0].Count != 1 || buckets[1].Count != 1 || buckets[2].Count != 0 {
+		t.Errorf("buckets = %+v", buckets)
+	}
+}
+
+func floorGraph(t *testing.T) *indoor.SpaceGraph {
+	t.Helper()
+	sg := indoor.NewSpaceGraph()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(sg.AddLayer(indoor.Layer{ID: "floor", Rank: 1}))
+	must(sg.AddLayer(indoor.Layer{ID: "zone", Rank: 0, Kind: indoor.Semantic}))
+	must(sg.AddCell(indoor.Cell{ID: "f0", Layer: "floor", Floor: 0}))
+	must(sg.AddCell(indoor.Cell{ID: "f1", Layer: "floor", Floor: 1}))
+	for z, f := range map[string]string{"z1": "f0", "z2": "f0", "z3": "f1"} {
+		fl := 0
+		if f == "f1" {
+			fl = 1
+		}
+		must(sg.AddCell(indoor.Cell{ID: z, Layer: "zone", Floor: fl}))
+		must(sg.AddJoint(f, z, topo.TPPi))
+	}
+	return sg
+}
+
+func TestFloorSwitches(t *testing.T) {
+	sg := floorGraph(t)
+	trajs := []core.Trajectory{
+		traj(t, "a", "z1", "z2", "z3"), // f0 → f0 → f1: one switch 0→1
+		traj(t, "b", "z3", "z1"),       // 1→0
+		traj(t, "c", "z1", "z3"),       // 0→1
+	}
+	fs, err := FloorSwitches(sg, trajs, "floor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 {
+		t.Fatalf("switches = %+v", fs)
+	}
+	if fs[0].FromFloor != 0 || fs[0].ToFloor != 1 || fs[0].Count != 2 {
+		t.Errorf("top switch = %+v", fs[0])
+	}
+	if fs[1].Count != 1 {
+		t.Errorf("second switch = %+v", fs[1])
+	}
+	// A trajectory outside the hierarchy errors.
+	bad := []core.Trajectory{traj(t, "x", "ghost")}
+	if _, err := FloorSwitches(sg, bad, "floor"); err == nil {
+		t.Error("unknown cell must error")
+	}
+}
+
+func TestSequencesOf(t *testing.T) {
+	trajs := []core.Trajectory{traj(t, "a", "x", "x", "y", "x")}
+	seqs := SequencesOf(trajs)
+	if len(seqs) != 1 || len(seqs[0]) != 3 {
+		t.Fatalf("seqs = %v", seqs)
+	}
+	want := []string{"x", "y", "x"}
+	for i := range want {
+		if seqs[0][i] != want[i] {
+			t.Errorf("seq = %v", seqs[0])
+		}
+	}
+}
+
+func TestPrefixSpan(t *testing.T) {
+	seqs := [][]string{
+		{"a", "b", "c"},
+		{"a", "b"},
+		{"a", "c"},
+		{"b", "c"},
+	}
+	pats := PrefixSpan(seqs, 2, 0)
+	bySig := map[string]int{}
+	for _, p := range pats {
+		bySig[key(p.Cells)] = p.Support
+	}
+	checks := []struct {
+		cells []string
+		want  int
+	}{
+		{[]string{"a"}, 3},
+		{[]string{"b"}, 3},
+		{[]string{"c"}, 3},
+		{[]string{"a", "b"}, 2},
+		{[]string{"a", "c"}, 2},
+		{[]string{"b", "c"}, 2},
+	}
+	for _, c := range checks {
+		if got := bySig[key(c.cells)]; got != c.want {
+			t.Errorf("support(%v) = %d, want %d", c.cells, got, c.want)
+		}
+	}
+	// {a,b,c} appears in only one sequence: below minSupport.
+	if _, ok := bySig[key([]string{"a", "b", "c"})]; ok {
+		t.Error("infrequent pattern leaked")
+	}
+	// Results are ordered by support.
+	for i := 1; i < len(pats); i++ {
+		if pats[i].Support > pats[i-1].Support {
+			t.Fatal("patterns not sorted by support")
+		}
+	}
+}
+
+func TestPrefixSpanMaxLen(t *testing.T) {
+	seqs := [][]string{{"a", "b", "c"}, {"a", "b", "c"}}
+	pats := PrefixSpan(seqs, 2, 2)
+	for _, p := range pats {
+		if len(p.Cells) > 2 {
+			t.Errorf("pattern %v exceeds maxLen", p.Cells)
+		}
+	}
+}
+
+func TestPrefixSpanSubsequenceSemantics(t *testing.T) {
+	// Patterns are subsequences, not substrings: a…c matches a,b,c.
+	seqs := [][]string{{"a", "b", "c"}, {"a", "x", "c"}}
+	pats := PrefixSpan(seqs, 2, 0)
+	found := false
+	for _, p := range pats {
+		if key(p.Cells) == key([]string{"a", "c"}) && p.Support == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("subsequence pattern a→c missing")
+	}
+}
+
+func TestRules(t *testing.T) {
+	seqs := [][]string{
+		{"entrance", "mona-lisa", "exit"},
+		{"entrance", "mona-lisa", "exit"},
+		{"entrance", "mona-lisa"},
+		{"entrance", "cafe"},
+	}
+	pats := PrefixSpan(seqs, 2, 0)
+	rules := Rules(pats, 0.5)
+	var bestConf float64
+	foundML := false
+	for _, r := range rules {
+		if r.Confidence > 1+1e-9 {
+			t.Fatalf("confidence > 1: %+v", r)
+		}
+		if key(r.Antecedent) == key([]string{"mona-lisa"}) && key(r.Consequent) == key([]string{"exit"}) {
+			foundML = true
+			if r.Confidence < 0.6 || r.Confidence > 0.7 {
+				t.Errorf("mona-lisa→exit confidence = %v, want 2/3", r.Confidence)
+			}
+		}
+		if r.Confidence > bestConf {
+			bestConf = r.Confidence
+		}
+	}
+	if !foundML {
+		t.Error("expected rule mona-lisa → exit")
+	}
+	if len(rules) > 0 && rules[0].Confidence != bestConf {
+		t.Error("rules not sorted by confidence")
+	}
+	// High threshold prunes.
+	strict := Rules(pats, 0.99)
+	for _, r := range strict {
+		if r.Confidence < 0.99 {
+			t.Errorf("rule below threshold: %+v", r)
+		}
+	}
+}

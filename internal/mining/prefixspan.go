@@ -1,0 +1,172 @@
+package mining
+
+import (
+	"sort"
+
+	"sitm/internal/core"
+)
+
+// Pattern is a sequential pattern: an ordered list of cells visited (not
+// necessarily consecutively) by at least Support trajectories.
+type Pattern struct {
+	Cells   []string
+	Support int
+}
+
+// SequencesOf extracts the cell sequence of each trajectory, collapsing
+// consecutive repeats (a stalled detection is not a movement).
+func SequencesOf(trajs []core.Trajectory) [][]string {
+	out := make([][]string, 0, len(trajs))
+	for _, t := range trajs {
+		var seq []string
+		for _, c := range t.Trace.Cells() {
+			if len(seq) == 0 || seq[len(seq)-1] != c {
+				seq = append(seq, c)
+			}
+		}
+		out = append(out, seq)
+	}
+	return out
+}
+
+// PrefixSpan mines frequent sequential patterns with the given minimum
+// support (absolute count) and maximum pattern length. The implementation
+// is the classical pattern-growth algorithm over projected databases
+// (Pei et al.), the standard sequential-pattern machinery the SITM is meant
+// to feed ("support frequent/sequential patterns and association rules",
+// §2.2).
+func PrefixSpan(sequences [][]string, minSupport, maxLen int) []Pattern {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	// A projection is a set of (sequence index, start offset) suffixes.
+	type proj struct{ seq, off int }
+	var mine func(prefix []string, db []proj, out *[]Pattern)
+	mine = func(prefix []string, db []proj, out *[]Pattern) {
+		if maxLen > 0 && len(prefix) >= maxLen {
+			return
+		}
+		// Count, for each item, the sequences whose suffix contains it.
+		counts := make(map[string]int)
+		lastSeq := make(map[string]int)
+		for _, p := range db {
+			seen := make(map[string]bool)
+			for _, item := range sequences[p.seq][p.off:] {
+				if !seen[item] {
+					seen[item] = true
+					counts[item]++
+					lastSeq[item] = p.seq
+				}
+			}
+		}
+		var items []string
+		for item, n := range counts {
+			if n >= minSupport {
+				items = append(items, item)
+			}
+		}
+		sort.Strings(items)
+		for _, item := range items {
+			grown := append(append([]string{}, prefix...), item)
+			*out = append(*out, Pattern{Cells: grown, Support: counts[item]})
+			// Project: for each suffix, the first occurrence of item.
+			var next []proj
+			for _, p := range db {
+				for i, it := range sequences[p.seq][p.off:] {
+					if it == item {
+						next = append(next, proj{p.seq, p.off + i + 1})
+						break
+					}
+				}
+			}
+			mine(grown, next, out)
+		}
+	}
+
+	db := make([]proj, len(sequences))
+	for i := range sequences {
+		db[i] = proj{i, 0}
+	}
+	var out []Pattern
+	mine(nil, db, &out)
+	// Longest and most supported first; lexicographic tie-break.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		if len(out[i].Cells) != len(out[j].Cells) {
+			return len(out[i].Cells) > len(out[j].Cells)
+		}
+		return lessSlices(out[i].Cells, out[j].Cells)
+	})
+	return out
+}
+
+func lessSlices(a, b []string) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Rule is a sequential association rule: trajectories matching the
+// antecedent pattern also continue with the consequent, with the given
+// confidence.
+type Rule struct {
+	Antecedent []string
+	Consequent []string
+	Support    int     // sequences containing antecedent ⧺ consequent
+	Confidence float64 // support / support(antecedent)
+}
+
+// Rules derives sequential association rules from mined patterns: each
+// frequent pattern of length ≥ 2 is split into every prefix/suffix pair,
+// and pairs meeting the confidence threshold are kept.
+func Rules(patterns []Pattern, minConfidence float64) []Rule {
+	support := make(map[string]int, len(patterns))
+	for _, p := range patterns {
+		support[key(p.Cells)] = p.Support
+	}
+	var out []Rule
+	for _, p := range patterns {
+		if len(p.Cells) < 2 {
+			continue
+		}
+		for cut := 1; cut < len(p.Cells); cut++ {
+			ante := p.Cells[:cut]
+			anteSupport, ok := support[key(ante)]
+			if !ok || anteSupport == 0 {
+				continue
+			}
+			conf := float64(p.Support) / float64(anteSupport)
+			if conf >= minConfidence {
+				out = append(out, Rule{
+					Antecedent: append([]string{}, ante...),
+					Consequent: append([]string{}, p.Cells[cut:]...),
+					Support:    p.Support,
+					Confidence: conf,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return lessSlices(out[i].Antecedent, out[j].Antecedent)
+	})
+	return out
+}
+
+func key(cells []string) string {
+	s := ""
+	for _, c := range cells {
+		s += c + "\x00"
+	}
+	return s
+}

@@ -1,0 +1,230 @@
+package positioning
+
+import (
+	"math"
+	"math/rand"
+
+	"sitm/internal/geom"
+)
+
+// Kalman is a 2D constant-velocity Kalman filter over the state
+// [x, y, vx, vy], the "extended Kalman filtering" role in the paper's
+// positioning stack (the measurement model here is linear, so the standard
+// filter suffices).
+type Kalman struct {
+	x [4]float64    // state estimate
+	p [4][4]float64 // estimate covariance
+	// ProcessNoise is the white-acceleration spectral density (m²/s³).
+	ProcessNoise float64
+	// MeasurementNoise is the position measurement variance (m²).
+	MeasurementNoise float64
+	initialized      bool
+}
+
+// NewKalman returns a filter with the given noise parameters.
+func NewKalman(processNoise, measurementNoise float64) *Kalman {
+	return &Kalman{ProcessNoise: processNoise, MeasurementNoise: measurementNoise}
+}
+
+// State returns the current position estimate.
+func (k *Kalman) State() geom.Point { return geom.Pt(k.x[0], k.x[1]) }
+
+// Velocity returns the current velocity estimate.
+func (k *Kalman) Velocity() geom.Point { return geom.Pt(k.x[2], k.x[3]) }
+
+// Step feeds one position measurement taken dt seconds after the previous
+// one and returns the filtered position. The first call initialises the
+// state at the measurement.
+func (k *Kalman) Step(z geom.Point, dt float64) geom.Point {
+	if !k.initialized {
+		k.x = [4]float64{z.X, z.Y, 0, 0}
+		for i := 0; i < 4; i++ {
+			k.p[i][i] = 10
+		}
+		k.initialized = true
+		return z
+	}
+	if dt <= 0 {
+		dt = 1e-3
+	}
+	// Predict: x ← F x with F = [1 0 dt 0; 0 1 0 dt; 0 0 1 0; 0 0 0 1].
+	k.x = [4]float64{
+		k.x[0] + dt*k.x[2],
+		k.x[1] + dt*k.x[3],
+		k.x[2],
+		k.x[3],
+	}
+	// P ← F P Fᵀ + Q (piecewise-constant white acceleration Q).
+	var fp [4][4]float64
+	f := [4][4]float64{{1, 0, dt, 0}, {0, 1, 0, dt}, {0, 0, 1, 0}, {0, 0, 0, 1}}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for l := 0; l < 4; l++ {
+				fp[i][j] += f[i][l] * k.p[l][j]
+			}
+		}
+	}
+	var fpf [4][4]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for l := 0; l < 4; l++ {
+				fpf[i][j] += fp[i][l] * f[j][l]
+			}
+		}
+	}
+	q := k.ProcessNoise
+	dt2, dt3, dt4 := dt*dt, dt*dt*dt, dt*dt*dt*dt
+	qm := [4][4]float64{
+		{dt4 / 4 * q, 0, dt3 / 2 * q, 0},
+		{0, dt4 / 4 * q, 0, dt3 / 2 * q},
+		{dt3 / 2 * q, 0, dt2 * q, 0},
+		{0, dt3 / 2 * q, 0, dt2 * q},
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			k.p[i][j] = fpf[i][j] + qm[i][j]
+		}
+	}
+	// Update with measurement z = H x + v, H = [1 0 0 0; 0 1 0 0].
+	r := k.MeasurementNoise
+	s11 := k.p[0][0] + r
+	s22 := k.p[1][1] + r
+	s12 := k.p[0][1]
+	det := s11*s22 - s12*s12
+	if math.Abs(det) < 1e-12 {
+		return k.State()
+	}
+	inv11, inv22, inv12 := s22/det, s11/det, -s12/det
+	// Kalman gain K = P Hᵀ S⁻¹ (4×2).
+	var kg [4][2]float64
+	for i := 0; i < 4; i++ {
+		kg[i][0] = k.p[i][0]*inv11 + k.p[i][1]*inv12
+		kg[i][1] = k.p[i][0]*inv12 + k.p[i][1]*inv22
+	}
+	y0 := z.X - k.x[0]
+	y1 := z.Y - k.x[1]
+	for i := 0; i < 4; i++ {
+		k.x[i] += kg[i][0]*y0 + kg[i][1]*y1
+	}
+	// P ← (I − K H) P.
+	var newP [4][4]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			ikh0 := -kg[i][0]
+			ikh1 := -kg[i][1]
+			if i == 0 {
+				ikh0++
+			}
+			if i == 1 {
+				ikh1++
+			}
+			newP[i][j] = ikh0*k.p[0][j] + ikh1*k.p[1][j]
+			if i >= 2 {
+				newP[i][j] += k.p[i][j]
+			}
+		}
+	}
+	k.p = newP
+	return k.State()
+}
+
+// ParticleFilter is a bootstrap particle filter over 2D positions, the
+// second filtering stage of the paper's positioning stack. It is useful
+// when movement is constrained (walls): a Constrain hook can zero the
+// weight of particles landing in impossible places.
+type ParticleFilter struct {
+	xs, ys, ws []float64
+	rng        *rand.Rand
+	// StepSigma is the random-walk prediction noise (m).
+	StepSigma float64
+	// MeasSigma is the measurement likelihood std dev (m).
+	MeasSigma float64
+	// Constrain, when non-nil, reports whether a particle position is
+	// admissible; inadmissible particles get zero weight.
+	Constrain func(geom.Point) bool
+}
+
+// NewParticleFilter creates a filter with n particles initialised around p0.
+func NewParticleFilter(n int, p0 geom.Point, stepSigma, measSigma float64, seed int64) *ParticleFilter {
+	pf := &ParticleFilter{
+		xs:        make([]float64, n),
+		ys:        make([]float64, n),
+		ws:        make([]float64, n),
+		rng:       rand.New(rand.NewSource(seed)),
+		StepSigma: stepSigma,
+		MeasSigma: measSigma,
+	}
+	for i := range pf.xs {
+		pf.xs[i] = p0.X + pf.rng.NormFloat64()*stepSigma
+		pf.ys[i] = p0.Y + pf.rng.NormFloat64()*stepSigma
+		pf.ws[i] = 1 / float64(n)
+	}
+	return pf
+}
+
+// Step predicts with a random walk, weights by the Gaussian likelihood of
+// the measurement, resamples systematically, and returns the weighted mean
+// position.
+func (pf *ParticleFilter) Step(z geom.Point) geom.Point {
+	n := len(pf.xs)
+	var sum float64
+	for i := 0; i < n; i++ {
+		pf.xs[i] += pf.rng.NormFloat64() * pf.StepSigma
+		pf.ys[i] += pf.rng.NormFloat64() * pf.StepSigma
+		dx := pf.xs[i] - z.X
+		dy := pf.ys[i] - z.Y
+		w := math.Exp(-(dx*dx + dy*dy) / (2 * pf.MeasSigma * pf.MeasSigma))
+		if pf.Constrain != nil && !pf.Constrain(geom.Pt(pf.xs[i], pf.ys[i])) {
+			w = 0
+		}
+		pf.ws[i] = w
+		sum += w
+	}
+	if sum <= 0 {
+		// Degenerate: reinitialise around the measurement.
+		for i := 0; i < n; i++ {
+			pf.xs[i] = z.X + pf.rng.NormFloat64()*pf.MeasSigma
+			pf.ys[i] = z.Y + pf.rng.NormFloat64()*pf.MeasSigma
+			pf.ws[i] = 1 / float64(n)
+		}
+		return z
+	}
+	// Weighted mean before resampling.
+	var mx, my float64
+	for i := 0; i < n; i++ {
+		mx += pf.xs[i] * pf.ws[i] / sum
+		my += pf.ys[i] * pf.ws[i] / sum
+	}
+	// Systematic resampling.
+	nxs := make([]float64, n)
+	nys := make([]float64, n)
+	step := sum / float64(n)
+	u := pf.rng.Float64() * step
+	var cum float64
+	j := 0
+	for i := 0; i < n; i++ {
+		for cum+pf.ws[j] < u && j < n-1 {
+			cum += pf.ws[j]
+			j++
+		}
+		nxs[i] = pf.xs[j]
+		nys[i] = pf.ys[j]
+		u += step
+	}
+	pf.xs, pf.ys = nxs, nys
+	for i := range pf.ws {
+		pf.ws[i] = 1 / float64(n)
+	}
+	return geom.Pt(mx, my)
+}
+
+// Mean returns the current mean particle position.
+func (pf *ParticleFilter) Mean() geom.Point {
+	var mx, my float64
+	n := float64(len(pf.xs))
+	for i := range pf.xs {
+		mx += pf.xs[i]
+		my += pf.ys[i]
+	}
+	return geom.Pt(mx/n, my/n)
+}

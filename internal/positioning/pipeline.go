@@ -1,0 +1,82 @@
+package positioning
+
+import (
+	"time"
+
+	"sitm/internal/core"
+	"sitm/internal/geom"
+	"sitm/internal/indoor"
+)
+
+// Fix is one filtered position estimate for a moving object.
+type Fix struct {
+	MO    string
+	T     time.Time
+	Pos   geom.Point
+	Floor int
+}
+
+// ZoneIndex map-matches position fixes to zone cells: the spatial
+// aggregation step that turned raw geometric positions into the paper's
+// "zone detections" (§4.1). Zones are matched per floor by point-in-polygon
+// on their registered geometry.
+type ZoneIndex struct {
+	byFloor map[int][]*indoor.Cell
+}
+
+// NewZoneIndex indexes the cells of the given layer that carry geometry.
+func NewZoneIndex(sg *indoor.SpaceGraph, layerID string) *ZoneIndex {
+	idx := &ZoneIndex{byFloor: make(map[int][]*indoor.Cell)}
+	for _, c := range sg.CellsInLayer(layerID) {
+		if c.Geometry != nil {
+			idx.byFloor[c.Floor] = append(idx.byFloor[c.Floor], c)
+		}
+	}
+	return idx
+}
+
+// Match returns the id of the zone covering the fix, or "" when the fix
+// falls outside every zone (coverage gap).
+func (z *ZoneIndex) Match(f Fix) string {
+	for _, c := range z.byFloor[f.Floor] {
+		if c.Geometry.CoversPoint(f.Pos) {
+			return c.ID
+		}
+	}
+	return ""
+}
+
+// AggregateOptions tunes fix→detection aggregation.
+type AggregateOptions struct {
+	// MaxFixGap breaks a detection when consecutive fixes in the same zone
+	// are further apart than this (sensor dropout).
+	MaxFixGap time.Duration
+}
+
+// Aggregate converts a time-ordered stream of one MO's fixes into zone
+// detections: maximal runs of fixes matched to the same zone become one
+// detection spanning first-to-last fix time. Unmatched fixes (outside all
+// zones) break runs, reproducing sensor coverage gaps.
+func Aggregate(fixes []Fix, idx *ZoneIndex, opts AggregateOptions) []core.Detection {
+	var out []core.Detection
+	var cur *core.Detection
+	var lastT time.Time
+	for _, f := range fixes {
+		zone := idx.Match(f)
+		if zone == "" {
+			cur = nil
+			continue
+		}
+		if cur != nil && cur.Cell == zone {
+			if opts.MaxFixGap <= 0 || f.T.Sub(lastT) <= opts.MaxFixGap {
+				cur.End = f.T
+				lastT = f.T
+				continue
+			}
+		}
+		out = append(out, core.Detection{MO: f.MO, Cell: zone, Start: f.T, End: f.T})
+		cur = &out[len(out)-1]
+		lastT = f.T
+	}
+	return out
+}

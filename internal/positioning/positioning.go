@@ -1,0 +1,149 @@
+// Package positioning simulates the indoor positioning pipeline behind the
+// paper's dataset (§4.1): the Louvre's "My Visit to the Louvre" app
+// estimates visitor positions from ~1800 BLE beacons via RSSI-based
+// trilateration plus Kalman and particle filtering, and positions are
+// aggregated into zone detections.
+//
+// The package provides the full synthetic chain: a log-distance path-loss
+// RSSI model with shadowing, weighted least-squares trilateration
+// (Gauss–Newton), a 2D constant-velocity Kalman filter, a bootstrap
+// particle filter, map-matching of fixes to zone cells, and aggregation of
+// matched fixes into core.Detection intervals.
+package positioning
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sitm/internal/geom"
+)
+
+// Beacon is a BLE transmitter at a known indoor position.
+type Beacon struct {
+	ID    string
+	Pos   geom.Point
+	Floor int
+	// TxPower is the measured RSSI (dBm) at the 1 m reference distance.
+	TxPower float64
+}
+
+// PathLoss is the log-distance path-loss model:
+// RSSI(d) = TxPower − 10·n·log10(d) + X, X ~ N(0, ShadowSigma²).
+type PathLoss struct {
+	Exponent    float64 // n: 1.6–1.8 line-of-sight indoors, 2.5–4 obstructed
+	ShadowSigma float64 // shadowing noise, dB
+}
+
+// DefaultPathLoss matches crowded-museum conditions.
+func DefaultPathLoss() PathLoss { return PathLoss{Exponent: 2.2, ShadowSigma: 3.0} }
+
+// RSSI returns a (possibly noisy) received signal strength at distance d
+// metres from the beacon. rng may be nil for a noise-free value. Distances
+// below 10 cm are clamped.
+func (m PathLoss) RSSI(b Beacon, d float64, rng *rand.Rand) float64 {
+	if d < 0.1 {
+		d = 0.1
+	}
+	v := b.TxPower - 10*m.Exponent*math.Log10(d)
+	if rng != nil && m.ShadowSigma > 0 {
+		v += rng.NormFloat64() * m.ShadowSigma
+	}
+	return v
+}
+
+// Distance inverts the noise-free model: the distance at which the beacon
+// would be received at the given RSSI.
+func (m PathLoss) Distance(b Beacon, rssi float64) float64 {
+	return math.Pow(10, (b.TxPower-rssi)/(10*m.Exponent))
+}
+
+// Measurement is one RSSI observation of a beacon.
+type Measurement struct {
+	BeaconID string
+	RSSI     float64
+}
+
+// Errors returned by the solvers.
+var (
+	ErrTooFewBeacons = errors.New("positioning: trilateration needs ≥ 3 beacons")
+	ErrNoConverge    = errors.New("positioning: Gauss–Newton did not converge")
+	ErrUnknownBeacon = errors.New("positioning: unknown beacon")
+)
+
+// Trilaterate estimates a 2D position from RSSI measurements of beacons at
+// known positions using Gauss–Newton weighted least squares on the range
+// residuals r_i = ‖p − b_i‖ − d_i, weighting nearer beacons more (their
+// range estimates are exponentially more reliable).
+func Trilaterate(beacons map[string]Beacon, meas []Measurement, model PathLoss) (geom.Point, error) {
+	type obs struct {
+		pos geom.Point
+		d   float64
+		w   float64
+	}
+	var observations []obs
+	var cx, cy float64
+	for _, m := range meas {
+		b, ok := beacons[m.BeaconID]
+		if !ok {
+			return geom.Point{}, fmt.Errorf("%w: %q", ErrUnknownBeacon, m.BeaconID)
+		}
+		d := model.Distance(b, m.RSSI)
+		observations = append(observations, obs{pos: b.Pos, d: d, w: 1 / (1 + d)})
+		cx += b.Pos.X
+		cy += b.Pos.Y
+	}
+	if len(observations) < 3 {
+		return geom.Point{}, fmt.Errorf("%w: got %d", ErrTooFewBeacons, len(observations))
+	}
+	// Start from the beacon centroid.
+	p := geom.Pt(cx/float64(len(observations)), cy/float64(len(observations)))
+
+	for iter := 0; iter < 50; iter++ {
+		// Normal equations for the weighted linearised system J'WJ δ = J'Wr.
+		var a11, a12, a22, g1, g2 float64
+		for _, o := range observations {
+			dx := p.X - o.pos.X
+			dy := p.Y - o.pos.Y
+			dist := math.Hypot(dx, dy)
+			if dist < 1e-6 {
+				dist = 1e-6
+			}
+			r := dist - o.d
+			jx := dx / dist
+			jy := dy / dist
+			a11 += o.w * jx * jx
+			a12 += o.w * jx * jy
+			a22 += o.w * jy * jy
+			g1 += o.w * jx * r
+			g2 += o.w * jy * r
+		}
+		det := a11*a22 - a12*a12
+		if math.Abs(det) < 1e-12 {
+			return p, fmt.Errorf("%w: singular normal matrix", ErrNoConverge)
+		}
+		dxStep := (-g1*a22 + g2*a12) / det
+		dyStep := (g1*a12 - g2*a11) / det
+		p = geom.Pt(p.X+dxStep, p.Y+dyStep)
+		if math.Hypot(dxStep, dyStep) < 1e-6 {
+			return p, nil
+		}
+	}
+	return p, nil // best effort after the iteration budget
+}
+
+// StrongestBeacons returns the indices of the k strongest measurements.
+func StrongestBeacons(meas []Measurement, k int) []Measurement {
+	out := append([]Measurement(nil), meas...)
+	// Insertion sort by descending RSSI: measurement counts are tiny.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].RSSI > out[j-1].RSSI; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,310 @@
+package positioning
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sitm/internal/geom"
+	"sitm/internal/indoor"
+)
+
+func testBeacons() map[string]Beacon {
+	return map[string]Beacon{
+		"b1": {ID: "b1", Pos: geom.Pt(0, 0), TxPower: -59},
+		"b2": {ID: "b2", Pos: geom.Pt(20, 0), TxPower: -59},
+		"b3": {ID: "b3", Pos: geom.Pt(0, 20), TxPower: -59},
+		"b4": {ID: "b4", Pos: geom.Pt(20, 20), TxPower: -59},
+	}
+}
+
+func TestPathLossRoundTrip(t *testing.T) {
+	m := DefaultPathLoss()
+	b := Beacon{TxPower: -59}
+	for _, d := range []float64{0.5, 1, 2, 5, 10, 30} {
+		rssi := m.RSSI(b, d, nil)
+		back := m.Distance(b, rssi)
+		if math.Abs(back-d) > 1e-9 {
+			t.Errorf("round trip d=%v → rssi=%v → %v", d, rssi, back)
+		}
+	}
+	// RSSI decreases with distance.
+	if m.RSSI(b, 1, nil) <= m.RSSI(b, 10, nil) {
+		t.Error("RSSI must decay with distance")
+	}
+	// Sub-10cm clamps.
+	if m.RSSI(b, 0.01, nil) != m.RSSI(b, 0.1, nil) {
+		t.Error("distance clamp missing")
+	}
+	// Noise is applied when rng is given.
+	rng := rand.New(rand.NewSource(1))
+	noisy := m.RSSI(b, 5, rng)
+	if noisy == m.RSSI(b, 5, nil) {
+		t.Error("expected shadowing noise")
+	}
+}
+
+func TestTrilaterateExact(t *testing.T) {
+	beacons := testBeacons()
+	model := PathLoss{Exponent: 2.2}
+	truth := geom.Pt(7, 11)
+	var meas []Measurement
+	for id, b := range beacons {
+		meas = append(meas, Measurement{BeaconID: id, RSSI: model.RSSI(b, b.Pos.Dist(truth), nil)})
+	}
+	got, err := Trilaterate(beacons, meas, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist(truth) > 0.01 {
+		t.Errorf("estimate %v, truth %v (err %.3f m)", got, truth, got.Dist(truth))
+	}
+}
+
+func TestTrilaterateNoisy(t *testing.T) {
+	beacons := testBeacons()
+	model := PathLoss{Exponent: 2.2, ShadowSigma: 2}
+	truth := geom.Pt(12, 6)
+	rng := rand.New(rand.NewSource(42))
+	// Average positional error over repeated noisy solves must stay metres-
+	// scale (the pipeline's zone polygons are tens of metres wide).
+	var total float64
+	const runs = 50
+	for r := 0; r < runs; r++ {
+		var meas []Measurement
+		for id, b := range beacons {
+			meas = append(meas, Measurement{BeaconID: id, RSSI: model.RSSI(b, b.Pos.Dist(truth), rng)})
+		}
+		got, err := Trilaterate(beacons, meas, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += got.Dist(truth)
+	}
+	if avg := total / runs; avg > 5 {
+		t.Errorf("average error %.2f m too large", avg)
+	}
+}
+
+func TestTrilaterateErrors(t *testing.T) {
+	beacons := testBeacons()
+	model := DefaultPathLoss()
+	_, err := Trilaterate(beacons, []Measurement{{BeaconID: "b1", RSSI: -70}}, model)
+	if !errors.Is(err, ErrTooFewBeacons) {
+		t.Errorf("too few: %v", err)
+	}
+	_, err = Trilaterate(beacons, []Measurement{
+		{BeaconID: "ghost", RSSI: -70}, {BeaconID: "b1", RSSI: -70}, {BeaconID: "b2", RSSI: -70},
+	}, model)
+	if !errors.Is(err, ErrUnknownBeacon) {
+		t.Errorf("unknown: %v", err)
+	}
+}
+
+func TestStrongestBeacons(t *testing.T) {
+	meas := []Measurement{
+		{BeaconID: "a", RSSI: -80},
+		{BeaconID: "b", RSSI: -60},
+		{BeaconID: "c", RSSI: -70},
+	}
+	top := StrongestBeacons(meas, 2)
+	if len(top) != 2 || top[0].BeaconID != "b" || top[1].BeaconID != "c" {
+		t.Errorf("top = %v", top)
+	}
+	if got := StrongestBeacons(meas, 10); len(got) != 3 {
+		t.Errorf("k>n = %v", got)
+	}
+	// Input must not be mutated.
+	if meas[0].BeaconID != "a" {
+		t.Error("input mutated")
+	}
+}
+
+func TestKalmanSmoothsNoise(t *testing.T) {
+	// A walker moves along x at 1 m/s; measurements carry 2 m noise. The
+	// filtered track must be closer to the truth than the raw measurements.
+	rng := rand.New(rand.NewSource(7))
+	// Low process noise: the walker moves at constant velocity, so the
+	// filter may trust its model and smooth aggressively.
+	k := NewKalman(0.05, 4.0)
+	var rawErr, filtErr float64
+	n := 200
+	for i := 0; i < n; i++ {
+		truth := geom.Pt(float64(i), 0)
+		z := geom.Pt(truth.X+rng.NormFloat64()*2, truth.Y+rng.NormFloat64()*2)
+		est := k.Step(z, 1)
+		rawErr += z.Dist(truth)
+		filtErr += est.Dist(truth)
+	}
+	if filtErr >= rawErr {
+		t.Errorf("filter must reduce error: raw %.1f vs filtered %.1f", rawErr, filtErr)
+	}
+	// Velocity estimate should approach (1, 0).
+	v := k.Velocity()
+	if math.Abs(v.X-1) > 0.5 || math.Abs(v.Y) > 0.5 {
+		t.Errorf("velocity = %v, want ≈ (1,0)", v)
+	}
+	if k.State().Dist(geom.Pt(float64(n-1), 0)) > 5 {
+		t.Errorf("final state %v far from truth", k.State())
+	}
+}
+
+func TestKalmanFirstStepInitialises(t *testing.T) {
+	k := NewKalman(0.5, 4)
+	z := geom.Pt(3, 4)
+	if got := k.Step(z, 1); !got.Eq(z) {
+		t.Errorf("first step = %v", got)
+	}
+	// Zero dt must not blow up.
+	got := k.Step(geom.Pt(3.1, 4.1), 0)
+	if math.IsNaN(got.X) || math.IsNaN(got.Y) {
+		t.Error("NaN after zero dt")
+	}
+}
+
+func TestParticleFilterTracks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pf := NewParticleFilter(500, geom.Pt(0, 0), 0.5, 2.0, 11)
+	var truth geom.Point
+	var errSum float64
+	n := 100
+	for i := 0; i < n; i++ {
+		truth = geom.Pt(float64(i)*0.5, float64(i)*0.25)
+		z := geom.Pt(truth.X+rng.NormFloat64()*2, truth.Y+rng.NormFloat64()*2)
+		est := pf.Step(z)
+		if i > 10 {
+			errSum += est.Dist(truth)
+		}
+	}
+	if avg := errSum / float64(n-11); avg > 3 {
+		t.Errorf("tracking error %.2f m", avg)
+	}
+	if pf.Mean().Dist(truth) > 5 {
+		t.Errorf("mean %v far from truth %v", pf.Mean(), truth)
+	}
+}
+
+func TestParticleFilterConstraint(t *testing.T) {
+	// Constrain particles to y ≥ 0: estimates must respect the wall even
+	// with measurements below it.
+	pf := NewParticleFilter(400, geom.Pt(0, 1), 0.3, 1.0, 5)
+	pf.Constrain = func(p geom.Point) bool { return p.Y >= 0 }
+	for i := 0; i < 20; i++ {
+		est := pf.Step(geom.Pt(float64(i)*0.1, -1)) // measurement behind the wall
+		if est.Y < -0.5 {
+			t.Fatalf("estimate %v violates constraint", est)
+		}
+	}
+}
+
+func TestParticleFilterDegenerateReinit(t *testing.T) {
+	pf := NewParticleFilter(50, geom.Pt(0, 0), 0.1, 0.5, 9)
+	// A measurement very far away gives all particles ~zero weight.
+	got := pf.Step(geom.Pt(1000, 1000))
+	if got.Dist(geom.Pt(1000, 1000)) > 1e-6 {
+		t.Errorf("degenerate step must reinitialise at measurement, got %v", got)
+	}
+}
+
+func buildZoneGraph(t *testing.T) *indoor.SpaceGraph {
+	t.Helper()
+	sg := indoor.NewSpaceGraph()
+	if err := sg.AddLayer(indoor.Layer{ID: "zone", Kind: indoor.Semantic}); err != nil {
+		t.Fatal(err)
+	}
+	za := geom.Poly(geom.Rect(0, 0, 10, 10))
+	zb := geom.Poly(geom.Rect(10, 0, 20, 10))
+	if err := sg.AddCell(indoor.Cell{ID: "zoneA", Layer: "zone", Floor: 0, Geometry: &za}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sg.AddCell(indoor.Cell{ID: "zoneB", Layer: "zone", Floor: 0, Geometry: &zb}); err != nil {
+		t.Fatal(err)
+	}
+	return sg
+}
+
+func TestZoneIndexMatch(t *testing.T) {
+	sg := buildZoneGraph(t)
+	idx := NewZoneIndex(sg, "zone")
+	if got := idx.Match(Fix{Pos: geom.Pt(5, 5), Floor: 0}); got != "zoneA" {
+		t.Errorf("match = %q", got)
+	}
+	if got := idx.Match(Fix{Pos: geom.Pt(15, 5), Floor: 0}); got != "zoneB" {
+		t.Errorf("match = %q", got)
+	}
+	if got := idx.Match(Fix{Pos: geom.Pt(50, 50), Floor: 0}); got != "" {
+		t.Errorf("outside = %q", got)
+	}
+	if got := idx.Match(Fix{Pos: geom.Pt(5, 5), Floor: 3}); got != "" {
+		t.Errorf("wrong floor = %q", got)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	sg := buildZoneGraph(t)
+	idx := NewZoneIndex(sg, "zone")
+	t0 := time.Date(2017, 2, 1, 10, 0, 0, 0, time.UTC)
+	mkFix := func(sec int, x float64) Fix {
+		return Fix{MO: "v1", T: t0.Add(time.Duration(sec) * time.Second), Pos: geom.Pt(x, 5), Floor: 0}
+	}
+	fixes := []Fix{
+		mkFix(0, 2), mkFix(10, 4), mkFix(20, 6), // zoneA for 20s
+		mkFix(30, 12), mkFix(40, 14), // zoneB for 10s
+		mkFix(50, 50),              // outside: run break
+		mkFix(60, 3), mkFix(70, 3), // zoneA again
+	}
+	dets := Aggregate(fixes, idx, AggregateOptions{})
+	if len(dets) != 3 {
+		t.Fatalf("detections = %+v", dets)
+	}
+	if dets[0].Cell != "zoneA" || dets[0].Duration() != 20*time.Second {
+		t.Errorf("det0 = %+v", dets[0])
+	}
+	if dets[1].Cell != "zoneB" || dets[1].Duration() != 10*time.Second {
+		t.Errorf("det1 = %+v", dets[1])
+	}
+	if dets[2].Cell != "zoneA" || !dets[2].Start.Equal(t0.Add(60*time.Second)) {
+		t.Errorf("det2 = %+v", dets[2])
+	}
+}
+
+func TestAggregateMaxFixGap(t *testing.T) {
+	sg := buildZoneGraph(t)
+	idx := NewZoneIndex(sg, "zone")
+	t0 := time.Date(2017, 2, 1, 10, 0, 0, 0, time.UTC)
+	fixes := []Fix{
+		{MO: "v", T: t0, Pos: geom.Pt(5, 5)},
+		{MO: "v", T: t0.Add(10 * time.Minute), Pos: geom.Pt(5, 5)}, // long dropout
+	}
+	dets := Aggregate(fixes, idx, AggregateOptions{MaxFixGap: time.Minute})
+	if len(dets) != 2 {
+		t.Fatalf("gap must split detections: %+v", dets)
+	}
+	dets = Aggregate(fixes, idx, AggregateOptions{})
+	if len(dets) != 1 {
+		t.Fatalf("no gap limit: %+v", dets)
+	}
+}
+
+func TestQuickTrilaterationRecoversInterior(t *testing.T) {
+	// Property: with noise-free measurements from 4 corner beacons, any
+	// interior point is recovered within centimetres.
+	beacons := testBeacons()
+	model := PathLoss{Exponent: 2.0}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		truth := geom.Pt(1+rng.Float64()*18, 1+rng.Float64()*18)
+		var meas []Measurement
+		for id, b := range beacons {
+			meas = append(meas, Measurement{BeaconID: id, RSSI: model.RSSI(b, b.Pos.Dist(truth), nil)})
+		}
+		got, err := Trilaterate(beacons, meas, model)
+		return err == nil && got.Dist(truth) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

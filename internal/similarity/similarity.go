@@ -1,0 +1,288 @@
+// Package similarity implements the semantic trajectory similarity metrics
+// the paper's conclusion announces as the next step ("proposing semantic
+// similarity metrics for trajectories (e.g. for visitor profiling)", §5):
+// symbolic edit distance and LCSS over cell sequences, a hierarchy-aware
+// cell similarity (Wu–Palmer over the space graph's layer hierarchy), DTW
+// with that cell similarity as local cost, annotation-based similarity, and
+// k-medoids clustering for visitor profiling.
+package similarity
+
+import (
+	"math/rand"
+	"sort"
+
+	"sitm/internal/core"
+	"sitm/internal/indoor"
+)
+
+// EditDistance is the Levenshtein distance between two cell sequences: the
+// minimum number of insertions, deletions and substitutions turning a into
+// b. It treats cells as opaque symbols.
+func EditDistance(a, b []string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// EditSimilarity normalises EditDistance into [0, 1].
+func EditSimilarity(a, b []string) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 1
+	}
+	return 1 - float64(EditDistance(a, b))/float64(n)
+}
+
+// LCSS returns the length of the longest common subsequence of the two cell
+// sequences.
+func LCSS(a, b []string) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	return prev[len(b)]
+}
+
+// LCSSSimilarity normalises LCSS by the shorter sequence length.
+func LCSSSimilarity(a, b []string) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		if len(a) == 0 && len(b) == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(LCSS(a, b)) / float64(n)
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// CellSimilarity scores how semantically close two cells are, in [0, 1].
+type CellSimilarity func(a, b string) float64
+
+// ExactCellSimilarity is 1 for identical cells and 0 otherwise.
+func ExactCellSimilarity(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return 0
+}
+
+// HierarchyCellSimilarity returns a Wu–Palmer-style similarity over the
+// space graph's layer hierarchy: sim(a, b) = 2·depth(LCA) / (depth(a) +
+// depth(b)), where depth counts hierarchy levels from the root. Two rooms
+// of the same zone score higher than two rooms of different wings — the
+// structured reasoning about granularity that the paper's static hierarchy
+// enables (§3.2).
+func HierarchyCellSimilarity(sg *indoor.SpaceGraph, h indoor.Hierarchy) CellSimilarity {
+	return func(a, b string) float64 {
+		if a == b {
+			return 1
+		}
+		da, db := h.Depth(sg, a), h.Depth(sg, b)
+		if da < 0 || db < 0 || da+db == 0 {
+			return 0
+		}
+		lca, ok := h.LowestCommonAncestor(sg, a, b)
+		if !ok {
+			return 0
+		}
+		return 2 * float64(h.Depth(sg, lca)) / float64(da+db)
+	}
+}
+
+// DTW computes dynamic-time-warping similarity of two cell sequences under
+// a local cell similarity: cost(i,j) = 1 − sim(a_i, b_j). It returns the
+// normalised similarity 1 − totalCost/pathLength, in [0, 1].
+func DTW(a, b []string, sim CellSimilarity) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		if len(a) == 0 && len(b) == 0 {
+			return 1
+		}
+		return 0
+	}
+	const inf = 1 << 30
+	// dp costs plus path length tracking for normalisation.
+	type cell struct {
+		cost float64
+		len  int
+	}
+	dp := make([][]cell, len(a)+1)
+	for i := range dp {
+		dp[i] = make([]cell, len(b)+1)
+		for j := range dp[i] {
+			dp[i][j] = cell{cost: inf}
+		}
+	}
+	dp[0][0] = cell{}
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			local := 1 - sim(a[i-1], b[j-1])
+			best := dp[i-1][j-1]
+			if dp[i-1][j].cost < best.cost {
+				best = dp[i-1][j]
+			}
+			if dp[i][j-1].cost < best.cost {
+				best = dp[i][j-1]
+			}
+			dp[i][j] = cell{cost: best.cost + local, len: best.len + 1}
+		}
+	}
+	end := dp[len(a)][len(b)]
+	if end.len == 0 {
+		return 0
+	}
+	s := 1 - end.cost/float64(end.len)
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// TrajectorySimilarity combines spatial sequence similarity (DTW over the
+// traces' cell sequences) with annotation similarity (Jaccard over the
+// trajectory annotation sets), weighted by spatialWeight ∈ [0, 1].
+func TrajectorySimilarity(a, b core.Trajectory, sim CellSimilarity, spatialWeight float64) float64 {
+	if spatialWeight < 0 {
+		spatialWeight = 0
+	}
+	if spatialWeight > 1 {
+		spatialWeight = 1
+	}
+	spatial := DTW(a.Trace.Cells(), b.Trace.Cells(), sim)
+	semantic := a.Ann.Jaccard(b.Ann)
+	return spatialWeight*spatial + (1-spatialWeight)*semantic
+}
+
+// Clusters is a k-medoids assignment: Medoids holds the medoid index of
+// each cluster; Assign maps every trajectory index to its cluster.
+type Clusters struct {
+	Medoids []int
+	Assign  []int
+}
+
+// KMedoids clusters trajectories by the given pairwise similarity using the
+// PAM-style alternating refinement, seeded deterministically. It is the
+// visitor-profiling vehicle the paper sketches.
+func KMedoids(trajs []core.Trajectory, k int, simFn func(a, b core.Trajectory) float64, seed int64) Clusters {
+	n := len(trajs)
+	if k <= 0 || n == 0 {
+		return Clusters{}
+	}
+	if k > n {
+		k = n
+	}
+	// Precompute the distance matrix (1 − similarity).
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			if i != j {
+				dist[i][j] = 1 - simFn(trajs[i], trajs[j])
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	medoids := rng.Perm(n)[:k]
+	sort.Ints(medoids)
+	assign := make([]int, n)
+
+	assignAll := func() float64 {
+		var total float64
+		for i := 0; i < n; i++ {
+			best, bestD := 0, dist[i][medoids[0]]
+			for c := 1; c < k; c++ {
+				if d := dist[i][medoids[c]]; d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+			total += bestD
+		}
+		return total
+	}
+
+	cost := assignAll()
+	for iter := 0; iter < 50; iter++ {
+		improved := false
+		for c := 0; c < k; c++ {
+			for cand := 0; cand < n; cand++ {
+				if contains(medoids, cand) {
+					continue
+				}
+				old := medoids[c]
+				medoids[c] = cand
+				if newCost := assignAll(); newCost < cost-1e-12 {
+					cost = newCost
+					improved = true
+				} else {
+					medoids[c] = old
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	assignAll()
+	return Clusters{Medoids: medoids, Assign: assign}
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,289 @@
+package similarity
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sitm/internal/core"
+	"sitm/internal/indoor"
+	"sitm/internal/topo"
+)
+
+func TestEditDistance(t *testing.T) {
+	tests := []struct {
+		a, b []string
+		want int
+	}{
+		{nil, nil, 0},
+		{[]string{"x"}, nil, 1},
+		{nil, []string{"x", "y"}, 2},
+		{[]string{"a", "b", "c"}, []string{"a", "b", "c"}, 0},
+		{[]string{"a", "b", "c"}, []string{"a", "x", "c"}, 1},
+		{[]string{"a", "b"}, []string{"b", "a"}, 2},
+		{[]string{"a", "b", "c"}, []string{"b", "c"}, 1},
+	}
+	for _, tc := range tests {
+		if got := EditDistance(tc.a, tc.b); got != tc.want {
+			t.Errorf("EditDistance(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+		if got := EditDistance(tc.b, tc.a); got != tc.want {
+			t.Errorf("EditDistance must be symmetric for %v/%v", tc.a, tc.b)
+		}
+	}
+}
+
+func TestEditSimilarity(t *testing.T) {
+	if got := EditSimilarity(nil, nil); got != 1 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := EditSimilarity([]string{"a", "b"}, []string{"a", "b"}); got != 1 {
+		t.Errorf("equal = %v", got)
+	}
+	if got := EditSimilarity([]string{"a"}, []string{"b"}); got != 0 {
+		t.Errorf("disjoint = %v", got)
+	}
+}
+
+func TestLCSS(t *testing.T) {
+	tests := []struct {
+		a, b []string
+		want int
+	}{
+		{nil, nil, 0},
+		{[]string{"a", "b", "c", "d"}, []string{"a", "c", "d"}, 3},
+		{[]string{"a", "b"}, []string{"c", "d"}, 0},
+		{[]string{"a", "b", "c"}, []string{"a", "b", "c"}, 3},
+		{[]string{"E", "P", "S", "C"}, []string{"E", "S", "C"}, 3},
+	}
+	for _, tc := range tests {
+		if got := LCSS(tc.a, tc.b); got != tc.want {
+			t.Errorf("LCSS(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+		if got := LCSS(tc.b, tc.a); got != tc.want {
+			t.Errorf("LCSS must be symmetric for %v/%v", tc.a, tc.b)
+		}
+	}
+	if got := LCSSSimilarity([]string{"a", "b"}, []string{"a"}); got != 1 {
+		t.Errorf("LCSSSimilarity = %v", got)
+	}
+	if got := LCSSSimilarity(nil, []string{"a"}); got != 0 {
+		t.Errorf("LCSSSimilarity empty = %v", got)
+	}
+	if got := LCSSSimilarity(nil, nil); got != 1 {
+		t.Errorf("LCSSSimilarity both empty = %v", got)
+	}
+}
+
+// hierGraph builds museum → wingA/wingB → rooms.
+func hierGraph(t *testing.T) (*indoor.SpaceGraph, indoor.Hierarchy) {
+	t.Helper()
+	sg := indoor.NewSpaceGraph()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(sg.AddLayer(indoor.Layer{ID: "museum", Rank: 2}))
+	must(sg.AddLayer(indoor.Layer{ID: "wing", Rank: 1}))
+	must(sg.AddLayer(indoor.Layer{ID: "room", Rank: 0}))
+	must(sg.AddCell(indoor.Cell{ID: "m", Layer: "museum"}))
+	for _, w := range []string{"wingA", "wingB"} {
+		must(sg.AddCell(indoor.Cell{ID: w, Layer: "wing"}))
+		must(sg.AddJoint("m", w, topo.TPPi))
+	}
+	for room, wing := range map[string]string{"a1": "wingA", "a2": "wingA", "b1": "wingB"} {
+		must(sg.AddCell(indoor.Cell{ID: room, Layer: "room"}))
+		must(sg.AddJoint(wing, room, topo.TPPi))
+	}
+	return sg, indoor.Hierarchy{Layers: []string{"museum", "wing", "room"}}
+}
+
+func TestHierarchyCellSimilarity(t *testing.T) {
+	sg, h := hierGraph(t)
+	sim := HierarchyCellSimilarity(sg, h)
+	if got := sim("a1", "a1"); got != 1 {
+		t.Errorf("self = %v", got)
+	}
+	sameWing := sim("a1", "a2") // LCA = wingA at depth 1, both rooms depth 2: 2·1/4 = 0.5
+	if sameWing != 0.5 {
+		t.Errorf("same wing = %v, want 0.5", sameWing)
+	}
+	crossWing := sim("a1", "b1") // LCA = museum at depth 0: 0
+	if crossWing != 0 {
+		t.Errorf("cross wing = %v, want 0", crossWing)
+	}
+	if sameWing <= crossWing {
+		t.Error("same-wing rooms must be more similar than cross-wing rooms")
+	}
+	if got := sim("a1", "ghost"); got != 0 {
+		t.Errorf("unknown cell = %v", got)
+	}
+	// A room against its own wing: LCA is the wing.
+	if got := sim("a1", "wingA"); got != 2.0/3 {
+		t.Errorf("room vs wing = %v, want 2/3", got)
+	}
+}
+
+func TestDTW(t *testing.T) {
+	if got := DTW(nil, nil, ExactCellSimilarity); got != 1 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := DTW([]string{"a"}, nil, ExactCellSimilarity); got != 0 {
+		t.Errorf("one empty = %v", got)
+	}
+	if got := DTW([]string{"a", "b", "c"}, []string{"a", "b", "c"}, ExactCellSimilarity); got != 1 {
+		t.Errorf("identical = %v", got)
+	}
+	// Time-warping: repeats do not hurt much.
+	warped := DTW([]string{"a", "a", "b", "c"}, []string{"a", "b", "c"}, ExactCellSimilarity)
+	if warped != 1 {
+		t.Errorf("warped = %v, want 1 (repeats absorbed)", warped)
+	}
+	diff := DTW([]string{"a", "b"}, []string{"x", "y"}, ExactCellSimilarity)
+	if diff != 0 {
+		t.Errorf("disjoint = %v", diff)
+	}
+}
+
+func TestDTWWithHierarchy(t *testing.T) {
+	sg, h := hierGraph(t)
+	sim := HierarchyCellSimilarity(sg, h)
+	// Visiting sibling rooms is better than visiting another wing.
+	sameWing := DTW([]string{"a1"}, []string{"a2"}, sim)
+	crossWing := DTW([]string{"a1"}, []string{"b1"}, sim)
+	if sameWing <= crossWing {
+		t.Errorf("hierarchy-aware DTW: %v vs %v", sameWing, crossWing)
+	}
+}
+
+func mkTraj(t *testing.T, mo string, ann core.Annotations, cells ...string) core.Trajectory {
+	t.Helper()
+	day := time.Date(2017, 3, 1, 10, 0, 0, 0, time.UTC)
+	var tr core.Trace
+	for i, c := range cells {
+		tr = append(tr, core.PresenceInterval{
+			Cell:  c,
+			Start: day.Add(time.Duration(i) * time.Minute),
+			End:   day.Add(time.Duration(i+1) * time.Minute),
+		})
+	}
+	traj, err := core.NewTrajectory(mo, tr, ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traj
+}
+
+func TestTrajectorySimilarity(t *testing.T) {
+	buy := core.NewAnnotations("goal", "buy")
+	visit := core.NewAnnotations("goal", "visit")
+	a := mkTraj(t, "a", visit, "x", "y")
+	b := mkTraj(t, "b", visit, "x", "y")
+	c := mkTraj(t, "c", buy, "p", "q")
+	if got := TrajectorySimilarity(a, b, ExactCellSimilarity, 0.5); got != 1 {
+		t.Errorf("identical trajectories = %v", got)
+	}
+	if got := TrajectorySimilarity(a, c, ExactCellSimilarity, 0.5); got != 0 {
+		t.Errorf("fully different = %v", got)
+	}
+	// Same path, different goal: spatial weight controls the blend.
+	d := mkTraj(t, "d", buy, "x", "y")
+	if got := TrajectorySimilarity(a, d, ExactCellSimilarity, 1); got != 1 {
+		t.Errorf("spatial only = %v", got)
+	}
+	if got := TrajectorySimilarity(a, d, ExactCellSimilarity, 0); got != 0 {
+		t.Errorf("semantic only = %v", got)
+	}
+	// Weights are clamped.
+	if got := TrajectorySimilarity(a, d, ExactCellSimilarity, 7); got != 1 {
+		t.Errorf("clamped weight = %v", got)
+	}
+}
+
+func TestKMedoids(t *testing.T) {
+	visit := core.NewAnnotations("goal", "visit")
+	// Two obvious groups: x-walkers and p-walkers.
+	trajs := []core.Trajectory{
+		mkTraj(t, "a", visit, "x", "y", "z"),
+		mkTraj(t, "b", visit, "x", "y", "z"),
+		mkTraj(t, "c", visit, "x", "y"),
+		mkTraj(t, "d", visit, "p", "q", "r"),
+		mkTraj(t, "e", visit, "p", "q", "r"),
+		mkTraj(t, "f", visit, "p", "q"),
+	}
+	simFn := func(a, b core.Trajectory) float64 {
+		return TrajectorySimilarity(a, b, ExactCellSimilarity, 1)
+	}
+	cl := KMedoids(trajs, 2, simFn, 42)
+	if len(cl.Medoids) != 2 {
+		t.Fatalf("medoids = %v", cl.Medoids)
+	}
+	// The two groups must separate: 0,1,2 together and 3,4,5 together.
+	if cl.Assign[0] != cl.Assign[1] || cl.Assign[1] != cl.Assign[2] {
+		t.Errorf("x group split: %v", cl.Assign)
+	}
+	if cl.Assign[3] != cl.Assign[4] || cl.Assign[4] != cl.Assign[5] {
+		t.Errorf("p group split: %v", cl.Assign)
+	}
+	if cl.Assign[0] == cl.Assign[3] {
+		t.Errorf("groups merged: %v", cl.Assign)
+	}
+}
+
+func TestKMedoidsEdgeCases(t *testing.T) {
+	visit := core.NewAnnotations("goal", "visit")
+	trajs := []core.Trajectory{mkTraj(t, "a", visit, "x")}
+	simFn := func(a, b core.Trajectory) float64 { return 1 }
+	if cl := KMedoids(nil, 2, simFn, 1); len(cl.Medoids) != 0 {
+		t.Error("empty input")
+	}
+	if cl := KMedoids(trajs, 0, simFn, 1); len(cl.Medoids) != 0 {
+		t.Error("k=0")
+	}
+	if cl := KMedoids(trajs, 5, simFn, 1); len(cl.Medoids) != 1 {
+		t.Error("k>n must clamp")
+	}
+}
+
+func TestQuickEditDistanceTriangle(t *testing.T) {
+	// Property: edit distance satisfies the triangle inequality.
+	mk := func(xs []uint8) []string {
+		out := make([]string, 0, len(xs)%8)
+		for i := 0; i < len(xs) && i < 8; i++ {
+			out = append(out, string(rune('a'+xs[i]%4)))
+		}
+		return out
+	}
+	f := func(xa, xb, xc []uint8) bool {
+		a, b, c := mk(xa), mk(xb), mk(xc)
+		return EditDistance(a, c) <= EditDistance(a, b)+EditDistance(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLCSSBounds(t *testing.T) {
+	// Property: 0 ≤ LCSS(a,b) ≤ min(len a, len b).
+	mk := func(xs []uint8) []string {
+		out := make([]string, 0, len(xs)%10)
+		for i := 0; i < len(xs) && i < 10; i++ {
+			out = append(out, string(rune('a'+xs[i]%3)))
+		}
+		return out
+	}
+	f := func(xa, xb []uint8) bool {
+		a, b := mk(xa), mk(xb)
+		l := LCSS(a, b)
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		return l >= 0 && l <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,570 @@
+// Package simulate generates synthetic visitor movement datasets calibrated
+// to the published marginals of the paper's proprietary Louvre dataset
+// (§4.1): 4,945 visits by 3,228 visitors (1,227 returning, contributing
+// 1,717 second/third visits) between 19-01-2017 and 29-05-2017, totalling
+// 20,245 zone detections and 15,300 intra-visit zone transitions, with
+// around 10% zero-duration detections (detection errors), visit durations
+// from 0 s to 7h41m37s and detection durations from 0 s to 5h39m20s.
+//
+// The generator walks seeded visitors over the zone accessibility graph
+// (so every synthetic trajectory is topologically plausible), draws dwell
+// times from a lognormal, injects the error processes the paper describes
+// (zero-duration detections, early app stops), and pins the extreme
+// durations to the exact published values, so the §4.1 statistics table is
+// reproduced by construction where it is deterministic and to within
+// sampling noise where it is stochastic.
+package simulate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"sitm/internal/core"
+	"sitm/internal/graph"
+	"sitm/internal/indoor"
+	"sitm/internal/louvre"
+)
+
+// Params calibrate the generator. DefaultParams returns the paper's values.
+type Params struct {
+	Seed int64
+	// Population.
+	Visitors          int // distinct visitors
+	ReturningVisitors int // visitors with at least one repeat visit
+	RepeatVisits      int // total second/third visits
+	// Volume.
+	TargetDetections int // total raw zone detections (incl. zero-duration)
+	// Error processes.
+	ZeroDurationRate float64 // fraction of detections with duration 0
+	// Time window.
+	Start, End time.Time
+	// Extremes pinned into the dataset (anchor visits).
+	MaxVisitDuration     time.Duration
+	MaxDetectionDuration time.Duration
+	// MeanDwell is the median zone dwell time.
+	MeanDwell time.Duration
+}
+
+// DefaultParams returns the §4.1 calibration.
+func DefaultParams() Params {
+	return Params{
+		Seed:                 20170119,
+		Visitors:             3228,
+		ReturningVisitors:    1227,
+		RepeatVisits:         1717,
+		TargetDetections:     20245,
+		ZeroDurationRate:     0.10,
+		Start:                time.Date(2017, 1, 19, 0, 0, 0, 0, time.UTC),
+		End:                  time.Date(2017, 5, 29, 0, 0, 0, 0, time.UTC),
+		MaxVisitDuration:     7*time.Hour + 41*time.Minute + 37*time.Second,
+		MaxDetectionDuration: 5*time.Hour + 39*time.Minute + 20*time.Second,
+		MeanDwell:            5 * time.Minute,
+	}
+}
+
+// Visits returns the total visit count implied by the population params.
+func (p Params) Visits() int { return p.Visitors + p.RepeatVisits }
+
+// Environment is the space the simulator walks over.
+type Environment struct {
+	Access   *graph.Graph           // zone-layer accessibility graph
+	Zones    map[string]louvre.Zone // dataset zones by cell id
+	Entrance string
+	Exit     string
+	// Weight biases the next-zone choice; zones absent default to 1.
+	Weight map[string]float64
+}
+
+// NewLouvreEnvironment builds the simulation environment from the full
+// Louvre model, restricted to the 30 dataset zones (§4.1: 30 zones present
+// in the dataset).
+func NewLouvreEnvironment() (*Environment, *indoor.SpaceGraph, error) {
+	sg, _, err := louvre.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	full, err := sg.AccessGraph(louvre.LayerZone)
+	if err != nil {
+		return nil, nil, err
+	}
+	env := &Environment{
+		Access:   graph.New(),
+		Zones:    make(map[string]louvre.Zone),
+		Entrance: "zone60885",
+		Exit:     louvre.ZoneC,
+		Weight:   make(map[string]float64),
+	}
+	inData := make(map[string]bool)
+	for _, z := range louvre.DatasetZones() {
+		env.Zones[z.ID] = z
+		inData[z.ID] = true
+		env.Access.EnsureNode(z.ID)
+		switch {
+		case z.ID == "zone60879" || z.ID == "zone60878":
+			env.Weight[z.ID] = 3.0 // Mona Lisa / Grande Galerie draw crowds
+		case z.Floor == 0:
+			env.Weight[z.ID] = 2.0
+		case z.Ticket:
+			env.Weight[z.ID] = 0.3 // separate ticket: rarely entered
+		default:
+			env.Weight[z.ID] = 1.0
+		}
+	}
+	for _, e := range full.Edges() {
+		if inData[e.From] && inData[e.To] {
+			env.Access.AddEdge(e)
+		}
+	}
+	return env, sg, nil
+}
+
+// Visit is one app session of one visitor.
+type Visit struct {
+	Visitor    string
+	Seq        int // 0 = first visit, 1 = second, 2 = third
+	Day        time.Time
+	Style      Style // the visitor's movement archetype
+	Detections []core.Detection
+}
+
+// Duration returns the visit span (first detection start to last end).
+func (v Visit) Duration() time.Duration {
+	if len(v.Detections) == 0 {
+		return 0
+	}
+	return v.Detections[len(v.Detections)-1].End.Sub(v.Detections[0].Start)
+}
+
+// Dataset is a generated synthetic dataset.
+type Dataset struct {
+	Params Params
+	Visits []Visit
+}
+
+// Detections flattens all visits into one detection stream.
+func (d *Dataset) Detections() []core.Detection {
+	var out []core.Detection
+	for _, v := range d.Visits {
+		out = append(out, v.Detections...)
+	}
+	return out
+}
+
+// ErrBadParams reports inconsistent calibration.
+var ErrBadParams = errors.New("simulate: inconsistent parameters")
+
+// Generate produces a dataset over the environment. The same seed yields
+// the same dataset bit-for-bit.
+func Generate(env *Environment, p Params) (*Dataset, error) {
+	if p.ReturningVisitors > p.Visitors {
+		return nil, fmt.Errorf("%w: returning %d > visitors %d", ErrBadParams, p.ReturningVisitors, p.Visitors)
+	}
+	if p.RepeatVisits < p.ReturningVisitors || p.RepeatVisits > 2*p.ReturningVisitors {
+		return nil, fmt.Errorf("%w: repeat visits %d outside [%d, %d] (each returning visitor makes 1 or 2 repeats)",
+			ErrBadParams, p.RepeatVisits, p.ReturningVisitors, 2*p.ReturningVisitors)
+	}
+	totalVisits := p.Visits()
+	if p.TargetDetections < totalVisits {
+		return nil, fmt.Errorf("%w: %d detections for %d visits", ErrBadParams, p.TargetDetections, totalVisits)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// --- Population: visit counts per visitor. -------------------------
+	// ReturningVisitors visitors make 1 repeat each; (RepeatVisits −
+	// ReturningVisitors) of them make a 2nd repeat (third visit).
+	visitsPerVisitor := make([]int, p.Visitors)
+	for i := range visitsPerVisitor {
+		visitsPerVisitor[i] = 1
+	}
+	thirds := p.RepeatVisits - p.ReturningVisitors
+	for i := 0; i < p.ReturningVisitors; i++ {
+		visitsPerVisitor[i]++
+		if i < thirds {
+			visitsPerVisitor[i]++
+		}
+	}
+	// Shuffle so returning visitors are not the lexicographically first ids.
+	rng.Shuffle(len(visitsPerVisitor), func(i, j int) {
+		visitsPerVisitor[i], visitsPerVisitor[j] = visitsPerVisitor[j], visitsPerVisitor[i]
+	})
+
+	// Each visitor carries one of the four visiting styles; a visitor keeps
+	// the same style across repeat visits.
+	styles := make([]Style, p.Visitors)
+	for i := range styles {
+		styles[i] = drawStyle(rng)
+	}
+
+	// --- Per-visit detection counts summing exactly to the target, with
+	// style length factors biasing the distribution. ---------------------
+	weights := make([]float64, 0, totalVisits)
+	for v := 0; v < p.Visitors; v++ {
+		for s := 0; s < visitsPerVisitor[v]; s++ {
+			weights = append(weights, styleProfiles[styles[v]].lengthFactor)
+		}
+	}
+	lengths := drawLengths(rng, totalVisits, p.TargetDetections, weights)
+
+	// --- Days: the museum closes on Tuesdays. --------------------------
+	days := openDays(p.Start, p.End)
+	if len(days) == 0 {
+		return nil, fmt.Errorf("%w: empty time window", ErrBadParams)
+	}
+
+	// --- Generate visits. ----------------------------------------------
+	d := &Dataset{Params: p}
+	visitIdx := 0
+	for v := 0; v < p.Visitors; v++ {
+		visitor := fmt.Sprintf("visitor%04d", v)
+		k := visitsPerVisitor[v]
+		dayIdxs := pickDistinct(rng, len(days), k)
+		sort.Ints(dayIdxs)
+		for s := 0; s < k; s++ {
+			visit := d.generateVisit(env, rng, visitor, s, days[dayIdxs[s]], lengths[visitIdx], styles[v])
+			d.Visits = append(d.Visits, visit)
+			visitIdx++
+		}
+	}
+
+	d.pinExtremes(rng)
+	return d, nil
+}
+
+// GenerateLouvre is the one-call entry point: Louvre environment + params.
+func GenerateLouvre(p Params) (*Dataset, *indoor.SpaceGraph, error) {
+	env, sg, err := NewLouvreEnvironment()
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := Generate(env, p)
+	return d, sg, err
+}
+
+// drawLengths draws n per-visit detection counts (≥1) summing exactly to
+// total, starting from 1+Poisson(weight·(mean−1)) draws and repairing the
+// sum. weights biases visit lengths per visiting style (nil = uniform).
+func drawLengths(rng *rand.Rand, n, total int, weights []float64) []int {
+	mean := float64(total)/float64(n) - 1
+	lengths := make([]int, n)
+	sum := 0
+	for i := range lengths {
+		w := 1.0
+		if i < len(weights) && weights[i] > 0 {
+			w = weights[i]
+		}
+		lengths[i] = 1 + poisson(rng, mean*w)
+		sum += lengths[i]
+	}
+	for sum > total {
+		i := rng.Intn(n)
+		if lengths[i] > 1 {
+			lengths[i]--
+			sum--
+		}
+	}
+	for sum < total {
+		i := rng.Intn(n)
+		lengths[i]++
+		sum++
+	}
+	return lengths
+}
+
+// poisson draws from Poisson(λ) (Knuth's method; λ is small here).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}
+
+// openDays lists non-Tuesday days in [start, end] (the Louvre closes on
+// Tuesdays).
+func openDays(start, end time.Time) []time.Time {
+	var out []time.Time
+	for d := start; !d.After(end); d = d.AddDate(0, 0, 1) {
+		if d.Weekday() != time.Tuesday {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// pickDistinct picks k distinct indexes in [0, n).
+func pickDistinct(rng *rand.Rand, n, k int) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		i := rng.Intn(n)
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// generateVisit walks one visitor through the museum for exactly n
+// detections, in the manner of the given visiting style.
+func (d *Dataset) generateVisit(env *Environment, rng *rand.Rand, visitor string, seq int, day time.Time, n int, style Style) Visit {
+	visit := Visit{Visitor: visitor, Seq: seq, Day: day, Style: style}
+	// Visits start between 09:00 and 16:30.
+	start := day.Add(9*time.Hour + time.Duration(rng.Intn(450))*time.Minute)
+
+	// The app may be launched late in the visit (sparsity): half the visits
+	// start their trace at the entrance, the rest anywhere.
+	cur := env.Entrance
+	if rng.Float64() < 0.5 {
+		cur = randomZone(env, rng)
+	}
+	// Ordinary visits stay well below the pinned maximum span; the anchor
+	// visit alone owns the published extreme.
+	limit := start.Add(d.Params.MaxVisitDuration * 8 / 10)
+	t := start
+	prev := ""
+	for i := 0; i < n; i++ {
+		dwell := d.styleDwell(rng, style)
+		if rng.Float64() < d.Params.ZeroDurationRate {
+			dwell = 0 // detection error (§4.1: ~10% have zero duration)
+		}
+		if rest := limit.Sub(t); dwell > rest {
+			if rest < time.Second {
+				rest = time.Second
+			}
+			dwell = rest
+		}
+		visit.Detections = append(visit.Detections, core.Detection{
+			MO: visitor, Cell: cur, Start: t, End: t.Add(dwell),
+		})
+		t = t.Add(dwell + time.Duration(10+rng.Intn(50))*time.Second) // walking time
+		if i == n-1 {
+			break
+		}
+		next := d.nextZone(env, rng, cur, prev, style, i == n-2)
+		prev = cur
+		cur = next
+	}
+	return visit
+}
+
+// drawDwell draws a lognormal dwell time capped below the published
+// per-detection maximum.
+func (d *Dataset) drawDwell(rng *rand.Rand) time.Duration {
+	mu := math.Log(d.Params.MeanDwell.Seconds())
+	sec := math.Exp(mu + rng.NormFloat64()*1.0)
+	if sec < 5 {
+		sec = 5
+	}
+	// Stay strictly below the pinned maxima (the anchors own the extremes).
+	if cap := d.Params.MaxDetectionDuration.Seconds() * 0.5; sec > cap {
+		sec = cap
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// nextZone picks the next zone by weighted choice among accessibility
+// neighbours. Backtracking to the previous zone is suppressed except with
+// the style's backtrack probability (butterflies flit back and forth). The
+// exit zone is only eligible on the final step (it is absorbing).
+func (d *Dataset) nextZone(env *Environment, rng *rand.Rand, cur, prev string, style Style, lastStep bool) string {
+	succ := env.Access.Successors(cur)
+	allowBacktrack := rng.Float64() < styleProfiles[style].backtrackP
+	var cands []string
+	var weights []float64
+	collect := func(includePrev bool) {
+		cands, weights = cands[:0], weights[:0]
+		for _, s := range succ {
+			if s == env.Exit && !lastStep {
+				continue
+			}
+			if s == prev && !includePrev {
+				continue
+			}
+			w := env.Weight[s]
+			if w == 0 {
+				w = 1
+			}
+			cands = append(cands, s)
+			weights = append(weights, w)
+		}
+	}
+	collect(allowBacktrack)
+	if len(cands) == 0 {
+		// Nowhere else to go: backtracking beats stalling (a stall would
+		// produce a same-zone detection and lose a transition).
+		collect(true)
+	}
+	if len(cands) == 0 {
+		return cur // true dead end: stay (a new detection of the same zone)
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	r := rng.Float64() * sum
+	for i, w := range weights {
+		r -= w
+		if r <= 0 {
+			return cands[i]
+		}
+	}
+	return cands[len(cands)-1]
+}
+
+// randomZone picks a random non-exit start zone: the exit is absorbing (no
+// outgoing accessibility), so a walk starting there could never move and
+// would break the transitions = detections − visits identity of §4.1.
+func randomZone(env *Environment, rng *rand.Rand) string {
+	nodes := env.Access.Nodes()
+	for {
+		z := nodes[rng.Intn(len(nodes))]
+		if z != env.Exit {
+			return z
+		}
+	}
+}
+
+// pinExtremes rewrites three visits so the dataset's published extremes are
+// exact: one zero-duration single-detection visit (min visit duration 0),
+// one visit spanning exactly MaxVisitDuration, and one detection lasting
+// exactly MaxDetectionDuration.
+func (d *Dataset) pinExtremes(rng *rand.Rand) {
+	if len(d.Visits) < 3 {
+		return
+	}
+	// Candidates: single-detection visit for the zero anchor, ≥2-detection
+	// visits for the duration anchors.
+	zeroIdx, maxVisitIdx, maxDetIdx := -1, -1, -1
+	for i, v := range d.Visits {
+		switch {
+		case zeroIdx < 0 && len(v.Detections) == 1:
+			zeroIdx = i
+		case maxVisitIdx < 0 && len(v.Detections) >= 2:
+			maxVisitIdx = i
+		case maxDetIdx < 0 && len(v.Detections) >= 1 && i != zeroIdx && i != maxVisitIdx:
+			maxDetIdx = i
+		}
+		if zeroIdx >= 0 && maxVisitIdx >= 0 && maxDetIdx >= 0 {
+			break
+		}
+	}
+	if zeroIdx >= 0 {
+		det := &d.Visits[zeroIdx].Detections[0]
+		det.End = det.Start
+	}
+	if maxVisitIdx >= 0 {
+		// Stretch the visit span to the published maximum by relocating the
+		// last detection to the end of the window, keeping its own duration
+		// modest (the span, not a single stay, is the extreme here).
+		dets := d.Visits[maxVisitIdx].Detections
+		last := &dets[len(dets)-1]
+		dur := last.End.Sub(last.Start)
+		if cap := d.Params.MaxDetectionDuration / 2; dur > cap {
+			dur = cap
+		}
+		last.End = dets[0].Start.Add(d.Params.MaxVisitDuration)
+		last.Start = last.End.Add(-dur)
+	}
+	if maxDetIdx >= 0 {
+		// Rewrite this visit compactly so that pinning one detection at the
+		// published per-detection maximum cannot push the visit span past
+		// the per-visit maximum.
+		dets := d.Visits[maxDetIdx].Detections
+		t := dets[0].Start
+		for i := range dets {
+			dets[i].Start = t
+			dets[i].End = t.Add(time.Minute)
+			t = dets[i].End.Add(30 * time.Second)
+		}
+		det := &dets[len(dets)-1]
+		det.End = det.Start.Add(d.Params.MaxDetectionDuration)
+	}
+}
+
+// Stats are the raw marginals of a dataset, mirroring the §4.1 table.
+type Stats struct {
+	Visits               int
+	Visitors             int
+	ReturningVisitors    int
+	RepeatVisits         int
+	Detections           int
+	Transitions          int // intra-visit zone changes
+	ZeroDuration         int
+	ZeroDurationPercent  float64
+	DistinctZones        int
+	MinVisitDuration     time.Duration
+	MaxVisitDuration     time.Duration
+	MinDetectionDuration time.Duration
+	MaxDetectionDuration time.Duration
+}
+
+// ComputeStats derives the §4.1 statistics from a dataset.
+func ComputeStats(d *Dataset) Stats {
+	s := Stats{Visits: len(d.Visits)}
+	perVisitor := make(map[string]int)
+	zones := make(map[string]bool)
+	first := true
+	for _, v := range d.Visits {
+		perVisitor[v.Visitor]++
+		dur := v.Duration()
+		if first || dur < s.MinVisitDuration {
+			s.MinVisitDuration = dur
+		}
+		if dur > s.MaxVisitDuration {
+			s.MaxVisitDuration = dur
+		}
+		for i, det := range v.Detections {
+			s.Detections++
+			zones[det.Cell] = true
+			dd := det.Duration()
+			if first || dd < s.MinDetectionDuration {
+				s.MinDetectionDuration = dd
+			}
+			if dd > s.MaxDetectionDuration {
+				s.MaxDetectionDuration = dd
+			}
+			if dd == 0 {
+				s.ZeroDuration++
+			}
+			if i > 0 && det.Cell != v.Detections[i-1].Cell {
+				s.Transitions++
+			}
+			first = false
+		}
+	}
+	s.Visitors = len(perVisitor)
+	for _, n := range perVisitor {
+		if n > 1 {
+			s.ReturningVisitors++
+			s.RepeatVisits += n - 1
+		}
+	}
+	s.DistinctZones = len(zones)
+	if s.Detections > 0 {
+		s.ZeroDurationPercent = 100 * float64(s.ZeroDuration) / float64(s.Detections)
+	}
+	return s
+}

@@ -1,0 +1,289 @@
+package simulate
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sitm/internal/core"
+	"sitm/internal/louvre"
+)
+
+// smallParams keeps unit tests fast; the full-calibration test below runs
+// the paper-sized dataset once.
+func smallParams() Params {
+	p := DefaultParams()
+	p.Visitors = 120
+	p.ReturningVisitors = 40
+	p.RepeatVisits = 55 // 40 visitors repeat once, 15 of them twice
+	p.TargetDetections = 700
+	return p
+}
+
+func TestGenerateSmall(t *testing.T) {
+	env, _, err := NewLouvreEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Generate(env, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats(d)
+	if s.Visits != 175 { // 120 + 55
+		t.Errorf("visits = %d", s.Visits)
+	}
+	if s.Visitors != 120 || s.ReturningVisitors != 40 || s.RepeatVisits != 55 {
+		t.Errorf("population = %+v", s)
+	}
+	if s.Detections != 700 {
+		t.Errorf("detections = %d, want exactly 700", s.Detections)
+	}
+	// The transitions identity: walks never stall except at dead ends, so
+	// transitions ≈ detections − visits; dead-end stalls only reduce it.
+	if s.Transitions > s.Detections-s.Visits {
+		t.Errorf("transitions = %d > detections − visits = %d", s.Transitions, s.Detections-s.Visits)
+	}
+	if s.Transitions < (s.Detections-s.Visits)*9/10 {
+		t.Errorf("transitions = %d too far below %d", s.Transitions, s.Detections-s.Visits)
+	}
+	// Zero-duration rate ≈ 10%.
+	if s.ZeroDurationPercent < 5 || s.ZeroDurationPercent > 15 {
+		t.Errorf("zero-duration = %.1f%%", s.ZeroDurationPercent)
+	}
+	// Pinned extremes.
+	if s.MinVisitDuration != 0 {
+		t.Errorf("min visit duration = %v", s.MinVisitDuration)
+	}
+	if s.MaxVisitDuration != d.Params.MaxVisitDuration {
+		t.Errorf("max visit duration = %v, want %v", s.MaxVisitDuration, d.Params.MaxVisitDuration)
+	}
+	if s.MaxDetectionDuration != d.Params.MaxDetectionDuration {
+		t.Errorf("max detection duration = %v, want %v", s.MaxDetectionDuration, d.Params.MaxDetectionDuration)
+	}
+	if s.MinDetectionDuration != 0 {
+		t.Errorf("min detection duration = %v", s.MinDetectionDuration)
+	}
+	// All detections land in dataset zones.
+	for _, det := range d.Detections() {
+		if _, ok := env.Zones[det.Cell]; !ok {
+			t.Fatalf("detection in non-dataset zone %q", det.Cell)
+		}
+	}
+	if s.DistinctZones > 30 {
+		t.Errorf("zones touched = %d > 30", s.DistinctZones)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	env, _, err := NewLouvreEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Generate(env, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(env, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db := a.Detections(), b.Detections()
+	if len(da) != len(db) {
+		t.Fatalf("lengths differ: %d vs %d", len(da), len(db))
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("detection %d differs: %+v vs %+v", i, da[i], db[i])
+		}
+	}
+	// A different seed produces a different dataset.
+	p := smallParams()
+	p.Seed++
+	c, err := Generate(env, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i, det := range c.Detections() {
+		if det != da[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds must differ")
+	}
+}
+
+func TestGenerateWalksAreTopologicallyValid(t *testing.T) {
+	env, _, err := NewLouvreEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Generate(env, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range d.Visits {
+		for i := 1; i < len(v.Detections); i++ {
+			a, b := v.Detections[i-1].Cell, v.Detections[i].Cell
+			if a == b {
+				continue // dead-end stall
+			}
+			if !env.Access.HasEdge(a, b) {
+				t.Fatalf("visit of %s jumps %s → %s without an edge", v.Visitor, a, b)
+			}
+		}
+	}
+}
+
+func TestGenerateVisitTiming(t *testing.T) {
+	env, _, err := NewLouvreEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Generate(env, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range d.Visits {
+		if v.Day.Weekday() == time.Tuesday {
+			t.Fatalf("visit on a Tuesday (museum closed): %v", v.Day)
+		}
+		for i, det := range v.Detections {
+			if det.End.Before(det.Start) {
+				t.Fatalf("inverted detection %+v", det)
+			}
+			if i > 0 && det.Start.Before(v.Detections[i-1].Start) {
+				t.Fatalf("detections out of order in visit of %s", v.Visitor)
+			}
+		}
+	}
+	// Same-visitor visits are far apart (distinct days): the builder can
+	// split them by session gap.
+	byVisitor := map[string][]Visit{}
+	for _, v := range d.Visits {
+		byVisitor[v.Visitor] = append(byVisitor[v.Visitor], v)
+	}
+	for _, vs := range byVisitor {
+		for i := 1; i < len(vs); i++ {
+			if vs[i].Day.Equal(vs[i-1].Day) {
+				t.Fatalf("repeat visit on the same day")
+			}
+		}
+	}
+}
+
+func TestGenerateBadParams(t *testing.T) {
+	env, _, err := NewLouvreEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := smallParams()
+	p.ReturningVisitors = p.Visitors + 1
+	if _, err := Generate(env, p); !errors.Is(err, ErrBadParams) {
+		t.Errorf("returning > visitors: %v", err)
+	}
+	p = smallParams()
+	p.RepeatVisits = p.ReturningVisitors * 3
+	if _, err := Generate(env, p); !errors.Is(err, ErrBadParams) {
+		t.Errorf("too many repeats: %v", err)
+	}
+	p = smallParams()
+	p.TargetDetections = 10
+	if _, err := Generate(env, p); !errors.Is(err, ErrBadParams) {
+		t.Errorf("too few detections: %v", err)
+	}
+	p = smallParams()
+	p.Start = time.Date(2017, 1, 24, 0, 0, 0, 0, time.UTC) // a Tuesday
+	p.End = p.Start
+	if _, err := Generate(env, p); !errors.Is(err, ErrBadParams) {
+		t.Errorf("empty window: %v", err)
+	}
+}
+
+func TestGenerateFeedsBuilder(t *testing.T) {
+	// End-to-end: simulate → clean → build trajectories. The number of
+	// reconstructed trajectories equals the number of visits whose
+	// detections survive cleaning.
+	env, _, err := NewLouvreEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Generate(env, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The session gap must exceed any intra-visit hole (the pinned
+	// max-duration visit contains a hole of several hours) while staying
+	// below the ≥10h21m separation between same-visitor visits on
+	// consecutive museum days.
+	trajs, stats := core.BuildTrajectories(d.Detections(), core.BuildOptions{
+		DropZeroDuration: true,
+		SessionGap:       10 * time.Hour,
+	})
+	if stats.DroppedZero == 0 {
+		t.Error("cleaning must drop the injected errors")
+	}
+	// Each visit with at least one nonzero detection yields one trajectory.
+	want := 0
+	for _, v := range d.Visits {
+		for _, det := range v.Detections {
+			if det.Duration() > 0 {
+				want++
+				break
+			}
+		}
+	}
+	if len(trajs) != want {
+		t.Errorf("trajectories = %d, want %d", len(trajs), want)
+	}
+}
+
+func TestFullCalibration(t *testing.T) {
+	// The paper-sized dataset reproduces the §4.1 table.
+	if testing.Short() {
+		t.Skip("full calibration in -short mode")
+	}
+	d, _, err := GenerateLouvre(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats(d)
+	if s.Visits != 4945 {
+		t.Errorf("visits = %d, want 4945", s.Visits)
+	}
+	if s.Visitors != 3228 {
+		t.Errorf("visitors = %d, want 3228", s.Visitors)
+	}
+	if s.ReturningVisitors != 1227 {
+		t.Errorf("returning = %d, want 1227", s.ReturningVisitors)
+	}
+	if s.RepeatVisits != 1717 {
+		t.Errorf("repeat visits = %d, want 1717", s.RepeatVisits)
+	}
+	if s.Detections != 20245 {
+		t.Errorf("detections = %d, want 20245", s.Detections)
+	}
+	// Transitions: the paper reports 15,300 = detections − visits. The
+	// walker never repeats a zone consecutively (the exit is excluded from
+	// start zones and backtracking falls back rather than stalling), so the
+	// identity holds exactly.
+	if s.Transitions != 15300 {
+		t.Errorf("transitions = %d, want exactly 15300", s.Transitions)
+	}
+	if s.ZeroDurationPercent < 8 || s.ZeroDurationPercent > 12 {
+		t.Errorf("zero-duration = %.1f%%, want ≈ 10%%", s.ZeroDurationPercent)
+	}
+	if s.MaxVisitDuration != 7*time.Hour+41*time.Minute+37*time.Second {
+		t.Errorf("max visit duration = %v", s.MaxVisitDuration)
+	}
+	if s.MaxDetectionDuration != 5*time.Hour+39*time.Minute+20*time.Second {
+		t.Errorf("max detection duration = %v", s.MaxDetectionDuration)
+	}
+	if s.DistinctZones != 30 {
+		t.Errorf("distinct zones = %d, want 30", s.DistinctZones)
+	}
+	_ = louvre.ZoneC
+}

@@ -1,0 +1,95 @@
+package simulate
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Style is a visitor movement archetype. The museum-studies literature the
+// paper builds on (Yoshimura et al.'s Louvre studies, Véron & Levasseur's
+// ethology) distinguishes four visiting styles; the simulator uses them to
+// diversify dwell times and path lengths so that downstream profiling
+// (similarity + k-medoids) has real structure to recover.
+type Style int
+
+// The four canonical visiting styles.
+const (
+	// Ant visitors follow the curator's path closely, stopping at almost
+	// every exhibit: long visits, long dwells, many zones.
+	Ant Style = iota
+	// Fish visitors glide through the middle of rooms with few stops:
+	// medium paths, short dwells.
+	Fish
+	// Butterfly visitors flit between exhibits without following the
+	// curated order: many zones, variable dwells.
+	Butterfly
+	// Grasshopper visitors hop to a few pre-selected exhibits and leave:
+	// few zones, long dwells at each.
+	Grasshopper
+
+	numStyles = 4
+)
+
+// String implements fmt.Stringer.
+func (s Style) String() string {
+	switch s {
+	case Ant:
+		return "ant"
+	case Fish:
+		return "fish"
+	case Butterfly:
+		return "butterfly"
+	case Grasshopper:
+		return "grasshopper"
+	default:
+		return "unknown"
+	}
+}
+
+// styleProfile tunes the generator per style.
+type styleProfile struct {
+	dwellFactor  float64 // multiplies the lognormal dwell draw
+	lengthFactor float64 // multiplies the visit's detection count share
+	backtrackP   float64 // probability of revisiting the previous zone
+}
+
+var styleProfiles = [numStyles]styleProfile{
+	Ant:         {dwellFactor: 1.6, lengthFactor: 1.5, backtrackP: 0.05},
+	Fish:        {dwellFactor: 0.6, lengthFactor: 1.0, backtrackP: 0.05},
+	Butterfly:   {dwellFactor: 1.0, lengthFactor: 1.3, backtrackP: 0.25},
+	Grasshopper: {dwellFactor: 1.8, lengthFactor: 0.6, backtrackP: 0.02},
+}
+
+// styleMix is the population share of each style (Yoshimura's Louvre data
+// found fish/grasshopper-type short visits dominant).
+var styleMix = [numStyles]float64{
+	Ant:         0.15,
+	Fish:        0.35,
+	Butterfly:   0.25,
+	Grasshopper: 0.25,
+}
+
+// drawStyle samples a style from the population mix.
+func drawStyle(rng *rand.Rand) Style {
+	r := rng.Float64()
+	for s := Style(0); s < numStyles; s++ {
+		r -= styleMix[s]
+		if r <= 0 {
+			return s
+		}
+	}
+	return Grasshopper
+}
+
+// styleDwell applies the style's dwell factor with the configured cap.
+func (d *Dataset) styleDwell(rng *rand.Rand, style Style) time.Duration {
+	base := d.drawDwell(rng)
+	scaled := time.Duration(float64(base) * styleProfiles[style].dwellFactor)
+	if cap := time.Duration(float64(d.Params.MaxDetectionDuration) * 0.5); scaled > cap {
+		scaled = cap
+	}
+	if scaled < 5*time.Second {
+		scaled = 5 * time.Second
+	}
+	return scaled
+}

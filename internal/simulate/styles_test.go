@@ -1,0 +1,124 @@
+package simulate
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestStyleNames(t *testing.T) {
+	want := map[Style]string{
+		Ant: "ant", Fish: "fish", Butterfly: "butterfly", Grasshopper: "grasshopper",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("Style(%d) = %q, want %q", s, s.String(), name)
+		}
+	}
+	if Style(99).String() != "unknown" {
+		t.Error("out-of-range style must stringify")
+	}
+}
+
+func TestStyleMixSumsToOne(t *testing.T) {
+	var sum float64
+	for _, share := range styleMix {
+		sum += share
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("style mix sums to %v", sum)
+	}
+}
+
+func TestDrawStyleCoversAllStyles(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	counts := map[Style]int{}
+	n := 5000
+	for i := 0; i < n; i++ {
+		counts[drawStyle(rng)]++
+	}
+	for s := Style(0); s < numStyles; s++ {
+		share := float64(counts[s]) / float64(n)
+		if share < styleMix[s]*0.7 || share > styleMix[s]*1.3 {
+			t.Errorf("style %v share = %.2f, expected ≈ %.2f", s, share, styleMix[s])
+		}
+	}
+}
+
+func TestStyleDwellRespectsFactorsAndCaps(t *testing.T) {
+	d := &Dataset{Params: DefaultParams()}
+	rng := rand.New(rand.NewSource(9))
+	mean := func(style Style) time.Duration {
+		var total time.Duration
+		const n = 3000
+		for i := 0; i < n; i++ {
+			dw := d.styleDwell(rng, style)
+			if dw < 5*time.Second {
+				t.Fatalf("dwell %v below floor", dw)
+			}
+			if dw > time.Duration(float64(d.Params.MaxDetectionDuration)*0.5)+time.Second {
+				t.Fatalf("dwell %v above cap", dw)
+			}
+			total += dw
+		}
+		return total / n
+	}
+	ant := mean(Ant)
+	fish := mean(Fish)
+	if ant <= fish {
+		t.Errorf("ant mean dwell %v must exceed fish %v", ant, fish)
+	}
+}
+
+func TestStylesShapeGeneratedVisits(t *testing.T) {
+	env, _, err := NewLouvreEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := smallParams()
+	p.Visitors = 400
+	p.ReturningVisitors = 100
+	p.RepeatVisits = 120
+	p.TargetDetections = 2600
+	d, err := Generate(env, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All visits carry a valid style; a visitor's style is stable across
+	// repeat visits.
+	styleOf := map[string]Style{}
+	lengths := map[Style][]int{}
+	for _, v := range d.Visits {
+		if v.Style < 0 || v.Style >= numStyles {
+			t.Fatalf("invalid style %v", v.Style)
+		}
+		if prev, ok := styleOf[v.Visitor]; ok && prev != v.Style {
+			t.Fatalf("visitor %s changed style %v → %v", v.Visitor, prev, v.Style)
+		}
+		styleOf[v.Visitor] = v.Style
+		lengths[v.Style] = append(lengths[v.Style], len(v.Detections))
+	}
+	// Ant visits should on average be longer than grasshopper visits.
+	avg := func(xs []int) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		return float64(s) / float64(len(xs))
+	}
+	if len(lengths[Ant]) == 0 || len(lengths[Grasshopper]) == 0 {
+		t.Fatal("styles missing from the population")
+	}
+	if avg(lengths[Ant]) <= avg(lengths[Grasshopper]) {
+		t.Errorf("ant visits (%.1f zones) must exceed grasshopper (%.1f zones)",
+			avg(lengths[Ant]), avg(lengths[Grasshopper]))
+	}
+	// The calibrated totals still hold exactly.
+	s := ComputeStats(d)
+	if s.Detections != p.TargetDetections || s.Visits != p.Visits() {
+		t.Errorf("calibration broken: %+v", s)
+	}
+}

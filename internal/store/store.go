@@ -1,0 +1,329 @@
+// Package store provides the trajectory data-management substrate implied
+// by the paper's data-engineering framing: an in-memory semantic trajectory
+// store with a primary index by moving object, an interval index by time
+// and an inverted index by cell, plus the queries mobility analytics needs
+// (who was in cell c during [a,b]; which trajectories pass through a cell
+// sequence) and JSON/CSV round-trips.
+package store
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"sitm/internal/core"
+)
+
+// Store is a concurrency-safe in-memory trajectory store. The zero value is
+// not usable; call New.
+type Store struct {
+	mu     sync.RWMutex
+	trajs  []core.Trajectory
+	byMO   map[string][]int
+	byCell map[string][]int // trajectory indexes touching the cell
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		byMO:   make(map[string][]int),
+		byCell: make(map[string][]int),
+	}
+}
+
+// ErrNotFound is returned for queries with no result.
+var ErrNotFound = errors.New("store: not found")
+
+// Put inserts a trajectory and indexes it.
+func (s *Store) Put(t core.Trajectory) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := len(s.trajs)
+	s.trajs = append(s.trajs, t)
+	s.byMO[t.MO] = append(s.byMO[t.MO], idx)
+	for _, c := range t.Trace.DistinctCells() {
+		s.byCell[c] = append(s.byCell[c], idx)
+	}
+}
+
+// PutAll inserts many trajectories.
+func (s *Store) PutAll(ts []core.Trajectory) {
+	for _, t := range ts {
+		s.Put(t)
+	}
+}
+
+// Len returns the number of stored trajectories.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.trajs)
+}
+
+// All returns all trajectories in insertion order.
+func (s *Store) All() []core.Trajectory {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]core.Trajectory, len(s.trajs))
+	copy(out, s.trajs)
+	return out
+}
+
+// ByMO returns the trajectories of one moving object in insertion order.
+func (s *Store) ByMO(mo string) []core.Trajectory {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []core.Trajectory
+	for _, i := range s.byMO[mo] {
+		out = append(out, s.trajs[i])
+	}
+	return out
+}
+
+// MOs returns the distinct moving-object ids, sorted.
+func (s *Store) MOs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byMO))
+	for mo := range s.byMO {
+		out = append(out, mo)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ThroughCell returns the trajectories that visit the cell at least once.
+func (s *Store) ThroughCell(cell string) []core.Trajectory {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []core.Trajectory
+	for _, i := range s.byCell[cell] {
+		out = append(out, s.trajs[i])
+	}
+	return out
+}
+
+// InCellDuring returns the MOs present in the cell at any point during
+// [from, to] (inclusive bounds, presence intervals intersecting the window).
+func (s *Store) InCellDuring(cell string, from, to time.Time) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[string]bool)
+	var out []string
+	for _, i := range s.byCell[cell] {
+		t := s.trajs[i]
+		if seen[t.MO] {
+			continue
+		}
+		for _, p := range t.Trace {
+			if p.Cell == cell && !p.Start.After(to) && !p.End.Before(from) {
+				seen[t.MO] = true
+				out = append(out, t.MO)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Overlapping returns the trajectories whose time span intersects
+// [from, to].
+func (s *Store) Overlapping(from, to time.Time) []core.Trajectory {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []core.Trajectory
+	for _, t := range s.trajs {
+		if !t.Start().After(to) && !t.End().Before(from) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ThroughSequence returns trajectories whose (deduplicated) cell sequence
+// contains the given cells consecutively in order.
+func (s *Store) ThroughSequence(cells ...string) []core.Trajectory {
+	if len(cells) == 0 {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []core.Trajectory
+	for _, idx := range s.byCell[cells[0]] {
+		t := s.trajs[idx]
+		seq := dedup(t.Trace.Cells())
+		if containsRun(seq, cells) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func dedup(cells []string) []string {
+	var out []string
+	for _, c := range cells {
+		if len(out) == 0 || out[len(out)-1] != c {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func containsRun(seq, run []string) bool {
+	for i := 0; i+len(run) <= len(seq); i++ {
+		ok := true
+		for j := range run {
+			if seq[i+j] != run[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- Serialisation ----------------------------------------------------
+
+// jsonInterval mirrors core.PresenceInterval for encoding.
+type jsonInterval struct {
+	Transition string           `json:"transition,omitempty"`
+	Cell       string           `json:"cell"`
+	Start      time.Time        `json:"start"`
+	End        time.Time        `json:"end"`
+	Ann        core.Annotations `json:"ann,omitempty"`
+}
+
+type jsonTrajectory struct {
+	MO    string           `json:"mo"`
+	Ann   core.Annotations `json:"ann"`
+	Trace []jsonInterval   `json:"trace"`
+}
+
+// WriteJSON streams all trajectories as a JSON array.
+func (s *Store) WriteJSON(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]jsonTrajectory, 0, len(s.trajs))
+	for _, t := range s.trajs {
+		jt := jsonTrajectory{MO: t.MO, Ann: t.Ann}
+		for _, p := range t.Trace {
+			jt.Trace = append(jt.Trace, jsonInterval{
+				Transition: p.Transition, Cell: p.Cell,
+				Start: p.Start, End: p.End, Ann: p.Ann,
+			})
+		}
+		out = append(out, jt)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON loads trajectories previously written by WriteJSON into the
+// store (appending).
+func (s *Store) ReadJSON(r io.Reader) error {
+	var in []jsonTrajectory
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("store: decode: %w", err)
+	}
+	for _, jt := range in {
+		var trace core.Trace
+		for _, p := range jt.Trace {
+			trace = append(trace, core.PresenceInterval{
+				Transition: p.Transition, Cell: p.Cell,
+				Start: p.Start, End: p.End, Ann: p.Ann,
+			})
+		}
+		t, err := core.NewTrajectory(jt.MO, trace, jt.Ann)
+		if err != nil {
+			return fmt.Errorf("store: trajectory %q: %w", jt.MO, err)
+		}
+		s.Put(t)
+	}
+	return nil
+}
+
+// WriteDetectionsCSV writes raw detections in the dataset's natural shape:
+// mo,cell,start,end (RFC 3339).
+func WriteDetectionsCSV(w io.Writer, dets []core.Detection) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"mo", "cell", "start", "end"}); err != nil {
+		return err
+	}
+	for _, d := range dets {
+		if err := cw.Write([]string{
+			d.MO, d.Cell,
+			d.Start.Format(time.RFC3339Nano),
+			d.End.Format(time.RFC3339Nano),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadDetectionsCSV reads the format written by WriteDetectionsCSV.
+func ReadDetectionsCSV(r io.Reader) ([]core.Detection, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("store: csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	var out []core.Detection
+	for i, row := range rows[1:] {
+		if len(row) != 4 {
+			return nil, fmt.Errorf("store: csv row %d: %d fields", i+2, len(row))
+		}
+		start, err := time.Parse(time.RFC3339Nano, row[2])
+		if err != nil {
+			return nil, fmt.Errorf("store: csv row %d start: %w", i+2, err)
+		}
+		end, err := time.Parse(time.RFC3339Nano, row[3])
+		if err != nil {
+			return nil, fmt.Errorf("store: csv row %d end: %w", i+2, err)
+		}
+		out = append(out, core.Detection{MO: row[0], Cell: row[1], Start: start, End: end})
+	}
+	return out, nil
+}
+
+// Summary is a compact store description for reporting.
+type Summary struct {
+	Trajectories int
+	MOs          int
+	Cells        int
+	Intervals    int
+}
+
+// Summarize returns counts over the store.
+func (s *Store) Summarize() Summary {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sum := Summary{Trajectories: len(s.trajs), MOs: len(s.byMO), Cells: len(s.byCell)}
+	for _, t := range s.trajs {
+		sum.Intervals += len(t.Trace)
+	}
+	return sum
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return "trajectories=" + strconv.Itoa(s.Trajectories) +
+		" mos=" + strconv.Itoa(s.MOs) +
+		" cells=" + strconv.Itoa(s.Cells) +
+		" intervals=" + strconv.Itoa(s.Intervals)
+}

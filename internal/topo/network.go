@@ -1,0 +1,181 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Network is a qualitative constraint network over region variables: for
+// every ordered pair of variables it stores the set of RCC-8 relations still
+// considered possible. Networks support incremental assertion and
+// path-consistency refinement, which is the classical reasoning mechanism
+// for qualitative spatial calculi (§2.1 of the paper).
+//
+// The zero value is not usable; create networks with NewNetwork.
+type Network struct {
+	vars  []string
+	index map[string]int
+	// cons[i][j] is the constraint from vars[i] to vars[j].
+	cons [][]Set
+}
+
+// NewNetwork returns a network over the given variables with all pairwise
+// constraints initialised to Universal (total ignorance) and self loops to EQ.
+func NewNetwork(vars ...string) *Network {
+	n := &Network{index: make(map[string]int, len(vars))}
+	for _, v := range vars {
+		n.addVar(v)
+	}
+	return n
+}
+
+func (n *Network) addVar(v string) int {
+	if i, ok := n.index[v]; ok {
+		return i
+	}
+	i := len(n.vars)
+	n.vars = append(n.vars, v)
+	n.index[v] = i
+	for j := range n.cons {
+		n.cons[j] = append(n.cons[j], Universal)
+	}
+	row := make([]Set, len(n.vars))
+	for j := range row {
+		row[j] = Universal
+	}
+	n.cons = append(n.cons, row)
+	n.cons[i][i] = NewSet(EQ)
+	return i
+}
+
+// Vars returns the variable names in insertion order.
+func (n *Network) Vars() []string {
+	out := make([]string, len(n.vars))
+	copy(out, n.vars)
+	return out
+}
+
+// Assert constrains the relation from x to y to s (intersected with current
+// knowledge) and records the converse on (y, x). Unknown variables are added.
+// It returns an error if the assertion makes the pair inconsistent.
+func (n *Network) Assert(x, y string, s Set) error {
+	i := n.addVar(x)
+	j := n.addVar(y)
+	n.cons[i][j] = n.cons[i][j].Intersect(s)
+	n.cons[j][i] = n.cons[j][i].Intersect(s.Converse())
+	if n.cons[i][j].IsEmpty() {
+		return fmt.Errorf("topo: inconsistent constraint %s→%s: %v", x, y, s)
+	}
+	return nil
+}
+
+// AssertRel is Assert with a single base relation.
+func (n *Network) AssertRel(x, y string, r Rel) error {
+	return n.Assert(x, y, NewSet(r))
+}
+
+// Constraint returns the current constraint set from x to y. Unknown
+// variables yield Universal.
+func (n *Network) Constraint(x, y string) Set {
+	i, ok1 := n.index[x]
+	j, ok2 := n.index[y]
+	if !ok1 || !ok2 {
+		return Universal
+	}
+	return n.cons[i][j]
+}
+
+// PathConsistency runs the standard PC-style refinement: repeatedly tighten
+// cons[i][j] with Compose(cons[i][k], cons[k][j]) until a fixpoint. It
+// returns false if a constraint becomes empty (the network is inconsistent).
+// Path consistency is sound (never removes a feasible relation) and, for
+// many RCC-8 fragments, complete.
+func (n *Network) PathConsistency() bool {
+	m := len(n.vars)
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				if i == j {
+					continue
+				}
+				for k := 0; k < m; k++ {
+					if k == i || k == j {
+						continue
+					}
+					refined := n.cons[i][j].Intersect(
+						ComposeSets(n.cons[i][k], n.cons[k][j]))
+					if refined != n.cons[i][j] {
+						n.cons[i][j] = refined
+						n.cons[j][i] = refined.Converse()
+						changed = true
+						if refined.IsEmpty() {
+							return false
+						}
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Consistent reports whether the network is path-consistent. It operates on
+// a copy, leaving the receiver untouched.
+func (n *Network) Consistent() bool {
+	return n.Clone().PathConsistency()
+}
+
+// Clone returns a deep copy of the network.
+func (n *Network) Clone() *Network {
+	c := &Network{
+		vars:  append([]string(nil), n.vars...),
+		index: make(map[string]int, len(n.index)),
+		cons:  make([][]Set, len(n.cons)),
+	}
+	for k, v := range n.index {
+		c.index[k] = v
+	}
+	for i, row := range n.cons {
+		c.cons[i] = append([]Set(nil), row...)
+	}
+	return c
+}
+
+// Infer returns the refined constraint between x and y after running path
+// consistency on a copy of the network. The second result is false if the
+// network is inconsistent.
+func (n *Network) Infer(x, y string) (Set, bool) {
+	c := n.Clone()
+	if !c.PathConsistency() {
+		return EmptySet, false
+	}
+	return c.Constraint(x, y), true
+}
+
+// Edges returns all non-universal constraints (i<j order) as readable
+// triples, sorted for deterministic output.
+type Edge struct {
+	From, To string
+	Rels     Set
+}
+
+// ConstraintEdges lists the informative constraints of the network.
+func (n *Network) ConstraintEdges() []Edge {
+	var out []Edge
+	for i := range n.vars {
+		for j := i + 1; j < len(n.vars); j++ {
+			if s := n.cons[i][j]; s != Universal {
+				out = append(out, Edge{n.vars[i], n.vars[j], s})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].From != out[b].From {
+			return out[a].From < out[b].From
+		}
+		return out[a].To < out[b].To
+	})
+	return out
+}

@@ -1,0 +1,99 @@
+package topo
+
+import "fmt"
+
+// Matrix is a 9-intersection matrix (Egenhofer & Herring 1992): the
+// emptiness pattern of the pairwise intersections of interior (I), boundary
+// (B) and exterior (E) of two regions. Entry [i][j] is true when the
+// intersection is non-empty; rows index the first region's parts, columns
+// the second's, both in I, B, E order.
+//
+// The paper's Table 1 aligns the 9-intersection vocabulary with IndoorGML's
+// primal/dual spaces; this type makes the correspondence executable.
+type Matrix [3][3]bool
+
+// Part indexes into a Matrix.
+const (
+	Interior = 0
+	Boundary = 1
+	Exterior = 2
+)
+
+// matrixFor gives the canonical region-region 9-intersection matrix of each
+// RCC-8 base relation.
+var matrixFor = map[Rel]Matrix{
+	// I∩I  I∩B  I∩E | B∩I  B∩B  B∩E | E∩I  E∩B  E∩E
+	DC:    {{false, false, true}, {false, false, true}, {true, true, true}},
+	EC:    {{false, false, true}, {false, true, true}, {true, true, true}},
+	PO:    {{true, true, true}, {true, true, true}, {true, true, true}},
+	EQ:    {{true, false, false}, {false, true, false}, {false, false, true}},
+	TPP:   {{true, false, false}, {true, true, false}, {true, true, true}},
+	NTPP:  {{true, false, false}, {true, false, false}, {true, true, true}},
+	TPPi:  {{true, true, true}, {false, true, true}, {false, false, true}},
+	NTPPi: {{true, true, true}, {false, false, true}, {false, false, true}},
+}
+
+// MatrixOf returns the canonical 9-intersection matrix of a base relation.
+func MatrixOf(r Rel) Matrix { return matrixFor[r] }
+
+// RelOfMatrix returns the base relation whose canonical matrix equals m,
+// if any.
+func RelOfMatrix(m Matrix) (Rel, bool) {
+	for _, r := range AllRels {
+		if matrixFor[r] == m {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// Transpose returns the matrix of the converse relation (swap the two
+// regions, i.e. transpose the matrix).
+func (m Matrix) Transpose() Matrix {
+	var t Matrix
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			t[j][i] = m[i][j]
+		}
+	}
+	return t
+}
+
+// String renders the matrix as a compact 9-character pattern of T/F, row by
+// row (the DE-9IM-style string with booleans).
+func (m Matrix) String() string {
+	b := make([]byte, 0, 11)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if m[i][j] {
+				b = append(b, 'T')
+			} else {
+				b = append(b, 'F')
+			}
+		}
+		if i < 2 {
+			b = append(b, '|')
+		}
+	}
+	return string(b)
+}
+
+// IntersectionNonEmpty reports whether the given parts intersect under r.
+func IntersectionNonEmpty(r Rel, partA, partB int) (bool, error) {
+	if partA < Interior || partA > Exterior || partB < Interior || partB > Exterior {
+		return false, fmt.Errorf("topo: invalid 9-intersection part (%d, %d)", partA, partB)
+	}
+	return matrixFor[r][partA][partB], nil
+}
+
+// JointEdgeRels is the set of relations that IndoorGML joint edges may
+// express: any of the eight except "disjoint" and "meet" (§2.1: "a joint
+// edge represents any of the eight binary topological relationships ...
+// except for 'disjoint' and 'meet'").
+var JointEdgeRels = NewSet(PO, EQ, TPP, NTPP, TPPi, NTPPi)
+
+// HierarchyRels is the set of relations admitted on the joint edges of a
+// layer hierarchy per §3.2 of the paper: only "contains" and "covers"
+// (top-to-bottom direction), excluding "overlap" (as in Kang & Li 2017) and
+// additionally excluding "equal" to prohibit node repetition.
+var HierarchyRels = NewSet(NTPPi, TPPi)

@@ -1,0 +1,362 @@
+// Package topo implements the qualitative spatial reasoning (QSR) substrate
+// referenced by the paper (§2.1): the eight binary topological relations of
+// RCC-8 / the n-intersection model, relation sets, converse and composition,
+// the 9-intersection matrix view, and a path-consistency solver for
+// qualitative constraint networks.
+//
+// The paper's joint edges carry exactly these relations, and its layer
+// hierarchies admit only a subset of them ("contains", "covers"); package
+// indoor builds on the vocabulary defined here.
+package topo
+
+import (
+	"fmt"
+	"strings"
+
+	"sitm/internal/geom"
+)
+
+// Rel is one of the eight RCC-8 base relations. The names follow the RCC
+// literature; String renders the paper's vocabulary (Table 1 uses
+// "disjoint", "meet", "overlap", "equal", "contains", "insideOf", "covers",
+// "coveredBy").
+type Rel uint8
+
+// The eight RCC-8 base relations.
+const (
+	DC    Rel = iota // disconnected — paper: "disjoint"
+	EC               // externally connected — paper: "meet"/"touch"
+	PO               // partial overlap — paper: "overlap"
+	EQ               // equal
+	TPP              // tangential proper part — paper: "coveredBy"
+	NTPP             // non-tangential proper part — paper: "insideOf"
+	TPPi             // tangential proper part inverse — paper: "covers"
+	NTPPi            // non-tangential proper part inverse — paper: "contains"
+
+	// NumRels is the number of base relations.
+	NumRels = 8
+)
+
+// AllRels lists the base relations in canonical order.
+var AllRels = [NumRels]Rel{DC, EC, PO, EQ, TPP, NTPP, TPPi, NTPPi}
+
+// String returns the paper's name for the relation.
+func (r Rel) String() string {
+	switch r {
+	case DC:
+		return "disjoint"
+	case EC:
+		return "meet"
+	case PO:
+		return "overlap"
+	case EQ:
+		return "equal"
+	case TPP:
+		return "coveredBy"
+	case NTPP:
+		return "insideOf"
+	case TPPi:
+		return "covers"
+	case NTPPi:
+		return "contains"
+	default:
+		return fmt.Sprintf("Rel(%d)", uint8(r))
+	}
+}
+
+// RCCName returns the RCC-8 literature name (DC, EC, PO, EQ, TPP, NTPP,
+// TPPi, NTPPi).
+func (r Rel) RCCName() string {
+	switch r {
+	case DC:
+		return "DC"
+	case EC:
+		return "EC"
+	case PO:
+		return "PO"
+	case EQ:
+		return "EQ"
+	case TPP:
+		return "TPP"
+	case NTPP:
+		return "NTPP"
+	case TPPi:
+		return "TPPi"
+	case NTPPi:
+		return "NTPPi"
+	default:
+		return fmt.Sprintf("Rel(%d)", uint8(r))
+	}
+}
+
+// Converse returns the relation with its arguments swapped.
+func (r Rel) Converse() Rel {
+	switch r {
+	case TPP:
+		return TPPi
+	case TPPi:
+		return TPP
+	case NTPP:
+		return NTPPi
+	case NTPPi:
+		return NTPP
+	default:
+		return r
+	}
+}
+
+// IsProperPart reports whether r asserts that the first region is a proper
+// part of the second (TPP or NTPP).
+func (r Rel) IsProperPart() bool { return r == TPP || r == NTPP }
+
+// IsProperWhole reports whether r asserts that the first region properly
+// contains the second (TPPi or NTPPi).
+func (r Rel) IsProperWhole() bool { return r == TPPi || r == NTPPi }
+
+// Symmetric reports whether r is a symmetric relation.
+func (r Rel) Symmetric() bool {
+	return r == DC || r == EC || r == PO || r == EQ
+}
+
+// FromGeom converts a geometric relation (computed by geom.Polygon.Relate)
+// to the corresponding RCC-8 relation.
+func FromGeom(g geom.SpatialRel) Rel {
+	switch g {
+	case geom.RelDisjoint:
+		return DC
+	case geom.RelMeet:
+		return EC
+	case geom.RelOverlap:
+		return PO
+	case geom.RelEqual:
+		return EQ
+	case geom.RelContains:
+		return NTPPi
+	case geom.RelInside:
+		return NTPP
+	case geom.RelCovers:
+		return TPPi
+	case geom.RelCoveredBy:
+		return TPP
+	default:
+		return PO
+	}
+}
+
+// ToGeom converts an RCC-8 relation to the geom vocabulary.
+func (r Rel) ToGeom() geom.SpatialRel {
+	switch r {
+	case DC:
+		return geom.RelDisjoint
+	case EC:
+		return geom.RelMeet
+	case PO:
+		return geom.RelOverlap
+	case EQ:
+		return geom.RelEqual
+	case TPP:
+		return geom.RelCoveredBy
+	case NTPP:
+		return geom.RelInside
+	case TPPi:
+		return geom.RelCovers
+	case NTPPi:
+		return geom.RelContains
+	default:
+		return geom.RelOverlap
+	}
+}
+
+// Set is a bitmask of base relations, representing disjunctive qualitative
+// knowledge ("x is either inside or coveredBy y").
+type Set uint8
+
+// Common relation sets.
+const (
+	// EmptySet is the contradiction.
+	EmptySet Set = 0
+	// Universal is total ignorance (any relation possible).
+	Universal Set = 1<<NumRels - 1
+)
+
+// NewSet builds a set from base relations.
+func NewSet(rels ...Rel) Set {
+	var s Set
+	for _, r := range rels {
+		s |= 1 << r
+	}
+	return s
+}
+
+// Has reports whether the set admits r.
+func (s Set) Has(r Rel) bool { return s&(1<<r) != 0 }
+
+// Add returns s with r admitted.
+func (s Set) Add(r Rel) Set { return s | 1<<r }
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// IsEmpty reports whether the set is the contradiction.
+func (s Set) IsEmpty() bool { return s == 0 }
+
+// Len returns the number of admitted base relations.
+func (s Set) Len() int {
+	n := 0
+	for _, r := range AllRels {
+		if s.Has(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// Rels returns the admitted base relations in canonical order.
+func (s Set) Rels() []Rel {
+	out := make([]Rel, 0, s.Len())
+	for _, r := range AllRels {
+		if s.Has(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Single returns the unique relation in the set, if the set is a singleton.
+func (s Set) Single() (Rel, bool) {
+	if s.Len() != 1 {
+		return 0, false
+	}
+	return s.Rels()[0], true
+}
+
+// Converse returns the set of converses.
+func (s Set) Converse() Set {
+	var out Set
+	for _, r := range s.Rels() {
+		out = out.Add(r.Converse())
+	}
+	return out
+}
+
+// String renders the set as {rel, rel, ...}.
+func (s Set) String() string {
+	if s == Universal {
+		return "{*}"
+	}
+	names := make([]string, 0, s.Len())
+	for _, r := range s.Rels() {
+		names = append(names, r.String())
+	}
+	return "{" + strings.Join(names, ",") + "}"
+}
+
+// compositionTable is the standard RCC-8 composition table
+// (Cohn, Bennett, Gooday, Gotts 1997): row R1, column R2 give the possible
+// relations R with x R z given x R1 y and y R2 z.
+var compositionTable [NumRels][NumRels]Set
+
+func init() {
+	set := NewSet
+	all := Universal
+
+	compositionTable[DC] = [NumRels]Set{
+		DC:    all,
+		EC:    set(DC, EC, PO, TPP, NTPP),
+		PO:    set(DC, EC, PO, TPP, NTPP),
+		EQ:    set(DC),
+		TPP:   set(DC, EC, PO, TPP, NTPP),
+		NTPP:  set(DC, EC, PO, TPP, NTPP),
+		TPPi:  set(DC),
+		NTPPi: set(DC),
+	}
+	compositionTable[EC] = [NumRels]Set{
+		DC:    set(DC, EC, PO, TPPi, NTPPi),
+		EC:    set(DC, EC, PO, TPP, TPPi, EQ),
+		PO:    set(DC, EC, PO, TPP, NTPP),
+		EQ:    set(EC),
+		TPP:   set(EC, PO, TPP, NTPP),
+		NTPP:  set(PO, TPP, NTPP),
+		TPPi:  set(DC, EC),
+		NTPPi: set(DC),
+	}
+	compositionTable[PO] = [NumRels]Set{
+		DC:    set(DC, EC, PO, TPPi, NTPPi),
+		EC:    set(DC, EC, PO, TPPi, NTPPi),
+		PO:    all,
+		EQ:    set(PO),
+		TPP:   set(PO, TPP, NTPP),
+		NTPP:  set(PO, TPP, NTPP),
+		TPPi:  set(DC, EC, PO, TPPi, NTPPi),
+		NTPPi: set(DC, EC, PO, TPPi, NTPPi),
+	}
+	compositionTable[EQ] = [NumRels]Set{
+		DC:    set(DC),
+		EC:    set(EC),
+		PO:    set(PO),
+		EQ:    set(EQ),
+		TPP:   set(TPP),
+		NTPP:  set(NTPP),
+		TPPi:  set(TPPi),
+		NTPPi: set(NTPPi),
+	}
+	compositionTable[TPP] = [NumRels]Set{
+		DC:    set(DC),
+		EC:    set(DC, EC),
+		PO:    set(DC, EC, PO, TPP, NTPP),
+		EQ:    set(TPP),
+		TPP:   set(TPP, NTPP),
+		NTPP:  set(NTPP),
+		TPPi:  set(DC, EC, PO, TPP, TPPi, EQ),
+		NTPPi: set(DC, EC, PO, TPPi, NTPPi),
+	}
+	compositionTable[NTPP] = [NumRels]Set{
+		DC:    set(DC),
+		EC:    set(DC),
+		PO:    set(DC, EC, PO, TPP, NTPP),
+		EQ:    set(NTPP),
+		TPP:   set(NTPP),
+		NTPP:  set(NTPP),
+		TPPi:  set(DC, EC, PO, TPP, NTPP),
+		NTPPi: all,
+	}
+	compositionTable[TPPi] = [NumRels]Set{
+		DC:    set(DC, EC, PO, TPPi, NTPPi),
+		EC:    set(EC, PO, TPPi, NTPPi),
+		PO:    set(PO, TPPi, NTPPi),
+		EQ:    set(TPPi),
+		TPP:   set(PO, EQ, TPP, TPPi),
+		NTPP:  set(PO, TPP, NTPP),
+		TPPi:  set(TPPi, NTPPi),
+		NTPPi: set(NTPPi),
+	}
+	compositionTable[NTPPi] = [NumRels]Set{
+		DC:    set(DC, EC, PO, TPPi, NTPPi),
+		EC:    set(PO, TPPi, NTPPi),
+		PO:    set(PO, TPPi, NTPPi),
+		EQ:    set(NTPPi),
+		TPP:   set(PO, TPPi, NTPPi),
+		NTPP:  set(PO, TPP, NTPP, TPPi, NTPPi, EQ),
+		TPPi:  set(NTPPi),
+		NTPPi: set(NTPPi),
+	}
+}
+
+// Compose returns the set of possible relations between x and z given
+// x r1 y and y r2 z.
+func Compose(r1, r2 Rel) Set { return compositionTable[r1][r2] }
+
+// ComposeSets lifts composition to disjunctive knowledge:
+// the union of Compose(r1, r2) over all admitted pairs.
+func ComposeSets(s1, s2 Set) Set {
+	var out Set
+	for _, r1 := range s1.Rels() {
+		for _, r2 := range s2.Rels() {
+			out = out.Union(Compose(r1, r2))
+		}
+	}
+	return out
+}

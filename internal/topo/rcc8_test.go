@@ -1,0 +1,401 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sitm/internal/geom"
+)
+
+func TestRelNames(t *testing.T) {
+	want := map[Rel][2]string{
+		DC:    {"disjoint", "DC"},
+		EC:    {"meet", "EC"},
+		PO:    {"overlap", "PO"},
+		EQ:    {"equal", "EQ"},
+		TPP:   {"coveredBy", "TPP"},
+		NTPP:  {"insideOf", "NTPP"},
+		TPPi:  {"covers", "TPPi"},
+		NTPPi: {"contains", "NTPPi"},
+	}
+	for r, names := range want {
+		if r.String() != names[0] {
+			t.Errorf("%v.String() = %q, want %q", r.RCCName(), r.String(), names[0])
+		}
+		if r.RCCName() != names[1] {
+			t.Errorf("RCCName = %q, want %q", r.RCCName(), names[1])
+		}
+	}
+	if Rel(77).String() == "" || Rel(77).RCCName() == "" {
+		t.Error("out-of-range Rel must stringify")
+	}
+}
+
+func TestConverse(t *testing.T) {
+	for _, r := range AllRels {
+		if r.Converse().Converse() != r {
+			t.Errorf("converse not involutive for %v", r)
+		}
+	}
+	pairs := map[Rel]Rel{TPP: TPPi, NTPP: NTPPi, DC: DC, EC: EC, PO: PO, EQ: EQ}
+	for r, c := range pairs {
+		if r.Converse() != c {
+			t.Errorf("Converse(%v) = %v, want %v", r, r.Converse(), c)
+		}
+	}
+}
+
+func TestRelClassifiers(t *testing.T) {
+	if !TPP.IsProperPart() || !NTPP.IsProperPart() || TPPi.IsProperPart() {
+		t.Error("IsProperPart wrong")
+	}
+	if !TPPi.IsProperWhole() || !NTPPi.IsProperWhole() || TPP.IsProperWhole() {
+		t.Error("IsProperWhole wrong")
+	}
+	for _, r := range []Rel{DC, EC, PO, EQ} {
+		if !r.Symmetric() {
+			t.Errorf("%v must be symmetric", r)
+		}
+	}
+	for _, r := range []Rel{TPP, NTPP, TPPi, NTPPi} {
+		if r.Symmetric() {
+			t.Errorf("%v must not be symmetric", r)
+		}
+	}
+}
+
+func TestGeomRoundTrip(t *testing.T) {
+	for _, r := range AllRels {
+		if got := FromGeom(r.ToGeom()); got != r {
+			t.Errorf("FromGeom(ToGeom(%v)) = %v", r, got)
+		}
+	}
+	// And the converse direction for all geom values.
+	for g := geom.RelDisjoint; g <= geom.RelCoveredBy; g++ {
+		if got := FromGeom(g).ToGeom(); got != g {
+			t.Errorf("ToGeom(FromGeom(%v)) = %v", g, got)
+		}
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	s := NewSet(DC, PO)
+	if !s.Has(DC) || !s.Has(PO) || s.Has(EQ) {
+		t.Error("Has wrong")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	u := s.Union(NewSet(EQ))
+	if u.Len() != 3 || !u.Has(EQ) {
+		t.Error("Union wrong")
+	}
+	if got := s.Intersect(NewSet(PO, EQ)); got != NewSet(PO) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if !EmptySet.IsEmpty() || s.IsEmpty() {
+		t.Error("IsEmpty wrong")
+	}
+	if Universal.Len() != NumRels {
+		t.Errorf("Universal.Len = %d", Universal.Len())
+	}
+	if _, ok := s.Single(); ok {
+		t.Error("two-element set is not a singleton")
+	}
+	if r, ok := NewSet(EQ).Single(); !ok || r != EQ {
+		t.Error("singleton extraction failed")
+	}
+	if Universal.String() != "{*}" {
+		t.Errorf("Universal.String = %q", Universal.String())
+	}
+	if NewSet(DC).String() != "{disjoint}" {
+		t.Errorf("String = %q", NewSet(DC).String())
+	}
+}
+
+func TestSetConverse(t *testing.T) {
+	s := NewSet(TPP, DC)
+	if got := s.Converse(); got != NewSet(TPPi, DC) {
+		t.Errorf("Converse = %v", got)
+	}
+	if Universal.Converse() != Universal {
+		t.Error("Universal converse")
+	}
+}
+
+func TestComposeIdentity(t *testing.T) {
+	// EQ is the identity of composition on both sides.
+	for _, r := range AllRels {
+		if got := Compose(EQ, r); got != NewSet(r) {
+			t.Errorf("EQ∘%v = %v", r.RCCName(), got)
+		}
+		if got := Compose(r, EQ); got != NewSet(r) {
+			t.Errorf("%v∘EQ = %v", r.RCCName(), got)
+		}
+	}
+}
+
+func TestComposeKnownEntries(t *testing.T) {
+	tests := []struct {
+		r1, r2 Rel
+		want   Set
+	}{
+		{DC, DC, Universal},
+		{NTPP, NTPP, NewSet(NTPP)},
+		{TPP, TPP, NewSet(TPP, NTPP)},
+		{NTPP, NTPPi, Universal},
+		{NTPPi, NTPP, NewSet(PO, TPP, NTPP, TPPi, NTPPi, EQ)},
+		{EC, EC, NewSet(DC, EC, PO, TPP, TPPi, EQ)},
+		{TPP, EC, NewSet(DC, EC)},
+		{NTPP, EC, NewSet(DC)},
+		{TPPi, TPP, NewSet(PO, EQ, TPP, TPPi)},
+	}
+	for _, tc := range tests {
+		if got := Compose(tc.r1, tc.r2); got != tc.want {
+			t.Errorf("%v∘%v = %v, want %v", tc.r1.RCCName(), tc.r2.RCCName(), got, tc.want)
+		}
+	}
+}
+
+func TestComposeConverseCoherence(t *testing.T) {
+	// Property of any relation algebra: (R1∘R2)^c = R2^c ∘ R1^c.
+	for _, r1 := range AllRels {
+		for _, r2 := range AllRels {
+			lhs := Compose(r1, r2).Converse()
+			rhs := ComposeSets(NewSet(r2.Converse()), NewSet(r1.Converse()))
+			if lhs != rhs {
+				t.Errorf("converse coherence fails for %v∘%v: %v vs %v",
+					r1.RCCName(), r2.RCCName(), lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestComposeContainsWitness(t *testing.T) {
+	// Soundness spot-check with geometric witnesses: for specific triples of
+	// rectangles with known relations, the composed set must contain the
+	// actual relation.
+	a := geom.Poly(geom.Rect(0, 0, 10, 10))
+	b := geom.Poly(geom.Rect(2, 2, 8, 8))
+	c := geom.Poly(geom.Rect(3, 3, 5, 5))
+	rab := FromGeom(a.Relate(b)) // contains
+	rbc := FromGeom(b.Relate(c)) // contains
+	rac := FromGeom(a.Relate(c)) // contains
+	if !Compose(rab, rbc).Has(rac) {
+		t.Errorf("composition %v∘%v = %v must admit %v",
+			rab.RCCName(), rbc.RCCName(), Compose(rab, rbc), rac.RCCName())
+	}
+}
+
+func TestQuickCompositionSound(t *testing.T) {
+	// Property: for random rectangle triples (a,b,c), the actual relation
+	// R(a,c) is always admitted by Compose(R(a,b), R(b,c)). This is the
+	// fundamental soundness property of the composition table.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() geom.Polygon {
+			x := float64(r.Intn(12))
+			y := float64(r.Intn(12))
+			w := float64(r.Intn(8) + 1)
+			h := float64(r.Intn(8) + 1)
+			return geom.Poly(geom.Rect(x, y, x+w, y+h))
+		}
+		a, b, c := mk(), mk(), mk()
+		rab := FromGeom(a.Relate(b))
+		rbc := FromGeom(b.Relate(c))
+		rac := FromGeom(a.Relate(c))
+		return Compose(rab, rbc).Has(rac)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComposeSetsMonotone(t *testing.T) {
+	// Property: ComposeSets is monotone in both arguments.
+	f := func(x, y, x2, y2 uint8) bool {
+		s1 := Set(x) & Universal
+		s2 := Set(y) & Universal
+		t1 := s1.Union(Set(x2) & Universal)
+		t2 := s2.Union(Set(y2) & Universal)
+		small := ComposeSets(s1, s2)
+		big := ComposeSets(t1, t2)
+		return small.Intersect(big) == small
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNineIntersection(t *testing.T) {
+	for _, r := range AllRels {
+		m := MatrixOf(r)
+		got, ok := RelOfMatrix(m)
+		if !ok || got != r {
+			t.Errorf("RelOfMatrix(MatrixOf(%v)) = %v, %v", r.RCCName(), got, ok)
+		}
+		// Transposing the matrix must give the converse relation's matrix.
+		if m.Transpose() != MatrixOf(r.Converse()) {
+			t.Errorf("transpose of %v's matrix is not the converse matrix", r.RCCName())
+		}
+	}
+	if _, ok := RelOfMatrix(Matrix{}); ok {
+		t.Error("all-false matrix matches no base relation")
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	if got := MatrixOf(EQ).String(); got != "TFF|FTF|FFT" {
+		t.Errorf("EQ matrix = %q", got)
+	}
+	if got := MatrixOf(DC).String(); got != "FFT|FFT|TTT" {
+		t.Errorf("DC matrix = %q", got)
+	}
+}
+
+func TestIntersectionNonEmpty(t *testing.T) {
+	ok, err := IntersectionNonEmpty(EQ, Interior, Interior)
+	if err != nil || !ok {
+		t.Error("EQ interiors must intersect")
+	}
+	ok, err = IntersectionNonEmpty(DC, Interior, Interior)
+	if err != nil || ok {
+		t.Error("DC interiors must not intersect")
+	}
+	if _, err := IntersectionNonEmpty(EQ, 5, 0); err == nil {
+		t.Error("invalid part must error")
+	}
+}
+
+func TestJointAndHierarchyRels(t *testing.T) {
+	// §2.1: joint edges exclude disjoint and meet.
+	if JointEdgeRels.Has(DC) || JointEdgeRels.Has(EC) {
+		t.Error("joint edges must exclude disjoint/meet")
+	}
+	if JointEdgeRels.Len() != 6 {
+		t.Errorf("joint edge rels = %v", JointEdgeRels)
+	}
+	// §3.2: hierarchies admit only contains and covers.
+	if HierarchyRels != NewSet(NTPPi, TPPi) {
+		t.Errorf("hierarchy rels = %v", HierarchyRels)
+	}
+}
+
+func TestNetworkAssertInfer(t *testing.T) {
+	n := NewNetwork()
+	// room insideOf floor, floor insideOf building ⇒ room insideOf building.
+	if err := n.AssertRel("room", "floor", NTPP); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AssertRel("floor", "building", NTPP); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := n.Infer("room", "building")
+	if !ok {
+		t.Fatal("network inconsistent")
+	}
+	if got != NewSet(NTPP) {
+		t.Errorf("inferred %v, want {insideOf}", got)
+	}
+	// Converse direction must be inferred too.
+	got, _ = n.Infer("building", "room")
+	if got != NewSet(NTPPi) {
+		t.Errorf("inferred converse %v, want {contains}", got)
+	}
+}
+
+func TestNetworkInconsistency(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AssertRel("a", "b", NTPP); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AssertRel("b", "c", NTPP); err != nil {
+		t.Fatal(err)
+	}
+	// a strictly inside c, but also claim a disjoint from c: inconsistent.
+	if err := n.AssertRel("a", "c", DC); err != nil {
+		t.Fatal(err) // pairwise assertion alone is fine
+	}
+	if n.Consistent() {
+		t.Error("network must be inconsistent")
+	}
+	if _, ok := n.Infer("a", "c"); ok {
+		t.Error("Infer must report inconsistency")
+	}
+}
+
+func TestNetworkAssertConflictImmediate(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AssertRel("a", "b", DC); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AssertRel("a", "b", EQ); err == nil {
+		t.Error("contradictory re-assertion must error")
+	}
+}
+
+func TestNetworkEdgesDeterministic(t *testing.T) {
+	n := NewNetwork()
+	_ = n.AssertRel("z", "a", EC)
+	_ = n.AssertRel("m", "a", DC)
+	e1 := n.ConstraintEdges()
+	e2 := n.ConstraintEdges()
+	if len(e1) != len(e2) || len(e1) == 0 {
+		t.Fatalf("edges: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Error("edge order must be deterministic")
+		}
+	}
+	if e1[0].From > e1[len(e1)-1].From {
+		t.Error("edges must be sorted")
+	}
+}
+
+func TestNetworkVarsAndClone(t *testing.T) {
+	n := NewNetwork("x", "y")
+	if got := n.Vars(); len(got) != 2 || got[0] != "x" {
+		t.Errorf("Vars = %v", got)
+	}
+	_ = n.AssertRel("x", "y", PO)
+	c := n.Clone()
+	_ = c.AssertRel("x", "y", EQ) // drives the pair inconsistent in the clone only
+	if n.Constraint("x", "y") != NewSet(PO) {
+		t.Error("clone must not alias the original")
+	}
+	if n.Constraint("x", "missing") != Universal {
+		t.Error("unknown var constraint must be Universal")
+	}
+}
+
+func TestQuickNetworkTriangleSound(t *testing.T) {
+	// Property: asserting relations realised by actual rectangles never
+	// yields an inconsistent network (geometric models are consistent).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() geom.Polygon {
+			x := float64(rng.Intn(10))
+			y := float64(rng.Intn(10))
+			return geom.Poly(geom.Rect(x, y, x+float64(rng.Intn(6)+1), y+float64(rng.Intn(6)+1)))
+		}
+		polys := []geom.Polygon{mk(), mk(), mk(), mk()}
+		names := []string{"a", "b", "c", "d"}
+		n := NewNetwork(names...)
+		for i := range polys {
+			for j := range polys {
+				if i == j {
+					continue
+				}
+				if err := n.AssertRel(names[i], names[j], FromGeom(polys[i].Relate(polys[j]))); err != nil {
+					return false
+				}
+			}
+		}
+		return n.PathConsistency()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package viz renders the repository's figures and tables as text: aligned
+// tables, horizontal bar charts (the textual counterpart of the paper's
+// Figure 3 choropleth) and Graphviz DOT exports of NRGs (Figures 1, 2, 6).
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sitm/internal/graph"
+	"sitm/internal/indoor"
+)
+
+// Table renders rows as an aligned text table with a header.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if pad := widths[i] - len([]rune(c)); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Bar is one labelled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders a horizontal bar chart scaled to width characters —
+// the text rendition of a choropleth: darker (longer) means more.
+func BarChart(bars []Bar, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var max float64
+	labelW := 0
+	for _, b := range bars {
+		if b.Value > max {
+			max = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	for _, b := range bars {
+		n := 0
+		if max > 0 {
+			n = int(b.Value / max * float64(width))
+		}
+		fmt.Fprintf(&sb, "%-*s │%s %.0f\n", labelW, b.Label, strings.Repeat("█", n), b.Value)
+	}
+	return sb.String()
+}
+
+// DOT renders a directed multigraph in Graphviz format, grouping nodes by
+// an optional cluster function, with deterministic output.
+func DOT(name string, g *graph.Graph, cluster func(node string) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", name)
+	nodes := g.Nodes()
+	if cluster != nil {
+		groups := make(map[string][]string)
+		var order []string
+		for _, n := range nodes {
+			c := cluster(n)
+			if _, ok := groups[c]; !ok {
+				order = append(order, c)
+			}
+			groups[c] = append(groups[c], n)
+		}
+		sort.Strings(order)
+		for i, c := range order {
+			fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", i, c)
+			for _, n := range groups[c] {
+				fmt.Fprintf(&b, "    %q;\n", n)
+			}
+			b.WriteString("  }\n")
+		}
+	} else {
+		for _, n := range nodes {
+			fmt.Fprintf(&b, "  %q;\n", n)
+		}
+	}
+	for _, e := range g.Edges() {
+		label := e.ID
+		if label == "" {
+			label = e.Kind
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", e.From, e.To, label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// SpaceGraphDOT renders one layer's NRG (accessibility edges) clustered by
+// floor, Figure-6 style.
+func SpaceGraphDOT(sg *indoor.SpaceGraph, layerID string) (string, error) {
+	g, err := sg.AccessGraph(layerID)
+	if err != nil {
+		return "", err
+	}
+	return DOT(layerID, g, func(node string) string {
+		if c, ok := sg.Cell(node); ok {
+			return fmt.Sprintf("floor %d", c.Floor)
+		}
+		return "?"
+	}), nil
+}
+
+// LayersDOT renders the layer hierarchy with joint edges between layers
+// (Figure-2 style): each layer is a cluster; joint edges cross clusters.
+func LayersDOT(sg *indoor.SpaceGraph, maxCellsPerLayer int) string {
+	var b strings.Builder
+	b.WriteString("digraph layers {\n  rankdir=TB;\n")
+	shown := make(map[string]bool)
+	for i, l := range sg.Layers() {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", i, l.ID)
+		for j, c := range sg.CellsInLayer(l.ID) {
+			if maxCellsPerLayer > 0 && j >= maxCellsPerLayer {
+				fmt.Fprintf(&b, "    %q;\n", l.ID+"…")
+				break
+			}
+			fmt.Fprintf(&b, "    %q;\n", c.ID)
+			shown[c.ID] = true
+		}
+		b.WriteString("  }\n")
+	}
+	for _, j := range sg.Joints() {
+		if shown[j.From] && shown[j.To] {
+			fmt.Fprintf(&b, "  %q -> %q [style=dashed, label=%q];\n", j.From, j.To, j.Rel.String())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

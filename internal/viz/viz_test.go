@@ -1,0 +1,118 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"sitm/internal/graph"
+	"sitm/internal/indoor"
+)
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"col", "value"}, [][]string{
+		{"a", "1"},
+		{"longer", "2"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "col") || !strings.Contains(lines[0], "value") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "longer") {
+		t.Errorf("row = %q", lines[3])
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart([]Bar{
+		{Label: "zoneA", Value: 100},
+		{Label: "zoneB", Value: 50},
+		{Label: "zoneC", Value: 0},
+	}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	barLen := func(s string) int { return strings.Count(s, "█") }
+	if barLen(lines[0]) != 20 {
+		t.Errorf("max bar = %d", barLen(lines[0]))
+	}
+	if barLen(lines[1]) != 10 {
+		t.Errorf("half bar = %d", barLen(lines[1]))
+	}
+	if barLen(lines[2]) != 0 {
+		t.Errorf("zero bar = %d", barLen(lines[2]))
+	}
+	// All-zero input does not divide by zero.
+	if out := BarChart([]Bar{{Label: "x", Value: 0}}, 5); !strings.Contains(out, "x") {
+		t.Error("zero chart broken")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := graph.New()
+	g.AddEdge(graph.Edge{ID: "door1", From: "a", To: "b", Kind: "accessibility"})
+	out := DOT("test", g, nil)
+	for _, want := range []string{"digraph \"test\"", `"a" -> "b"`, "door1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	clustered := DOT("test", g, func(n string) string { return "c-" + n })
+	if !strings.Contains(clustered, "subgraph cluster_0") {
+		t.Error("clusters missing")
+	}
+	// Deterministic.
+	if DOT("test", g, nil) != out {
+		t.Error("DOT must be deterministic")
+	}
+}
+
+func TestSpaceGraphDOT(t *testing.T) {
+	sg := indoor.NewSpaceGraph()
+	if err := sg.AddLayer(indoor.Layer{ID: "zone"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{"x", "y"} {
+		if err := sg.AddCell(indoor.Cell{ID: c, Layer: "zone", Floor: -2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sg.AddAccess("x", "y", "b"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := SpaceGraphDOT(sg, "zone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "floor -2") || !strings.Contains(out, `"x" -> "y"`) {
+		t.Errorf("dot = %s", out)
+	}
+	if _, err := SpaceGraphDOT(sg, "nope"); err == nil {
+		t.Error("unknown layer must error")
+	}
+}
+
+func TestLayersDOT(t *testing.T) {
+	sg := indoor.NewSpaceGraph()
+	_ = sg.AddLayer(indoor.Layer{ID: "up", Rank: 1})
+	_ = sg.AddLayer(indoor.Layer{ID: "down", Rank: 0})
+	_ = sg.AddCell(indoor.Cell{ID: "p", Layer: "up"})
+	for _, c := range []string{"c1", "c2", "c3"} {
+		_ = sg.AddCell(indoor.Cell{ID: c, Layer: "down"})
+		_ = sg.AddJoint("p", c, 7) // topo.NTPPi
+	}
+	out := LayersDOT(sg, 2)
+	if !strings.Contains(out, "cluster_0") || !strings.Contains(out, "contains") {
+		t.Errorf("layers dot = %s", out)
+	}
+	// Truncation marker when layer exceeds the cap.
+	if !strings.Contains(out, "…") {
+		t.Error("expected truncation marker")
+	}
+}

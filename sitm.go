@@ -1,0 +1,358 @@
+// Package sitm is the public API of a complete Go implementation of
+// "Towards a Semantic Indoor Trajectory Model" (Kontarinis, Zeitouni,
+// Marinica, Vodislav, Kotzinos — BMDA @ EDBT 2019).
+//
+// The library models indoor space as an IndoorGML-compatible layered
+// multigraph (directed accessibility NRGs per layer, RCC-8 joint edges
+// across layers, validated layer hierarchies), and indoor movement as
+// semantic trajectories: traces of presence intervals at symbolic cells,
+// semantically annotated, segmentable into possibly overlapping episodes.
+// On top it offers hierarchical roll-up, topology-based inference of
+// missing presence intervals, mining (choropleths, transition matrices,
+// PrefixSpan, association rules, floor-switching), similarity metrics and
+// clustering, a BLE positioning simulator, the full Louvre case-study
+// instantiation, a calibrated synthetic dataset generator, an in-memory
+// trajectory store and an IndoorGML-flavoured XML exchange format.
+//
+// Quick start:
+//
+//	sg, hierarchy, _ := sitm.BuildLouvre()
+//	dataset, _, _ := sitm.GenerateLouvreDataset(sitm.DefaultDatasetParams())
+//	trajs, _ := sitm.BuildTrajectories(dataset.Detections(), sitm.BuildOptions{
+//		DropZeroDuration: true,
+//		SessionGap:       10 * time.Hour,
+//	})
+//	_ = trajs[0].ValidateAgainst(sg, sitm.LouvreZoneLayer, false)
+//	_ = hierarchy
+//
+// See the examples/ directory for runnable end-to-end programs and
+// DESIGN.md for the paper-to-package map.
+package sitm
+
+import (
+	"io"
+	"time"
+
+	"sitm/internal/core"
+	"sitm/internal/geom"
+	"sitm/internal/gml"
+	"sitm/internal/indoor"
+	"sitm/internal/louvre"
+	"sitm/internal/mining"
+	"sitm/internal/positioning"
+	"sitm/internal/similarity"
+	"sitm/internal/simulate"
+	"sitm/internal/store"
+	"sitm/internal/topo"
+)
+
+// ---- Space model (paper §3.2) ------------------------------------------
+
+// Core indoor space types.
+type (
+	// SpaceGraph is the layered multigraph G = (V, ⋃Eacc_i ∪ Etop).
+	SpaceGraph = indoor.SpaceGraph
+	// Layer is one space decomposition (one NRG of the MLSM).
+	Layer = indoor.Layer
+	// Cell is a symbolic indoor region (IndoorGML cellspace).
+	Cell = indoor.Cell
+	// Boundary is a named cell boundary (door, stair, checkpoint, ...).
+	Boundary = indoor.Boundary
+	// JointEdge is an inter-layer edge carrying an RCC-8 relation.
+	JointEdge = indoor.JointEdge
+	// Hierarchy is a validated layer hierarchy (§3.2).
+	Hierarchy = indoor.Hierarchy
+	// CoverageReport quantifies the full-coverage hypothesis (Fig 4).
+	CoverageReport = indoor.CoverageReport
+	// Rel is an RCC-8 base relation.
+	Rel = topo.Rel
+	// RelSet is a disjunctive set of RCC-8 relations.
+	RelSet = topo.Set
+	// Point is a planar location.
+	Point = geom.Point
+	// Polygon is a planar region with optional holes.
+	Polygon = geom.Polygon
+)
+
+// NewSpaceGraph returns an empty space graph.
+func NewSpaceGraph() *SpaceGraph { return indoor.NewSpaceGraph() }
+
+// NewCoreHierarchy returns the paper's Building → Floor → Room hierarchy,
+// optionally extended with the BuildingComplex root and RoI leaf.
+func NewCoreHierarchy(withComplex, withRoI bool) Hierarchy {
+	return indoor.NewCoreHierarchy(withComplex, withRoI)
+}
+
+// OverallState is one valid combination of per-layer active states (§2.1).
+type OverallState = indoor.OverallState
+
+// EncodeGML writes a space graph as IndoorGML-flavoured XML.
+func EncodeGML(w io.Writer, sg *SpaceGraph) error { return gml.Encode(w, sg) }
+
+// DecodeGML parses a document produced by EncodeGML.
+func DecodeGML(r io.Reader) (*SpaceGraph, error) { return gml.Decode(r) }
+
+// RCC-8 relations (paper vocabulary: disjoint, meet, overlap, equal,
+// coveredBy, insideOf, covers, contains).
+const (
+	Disjoint  = topo.DC
+	Meet      = topo.EC
+	Overlap   = topo.PO
+	Equal     = topo.EQ
+	CoveredBy = topo.TPP
+	InsideOf  = topo.NTPP
+	Covers    = topo.TPPi
+	Contains  = topo.NTPPi
+)
+
+// Layer kinds.
+const (
+	Topographic = indoor.Topographic
+	Semantic    = indoor.Semantic
+)
+
+// Boundary kinds.
+const (
+	Wall       = indoor.Wall
+	Door       = indoor.Door
+	Opening    = indoor.Opening
+	Stair      = indoor.Stair
+	Elevator   = indoor.Elevator
+	Escalator  = indoor.Escalator
+	Checkpoint = indoor.Checkpoint
+	Virtual    = indoor.Virtual
+)
+
+// ---- Trajectory model (paper §3.3) --------------------------------------
+
+// Core SITM types.
+type (
+	// Trajectory is a semantic trajectory (Def 3.1).
+	Trajectory = core.Trajectory
+	// Trace is a sequence of presence intervals (Def 3.2).
+	Trace = core.Trace
+	// PresenceInterval is one (transition, cell, start, end, annotations)
+	// tuple.
+	PresenceInterval = core.PresenceInterval
+	// Annotations is a semantic annotation set.
+	Annotations = core.Annotations
+	// Episode is a meaningful trajectory part (Def 3.4).
+	Episode = core.Episode
+	// Segmentation is an episodic segmentation (overlap allowed).
+	Segmentation = core.Segmentation
+	// Predicate decides episode membership (P_ep of Def 3.4).
+	Predicate = core.Predicate
+	// Detection is a raw timestamped zone detection (§4.1 data shape).
+	Detection = core.Detection
+	// BuildOptions tunes detection→trajectory extraction.
+	BuildOptions = core.BuildOptions
+	// Gap is a temporal discontinuity (hole vs semantic gap).
+	Gap = core.Gap
+	// GapKind classifies gaps as accidental holes or semantic gaps.
+	GapKind = core.GapKind
+	// Inference is one reconstructed presence interval (Fig 6).
+	Inference = core.Inference
+)
+
+// Gap kinds (§2.2, after Parent et al. 2013).
+const (
+	Hole        = core.Hole
+	SemanticGap = core.SemanticGap
+)
+
+// NewTrajectory builds and validates a semantic trajectory (Def 3.1).
+func NewTrajectory(mo string, trace Trace, ann Annotations) (Trajectory, error) {
+	return core.NewTrajectory(mo, trace, ann)
+}
+
+// NewAnnotations builds an annotation set from key/value pairs.
+func NewAnnotations(pairs ...string) Annotations { return core.NewAnnotations(pairs...) }
+
+// NewEpisode extracts an episode under the three Def 3.4 conditions.
+func NewEpisode(parent Trajectory, i, j int, label string, ann Annotations, pred Predicate) (Episode, error) {
+	return core.NewEpisode(parent, i, j, label, ann, pred)
+}
+
+// EpisodesByCells extracts maximal episodes over a cell set (Fig 5).
+func EpisodesByCells(parent Trajectory, cells map[string]bool, label string, ann Annotations) []Episode {
+	return core.EpisodesByCells(parent, cells, label, ann)
+}
+
+// BuildTrajectories extracts semantic trajectories from raw detections.
+func BuildTrajectories(dets []Detection, opts BuildOptions) ([]Trajectory, core.BuildStats) {
+	return core.BuildTrajectories(dets, opts)
+}
+
+// InferMissing reconstructs undetected presence intervals along
+// accessibility shortest paths (the paper's Zone-60888 example, Fig 6).
+func InferMissing(sg *SpaceGraph, tr Trace, extra Annotations, failHard bool) (Trace, []Inference, error) {
+	return core.InferMissing(sg, tr, extra, failHard)
+}
+
+// GapClassifier decides whether a gap is a hole or a semantic gap.
+type GapClassifier = core.GapClassifier
+
+// ExitAwareClassifier classifies gaps using cell semantics (§4.2:
+// disappearing after an exit zone is normal).
+func ExitAwareClassifier(sg *SpaceGraph, isExit func(cell string) bool, longGap time.Duration) GapClassifier {
+	return core.ExitAwareClassifier(sg, isExit, longGap)
+}
+
+// AnnotateGaps records classified gaps as transition annotations.
+func AnnotateGaps(tr Trace, minDur time.Duration, cls GapClassifier) Trace {
+	return core.AnnotateGaps(tr, minDur, cls)
+}
+
+// ---- Louvre case study (paper §4) ---------------------------------------
+
+// Louvre layer names.
+const (
+	LouvreMuseumLayer = louvre.LayerMuseum
+	LouvreWingLayer   = louvre.LayerWing
+	LouvreFloorLayer  = louvre.LayerFloor
+	LouvreZoneLayer   = louvre.LayerZone
+	LouvreRoomLayer   = louvre.LayerRoom
+	LouvreRoILayer    = louvre.LayerRoI
+)
+
+// Zone is one of the Louvre's 52 thematic zones.
+type Zone = louvre.Zone
+
+// BuildLouvre constructs the full Louvre space graph and its hierarchy.
+func BuildLouvre() (*SpaceGraph, Hierarchy, error) { return louvre.Build() }
+
+// LouvreZones returns the 52-zone table.
+func LouvreZones() []Zone { return louvre.Zones() }
+
+// LouvreFigure1 builds the paper's Figure 1 Denon fragment.
+func LouvreFigure1() (*SpaceGraph, error) { return louvre.Figure1() }
+
+// Table1 returns the paper's Table 1 terminology correspondence.
+func Table1() []indoor.Table1Row { return indoor.Table1() }
+
+// ---- Synthetic dataset (substitute for the proprietary data) ------------
+
+// Dataset types.
+type (
+	// DatasetParams calibrate the generator.
+	DatasetParams = simulate.Params
+	// Dataset is a generated synthetic dataset.
+	Dataset = simulate.Dataset
+	// DatasetStats are the §4.1 marginals of a dataset.
+	DatasetStats = simulate.Stats
+)
+
+// DefaultDatasetParams returns the paper's §4.1 calibration.
+func DefaultDatasetParams() DatasetParams { return simulate.DefaultParams() }
+
+// GenerateLouvreDataset generates a calibrated synthetic dataset over the
+// Louvre model and returns the space graph used.
+func GenerateLouvreDataset(p DatasetParams) (*Dataset, *SpaceGraph, error) {
+	return simulate.GenerateLouvre(p)
+}
+
+// ComputeDatasetStats derives the §4.1 statistics from a dataset.
+func ComputeDatasetStats(d *Dataset) DatasetStats { return simulate.ComputeStats(d) }
+
+// ---- Analytics -----------------------------------------------------------
+
+// Mining types.
+type (
+	// CellCount is a per-cell tally (Fig 3 choropleth unit).
+	CellCount = mining.CellCount
+	// TransitionMatrix is a first-order Markov transition model.
+	TransitionMatrix = mining.TransitionMatrix
+	// Pattern is a frequent sequential pattern.
+	Pattern = mining.Pattern
+	// Rule is a sequential association rule.
+	Rule = mining.Rule
+	// StayStats summarise per-cell length of stay.
+	StayStats = mining.StayStats
+	// FloorSwitch is a floor-change pattern (§5).
+	FloorSwitch = mining.FloorSwitch
+)
+
+// DetectionCounts tallies detections per cell (Fig 3).
+func DetectionCounts(dets []Detection, keep func(cell string) bool) []CellCount {
+	return mining.DetectionCounts(dets, keep)
+}
+
+// NewTransitionMatrix counts directed transitions over trajectories.
+func NewTransitionMatrix(trajs []Trajectory) *TransitionMatrix {
+	return mining.NewTransitionMatrix(trajs)
+}
+
+// PrefixSpan mines frequent sequential patterns.
+func PrefixSpan(sequences [][]string, minSupport, maxLen int) []Pattern {
+	return mining.PrefixSpan(sequences, minSupport, maxLen)
+}
+
+// SequencesOf extracts deduplicated cell sequences from trajectories.
+func SequencesOf(trajs []Trajectory) [][]string { return mining.SequencesOf(trajs) }
+
+// MineRules derives association rules from mined patterns.
+func MineRules(patterns []Pattern, minConfidence float64) []Rule {
+	return mining.Rules(patterns, minConfidence)
+}
+
+// LengthOfStay computes per-cell stay statistics.
+func LengthOfStay(trajs []Trajectory) []StayStats { return mining.LengthOfStay(trajs) }
+
+// FloorSwitches tallies floor-change patterns after rolling up to the floor
+// layer.
+func FloorSwitches(sg *SpaceGraph, trajs []Trajectory, floorLayer string) ([]FloorSwitch, error) {
+	return mining.FloorSwitches(sg, trajs, floorLayer)
+}
+
+// ---- Similarity and profiling -------------------------------------------
+
+// CellSimilarity scores semantic closeness of two cells in [0, 1].
+type CellSimilarity = similarity.CellSimilarity
+
+// HierarchyCellSimilarity is a Wu–Palmer-style similarity over a layer
+// hierarchy.
+func HierarchyCellSimilarity(sg *SpaceGraph, h Hierarchy) CellSimilarity {
+	return similarity.HierarchyCellSimilarity(sg, h)
+}
+
+// TrajectorySimilarity blends spatial (DTW) and semantic (annotation
+// Jaccard) similarity.
+func TrajectorySimilarity(a, b Trajectory, sim CellSimilarity, spatialWeight float64) float64 {
+	return similarity.TrajectorySimilarity(a, b, sim, spatialWeight)
+}
+
+// KMedoids clusters trajectories for visitor profiling.
+func KMedoids(trajs []Trajectory, k int, simFn func(a, b Trajectory) float64, seed int64) similarity.Clusters {
+	return similarity.KMedoids(trajs, k, simFn, seed)
+}
+
+// ---- Storage --------------------------------------------------------------
+
+// Store is a concurrency-safe in-memory trajectory store with MO, time and
+// cell indexes.
+type Store = store.Store
+
+// NewStore returns an empty trajectory store.
+func NewStore() *Store { return store.New() }
+
+// ---- Positioning -----------------------------------------------------------
+
+// Positioning types.
+type (
+	// Beacon is a BLE transmitter.
+	Beacon = positioning.Beacon
+	// PathLoss is the log-distance RSSI model.
+	PathLoss = positioning.PathLoss
+	// Measurement is one RSSI observation.
+	Measurement = positioning.Measurement
+	// Fix is one filtered position estimate.
+	Fix = positioning.Fix
+)
+
+// Trilaterate estimates a position from RSSI measurements.
+func Trilaterate(beacons map[string]Beacon, meas []Measurement, model PathLoss) (Point, error) {
+	return positioning.Trilaterate(beacons, meas, model)
+}
+
+// LouvreBeacons lays out the museum's ~1800-beacon infrastructure.
+func LouvreBeacons() map[string]Beacon { return louvre.Beacons() }
