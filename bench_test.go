@@ -413,6 +413,180 @@ func BenchmarkStoreQueries(b *testing.B) {
 	}
 }
 
+// ---- Analytics-engine before/after benches (DESIGN.md §4, E-series) -----
+
+// benchStore loads a seeded dataset into a store and returns it with its
+// trajectories, warming the interval indexes so the benches time queries,
+// not the one-off lazy rebuild.
+func benchStore(b *testing.B) (*sitm.Store, []sitm.Trajectory) {
+	b.Helper()
+	d, _, err := sitm.GenerateLouvreDataset(benchParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	trajs, _ := sitm.BuildTrajectories(d.Detections(), sitm.BuildOptions{
+		DropZeroDuration: true, SessionGap: 10 * time.Hour,
+	})
+	st := sitm.NewStore()
+	st.PutAll(trajs)
+	st.Overlapping(time.Time{}, time.Time{}) // trigger the lazy index build
+	return st, trajs
+}
+
+// benchWindow is a narrow one-day window inside the dataset's span — the
+// selective query shape interval indexing exists for.
+func benchWindow() (time.Time, time.Time) {
+	from := time.Date(2017, 3, 1, 0, 0, 0, 0, time.UTC)
+	return from, from.AddDate(0, 0, 1)
+}
+
+// BenchmarkStoreOverlappingScan is the seed's implementation of
+// Overlapping: a linear scan over every stored trajectory. Kept as the
+// "before" baseline for BenchmarkStoreOverlappingIndexed.
+func BenchmarkStoreOverlappingScan(b *testing.B) {
+	st, _ := benchStore(b)
+	all := st.All()
+	from, to := benchWindow()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out []sitm.Trajectory
+		for _, t := range all {
+			if !t.Start().After(to) && !t.End().Before(from) {
+				out = append(out, t)
+			}
+		}
+		if len(out) == 0 {
+			b.Fatal("empty window")
+		}
+	}
+}
+
+// BenchmarkStoreOverlappingIndexed measures the interval-indexed query on
+// the same window: sorted starts bound the candidates, the max-end segment
+// tree prunes the rest.
+func BenchmarkStoreOverlappingIndexed(b *testing.B) {
+	st, _ := benchStore(b)
+	from, to := benchWindow()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := st.Overlapping(from, to); len(out) == 0 {
+			b.Fatal("empty window")
+		}
+	}
+}
+
+// BenchmarkStoreInCellDuringScan is the seed's InCellDuring: walk the
+// cell's posting list and scan every presence interval of every candidate.
+func BenchmarkStoreInCellDuringScan(b *testing.B) {
+	st, _ := benchStore(b)
+	cellTrajs := st.ThroughCell("zone60885")
+	from, to := benchWindow()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seen := make(map[string]bool)
+		for _, t := range cellTrajs {
+			if seen[t.MO] {
+				continue
+			}
+			for _, p := range t.Trace {
+				if p.Cell == "zone60885" && !p.Start.After(to) && !p.End.Before(from) {
+					seen[t.MO] = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkStoreInCellDuringIndexed measures the per-cell interval index.
+func BenchmarkStoreInCellDuringIndexed(b *testing.B) {
+	st, _ := benchStore(b)
+	from, to := benchWindow()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.InCellDuring("zone60885", from, to)
+	}
+}
+
+// benchSimilaritySample returns a fixed-size trajectory sample and the
+// hierarchy-aware kernel for the pairwise benches.
+func benchSimilaritySample(b *testing.B, n int) ([]sitm.Trajectory, func(a, x sitm.Trajectory) float64) {
+	b.Helper()
+	sg, h, err := sitm.BuildLouvre()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, _, err := sitm.GenerateLouvreDataset(benchParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	trajs, _ := sitm.BuildTrajectories(d.Detections(), sitm.BuildOptions{
+		DropZeroDuration: true, SessionGap: 10 * time.Hour,
+	})
+	if len(trajs) < n {
+		b.Fatalf("only %d trajectories", len(trajs))
+	}
+	sim := sitm.HierarchyCellSimilarity(sg, h)
+	return trajs[:n], func(a, x sitm.Trajectory) float64 {
+		return sitm.TrajectorySimilarity(a, x, sim, 0.7)
+	}
+}
+
+// BenchmarkSimilarityMatrixSequentialFull is the seed's pairwise pattern:
+// every ordered pair (i, j), i ≠ j, evaluated one after another — exactly
+// the matrix loop the seed's KMedoids ran.
+func BenchmarkSimilarityMatrixSequentialFull(b *testing.B) {
+	trajs, simFn := benchSimilaritySample(b, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := len(trajs)
+		m := make([][]float64, n)
+		for r := range m {
+			m[r] = make([]float64, n)
+			for c := range m[r] {
+				if r != c {
+					m[r][c] = simFn(trajs[r], trajs[c])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSimilarityMatrixParallel measures SimilarityMatrix: upper
+// triangle only (half the kernel calls), fanned out over the worker pool.
+func BenchmarkSimilarityMatrixParallel(b *testing.B) {
+	trajs, simFn := benchSimilaritySample(b, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sitm.SimilarityMatrix(trajs, simFn)
+	}
+}
+
+// BenchmarkKMedoidsClustering measures end-to-end visitor profiling on the
+// parallel engine: parallel matrix + PAM refinement.
+func BenchmarkKMedoidsClustering(b *testing.B) {
+	trajs, simFn := benchSimilaritySample(b, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cl := sitm.KMedoids(trajs, 4, simFn, 7); len(cl.Medoids) != 4 {
+			b.Fatal("clustering collapsed")
+		}
+	}
+}
+
+// BenchmarkKMedoidsMatrixReuse measures clustering when the matrix is
+// precomputed once and reused — the sweep-over-k workflow.
+func BenchmarkKMedoidsMatrixReuse(b *testing.B) {
+	trajs, simFn := benchSimilaritySample(b, 60)
+	m := sitm.SimilarityMatrix(trajs, simFn)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cl := sitm.KMedoidsMatrix(m, 4, 7); len(cl.Medoids) != 4 {
+			b.Fatal("clustering collapsed")
+		}
+	}
+}
+
 // BenchmarkTrajectorySimilarity measures the hierarchy-aware similarity.
 func BenchmarkTrajectorySimilarity(b *testing.B) {
 	sg, h, err := sitm.BuildLouvre()

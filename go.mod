@@ -1,0 +1,3 @@
+module sitm
+
+go 1.24

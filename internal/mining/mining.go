@@ -14,6 +14,7 @@ import (
 
 	"sitm/internal/core"
 	"sitm/internal/indoor"
+	"sitm/internal/parallel"
 )
 
 // CellCount is a per-cell tally, the unit of the Figure 3 choropleth.
@@ -22,15 +23,49 @@ type CellCount struct {
 	Count int
 }
 
-// DetectionCounts tallies detections per cell, optionally restricted to a
-// predicate over the cell (e.g. ground-floor zones only, as in Figure 3).
-func DetectionCounts(dets []core.Detection, keep func(cell string) bool) []CellCount {
-	counts := make(map[string]int)
-	for _, d := range dets {
-		if keep == nil || keep(d.Cell) {
-			counts[d.Cell]++
+// parallelTally counts cells emitted per input index, splitting large
+// inputs into per-worker chunks whose partial maps are merged; small
+// inputs are tallied sequentially (goroutine overhead would dominate).
+// emit must call add for every cell of item i; keep-predicates belong in
+// the caller's emit closure.
+func parallelTally(n int, emit func(i int, add func(cell string))) map[string]int {
+	chunks := supportChunks(n)
+	if chunks <= 1 {
+		return tallyRange(0, n, emit)
+	}
+	size := (n + chunks - 1) / chunks
+	partials := parallel.Map(chunks, func(c int) map[string]int {
+		hi := (c + 1) * size
+		if hi > n {
+			hi = n
+		}
+		return tallyRange(c*size, hi, emit)
+	})
+	total := partials[0]
+	for _, part := range partials[1:] {
+		for cell, k := range part {
+			total[cell] += k
 		}
 	}
+	return total
+}
+
+// tallyRange is the shared sequential counting kernel: it tallies the
+// cells emitted for indexes [lo, hi) into a fresh map. Both parallelTally
+// (whole input or per chunk) and PrefixSpan's subtree counting use it, so
+// the counting semantics cannot drift between the paths.
+func tallyRange(lo, hi int, emit func(i int, add func(cell string))) map[string]int {
+	counts := make(map[string]int)
+	add := func(c string) { counts[c]++ }
+	for i := lo; i < hi; i++ {
+		emit(i, add)
+	}
+	return counts
+}
+
+// sortCounts flattens a tally into the choropleth ordering: descending
+// count, then lexicographic cell id.
+func sortCounts(counts map[string]int) []CellCount {
 	out := make([]CellCount, 0, len(counts))
 	for c, n := range counts {
 		out = append(out, CellCount{Cell: c, Count: n})
@@ -44,28 +79,30 @@ func DetectionCounts(dets []core.Detection, keep func(cell string) bool) []CellC
 	return out
 }
 
+// DetectionCounts tallies detections per cell, optionally restricted to a
+// predicate over the cell (e.g. ground-floor zones only, as in Figure 3).
+// Large detection streams are counted in parallel; keep must be safe for
+// concurrent calls (pure predicates are).
+func DetectionCounts(dets []core.Detection, keep func(cell string) bool) []CellCount {
+	return sortCounts(parallelTally(len(dets), func(i int, add func(string)) {
+		if c := dets[i].Cell; keep == nil || keep(c) {
+			add(c)
+		}
+	}))
+}
+
 // VisitCounts tallies trajectories that touch each cell at least once
-// (distinct-visitor footfall rather than raw detections).
+// (distinct-visitor footfall rather than raw detections). Large trajectory
+// sets are counted in parallel; keep must be safe for concurrent calls
+// (pure predicates are).
 func VisitCounts(trajs []core.Trajectory, keep func(cell string) bool) []CellCount {
-	counts := make(map[string]int)
-	for _, t := range trajs {
-		for _, c := range t.Trace.DistinctCells() {
+	return sortCounts(parallelTally(len(trajs), func(i int, add func(string)) {
+		for _, c := range trajs[i].Trace.DistinctCells() {
 			if keep == nil || keep(c) {
-				counts[c]++
+				add(c)
 			}
 		}
-	}
-	out := make([]CellCount, 0, len(counts))
-	for c, n := range counts {
-		out = append(out, CellCount{Cell: c, Count: n})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
-		}
-		return out[i].Cell < out[j].Cell
-	})
-	return out
+	}))
 }
 
 // Transition is one directed cell-to-cell movement with its frequency.

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"sitm/internal/core"
+	"sitm/internal/parallel"
 )
 
 // Pattern is a sequential pattern: an ordered list of cells visited (not
@@ -29,57 +30,76 @@ func SequencesOf(trajs []core.Trajectory) [][]string {
 	return out
 }
 
+// proj is one projected-database entry: the suffix of a sequence starting
+// at the given offset.
+type proj struct{ seq, off int }
+
 // PrefixSpan mines frequent sequential patterns with the given minimum
 // support (absolute count) and maximum pattern length. The implementation
 // is the classical pattern-growth algorithm over projected databases
 // (Pei et al.), the standard sequential-pattern machinery the SITM is meant
 // to feed ("support frequent/sequential patterns and association rules",
-// §2.2).
+// §2.2). The first pattern-growth level fans out over the worker pool —
+// the projected databases of distinct frequent items are independent — and
+// support counting over large databases is tallied in parallel chunks, so
+// mining scales with the cores available. Output is deterministic
+// regardless of scheduling: the final ordering is a total order.
 func PrefixSpan(sequences [][]string, minSupport, maxLen int) []Pattern {
 	if minSupport < 1 {
 		minSupport = 1
 	}
-	// A projection is a set of (sequence index, start offset) suffixes.
-	type proj struct{ seq, off int }
+	// emitSuffixItems feeds each distinct item of suffix i to add — the
+	// support-counting kernel shared by both tally paths below.
+	emitSuffixItems := func(i int, db []proj, add func(string)) {
+		seen := make(map[string]bool)
+		for _, item := range sequences[db[i].seq][db[i].off:] {
+			if !seen[item] {
+				seen[item] = true
+				add(item)
+			}
+		}
+	}
+	// countSupport tallies suffix support over the package's chunked
+	// parallel tally. Used at the root only: below the root the subtrees
+	// themselves run in parallel, and nesting another fan-out inside each
+	// would oversubscribe the pool (~workers² goroutines), so subtree
+	// counting stays sequential.
+	countSupport := func(db []proj) map[string]int {
+		return parallelTally(len(db), func(i int, add func(string)) {
+			emitSuffixItems(i, db, add)
+		})
+	}
+	countSupportSeq := func(db []proj) map[string]int {
+		return tallyRange(0, len(db), func(i int, add func(string)) {
+			emitSuffixItems(i, db, add)
+		})
+	}
+
+	// project narrows db to the suffixes after each one's first `item`.
+	project := func(db []proj, item string) []proj {
+		var next []proj
+		for _, p := range db {
+			for i, it := range sequences[p.seq][p.off:] {
+				if it == item {
+					next = append(next, proj{p.seq, p.off + i + 1})
+					break
+				}
+			}
+		}
+		return next
+	}
+
+	// mine grows patterns sequentially below the fan-out level.
 	var mine func(prefix []string, db []proj, out *[]Pattern)
 	mine = func(prefix []string, db []proj, out *[]Pattern) {
 		if maxLen > 0 && len(prefix) >= maxLen {
 			return
 		}
-		// Count, for each item, the sequences whose suffix contains it.
-		counts := make(map[string]int)
-		lastSeq := make(map[string]int)
-		for _, p := range db {
-			seen := make(map[string]bool)
-			for _, item := range sequences[p.seq][p.off:] {
-				if !seen[item] {
-					seen[item] = true
-					counts[item]++
-					lastSeq[item] = p.seq
-				}
-			}
-		}
-		var items []string
-		for item, n := range counts {
-			if n >= minSupport {
-				items = append(items, item)
-			}
-		}
-		sort.Strings(items)
-		for _, item := range items {
+		counts := countSupportSeq(db)
+		for _, item := range frequentItems(counts, minSupport) {
 			grown := append(append([]string{}, prefix...), item)
 			*out = append(*out, Pattern{Cells: grown, Support: counts[item]})
-			// Project: for each suffix, the first occurrence of item.
-			var next []proj
-			for _, p := range db {
-				for i, it := range sequences[p.seq][p.off:] {
-					if it == item {
-						next = append(next, proj{p.seq, p.off + i + 1})
-						break
-					}
-				}
-			}
-			mine(grown, next, out)
+			mine(grown, project(db, item), out)
 		}
 	}
 
@@ -87,8 +107,19 @@ func PrefixSpan(sequences [][]string, minSupport, maxLen int) []Pattern {
 	for i := range sequences {
 		db[i] = proj{i, 0}
 	}
+	rootCounts := countSupport(db)
+	rootItems := frequentItems(rootCounts, minSupport)
+	// Fan the independent per-item subtrees out over the pool.
+	subtrees := parallel.Map(len(rootItems), func(i int) []Pattern {
+		item := rootItems[i]
+		local := []Pattern{{Cells: []string{item}, Support: rootCounts[item]}}
+		mine([]string{item}, project(db, item), &local)
+		return local
+	})
 	var out []Pattern
-	mine(nil, db, &out)
+	for _, sub := range subtrees {
+		out = append(out, sub...)
+	}
 	// Longest and most supported first; lexicographic tie-break.
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Support != out[j].Support {
@@ -100,6 +131,29 @@ func PrefixSpan(sequences [][]string, minSupport, maxLen int) []Pattern {
 		return lessSlices(out[i].Cells, out[j].Cells)
 	})
 	return out
+}
+
+// supportChunks picks the parallel tally fan-out: sequential below a
+// threshold where goroutine overhead would dominate the map work.
+func supportChunks(n int) int {
+	const minPerChunk = 2048
+	chunks := n / minPerChunk
+	if w := parallel.Workers(0); chunks > w {
+		chunks = w
+	}
+	return chunks
+}
+
+// frequentItems filters and sorts the items meeting the support threshold.
+func frequentItems(counts map[string]int, minSupport int) []string {
+	var items []string
+	for item, n := range counts {
+		if n >= minSupport {
+			items = append(items, item)
+		}
+	}
+	sort.Strings(items)
+	return items
 }
 
 func lessSlices(a, b []string) bool {

@@ -1,0 +1,162 @@
+// Package parallel provides the bounded fan-out primitives the analytics
+// layer is built on: chunked data-parallel loops (ForEach, Map) and a
+// symmetric pair scheduler (MapPairsSymmetric) for O(n²) kernels such as
+// pairwise trajectory similarity. Work is distributed dynamically over a
+// worker pool sized by runtime.GOMAXPROCS, so callers get near-linear
+// speedups on batch workloads without managing goroutines themselves.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers clamps a requested worker count: n if n > 0, else GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// chunkSize picks a grab size that amortises the atomic fetch while keeping
+// enough chunks in flight for dynamic load balancing (≈8 chunks per worker).
+func chunkSize(n, workers int) int {
+	c := n / (workers * 8)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// ForEach invokes fn(i) for every i in [0, n), distributing chunks of
+// indexes dynamically over a bounded worker pool. It returns when all calls
+// have completed. fn must be safe for concurrent invocation on distinct
+// indexes; invocations never share an index. A panic in fn is re-raised on
+// the calling goroutine, so defer/recover around ForEach behaves as it
+// would around a sequential loop.
+func ForEach(n int, fn func(i int)) {
+	ForEachN(n, 0, fn)
+}
+
+// workerPanic carries the first panic raised on a pool goroutine back to
+// the calling goroutine, where it is re-raised — so a caller's
+// defer/recover keeps working exactly as it would around a sequential
+// loop. A worker panic also drains the remaining work (the cursor jumps
+// past the end) so the pool winds down promptly.
+type workerPanic struct{ val any }
+
+// capturePanic is deferred on every pool goroutine: it records the first
+// panic and jumps the work cursor past the end so idle workers stop
+// pulling chunks.
+func capturePanic(cursor *atomic.Int64, end int64, store *atomic.Pointer[workerPanic]) {
+	if r := recover(); r != nil {
+		store.CompareAndSwap(nil, &workerPanic{val: r})
+		cursor.Store(end)
+	}
+}
+
+// ForEachN is ForEach with an explicit worker count (0 = GOMAXPROCS).
+func ForEachN(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := chunkSize(n, w)
+	var next atomic.Int64
+	var panicked atomic.Pointer[workerPanic]
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			defer capturePanic(&next, int64(n)+int64(chunk), &panicked)
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p.val)
+	}
+}
+
+// Map invokes fn(i) for every i in [0, n) in parallel and collects the
+// results in index order.
+func Map[T any](n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapPairsSymmetric invokes fn(i, j) exactly once for every unordered pair
+// 0 ≤ i < j < n, scheduling whole rows dynamically so the triangular
+// workload stays balanced. It is the fan-out for symmetric O(n²) kernels:
+// callers compute only the upper triangle and mirror the result. A panic
+// in fn is re-raised on the calling goroutine, like ForEach.
+func MapPairsSymmetric(n int, fn func(i, j int)) {
+	if n < 2 {
+		return
+	}
+	// Rows shrink as i grows (row i has n−1−i pairs); dynamic row
+	// scheduling keeps late workers busy with the short tail rows.
+	w := Workers(0)
+	if w > n-1 {
+		w = n - 1
+	}
+	if w == 1 {
+		for i := 0; i < n-1; i++ {
+			for j := i + 1; j < n; j++ {
+				fn(i, j)
+			}
+		}
+		return
+	}
+	var next atomic.Int64
+	var panicked atomic.Pointer[workerPanic]
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			defer capturePanic(&next, int64(n), &panicked)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n-1 {
+					return
+				}
+				for j := i + 1; j < n; j++ {
+					fn(i, j)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p.val)
+	}
+}

@@ -1,0 +1,131 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1023} {
+		hits := make([]int32, n)
+		ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d hit %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachNWorkerClamp(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got < 1 {
+		t.Errorf("Workers(0) = %d", got)
+	}
+	// Single worker degenerates to a sequential loop, in order.
+	var order []int
+	ForEachN(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order broken: %v", order)
+		}
+	}
+}
+
+func TestForEachIsParallel(t *testing.T) {
+	if Workers(0) < 2 {
+		t.Skip("single-CPU environment")
+	}
+	// Two goroutines must be live at once: rendezvous would deadlock (and
+	// time out) under sequential execution, so gate it with a WaitGroup.
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	done := make(chan struct{})
+	go func() {
+		ForEachN(2, 2, func(i int) {
+			barrier.Done()
+			barrier.Wait()
+		})
+		close(done)
+	}()
+	<-done
+}
+
+func TestMapCollectsInOrder(t *testing.T) {
+	got := Map(50, func(i int) int { return i * i })
+	if len(got) != 50 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+	if Map(0, func(i int) int { return i }) != nil {
+		t.Error("n=0 must return nil")
+	}
+}
+
+func TestMapPairsSymmetricCoversEveryPairOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 17, 64} {
+		var mu sync.Mutex
+		seen := make(map[[2]int]int)
+		MapPairsSymmetric(n, func(i, j int) {
+			if i >= j || i < 0 || j >= n {
+				t.Errorf("bad pair (%d, %d) for n=%d", i, j, n)
+			}
+			mu.Lock()
+			seen[[2]int{i, j}]++
+			mu.Unlock()
+		})
+		want := n * (n - 1) / 2
+		if len(seen) != want {
+			t.Fatalf("n=%d: %d distinct pairs, want %d", n, len(seen), want)
+		}
+		for p, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: pair %v visited %d times", n, p, c)
+			}
+		}
+	}
+}
+
+func TestForEachPanicPropagatesToCaller(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want the worker's panic value", r)
+		}
+	}()
+	ForEachN(10000, 4, func(i int) {
+		if i == 3777 {
+			panic("boom")
+		}
+	})
+	t.Fatal("panic in fn must propagate out of ForEachN")
+}
+
+func TestMapPairsSymmetricPanicPropagatesToCaller(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "pair-boom" {
+			t.Fatalf("recovered %v, want the worker's panic value", r)
+		}
+	}()
+	MapPairsSymmetric(200, func(i, j int) {
+		if i == 17 && j == 42 {
+			panic("pair-boom")
+		}
+	})
+	t.Fatal("panic in fn must propagate out of MapPairsSymmetric")
+}
+
+func TestChunkSize(t *testing.T) {
+	if c := chunkSize(10, 4); c != 1 {
+		t.Errorf("small n chunk = %d", c)
+	}
+	if c := chunkSize(1<<16, 4); c <= 1 {
+		t.Errorf("large n chunk = %d", c)
+	}
+}

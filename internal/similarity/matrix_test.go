@@ -1,0 +1,106 @@
+package similarity
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"sitm/internal/core"
+)
+
+func TestPairwiseMatrixMatchesSequentialDoubleLoop(t *testing.T) {
+	visit := core.NewAnnotations("goal", "visit")
+	trajs := []core.Trajectory{
+		mkTraj(t, "a", visit, "x", "y", "z"),
+		mkTraj(t, "b", visit, "x", "y"),
+		mkTraj(t, "c", visit, "p", "q", "r"),
+		mkTraj(t, "d", visit, "x", "q"),
+		mkTraj(t, "e", visit, "p"),
+	}
+	simFn := func(a, b core.Trajectory) float64 {
+		return TrajectorySimilarity(a, b, ExactCellSimilarity, 0.7)
+	}
+	got := PairwiseMatrix(trajs, simFn)
+	n := len(trajs)
+	if len(got) != n {
+		t.Fatalf("matrix size = %d", len(got))
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 1.0
+			if i != j {
+				want = simFn(trajs[i], trajs[j])
+			}
+			if got[i][j] != want {
+				t.Errorf("m[%d][%d] = %v, want %v", i, j, got[i][j], want)
+			}
+			if got[i][j] != got[j][i] {
+				t.Errorf("matrix not symmetric at (%d, %d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPairwiseMatrixCallsKernelOncePerPair(t *testing.T) {
+	visit := core.NewAnnotations("goal", "visit")
+	var trajs []core.Trajectory
+	for _, mo := range []string{"a", "b", "c", "d", "e", "f", "g"} {
+		trajs = append(trajs, mkTraj(t, mo, visit, "x", mo))
+	}
+	var calls atomic.Int64
+	PairwiseMatrix(trajs, func(a, b core.Trajectory) float64 {
+		calls.Add(1)
+		return 0.5
+	})
+	n := int64(len(trajs))
+	if got := calls.Load(); got != n*(n-1)/2 {
+		t.Errorf("kernel calls = %d, want %d (upper triangle only)", got, n*(n-1)/2)
+	}
+}
+
+func TestPairwiseMatrixEmpty(t *testing.T) {
+	if m := PairwiseMatrix(nil, nil); len(m) != 0 {
+		t.Errorf("empty input = %v", m)
+	}
+}
+
+func TestKMedoidsMatrixMatchesKMedoids(t *testing.T) {
+	visit := core.NewAnnotations("goal", "visit")
+	trajs := []core.Trajectory{
+		mkTraj(t, "a", visit, "x", "y", "z"),
+		mkTraj(t, "b", visit, "x", "y", "z"),
+		mkTraj(t, "c", visit, "x", "y"),
+		mkTraj(t, "d", visit, "p", "q", "r"),
+		mkTraj(t, "e", visit, "p", "q", "r"),
+		mkTraj(t, "f", visit, "p", "q"),
+	}
+	simFn := func(a, b core.Trajectory) float64 {
+		return TrajectorySimilarity(a, b, ExactCellSimilarity, 1)
+	}
+	direct := KMedoids(trajs, 2, simFn, 42)
+	viaMatrix := KMedoidsMatrix(PairwiseMatrix(trajs, simFn), 2, 42)
+	if len(direct.Medoids) != len(viaMatrix.Medoids) {
+		t.Fatalf("medoid counts differ: %v vs %v", direct.Medoids, viaMatrix.Medoids)
+	}
+	for i := range direct.Medoids {
+		if direct.Medoids[i] != viaMatrix.Medoids[i] {
+			t.Errorf("medoids differ: %v vs %v", direct.Medoids, viaMatrix.Medoids)
+			break
+		}
+	}
+	for i := range direct.Assign {
+		if direct.Assign[i] != viaMatrix.Assign[i] {
+			t.Errorf("assignments differ: %v vs %v", direct.Assign, viaMatrix.Assign)
+			break
+		}
+	}
+}
+
+func TestKMedoidsMatrixEdgeCases(t *testing.T) {
+	if cl := KMedoidsMatrix(nil, 2, 1); len(cl.Medoids) != 0 {
+		t.Error("empty matrix")
+	}
+	one := [][]float64{{1}}
+	if cl := KMedoidsMatrix(one, 3, 1); len(cl.Medoids) != 1 {
+		t.Error("k>n must clamp")
+	}
+}

@@ -8,11 +8,13 @@
 package similarity
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
 	"sitm/internal/core"
 	"sitm/internal/indoor"
+	"sitm/internal/parallel"
 )
 
 // EditDistance is the Levenshtein distance between two cell sequences: the
@@ -204,6 +206,29 @@ func TrajectorySimilarity(a, b core.Trajectory, sim CellSimilarity, spatialWeigh
 	return spatialWeight*spatial + (1-spatialWeight)*semantic
 }
 
+// PairwiseMatrix computes the full n×n similarity matrix of the
+// trajectories under simFn. simFn is assumed symmetric (every metric in
+// this package is), so only the upper triangle is evaluated — half the
+// O(n²) kernel calls of the naive double loop — and the result is mirrored;
+// the diagonal is 1 (a trajectory is maximally similar to itself). The
+// triangle is fanned out over the parallel worker pool, so with symmetric
+// savings and P workers the wall-clock cost is ~n²/(2P) kernel calls.
+// simFn must be safe for concurrent calls (pure functions are).
+func PairwiseMatrix(trajs []core.Trajectory, simFn func(a, b core.Trajectory) float64) [][]float64 {
+	n := len(trajs)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][i] = 1
+	}
+	parallel.MapPairsSymmetric(n, func(i, j int) {
+		s := simFn(trajs[i], trajs[j])
+		m[i][j] = s
+		m[j][i] = s
+	})
+	return m
+}
+
 // Clusters is a k-medoids assignment: Medoids holds the medoid index of
 // each cluster; Assign maps every trajectory index to its cluster.
 type Clusters struct {
@@ -213,22 +238,40 @@ type Clusters struct {
 
 // KMedoids clusters trajectories by the given pairwise similarity using the
 // PAM-style alternating refinement, seeded deterministically. It is the
-// visitor-profiling vehicle the paper sketches.
+// visitor-profiling vehicle the paper sketches. The similarity matrix is
+// computed in parallel via PairwiseMatrix; callers that already hold a
+// matrix should use KMedoidsMatrix directly.
 func KMedoids(trajs []core.Trajectory, k int, simFn func(a, b core.Trajectory) float64, seed int64) Clusters {
-	n := len(trajs)
+	if k <= 0 || len(trajs) == 0 {
+		return Clusters{} // degenerate before paying for the O(n²) matrix
+	}
+	return KMedoidsMatrix(PairwiseMatrix(trajs, simFn), k, seed)
+}
+
+// KMedoidsMatrix clusters by a precomputed symmetric similarity matrix
+// (sim[i][j] ∈ [0, 1], diagonal 1), using the same seeded PAM refinement
+// as KMedoids. The matrix must be square; a jagged hand-built matrix is a
+// programmer error and panics with a clear message.
+func KMedoidsMatrix(sim [][]float64, k int, seed int64) Clusters {
+	n := len(sim)
 	if k <= 0 || n == 0 {
 		return Clusters{}
+	}
+	for i, row := range sim {
+		if len(row) != n {
+			panic(fmt.Sprintf("similarity: KMedoidsMatrix: row %d has %d entries, want %d (matrix must be square)", i, len(row), n))
+		}
 	}
 	if k > n {
 		k = n
 	}
-	// Precompute the distance matrix (1 − similarity).
+	// Distances (1 − similarity) drive the refinement.
 	dist := make([][]float64, n)
 	for i := range dist {
 		dist[i] = make([]float64, n)
 		for j := range dist[i] {
 			if i != j {
-				dist[i][j] = 1 - simFn(trajs[i], trajs[j])
+				dist[i][j] = 1 - sim[i][j]
 			}
 		}
 	}

@@ -27,6 +27,7 @@ import (
 	"sitm/internal/graph"
 	"sitm/internal/indoor"
 	"sitm/internal/louvre"
+	"sitm/internal/parallel"
 )
 
 // Params calibrate the generator. DefaultParams returns the paper's values.
@@ -215,8 +216,20 @@ func Generate(env *Environment, p Params) (*Dataset, error) {
 		return nil, fmt.Errorf("%w: empty time window", ErrBadParams)
 	}
 
-	// --- Generate visits. ----------------------------------------------
-	d := &Dataset{Params: p}
+	// --- Generate visits in parallel. ----------------------------------
+	// Every per-visit random decision comes from a dedicated sub-rng whose
+	// seed is drawn from the master stream in a deterministic sequential
+	// pass, so visits can be generated on any worker in any order and the
+	// dataset is still bit-for-bit reproducible from p.Seed.
+	type visitSpec struct {
+		visitor string
+		seq     int
+		day     time.Time
+		n       int
+		style   Style
+		seed    int64
+	}
+	specs := make([]visitSpec, 0, totalVisits)
 	visitIdx := 0
 	for v := 0; v < p.Visitors; v++ {
 		visitor := fmt.Sprintf("visitor%04d", v)
@@ -224,13 +237,21 @@ func Generate(env *Environment, p Params) (*Dataset, error) {
 		dayIdxs := pickDistinct(rng, len(days), k)
 		sort.Ints(dayIdxs)
 		for s := 0; s < k; s++ {
-			visit := d.generateVisit(env, rng, visitor, s, days[dayIdxs[s]], lengths[visitIdx], styles[v])
-			d.Visits = append(d.Visits, visit)
+			specs = append(specs, visitSpec{
+				visitor: visitor, seq: s, day: days[dayIdxs[s]],
+				n: lengths[visitIdx], style: styles[v], seed: rng.Int63(),
+			})
 			visitIdx++
 		}
 	}
+	d := &Dataset{Params: p}
+	d.Visits = parallel.Map(len(specs), func(i int) Visit {
+		sp := specs[i]
+		vr := rand.New(rand.NewSource(sp.seed))
+		return d.generateVisit(env, vr, sp.visitor, sp.seq, sp.day, sp.n, sp.style)
+	})
 
-	d.pinExtremes(rng)
+	d.pinExtremes()
 	return d, nil
 }
 
@@ -451,7 +472,7 @@ func randomZone(env *Environment, rng *rand.Rand) string {
 // exact: one zero-duration single-detection visit (min visit duration 0),
 // one visit spanning exactly MaxVisitDuration, and one detection lasting
 // exactly MaxDetectionDuration.
-func (d *Dataset) pinExtremes(rng *rand.Rand) {
+func (d *Dataset) pinExtremes() {
 	if len(d.Visits) < 3 {
 		return
 	}

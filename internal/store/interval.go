@@ -1,0 +1,90 @@
+package store
+
+import (
+	"sort"
+	"time"
+)
+
+// span is one indexed time interval with the payload it refers to (a
+// trajectory slot for the store-wide index, likewise for per-cell indexes).
+type span struct {
+	start, end time.Time
+	ref        int
+}
+
+// intervalIndex answers "which intervals intersect [from, to]?" in
+// O(log n + m) for m matches: spans are kept sorted by start time so a
+// binary search bounds the candidates with start ≤ to, and a segment tree
+// of maximum end times over that ordering prunes every candidate block
+// whose intervals all end before the window opens. It is rebuilt wholesale
+// (lazily, after a batch of Puts) rather than updated in place — the
+// store's workload is bulk-load-then-query.
+type intervalIndex struct {
+	spans  []span
+	maxEnd []time.Time // segment tree over span ends; 1-based, leaves at [size, size+n)
+	size   int         // leaf offset: smallest power of two ≥ len(spans)
+}
+
+// buildIntervalIndex sorts the spans by start (stable on ref for
+// deterministic output) and erects the max-end segment tree.
+func buildIntervalIndex(spans []span) *intervalIndex {
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].start.Before(spans[j].start) })
+	n := len(spans)
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	ix := &intervalIndex{spans: spans, size: size}
+	if n == 0 {
+		return ix
+	}
+	ix.maxEnd = make([]time.Time, 2*size)
+	for i, sp := range spans {
+		ix.maxEnd[size+i] = sp.end
+	}
+	for i := size - 1; i >= 1; i-- {
+		ix.maxEnd[i] = maxTime(ix.maxEnd[2*i], ix.maxEnd[2*i+1])
+	}
+	return ix
+}
+
+func maxTime(a, b time.Time) time.Time {
+	if b.After(a) {
+		return b
+	}
+	return a
+}
+
+// visit calls fn(ref) for every span intersecting [from, to] (inclusive
+// bounds: a span touching the window edge matches, like the linear scans
+// it replaces). Refs arrive in start order and may repeat if the same ref
+// was indexed under several spans.
+func (ix *intervalIndex) visit(from, to time.Time, fn func(ref int)) {
+	n := len(ix.spans)
+	if n == 0 {
+		return
+	}
+	// Candidates are the prefix with start ≤ to.
+	hi := sort.Search(n, func(i int) bool { return ix.spans[i].start.After(to) })
+	if hi == 0 {
+		return
+	}
+	ix.walk(1, 0, ix.size, hi, from, fn)
+}
+
+// walk descends the segment tree node covering leaves [lo, lo+width),
+// emitting leaves < hi whose span ends at or after from. Subtrees whose
+// maximum end precedes the window are pruned whole, which is what makes
+// sparse windows sublinear.
+func (ix *intervalIndex) walk(node, lo, width, hi int, from time.Time, fn func(ref int)) {
+	if lo >= hi || lo >= len(ix.spans) || ix.maxEnd[node].Before(from) {
+		return
+	}
+	if width == 1 {
+		fn(ix.spans[lo].ref)
+		return
+	}
+	half := width / 2
+	ix.walk(2*node, lo, half, hi, from, fn)
+	ix.walk(2*node+1, lo+half, half, hi, from, fn)
+}

@@ -1,9 +1,17 @@
 // Package store provides the trajectory data-management substrate implied
 // by the paper's data-engineering framing: an in-memory semantic trajectory
-// store with a primary index by moving object, an interval index by time
-// and an inverted index by cell, plus the queries mobility analytics needs
-// (who was in cell c during [a,b]; which trajectories pass through a cell
-// sequence) and JSON/CSV round-trips.
+// store with a primary index by moving object, an inverted index by cell,
+// and interval indexes by time — one over whole-trajectory spans serving
+// Overlapping, and one per cell over presence intervals serving
+// InCellDuring. The interval indexes keep their spans sorted by start time
+// (binary search bounds the candidates) with a max-end segment tree
+// augmentation (subtrees ending before the window are pruned whole), so
+// temporal windows are answered in O(log n + matches) instead of a full
+// scan. They are rebuilt lazily after writes, matching the
+// bulk-load-then-analyse workload of mobility analytics. The package also
+// offers sequence queries (which trajectories pass through a cell sequence,
+// answered by intersecting all cells' posting lists) and JSON/CSV
+// round-trips.
 package store
 
 import (
@@ -27,6 +35,12 @@ type Store struct {
 	trajs  []core.Trajectory
 	byMO   map[string][]int
 	byCell map[string][]int // trajectory indexes touching the cell
+
+	// Interval indexes, rebuilt lazily on the first temporal query after
+	// a write (dirty tracks staleness).
+	dirty   bool
+	spanIdx *intervalIndex            // whole-trajectory spans → traj index
+	cellIdx map[string]*intervalIndex // per-cell presence intervals → traj index
 }
 
 // New returns an empty store.
@@ -50,6 +64,50 @@ func (s *Store) Put(t core.Trajectory) {
 	for _, c := range t.Trace.DistinctCells() {
 		s.byCell[c] = append(s.byCell[c], idx)
 	}
+	s.dirty = true
+}
+
+// withCurrentIndexes runs fn with the interval indexes guaranteed current
+// for every Put that completed before the call. The hot clean path serves
+// fn under the shared read lock; when writes have staled the indexes it
+// escalates to the write lock, rebuilds, and serves fn there. The
+// escalation is bounded — no retry loop — so queries cannot starve even
+// under sustained concurrent writes.
+func (s *Store) withCurrentIndexes(fn func()) {
+	s.mu.RLock()
+	if !s.dirty {
+		// Clean under the read lock: any Put completed before we acquired
+		// it would have set dirty, so the indexes cover it.
+		fn()
+		s.mu.RUnlock()
+		return
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	if s.dirty {
+		s.rebuildLocked()
+	}
+	fn()
+	s.mu.Unlock()
+}
+
+// rebuildLocked rebuilds both interval indexes; callers hold the write
+// lock.
+func (s *Store) rebuildLocked() {
+	spans := make([]span, len(s.trajs))
+	perCell := make(map[string][]span)
+	for i, t := range s.trajs {
+		spans[i] = span{start: t.Start(), end: t.End(), ref: i}
+		for _, p := range t.Trace {
+			perCell[p.Cell] = append(perCell[p.Cell], span{start: p.Start, end: p.End, ref: i})
+		}
+	}
+	s.spanIdx = buildIntervalIndex(spans)
+	s.cellIdx = make(map[string]*intervalIndex, len(perCell))
+	for c, sp := range perCell {
+		s.cellIdx[c] = buildIntervalIndex(sp)
+	}
+	s.dirty = false
 }
 
 // PutAll inserts many trajectories.
@@ -111,52 +169,65 @@ func (s *Store) ThroughCell(cell string) []core.Trajectory {
 
 // InCellDuring returns the MOs present in the cell at any point during
 // [from, to] (inclusive bounds, presence intervals intersecting the window).
+// It walks the cell's interval index, so cost scales with the matches, not
+// with the cell's total visit history.
 func (s *Store) InCellDuring(cell string, from, to time.Time) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	seen := make(map[string]bool)
 	var out []string
-	for _, i := range s.byCell[cell] {
-		t := s.trajs[i]
-		if seen[t.MO] {
-			continue
+	s.withCurrentIndexes(func() {
+		ix := s.cellIdx[cell]
+		if ix == nil {
+			return
 		}
-		for _, p := range t.Trace {
-			if p.Cell == cell && !p.Start.After(to) && !p.End.Before(from) {
-				seen[t.MO] = true
-				out = append(out, t.MO)
-				break
+		seen := make(map[string]bool)
+		ix.visit(from, to, func(ref int) {
+			mo := s.trajs[ref].MO
+			if !seen[mo] {
+				seen[mo] = true
+				out = append(out, mo)
 			}
-		}
-	}
+		})
+	})
 	sort.Strings(out)
 	return out
 }
 
 // Overlapping returns the trajectories whose time span intersects
-// [from, to].
+// [from, to], in insertion order, via the trajectory-span interval index.
 func (s *Store) Overlapping(from, to time.Time) []core.Trajectory {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []core.Trajectory
-	for _, t := range s.trajs {
-		if !t.Start().After(to) && !t.End().Before(from) {
-			out = append(out, t)
+	s.withCurrentIndexes(func() {
+		if s.spanIdx == nil {
+			return
 		}
-	}
+		var refs []int
+		s.spanIdx.visit(from, to, func(ref int) { refs = append(refs, ref) })
+		sort.Ints(refs)
+		for _, r := range refs {
+			out = append(out, s.trajs[r])
+		}
+	})
 	return out
 }
 
 // ThroughSequence returns trajectories whose (deduplicated) cell sequence
-// contains the given cells consecutively in order.
+// contains the given cells consecutively in order. Candidates are the
+// intersection of every cell's posting list — a trajectory missing any of
+// the cells is never materialised, let alone sequence-checked.
 func (s *Store) ThroughSequence(cells ...string) []core.Trajectory {
 	if len(cells) == 0 {
 		return nil
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	cand := s.byCell[cells[0]]
+	for _, c := range cells[1:] {
+		if len(cand) == 0 {
+			return nil
+		}
+		cand = intersectSorted(cand, s.byCell[c])
+	}
 	var out []core.Trajectory
-	for _, idx := range s.byCell[cells[0]] {
+	for _, idx := range cand {
 		t := s.trajs[idx]
 		seq := dedup(t.Trace.Cells())
 		if containsRun(seq, cells) {
@@ -164,6 +235,45 @@ func (s *Store) ThroughSequence(cells ...string) []core.Trajectory {
 		}
 	}
 	return out
+}
+
+// intersectSorted merges two ascending posting lists.
+func intersectSorted(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// GetByMO returns the trajectories of one moving object, or ErrNotFound if
+// the store has never seen it.
+func (s *Store) GetByMO(mo string) ([]core.Trajectory, error) {
+	out := s.ByMO(mo)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: mo %q", ErrNotFound, mo)
+	}
+	return out, nil
+}
+
+// GetThroughCell returns the trajectories visiting the cell, or ErrNotFound
+// if no stored trajectory ever touched it.
+func (s *Store) GetThroughCell(cell string) ([]core.Trajectory, error) {
+	out := s.ThroughCell(cell)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: cell %q", ErrNotFound, cell)
+	}
+	return out, nil
 }
 
 func dedup(cells []string) []string {
@@ -273,15 +383,30 @@ func WriteDetectionsCSV(w io.Writer, dets []core.Detection) error {
 	return cw.Error()
 }
 
-// ReadDetectionsCSV reads the format written by WriteDetectionsCSV.
+// detectionsHeader is the required first row of the detections CSV format.
+var detectionsHeader = []string{"mo", "cell", "start", "end"}
+
+// ReadDetectionsCSV reads the format written by WriteDetectionsCSV. The
+// first row must be the mo,cell,start,end header; a headerless file is
+// rejected rather than silently dropping what would have been its first
+// detection.
 func ReadDetectionsCSV(r io.Reader) ([]core.Detection, error) {
 	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
 	rows, err := cr.ReadAll()
 	if err != nil {
 		return nil, fmt.Errorf("store: csv: %w", err)
 	}
 	if len(rows) == 0 {
 		return nil, nil
+	}
+	if len(rows[0]) != len(detectionsHeader) {
+		return nil, fmt.Errorf("store: csv: header has %d fields, want %v", len(rows[0]), detectionsHeader)
+	}
+	for i, want := range detectionsHeader {
+		if rows[0][i] != want {
+			return nil, fmt.Errorf("store: csv: header %v, want %v (headerless file?)", rows[0], detectionsHeader)
+		}
 	}
 	var out []core.Detection
 	for i, row := range rows[1:] {

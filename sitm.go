@@ -272,7 +272,9 @@ type (
 	FloorSwitch = mining.FloorSwitch
 )
 
-// DetectionCounts tallies detections per cell (Fig 3).
+// DetectionCounts tallies detections per cell (Fig 3). Large streams are
+// counted in parallel: keep must be safe for concurrent calls (pure
+// predicates are).
 func DetectionCounts(dets []Detection, keep func(cell string) bool) []CellCount {
 	return mining.DetectionCounts(dets, keep)
 }
@@ -321,16 +323,41 @@ func TrajectorySimilarity(a, b Trajectory, sim CellSimilarity, spatialWeight flo
 	return similarity.TrajectorySimilarity(a, b, sim, spatialWeight)
 }
 
-// KMedoids clusters trajectories for visitor profiling.
+// SimilarityMatrix computes the full pairwise similarity matrix of the
+// trajectories, evaluating the (symmetric) kernel only on the upper
+// triangle, in parallel across all CPUs, and mirroring the result. simFn
+// must be safe for concurrent calls.
+func SimilarityMatrix(trajs []Trajectory, simFn func(a, b Trajectory) float64) [][]float64 {
+	return similarity.PairwiseMatrix(trajs, simFn)
+}
+
+// KMedoids clusters trajectories for visitor profiling. The pairwise
+// matrix is computed in parallel via SimilarityMatrix, so simFn must be
+// safe for concurrent calls (pure kernels like TrajectorySimilarity are).
 func KMedoids(trajs []Trajectory, k int, simFn func(a, b Trajectory) float64, seed int64) similarity.Clusters {
 	return similarity.KMedoids(trajs, k, simFn, seed)
 }
 
+// KMedoidsMatrix clusters by a precomputed similarity matrix (as returned
+// by SimilarityMatrix), letting callers reuse one matrix across several k
+// or seed choices.
+func KMedoidsMatrix(sim [][]float64, k int, seed int64) similarity.Clusters {
+	return similarity.KMedoidsMatrix(sim, k, seed)
+}
+
 // ---- Storage --------------------------------------------------------------
 
-// Store is a concurrency-safe in-memory trajectory store with MO, time and
-// cell indexes.
+// Store is a concurrency-safe in-memory trajectory store with MO and cell
+// indexes plus interval indexes by time: Overlapping and InCellDuring are
+// answered in O(log n + matches) via sorted starts and a max-end segment
+// tree, and ThroughSequence intersects every cell's posting list before
+// sequence-checking. GetByMO and GetThroughCell report missing keys as
+// ErrNotFound.
 type Store = store.Store
+
+// ErrNotFound is returned by the store's Get-style queries when the key
+// has no stored trajectories.
+var ErrNotFound = store.ErrNotFound
 
 // NewStore returns an empty trajectory store.
 func NewStore() *Store { return store.New() }
