@@ -1,8 +1,11 @@
-// Command sitm regenerates the paper's tables and figures from the library:
+// Command sitm regenerates the paper's tables and figures from the library
+// and runs the live ingestion engine:
 //
 //	sitm stats              reproduce the §4.1 dataset statistics table (D1)
 //	sitm figures -id F3     print one artefact (T1, F1–F6, X1) or all
 //	sitm generate -out f    write the calibrated synthetic dataset as CSV
+//	sitm ingest -in f       stream a detection feed (file or '-' = stdin)
+//	                        into a queryable store and report on it
 //	sitm mine               run the mining pipeline (patterns, rules, stays)
 //
 // All output is deterministic for a given -seed.
@@ -11,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -19,7 +23,6 @@ import (
 	"sitm"
 	"sitm/internal/gml"
 	"sitm/internal/louvre"
-	"sitm/internal/store"
 	"sitm/internal/viz"
 )
 
@@ -28,21 +31,13 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	var err error
 	switch os.Args[1] {
-	case "stats":
-		err = runStats(os.Args[2:])
-	case "figures":
-		err = runFigures(os.Args[2:])
-	case "generate":
-		err = runGenerate(os.Args[2:])
-	case "mine":
-		err = runMine(os.Args[2:])
-	case "gml":
-		err = runGML(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
-	default:
+		return
+	}
+	err := run(os.Args[1:], os.Stdout)
+	if err == errUnknownCommand {
 		fmt.Fprintf(os.Stderr, "sitm: unknown command %q\n", os.Args[1])
 		usage()
 		os.Exit(2)
@@ -53,13 +48,38 @@ func main() {
 	}
 }
 
+var errUnknownCommand = fmt.Errorf("unknown command")
+
+// run dispatches one subcommand, writing its report to out. Factoring the
+// writer out of main keeps every subcommand golden-testable.
+func run(args []string, out io.Writer) error {
+	switch args[0] {
+	case "stats":
+		return runStats(args[1:], out)
+	case "figures":
+		return runFigures(args[1:], out)
+	case "generate":
+		return runGenerate(args[1:], out)
+	case "ingest":
+		return runIngest(args[1:], out)
+	case "mine":
+		return runMine(args[1:], out)
+	case "gml":
+		return runGML(args[1:], out)
+	}
+	return errUnknownCommand
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: sitm <command> [flags]
 
 commands:
   stats      reproduce the paper's §4.1 dataset statistics (experiment D1)
   figures    print the paper's tables/figures (-id T1|F1|F2|F3|F4|F5|F6|X1)
-  generate   write the calibrated synthetic dataset as CSV (-out file)
+  generate   write the calibrated synthetic dataset as CSV (-out file);
+             -stream orders the rows as a global time-ordered feed
+  ingest     stream a detection feed (-in file, '-' = stdin) through the
+             online segmenter into an incrementally-indexed store
   mine       run the mining pipeline on a seeded dataset
   gml        export the Louvre space graph as IndoorGML-style XML (-out file)
              and verify the round trip`)
@@ -77,7 +97,7 @@ func params(seed int64, scale float64) sitm.DatasetParams {
 	return p
 }
 
-func runStats(args []string) error {
+func runStats(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	seed := fs.Int64("seed", sitm.DefaultDatasetParams().Seed, "generator seed")
 	scale := fs.Float64("scale", 1, "population scale factor (1 = the paper's size)")
@@ -117,19 +137,19 @@ func runStats(args []string) error {
 		{"detection duration max", paper["detection duration max"], s.MaxDetectionDuration.String()},
 		{"zones in dataset", paper["zones in dataset"], fmt.Sprint(s.DistinctZones)},
 	}
-	fmt.Println("Experiment D1 — §4.1 dataset statistics (paper vs synthetic reproduction)")
-	fmt.Print(viz.Table([]string{"statistic", "paper", "measured"}, rows))
+	fmt.Fprintln(out, "Experiment D1 — §4.1 dataset statistics (paper vs synthetic reproduction)")
+	fmt.Fprint(out, viz.Table([]string{"statistic", "paper", "measured"}, rows))
 	return nil
 }
 
-func runFigures(args []string) error {
+func runFigures(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ExitOnError)
 	id := fs.String("id", "all", "artefact id: T1, F1, F2, F3, F4, F5, F6, X1 or all")
 	seed := fs.Int64("seed", sitm.DefaultDatasetParams().Seed, "generator seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	all := map[string]func(int64) error{
+	all := map[string]func(int64, io.Writer) error{
 		"T1": figT1, "F1": figF1, "F2": figF2, "F3": figF3,
 		"F4": figF4, "F5": figF5, "F6": figF6, "X1": figX1,
 	}
@@ -138,46 +158,46 @@ func runFigures(args []string) error {
 		if !ok {
 			return fmt.Errorf("unknown artefact %q", *id)
 		}
-		return f(*seed)
+		return f(*seed, out)
 	}
 	for _, key := range []string{"T1", "F1", "F2", "F3", "F4", "F5", "F6", "X1"} {
-		if err := all[key](*seed); err != nil {
+		if err := all[key](*seed, out); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 	return nil
 }
 
-func figT1(int64) error {
-	fmt.Println("Table 1 — closely related terms across models")
+func figT1(_ int64, out io.Writer) error {
+	fmt.Fprintln(out, "Table 1 — closely related terms across models")
 	var rows [][]string
 	for _, r := range sitm.Table1() {
 		rows = append(rows, []string{r.NIntersection, r.PrimalSpace, r.DualSpaceNRG, r.DualNavigation})
 	}
-	fmt.Print(viz.Table([]string{"n-intersection", "primal space (2D)", "dual space (NRG)", "dual space (navigation)"}, rows))
+	fmt.Fprint(out, viz.Table([]string{"n-intersection", "primal space (2D)", "dual space (NRG)", "dual space (navigation)"}, rows))
 	return nil
 }
 
-func figF1(int64) error {
-	fmt.Println("Figure 1 — 2-level hierarchical graph, central Denon wing, 1st floor")
+func figF1(_ int64, out io.Writer) error {
+	fmt.Fprintln(out, "Figure 1 — 2-level hierarchical graph, central Denon wing, 1st floor")
 	sg, err := sitm.LouvreFigure1()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("hall 5 refines into: %v (joint edges: contains)\n", sg.ActiveStates("5", louvre.Figure1Lower))
-	fmt.Printf("Salle des États one-way rule: 4→2 accessible = %v, 2→4 accessible = %v\n",
+	fmt.Fprintf(out, "hall 5 refines into: %v (joint edges: contains)\n", sg.ActiveStates("5", louvre.Figure1Lower))
+	fmt.Fprintf(out, "Salle des États one-way rule: 4→2 accessible = %v, 2→4 accessible = %v\n",
 		sg.Accessible("4", "2"), sg.Accessible("2", "4"))
 	dot, err := viz.SpaceGraphDOT(sg, louvre.Figure1Upper)
 	if err != nil {
 		return err
 	}
-	fmt.Print(dot)
+	fmt.Fprint(out, dot)
 	return nil
 }
 
-func figF2(int64) error {
-	fmt.Println("Figure 2 — core layer hierarchy with building-complex root and RoI leaf")
+func figF2(_ int64, out io.Writer) error {
+	fmt.Fprintln(out, "Figure 2 — core layer hierarchy with building-complex root and RoI leaf")
 	sg, h, err := sitm.BuildLouvre()
 	if err != nil {
 		return err
@@ -193,13 +213,13 @@ func figF2(int64) error {
 			fmt.Sprint(len(sg.CellsInLayer(lid))), l.Desc,
 		})
 	}
-	fmt.Print(viz.Table([]string{"rank", "layer", "kind", "cells", "description"}, rows))
-	fmt.Println("hierarchy valid: joint edges carry only contains/covers, no layer skipping, single parents")
+	fmt.Fprint(out, viz.Table([]string{"rank", "layer", "kind", "cells", "description"}, rows))
+	fmt.Fprintln(out, "hierarchy valid: joint edges carry only contains/covers, no layer skipping, single parents")
 	return nil
 }
 
-func figF3(seed int64) error {
-	fmt.Println("Figure 3 — choropleth of visitor detections, 11 ground-floor zones")
+func figF3(seed int64, out io.Writer) error {
+	fmt.Fprintln(out, "Figure 3 — choropleth of visitor detections, 11 ground-floor zones")
 	d, _, err := sitm.GenerateLouvreDataset(params(seed, 1))
 	if err != nil {
 		return err
@@ -217,12 +237,12 @@ func figF3(seed int64) error {
 	for _, c := range counts {
 		bars = append(bars, viz.Bar{Label: fmt.Sprintf("%s (%s)", c.Cell, names[c.Cell]), Value: float64(c.Count)})
 	}
-	fmt.Print(viz.BarChart(bars, 40))
+	fmt.Fprint(out, viz.BarChart(bars, 40))
 	return nil
 }
 
-func figF4(int64) error {
-	fmt.Println("Figure 4 — RoIs do not fully cover their containing spaces")
+func figF4(_ int64, out io.Writer) error {
+	fmt.Fprintln(out, "Figure 4 — RoIs do not fully cover their containing spaces")
 	sg, _, err := sitm.BuildLouvre()
 	if err != nil {
 		return err
@@ -241,13 +261,13 @@ func figF4(int64) error {
 		rows = append(rows, []string{probe.what, probe.parent,
 			fmt.Sprint(len(rep.Children)), fmt.Sprintf("%.2f", rep.Ratio)})
 	}
-	fmt.Print(viz.Table([]string{"coverage of", "parent cell", "children", "ratio"}, rows))
-	fmt.Println("full-coverage hypothesis holds for rooms-in-zones but fails for RoIs and for floors (corridor)")
+	fmt.Fprint(out, viz.Table([]string{"coverage of", "parent cell", "children", "ratio"}, rows))
+	fmt.Fprintln(out, "full-coverage hypothesis holds for rooms-in-zones but fails for RoIs and for floors (corridor)")
 	return nil
 }
 
-func figF5(int64) error {
-	fmt.Println("Figure 5 — overlapping 'exit museum' and 'buy souvenir' episodes on E→P→S→C")
+func figF5(_ int64, out io.Writer) error {
+	fmt.Fprintln(out, "Figure 5 — overlapping 'exit museum' and 'buy souvenir' episodes on E→P→S→C")
 	day := time.Date(2017, 2, 14, 17, 0, 0, 0, time.UTC)
 	trace := sitm.Trace{
 		{Cell: louvre.ZoneE, Start: day, End: day.Add(30 * time.Minute)},
@@ -271,17 +291,17 @@ func figF5(int64) error {
 	if err := seg.Validate(); err != nil {
 		return err
 	}
-	fmt.Println("trace:", parent.Trace)
+	fmt.Fprintln(out, "trace:", parent.Trace)
 	for _, ep := range seg.Episodes {
-		fmt.Printf("episode %q: %v → %v over %v\n", ep.Label,
+		fmt.Fprintf(out, "episode %q: %v → %v over %v\n", ep.Label,
 			ep.Start().Format("15:04:05"), ep.End().Format("15:04:05"), ep.Trace.Cells())
 	}
-	fmt.Printf("overlapping episode pairs: %v (the paper's point: overlap is allowed)\n", seg.OverlappingPairs())
+	fmt.Fprintf(out, "overlapping episode pairs: %v (the paper's point: overlap is allowed)\n", seg.OverlappingPairs())
 	return nil
 }
 
-func figF6(int64) error {
-	fmt.Println("Figure 6 — zone accessibility topology and the Zone-60888 inference")
+func figF6(_ int64, out io.Writer) error {
+	fmt.Fprintln(out, "Figure 6 — zone accessibility topology and the Zone-60888 inference")
 	sg, _, err := sitm.BuildLouvre()
 	if err != nil {
 		return err
@@ -291,19 +311,19 @@ func figF6(int64) error {
 		{Cell: louvre.ZoneE, Start: day, End: day.Add(30*time.Minute + 21*time.Second)},
 		{Cell: louvre.ZoneS, Start: day.Add(31*time.Minute + 42*time.Second), End: day.Add(40 * time.Minute)},
 	}
-	fmt.Println("observed:", sparse)
+	fmt.Fprintln(out, "observed:", sparse)
 	extra := sitm.NewAnnotations("goals", "cloakroomPickup", "goals", "souvenirBuy", "goals", "museumExit")
-	out, infs, err := sitm.InferMissing(sg, sparse, extra, true)
+	reconstructed, infs, err := sitm.InferMissing(sg, sparse, extra, true)
 	if err != nil {
 		return err
 	}
-	fmt.Println("reconstructed:", out)
+	fmt.Fprintln(out, "reconstructed:", reconstructed)
 	for _, inf := range infs {
-		fmt.Printf("inferred tuple at index %d: %v (between %s and %s)\n",
+		fmt.Fprintf(out, "inferred tuple at index %d: %v (between %s and %s)\n",
 			inf.Index, inf.Tuple, inf.From, inf.To)
 	}
 	// δt1 ≫ δt2 expectation: E is a ticketed temporary exhibition.
-	fmt.Printf("δt1 (E) = %v ≫ δt2 (S) = %v — E requires a separate ticket\n",
+	fmt.Fprintf(out, "δt1 (E) = %v ≫ δt2 (S) = %v — E requires a separate ticket\n",
 		sparse[0].Duration(), sparse[1].Duration())
 	dot, err := viz.SpaceGraphDOT(sg, sitm.LouvreZoneLayer)
 	if err != nil {
@@ -313,35 +333,36 @@ func figF6(int64) error {
 	// the paper's lower part of the figure.
 	for _, line := range strings.Split(dot, "\n") {
 		if strings.Contains(line, "6088") || strings.Contains(line, "floor -2") {
-			fmt.Println(line)
+			fmt.Fprintln(out, line)
 		}
 	}
 	return nil
 }
 
-func figX1(int64) error {
-	fmt.Println("X1 — §3.3 event-based split: the visitor's goals change inside room006")
+func figX1(_ int64, out io.Writer) error {
+	fmt.Fprintln(out, "X1 — §3.3 event-based split: the visitor's goals change inside room006")
 	day := time.Date(2017, 2, 14, 14, 12, 0, 0, time.UTC)
 	tr := sitm.Trace{{
 		Transition: "door005", Cell: "room006",
 		Start: day, End: day.Add(16 * time.Minute),
 		Ann: sitm.NewAnnotations("goals", "visit"),
 	}}
-	fmt.Println("before:", tr)
+	fmt.Fprintln(out, "before:", tr)
 	split, err := tr.SplitAt(0, day.Add(9*time.Minute+46*time.Second),
 		sitm.NewAnnotations("goals", "visit", "goals", "buy"))
 	if err != nil {
 		return err
 	}
-	fmt.Println("after: ", split)
+	fmt.Fprintln(out, "after: ", split)
 	return nil
 }
 
-func runGenerate(args []string) error {
+func runGenerate(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("generate", flag.ExitOnError)
-	out := fs.String("out", "dataset.csv", "output CSV path")
+	outPath := fs.String("out", "dataset.csv", "output CSV path")
 	seed := fs.Int64("seed", sitm.DefaultDatasetParams().Seed, "generator seed")
 	scale := fs.Float64("scale", 1, "population scale factor")
+	stream := fs.Bool("stream", false, "order rows as a global time-ordered feed (stream-emission mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -349,23 +370,103 @@ func runGenerate(args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(*out)
+	f, err := os.Create(*outPath)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := store.WriteDetectionsCSV(f, d.Detections()); err != nil {
+	dets := d.Detections()
+	if *stream {
+		dets = d.DetectionsByTime()
+	}
+	if err := sitm.WriteDetectionsCSV(f, dets); err != nil {
 		return err
 	}
 	s := sitm.ComputeDatasetStats(d)
-	fmt.Printf("wrote %d detections (%d visits, %d visitors) to %s\n",
-		s.Detections, s.Visits, s.Visitors, *out)
+	mode := "visit order"
+	if *stream {
+		mode = "time-ordered feed"
+	}
+	fmt.Fprintf(out, "wrote %d detections (%d visits, %d visitors, %s) to %s\n",
+		s.Detections, s.Visits, s.Visitors, mode, *outPath)
 	return nil
 }
 
-func runGML(args []string) error {
+func runIngest(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	in := fs.String("in", "-", "detections CSV feed ('-' = stdin)")
+	gap := fs.Duration("gap", 10*time.Hour, "session gap splitting visits")
+	merge := fs.Bool("merge", false, "coalesce consecutive same-cell detections")
+	keepZero := fs.Bool("keep-zero", false, "keep zero-duration detections (errors)")
+	batch := fs.Int("batch", 128, "trajectories per store write batch")
+	top := fs.Int("top", 5, "busiest cells to report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r io.Reader = os.Stdin
+	src := "stdin"
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+		src = *in
+	}
+	ing := sitm.NewIngestor(nil, sitm.IngestOptions{
+		Stream: sitm.StreamOptions{Build: sitm.BuildOptions{
+			DropZeroDuration: !*keepZero,
+			SessionGap:       *gap,
+			MergeSameCell:    *merge,
+		}},
+		BatchSize: *batch,
+	})
+	if err := sitm.StreamDetectionsCSV(r, func(d sitm.Detection) error {
+		ing.Observe(d)
+		return nil
+	}); err != nil {
+		return err
+	}
+	ing.Flush()
+	stats := ing.Stats()
+	st := ing.Store()
+	sum := st.Summarize()
+	fmt.Fprintf(out, "ingested %d detections from %s (%d zero-duration dropped, %d merged)\n",
+		stats.Input, src, stats.DroppedZero, stats.Merged)
+	fmt.Fprintf(out, "closed %d trajectories into the store (batch size %d)\n", stats.Stored, *batch)
+	fmt.Fprintln(out, "store:", sum)
+	// The store is live and queryable: report the busiest cells by stay
+	// count as proof of life.
+	type cellLoad struct {
+		cell  string
+		stays int
+	}
+	var loads []cellLoad
+	for _, stay := range sitm.LengthOfStay(st.All()) {
+		loads = append(loads, cellLoad{stay.Cell, stay.Visits})
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].stays != loads[j].stays {
+			return loads[i].stays > loads[j].stays
+		}
+		return loads[i].cell < loads[j].cell
+	})
+	var rows [][]string
+	for i, l := range loads {
+		if i == *top {
+			break
+		}
+		rows = append(rows, []string{l.cell, fmt.Sprint(l.stays)})
+	}
+	fmt.Fprintln(out, "busiest cells")
+	fmt.Fprint(out, viz.Table([]string{"cell", "stays"}, rows))
+	return nil
+}
+
+func runGML(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gml", flag.ExitOnError)
-	out := fs.String("out", "louvre.gml.xml", "output XML path")
+	outPath := fs.String("out", "louvre.gml.xml", "output XML path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -373,7 +474,7 @@ func runGML(args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(*out)
+	f, err := os.Create(*outPath)
 	if err != nil {
 		return err
 	}
@@ -385,7 +486,7 @@ func runGML(args []string) error {
 		return err
 	}
 	// Verify the round trip: decode and revalidate the hierarchy.
-	rf, err := os.Open(*out)
+	rf, err := os.Open(*outPath)
 	if err != nil {
 		return err
 	}
@@ -397,12 +498,12 @@ func runGML(args []string) error {
 	if err := h.Validate(back); err != nil {
 		return fmt.Errorf("round trip hierarchy: %w", err)
 	}
-	fmt.Printf("wrote %s (%d cells, %d joints); round trip verified\n",
-		*out, back.NumCells(), len(back.Joints()))
+	fmt.Fprintf(out, "wrote %s (%d cells, %d joints); round trip verified\n",
+		*outPath, back.NumCells(), len(back.Joints()))
 	return nil
 }
 
-func runMine(args []string) error {
+func runMine(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mine", flag.ExitOnError)
 	seed := fs.Int64("seed", sitm.DefaultDatasetParams().Seed, "generator seed")
 	scale := fs.Float64("scale", 0.1, "population scale factor")
@@ -422,7 +523,7 @@ func runMine(args []string) error {
 		DropZeroDuration: true,
 		SessionGap:       10 * time.Hour,
 	})
-	fmt.Printf("built %d trajectories from %d detections (%d zero-duration dropped)\n\n",
+	fmt.Fprintf(out, "built %d trajectories from %d detections (%d zero-duration dropped)\n\n",
 		bstats.Trajectories, bstats.Input, bstats.DroppedZero)
 
 	tm := sitm.NewTransitionMatrix(trajs)
@@ -431,9 +532,9 @@ func runMine(args []string) error {
 		rows = append(rows, []string{tr.From, tr.To, fmt.Sprint(tr.Count),
 			fmt.Sprintf("%.2f", tm.Probability(tr.From, tr.To))})
 	}
-	fmt.Println("top transitions")
-	fmt.Print(viz.Table([]string{"from", "to", "count", "P(to|from)"}, rows))
-	fmt.Println()
+	fmt.Fprintln(out, "top transitions")
+	fmt.Fprint(out, viz.Table([]string{"from", "to", "count", "P(to|from)"}, rows))
+	fmt.Fprintln(out)
 
 	pats := sitm.PrefixSpan(sitm.SequencesOf(trajs), len(trajs)/20+1, 4)
 	rows = rows[:0]
@@ -443,9 +544,9 @@ func runMine(args []string) error {
 		}
 		rows = append(rows, []string{strings.Join(p.Cells, " → "), fmt.Sprint(p.Support)})
 	}
-	fmt.Println("frequent sequential patterns (PrefixSpan)")
-	fmt.Print(viz.Table([]string{"pattern", "support"}, rows))
-	fmt.Println()
+	fmt.Fprintln(out, "frequent sequential patterns (PrefixSpan)")
+	fmt.Fprint(out, viz.Table([]string{"pattern", "support"}, rows))
+	fmt.Fprintln(out)
 
 	rules := sitm.MineRules(pats, 0.4)
 	rows = rows[:0]
@@ -457,9 +558,9 @@ func runMine(args []string) error {
 			strings.Join(r.Antecedent, " → "), strings.Join(r.Consequent, " → "),
 			fmt.Sprint(r.Support), fmt.Sprintf("%.2f", r.Confidence)})
 	}
-	fmt.Println("association rules")
-	fmt.Print(viz.Table([]string{"if visited", "then", "support", "confidence"}, rows))
-	fmt.Println()
+	fmt.Fprintln(out, "association rules")
+	fmt.Fprint(out, viz.Table([]string{"if visited", "then", "support", "confidence"}, rows))
+	fmt.Fprintln(out)
 
 	stays := sitm.LengthOfStay(trajs)
 	rows = rows[:0]
@@ -471,9 +572,9 @@ func runMine(args []string) error {
 			s.Mean.Round(time.Second).String(), s.Median.Round(time.Second).String(),
 			s.Max.Round(time.Second).String()})
 	}
-	fmt.Println("length of stay per zone")
-	fmt.Print(viz.Table([]string{"zone", "stays", "mean", "median", "max"}, rows))
-	fmt.Println()
+	fmt.Fprintln(out, "length of stay per zone")
+	fmt.Fprint(out, viz.Table([]string{"zone", "stays", "mean", "median", "max"}, rows))
+	fmt.Fprintln(out)
 
 	switches, err := sitm.FloorSwitches(sg, trajs, sitm.LouvreFloorLayer)
 	if err != nil {
@@ -486,8 +587,8 @@ func runMine(args []string) error {
 		}
 		rows = append(rows, []string{fmt.Sprint(s.FromFloor), fmt.Sprint(s.ToFloor), fmt.Sprint(s.Count)})
 	}
-	fmt.Println("floor-switching patterns (§5)")
-	fmt.Print(viz.Table([]string{"from floor", "to floor", "count"}, rows))
+	fmt.Fprintln(out, "floor-switching patterns (§5)")
+	fmt.Fprint(out, viz.Table([]string{"from floor", "to floor", "count"}, rows))
 
 	// Deterministic ordering sanity for scripts consuming this output.
 	sort.SliceIsSorted(switches, func(i, j int) bool { return switches[i].Count >= switches[j].Count })

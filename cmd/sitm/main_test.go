@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden files from current output:
+//
+//	go test ./cmd/sitm -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenSubcommands locks the CLI's observable output. Every case is
+// fully deterministic (seeded generator, fixed artefact content), so any
+// diff is a real behavioural regression — these run in tier-1.
+func TestGoldenSubcommands(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"figures-t1", []string{"figures", "-id", "T1"}},
+		{"figures-f2", []string{"figures", "-id", "F2"}},
+		{"figures-f5", []string{"figures", "-id", "F5"}},
+		{"figures-x1", []string{"figures", "-id", "X1"}},
+		{"stats-scale01", []string{"stats", "-scale", "0.1"}},
+		{"mine-scale005", []string{"mine", "-scale", "0.05", "-top", "5"}},
+		{"ingest-feed", []string{"ingest", "-in", "testdata/feed.csv"}},
+		{"ingest-feed-merge", []string{"ingest", "-in", "testdata/feed.csv", "-merge", "-keep-zero", "-top", "3"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tc.args, &buf); err != nil {
+				t.Fatalf("run(%v): %v", tc.args, err)
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+					golden, firstDiffContext(buf.String(), string(want)), firstDiffContext(string(want), buf.String()))
+			}
+		})
+	}
+}
+
+// firstDiffContext trims two long outputs to the first differing line with
+// a little context, keeping failure messages readable.
+func firstDiffContext(got, want string) string {
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			lo := i - 2
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + 3
+			if hi > len(g) {
+				hi = len(g)
+			}
+			return strings.Join(g[lo:hi], "\n")
+		}
+	}
+	if len(g) != len(w) {
+		return "(line counts differ: " + strings.Join(g[max(0, min(len(g), len(w))-1):], "\n") + ")"
+	}
+	return got
+}
+
+// TestUnknownCommand keeps the dispatch contract.
+func TestUnknownCommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"frobnicate"}, &buf); err != errUnknownCommand {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestIngestRejectsBadFeed: parser errors surface, they don't crash.
+func TestIngestRejectsBadFeed(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("not,a,valid\nfeed\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"ingest", "-in", bad}, &buf); err == nil {
+		t.Fatal("bad feed must error")
+	}
+	if err := run([]string{"ingest", "-in", filepath.Join(dir, "missing.csv")}, &buf); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+// TestGenerateStreamFeedRoundTrip: generate -stream writes a time-ordered
+// feed that ingest consumes completely.
+func TestGenerateStreamFeedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	feed := filepath.Join(dir, "feed.csv")
+	var buf bytes.Buffer
+	if err := run([]string{"generate", "-scale", "0.01", "-stream", "-out", feed}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "time-ordered feed") {
+		t.Fatalf("generate output = %q", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"ingest", "-in", feed}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ingested 202 detections") {
+		t.Fatalf("ingest output = %q", buf.String())
+	}
+}

@@ -43,25 +43,110 @@ type BuildStats struct {
 	Trajectories int
 }
 
+// sessionAccum is the per-MO incremental segmentation state machine: it
+// consumes one detection at a time (in non-decreasing start order for its
+// MO) and closes a trajectory whenever the session-gap rule fires. Both
+// BuildTrajectories (batch) and StreamSegmenter (online) drive this exact
+// machine, so batch and streaming segmentation agree on identical input by
+// construction — the property TestStreamBatchEquivalence then re-checks
+// empirically.
+type sessionAccum struct {
+	mo    string
+	opts  BuildOptions
+	ann   Annotations
+	stats *BuildStats
+	trace Trace
+	// onInterval, when set, observes every presence interval the moment it
+	// can no longer change (a later detection opened a new interval, or the
+	// session closed).
+	onInterval func(mo string, closed PresenceInterval)
+}
+
+// observe consumes one detection. When the detection's arrival closes the
+// running session (session-gap rule), the closed trajectory is returned
+// with ok = true; the detection itself always begins or extends the (new)
+// running session unless dropped as a zero-duration error.
+func (a *sessionAccum) observe(d Detection) (closed Trajectory, ok bool) {
+	if a.opts.DropZeroDuration && !d.End.After(d.Start) {
+		a.stats.DroppedZero++
+		return Trajectory{}, false
+	}
+	if len(a.trace) > 0 {
+		prev := a.trace[len(a.trace)-1]
+		if a.opts.SessionGap > 0 && d.Start.Sub(prev.End) > a.opts.SessionGap {
+			closed, ok = a.flush()
+		}
+	}
+	if a.opts.MergeSameCell && len(a.trace) > 0 {
+		last := &a.trace[len(a.trace)-1]
+		if last.Cell == d.Cell {
+			if d.End.After(last.End) {
+				last.End = d.End
+			}
+			a.stats.Merged++
+			return closed, ok
+		}
+	}
+	if a.onInterval != nil && len(a.trace) > 0 {
+		// The previous interval can no longer merge or extend: it is final.
+		a.onInterval(a.mo, a.trace[len(a.trace)-1])
+	}
+	a.trace = append(a.trace, PresenceInterval{Cell: d.Cell, Start: d.Start, End: d.End})
+	return closed, ok
+}
+
+// flush closes the running session, returning its trajectory (ok = false
+// when the session is empty or invalid).
+func (a *sessionAccum) flush() (Trajectory, bool) {
+	if len(a.trace) == 0 {
+		return Trajectory{}, false
+	}
+	if a.onInterval != nil {
+		a.onInterval(a.mo, a.trace[len(a.trace)-1])
+	}
+	trace := a.trace
+	a.trace = nil
+	t, err := NewTrajectory(a.mo, trace, a.ann.Clone())
+	if err != nil {
+		return Trajectory{}, false
+	}
+	return t, true
+}
+
+// defaultBuildAnn resolves the trajectory annotation set: Def 3.1 requires
+// it non-empty, so nil defaults to {activity:[visit]}.
+func defaultBuildAnn(opts BuildOptions) Annotations {
+	if opts.Ann.IsEmpty() {
+		return NewAnnotations("activity", "visit")
+	}
+	return opts.Ann
+}
+
+// sortDetections orders detections stably by (Start, End) — the canonical
+// feed order both the batch builder (per MO) and stream producers use, so
+// ties resolve identically everywhere.
+func sortDetections(ds []Detection) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		if !ds[i].Start.Equal(ds[j].Start) {
+			return ds[i].Start.Before(ds[j].Start)
+		}
+		return ds[i].End.Before(ds[j].End)
+	})
+}
+
 // BuildTrajectories groups detections by moving object, orders them in
 // time, splits sessions on large gaps, cleans errors and produces semantic
 // trajectories. This is the SITM extraction step of §4.2 ("the SITM is
 // used to extract (from the zone detection data) the Louvre visit
-// trajectories as sequences of presence intervals").
+// trajectories as sequences of presence intervals"). It drives the same
+// per-MO state machine as the online StreamSegmenter.
 func BuildTrajectories(dets []Detection, opts BuildOptions) ([]Trajectory, BuildStats) {
 	stats := BuildStats{Input: len(dets)}
-	ann := opts.Ann
-	if ann.IsEmpty() {
-		ann = NewAnnotations("activity", "visit")
-	}
+	ann := defaultBuildAnn(opts)
 
 	byMO := make(map[string][]Detection)
 	var mos []string
 	for _, d := range dets {
-		if opts.DropZeroDuration && !d.End.After(d.Start) {
-			stats.DroppedZero++
-			continue
-		}
 		if _, ok := byMO[d.MO]; !ok {
 			mos = append(mos, d.MO)
 		}
@@ -72,42 +157,16 @@ func BuildTrajectories(dets []Detection, opts BuildOptions) ([]Trajectory, Build
 	var out []Trajectory
 	for _, mo := range mos {
 		ds := byMO[mo]
-		sort.SliceStable(ds, func(i, j int) bool {
-			if !ds[i].Start.Equal(ds[j].Start) {
-				return ds[i].Start.Before(ds[j].Start)
-			}
-			return ds[i].End.Before(ds[j].End)
-		})
-		var trace Trace
-		flush := func() {
-			if len(trace) == 0 {
-				return
-			}
-			if t, err := NewTrajectory(mo, trace, ann.Clone()); err == nil {
+		sortDetections(ds)
+		acc := &sessionAccum{mo: mo, opts: opts, ann: ann, stats: &stats}
+		for _, d := range ds {
+			if t, ok := acc.observe(d); ok {
 				out = append(out, t)
 			}
-			trace = nil
 		}
-		for _, d := range ds {
-			if len(trace) > 0 {
-				prev := trace[len(trace)-1]
-				if opts.SessionGap > 0 && d.Start.Sub(prev.End) > opts.SessionGap {
-					flush()
-				}
-			}
-			if opts.MergeSameCell && len(trace) > 0 {
-				last := &trace[len(trace)-1]
-				if last.Cell == d.Cell {
-					if d.End.After(last.End) {
-						last.End = d.End
-					}
-					stats.Merged++
-					continue
-				}
-			}
-			trace = append(trace, PresenceInterval{Cell: d.Cell, Start: d.Start, End: d.End})
+		if t, ok := acc.flush(); ok {
+			out = append(out, t)
 		}
-		flush()
 	}
 	stats.Trajectories = len(out)
 	return out, stats

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// EpisodeSpec names one episode kind extracted online: every closed
+// trajectory is scanned for maximal runs satisfying Pred (Def 3.4 via
+// MaximalEpisodes) labelled Label with annotations Ann.
+type EpisodeSpec struct {
+	Label string
+	Ann   Annotations
+	Pred  IntervalPredicate
+}
+
+// StreamOptions tune the online segmenter.
+type StreamOptions struct {
+	// Build carries the batch extraction options (drop, merge, session gap,
+	// trajectory annotations); the streaming and batch semantics are shared.
+	Build BuildOptions
+	// GapMinDur/GapClassifier, when either is set, run AnnotateGaps over
+	// every closed trajectory's trace, so gap annotations are emitted the
+	// moment a session closes. A nil classifier marks every gap a Hole.
+	GapMinDur     time.Duration
+	GapClassifier GapClassifier
+	// Episodes are extracted from every closed trajectory and delivered to
+	// OnEpisode.
+	Episodes []EpisodeSpec
+	// OnInterval observes every presence interval the moment it is final
+	// (the MO moved on, or the session closed). Optional.
+	OnInterval func(mo string, closed PresenceInterval)
+	// OnEpisode observes every extracted episode. Optional.
+	OnEpisode func(ep Episode)
+}
+
+// StreamSegmenter consumes raw timestamped cell detections incrementally —
+// any interleaving of moving objects, non-decreasing start order per MO —
+// and emits presence intervals, semantic trajectories, gap annotations and
+// episodes as they close. It is the online counterpart of
+// BuildTrajectories: both drive the same per-MO state machine, so feeding
+// the same detections in any chunking yields the same trajectories the
+// batch builder produces (chunk boundaries carry no state).
+//
+// The segmenter is not safe for concurrent use; callers ingesting from
+// multiple goroutines serialize Observe (the Ingestor does).
+type StreamSegmenter struct {
+	opts   StreamOptions
+	ann    Annotations
+	accums map[string]*sessionAccum
+	events map[string][]streamEvent
+	stats  BuildStats
+	closed int
+}
+
+// streamEvent is one pending §3.3 semantic event: at time t the MO's
+// annotation state becomes after.
+type streamEvent struct {
+	at    time.Time
+	after Annotations
+}
+
+// NewStreamSegmenter returns an online segmenter.
+func NewStreamSegmenter(opts StreamOptions) *StreamSegmenter {
+	return &StreamSegmenter{
+		opts:   opts,
+		ann:    defaultBuildAnn(opts.Build),
+		accums: make(map[string]*sessionAccum),
+		events: make(map[string][]streamEvent),
+	}
+}
+
+// Observe consumes one detection. When its arrival closes a session (the
+// session-gap rule fired), the finished trajectory — event-split, gap
+// annotated, episode-scanned per the options — is returned with ok = true.
+func (s *StreamSegmenter) Observe(d Detection) (closed Trajectory, ok bool) {
+	s.stats.Input++
+	acc := s.accums[d.MO]
+	if acc == nil {
+		acc = &sessionAccum{
+			mo:         d.MO,
+			opts:       s.opts.Build,
+			ann:        s.ann,
+			stats:      &s.stats,
+			onInterval: s.opts.OnInterval,
+		}
+		s.accums[d.MO] = acc
+	}
+	t, ok := acc.observe(d)
+	if !ok {
+		return Trajectory{}, false
+	}
+	return s.finalize(t), true
+}
+
+// ObserveAll consumes a chunk of detections and returns the trajectories
+// the chunk closed, in closure order.
+func (s *StreamSegmenter) ObserveAll(dets []Detection) []Trajectory {
+	var out []Trajectory
+	for _, d := range dets {
+		if t, ok := s.Observe(d); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// MarkEvent records a §3.3 semantic event for an MO: when the session
+// containing time at closes, the presence interval covering at is split
+// there (Trace.SplitAt semantics — same cell, no entering transition) and
+// the second part carries the after annotations. Events falling into
+// inter-detection gaps are discarded; events later than every closed
+// interval stay pending for the next trajectory.
+func (s *StreamSegmenter) MarkEvent(mo string, at time.Time, after Annotations) {
+	evs := append(s.events[mo], streamEvent{at: at, after: after})
+	if len(evs) > maxPendingEvents {
+		evs = evs[len(evs)-maxPendingEvents:]
+	}
+	s.events[mo] = evs
+}
+
+// Flush closes every open session and returns the finished trajectories
+// sorted by MO (deterministic end-of-feed order). All per-MO state —
+// session accumulators and pending semantic events — is released, so a
+// long-running feed that flushes at checkpoints keeps the segmenter's
+// memory bounded by its open sessions, not by the number of MOs ever
+// seen. Events still future-dated at flush time are discarded with the
+// checkpoint (re-mark them afterwards if they must survive one).
+func (s *StreamSegmenter) Flush() []Trajectory {
+	mos := make([]string, 0, len(s.accums))
+	for mo := range s.accums {
+		mos = append(mos, mo)
+	}
+	sort.Strings(mos)
+	var out []Trajectory
+	for _, mo := range mos {
+		if t, ok := s.accums[mo].flush(); ok {
+			out = append(out, s.finalize(t))
+		}
+		delete(s.accums, mo)
+	}
+	s.events = make(map[string][]streamEvent)
+	return out
+}
+
+// maxPendingEvents bounds the per-MO queue of future-dated semantic
+// events; without it a stray MarkEvent for an MO that never reappears
+// would be retained forever. Oldest events are dropped first.
+const maxPendingEvents = 64
+
+// Stats returns the running extraction statistics; Trajectories counts the
+// sessions closed so far (including flushed ones).
+func (s *StreamSegmenter) Stats() BuildStats {
+	st := s.stats
+	st.Trajectories = s.closed
+	return st
+}
+
+// OpenSessions returns the number of MOs with a non-empty running session.
+func (s *StreamSegmenter) OpenSessions() int {
+	n := 0
+	for _, acc := range s.accums {
+		if len(acc.trace) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// finalize applies the closing-time enrichment to a finished trajectory:
+// pending semantic events (SplitAt), gap annotation (AnnotateGaps) and
+// episode extraction (MaximalEpisodes per spec).
+func (s *StreamSegmenter) finalize(t Trajectory) Trajectory {
+	if evs := s.events[t.MO]; len(evs) > 0 {
+		var pending []streamEvent
+		end := t.End()
+		for _, ev := range evs {
+			if ev.at.After(end) {
+				pending = append(pending, ev)
+				continue
+			}
+			for i, p := range t.Trace {
+				if ev.at.After(p.Start) && ev.at.Before(p.End) {
+					if split, err := t.Trace.SplitAt(i, ev.at, ev.after); err == nil {
+						t.Trace = split
+					}
+					break
+				}
+			}
+		}
+		if len(pending) > 0 {
+			s.events[t.MO] = pending
+		} else {
+			delete(s.events, t.MO)
+		}
+	}
+	if s.opts.GapClassifier != nil || s.opts.GapMinDur > 0 {
+		t.Trace = AnnotateGaps(t.Trace, s.opts.GapMinDur, s.opts.GapClassifier)
+	}
+	if s.opts.OnEpisode != nil {
+		for _, spec := range s.opts.Episodes {
+			for _, ep := range MaximalEpisodes(t, spec.Pred, spec.Label, spec.Ann) {
+				s.opts.OnEpisode(ep)
+			}
+		}
+	}
+	s.closed++
+	return t
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+var streamDay = time.Date(2017, 2, 14, 9, 0, 0, 0, time.UTC)
+
+func sdet(mo, cell string, startMin, endMin int) Detection {
+	return Detection{
+		MO: mo, Cell: cell,
+		Start: streamDay.Add(time.Duration(startMin) * time.Minute),
+		End:   streamDay.Add(time.Duration(endMin) * time.Minute),
+	}
+}
+
+// randomDetections draws a multi-MO detection set with session-sized gaps,
+// zero-duration errors and same-cell repeats — every code path of the
+// segmentation machine.
+func randomDetections(rng *rand.Rand, mos, n int) []Detection {
+	cells := []string{"E", "P", "S", "C", "Z"}
+	var out []Detection
+	for m := 0; m < mos; m++ {
+		mo := fmt.Sprintf("mo%02d", m)
+		t := rng.Intn(120)
+		for i := 0; i < n; i++ {
+			dur := rng.Intn(20) // zero-duration included
+			out = append(out, sdet(mo, cells[rng.Intn(len(cells))], t, t+dur))
+			gap := rng.Intn(30)
+			if rng.Intn(12) == 0 {
+				gap += 700 // session-splitting gap (> 10h when ×minute)
+			}
+			t += dur + gap
+		}
+	}
+	return out
+}
+
+// TestStreamMatchesBatchAcrossChunkings: the segmenter's output equals
+// BuildTrajectories for any chunking of the same globally time-ordered
+// feed — chunk boundaries carry no state.
+func TestStreamMatchesBatchAcrossChunkings(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		dets := randomDetections(rng, 6, 40)
+		sortDetections(dets)
+		opts := BuildOptions{
+			DropZeroDuration: seed%2 == 0,
+			MergeSameCell:    seed%3 == 0,
+			SessionGap:       10 * time.Hour,
+		}
+		want, wantStats := BuildTrajectories(dets, opts)
+
+		seg := NewStreamSegmenter(StreamOptions{Build: opts})
+		var got []Trajectory
+		for i := 0; i < len(dets); {
+			n := 1 + rng.Intn(17)
+			if i+n > len(dets) {
+				n = len(dets) - i
+			}
+			got = append(got, seg.ObserveAll(dets[i:i+n])...)
+			i += n
+		}
+		got = append(got, seg.Flush()...)
+
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d trajectories streamed, %d batched", seed, len(got), len(want))
+		}
+		sortTrajs(got)
+		sortTrajs(want)
+		for i := range want {
+			assertSameTrajectory(t, got[i], want[i])
+		}
+		gotStats := seg.Stats()
+		if gotStats.Input != wantStats.Input || gotStats.DroppedZero != wantStats.DroppedZero ||
+			gotStats.Merged != wantStats.Merged || gotStats.Trajectories != wantStats.Trajectories {
+			t.Fatalf("seed %d: stats %+v vs %+v", seed, gotStats, wantStats)
+		}
+	}
+}
+
+func sortTrajs(ts []Trajectory) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && lessTraj(ts[j], ts[j-1]); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+func lessTraj(a, b Trajectory) bool {
+	if a.MO != b.MO {
+		return a.MO < b.MO
+	}
+	return a.Start().Before(b.Start())
+}
+
+func assertSameTrajectory(t *testing.T, got, want Trajectory) {
+	t.Helper()
+	if got.MO != want.MO || len(got.Trace) != len(want.Trace) {
+		t.Fatalf("trajectory differs: %s/%d vs %s/%d", got.MO, len(got.Trace), want.MO, len(want.Trace))
+	}
+	if !got.Ann.Equal(want.Ann) {
+		t.Fatalf("%s: annotations %v vs %v", got.MO, got.Ann, want.Ann)
+	}
+	for i := range want.Trace {
+		g, w := got.Trace[i], want.Trace[i]
+		if g.Cell != w.Cell || !g.Start.Equal(w.Start) || !g.End.Equal(w.End) {
+			t.Fatalf("%s tuple %d: (%s %v %v) vs (%s %v %v)",
+				got.MO, i, g.Cell, g.Start, g.End, w.Cell, w.Start, w.End)
+		}
+	}
+}
+
+// TestStreamEmitsIntervalsAsTheyClose: OnInterval fires exactly once per
+// final presence interval, at the moment it can no longer change.
+func TestStreamEmitsIntervalsAsTheyClose(t *testing.T) {
+	var closed []PresenceInterval
+	seg := NewStreamSegmenter(StreamOptions{
+		Build:      BuildOptions{MergeSameCell: true, SessionGap: 10 * time.Hour},
+		OnInterval: func(mo string, p PresenceInterval) { closed = append(closed, p) },
+	})
+	seg.Observe(sdet("a", "E", 0, 5))
+	if len(closed) != 0 {
+		t.Fatalf("open interval emitted early: %v", closed)
+	}
+	seg.Observe(sdet("a", "E", 6, 9)) // merges into the open E interval
+	if len(closed) != 0 {
+		t.Fatalf("merge closed an interval: %v", closed)
+	}
+	seg.Observe(sdet("a", "P", 10, 12)) // E is now final
+	if len(closed) != 1 || closed[0].Cell != "E" || !closed[0].End.Equal(streamDay.Add(9*time.Minute)) {
+		t.Fatalf("E not closed correctly: %v", closed)
+	}
+	seg.Flush() // P closes with the session
+	if len(closed) != 2 || closed[1].Cell != "P" {
+		t.Fatalf("flush did not close P: %v", closed)
+	}
+}
+
+// TestStreamGapAnnotation: closed trajectories carry AnnotateGaps output,
+// matching a batch AnnotateGaps pass over the same trace.
+func TestStreamGapAnnotation(t *testing.T) {
+	cls := func(before, after PresenceInterval, d time.Duration) GapKind {
+		if d >= 30*time.Minute {
+			return SemanticGap
+		}
+		return Hole
+	}
+	seg := NewStreamSegmenter(StreamOptions{
+		Build:         BuildOptions{SessionGap: 10 * time.Hour},
+		GapMinDur:     5 * time.Minute,
+		GapClassifier: cls,
+	})
+	seg.Observe(sdet("a", "E", 0, 5))
+	seg.Observe(sdet("a", "P", 20, 25)) // 15 min hole
+	seg.Observe(sdet("a", "S", 60, 65)) // 35 min semantic gap
+	got := seg.Flush()
+	if len(got) != 1 {
+		t.Fatalf("trajectories = %d", len(got))
+	}
+	tr := got[0].Trace
+	if tr[1].TransitionAnn.String() == "∅" || !tr[1].TransitionAnn.Has("gap", "hole") {
+		t.Fatalf("tuple 1 gap ann = %v", tr[1].TransitionAnn)
+	}
+	if !tr[2].TransitionAnn.Has("gap", "semantic gap") {
+		t.Fatalf("tuple 2 gap ann = %v", tr[2].TransitionAnn)
+	}
+	// Exactly what the batch pass would have produced.
+	batch := AnnotateGaps(Trace{
+		{Cell: "E", Start: tr[0].Start, End: tr[0].End},
+		{Cell: "P", Start: tr[1].Start, End: tr[1].End},
+		{Cell: "S", Start: tr[2].Start, End: tr[2].End},
+	}, 5*time.Minute, cls)
+	for i := range batch {
+		if !batch[i].TransitionAnn.Equal(tr[i].TransitionAnn) {
+			t.Fatalf("tuple %d: stream %v vs batch %v", i, tr[i].TransitionAnn, batch[i].TransitionAnn)
+		}
+	}
+}
+
+// TestStreamEpisodesOnClose: episode specs run over every closed
+// trajectory and surface through OnEpisode.
+func TestStreamEpisodesOnClose(t *testing.T) {
+	var eps []Episode
+	seg := NewStreamSegmenter(StreamOptions{
+		Build: BuildOptions{SessionGap: 10 * time.Hour},
+		Episodes: []EpisodeSpec{{
+			Label: "shopping",
+			Ann:   NewAnnotations("goals", "buy"),
+			Pred:  func(p PresenceInterval) bool { return p.Cell == "S" || p.Cell == "P" },
+		}},
+		OnEpisode: func(ep Episode) { eps = append(eps, ep) },
+	})
+	seg.Observe(sdet("a", "E", 0, 10))
+	seg.Observe(sdet("a", "P", 10, 20))
+	seg.Observe(sdet("a", "S", 20, 30))
+	seg.Observe(sdet("a", "C", 30, 35))
+	seg.Flush()
+	if len(eps) != 1 || eps[0].Label != "shopping" {
+		t.Fatalf("episodes = %v", eps)
+	}
+	if cells := eps[0].Trace.Cells(); len(cells) != 2 || cells[0] != "P" || cells[1] != "S" {
+		t.Fatalf("episode cells = %v", cells)
+	}
+}
+
+// TestStreamMarkEvent: a §3.3 semantic event splits the covering interval
+// with SplitAt semantics when the session closes.
+func TestStreamMarkEvent(t *testing.T) {
+	seg := NewStreamSegmenter(StreamOptions{Build: BuildOptions{SessionGap: 10 * time.Hour}})
+	seg.Observe(sdet("a", "room006", 0, 16))
+	seg.MarkEvent("a", streamDay.Add(9*time.Minute), NewAnnotations("goals", "visit", "goals", "buy"))
+	got := seg.Flush()
+	if len(got) != 1 {
+		t.Fatalf("trajectories = %d", len(got))
+	}
+	tr := got[0].Trace
+	if len(tr) != 2 {
+		t.Fatalf("split produced %d tuples", len(tr))
+	}
+	if !tr[0].End.Equal(streamDay.Add(9*time.Minute)) || !tr[1].Start.Equal(streamDay.Add(9*time.Minute)) {
+		t.Fatalf("split point wrong: %v | %v", tr[0], tr[1])
+	}
+	if tr[1].Cell != "room006" || tr[1].Transition != "" {
+		t.Fatalf("second part = %v", tr[1])
+	}
+	if !tr[1].Ann.Has("goals", "buy") {
+		t.Fatalf("second part ann = %v", tr[1].Ann)
+	}
+	// An event in a dead zone (inter-detection gap) is discarded; an event
+	// beyond the closed trajectory stays pending.
+	seg2 := NewStreamSegmenter(StreamOptions{Build: BuildOptions{SessionGap: 1 * time.Hour}})
+	seg2.Observe(sdet("b", "E", 0, 5))
+	seg2.Observe(sdet("b", "P", 30, 40))
+	seg2.MarkEvent("b", streamDay.Add(10*time.Minute), NewAnnotations("goals", "x")) // in the gap
+	seg2.MarkEvent("b", streamDay.Add(300*time.Minute), NewAnnotations("goals", "later"))
+	out := seg2.Flush()
+	if len(out) != 1 || len(out[0].Trace) != 2 {
+		t.Fatalf("gap event must not split: %v", out)
+	}
+}
+
+// TestStreamOpenSessions tracks the live-session gauge.
+func TestStreamOpenSessions(t *testing.T) {
+	seg := NewStreamSegmenter(StreamOptions{Build: BuildOptions{SessionGap: time.Hour}})
+	if seg.OpenSessions() != 0 {
+		t.Fatal("fresh segmenter has open sessions")
+	}
+	seg.Observe(sdet("a", "E", 0, 5))
+	seg.Observe(sdet("b", "P", 0, 5))
+	if seg.OpenSessions() != 2 {
+		t.Fatalf("open = %d", seg.OpenSessions())
+	}
+	seg.Flush()
+	if seg.OpenSessions() != 0 {
+		t.Fatalf("open after flush = %d", seg.OpenSessions())
+	}
+	// Flush releases per-MO state entirely (bounded memory on long feeds).
+	if len(seg.accums) != 0 {
+		t.Fatalf("accums retained after flush: %d", len(seg.accums))
+	}
+	// The segmenter stays usable after a checkpoint flush.
+	seg.Observe(sdet("a", "E", 500, 505))
+	if seg.OpenSessions() != 1 {
+		t.Fatalf("post-flush observe: open = %d", seg.OpenSessions())
+	}
+}
+
+// TestMarkEventQueueBounded: stray future-dated events cannot grow the
+// per-MO queue without bound.
+func TestMarkEventQueueBounded(t *testing.T) {
+	seg := NewStreamSegmenter(StreamOptions{Build: BuildOptions{SessionGap: time.Hour}})
+	for i := 0; i < 10*maxPendingEvents; i++ {
+		seg.MarkEvent("ghost", streamDay.Add(time.Duration(i)*time.Minute), NewAnnotations("k", "v"))
+	}
+	if got := len(seg.events["ghost"]); got != maxPendingEvents {
+		t.Fatalf("pending events = %d, want %d", got, maxPendingEvents)
+	}
+	// The newest events are the ones kept.
+	evs := seg.events["ghost"]
+	if !evs[len(evs)-1].at.Equal(streamDay.Add(time.Duration(10*maxPendingEvents-1) * time.Minute)) {
+		t.Fatalf("newest event dropped: %v", evs[len(evs)-1].at)
+	}
+}

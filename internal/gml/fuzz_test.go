@@ -1,0 +1,41 @@
+package gml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseGML fuzzes the IndoorGML-flavoured XML decoder. Decode must
+// never panic on arbitrary bytes (malformed XML nesting, bad coordinates,
+// unknown relations); when it accepts a document, the decoded graph must
+// re-encode and decode again cleanly (idempotent exchange format).
+func FuzzParseGML(f *testing.F) {
+	f.Add(`<IndoorFeatures></IndoorFeatures>`)
+	f.Add(`<IndoorFeatures><SpaceLayer id="zones" kind="topographic" rank="3"/>` +
+		`<CellSpace id="z1" layer="zones" floor="0"><Geometry><Exterior>0,0 10,0 10,10 0,10</Exterior></Geometry></CellSpace>` +
+		`<CellSpace id="z2" layer="zones" floor="0"/>` +
+		`<Transition from="z1" to="z2" boundary="door1" kind="accessibility"/>` +
+		`</IndoorFeatures>`)
+	f.Add(`<IndoorFeatures><SpaceLayer id="a" kind="semantic" rank="1"/><SpaceLayer id="b" kind="topographic" rank="2"/>` +
+		`<CellSpace id="c1" layer="a" floor="0"/><CellSpace id="c2" layer="b" floor="0"/>` +
+		`<InterLayerConnection from="c1" to="c2" rel="contains"/></IndoorFeatures>`)
+	f.Add(`<IndoorFeatures><CellSpace id="x" layer="missing" floor="0"><Geometry><Exterior>nope</Exterior></Geometry></CellSpace></IndoorFeatures>`)
+	f.Add(`<IndoorFeatures><Transition from="a" to="b" kind="unknown"/></IndoorFeatures>`)
+	f.Add(`<IndoorFeatures><InterLayerConnection from="a" to="b" rel="sideways"/></IndoorFeatures>`)
+	f.Add(`<IndoorFeatures><CellSpace id="`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, input string) {
+		sg, err := Decode(strings.NewReader(input))
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, sg); err != nil {
+			t.Fatalf("accepted document failed to re-encode: %v", err)
+		}
+		if _, err := Decode(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("re-encoded document rejected: %v\n%s", err, buf.String())
+		}
+	})
+}

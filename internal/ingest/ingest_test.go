@@ -1,0 +1,130 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sitm/internal/core"
+	"sitm/internal/store"
+)
+
+var day = time.Date(2017, 2, 14, 9, 0, 0, 0, time.UTC)
+
+func det(mo, cell string, startMin, endMin int) core.Detection {
+	return core.Detection{
+		MO: mo, Cell: cell,
+		Start: day.Add(time.Duration(startMin) * time.Minute),
+		End:   day.Add(time.Duration(endMin) * time.Minute),
+	}
+}
+
+// TestIngestorEndToEnd: a feed becomes a queryable store; batch flushes
+// are transparent to the final state.
+func TestIngestorEndToEnd(t *testing.T) {
+	ing := New(nil, Options{
+		Stream:    core.StreamOptions{Build: core.BuildOptions{SessionGap: time.Hour}},
+		BatchSize: 3,
+	})
+	// Three visitors, two sessions each (split by >1h gaps).
+	for m := 0; m < 3; m++ {
+		mo := fmt.Sprintf("v%d", m)
+		ing.Observe(det(mo, "E", 0, 10))
+		ing.Observe(det(mo, "P", 10, 20))
+		ing.Observe(det(mo, "S", 200, 210)) // new session
+		ing.Observe(det(mo, "C", 210, 215))
+	}
+	ing.Flush()
+	st := ing.Store()
+	if st.Len() != 6 {
+		t.Fatalf("stored = %d", st.Len())
+	}
+	stats := ing.Stats()
+	if stats.Input != 12 || stats.Stored != 6 || stats.Pending != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Temporal queries against the ingested store.
+	if got := st.InCellDuring("E", day, day.Add(5*time.Minute)); len(got) != 3 {
+		t.Fatalf("InCellDuring E = %v", got)
+	}
+	if got := st.ThroughSequence("S", "C"); len(got) != 3 {
+		t.Fatalf("ThroughSequence = %d", len(got))
+	}
+	for m := 0; m < 3; m++ {
+		got, err := st.GetByMO(fmt.Sprintf("v%d", m))
+		if err != nil || len(got) != 2 {
+			t.Fatalf("v%d: %v, %d", m, err, len(got))
+		}
+	}
+}
+
+// TestIngestorBatchSizeOneWritesThrough: sessions land in the store the
+// moment they close.
+func TestIngestorBatchSizeOneWritesThrough(t *testing.T) {
+	ing := New(store.New(), Options{
+		Stream:    core.StreamOptions{Build: core.BuildOptions{SessionGap: time.Hour}},
+		BatchSize: 1,
+	})
+	ing.Observe(det("a", "E", 0, 10))
+	if ing.Store().Len() != 0 {
+		t.Fatal("open session must not be stored")
+	}
+	ing.Observe(det("a", "P", 200, 210)) // closes session 1
+	if ing.Store().Len() != 1 {
+		t.Fatalf("closed session not stored: %d", ing.Store().Len())
+	}
+	ing.Flush()
+	if ing.Store().Len() != 2 {
+		t.Fatalf("flush missed the open session: %d", ing.Store().Len())
+	}
+}
+
+// TestIngestorConcurrentFeeds: multiple goroutines feeding disjoint MOs
+// while a reader queries — the ingestion path is race-clean end to end.
+func TestIngestorConcurrentFeeds(t *testing.T) {
+	ing := New(nil, Options{
+		Stream:    core.StreamOptions{Build: core.BuildOptions{SessionGap: time.Hour}},
+		BatchSize: 2,
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for v := 0; v < 10; v++ {
+				mo := fmt.Sprintf("w%d-v%d", w, v)
+				ing.Observe(det(mo, "E", v*500, v*500+10))
+				ing.Observe(det(mo, "S", v*500+10, v*500+20))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			ing.Store().Overlapping(day, day.Add(1000*time.Hour))
+			ing.Stats()
+		}
+	}()
+	wg.Wait()
+	<-done
+	ing.Flush()
+	if got := ing.Store().Len(); got != 40 {
+		t.Fatalf("stored = %d, want 40", got)
+	}
+}
+
+// TestIngestorMarkEvent forwards §3.3 events into the closed trajectory.
+func TestIngestorMarkEvent(t *testing.T) {
+	ing := New(nil, Options{
+		Stream: core.StreamOptions{Build: core.BuildOptions{SessionGap: time.Hour}},
+	})
+	ing.Observe(det("a", "room006", 0, 16))
+	ing.MarkEvent("a", day.Add(9*time.Minute), core.NewAnnotations("goals", "buy"))
+	ing.Flush()
+	trajs := ing.Store().All()
+	if len(trajs) != 1 || len(trajs[0].Trace) != 2 {
+		t.Fatalf("split missing: %+v", trajs)
+	}
+}

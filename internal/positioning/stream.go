@@ -1,0 +1,79 @@
+package positioning
+
+import (
+	"sort"
+	"time"
+
+	"sitm/internal/core"
+)
+
+// StreamAggregator is the online form of Aggregate: it consumes position
+// fixes incrementally — any interleaving of moving objects, per-MO time
+// order — and emits a zone detection the moment its run of same-zone fixes
+// breaks (the MO moved to another zone, fell outside all zones, or dropped
+// out past MaxFixGap). Feeding one MO's fixes through Observe+Flush yields
+// exactly what batch Aggregate produces on the same slice; the streaming
+// form additionally demultiplexes interleaved MOs. It is the detection →
+// stream adapter between live positioning and the ingestion engine.
+type StreamAggregator struct {
+	idx  *ZoneIndex
+	opts AggregateOptions
+	open map[string]*openRun
+}
+
+// openRun is one MO's in-progress detection.
+type openRun struct {
+	det   core.Detection
+	lastT time.Time
+}
+
+// NewStreamAggregator returns an online fix→detection aggregator over the
+// given zone index.
+func NewStreamAggregator(idx *ZoneIndex, opts AggregateOptions) *StreamAggregator {
+	return &StreamAggregator{idx: idx, opts: opts, open: make(map[string]*openRun)}
+}
+
+// Observe consumes one fix. When the fix breaks its MO's running detection,
+// the closed detection is returned with ok = true (at most one closes per
+// fix; the fix itself opens or extends a run if it matches a zone).
+func (a *StreamAggregator) Observe(f Fix) (closed core.Detection, ok bool) {
+	zone := a.idx.Match(f)
+	run := a.open[f.MO]
+	if run != nil && zone == run.det.Cell &&
+		(a.opts.MaxFixGap <= 0 || f.T.Sub(run.lastT) <= a.opts.MaxFixGap) {
+		run.det.End = f.T
+		run.lastT = f.T
+		return core.Detection{}, false
+	}
+	if run != nil {
+		closed, ok = run.det, true
+		delete(a.open, f.MO)
+	}
+	if zone != "" {
+		a.open[f.MO] = &openRun{
+			det:   core.Detection{MO: f.MO, Cell: zone, Start: f.T, End: f.T},
+			lastT: f.T,
+		}
+	}
+	return closed, ok
+}
+
+// Flush closes every open run and returns the detections sorted by MO then
+// start time (deterministic end-of-feed order).
+func (a *StreamAggregator) Flush() []core.Detection {
+	out := make([]core.Detection, 0, len(a.open))
+	for _, run := range a.open {
+		out = append(out, run.det)
+	}
+	a.open = make(map[string]*openRun)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MO != out[j].MO {
+			return out[i].MO < out[j].MO
+		}
+		return out[i].Start.Before(out[j].Start)
+	})
+	return out
+}
+
+// OpenRuns returns the number of MOs with an in-progress detection.
+func (a *StreamAggregator) OpenRuns() int { return len(a.open) }

@@ -1,0 +1,139 @@
+package positioning
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sitm/internal/core"
+	"sitm/internal/geom"
+)
+
+// streamAll feeds fixes through a StreamAggregator and returns everything
+// emitted plus the flush.
+func streamAll(a *StreamAggregator, fixes []Fix) []core.Detection {
+	var out []core.Detection
+	for _, f := range fixes {
+		if d, ok := a.Observe(f); ok {
+			out = append(out, d)
+		}
+	}
+	return append(out, a.Flush()...)
+}
+
+// TestStreamAggregatorMatchesBatch: per MO, Observe+Flush equals batch
+// Aggregate on the same fix slice, across random walks and both gap modes.
+func TestStreamAggregatorMatchesBatch(t *testing.T) {
+	sg := buildZoneGraph(t)
+	idx := NewZoneIndex(sg, "zone")
+	t0 := time.Date(2017, 2, 1, 10, 0, 0, 0, time.UTC)
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var fixes []Fix
+		sec := 0
+		for i := 0; i < 120; i++ {
+			// x walks across zoneA (0–10), zoneB (10–20) and the void (>20).
+			x := rng.Float64() * 30
+			fixes = append(fixes, Fix{
+				MO: "v", T: t0.Add(time.Duration(sec) * time.Second),
+				Pos: geom.Pt(x, 5), Floor: 0,
+			})
+			sec += 5 + rng.Intn(120)
+		}
+		for _, opts := range []AggregateOptions{{}, {MaxFixGap: time.Minute}} {
+			want := Aggregate(fixes, idx, opts)
+			got := streamAll(NewStreamAggregator(idx, opts), fixes)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d opts %+v: %d streamed, %d batched", seed, opts, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d det %d: %+v vs %+v", seed, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStreamAggregatorInterleavedMOs: the streaming form demultiplexes
+// interleaved visitors; each MO's detections equal its solo batch run.
+func TestStreamAggregatorInterleavedMOs(t *testing.T) {
+	sg := buildZoneGraph(t)
+	idx := NewZoneIndex(sg, "zone")
+	t0 := time.Date(2017, 2, 1, 10, 0, 0, 0, time.UTC)
+	perMO := make(map[string][]Fix)
+	var interleaved []Fix
+	rng := rand.New(rand.NewSource(3))
+	for sec := 0; sec < 600; sec += 10 {
+		for m := 0; m < 3; m++ {
+			mo := fmt.Sprintf("v%d", m)
+			f := Fix{
+				MO: mo, T: t0.Add(time.Duration(sec) * time.Second),
+				Pos: geom.Pt(rng.Float64()*25, 5), Floor: 0,
+			}
+			perMO[mo] = append(perMO[mo], f)
+			interleaved = append(interleaved, f)
+		}
+	}
+	agg := NewStreamAggregator(idx, AggregateOptions{})
+	got := streamAll(agg, interleaved)
+	byMO := make(map[string][]core.Detection)
+	for _, d := range got {
+		byMO[d.MO] = append(byMO[d.MO], d)
+	}
+	for mo, fixes := range perMO {
+		want := Aggregate(fixes, idx, AggregateOptions{})
+		if len(byMO[mo]) != len(want) {
+			t.Fatalf("%s: %d streamed, %d solo-batched", mo, len(byMO[mo]), len(want))
+		}
+		for i := range want {
+			if byMO[mo][i] != want[i] {
+				t.Fatalf("%s det %d: %+v vs %+v", mo, i, byMO[mo][i], want[i])
+			}
+		}
+	}
+	if agg.OpenRuns() != 0 {
+		t.Fatalf("open runs after flush = %d", agg.OpenRuns())
+	}
+}
+
+// TestStreamAggregatorToSegmenter is the full live pipeline in miniature:
+// fixes → StreamAggregator → StreamSegmenter → trajectories.
+func TestStreamAggregatorToSegmenter(t *testing.T) {
+	sg := buildZoneGraph(t)
+	idx := NewZoneIndex(sg, "zone")
+	t0 := time.Date(2017, 2, 1, 10, 0, 0, 0, time.UTC)
+	agg := NewStreamAggregator(idx, AggregateOptions{})
+	seg := core.NewStreamSegmenter(core.StreamOptions{
+		Build: core.BuildOptions{SessionGap: time.Hour},
+	})
+	var trajs []core.Trajectory
+	feed := func(sec int, x float64) {
+		if d, ok := agg.Observe(Fix{MO: "v", T: t0.Add(time.Duration(sec) * time.Second),
+			Pos: geom.Pt(x, 5), Floor: 0}); ok {
+			if tr, ok := seg.Observe(d); ok {
+				trajs = append(trajs, tr)
+			}
+		}
+	}
+	for sec := 0; sec < 300; sec += 10 {
+		feed(sec, 5) // zoneA
+	}
+	for sec := 300; sec < 600; sec += 10 {
+		feed(sec, 15) // zoneB
+	}
+	for _, d := range agg.Flush() {
+		if tr, ok := seg.Observe(d); ok {
+			trajs = append(trajs, tr)
+		}
+	}
+	trajs = append(trajs, seg.Flush()...)
+	if len(trajs) != 1 {
+		t.Fatalf("trajectories = %d", len(trajs))
+	}
+	cells := trajs[0].Trace.Cells()
+	if len(cells) != 2 || cells[0] != "zoneA" || cells[1] != "zoneB" {
+		t.Fatalf("cells = %v", cells)
+	}
+}

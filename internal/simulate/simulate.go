@@ -155,6 +155,35 @@ func (d *Dataset) Detections() []core.Detection {
 	return out
 }
 
+// DetectionsByTime returns all detections in global emission order — stably
+// sorted by (Start, End), the shape a live positioning feed would deliver
+// them in. Stability preserves each visitor's relative detection order on
+// ties, so online segmentation of the emitted stream matches batch
+// extraction of the same dataset.
+func (d *Dataset) DetectionsByTime() []core.Detection {
+	out := d.Detections()
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].End.Before(out[j].End)
+	})
+	return out
+}
+
+// StreamDetections is the dataset's stream-emission mode: it invokes fn for
+// every detection in global time order (DetectionsByTime), stopping at the
+// first error, which it returns. It drives live-ingestion pipelines and
+// tests without materialising an intermediate file.
+func (d *Dataset) StreamDetections(fn func(core.Detection) error) error {
+	for _, det := range d.DetectionsByTime() {
+		if err := fn(det); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ErrBadParams reports inconsistent calibration.
 var ErrBadParams = errors.New("simulate: inconsistent parameters")
 

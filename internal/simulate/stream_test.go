@@ -1,0 +1,90 @@
+package simulate
+
+import (
+	"errors"
+	"testing"
+
+	"sitm/internal/core"
+)
+
+func streamParams() Params {
+	p := DefaultParams()
+	p.Visitors = 120
+	p.ReturningVisitors = 40
+	p.RepeatVisits = 55
+	p.TargetDetections = 800
+	return p
+}
+
+// TestDetectionsByTimeOrdered: the stream-emission mode yields a globally
+// time-ordered feed with exactly the dataset's detections.
+func TestDetectionsByTimeOrdered(t *testing.T) {
+	d, _, err := GenerateLouvre(streamParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := d.DetectionsByTime()
+	if len(feed) != streamParams().TargetDetections {
+		t.Fatalf("feed = %d detections, want %d", len(feed), streamParams().TargetDetections)
+	}
+	for i := 1; i < len(feed); i++ {
+		if feed[i].Start.Before(feed[i-1].Start) {
+			t.Fatalf("feed unsorted at %d: %v after %v", i, feed[i].Start, feed[i-1].Start)
+		}
+		if feed[i].Start.Equal(feed[i-1].Start) && feed[i].End.Before(feed[i-1].End) {
+			t.Fatalf("tie at %d broken against End order", i)
+		}
+	}
+	// Same multiset as the visit-ordered view (count per MO suffices here).
+	perMO := make(map[string]int)
+	for _, det := range d.Detections() {
+		perMO[det.MO]++
+	}
+	for _, det := range feed {
+		perMO[det.MO]--
+	}
+	for mo, n := range perMO {
+		if n != 0 {
+			t.Fatalf("MO %s count drifted by %d", mo, n)
+		}
+	}
+}
+
+// TestStreamDetectionsDeterministicAndAbortable: the callback sees the
+// same feed every run and an error stops the stream immediately.
+func TestStreamDetectionsDeterministicAndAbortable(t *testing.T) {
+	d, _, err := GenerateLouvre(streamParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b []core.Detection
+	if err := d.StreamDetections(func(det core.Detection) error { a = append(a, det); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StreamDetections(func(det core.Detection) error { b = append(b, det); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("emission %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Abort after 10 emissions.
+	n := 0
+	errStop := errors.New("stop")
+	if err := d.StreamDetections(func(core.Detection) error {
+		n++
+		if n == 10 {
+			return errStop
+		}
+		return nil
+	}); err != errStop {
+		t.Fatalf("err = %v", err)
+	}
+	if n != 10 {
+		t.Fatalf("stream kept going: %d emissions", n)
+	}
+}

@@ -1,0 +1,153 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sitm/internal/core"
+)
+
+// TestIncrementalIndexMatchesBulkBuild drives the two-tier index through a
+// random insert schedule (singles and batches interleaved with queries)
+// and checks every query against an index bulk-built from the same spans.
+func TestIncrementalIndexMatchesBulkBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inc := newIntervalIndex()
+	var all []span
+	collect := func(ix *intervalIndex, from, to time.Time) map[int]int {
+		got := make(map[int]int)
+		ix.visit(from, to, func(ref int) { got[ref]++ })
+		return got
+	}
+	for step := 0; step < 400; step++ {
+		switch rng.Intn(3) {
+		case 0: // single insert
+			sp := randSpan(rng, len(all))
+			all = append(all, sp)
+			inc.insert(sp)
+		case 1: // batch insert
+			var batch []span
+			for k := 0; k < 1+rng.Intn(20); k++ {
+				sp := randSpan(rng, len(all))
+				all = append(all, sp)
+				batch = append(batch, sp)
+			}
+			inc.insertAll(batch)
+		default: // query
+			from := day.Add(time.Duration(rng.Intn(5000)) * time.Minute)
+			to := from.Add(time.Duration(rng.Intn(500)) * time.Minute)
+			bulk := buildIntervalIndex(append([]span(nil), all...))
+			want := collect(bulk, from, to)
+			got := collect(inc, from, to)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: %d refs, want %d", step, len(got), len(want))
+			}
+			for ref, n := range want {
+				if got[ref] != n {
+					t.Fatalf("step %d: ref %d seen %d times, want %d", step, ref, got[ref], n)
+				}
+			}
+		}
+	}
+	if inc.len() != len(all) {
+		t.Fatalf("index len = %d, want %d", inc.len(), len(all))
+	}
+}
+
+func randSpan(rng *rand.Rand, ref int) span {
+	start := day.Add(time.Duration(rng.Intn(5000)) * time.Minute)
+	return span{start: start, end: start.Add(time.Duration(1+rng.Intn(120)) * time.Minute), ref: ref}
+}
+
+// TestCompactionPreservesOrder checks the merge keeps spans sorted by start
+// across repeated compactions triggered by sustained inserts.
+func TestCompactionPreservesOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ix := newIntervalIndex()
+	for i := 0; i < 3000; i++ {
+		ix.insert(randSpan(rng, i))
+	}
+	ix.compact()
+	for i := 1; i < len(ix.base); i++ {
+		if ix.base[i].start.Before(ix.base[i-1].start) {
+			t.Fatalf("base unsorted at %d", i)
+		}
+	}
+	if len(ix.buf) != 0 {
+		t.Fatalf("buffer not drained: %d", len(ix.buf))
+	}
+	if ix.len() != 3000 {
+		t.Fatalf("len = %d", ix.len())
+	}
+}
+
+// TestPutBatchMatchesSequentialPuts verifies PutBatch and a sequence of
+// Puts produce identical query results.
+func TestPutBatchMatchesSequentialPuts(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	single, _ := randomStore(rng, 120)
+	rng = rand.New(rand.NewSource(23)) // same trajectories again
+	_, trajs := randomStore(rng, 120)
+	batched := New()
+	// Write in uneven batches.
+	for i := 0; i < len(trajs); {
+		n := 1 + rng.Intn(17)
+		if i+n > len(trajs) {
+			n = len(trajs) - i
+		}
+		batched.PutBatch(trajs[i : i+n])
+		i += n
+	}
+	if single.Len() != batched.Len() {
+		t.Fatalf("len %d vs %d", single.Len(), batched.Len())
+	}
+	for probe := 0; probe < 50; probe++ {
+		from := day.Add(time.Duration(rng.Intn(6000)) * time.Minute)
+		to := from.Add(time.Duration(rng.Intn(600)) * time.Minute)
+		a := single.Overlapping(from, to)
+		b := batched.Overlapping(from, to)
+		if len(a) != len(b) {
+			t.Fatalf("Overlapping %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i].MO != b[i].MO || !a[i].Start().Equal(b[i].Start()) {
+				t.Fatalf("Overlapping order differs at %d", i)
+			}
+		}
+		cell := []string{"A", "B", "C", "D", "E"}[rng.Intn(5)]
+		am := single.InCellDuring(cell, from, to)
+		bm := batched.InCellDuring(cell, from, to)
+		if fmt.Sprint(am) != fmt.Sprint(bm) {
+			t.Fatalf("InCellDuring %v vs %v", am, bm)
+		}
+	}
+}
+
+// TestPutBatchEmpty is the no-op edge.
+func TestPutBatchEmpty(t *testing.T) {
+	s := New()
+	s.PutBatch(nil)
+	s.PutBatch([]core.Trajectory{})
+	if s.Len() != 0 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if got := s.Overlapping(day, day.Add(time.Hour)); len(got) != 0 {
+		t.Fatalf("empty store overlapping = %d", len(got))
+	}
+}
+
+// TestQueriesSeeEveryCompletedWrite: after any prefix of a write sequence,
+// a wide-window query returns exactly the prefix — no write is deferred
+// behind a dirty flag.
+func TestQueriesSeeEveryCompletedWrite(t *testing.T) {
+	s := New()
+	for i := 0; i < 150; i++ {
+		s.Put(traj(t, fmt.Sprintf("mo%03d", i), i*10, "A", "B"))
+		got := s.Overlapping(at(0), at(1000000))
+		if len(got) != i+1 {
+			t.Fatalf("after %d writes query sees %d", i+1, len(got))
+		}
+	}
+}

@@ -7,11 +7,19 @@
 // (binary search bounds the candidates) with a max-end segment tree
 // augmentation (subtrees ending before the window are pruned whole), so
 // temporal windows are answered in O(log n + matches) instead of a full
-// scan. They are rebuilt lazily after writes, matching the
-// bulk-load-then-analyse workload of mobility analytics. The package also
-// offers sequence queries (which trajectories pass through a cell sequence,
-// answered by intersecting all cells' posting lists) and JSON/CSV
-// round-trips.
+// scan.
+//
+// The indexes are maintained incrementally: every Put merges the new spans
+// into a small sorted buffer beside the bulk index, and the buffer is
+// folded into the bulk with one linear merge once it outgrows ~2·√n — the
+// streaming-ingestion workload of live positioning feeds never pays the
+// O(n log n) wholesale rebuild a dirty-flag design would. PutBatch
+// amortizes locking and buffer maintenance across a burst of writes, and
+// readers run entirely under the shared read lock (writes never force a
+// reader to rebuild anything). The package also offers sequence queries
+// (which trajectories pass through a cell sequence, answered by
+// intersecting all cells' posting lists), JSON/CSV round-trips, and a
+// streaming CSV detection reader for feed ingestion.
 package store
 
 import (
@@ -36,9 +44,8 @@ type Store struct {
 	byMO   map[string][]int
 	byCell map[string][]int // trajectory indexes touching the cell
 
-	// Interval indexes, rebuilt lazily on the first temporal query after
-	// a write (dirty tracks staleness).
-	dirty   bool
+	// Interval indexes, maintained incrementally on every write: queries
+	// read them under the shared lock without ever rebuilding.
 	spanIdx *intervalIndex            // whole-trajectory spans → traj index
 	cellIdx map[string]*intervalIndex // per-cell presence intervals → traj index
 }
@@ -46,15 +53,19 @@ type Store struct {
 // New returns an empty store.
 func New() *Store {
 	return &Store{
-		byMO:   make(map[string][]int),
-		byCell: make(map[string][]int),
+		byMO:    make(map[string][]int),
+		byCell:  make(map[string][]int),
+		spanIdx: newIntervalIndex(),
+		cellIdx: make(map[string]*intervalIndex),
 	}
 }
 
 // ErrNotFound is returned for queries with no result.
 var ErrNotFound = errors.New("store: not found")
 
-// Put inserts a trajectory and indexes it.
+// Put inserts a trajectory and indexes it incrementally: the primary and
+// posting indexes append, and the interval indexes take a sorted insert
+// into their merge buffers — O(log n + √n) amortized, never a rebuild.
 func (s *Store) Put(t core.Trajectory) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -64,58 +75,55 @@ func (s *Store) Put(t core.Trajectory) {
 	for _, c := range t.Trace.DistinctCells() {
 		s.byCell[c] = append(s.byCell[c], idx)
 	}
-	s.dirty = true
+	s.spanIdx.insert(span{start: t.Start(), end: t.End(), ref: idx})
+	for _, p := range t.Trace {
+		ix := s.cellIdx[p.Cell]
+		if ix == nil {
+			ix = newIntervalIndex()
+			s.cellIdx[p.Cell] = ix
+		}
+		ix.insert(span{start: p.Start, end: p.End, ref: idx})
+	}
 }
 
-// withCurrentIndexes runs fn with the interval indexes guaranteed current
-// for every Put that completed before the call. The hot clean path serves
-// fn under the shared read lock; when writes have staled the indexes it
-// escalates to the write lock, rebuilds, and serves fn there. The
-// escalation is bounded — no retry loop — so queries cannot starve even
-// under sustained concurrent writes.
-func (s *Store) withCurrentIndexes(fn func()) {
-	s.mu.RLock()
-	if !s.dirty {
-		// Clean under the read lock: any Put completed before we acquired
-		// it would have set dirty, so the indexes cover it.
-		fn()
-		s.mu.RUnlock()
+// PutBatch inserts many trajectories under one lock acquisition, grouping
+// the new presence spans per cell so every touched interval index absorbs
+// the burst with a single buffer merge — the amortized write path of
+// streaming ingestion.
+func (s *Store) PutBatch(ts []core.Trajectory) {
+	if len(ts) == 0 {
 		return
 	}
-	s.mu.RUnlock()
 	s.mu.Lock()
-	if s.dirty {
-		s.rebuildLocked()
-	}
-	fn()
-	s.mu.Unlock()
-}
-
-// rebuildLocked rebuilds both interval indexes; callers hold the write
-// lock.
-func (s *Store) rebuildLocked() {
-	spans := make([]span, len(s.trajs))
+	defer s.mu.Unlock()
+	spans := make([]span, len(ts))
 	perCell := make(map[string][]span)
-	for i, t := range s.trajs {
-		spans[i] = span{start: t.Start(), end: t.End(), ref: i}
+	for i, t := range ts {
+		idx := len(s.trajs)
+		s.trajs = append(s.trajs, t)
+		s.byMO[t.MO] = append(s.byMO[t.MO], idx)
+		for _, c := range t.Trace.DistinctCells() {
+			s.byCell[c] = append(s.byCell[c], idx)
+		}
+		spans[i] = span{start: t.Start(), end: t.End(), ref: idx}
 		for _, p := range t.Trace {
-			perCell[p.Cell] = append(perCell[p.Cell], span{start: p.Start, end: p.End, ref: i})
+			perCell[p.Cell] = append(perCell[p.Cell], span{start: p.Start, end: p.End, ref: idx})
 		}
 	}
-	s.spanIdx = buildIntervalIndex(spans)
-	s.cellIdx = make(map[string]*intervalIndex, len(perCell))
+	s.spanIdx.insertAll(spans)
 	for c, sp := range perCell {
-		s.cellIdx[c] = buildIntervalIndex(sp)
+		ix := s.cellIdx[c]
+		if ix == nil {
+			ix = newIntervalIndex()
+			s.cellIdx[c] = ix
+		}
+		ix.insertAll(sp)
 	}
-	s.dirty = false
 }
 
-// PutAll inserts many trajectories.
-func (s *Store) PutAll(ts []core.Trajectory) {
-	for _, t := range ts {
-		s.Put(t)
-	}
-}
+// PutAll inserts many trajectories (an alias of PutBatch, kept for the
+// bulk-load call sites).
+func (s *Store) PutAll(ts []core.Trajectory) { s.PutBatch(ts) }
 
 // Len returns the number of stored trajectories.
 func (s *Store) Len() int {
@@ -170,14 +178,13 @@ func (s *Store) ThroughCell(cell string) []core.Trajectory {
 // InCellDuring returns the MOs present in the cell at any point during
 // [from, to] (inclusive bounds, presence intervals intersecting the window).
 // It walks the cell's interval index, so cost scales with the matches, not
-// with the cell's total visit history.
+// with the cell's total visit history. The index is always current — every
+// completed Put has already merged its spans — so the query runs entirely
+// under the shared read lock.
 func (s *Store) InCellDuring(cell string, from, to time.Time) []string {
+	s.mu.RLock()
 	var out []string
-	s.withCurrentIndexes(func() {
-		ix := s.cellIdx[cell]
-		if ix == nil {
-			return
-		}
+	if ix := s.cellIdx[cell]; ix != nil {
 		seen := make(map[string]bool)
 		ix.visit(from, to, func(ref int) {
 			mo := s.trajs[ref].MO
@@ -186,26 +193,25 @@ func (s *Store) InCellDuring(cell string, from, to time.Time) []string {
 				out = append(out, mo)
 			}
 		})
-	})
+	}
+	s.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
 
 // Overlapping returns the trajectories whose time span intersects
-// [from, to], in insertion order, via the trajectory-span interval index.
+// [from, to], in insertion order, via the trajectory-span interval index
+// (current on every completed Put; served under the shared read lock).
 func (s *Store) Overlapping(from, to time.Time) []core.Trajectory {
-	var out []core.Trajectory
-	s.withCurrentIndexes(func() {
-		if s.spanIdx == nil {
-			return
-		}
-		var refs []int
-		s.spanIdx.visit(from, to, func(ref int) { refs = append(refs, ref) })
-		sort.Ints(refs)
-		for _, r := range refs {
-			out = append(out, s.trajs[r])
-		}
-	})
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var refs []int
+	s.spanIdx.visit(from, to, func(ref int) { refs = append(refs, ref) })
+	sort.Ints(refs)
+	out := make([]core.Trajectory, 0, len(refs))
+	for _, r := range refs {
+		out = append(out, s.trajs[r])
+	}
 	return out
 }
 
@@ -386,42 +392,66 @@ func WriteDetectionsCSV(w io.Writer, dets []core.Detection) error {
 // detectionsHeader is the required first row of the detections CSV format.
 var detectionsHeader = []string{"mo", "cell", "start", "end"}
 
-// ReadDetectionsCSV reads the format written by WriteDetectionsCSV. The
-// first row must be the mo,cell,start,end header; a headerless file is
-// rejected rather than silently dropping what would have been its first
-// detection.
-func ReadDetectionsCSV(r io.Reader) ([]core.Detection, error) {
+// StreamDetectionsCSV reads the format written by WriteDetectionsCSV one
+// row at a time, invoking fn for each detection as soon as its row parses —
+// the ingestion path for live feeds and files too large to slurp. The first
+// row must be the mo,cell,start,end header; a headerless file is rejected
+// rather than silently dropping what would have been its first detection.
+// A non-nil error from fn aborts the stream and is returned verbatim.
+func StreamDetectionsCSV(r io.Reader, fn func(core.Detection) error) error {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
-	rows, err := cr.ReadAll()
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil
+	}
 	if err != nil {
-		return nil, fmt.Errorf("store: csv: %w", err)
+		return fmt.Errorf("store: csv: %w", err)
 	}
-	if len(rows) == 0 {
-		return nil, nil
-	}
-	if len(rows[0]) != len(detectionsHeader) {
-		return nil, fmt.Errorf("store: csv: header has %d fields, want %v", len(rows[0]), detectionsHeader)
+	if len(header) != len(detectionsHeader) {
+		return fmt.Errorf("store: csv: header has %d fields, want %v", len(header), detectionsHeader)
 	}
 	for i, want := range detectionsHeader {
-		if rows[0][i] != want {
-			return nil, fmt.Errorf("store: csv: header %v, want %v (headerless file?)", rows[0], detectionsHeader)
+		if header[i] != want {
+			return fmt.Errorf("store: csv: header %v, want %v (headerless file?)", header, detectionsHeader)
 		}
 	}
-	var out []core.Detection
-	for i, row := range rows[1:] {
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("store: csv: %w", err)
+		}
 		if len(row) != 4 {
-			return nil, fmt.Errorf("store: csv row %d: %d fields", i+2, len(row))
+			return fmt.Errorf("store: csv row %d: %d fields", line, len(row))
 		}
 		start, err := time.Parse(time.RFC3339Nano, row[2])
 		if err != nil {
-			return nil, fmt.Errorf("store: csv row %d start: %w", i+2, err)
+			return fmt.Errorf("store: csv row %d start: %w", line, err)
 		}
 		end, err := time.Parse(time.RFC3339Nano, row[3])
 		if err != nil {
-			return nil, fmt.Errorf("store: csv row %d end: %w", i+2, err)
+			return fmt.Errorf("store: csv row %d end: %w", line, err)
 		}
-		out = append(out, core.Detection{MO: row[0], Cell: row[1], Start: start, End: end})
+		if err := fn(core.Detection{MO: row[0], Cell: row[1], Start: start, End: end}); err != nil {
+			return err
+		}
+	}
+}
+
+// ReadDetectionsCSV reads the format written by WriteDetectionsCSV in one
+// call, built on the streaming reader.
+func ReadDetectionsCSV(r io.Reader) ([]core.Detection, error) {
+	var out []core.Detection
+	err := StreamDetectionsCSV(r, func(d core.Detection) error {
+		out = append(out, d)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -37,6 +37,7 @@ import (
 	"sitm/internal/geom"
 	"sitm/internal/gml"
 	"sitm/internal/indoor"
+	"sitm/internal/ingest"
 	"sitm/internal/louvre"
 	"sitm/internal/mining"
 	"sitm/internal/positioning"
@@ -361,6 +362,68 @@ var ErrNotFound = store.ErrNotFound
 
 // NewStore returns an empty trajectory store.
 func NewStore() *Store { return store.New() }
+
+// ---- Streaming ingestion -------------------------------------------------
+
+// Streaming types: the online counterparts of the batch extraction path.
+type (
+	// StreamSegmenter consumes detections incrementally and emits presence
+	// intervals, trajectories, gap annotations and episodes as they close.
+	StreamSegmenter = core.StreamSegmenter
+	// StreamOptions tune the online segmenter (gap annotation, episode
+	// specs, interval/episode callbacks).
+	StreamOptions = core.StreamOptions
+	// EpisodeSpec names one episode kind extracted online.
+	EpisodeSpec = core.EpisodeSpec
+	// BuildStats report what extraction (batch or streaming) did.
+	BuildStats = core.BuildStats
+	// Ingestor pumps a detection stream into an incrementally-indexed
+	// store; queries interleave freely with ingestion.
+	Ingestor = ingest.Ingestor
+	// IngestOptions tune an Ingestor (segmenter options + batch size).
+	IngestOptions = ingest.Options
+	// IngestStats report ingestion progress.
+	IngestStats = ingest.Stats
+	// StreamAggregator converts live position fixes to zone detections
+	// online (the positioning → ingestion adapter).
+	StreamAggregator = positioning.StreamAggregator
+	// ZoneIndex map-matches position fixes to zone cells.
+	ZoneIndex = positioning.ZoneIndex
+	// AggregateOptions tune fix→detection aggregation.
+	AggregateOptions = positioning.AggregateOptions
+)
+
+// NewStreamSegmenter returns an online segmenter; it agrees with
+// BuildTrajectories on identical input regardless of feed chunking.
+func NewStreamSegmenter(opts StreamOptions) *StreamSegmenter {
+	return core.NewStreamSegmenter(opts)
+}
+
+// NewIngestor returns a live ingestion engine feeding st (a fresh store
+// when nil).
+func NewIngestor(st *Store, opts IngestOptions) *Ingestor { return ingest.New(st, opts) }
+
+// NewZoneIndex indexes the geometry-bearing cells of a layer for
+// fix→zone map-matching.
+func NewZoneIndex(sg *SpaceGraph, layerID string) *ZoneIndex {
+	return positioning.NewZoneIndex(sg, layerID)
+}
+
+// NewStreamAggregator returns an online fix→detection aggregator.
+func NewStreamAggregator(idx *ZoneIndex, opts AggregateOptions) *StreamAggregator {
+	return positioning.NewStreamAggregator(idx, opts)
+}
+
+// StreamDetectionsCSV reads a detections CSV row by row, invoking fn per
+// detection as soon as it parses — the file/stdin feed ingestion path.
+func StreamDetectionsCSV(r io.Reader, fn func(Detection) error) error {
+	return store.StreamDetectionsCSV(r, fn)
+}
+
+// WriteDetectionsCSV writes raw detections as mo,cell,start,end CSV.
+func WriteDetectionsCSV(w io.Writer, dets []Detection) error {
+	return store.WriteDetectionsCSV(w, dets)
+}
 
 // ---- Positioning -----------------------------------------------------------
 

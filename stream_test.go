@@ -1,0 +1,92 @@
+// Streaming-vs-batch equivalence property (ISSUE 2 acceptance): the online
+// StreamSegmenter fed a globally time-ordered detection stream in arbitrary
+// chunks produces exactly the trajectories the batch builder extracts from
+// the same dataset — across randomized generator seeds and randomized,
+// shuffle-resistant chunk boundaries, on over 1k simulated trajectories.
+package sitm_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sitm"
+)
+
+// equivParams sizes a dataset to >1000 visits (≥1000 trajectories after
+// session splitting).
+func equivParams(seed int64) sitm.DatasetParams {
+	p := sitm.DefaultDatasetParams()
+	p.Seed = seed
+	p.Visitors = 700
+	p.ReturningVisitors = 250
+	p.RepeatVisits = 330
+	p.TargetDetections = 4300
+	return p
+}
+
+func TestStreamBatchEquivalenceOn1kTrajectories(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size equivalence property")
+	}
+	opts := sitm.BuildOptions{
+		DropZeroDuration: true,
+		SessionGap:       10 * time.Hour,
+	}
+	for _, seed := range []int64{20170119, 7, 424242} {
+		d, _, err := sitm.GenerateLouvreDataset(equivParams(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, _ := sitm.BuildTrajectories(d.Detections(), opts)
+		if len(batch) < 1000 {
+			t.Fatalf("seed %d: only %d trajectories; the property needs ≥1000", seed, len(batch))
+		}
+
+		// Stream the same dataset in global time order, cut into random
+		// chunks (the segmenter must be shuffle-resistant to boundaries).
+		feed := d.DetectionsByTime()
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		seg := sitm.NewStreamSegmenter(sitm.StreamOptions{Build: opts})
+		var streamed []sitm.Trajectory
+		for i := 0; i < len(feed); {
+			n := 1 + rng.Intn(97)
+			if i+n > len(feed) {
+				n = len(feed) - i
+			}
+			streamed = append(streamed, seg.ObserveAll(feed[i:i+n])...)
+			i += n
+		}
+		streamed = append(streamed, seg.Flush()...)
+
+		if len(streamed) != len(batch) {
+			t.Fatalf("seed %d: %d streamed vs %d batched", seed, len(streamed), len(batch))
+		}
+		sortByMOStart(streamed)
+		sortByMOStart(batch)
+		for i := range batch {
+			a, b := streamed[i], batch[i]
+			if a.MO != b.MO || len(a.Trace) != len(b.Trace) || !a.Ann.Equal(b.Ann) {
+				t.Fatalf("seed %d traj %d: %s/%d vs %s/%d", seed, i, a.MO, len(a.Trace), b.MO, len(b.Trace))
+			}
+			for j := range b.Trace {
+				pa, pb := a.Trace[j], b.Trace[j]
+				if pa.Cell != pb.Cell || !pa.Start.Equal(pb.Start) || !pa.End.Equal(pb.End) {
+					t.Fatalf("seed %d traj %d tuple %d differs: %v vs %v", seed, i, j, pa, pb)
+				}
+			}
+		}
+	}
+}
+
+func sortByMOStart(ts []sitm.Trajectory) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ts[j], ts[j-1]
+			if a.MO > b.MO || (a.MO == b.MO && !a.Start().Before(b.Start())) {
+				break
+			}
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
