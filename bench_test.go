@@ -6,6 +6,7 @@
 package sitm_test
 
 import (
+	"math/rand"
 	"sort"
 	"strings"
 	"testing"
@@ -750,6 +751,278 @@ func TestE5IncrementalBeatsRebuild(t *testing.T) {
 			incDur, rebuildDur, float64(rebuildDur)/float64(incDur))
 	}
 	t.Logf("E5: rebuild %v, incremental %v (%.0fx)", rebuildDur, incDur, float64(rebuildDur)/float64(incDur))
+}
+
+// ---- E6: interned vs legacy profiling pipeline (DESIGN.md §3.6) ----------
+
+// e6Params sizes the 1k-trajectory dataset of the E6 acceptance criterion
+// (scaled from the §4.1 calibration like E5's 10k variant).
+func e6Params() sitm.DatasetParams {
+	p := sitm.DefaultDatasetParams()
+	p.Visitors = 680
+	p.ReturningVisitors = 260
+	p.RepeatVisits = 360
+	p.TargetDetections = 4300
+	return p
+}
+
+// e6Cache holds the 1k-trajectory working set, built once per binary run.
+var e6Cache []sitm.Trajectory
+
+func e6Trajectories(b testing.TB) []sitm.Trajectory {
+	b.Helper()
+	if e6Cache == nil {
+		d, _, err := sitm.GenerateLouvreDataset(e6Params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		trajs, _ := sitm.BuildTrajectories(d.Detections(), sitm.BuildOptions{
+			DropZeroDuration: true, SessionGap: 10 * time.Hour,
+		})
+		if len(trajs) < 1000 {
+			b.Fatalf("E6 dataset has %d trajectories, want ≥1000", len(trajs))
+		}
+		e6Cache = trajs[:1000]
+	}
+	return e6Cache
+}
+
+const (
+	e6K             = 8
+	e6Seed          = 7
+	e6SpatialWeight = 0.7
+)
+
+// e6Hierarchy builds the Louvre model once for the E6 cell kernel.
+func e6Hierarchy(b testing.TB) sitm.CellSimilarity {
+	b.Helper()
+	sg, h, err := sitm.BuildLouvre()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sitm.HierarchyCellSimilarity(sg, h)
+}
+
+// legacyE6DTW is the seed's DTW: full 2-D DP allocated per pair, the cell
+// kernel re-evaluated for every (i, j) position pair.
+func legacyE6DTW(a, b []string, sim sitm.CellSimilarity) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		if len(a) == 0 && len(b) == 0 {
+			return 1
+		}
+		return 0
+	}
+	const inf = 1 << 30
+	type cell struct {
+		cost float64
+		len  int
+	}
+	dp := make([][]cell, len(a)+1)
+	for i := range dp {
+		dp[i] = make([]cell, len(b)+1)
+		for j := range dp[i] {
+			dp[i][j] = cell{cost: inf}
+		}
+	}
+	dp[0][0] = cell{}
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			local := 1 - sim(a[i-1], b[j-1])
+			best := dp[i-1][j-1]
+			if dp[i-1][j].cost < best.cost {
+				best = dp[i-1][j]
+			}
+			if dp[i][j-1].cost < best.cost {
+				best = dp[i][j-1]
+			}
+			dp[i][j] = cell{cost: best.cost + local, len: best.len + 1}
+		}
+	}
+	end := dp[len(a)][len(b)]
+	if end.len == 0 {
+		return 0
+	}
+	s := 1 - end.cost/float64(end.len)
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// legacyE6TrajSim is the seed's combined kernel: string DTW + map-built
+// annotation Jaccard, per pair.
+func legacyE6TrajSim(a, b sitm.Trajectory, sim sitm.CellSimilarity, w float64) float64 {
+	spatial := legacyE6DTW(a.Trace.Cells(), b.Trace.Cells(), sim)
+	semantic := a.Ann.Jaccard(b.Ann)
+	return w*spatial + (1-w)*semantic
+}
+
+// legacyE6KMedoidsMatrix is the seed's PAM refinement: a full O(n·k)
+// reassignment per candidate swap and a linear medoid-membership scan.
+func legacyE6KMedoidsMatrix(sim [][]float64, k int, seed int64) sitm.Clusters {
+	n := len(sim)
+	if k <= 0 || n == 0 {
+		return sitm.Clusters{}
+	}
+	if k > n {
+		k = n
+	}
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			if i != j {
+				dist[i][j] = 1 - sim[i][j]
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	medoids := rng.Perm(n)[:k]
+	sort.Ints(medoids)
+	assign := make([]int, n)
+	assignAll := func() float64 {
+		var total float64
+		for i := 0; i < n; i++ {
+			best, bestD := 0, dist[i][medoids[0]]
+			for c := 1; c < k; c++ {
+				if d := dist[i][medoids[c]]; d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+			total += bestD
+		}
+		return total
+	}
+	contains := func(xs []int, x int) bool {
+		for _, v := range xs {
+			if v == x {
+				return true
+			}
+		}
+		return false
+	}
+	cost := assignAll()
+	for iter := 0; iter < 50; iter++ {
+		improved := false
+		for c := 0; c < k; c++ {
+			for cand := 0; cand < n; cand++ {
+				if contains(medoids, cand) {
+					continue
+				}
+				old := medoids[c]
+				medoids[c] = cand
+				if newCost := assignAll(); newCost < cost-1e-12 {
+					cost = newCost
+					improved = true
+				} else {
+					medoids[c] = old
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	assignAll()
+	return sitm.Clusters{Medoids: medoids, Assign: assign}
+}
+
+// e6Legacy runs the seed-discipline profiling pipeline: parallel pairwise
+// matrix over the string kernel, then the naive PAM.
+func e6Legacy(trajs []sitm.Trajectory, sim sitm.CellSimilarity) ([][]float64, sitm.Clusters) {
+	m := sitm.SimilarityMatrix(trajs, func(a, b sitm.Trajectory) float64 {
+		return legacyE6TrajSim(a, b, sim, e6SpatialWeight)
+	})
+	return m, legacyE6KMedoidsMatrix(m, e6K, e6Seed)
+}
+
+// e6Interned runs the same pipeline on the interned engine: corpus +
+// precomputed cell table + flat-scratch kernels + cached-distance PAM.
+func e6Interned(trajs []sitm.Trajectory, sim sitm.CellSimilarity) ([][]float64, sitm.Clusters) {
+	c := sitm.NewSimilarityCorpus(trajs)
+	m := c.PairwiseMatrix(c.CellTable(sim), e6SpatialWeight)
+	return m, sitm.KMedoidsMatrix(m, e6K, e6Seed)
+}
+
+// BenchmarkE6LegacyProfiling (E6 before): 1000 trajectories, hierarchy
+// kernel re-walked per cell-position pair inside every trajectory pair's
+// DTW, 2-D DP and Jaccard maps allocated per pair, O(n²k) PAM sweeps.
+func BenchmarkE6LegacyProfiling(b *testing.B) {
+	trajs := e6Trajectories(b)
+	sim := e6Hierarchy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, cl := e6Legacy(trajs, sim); len(cl.Medoids) != e6K {
+			b.Fatal("clustering collapsed")
+		}
+	}
+}
+
+// BenchmarkE6InternedProfiling (E6 after): the same inputs and bit-for-bit
+// the same outputs over the interned analytics core.
+func BenchmarkE6InternedProfiling(b *testing.B) {
+	trajs := e6Trajectories(b)
+	sim := e6Hierarchy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, cl := e6Interned(trajs, sim); len(cl.Medoids) != e6K {
+			b.Fatal("clustering collapsed")
+		}
+	}
+}
+
+// TestE6InternedBeatsLegacy enforces the E6 acceptance criterion in
+// tier-1: on the 1k-trajectory profiling pipeline (pairwise similarity
+// matrix + k-medoids), the interned engine must be ≥5× faster than the
+// legacy string path — and produce bit-for-bit identical output: the two
+// matrices compare equal with ==, and the clusterings are identical.
+func TestE6InternedBeatsLegacy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size E6 workload")
+	}
+	trajs := e6Trajectories(t)
+	sim := e6Hierarchy(t)
+
+	startLegacy := time.Now()
+	legacyM, legacyCl := e6Legacy(trajs, sim)
+	legacyDur := time.Since(startLegacy)
+
+	// Best of three for the fast side (the slow side dominates the ratio).
+	var internedDur time.Duration
+	var internedM [][]float64
+	var internedCl sitm.Clusters
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		internedM, internedCl = e6Interned(trajs, sim)
+		if d := time.Since(start); rep == 0 || d < internedDur {
+			internedDur = d
+		}
+	}
+
+	for i := range legacyM {
+		for j := range legacyM[i] {
+			if legacyM[i][j] != internedM[i][j] {
+				t.Fatalf("matrix diverged at (%d, %d): legacy %v, interned %v (must be bit-identical)",
+					i, j, legacyM[i][j], internedM[i][j])
+			}
+		}
+	}
+	for i := range legacyCl.Medoids {
+		if legacyCl.Medoids[i] != internedCl.Medoids[i] {
+			t.Fatalf("medoids diverged: legacy %v, interned %v", legacyCl.Medoids, internedCl.Medoids)
+		}
+	}
+	for i := range legacyCl.Assign {
+		if legacyCl.Assign[i] != internedCl.Assign[i] {
+			t.Fatalf("assignment diverged at %d", i)
+		}
+	}
+	if internedDur*5 > legacyDur {
+		t.Fatalf("interned %v not ≥5x faster than legacy %v (%.1fx)",
+			internedDur, legacyDur, float64(legacyDur)/float64(internedDur))
+	}
+	t.Logf("E6: legacy %v, interned %v (%.0fx)", legacyDur, internedDur, float64(legacyDur)/float64(internedDur))
 }
 
 // benchSimilaritySample returns a fixed-size trajectory sample and the

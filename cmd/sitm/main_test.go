@@ -28,6 +28,7 @@ func TestGoldenSubcommands(t *testing.T) {
 		{"figures-x1", []string{"figures", "-id", "X1"}},
 		{"stats-scale01", []string{"stats", "-scale", "0.1"}},
 		{"mine-scale005", []string{"mine", "-scale", "0.05", "-top", "5"}},
+		{"profile-scale005", []string{"profile", "-scale", "0.05", "-k", "3"}},
 		{"ingest-feed", []string{"ingest", "-in", "testdata/feed.csv"}},
 		{"ingest-feed-merge", []string{"ingest", "-in", "testdata/feed.csv", "-merge", "-keep-zero", "-top", "3"}},
 	}

@@ -97,10 +97,10 @@ func main() {
 	}
 
 	// --- Profiling: do the two archetypes separate? ------------------------
-	clusters := sitm.KMedoids(trajs, 2, func(a, b sitm.Trajectory) float64 {
-		// Pure spatial similarity: the paths alone must separate shoppers.
-		return sitm.TrajectorySimilarity(a, b, exact, 1.0)
-	}, 99)
+	// Pure spatial similarity (weight 1.0): the paths alone must separate
+	// shoppers. Clustering runs on the interned corpus pipeline.
+	corpus := sitm.NewSimilarityCorpus(trajs)
+	clusters := corpus.KMedoids(corpus.CellTable(exact), 1.0, 2, 99)
 	var agree, total int
 	for i, tr := range trajs {
 		want := tr.Ann.Has("behavior", "tech")

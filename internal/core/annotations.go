@@ -145,6 +145,19 @@ func (a Annotations) nonEmptyKeys() []string {
 	return out
 }
 
+// ForEachPair invokes fn for every (key, value) pair of the annotation set,
+// keys in sorted order. It is the streaming counterpart of the pair-set view
+// Jaccard builds: encoders (e.g. the similarity corpus interner) consume the
+// pairs without materialising the intermediate map. Values repeat exactly as
+// stored; consumers needing set semantics dedupe on their side.
+func (a Annotations) ForEachPair(fn func(key, value string)) {
+	for _, k := range a.Keys() {
+		for _, v := range a[k] {
+			fn(k, v)
+		}
+	}
+}
+
 // Jaccard returns the Jaccard similarity of the two annotation sets viewed
 // as sets of (key, value) pairs: |A∩B| / |A∪B|, with 1 for two empty sets.
 func (a Annotations) Jaccard(b Annotations) float64 {

@@ -109,6 +109,22 @@ func TestAnnotationsJaccard(t *testing.T) {
 	}
 }
 
+func TestAnnotationsForEachPair(t *testing.T) {
+	a := NewAnnotations("g", "v", "g", "w", "act", "walk")
+	var got []string
+	a.ForEachPair(func(k, v string) { got = append(got, k+"="+v) })
+	want := []string{"act=walk", "g=v", "g=w"} // keys sorted, values in order
+	if len(got) != len(want) {
+		t.Fatalf("pairs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pairs = %v, want %v", got, want)
+		}
+	}
+	(Annotations{}).ForEachPair(func(k, v string) { t.Error("empty set yielded a pair") })
+}
+
 func TestAnnotationsString(t *testing.T) {
 	if got := (Annotations{}).String(); got != "∅" {
 		t.Errorf("empty String = %q", got)

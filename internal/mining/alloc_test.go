@@ -1,0 +1,51 @@
+package mining
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPrefixSpanAllocsPerProjectionNearZero pins the arena discipline of
+// the interned PrefixSpan: projections land in per-depth buffers reused
+// across sibling subtrees and support tallies are reused flat vectors, so
+// a run's allocations are bounded by the corpus encoding (one per
+// sequence-set + dict) and the emitted patterns — not by the number of
+// projected databases the recursion explores. AllocsPerRun runs under
+// GOMAXPROCS=1, so the root fan-out degrades to a sequential loop.
+func TestPrefixSpanAllocsPerProjectionNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	seqs := randSequences(rng, 400, 8, 9)
+
+	// Warm once to learn the output size; patterns are the legitimate
+	// per-run allocations (one Cells slice each plus output growth).
+	patterns := PrefixSpan(seqs, 4, 4)
+	if len(patterns) < 30 {
+		t.Fatalf("corpus too easy: only %d patterns", len(patterns))
+	}
+	// The recursion visits at least one projected database per non-root
+	// pattern — the quantity that must NOT show up in the allocation count.
+	projections := 0
+	for _, p := range patterns {
+		if len(p.Cells) > 1 {
+			projections++
+		}
+	}
+	if projections < 20 {
+		t.Fatalf("only %d projections explored", projections)
+	}
+
+	allocs := testing.AllocsPerRun(10, func() {
+		PrefixSpan(seqs, 4, 4)
+	})
+	// Budget: corpus interning (dict map + flat buffer + headers + rank
+	// tables) + per-root-item scratch + ~3 allocations per emitted pattern
+	// (Cells slice, output growth, sort bookkeeping). What it must never
+	// include is O(projections · db size) map/slice churn — the legacy
+	// path allocated a seen-map per database entry per level, thousands
+	// of allocations here.
+	budget := float64(3*len(patterns) + 120)
+	if allocs > budget {
+		t.Fatalf("PrefixSpan allocated %.0f times (budget %.0f for %d patterns, %d projections)",
+			allocs, budget, len(patterns), projections)
+	}
+}

@@ -1,0 +1,138 @@
+package mining
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+// refPrefixSpan is the pre-interning implementation, kept verbatim as the
+// differential reference: string items, map-backed seen-sets and support
+// tallies, fresh projection slices, sequential recursion.
+func refPrefixSpan(sequences [][]string, minSupport, maxLen int) []Pattern {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	countSupport := func(db []proj) map[string]int {
+		counts := make(map[string]int)
+		for _, p := range db {
+			seen := make(map[string]bool)
+			for _, item := range sequences[p.seq][p.off:] {
+				if !seen[item] {
+					seen[item] = true
+					counts[item]++
+				}
+			}
+		}
+		return counts
+	}
+	frequentItems := func(counts map[string]int) []string {
+		var items []string
+		for item, n := range counts {
+			if n >= minSupport {
+				items = append(items, item)
+			}
+		}
+		sort.Strings(items)
+		return items
+	}
+	project := func(db []proj, item string) []proj {
+		var next []proj
+		for _, p := range db {
+			for i, it := range sequences[p.seq][p.off:] {
+				if it == item {
+					next = append(next, proj{p.seq, p.off + i + 1})
+					break
+				}
+			}
+		}
+		return next
+	}
+	var mine func(prefix []string, db []proj, out *[]Pattern)
+	mine = func(prefix []string, db []proj, out *[]Pattern) {
+		if maxLen > 0 && len(prefix) >= maxLen {
+			return
+		}
+		counts := countSupport(db)
+		for _, item := range frequentItems(counts) {
+			grown := append(append([]string{}, prefix...), item)
+			*out = append(*out, Pattern{Cells: grown, Support: counts[item]})
+			mine(grown, project(db, item), out)
+		}
+	}
+	db := make([]proj, len(sequences))
+	for i := range sequences {
+		db[i] = proj{i, 0}
+	}
+	var out []Pattern
+	mine(nil, db, &out)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		if len(out[i].Cells) != len(out[j].Cells) {
+			return len(out[i].Cells) > len(out[j].Cells)
+		}
+		return lessSlices(out[i].Cells, out[j].Cells)
+	})
+	return out
+}
+
+func randSequences(rng *rand.Rand, n, alphabet, maxLen int) [][]string {
+	out := make([][]string, n)
+	for i := range out {
+		l := rng.Intn(maxLen + 1)
+		seq := make([]string, l)
+		for j := range seq {
+			seq[j] = fmt.Sprintf("z%02d", rng.Intn(alphabet))
+		}
+		out[i] = seq
+	}
+	return out
+}
+
+// TestDifferentialPrefixSpan: the interned PrefixSpan must reproduce the
+// legacy string implementation exactly — patterns, supports and ordering —
+// across randomized corpora and both scheduling regimes (the root level
+// fans out over the pool, so GOMAXPROCS varies the interleaving).
+func TestDifferentialPrefixSpan(t *testing.T) {
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	for _, procs := range []int{1, 8} {
+		runtime.GOMAXPROCS(procs)
+		rng := rand.New(rand.NewSource(int64(50 + procs)))
+		for trial := 0; trial < 25; trial++ {
+			seqs := randSequences(rng, 1+rng.Intn(40), 1+rng.Intn(8), 9)
+			minSupport := 1 + rng.Intn(4)
+			maxLen := rng.Intn(5) // 0 = unbounded
+			got := PrefixSpan(seqs, minSupport, maxLen)
+			want := refPrefixSpan(seqs, minSupport, maxLen)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("GOMAXPROCS=%d trial %d (minSupport=%d maxLen=%d):\ngot  %v\nwant %v",
+					procs, trial, minSupport, maxLen, got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialPrefixSpanLargeDB crosses the parallel root-tally
+// threshold (supportChunks needs >4096 entries) so the chunked count path
+// is differentially covered too.
+func TestDifferentialPrefixSpanLargeDB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large corpus")
+	}
+	rng := rand.New(rand.NewSource(99))
+	seqs := randSequences(rng, 9000, 6, 6)
+	got := PrefixSpan(seqs, 500, 3)
+	want := refPrefixSpan(seqs, 500, 3)
+	if len(got) == 0 {
+		t.Fatal("no patterns mined — corpus misconfigured")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("large-db divergence: got %d patterns, want %d", len(got), len(want))
+	}
+}

@@ -1,0 +1,123 @@
+package mining
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"sitm/internal/core"
+)
+
+// The choropleth/transition orderings must be total: parallel tallies merge
+// per-chunk maps in scheduling-dependent order, so any tie broken by map
+// iteration order would make output flap between runs and between
+// GOMAXPROCS values. These tests audit the sort keys and pin the outputs
+// at GOMAXPROCS ∈ {1, 8} against each other.
+
+func randDetections(rng *rand.Rand, n, cells int) []core.Detection {
+	day := time.Date(2017, 3, 1, 9, 0, 0, 0, time.UTC)
+	out := make([]core.Detection, n)
+	for i := range out {
+		at := day.Add(time.Duration(rng.Intn(100000)) * time.Second)
+		out[i] = core.Detection{
+			MO:    fmt.Sprintf("mo%04d", rng.Intn(n/4+1)),
+			Cell:  fmt.Sprintf("zone%02d", rng.Intn(cells)),
+			Start: at,
+			End:   at.Add(time.Duration(rng.Intn(600)) * time.Second),
+		}
+	}
+	return out
+}
+
+func randOrderTrajs(rng *rand.Rand, n, cells int) []core.Trajectory {
+	day := time.Date(2017, 3, 1, 9, 0, 0, 0, time.UTC)
+	out := make([]core.Trajectory, 0, n)
+	for i := 0; i < n; i++ {
+		var tr core.Trace
+		for j, l := 0, 1+rng.Intn(6); j < l; j++ {
+			tr = append(tr, core.PresenceInterval{
+				Cell:  fmt.Sprintf("zone%02d", rng.Intn(cells)),
+				Start: day.Add(time.Duration(j) * time.Minute),
+				End:   day.Add(time.Duration(j+1) * time.Minute),
+			})
+		}
+		traj, err := core.NewTrajectory(fmt.Sprintf("mo%05d", i), tr, core.NewAnnotations("goal", "visit"))
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, traj)
+	}
+	return out
+}
+
+// TestTallyOrderingsStableAcrossGOMAXPROCS: DetectionCounts and VisitCounts
+// run the chunked parallel tally above ~4k inputs; identical inputs must
+// yield byte-identical orderings whether the tally ran on one worker or
+// eight. Deliberately uses few distinct cells over many inputs so count
+// ties are plentiful.
+func TestTallyOrderingsStableAcrossGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	dets := randDetections(rng, 12000, 16)
+	trajs := randOrderTrajs(rng, 6000, 16)
+
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+
+	var detRuns, visitRuns [][]CellCount
+	for _, procs := range []int{1, 8} {
+		runtime.GOMAXPROCS(procs)
+		detRuns = append(detRuns, DetectionCounts(dets, nil))
+		visitRuns = append(visitRuns, VisitCounts(trajs, nil))
+	}
+	if !reflect.DeepEqual(detRuns[0], detRuns[1]) {
+		t.Error("DetectionCounts ordering differs between GOMAXPROCS 1 and 8")
+	}
+	if !reflect.DeepEqual(visitRuns[0], visitRuns[1]) {
+		t.Error("VisitCounts ordering differs between GOMAXPROCS 1 and 8")
+	}
+	assertTotalCellOrder(t, detRuns[0])
+	assertTotalCellOrder(t, visitRuns[0])
+}
+
+// assertTotalCellOrder checks the sortCounts contract: strictly descending
+// by count with strictly ascending cell ids inside a count class — a total
+// order with no room for scheduling to leak through.
+func assertTotalCellOrder(t *testing.T, counts []CellCount) {
+	t.Helper()
+	for i := 1; i < len(counts); i++ {
+		a, b := counts[i-1], counts[i]
+		if b.Count > a.Count || (b.Count == a.Count && b.Cell <= a.Cell) {
+			t.Fatalf("ordering not total at %d: %+v then %+v", i, a, b)
+		}
+	}
+}
+
+// TestTransitionTopOrderingTotal: TransitionMatrix.Top iterates nested
+// maps, so its sort must break count ties on (From, To) completely.
+func TestTransitionTopOrderingTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trajs := randOrderTrajs(rng, 3000, 10)
+	m := NewTransitionMatrix(trajs)
+	top := m.Top(1 << 30)
+	if len(top) == 0 {
+		t.Fatal("no transitions")
+	}
+	for i := 1; i < len(top); i++ {
+		a, b := top[i-1], top[i]
+		switch {
+		case b.Count > a.Count:
+			t.Fatalf("count order broken at %d: %+v then %+v", i, a, b)
+		case b.Count == a.Count && b.From < a.From:
+			t.Fatalf("From tie-break broken at %d: %+v then %+v", i, a, b)
+		case b.Count == a.Count && b.From == a.From && b.To <= a.To:
+			t.Fatalf("To tie-break broken at %d: %+v then %+v", i, a, b)
+		}
+	}
+	// Two builds over the same trajectories must agree exactly.
+	if again := NewTransitionMatrix(trajs).Top(1 << 30); !reflect.DeepEqual(top, again) {
+		t.Error("Top output not reproducible")
+	}
+}

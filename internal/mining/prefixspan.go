@@ -1,10 +1,12 @@
 package mining
 
 import (
+	"slices"
 	"sort"
 
 	"sitm/internal/core"
 	"sitm/internal/parallel"
+	"sitm/internal/symtab"
 )
 
 // Pattern is a sequential pattern: an ordered list of cells visited (not
@@ -39,81 +41,63 @@ type proj struct{ seq, off int }
 // is the classical pattern-growth algorithm over projected databases
 // (Pei et al.), the standard sequential-pattern machinery the SITM is meant
 // to feed ("support frequent/sequential patterns and association rules",
-// §2.2). The first pattern-growth level fans out over the worker pool —
-// the projected databases of distinct frequent items are independent — and
-// support counting over large databases is tallied in parallel chunks, so
-// mining scales with the cores available. Output is deterministic
-// regardless of scheduling: the final ordering is a total order.
+// §2.2) — run over dictionary-encoded sequences: items are interned to
+// dense int32 ids once, support tallies are flat count vectors, the
+// per-suffix distinct-item sets are generation-stamped slices instead of
+// per-entry maps, and projected databases live in per-depth arena buffers
+// reused across sibling subtrees, so the pattern-growth recursion is
+// allocation-free apart from the patterns it emits. The first growth level
+// fans out over the worker pool — the projected databases of distinct
+// frequent items are independent — and root support counting over large
+// databases is tallied in parallel chunks. Output is deterministic
+// regardless of scheduling: the final ordering is a total order, and it is
+// bit-for-bit the legacy string implementation's (differential-tested).
 func PrefixSpan(sequences [][]string, minSupport, maxLen int) []Pattern {
 	if minSupport < 1 {
 		minSupport = 1
 	}
-	// emitSuffixItems feeds each distinct item of suffix i to add — the
-	// support-counting kernel shared by both tally paths below.
-	emitSuffixItems := func(i int, db []proj, add func(string)) {
-		seen := make(map[string]bool)
-		for _, item := range sequences[db[i].seq][db[i].off:] {
-			if !seen[item] {
-				seen[item] = true
-				add(item)
-			}
-		}
+	// Intern the corpus: one flat id buffer backs every sequence.
+	dict := symtab.NewDict()
+	total := 0
+	for _, s := range sequences {
+		total += len(s)
 	}
-	// countSupport tallies suffix support over the package's chunked
-	// parallel tally. Used at the root only: below the root the subtrees
-	// themselves run in parallel, and nesting another fan-out inside each
-	// would oversubscribe the pool (~workers² goroutines), so subtree
-	// counting stays sequential.
-	countSupport := func(db []proj) map[string]int {
-		return parallelTally(len(db), func(i int, add func(string)) {
-			emitSuffixItems(i, db, add)
-		})
+	flat := make([]int32, 0, total)
+	seqs := make([][]int32, len(sequences))
+	for i, s := range sequences {
+		lo := len(flat)
+		flat = dict.EncodeInto(flat, s)
+		seqs[i] = flat[lo:len(flat):len(flat)]
 	}
-	countSupportSeq := func(db []proj) map[string]int {
-		return tallyRange(0, len(db), func(i int, add func(string)) {
-			emitSuffixItems(i, db, add)
-		})
-	}
+	k := dict.Len()
+	// nameRank[id] = rank of the symbol in lexicographic order — the
+	// iteration order of the legacy frequentItems (sort.Strings).
+	nameRank := lexicographicRanks(dict)
 
-	// project narrows db to the suffixes after each one's first `item`.
-	project := func(db []proj, item string) []proj {
-		var next []proj
-		for _, p := range db {
-			for i, it := range sequences[p.seq][p.off:] {
-				if it == item {
-					next = append(next, proj{p.seq, p.off + i + 1})
-					break
-				}
-			}
-		}
-		return next
-	}
-
-	// mine grows patterns sequentially below the fan-out level.
-	var mine func(prefix []string, db []proj, out *[]Pattern)
-	mine = func(prefix []string, db []proj, out *[]Pattern) {
-		if maxLen > 0 && len(prefix) >= maxLen {
-			return
-		}
-		counts := countSupportSeq(db)
-		for _, item := range frequentItems(counts, minSupport) {
-			grown := append(append([]string{}, prefix...), item)
-			*out = append(*out, Pattern{Cells: grown, Support: counts[item]})
-			mine(grown, project(db, item), out)
-		}
-	}
-
-	db := make([]proj, len(sequences))
-	for i := range sequences {
+	db := make([]proj, len(seqs))
+	for i := range seqs {
 		db[i] = proj{i, 0}
 	}
-	rootCounts := countSupport(db)
-	rootItems := frequentItems(rootCounts, minSupport)
-	// Fan the independent per-item subtrees out over the pool.
+	rootCounts := rootSupport(seqs, db, k)
+	var rootItems []int32
+	for id := int32(0); int(id) < k; id++ {
+		if int(rootCounts[id]) >= minSupport {
+			rootItems = append(rootItems, id)
+		}
+	}
+	slices.SortFunc(rootItems, func(a, b int32) int {
+		return int(nameRank[a]) - int(nameRank[b])
+	})
+
+	// Fan the independent per-item subtrees out over the pool; each
+	// subtree owns one scratch (counts, stamps, arenas) for its whole
+	// recursion.
 	subtrees := parallel.Map(len(rootItems), func(i int) []Pattern {
 		item := rootItems[i]
-		local := []Pattern{{Cells: []string{item}, Support: rootCounts[item]}}
-		mine([]string{item}, project(db, item), &local)
+		sc := newPSScratch(dict, seqs, nameRank, minSupport, maxLen)
+		local := []Pattern{{Cells: []string{dict.Symbol(item)}, Support: int(rootCounts[item])}}
+		sc.prefix = append(sc.prefix, item)
+		sc.mine(&local, sc.project(db, item, 0), 1)
 		return local
 	})
 	var out []Pattern
@@ -133,6 +117,217 @@ func PrefixSpan(sequences [][]string, minSupport, maxLen int) []Pattern {
 	return out
 }
 
+// lexicographicRanks maps every interned id to the rank of its symbol in
+// lexicographic string order, so integer comparisons reproduce the legacy
+// sort.Strings item ordering.
+func lexicographicRanks(dict *symtab.Dict) []int32 {
+	k := dict.Len()
+	byName := make([]int32, k)
+	for i := range byName {
+		byName[i] = int32(i)
+	}
+	slices.SortFunc(byName, func(a, b int32) int {
+		sa, sb := dict.Symbol(a), dict.Symbol(b)
+		if sa < sb {
+			return -1
+		}
+		if sa > sb {
+			return 1
+		}
+		return 0
+	})
+	ranks := make([]int32, k)
+	for rank, id := range byName {
+		ranks[id] = int32(rank)
+	}
+	return ranks
+}
+
+// rootSupport tallies per-item suffix support over the whole database,
+// chunked over the worker pool when the database is large; per-chunk flat
+// count vectors merge by element-wise addition, so the totals are
+// scheduling-independent.
+func rootSupport(seqs [][]int32, db []proj, k int) []int32 {
+	chunks := supportChunks(len(db))
+	if chunks <= 1 {
+		counts := make([]int32, k)
+		seen := make([]uint32, k)
+		countRange(seqs, db, counts, seen, 0)
+		return counts
+	}
+	size := (len(db) + chunks - 1) / chunks
+	partials := parallel.Map(chunks, func(c int) []int32 {
+		hi := (c + 1) * size
+		if hi > len(db) {
+			hi = len(db)
+		}
+		counts := make([]int32, k)
+		seen := make([]uint32, k)
+		countRange(seqs, db[c*size:hi], counts, seen, 0)
+		return counts
+	})
+	totals := partials[0]
+	for _, part := range partials[1:] {
+		for id, n := range part {
+			totals[id] += n
+		}
+	}
+	return totals
+}
+
+// countRange adds each db entry's distinct suffix items into counts, using
+// generation stamps in seen (one generation per entry) instead of a fresh
+// set per entry. It returns the next free generation.
+func countRange(seqs [][]int32, db []proj, counts []int32, seen []uint32, gen uint32) uint32 {
+	for _, p := range db {
+		gen++
+		if gen == 0 { // stamp wrap: reset and restart generations
+			clear(seen)
+			gen = 1
+		}
+		for _, item := range seqs[p.seq][p.off:] {
+			if seen[item] != gen {
+				seen[item] = gen
+				counts[item]++
+			}
+		}
+	}
+	return gen
+}
+
+// psScratch is the reusable state of one pattern-growth subtree: flat
+// count/stamp vectors, the prefix stack, and per-depth levels holding the
+// frequent-item list and the projection arena of that depth. Nothing here
+// is shared between goroutines.
+type psScratch struct {
+	dict       *symtab.Dict
+	seqs       [][]int32
+	nameRank   []int32
+	minSupport int
+	maxLen     int
+
+	counts  []int32
+	seen    []uint32
+	gen     uint32
+	touched []int32
+	prefix  []int32
+	levels  []psLevel
+}
+
+// psLevel is the per-depth reusable storage: the frequent items (with
+// supports) found at this depth, and the projection buffer its children
+// are built in. Sibling subtrees at the same depth reuse both.
+type psLevel struct {
+	items []int32
+	sups  []int32
+	projs []proj
+}
+
+func newPSScratch(dict *symtab.Dict, seqs [][]int32, nameRank []int32, minSupport, maxLen int) *psScratch {
+	k := dict.Len()
+	return &psScratch{
+		dict:       dict,
+		seqs:       seqs,
+		nameRank:   nameRank,
+		minSupport: minSupport,
+		maxLen:     maxLen,
+		counts:     make([]int32, k),
+		seen:       make([]uint32, k),
+	}
+}
+
+// mine grows patterns depth-first below the parallel fan-out level.
+// depth == len(prefix); the level storage at each depth is reused across
+// siblings, which is safe because a child's recursion completes before its
+// next sibling projects.
+func (s *psScratch) mine(out *[]Pattern, db []proj, depth int) {
+	if s.maxLen > 0 && depth >= s.maxLen {
+		return
+	}
+	for len(s.levels) <= depth {
+		s.levels = append(s.levels, psLevel{})
+	}
+	lv := &s.levels[depth]
+	s.frequentInto(lv, db)
+	for idx := 0; idx < len(lv.items); idx++ {
+		item, sup := lv.items[idx], lv.sups[idx]
+		s.prefix = append(s.prefix, item)
+		*out = append(*out, Pattern{Cells: s.resolvePrefix(), Support: int(sup)})
+		s.mine(out, s.project(db, item, depth), depth+1)
+		s.prefix = s.prefix[:len(s.prefix)-1]
+	}
+}
+
+// frequentInto tallies db's suffix support into the scratch vectors and
+// extracts the items meeting the threshold into lv, sorted by symbol name
+// (the legacy frequentItems order). The count vector is zeroed behind it,
+// so the recursion can reuse it at every depth.
+func (s *psScratch) frequentInto(lv *psLevel, db []proj) {
+	lv.items = lv.items[:0]
+	lv.sups = lv.sups[:0]
+	touched := s.touched[:0]
+	for _, p := range db {
+		s.gen++
+		if s.gen == 0 {
+			clear(s.seen)
+			s.gen = 1
+		}
+		for _, item := range s.seqs[p.seq][p.off:] {
+			if s.seen[item] != s.gen {
+				s.seen[item] = s.gen
+				if s.counts[item] == 0 {
+					touched = append(touched, item)
+				}
+				s.counts[item]++
+			}
+		}
+	}
+	for _, item := range touched {
+		if int(s.counts[item]) >= s.minSupport {
+			lv.items = append(lv.items, item)
+		}
+	}
+	rank := s.nameRank
+	slices.SortFunc(lv.items, func(a, b int32) int { return int(rank[a]) - int(rank[b]) })
+	for _, item := range lv.items {
+		lv.sups = append(lv.sups, s.counts[item])
+	}
+	for _, item := range touched {
+		s.counts[item] = 0
+	}
+	s.touched = touched[:0]
+}
+
+// resolvePrefix materialises the current prefix stack as strings (the only
+// per-pattern allocation of the mining recursion).
+func (s *psScratch) resolvePrefix() []string {
+	out := make([]string, len(s.prefix))
+	for i, id := range s.prefix {
+		out[i] = s.dict.Symbol(id)
+	}
+	return out
+}
+
+// project narrows db to the suffixes after each entry's first `item`,
+// writing into the depth's arena buffer (reused across siblings).
+func (s *psScratch) project(db []proj, item int32, depth int) []proj {
+	for len(s.levels) <= depth {
+		s.levels = append(s.levels, psLevel{})
+	}
+	buf := s.levels[depth].projs[:0]
+	for _, p := range db {
+		suffix := s.seqs[p.seq][p.off:]
+		for i, it := range suffix {
+			if it == item {
+				buf = append(buf, proj{p.seq, p.off + i + 1})
+				break
+			}
+		}
+	}
+	s.levels[depth].projs = buf
+	return buf
+}
+
 // supportChunks picks the parallel tally fan-out: sequential below a
 // threshold where goroutine overhead would dominate the map work.
 func supportChunks(n int) int {
@@ -142,18 +337,6 @@ func supportChunks(n int) int {
 		chunks = w
 	}
 	return chunks
-}
-
-// frequentItems filters and sorts the items meeting the support threshold.
-func frequentItems(counts map[string]int, minSupport int) []string {
-	var items []string
-	for item, n := range counts {
-		if n >= minSupport {
-			items = append(items, item)
-		}
-	}
-	sort.Strings(items)
-	return items
 }
 
 func lessSlices(a, b []string) bool {

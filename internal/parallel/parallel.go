@@ -119,6 +119,18 @@ func Map[T any](n int, fn func(i int) T) []T {
 // callers compute only the upper triangle and mirror the result. A panic
 // in fn is re-raised on the calling goroutine, like ForEach.
 func MapPairsSymmetric(n int, fn func(i, j int)) {
+	MapPairsSymmetricWith(n, func() struct{} { return struct{}{} },
+		func(_ struct{}, i, j int) { fn(i, j) })
+}
+
+// MapPairsSymmetricWith is MapPairsSymmetric with per-worker state: every
+// pool goroutine calls newState exactly once and threads the result through
+// all of its fn invocations. Kernels that need scratch buffers (DP rows,
+// reusable arenas) allocate them once per worker instead of once per pair —
+// the allocation-free discipline of the interned similarity kernels — while
+// fn stays free of locking because no state value is ever shared between
+// two goroutines.
+func MapPairsSymmetricWith[S any](n int, newState func() S, fn func(s S, i, j int)) {
 	if n < 2 {
 		return
 	}
@@ -129,9 +141,10 @@ func MapPairsSymmetric(n int, fn func(i, j int)) {
 		w = n - 1
 	}
 	if w == 1 {
+		s := newState()
 		for i := 0; i < n-1; i++ {
 			for j := i + 1; j < n; j++ {
-				fn(i, j)
+				fn(s, i, j)
 			}
 		}
 		return
@@ -144,13 +157,14 @@ func MapPairsSymmetric(n int, fn func(i, j int)) {
 		go func() {
 			defer wg.Done()
 			defer capturePanic(&next, int64(n), &panicked)
+			s := newState()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n-1 {
 					return
 				}
 				for j := i + 1; j < n; j++ {
-					fn(i, j)
+					fn(s, i, j)
 				}
 			}
 		}()

@@ -93,6 +93,43 @@ func TestMapPairsSymmetricCoversEveryPairOnce(t *testing.T) {
 	}
 }
 
+func TestMapPairsSymmetricWithStatePerWorker(t *testing.T) {
+	// Every invocation must see a state value created by newState, and no
+	// state value may ever be observed on two goroutines at once. Each
+	// state counts its own pairs; the per-state counts must sum to the
+	// full triangle.
+	type state struct {
+		pairs int64
+		busy  atomic.Bool
+	}
+	var mu sync.Mutex
+	var states []*state
+	const n = 65
+	MapPairsSymmetricWith(n, func() *state {
+		s := &state{}
+		mu.Lock()
+		states = append(states, s)
+		mu.Unlock()
+		return s
+	}, func(s *state, i, j int) {
+		if !s.busy.CompareAndSwap(false, true) {
+			t.Error("state shared between concurrent invocations")
+		}
+		s.pairs++
+		s.busy.Store(false)
+	})
+	var total int64
+	for _, s := range states {
+		total += s.pairs
+	}
+	if want := int64(n * (n - 1) / 2); total != want {
+		t.Fatalf("pairs over all states = %d, want %d", total, want)
+	}
+	if len(states) == 0 || len(states) > Workers(0) {
+		t.Fatalf("newState called %d times with %d workers", len(states), Workers(0))
+	}
+}
+
 func TestForEachPanicPropagatesToCaller(t *testing.T) {
 	defer func() {
 		if r := recover(); r != "boom" {

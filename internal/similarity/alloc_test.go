@@ -1,0 +1,64 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPairwiseMatrixAllocsPerPairNearZero pins the allocation discipline of
+// the interned pairwise pipeline: beyond the result matrix itself (one flat
+// backing array + one row-header slice) and one scratch per worker, pairs
+// must not allocate — the DP rows are reused across every pair a worker
+// evaluates. AllocsPerRun runs under GOMAXPROCS=1, so the pool degrades to
+// one sequential worker with exactly one scratch.
+func TestPairwiseMatrixAllocsPerPairNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	trajs := randTrajs(rng, 40, randAlphabet(rng))
+	c := NewCorpus(trajs)
+	tab := c.CellTable(hashCellSim)
+
+	allocs := testing.AllocsPerRun(10, func() {
+		c.PairwiseMatrix(tab, 0.7)
+	})
+	pairs := float64(40 * 39 / 2) // 780
+	// Fixed costs: flat matrix + row headers + one worker scratch (≤ ~8
+	// slices). Anything near the pair count means a per-pair regression.
+	if allocs > 16 {
+		t.Fatalf("PairwiseMatrix allocated %.0f times for %0.f pairs (%.3f per pair); want fixed costs only",
+			allocs, pairs, allocs/pairs)
+	}
+}
+
+// TestIntMetricMatrixAllocsPerPairNearZero: the bulk edit/LCSS matrices
+// share the pairwise discipline — result storage plus one worker scratch,
+// nothing per pair.
+func TestIntMetricMatrixAllocsPerPairNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	trajs := randTrajs(rng, 40, randAlphabet(rng))
+	c := NewCorpus(trajs)
+	for name, run := range map[string]func(){
+		"EditDistanceMatrix": func() { c.EditDistanceMatrix() },
+		"LCSSMatrix":         func() { c.LCSSMatrix() },
+	} {
+		if allocs := testing.AllocsPerRun(10, run); allocs > 16 {
+			t.Fatalf("%s allocated %.0f times for 780 pairs; want fixed costs only", name, allocs)
+		}
+	}
+}
+
+// TestScalarWrappersStayLean: the single-pair string entry points must not
+// regress to per-call corpus builds — a pair cannot amortise interning, so
+// they run direct two-row DPs (a handful of row allocations).
+func TestScalarWrappersStayLean(t *testing.T) {
+	a := []string{"x", "y", "z", "x", "w", "y", "z", "q"}
+	b := []string{"y", "x", "z", "w", "w", "q", "x"}
+	if allocs := testing.AllocsPerRun(20, func() { EditDistance(a, b) }); allocs > 4 {
+		t.Fatalf("EditDistance allocated %.0f times; want two DP rows", allocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { LCSS(a, b) }); allocs > 4 {
+		t.Fatalf("LCSS allocated %.0f times; want two DP rows", allocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { DTW(a, b, ExactCellSimilarity) }); allocs > 8 {
+		t.Fatalf("DTW allocated %.0f times; want four DP rows", allocs)
+	}
+}

@@ -1,0 +1,450 @@
+package similarity
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"sitm/internal/core"
+)
+
+// This file pins the interned kernels to the legacy string implementations
+// they replaced: verbatim copies of the pre-interning code serve as
+// references, and randomized corpora (varying alphabets, sequence lengths,
+// annotation sets and GOMAXPROCS) must reproduce their outputs bit for
+// bit — not approximately: float results are compared with ==.
+
+// ---- legacy reference implementations (the seed's string paths) ----------
+
+func refEditDistance(a, b []string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			d := prev[j] + 1
+			if cur[j-1]+1 < d {
+				d = cur[j-1] + 1
+			}
+			if prev[j-1]+cost < d {
+				d = prev[j-1] + cost
+			}
+			cur[j] = d
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func refLCSS(a, b []string) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	return prev[len(b)]
+}
+
+func refDTW(a, b []string, sim CellSimilarity) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		if len(a) == 0 && len(b) == 0 {
+			return 1
+		}
+		return 0
+	}
+	const inf = 1 << 30
+	type cell struct {
+		cost float64
+		len  int
+	}
+	dp := make([][]cell, len(a)+1)
+	for i := range dp {
+		dp[i] = make([]cell, len(b)+1)
+		for j := range dp[i] {
+			dp[i][j] = cell{cost: inf}
+		}
+	}
+	dp[0][0] = cell{}
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			local := 1 - sim(a[i-1], b[j-1])
+			best := dp[i-1][j-1]
+			if dp[i-1][j].cost < best.cost {
+				best = dp[i-1][j]
+			}
+			if dp[i][j-1].cost < best.cost {
+				best = dp[i][j-1]
+			}
+			dp[i][j] = cell{cost: best.cost + local, len: best.len + 1}
+		}
+	}
+	end := dp[len(a)][len(b)]
+	if end.len == 0 {
+		return 0
+	}
+	s := 1 - end.cost/float64(end.len)
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+func refTrajectorySimilarity(a, b core.Trajectory, sim CellSimilarity, spatialWeight float64) float64 {
+	if spatialWeight < 0 {
+		spatialWeight = 0
+	}
+	if spatialWeight > 1 {
+		spatialWeight = 1
+	}
+	spatial := refDTW(a.Trace.Cells(), b.Trace.Cells(), sim)
+	semantic := a.Ann.Jaccard(b.Ann)
+	return spatialWeight*spatial + (1-spatialWeight)*semantic
+}
+
+// refKMedoidsMatrix is the seed's PAM: full O(n·k) reassignment per
+// candidate swap, linear membership scan.
+func refKMedoidsMatrix(sim [][]float64, k int, seed int64) Clusters {
+	n := len(sim)
+	if k <= 0 || n == 0 {
+		return Clusters{}
+	}
+	if k > n {
+		k = n
+	}
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			if i != j {
+				dist[i][j] = 1 - sim[i][j]
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	medoids := rng.Perm(n)[:k]
+	sortInts(medoids)
+	assign := make([]int, n)
+	assignAll := func() float64 {
+		var total float64
+		for i := 0; i < n; i++ {
+			best, bestD := 0, dist[i][medoids[0]]
+			for c := 1; c < k; c++ {
+				if d := dist[i][medoids[c]]; d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+			total += bestD
+		}
+		return total
+	}
+	contains := func(xs []int, x int) bool {
+		for _, v := range xs {
+			if v == x {
+				return true
+			}
+		}
+		return false
+	}
+	cost := assignAll()
+	for iter := 0; iter < 50; iter++ {
+		improved := false
+		for c := 0; c < k; c++ {
+			for cand := 0; cand < n; cand++ {
+				if contains(medoids, cand) {
+					continue
+				}
+				old := medoids[c]
+				medoids[c] = cand
+				if newCost := assignAll(); newCost < cost-1e-12 {
+					cost = newCost
+					improved = true
+				} else {
+					medoids[c] = old
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	assignAll()
+	return Clusters{Medoids: medoids, Assign: assign}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// ---- randomized corpora ---------------------------------------------------
+
+// hashCellSim is a pure, symmetric, deterministic cell similarity with
+// sim(a, a) = 1 and irregular values in [0, 1) otherwise — a stand-in for
+// the hierarchy kernel that exercises float accumulation paths hard.
+func hashCellSim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	if b < a {
+		a, b = b, a
+	}
+	h := fnv.New64a()
+	h.Write([]byte(a))
+	h.Write([]byte{0})
+	h.Write([]byte(b))
+	return float64(h.Sum64()%1_000_000) / 1_000_000
+}
+
+func randSeq(rng *rand.Rand, alphabet []string, maxLen int) []string {
+	n := rng.Intn(maxLen + 1)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return out
+}
+
+func randTrajs(rng *rand.Rand, n int, alphabet []string) []core.Trajectory {
+	day := time.Date(2017, 3, 1, 9, 0, 0, 0, time.UTC)
+	goals := []string{"visit", "buy", "eat", "exit", "meet"}
+	out := make([]core.Trajectory, 0, n)
+	for i := 0; i < n; i++ {
+		cells := randSeq(rng, alphabet, 10)
+		if len(cells) == 0 {
+			cells = []string{alphabet[0]} // NewTrajectory rejects empty traces
+		}
+		var tr core.Trace
+		for j, c := range cells {
+			tr = append(tr, core.PresenceInterval{
+				Cell:  c,
+				Start: day.Add(time.Duration(j) * time.Minute),
+				End:   day.Add(time.Duration(j+1) * time.Minute),
+			})
+		}
+		ann := core.NewAnnotations("goal", goals[rng.Intn(len(goals))])
+		for rng.Intn(2) == 0 {
+			ann.Add("goal", goals[rng.Intn(len(goals))])
+		}
+		traj, err := core.NewTrajectory(fmt.Sprintf("mo%03d", i), tr, ann)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, traj)
+	}
+	return out
+}
+
+func randAlphabet(rng *rand.Rand) []string {
+	k := 1 + rng.Intn(12)
+	out := make([]string, k)
+	for i := range out {
+		out[i] = fmt.Sprintf("zone%02d", i)
+	}
+	return out
+}
+
+// withGOMAXPROCS runs fn under each listed GOMAXPROCS value, restoring the
+// original afterwards: the worker pool sizes itself from GOMAXPROCS, so
+// this drives both the sequential and the parallel scheduling paths.
+func withGOMAXPROCS(t *testing.T, procs []int, fn func(t *testing.T, p int)) {
+	t.Helper()
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		fn(t, p)
+	}
+}
+
+// ---- the differential properties -----------------------------------------
+
+func TestDifferentialSequenceKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 300; trial++ {
+		alphabet := randAlphabet(rng)
+		a := randSeq(rng, alphabet, 12)
+		b := randSeq(rng, alphabet, 12)
+		if got, want := EditDistance(a, b), refEditDistance(a, b); got != want {
+			t.Fatalf("EditDistance(%v, %v) = %d, legacy %d", a, b, got, want)
+		}
+		if got, want := LCSS(a, b), refLCSS(a, b); got != want {
+			t.Fatalf("LCSS(%v, %v) = %d, legacy %d", a, b, got, want)
+		}
+		if got, want := DTW(a, b, hashCellSim), refDTW(a, b, hashCellSim); got != want {
+			t.Fatalf("DTW(%v, %v) = %v, legacy %v (must be bit-identical)", a, b, got, want)
+		}
+	}
+}
+
+// TestCorpusRejectsForeignCellTable: ids are per-dictionary, so a table
+// built from another corpus's dict must be rejected loudly, not produce
+// silently wrong similarities.
+func TestCorpusRejectsForeignCellTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewCorpus(randTrajs(rng, 4, randAlphabet(rng)))
+	b := NewCorpus(randTrajs(rng, 4, randAlphabet(rng)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PairwiseMatrix with a foreign CellSimTable must panic")
+		}
+	}()
+	a.PairwiseMatrix(b.CellTable(hashCellSim), 0.5)
+}
+
+// TestDifferentialIntMetricMatrices: the interned bulk edit/LCSS matrices
+// must reproduce the scalar string kernels exactly (both metrics are
+// value-symmetric, so mirroring cannot diverge).
+func TestDifferentialIntMetricMatrices(t *testing.T) {
+	withGOMAXPROCS(t, []int{1, 8}, func(t *testing.T, p int) {
+		rng := rand.New(rand.NewSource(int64(600 + p)))
+		for trial := 0; trial < 10; trial++ {
+			trajs := randTrajs(rng, 2+rng.Intn(15), randAlphabet(rng))
+			c := NewCorpus(trajs)
+			edit := c.EditDistanceMatrix()
+			lcss := c.LCSSMatrix()
+			for i := range trajs {
+				for j := range trajs {
+					a, b := trajs[i].Trace.Cells(), trajs[j].Trace.Cells()
+					if want := refEditDistance(a, b); edit[i][j] != want {
+						t.Fatalf("GOMAXPROCS=%d: edit[%d][%d] = %d, legacy %d", p, i, j, edit[i][j], want)
+					}
+					if want := refLCSS(a, b); lcss[i][j] != want {
+						t.Fatalf("GOMAXPROCS=%d: lcss[%d][%d] = %d, legacy %d", p, i, j, lcss[i][j], want)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestDifferentialPairwiseMatrixAcrossGOMAXPROCS(t *testing.T) {
+	withGOMAXPROCS(t, []int{1, 8}, func(t *testing.T, p int) {
+		rng := rand.New(rand.NewSource(int64(100 + p)))
+		for trial := 0; trial < 8; trial++ {
+			alphabet := randAlphabet(rng)
+			trajs := randTrajs(rng, 2+rng.Intn(18), alphabet)
+			w := rng.Float64()
+			c := NewCorpus(trajs)
+			got := c.PairwiseMatrix(c.CellTable(hashCellSim), w)
+			// The legacy PairwiseMatrix evaluated the kernel on the upper
+			// triangle only and mirrored (DTW tie-breaking is not exactly
+			// direction-symmetric), so the reference does the same.
+			for i := range trajs {
+				for j := range trajs {
+					want := 1.0
+					if i < j {
+						want = refTrajectorySimilarity(trajs[i], trajs[j], hashCellSim, w)
+					} else if i > j {
+						want = refTrajectorySimilarity(trajs[j], trajs[i], hashCellSim, w)
+					}
+					if got[i][j] != want {
+						t.Fatalf("GOMAXPROCS=%d trial %d: m[%d][%d] = %v, legacy %v",
+							p, trial, i, j, got[i][j], want)
+					}
+				}
+			}
+			// The scalar wrapper must agree too.
+			if v := TrajectorySimilarity(trajs[0], trajs[1%len(trajs)], hashCellSim, w); v != got[0][1%len(trajs)] {
+				t.Fatalf("TrajectorySimilarity wrapper diverged: %v vs %v", v, got[0][1%len(trajs)])
+			}
+		}
+	})
+}
+
+func TestDifferentialKMedoidsMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(30)
+		sim := make([][]float64, n)
+		for i := range sim {
+			sim[i] = make([]float64, n)
+			sim[i][i] = 1
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := rng.Float64()
+				sim[i][j], sim[j][i] = v, v
+			}
+		}
+		k := 1 + rng.Intn(n)
+		seed := rng.Int63()
+		got := KMedoidsMatrix(sim, k, seed)
+		want := refKMedoidsMatrix(sim, k, seed)
+		if len(got.Medoids) != len(want.Medoids) {
+			t.Fatalf("trial %d (n=%d k=%d): medoid counts %d vs %d", trial, n, k, len(got.Medoids), len(want.Medoids))
+		}
+		for i := range want.Medoids {
+			if got.Medoids[i] != want.Medoids[i] {
+				t.Fatalf("trial %d (n=%d k=%d seed=%d): medoids %v, legacy %v",
+					trial, n, k, seed, got.Medoids, want.Medoids)
+			}
+		}
+		for i := range want.Assign {
+			if got.Assign[i] != want.Assign[i] {
+				t.Fatalf("trial %d (n=%d k=%d seed=%d): assign[%d] = %d, legacy %d",
+					trial, n, k, seed, i, got.Assign[i], want.Assign[i])
+			}
+		}
+	}
+}
+
+func TestDifferentialKMedoidsEndToEndAcrossGOMAXPROCS(t *testing.T) {
+	withGOMAXPROCS(t, []int{1, 8}, func(t *testing.T, p int) {
+		rng := rand.New(rand.NewSource(900))
+		trajs := randTrajs(rng, 24, randAlphabet(rng))
+		simFn := func(a, b core.Trajectory) float64 {
+			return TrajectorySimilarity(a, b, hashCellSim, 0.7)
+		}
+		got := KMedoids(trajs, 4, simFn, 11)
+		c := NewCorpus(trajs)
+		interned := c.KMedoids(c.CellTable(hashCellSim), 0.7, 4, 11)
+		wantM := refKMedoidsMatrix(PairwiseMatrix(trajs, func(a, b core.Trajectory) float64 {
+			return refTrajectorySimilarity(a, b, hashCellSim, 0.7)
+		}), 4, 11)
+		for i := range wantM.Medoids {
+			if got.Medoids[i] != wantM.Medoids[i] || interned.Medoids[i] != wantM.Medoids[i] {
+				t.Fatalf("GOMAXPROCS=%d: medoids %v / %v, legacy %v", p, got.Medoids, interned.Medoids, wantM.Medoids)
+			}
+		}
+		for i := range wantM.Assign {
+			if got.Assign[i] != wantM.Assign[i] || interned.Assign[i] != wantM.Assign[i] {
+				t.Fatalf("GOMAXPROCS=%d: assignment diverged at %d", p, i)
+			}
+		}
+	})
+}

@@ -1,0 +1,403 @@
+package similarity
+
+import (
+	"sitm/internal/core"
+	"sitm/internal/parallel"
+	"sitm/internal/symtab"
+)
+
+// This file is the interned analytics core of the package: trajectories are
+// dictionary-encoded once into dense int32 cell sequences and sorted
+// annotation-pair id sets (Corpus), the cell-similarity kernel is
+// precomputed into a dense k×k table (CellSimTable — one Depth/LCA walk per
+// cell pair total, not per trajectory pair), and the sequence metrics run
+// as two-row dynamic programs over flat scratch buffers reused across pairs
+// (one scratch per worker via parallel.MapPairsSymmetricWith). The exported
+// string APIs in similarity.go are thin wrappers over these kernels, and
+// every kernel reproduces the legacy string path bit for bit: identical
+// comparison order in the DPs, identical float expressions, identical
+// tie-breaking (enforced by the differential tests in differential_test.go).
+
+// Corpus is an interned view of a trajectory set: the substrate every bulk
+// similarity/clustering call should run on. Build it once with NewCorpus,
+// then reuse it (and a CellSimTable) across matrices, weights and k-sweeps.
+// A Corpus is immutable after construction and safe for concurrent use.
+type Corpus struct {
+	dict *symtab.Dict
+	seqs [][]int32 // interned Trace.Cells() per trajectory
+	anns [][]int32 // sorted distinct interned (key,value) pair ids per trajectory
+	max  int       // longest cell sequence; newScratch pre-sizes worker DP rows with it
+}
+
+// NewCorpus dictionary-encodes the trajectories: one dense id per distinct
+// cell, one interned pair id per distinct (key, value) annotation pair.
+func NewCorpus(trajs []core.Trajectory) *Corpus {
+	c := &Corpus{dict: symtab.NewDict()}
+	c.seqs = c.dict.EncodeAll(trajs)
+	for _, s := range c.seqs {
+		if len(s) > c.max {
+			c.max = len(s)
+		}
+	}
+	pairDict := symtab.NewDict()
+	c.anns = make([][]int32, len(trajs))
+	for i, t := range trajs {
+		var ids []int32
+		t.Ann.ForEachPair(func(k, v string) {
+			ids = append(ids, pairDict.Intern(k+"\x00"+v))
+		})
+		c.anns[i] = sortedDistinct(ids)
+	}
+	return c
+}
+
+// sortedDistinct sorts ids in place and drops duplicates (annotation pairs
+// are a set; ForEachPair may surface repeats stored by hand-built maps).
+func sortedDistinct(ids []int32) []int32 {
+	if len(ids) < 2 {
+		return ids
+	}
+	// Insertion sort: annotation sets are tiny (a handful of pairs).
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Dict exposes the cell dictionary (for building tables or decoding ids).
+func (c *Corpus) Dict() *symtab.Dict { return c.dict }
+
+// Len returns the number of trajectories in the corpus.
+func (c *Corpus) Len() int { return len(c.seqs) }
+
+// CellSimTable is a cell similarity precomputed over a dictionary: a dense
+// k×k matrix of sim values indexed by interned cell ids. Building it costs
+// one kernel call per ordered cell pair — for HierarchyCellSimilarity that
+// is one Depth/LCA hierarchy walk per cell pair in the corpus alphabet,
+// instead of one per occurrence inside every trajectory pair's O(L²) DTW.
+// A table is bound to the dictionary it was built from: ids are assigned
+// in first-intern order, so a table is meaningless under any other dict,
+// and the corpus methods reject a foreign table with a clear panic instead
+// of returning silently wrong similarities.
+type CellSimTable struct {
+	dict *symtab.Dict
+	k    int
+	vals []float64 // row-major k×k
+}
+
+// CellTable precomputes sim over the corpus's cell alphabet. sim must be
+// pure; it is evaluated exactly once per ordered pair of distinct-by-id
+// cells, and the stored values are the exact floats the legacy per-call
+// path would have produced.
+func (c *Corpus) CellTable(sim CellSimilarity) *CellSimTable {
+	return NewCellSimTable(c.dict, sim)
+}
+
+// NewCellSimTable precomputes sim over every ordered pair of the
+// dictionary's symbols. To use the table with a Corpus, d must be that
+// corpus's Dict() (Corpus.CellTable is the shorthand).
+func NewCellSimTable(d *symtab.Dict, sim CellSimilarity) *CellSimTable {
+	k := d.Len()
+	t := &CellSimTable{dict: d, k: k, vals: make([]float64, k*k)}
+	for i := 0; i < k; i++ {
+		a := d.Symbol(int32(i))
+		row := t.vals[i*k : (i+1)*k]
+		for j := 0; j < k; j++ {
+			row[j] = sim(a, d.Symbol(int32(j)))
+		}
+	}
+	return t
+}
+
+// At returns the precomputed similarity of two interned cells.
+func (t *CellSimTable) At(a, b int32) float64 { return t.vals[int(a)*t.k+int(b)] }
+
+// row returns the dense similarity row of one interned cell.
+func (t *CellSimTable) row(a int32) []float64 { return t.vals[int(a)*t.k : (int(a)+1)*t.k] }
+
+// scratch holds the flat DP rows one worker reuses across every pair it
+// evaluates: two int32 rows for the counting DPs (edit, LCSS) and two
+// cost/path-length row pairs for DTW. Rows grow on demand and are never
+// shared between goroutines.
+type scratch struct {
+	irows [2][]int32
+	costs [2][]float64
+	plens [2][]int32
+}
+
+// newScratch returns a scratch pre-sized for sequences up to maxLen, so a
+// worker never reallocates its rows mid-run.
+func newScratch(maxLen int) *scratch {
+	s := &scratch{}
+	s.intRows(maxLen + 1)
+	s.dtwRows(maxLen + 1)
+	return s
+}
+
+// intRows returns two zero-ready int rows of length ≥ n.
+func (s *scratch) intRows(n int) (prev, cur []int32) {
+	if cap(s.irows[0]) < n {
+		s.irows[0] = make([]int32, n)
+		s.irows[1] = make([]int32, n)
+	}
+	return s.irows[0][:n], s.irows[1][:n]
+}
+
+// dtwRows returns the two cost rows and two path-length rows of length ≥ n.
+func (s *scratch) dtwRows(n int) (prevC, curC []float64, prevL, curL []int32) {
+	if cap(s.costs[0]) < n {
+		s.costs[0] = make([]float64, n)
+		s.costs[1] = make([]float64, n)
+		s.plens[0] = make([]int32, n)
+		s.plens[1] = make([]int32, n)
+	}
+	return s.costs[0][:n], s.costs[1][:n], s.plens[0][:n], s.plens[1][:n]
+}
+
+// editDistanceInt is the interned Levenshtein kernel: two int32 rows from
+// the worker scratch, no allocation. Identical-sequence and empty-side
+// cases exit before touching the DP (the only early-abandon the metric
+// admits without a caller-provided cutoff).
+func editDistanceInt(a, b []int32, s *scratch) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	if int32Equal(a, b) {
+		return 0
+	}
+	prev, cur := s.intRows(len(b) + 1)
+	for j := range prev {
+		prev[j] = int32(j)
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = int32(i)
+		ai := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			cost := int32(1)
+			if ai == b[j-1] {
+				cost = 0
+			}
+			best := prev[j-1] + cost
+			if d := prev[j] + 1; d < best {
+				best = d
+			}
+			if d := cur[j-1] + 1; d < best {
+				best = d
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return int(prev[len(b)])
+}
+
+// lcssInt is the interned longest-common-subsequence kernel.
+func lcssInt(a, b []int32, s *scratch) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	prev, cur := s.intRows(len(b) + 1)
+	for j := range prev {
+		prev[j] = 0
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = 0
+		ai := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			switch {
+			case ai == b[j-1]:
+				cur[j] = prev[j-1] + 1
+			case prev[j] >= cur[j-1]:
+				cur[j] = prev[j]
+			default:
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return int(prev[len(b)])
+}
+
+// int32Equal reports element-wise equality.
+func int32Equal(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dtwInt is the interned DTW kernel: local cost 1 − table[a_i][b_j], two
+// cost rows plus two path-length rows from the worker scratch. The
+// comparison order (diagonal, then above, then left, strict <) and the
+// accumulation expressions mirror the legacy 2-D implementation exactly,
+// so the result is bit-for-bit the legacy DTW value.
+func dtwInt(a, b []int32, tab *CellSimTable, s *scratch) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		if len(a) == 0 && len(b) == 0 {
+			return 1
+		}
+		return 0
+	}
+	const inf = 1 << 30
+	prevC, curC, prevL, curL := s.dtwRows(len(b) + 1)
+	for j := range prevC {
+		prevC[j] = inf
+		prevL[j] = 0
+	}
+	prevC[0] = 0
+	for i := 1; i <= len(a); i++ {
+		curC[0] = inf
+		curL[0] = 0
+		row := tab.row(a[i-1])
+		for j := 1; j <= len(b); j++ {
+			local := 1 - row[b[j-1]]
+			bc, bl := prevC[j-1], prevL[j-1]
+			if prevC[j] < bc {
+				bc, bl = prevC[j], prevL[j]
+			}
+			if curC[j-1] < bc {
+				bc, bl = curC[j-1], curL[j-1]
+			}
+			curC[j] = bc + local
+			curL[j] = bl + 1
+		}
+		prevC, curC = curC, prevC
+		prevL, curL = curL, prevL
+	}
+	endC, endL := prevC[len(b)], prevL[len(b)]
+	if endL == 0 {
+		return 0
+	}
+	sim := 1 - endC/float64(endL)
+	if sim < 0 {
+		return 0
+	}
+	return sim
+}
+
+// jaccardSorted is Jaccard over two sorted distinct id sets by linear
+// merge: the same |A∩B| / |A∪B| counts the legacy pair-map path produced,
+// hence the same float.
+func jaccardSorted(a, b []int32) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// pairSimilarity is the combined trajectory kernel over interned data:
+// DTW spatial + Jaccard semantic, blended by the (pre-clamped) weight.
+func (c *Corpus) pairSimilarity(i, j int, tab *CellSimTable, w float64, s *scratch) float64 {
+	spatial := dtwInt(c.seqs[i], c.seqs[j], tab, s)
+	semantic := jaccardSorted(c.anns[i], c.anns[j])
+	return w*spatial + (1-w)*semantic
+}
+
+// PairwiseMatrix computes the full n×n TrajectorySimilarity matrix over
+// the corpus: upper triangle only, fanned out over the worker pool with
+// one scratch per worker, mirrored, diagonal 1. The values are bit-for-bit
+// what PairwiseMatrix(trajs, TrajectorySimilarity(..., sim, w)) returns on
+// the original trajectories — at a fraction of the cost: no string
+// comparisons, no per-pair allocation, one cell-similarity evaluation per
+// cell pair in the whole run instead of per occurrence per trajectory pair.
+func (c *Corpus) PairwiseMatrix(tab *CellSimTable, spatialWeight float64) [][]float64 {
+	if tab.dict != c.dict {
+		panic("similarity: CellSimTable built from a different dictionary than this corpus (use Corpus.CellTable)")
+	}
+	if spatialWeight < 0 {
+		spatialWeight = 0
+	}
+	if spatialWeight > 1 {
+		spatialWeight = 1
+	}
+	n := len(c.seqs)
+	flat := make([]float64, n*n)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = flat[i*n : (i+1)*n]
+		m[i][i] = 1
+	}
+	parallel.MapPairsSymmetricWith(n, func() *scratch { return newScratch(c.max) },
+		func(s *scratch, i, j int) {
+			v := c.pairSimilarity(i, j, tab, spatialWeight, s)
+			m[i][j] = v
+			m[j][i] = v
+		})
+	return m
+}
+
+// EditDistanceMatrix computes the pairwise Levenshtein distances of every
+// trajectory cell sequence in the corpus: interned two-row DP, upper
+// triangle over the pool with per-worker scratch, mirrored (diagonal 0).
+func (c *Corpus) EditDistanceMatrix() [][]int {
+	return c.intMetricMatrix(editDistanceInt)
+}
+
+// LCSSMatrix computes the pairwise longest-common-subsequence lengths of
+// every trajectory cell sequence in the corpus; diagonal entries hold each
+// sequence's own length (LCSS with itself).
+func (c *Corpus) LCSSMatrix() [][]int {
+	m := c.intMetricMatrix(lcssInt)
+	for i := range m {
+		m[i][i] = len(c.seqs[i])
+	}
+	return m
+}
+
+// intMetricMatrix runs an interned integer sequence kernel over the upper
+// triangle with one scratch per worker, mirroring the result.
+func (c *Corpus) intMetricMatrix(kernel func(a, b []int32, s *scratch) int) [][]int {
+	n := len(c.seqs)
+	flat := make([]int, n*n)
+	m := make([][]int, n)
+	for i := range m {
+		m[i] = flat[i*n : (i+1)*n]
+	}
+	parallel.MapPairsSymmetricWith(n, func() *scratch { return newScratch(c.max) },
+		func(s *scratch, i, j int) {
+			v := kernel(c.seqs[i], c.seqs[j], s)
+			m[i][j] = v
+			m[j][i] = v
+		})
+	return m
+}
+
+// KMedoids clusters the corpus end to end: interned pairwise matrix, then
+// the cached-distance PAM refinement of KMedoidsMatrix.
+func (c *Corpus) KMedoids(tab *CellSimTable, spatialWeight float64, k int, seed int64) Clusters {
+	if k <= 0 || c.Len() == 0 {
+		return Clusters{}
+	}
+	return KMedoidsMatrix(c.PairwiseMatrix(tab, spatialWeight), k, seed)
+}

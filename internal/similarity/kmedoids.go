@@ -1,0 +1,153 @@
+package similarity
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"sitm/internal/core"
+)
+
+// Clusters is a k-medoids assignment: Medoids holds the medoid index of
+// each cluster; Assign maps every trajectory index to its cluster.
+type Clusters struct {
+	Medoids []int
+	Assign  []int
+}
+
+// KMedoids clusters trajectories by the given pairwise similarity using the
+// PAM-style alternating refinement, seeded deterministically. It is the
+// visitor-profiling vehicle the paper sketches. The similarity matrix is
+// computed in parallel via PairwiseMatrix; callers that already hold a
+// matrix should use KMedoidsMatrix directly, and callers starting from
+// trajectories should prefer the interned Corpus.KMedoids pipeline.
+func KMedoids(trajs []core.Trajectory, k int, simFn func(a, b core.Trajectory) float64, seed int64) Clusters {
+	if k <= 0 || len(trajs) == 0 {
+		return Clusters{} // degenerate before paying for the O(n²) matrix
+	}
+	return KMedoidsMatrix(PairwiseMatrix(trajs, simFn), k, seed)
+}
+
+// KMedoidsMatrix clusters by a precomputed symmetric similarity matrix
+// (sim[i][j] ∈ [0, 1], diagonal 1), using a seeded PAM refinement. The
+// matrix must be square; a jagged hand-built matrix is a programmer error
+// and panics with a clear message.
+//
+// The swap loop follows the FastPAM caching discipline (Schubert &
+// Rousseeuw): every point caches its nearest-medoid distance d1, the
+// position n1 of that medoid, and its second-nearest distance d2, so the
+// cost of a candidate swap (medoid position c → cand) is one O(n) pass —
+//
+//	Σ_i min( n1[i]==c ? d2[i] : d1[i], dist(i, cand) )
+//
+// instead of the naive full reassignment's O(n·k). A full candidate sweep
+// of one medoid position is therefore O(n²), not O(n²·k); the caches are
+// rebuilt (O(n·k)) only when a swap is accepted. Membership tests use a
+// bitset instead of a linear scan. The summands and their order are
+// exactly the naive reassignment's, so the accept/reject sequence — and
+// hence Medoids and Assign — is bit-for-bit the legacy greedy's
+// (differential-tested against the naive implementation).
+func KMedoidsMatrix(sim [][]float64, k int, seed int64) Clusters {
+	n := len(sim)
+	if k <= 0 || n == 0 {
+		return Clusters{}
+	}
+	for i, row := range sim {
+		if len(row) != n {
+			panic(fmt.Sprintf("similarity: KMedoidsMatrix: row %d has %d entries, want %d (matrix must be square)", i, len(row), n))
+		}
+	}
+	if k > n {
+		k = n
+	}
+	// Distances (1 − similarity) drive the refinement; flat row-major
+	// storage keeps the O(n) swap-cost pass on one cache stream.
+	dist := make([]float64, n*n)
+	for i, row := range sim {
+		base := i * n
+		for j, v := range row {
+			if i != j {
+				dist[base+j] = 1 - v
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	medoids := rng.Perm(n)[:k]
+	sort.Ints(medoids)
+	isMedoid := make([]bool, n)
+	for _, m := range medoids {
+		isMedoid[m] = true
+	}
+
+	assign := make([]int, n)
+	d1 := make([]float64, n) // distance to the nearest medoid
+	d2 := make([]float64, n) // distance to the second-nearest (+Inf when k == 1)
+	n1 := make([]int, n)     // medoid position attaining d1 (first wins on ties)
+
+	// refresh rebuilds the caches and assignment with the naive scan
+	// (first strictly-smaller medoid position wins, like the legacy
+	// assignAll) and returns the total cost — the same floats summed in
+	// the same order.
+	refresh := func() float64 {
+		var total float64
+		for i := 0; i < n; i++ {
+			row := dist[i*n:]
+			best, bestD := 0, row[medoids[0]]
+			secondD := math.Inf(1)
+			for c := 1; c < k; c++ {
+				if d := row[medoids[c]]; d < bestD {
+					secondD = bestD
+					best, bestD = c, d
+				} else if d < secondD {
+					secondD = d
+				}
+			}
+			assign[i] = best
+			d1[i], d2[i], n1[i] = bestD, secondD, best
+			total += bestD
+		}
+		return total
+	}
+
+	cost := refresh()
+	for iter := 0; iter < 50; iter++ {
+		improved := false
+		for c := 0; c < k; c++ {
+			for cand := 0; cand < n; cand++ {
+				if isMedoid[cand] {
+					continue
+				}
+				// Swap cost from the caches: removing the medoid at
+				// position c leaves min(d2, d(cand)) for its points and
+				// min(d1, d(cand)) for everyone else — the same values a
+				// full reassignment would sum, in the same order.
+				var newCost float64
+				for i := 0; i < n; i++ {
+					dc := dist[i*n+cand]
+					rest := d1[i]
+					if n1[i] == c {
+						rest = d2[i]
+					}
+					if dc < rest {
+						rest = dc
+					}
+					newCost += rest
+				}
+				if newCost < cost-1e-12 {
+					old := medoids[c]
+					medoids[c] = cand
+					isMedoid[old] = false
+					isMedoid[cand] = true
+					improved = true
+					cost = refresh()
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	refresh()
+	return Clusters{Medoids: medoids, Assign: assign}
+}

@@ -5,13 +5,16 @@
 // cell similarity (Wu–Palmer over the space graph's layer hierarchy), DTW
 // with that cell similarity as local cost, annotation-based similarity, and
 // k-medoids clustering for visitor profiling.
+//
+// The bulk paths run on the interned core of interned.go: cells are
+// dictionary-encoded to dense int32 ids (internal/symtab), cell similarity
+// is precomputed into a dense table, and the DP kernels run over flat
+// reusable scratch. The string-based functions below stay direct (a
+// single-pair call cannot amortise interning), and the interned paths
+// produce bit-for-bit their results — the differential tests enforce it.
 package similarity
 
 import (
-	"fmt"
-	"math/rand"
-	"sort"
-
 	"sitm/internal/core"
 	"sitm/internal/indoor"
 	"sitm/internal/parallel"
@@ -19,7 +22,9 @@ import (
 
 // EditDistance is the Levenshtein distance between two cell sequences: the
 // minimum number of insertions, deletions and substitutions turning a into
-// b. It treats cells as opaque symbols.
+// b. It treats cells as opaque symbols. For all-pairs work use
+// Corpus.EditDistanceMatrix, which runs the interned kernel with reused
+// scratch.
 func EditDistance(a, b []string) int {
 	if len(a) == 0 {
 		return len(b)
@@ -46,6 +51,16 @@ func EditDistance(a, b []string) int {
 	return prev[len(b)]
 }
 
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
 // EditSimilarity normalises EditDistance into [0, 1].
 func EditSimilarity(a, b []string) float64 {
 	n := len(a)
@@ -59,7 +74,7 @@ func EditSimilarity(a, b []string) float64 {
 }
 
 // LCSS returns the length of the longest common subsequence of the two cell
-// sequences.
+// sequences. For all-pairs work use Corpus.LCSSMatrix.
 func LCSS(a, b []string) int {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
@@ -67,6 +82,7 @@ func LCSS(a, b []string) int {
 	prev := make([]int, len(b)+1)
 	cur := make([]int, len(b)+1)
 	for i := 1; i <= len(a); i++ {
+		cur[0] = 0
 		for j := 1; j <= len(b); j++ {
 			if a[i-1] == b[j-1] {
 				cur[j] = prev[j-1] + 1
@@ -77,9 +93,6 @@ func LCSS(a, b []string) int {
 			}
 		}
 		prev, cur = cur, prev
-		for j := range cur {
-			cur[j] = 0
-		}
 	}
 	return prev[len(b)]
 }
@@ -99,16 +112,6 @@ func LCSSSimilarity(a, b []string) float64 {
 	return float64(LCSS(a, b)) / float64(n)
 }
 
-func min3(a, b, c int) int {
-	if b < a {
-		a = b
-	}
-	if c < a {
-		a = c
-	}
-	return a
-}
-
 // CellSimilarity scores how semantically close two cells are, in [0, 1].
 type CellSimilarity func(a, b string) float64
 
@@ -125,7 +128,9 @@ func ExactCellSimilarity(a, b string) float64 {
 // depth(b)), where depth counts hierarchy levels from the root. Two rooms
 // of the same zone score higher than two rooms of different wings — the
 // structured reasoning about granularity that the paper's static hierarchy
-// enables (§3.2).
+// enables (§3.2). Every call walks the hierarchy; bulk pipelines should
+// precompute it into a dense table once via Corpus.CellTable, which turns
+// the per-trajectory-pair walks into per-cell-pair walks.
 func HierarchyCellSimilarity(sg *indoor.SpaceGraph, h indoor.Hierarchy) CellSimilarity {
 	return func(a, b string) float64 {
 		if a == b {
@@ -145,7 +150,10 @@ func HierarchyCellSimilarity(sg *indoor.SpaceGraph, h indoor.Hierarchy) CellSimi
 
 // DTW computes dynamic-time-warping similarity of two cell sequences under
 // a local cell similarity: cost(i,j) = 1 − sim(a_i, b_j). It returns the
-// normalised similarity 1 − totalCost/pathLength, in [0, 1].
+// normalised similarity 1 − totalCost/pathLength, in [0, 1]. The DP is
+// two-row (no O(L²) table); all-pairs callers should use the interned
+// Corpus.PairwiseMatrix, which also hoists sim into a precomputed dense
+// cell table.
 func DTW(a, b []string, sim CellSimilarity) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		if len(a) == 0 && len(b) == 0 {
@@ -154,37 +162,36 @@ func DTW(a, b []string, sim CellSimilarity) float64 {
 		return 0
 	}
 	const inf = 1 << 30
-	// dp costs plus path length tracking for normalisation.
-	type cell struct {
-		cost float64
-		len  int
+	prevC := make([]float64, len(b)+1)
+	curC := make([]float64, len(b)+1)
+	prevL := make([]int, len(b)+1)
+	curL := make([]int, len(b)+1)
+	for j := range prevC {
+		prevC[j] = inf
 	}
-	dp := make([][]cell, len(a)+1)
-	for i := range dp {
-		dp[i] = make([]cell, len(b)+1)
-		for j := range dp[i] {
-			dp[i][j] = cell{cost: inf}
-		}
-	}
-	dp[0][0] = cell{}
+	prevC[0] = 0
 	for i := 1; i <= len(a); i++ {
+		curC[0] = inf
+		curL[0] = 0
 		for j := 1; j <= len(b); j++ {
 			local := 1 - sim(a[i-1], b[j-1])
-			best := dp[i-1][j-1]
-			if dp[i-1][j].cost < best.cost {
-				best = dp[i-1][j]
+			bc, bl := prevC[j-1], prevL[j-1]
+			if prevC[j] < bc {
+				bc, bl = prevC[j], prevL[j]
 			}
-			if dp[i][j-1].cost < best.cost {
-				best = dp[i][j-1]
+			if curC[j-1] < bc {
+				bc, bl = curC[j-1], curL[j-1]
 			}
-			dp[i][j] = cell{cost: best.cost + local, len: best.len + 1}
+			curC[j] = bc + local
+			curL[j] = bl + 1
 		}
+		prevC, curC = curC, prevC
+		prevL, curL = curL, prevL
 	}
-	end := dp[len(a)][len(b)]
-	if end.len == 0 {
+	if prevL[len(b)] == 0 {
 		return 0
 	}
-	s := 1 - end.cost/float64(end.len)
+	s := 1 - prevC[len(b)]/float64(prevL[len(b)])
 	if s < 0 {
 		return 0
 	}
@@ -193,7 +200,10 @@ func DTW(a, b []string, sim CellSimilarity) float64 {
 
 // TrajectorySimilarity combines spatial sequence similarity (DTW over the
 // traces' cell sequences) with annotation similarity (Jaccard over the
-// trajectory annotation sets), weighted by spatialWeight ∈ [0, 1].
+// trajectory annotation sets), weighted by spatialWeight ∈ [0, 1]. For
+// bulk pairwise work, build a Corpus and a CellSimTable once —
+// Corpus.PairwiseMatrix produces bit-for-bit this kernel's values without
+// the per-call string costs.
 func TrajectorySimilarity(a, b core.Trajectory, sim CellSimilarity, spatialWeight float64) float64 {
 	if spatialWeight < 0 {
 		spatialWeight = 0
@@ -214,6 +224,11 @@ func TrajectorySimilarity(a, b core.Trajectory, sim CellSimilarity, spatialWeigh
 // triangle is fanned out over the parallel worker pool, so with symmetric
 // savings and P workers the wall-clock cost is ~n²/(2P) kernel calls.
 // simFn must be safe for concurrent calls (pure functions are).
+//
+// This entry point accepts an arbitrary kernel and therefore cannot
+// intern; when the kernel is TrajectorySimilarity, Corpus.PairwiseMatrix
+// computes the identical matrix over interned data at a fraction of the
+// cost (experiment E6).
 func PairwiseMatrix(trajs []core.Trajectory, simFn func(a, b core.Trajectory) float64) [][]float64 {
 	n := len(trajs)
 	m := make([][]float64, n)
@@ -227,105 +242,4 @@ func PairwiseMatrix(trajs []core.Trajectory, simFn func(a, b core.Trajectory) fl
 		m[j][i] = s
 	})
 	return m
-}
-
-// Clusters is a k-medoids assignment: Medoids holds the medoid index of
-// each cluster; Assign maps every trajectory index to its cluster.
-type Clusters struct {
-	Medoids []int
-	Assign  []int
-}
-
-// KMedoids clusters trajectories by the given pairwise similarity using the
-// PAM-style alternating refinement, seeded deterministically. It is the
-// visitor-profiling vehicle the paper sketches. The similarity matrix is
-// computed in parallel via PairwiseMatrix; callers that already hold a
-// matrix should use KMedoidsMatrix directly.
-func KMedoids(trajs []core.Trajectory, k int, simFn func(a, b core.Trajectory) float64, seed int64) Clusters {
-	if k <= 0 || len(trajs) == 0 {
-		return Clusters{} // degenerate before paying for the O(n²) matrix
-	}
-	return KMedoidsMatrix(PairwiseMatrix(trajs, simFn), k, seed)
-}
-
-// KMedoidsMatrix clusters by a precomputed symmetric similarity matrix
-// (sim[i][j] ∈ [0, 1], diagonal 1), using the same seeded PAM refinement
-// as KMedoids. The matrix must be square; a jagged hand-built matrix is a
-// programmer error and panics with a clear message.
-func KMedoidsMatrix(sim [][]float64, k int, seed int64) Clusters {
-	n := len(sim)
-	if k <= 0 || n == 0 {
-		return Clusters{}
-	}
-	for i, row := range sim {
-		if len(row) != n {
-			panic(fmt.Sprintf("similarity: KMedoidsMatrix: row %d has %d entries, want %d (matrix must be square)", i, len(row), n))
-		}
-	}
-	if k > n {
-		k = n
-	}
-	// Distances (1 − similarity) drive the refinement.
-	dist := make([][]float64, n)
-	for i := range dist {
-		dist[i] = make([]float64, n)
-		for j := range dist[i] {
-			if i != j {
-				dist[i][j] = 1 - sim[i][j]
-			}
-		}
-	}
-	rng := rand.New(rand.NewSource(seed))
-	medoids := rng.Perm(n)[:k]
-	sort.Ints(medoids)
-	assign := make([]int, n)
-
-	assignAll := func() float64 {
-		var total float64
-		for i := 0; i < n; i++ {
-			best, bestD := 0, dist[i][medoids[0]]
-			for c := 1; c < k; c++ {
-				if d := dist[i][medoids[c]]; d < bestD {
-					best, bestD = c, d
-				}
-			}
-			assign[i] = best
-			total += bestD
-		}
-		return total
-	}
-
-	cost := assignAll()
-	for iter := 0; iter < 50; iter++ {
-		improved := false
-		for c := 0; c < k; c++ {
-			for cand := 0; cand < n; cand++ {
-				if contains(medoids, cand) {
-					continue
-				}
-				old := medoids[c]
-				medoids[c] = cand
-				if newCost := assignAll(); newCost < cost-1e-12 {
-					cost = newCost
-					improved = true
-				} else {
-					medoids[c] = old
-				}
-			}
-		}
-		if !improved {
-			break
-		}
-	}
-	assignAll()
-	return Clusters{Medoids: medoids, Assign: assign}
-}
-
-func contains(xs []int, x int) bool {
-	for _, v := range xs {
-		if v == x {
-			return true
-		}
-	}
-	return false
 }

@@ -1,0 +1,98 @@
+// Package symtab implements the dictionary-encoding (symbol interning)
+// layer of the analytics engine: cell identifiers — arbitrary strings
+// everywhere else in the system — are mapped to dense int32 ids so the
+// similarity, clustering and mining hot paths can run over flat integer
+// arrays instead of string slices (the discipline of symbolic trajectory
+// systems: compare once at intern time, then every kernel comparison is an
+// integer compare and every per-symbol table is a dense slice, not a map).
+//
+// A Dict is append-only: ids are assigned densely in first-intern order
+// (0, 1, 2, …), so d.Len() is always one past the largest id ever returned
+// and []T tables indexed by id need no hashing and no bounds gymnastics.
+package symtab
+
+import "sitm/internal/core"
+
+// Dict is an append-only bijection between symbol strings and dense int32
+// ids. The zero value is not usable; call NewDict. A Dict is not safe for
+// concurrent mutation; encode corpora up front, then share the frozen Dict
+// freely across workers (reads are pure).
+type Dict struct {
+	ids  map[string]int32
+	syms []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]int32)}
+}
+
+// Intern returns the id of s, assigning the next dense id on first sight.
+func (d *Dict) Intern(s string) int32 {
+	if id, ok := d.ids[s]; ok {
+		return id
+	}
+	id := int32(len(d.syms))
+	d.ids[s] = id
+	d.syms = append(d.syms, s)
+	return id
+}
+
+// Lookup returns the id of s without interning; ok is false when s has
+// never been interned.
+func (d *Dict) Lookup(s string) (int32, bool) {
+	id, ok := d.ids[s]
+	return id, ok
+}
+
+// Symbol resolves an id back to its string. Ids come only from Intern, so
+// an out-of-range id is a programmer error and panics like a slice index.
+func (d *Dict) Symbol(id int32) string { return d.syms[id] }
+
+// Len returns the number of distinct symbols interned (= the smallest id
+// never assigned; ids are dense in [0, Len)).
+func (d *Dict) Len() int { return len(d.syms) }
+
+// Encode interns every symbol of cells and returns the id sequence.
+func (d *Dict) Encode(cells []string) []int32 {
+	return d.EncodeInto(make([]int32, 0, len(cells)), cells)
+}
+
+// EncodeInto appends the id sequence of cells to dst (reusing its
+// capacity) and returns the extended slice.
+func (d *Dict) EncodeInto(dst []int32, cells []string) []int32 {
+	for _, c := range cells {
+		dst = append(dst, d.Intern(c))
+	}
+	return dst
+}
+
+// EncodeTrace interns the cell of every presence interval of the trace —
+// the interned counterpart of Trace.Cells(), without materialising the
+// intermediate string slice.
+func (d *Dict) EncodeTrace(tr core.Trace) []int32 {
+	out := make([]int32, len(tr))
+	for i, p := range tr {
+		out[i] = d.Intern(p.Cell)
+	}
+	return out
+}
+
+// EncodeAll interns the traces of a whole trajectory set, backing every
+// per-trajectory sequence by one flat allocation.
+func (d *Dict) EncodeAll(trajs []core.Trajectory) [][]int32 {
+	total := 0
+	for _, t := range trajs {
+		total += len(t.Trace)
+	}
+	flat := make([]int32, 0, total)
+	out := make([][]int32, len(trajs))
+	for i, t := range trajs {
+		lo := len(flat)
+		for _, p := range t.Trace {
+			flat = append(flat, d.Intern(p.Cell))
+		}
+		out[i] = flat[lo:len(flat):len(flat)]
+	}
+	return out
+}

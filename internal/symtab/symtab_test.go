@@ -1,0 +1,145 @@
+package symtab
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sitm/internal/core"
+)
+
+func TestDictInternAssignsDenseIDs(t *testing.T) {
+	d := NewDict()
+	if d.Len() != 0 {
+		t.Fatalf("fresh dict Len = %d", d.Len())
+	}
+	a := d.Intern("zoneA")
+	b := d.Intern("zoneB")
+	if a != 0 || b != 1 {
+		t.Fatalf("ids not dense: %d, %d", a, b)
+	}
+	if again := d.Intern("zoneA"); again != a {
+		t.Errorf("re-intern changed id: %d vs %d", again, a)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+	if d.Symbol(a) != "zoneA" || d.Symbol(b) != "zoneB" {
+		t.Error("Symbol round trip broken")
+	}
+}
+
+func TestDictLookupDoesNotIntern(t *testing.T) {
+	d := NewDict()
+	if _, ok := d.Lookup("ghost"); ok {
+		t.Error("Lookup invented a symbol")
+	}
+	if d.Len() != 0 {
+		t.Errorf("Lookup mutated the dict: Len = %d", d.Len())
+	}
+	id := d.Intern("x")
+	if got, ok := d.Lookup("x"); !ok || got != id {
+		t.Errorf("Lookup(x) = %d, %v", got, ok)
+	}
+}
+
+func TestEncodeMatchesIntern(t *testing.T) {
+	d := NewDict()
+	cells := []string{"a", "b", "a", "c", "b"}
+	ids := d.Encode(cells)
+	if len(ids) != len(cells) {
+		t.Fatalf("encoded length %d", len(ids))
+	}
+	for i, c := range cells {
+		if d.Symbol(ids[i]) != c {
+			t.Errorf("ids[%d] resolves to %q, want %q", i, d.Symbol(ids[i]), c)
+		}
+	}
+	if d.Len() != 3 {
+		t.Errorf("distinct symbols = %d", d.Len())
+	}
+}
+
+func mkTraj(t *testing.T, mo string, cells ...string) core.Trajectory {
+	t.Helper()
+	day := time.Date(2017, 3, 1, 10, 0, 0, 0, time.UTC)
+	var tr core.Trace
+	for i, c := range cells {
+		tr = append(tr, core.PresenceInterval{
+			Cell:  c,
+			Start: day.Add(time.Duration(i) * time.Minute),
+			End:   day.Add(time.Duration(i+1) * time.Minute),
+		})
+	}
+	traj, err := core.NewTrajectory(mo, tr, core.NewAnnotations("goal", "visit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traj
+}
+
+func TestEncodeTraceAndEncodeAll(t *testing.T) {
+	a := mkTraj(t, "a", "x", "y", "x")
+	b := mkTraj(t, "b", "y", "z")
+	d := NewDict()
+	ia := d.EncodeTrace(a.Trace)
+	all := NewDict().EncodeAll([]core.Trajectory{a, b})
+	if len(all) != 2 {
+		t.Fatalf("EncodeAll len = %d", len(all))
+	}
+	for i, id := range ia {
+		if all[0][i] != id {
+			t.Errorf("EncodeAll[0][%d] = %d, EncodeTrace = %d", i, all[0][i], id)
+		}
+	}
+	// Same symbols must share ids within one dict: trace a is x,y,x and
+	// trace b is y,z under a fresh dict → 0,1,0 and 1,2.
+	want0, want1 := []int32{0, 1, 0}, []int32{1, 2}
+	for i := range want0 {
+		if all[0][i] != want0[i] {
+			t.Fatalf("all[0] = %v, want %v", all[0], want0)
+		}
+	}
+	for i := range want1 {
+		if all[1][i] != want1[i] {
+			t.Fatalf("all[1] = %v, want %v", all[1], want1)
+		}
+	}
+}
+
+// FuzzDictRoundTrip: interning any token stream never panics, ids stay
+// dense, and intern/resolve is a bijection (the CI fuzz-smoke target; seed
+// corpus under testdata/fuzz/FuzzDictRoundTrip).
+func FuzzDictRoundTrip(f *testing.F) {
+	f.Add("zone60853 zone60854 zone60853 zone60888")
+	f.Add("")
+	f.Add(" ")
+	f.Add("a\x00b,a;b a\x00b \xff\xfe")
+	f.Fuzz(func(t *testing.T, input string) {
+		d := NewDict()
+		toks := strings.Split(input, " ")
+		ids := d.Encode(toks)
+		first := make(map[string]int32, len(toks))
+		for i, s := range toks {
+			if prev, seen := first[s]; seen && ids[i] != prev {
+				t.Fatalf("token %q interned as %d then %d", s, prev, ids[i])
+			}
+			first[s] = ids[i]
+			if got := d.Symbol(ids[i]); got != s {
+				t.Fatalf("Symbol(%d) = %q, want %q", ids[i], got, s)
+			}
+			if again := d.Intern(s); again != ids[i] {
+				t.Fatalf("re-intern of %q moved: %d → %d", s, ids[i], again)
+			}
+			if got, ok := d.Lookup(s); !ok || got != ids[i] {
+				t.Fatalf("Lookup(%q) = %d, %v", s, got, ok)
+			}
+			if int(ids[i]) < 0 || int(ids[i]) >= d.Len() {
+				t.Fatalf("id %d outside dense range [0, %d)", ids[i], d.Len())
+			}
+		}
+		if d.Len() != len(first) {
+			t.Fatalf("Len = %d, distinct tokens = %d", d.Len(), len(first))
+		}
+	})
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# bench.sh — run the E-series benchmarks (DESIGN.md §4) and emit a
+# machine-readable BENCH_3.json beside the raw benchstat-friendly text.
+#
+# Usage:
+#   scripts/bench.sh [json-out] [text-out]
+#
+# Defaults: BENCH_3.json and bench.txt in the repo root. BENCHTIME
+# overrides the per-benchmark budget (default 1x: one iteration per bench,
+# the CI smoke setting; use e.g. BENCHTIME=2s locally for stable numbers).
+# BENCHFILTER overrides the benchmark regexp.
+#
+# The text output is exactly `go test -bench` output, so benchstat can
+# diff two runs:  benchstat old/bench.txt new/bench.txt
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+json_out="${1:-BENCH_3.json}"
+text_out="${2:-bench.txt}"
+benchtime="${BENCHTIME:-1x}"
+filter="${BENCHFILTER:-^Benchmark(Store(Overlapping|InCellDuring|Mixed)|Similarity|KMedoids|TrajectorySimilarity|PrefixSpan|E6)}"
+
+# ./... keeps every package's benchmarks in scope (today they all live in
+# the root package, but nothing should rely on that staying true); awk
+# below only consumes the Benchmark lines, so multi-package output is fine.
+go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" ./... | tee "$text_out"
+
+# Convert "BenchmarkName-P  iters  N ns/op  B B/op  A allocs/op" lines into
+# a JSON array; the trailing -P (GOMAXPROCS) is folded into its own field.
+awk '
+BEGIN { print "["; n = 0 }
+/^Benchmark/ {
+    name = $1; procs = 1
+    if (match(name, /-[0-9]+$/)) {
+        procs = substr(name, RSTART + 1)
+        name = substr(name, 1, RSTART - 1)
+    }
+    line = sprintf("  {\"name\":\"%s\",\"gomaxprocs\":%s,\"iters\":%s", name, procs, $2)
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        line = line sprintf(",\"%s\":%s", unit, $i)
+    }
+    line = line "}"
+    if (n++) printf(",\n")
+    printf("%s", line)
+}
+END { print "\n]" }
+' "$text_out" > "$json_out"
+
+echo "wrote $json_out ($(grep -c '"name"' "$json_out") benchmarks) and $text_out"

@@ -280,6 +280,13 @@ func DetectionCounts(dets []Detection, keep func(cell string) bool) []CellCount 
 	return mining.DetectionCounts(dets, keep)
 }
 
+// VisitCounts tallies trajectories touching each cell at least once
+// (distinct-visitor footfall). Large sets are counted in parallel; keep
+// must be safe for concurrent calls (pure predicates are).
+func VisitCounts(trajs []Trajectory, keep func(cell string) bool) []CellCount {
+	return mining.VisitCounts(trajs, keep)
+}
+
 // NewTransitionMatrix counts directed transitions over trajectories.
 func NewTransitionMatrix(trajs []Trajectory) *TransitionMatrix {
 	return mining.NewTransitionMatrix(trajs)
@@ -312,6 +319,28 @@ func FloorSwitches(sg *SpaceGraph, trajs []Trajectory, floorLayer string) ([]Flo
 // CellSimilarity scores semantic closeness of two cells in [0, 1].
 type CellSimilarity = similarity.CellSimilarity
 
+// Interned analytics core: trajectories are dictionary-encoded once
+// (cells → dense int32 ids, annotation pairs → sorted id sets) and the
+// similarity/clustering kernels run over flat integer data with reusable
+// scratch — the fast path for bulk profiling (experiment E6).
+type (
+	// SimilarityCorpus is an interned, immutable view of a trajectory set.
+	SimilarityCorpus = similarity.Corpus
+	// CellSimTable is a cell similarity precomputed into a dense k×k table
+	// over a corpus's cell alphabet (one hierarchy walk per cell pair
+	// total, instead of one per occurrence per trajectory pair).
+	CellSimTable = similarity.CellSimTable
+	// Clusters is a k-medoids clustering result.
+	Clusters = similarity.Clusters
+)
+
+// NewSimilarityCorpus interns the trajectories for bulk similarity work.
+// The corpus's PairwiseMatrix/KMedoids produce bit-for-bit the results of
+// the string-based entry points below, an order of magnitude faster.
+func NewSimilarityCorpus(trajs []Trajectory) *SimilarityCorpus {
+	return similarity.NewCorpus(trajs)
+}
+
 // HierarchyCellSimilarity is a Wu–Palmer-style similarity over a layer
 // hierarchy.
 func HierarchyCellSimilarity(sg *SpaceGraph, h Hierarchy) CellSimilarity {
@@ -335,14 +364,17 @@ func SimilarityMatrix(trajs []Trajectory, simFn func(a, b Trajectory) float64) [
 // KMedoids clusters trajectories for visitor profiling. The pairwise
 // matrix is computed in parallel via SimilarityMatrix, so simFn must be
 // safe for concurrent calls (pure kernels like TrajectorySimilarity are).
-func KMedoids(trajs []Trajectory, k int, simFn func(a, b Trajectory) float64, seed int64) similarity.Clusters {
+// Bulk pipelines should prefer NewSimilarityCorpus + Corpus.KMedoids.
+func KMedoids(trajs []Trajectory, k int, simFn func(a, b Trajectory) float64, seed int64) Clusters {
 	return similarity.KMedoids(trajs, k, simFn, seed)
 }
 
 // KMedoidsMatrix clusters by a precomputed similarity matrix (as returned
-// by SimilarityMatrix), letting callers reuse one matrix across several k
-// or seed choices.
-func KMedoidsMatrix(sim [][]float64, k int, seed int64) similarity.Clusters {
+// by SimilarityMatrix or SimilarityCorpus.PairwiseMatrix), letting callers
+// reuse one matrix across several k or seed choices. The refinement uses
+// cached nearest/second-nearest distances, so a full candidate sweep of a
+// medoid slot costs O(n²) rather than the naive O(n²·k).
+func KMedoidsMatrix(sim [][]float64, k int, seed int64) Clusters {
 	return similarity.KMedoidsMatrix(sim, k, seed)
 }
 
