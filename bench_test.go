@@ -431,7 +431,6 @@ func benchStore(b *testing.B) (*sitm.Store, []sitm.Trajectory) {
 	})
 	st := sitm.NewStore()
 	st.PutAll(trajs)
-	st.Overlapping(time.Time{}, time.Time{}) // trigger the lazy index build
 	return st, trajs
 }
 
@@ -1023,6 +1022,47 @@ func TestE6InternedBeatsLegacy(t *testing.T) {
 			internedDur, legacyDur, float64(legacyDur)/float64(internedDur))
 	}
 	t.Logf("E6: legacy %v, interned %v (%.0fx)", legacyDur, internedDur, float64(legacyDur)/float64(internedDur))
+}
+
+// ---- E7 facade view: the storage → analytics handoff ---------------------
+// (The full concurrent mixed workload and its enforced ≥3× criterion live
+// in internal/store; these two show the handoff itself at the public API.)
+
+// BenchmarkStoreCorpusRebuild is the pre-handoff path: copy the store out
+// and re-intern every trajectory into a fresh corpus.
+func BenchmarkStoreCorpusRebuild(b *testing.B) {
+	st, _ := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := sitm.NewSimilarityCorpus(st.All()); c.Len() == 0 {
+			b.Fatal("empty corpus")
+		}
+	}
+}
+
+// BenchmarkStoreCorpusHandoff is Store.Corpus: the write-time encodings
+// are handed to the similarity engine with zero re-interning.
+func BenchmarkStoreCorpusHandoff(b *testing.B) {
+	st, _ := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := st.Corpus(); c.Len() == 0 {
+			b.Fatal("empty corpus")
+		}
+	}
+}
+
+// BenchmarkStoreSequencesHandoff is Store.Sequences feeding PrefixSpan
+// without re-encoding (the mining side of E7).
+func BenchmarkStoreSequencesHandoff(b *testing.B) {
+	st, _ := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dict, seqs := st.Sequences()
+		if got := sitm.PrefixSpanInterned(dict, seqs, len(seqs)/20, 4); len(got) == 0 {
+			b.Fatal("no patterns")
+		}
+	}
 }
 
 // benchSimilaritySample returns a fixed-size trajectory sample and the

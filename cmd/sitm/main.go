@@ -6,6 +6,8 @@
 //	sitm generate -out f    write the calibrated synthetic dataset as CSV
 //	sitm ingest -in f       stream a detection feed (file or '-' = stdin)
 //	                        into a queryable store and report on it
+//	sitm query -store f     answer spatio-temporal queries (-through,
+//	                        -overlap, -in-cell) against a JSON store file
 //	sitm mine               run the mining pipeline (patterns, rules, stays)
 //	sitm profile            cluster visitors into profiles (k-medoids over
 //	                        the interned similarity engine)
@@ -64,6 +66,8 @@ func run(args []string, out io.Writer) error {
 		return runGenerate(args[1:], out)
 	case "ingest":
 		return runIngest(args[1:], out)
+	case "query":
+		return runQuery(args[1:], out)
 	case "mine":
 		return runMine(args[1:], out)
 	case "profile":
@@ -84,6 +88,8 @@ commands:
              -stream orders the rows as a global time-ordered feed
   ingest     stream a detection feed (-in file, '-' = stdin) through the
              online segmenter into an incrementally-indexed store
+  query      load a JSON store file (-store) and answer spatio-temporal
+             queries: -through a,b,c | -overlap from,to | -in-cell c,from,to
   mine       run the mining pipeline on a seeded dataset
   profile    cluster visitors (k-medoids over the interned similarity
              engine) and report the profiles
@@ -468,6 +474,102 @@ func runIngest(args []string, out io.Writer) error {
 	fmt.Fprintln(out, "busiest cells")
 	fmt.Fprint(out, viz.Table([]string{"cell", "stays"}, rows))
 	return nil
+}
+
+func runQuery(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	storePath := fs.String("store", "", "JSON store file (as written by Store.WriteJSON)")
+	through := fs.String("through", "", "comma-separated cell run: trajectories passing through it consecutively")
+	overlap := fs.String("overlap", "", "from,to (RFC 3339): trajectories overlapping the window")
+	inCell := fs.String("in-cell", "", "cell,from,to (RFC 3339): MOs present in the cell during the window")
+	shards := fs.Int("shards", 0, "store shard count (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storePath == "" {
+		return fmt.Errorf("query: -store is required")
+	}
+	if *through == "" && *overlap == "" && *inCell == "" {
+		return fmt.Errorf("query: need at least one of -through, -overlap, -in-cell")
+	}
+	f, err := os.Open(*storePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st := sitm.NewShardedStore(*shards)
+	if err := st.ReadJSON(f); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "store:", st.Summarize())
+	if *through != "" {
+		cells := strings.Split(*through, ",")
+		got := st.ThroughSequence(cells...)
+		fmt.Fprintf(out, "through %s: %d trajectories\n", strings.Join(cells, " → "), len(got))
+		writeTrajTable(out, got)
+	}
+	if *overlap != "" {
+		from, to, err := parseWindow(*overlap)
+		if err != nil {
+			return fmt.Errorf("query: -overlap: %w", err)
+		}
+		got := st.Overlapping(from, to)
+		fmt.Fprintf(out, "overlapping [%s, %s]: %d trajectories\n",
+			from.Format(time.RFC3339), to.Format(time.RFC3339), len(got))
+		writeTrajTable(out, got)
+	}
+	if *inCell != "" {
+		parts := strings.SplitN(*inCell, ",", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("query: -in-cell wants cell,from,to")
+		}
+		from, to, err := parseWindow(parts[1])
+		if err != nil {
+			return fmt.Errorf("query: -in-cell: %w", err)
+		}
+		mos := st.InCellDuring(parts[0], from, to)
+		fmt.Fprintf(out, "in cell %s during [%s, %s]: %d MOs\n",
+			parts[0], from.Format(time.RFC3339), to.Format(time.RFC3339), len(mos))
+		var rows [][]string
+		for _, mo := range mos {
+			rows = append(rows, []string{mo})
+		}
+		fmt.Fprint(out, viz.Table([]string{"mo"}, rows))
+	}
+	return nil
+}
+
+// parseWindow parses "from,to" as two RFC 3339 timestamps.
+func parseWindow(s string) (time.Time, time.Time, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return time.Time{}, time.Time{}, fmt.Errorf("want from,to, got %q", s)
+	}
+	from, err := time.Parse(time.RFC3339, parts[0])
+	if err != nil {
+		return time.Time{}, time.Time{}, err
+	}
+	to, err := time.Parse(time.RFC3339, parts[1])
+	if err != nil {
+		return time.Time{}, time.Time{}, err
+	}
+	return from, to, nil
+}
+
+// writeTrajTable renders query-result trajectories (movement sequence =
+// consecutive repeats collapsed, the SequencesOf view mining uses).
+func writeTrajTable(out io.Writer, trajs []sitm.Trajectory) {
+	seqs := sitm.SequencesOf(trajs)
+	var rows [][]string
+	for i, t := range trajs {
+		rows = append(rows, []string{
+			t.MO,
+			t.Start().Format(time.RFC3339),
+			t.End().Format(time.RFC3339),
+			strings.Join(seqs[i], " "),
+		})
+	}
+	fmt.Fprint(out, viz.Table([]string{"mo", "start", "end", "cells"}, rows))
 }
 
 func runProfile(args []string, out io.Writer) error {

@@ -31,6 +31,15 @@ func TestGoldenSubcommands(t *testing.T) {
 		{"profile-scale005", []string{"profile", "-scale", "0.05", "-k", "3"}},
 		{"ingest-feed", []string{"ingest", "-in", "testdata/feed.csv"}},
 		{"ingest-feed-merge", []string{"ingest", "-in", "testdata/feed.csv", "-merge", "-keep-zero", "-top", "3"}},
+		{"query-through", []string{"query", "-store", "testdata/store.json", "-through", "E,P,S"}},
+		{"query-overlap", []string{"query", "-store", "testdata/store.json",
+			"-overlap", "2017-02-14T00:00:00Z,2017-02-14T00:30:00Z"}},
+		{"query-incell", []string{"query", "-store", "testdata/store.json",
+			"-in-cell", "S,2017-02-14T00:20:00Z,2017-02-14T00:40:00Z"}},
+		{"query-combined", []string{"query", "-store", "testdata/store.json", "-shards", "3",
+			"-through", "P,S,C",
+			"-overlap", "2017-02-14T04:50:00Z,2017-02-14T06:00:00Z",
+			"-in-cell", "E,2017-02-14T00:00:00Z,2017-02-14T00:05:00Z"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -101,6 +110,26 @@ func TestIngestRejectsBadFeed(t *testing.T) {
 	}
 	if err := run([]string{"ingest", "-in", filepath.Join(dir, "missing.csv")}, &buf); err == nil {
 		t.Fatal("missing file must error")
+	}
+}
+
+// TestQueryRejectsBadInvocations: flag and parse errors surface cleanly.
+func TestQueryRejectsBadInvocations(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"query", "-through", "E,P"}, &buf); err == nil {
+		t.Fatal("missing -store must error")
+	}
+	if err := run([]string{"query", "-store", "testdata/store.json"}, &buf); err == nil {
+		t.Fatal("no query flag must error")
+	}
+	if err := run([]string{"query", "-store", "testdata/store.json", "-overlap", "notatime,2017-02-14T00:00:00Z"}, &buf); err == nil {
+		t.Fatal("bad window must error")
+	}
+	if err := run([]string{"query", "-store", "testdata/store.json", "-in-cell", "E"}, &buf); err == nil {
+		t.Fatal("short -in-cell must error")
+	}
+	if err := run([]string{"query", "-store", "testdata/missing.json", "-through", "E"}, &buf); err == nil {
+		t.Fatal("missing store file must error")
 	}
 }
 

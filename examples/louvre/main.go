@@ -79,8 +79,22 @@ func main() {
 	fmt.Println("  observed:     ", sparse)
 	fmt.Println("  reconstructed:", fixed)
 
-	// --- Mining. ----------------------------------------------------------
-	patterns := sitm.PrefixSpan(sitm.SequencesOf(trajs), len(trajs)/20+1, 3)
+	// --- Storage: the sharded dictionary-encoded engine. ------------------
+	// Everything below runs off the store: it interns cell/MO names once at
+	// write time, so spatio-temporal queries are integer-indexed and the
+	// analytics handoffs (Corpus, Sequences) re-encode nothing.
+	st := sitm.NewStore()
+	st.PutAll(trajs)
+	fmt.Println("\nstore:", st.Summarize())
+	week := time.Date(2017, 3, 1, 0, 0, 0, 0, time.UTC)
+	fmt.Printf("visitors in zone60853 in the first week of March: %d\n",
+		len(st.InCellDuring("zone60853", week, week.AddDate(0, 0, 7))))
+	fmt.Printf("trajectories passing zone60887 → zone60888 consecutively: %d\n",
+		len(st.ThroughSequence("zone60887", "zone60888")))
+
+	// --- Mining (interned handoff: store → PrefixSpan, zero re-encode). ---
+	dict, seqs := st.Sequences()
+	patterns := sitm.PrefixSpanInterned(dict, seqs, len(trajs)/20+1, 3)
 	fmt.Println("\ntop sequential patterns:")
 	for i, pat := range patterns {
 		if i == 5 {
@@ -101,23 +115,21 @@ func main() {
 	}
 
 	// --- Visitor profiling (§5 future work, implemented). -----------------
-	sample := trajs
-	if len(sample) > 60 {
-		sample = sample[:60]
-	}
-	// The interned pipeline: encode once, precompute the hierarchy kernel
-	// into a dense cell table, then matrix + k-medoids (bit-for-bit the
-	// string-path result, an order of magnitude faster — experiment E6).
-	corpus := sitm.NewSimilarityCorpus(sample)
+	// The corpus comes straight off the store (experiment E7): the cell
+	// sequences and annotation sets interned at write time are handed to
+	// the similarity engine as-is, then the E6 interned pipeline runs —
+	// dense cell table, flat-scratch kernels, cached-distance k-medoids.
+	corpus := st.Corpus()
 	table := corpus.CellTable(sitm.HierarchyCellSimilarity(sg, hierarchy))
 	clusters := corpus.KMedoids(table, 0.8, 4, 42)
+	all := st.All()
 	sizes := map[int]int{}
 	for _, c := range clusters.Assign {
 		sizes[c]++
 	}
 	fmt.Println("\nvisitor profiles (k-medoids over hierarchy-aware similarity):")
 	for c := 0; c < len(clusters.Medoids); c++ {
-		medoid := sample[clusters.Medoids[c]]
+		medoid := all[clusters.Medoids[c]]
 		fmt.Printf("  profile %d: %d visitors, exemplar path %v\n",
 			c, sizes[c], medoid.Trace.DistinctCells())
 	}

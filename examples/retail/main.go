@@ -77,8 +77,20 @@ func main() {
 	}
 	fmt.Printf("simulated %d shopper trajectories over %d zones\n", len(trajs), len(zones))
 
-	// --- Association rules. -----------------------------------------------
-	patterns := sitm.PrefixSpan(sitm.SequencesOf(trajs), 10, 3)
+	// --- Storage: all analytics below run off the sharded store. ----------
+	st := sitm.NewStore()
+	st.PutAll(trajs)
+	fmt.Println("store:", st.Summarize())
+	lunch := t0.Add(2 * time.Hour)
+	fmt.Printf("shoppers in the café between %s and %s: %d\n",
+		lunch.Format("15:04"), lunch.Add(time.Hour).Format("15:04"),
+		len(st.InCellDuring("cafe", lunch, lunch.Add(time.Hour))))
+	fmt.Printf("shoppers going electronics → café directly: %d\n",
+		len(st.ThroughSequence("electronics", "cafe")))
+
+	// --- Association rules (interned store → mining handoff). -------------
+	dict, seqs := st.Sequences()
+	patterns := sitm.PrefixSpanInterned(dict, seqs, 10, 3)
 	rules := sitm.MineRules(patterns, 0.6)
 	fmt.Println("\nassociation rules (confidence ≥ 0.6):")
 	for i, r := range rules {
@@ -98,8 +110,9 @@ func main() {
 
 	// --- Profiling: do the two archetypes separate? ------------------------
 	// Pure spatial similarity (weight 1.0): the paths alone must separate
-	// shoppers. Clustering runs on the interned corpus pipeline.
-	corpus := sitm.NewSimilarityCorpus(trajs)
+	// shoppers. The corpus is the store's zero-re-encode snapshot (E7);
+	// clustering runs on the interned pipeline.
+	corpus := st.Corpus()
 	clusters := corpus.KMedoids(corpus.CellTable(exact), 1.0, 2, 99)
 	var agree, total int
 	for i, tr := range trajs {

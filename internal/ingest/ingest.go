@@ -25,6 +25,10 @@ type Options struct {
 	// PutBatch flushes them into the store (amortizing the write lock and
 	// the interval-index merges). 0 defaults to 128; 1 writes through.
 	BatchSize int
+	// Shards is the shard count of the store New creates when handed a
+	// nil store (0 = the store default, GOMAXPROCS). Ignored when the
+	// caller supplies its own store.
+	Shards int
 }
 
 // Stats report what an Ingestor has processed so far.
@@ -49,10 +53,11 @@ type Ingestor struct {
 	stored  int
 }
 
-// New returns an Ingestor feeding st (a fresh store when nil).
+// New returns an Ingestor feeding st (a fresh store when nil, sharded per
+// opts.Shards).
 func New(st *store.Store, opts Options) *Ingestor {
 	if st == nil {
-		st = store.New()
+		st = store.NewSharded(opts.Shards)
 	}
 	batch := opts.BatchSize
 	if batch <= 0 {

@@ -53,9 +53,6 @@ type proj struct{ seq, off int }
 // regardless of scheduling: the final ordering is a total order, and it is
 // bit-for-bit the legacy string implementation's (differential-tested).
 func PrefixSpan(sequences [][]string, minSupport, maxLen int) []Pattern {
-	if minSupport < 1 {
-		minSupport = 1
-	}
 	// Intern the corpus: one flat id buffer backs every sequence.
 	dict := symtab.NewDict()
 	total := 0
@@ -68,6 +65,18 @@ func PrefixSpan(sequences [][]string, minSupport, maxLen int) []Pattern {
 		lo := len(flat)
 		flat = dict.EncodeInto(flat, s)
 		seqs[i] = flat[lo:len(flat):len(flat)]
+	}
+	return PrefixSpanInterned(dict, seqs, minSupport, maxLen)
+}
+
+// PrefixSpanInterned is PrefixSpan over sequences that are already
+// dictionary-encoded — the zero-re-encode mining handoff from the storage
+// engine (store.Sequences): every item must be an id interned under dict
+// (frozen snapshots work; only Symbol and Len are consulted). The output
+// is bit-for-bit what PrefixSpan produces on the decoded sequences.
+func PrefixSpanInterned(dict *symtab.Dict, seqs [][]int32, minSupport, maxLen int) []Pattern {
+	if minSupport < 1 {
+		minSupport = 1
 	}
 	k := dict.Len()
 	// nameRank[id] = rank of the symbol in lexicographic order — the

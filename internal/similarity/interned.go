@@ -46,30 +46,24 @@ func NewCorpus(trajs []core.Trajectory) *Corpus {
 		t.Ann.ForEachPair(func(k, v string) {
 			ids = append(ids, pairDict.Intern(k+"\x00"+v))
 		})
-		c.anns[i] = sortedDistinct(ids)
+		// Sorted distinct: annotation pairs are a set (ForEachPair may
+		// surface repeats stored by hand-built maps).
+		c.anns[i] = symtab.SortDistinct(ids)
 	}
 	return c
 }
 
-// sortedDistinct sorts ids in place and drops duplicates (annotation pairs
-// are a set; ForEachPair may surface repeats stored by hand-built maps).
-func sortedDistinct(ids []int32) []int32 {
-	if len(ids) < 2 {
-		return ids
-	}
-	// Insertion sort: annotation sets are tiny (a handful of pairs).
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
-	out := ids[:1]
-	for _, id := range ids[1:] {
-		if id != out[len(out)-1] {
-			out = append(out, id)
-		}
-	}
-	return out
+// NewCorpusFromEncoded builds a Corpus from data that is already
+// dictionary-encoded — the zero-re-encode handoff from the storage engine
+// (store.Corpus). seqs must be interned cell sequences under dict (one per
+// trajectory, in corpus order) and anns the matching sorted distinct
+// annotation-pair id sets (interned under any one pair dictionary —
+// Jaccard only counts id overlaps). maxLen must bound every sequence
+// length; it sizes the per-worker DP scratch. The caller hands ownership
+// of the slices over: a Corpus is immutable, so they must not be mutated
+// afterwards (append-only stores sharing per-trajectory slices are fine).
+func NewCorpusFromEncoded(dict *symtab.Dict, seqs, anns [][]int32, maxLen int) *Corpus {
+	return &Corpus{dict: dict, seqs: seqs, anns: anns, max: maxLen}
 }
 
 // Dict exposes the cell dictionary (for building tables or decoding ids).

@@ -1,0 +1,201 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sitm/internal/core"
+	"sitm/internal/mining"
+	"sitm/internal/similarity"
+)
+
+// prefixSim is a deterministic, id-order-insensitive cell similarity for
+// the handoff equivalence tests: shared-prefix ratio of the cell names.
+func prefixSim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	p := 0
+	for p < n && a[p] == b[p] {
+		p++
+	}
+	m := len(a)
+	if len(b) > m {
+		m = len(b)
+	}
+	if m == 0 {
+		return 1
+	}
+	return float64(p) / float64(m)
+}
+
+// TestStoreCorpusMatchesNewCorpus: the zero-re-encode handoff must be
+// value-for-value the corpus the analytics layer would have built from
+// scratch — bit-identical similarity matrices, distance matrices and
+// clusterings.
+func TestStoreCorpusMatchesNewCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	trajs := randomCorpusTrajs(rng, 120)
+	st := NewSharded(4)
+	applySchedule(st, trajs, []int{1, 7, 3, 1, 12, 5})
+
+	handoff := st.Corpus()
+	rebuilt := similarity.NewCorpus(st.All())
+	if handoff.Len() != rebuilt.Len() {
+		t.Fatalf("corpus len %d vs %d", handoff.Len(), rebuilt.Len())
+	}
+
+	mA := handoff.PairwiseMatrix(handoff.CellTable(prefixSim), 0.7)
+	mB := rebuilt.PairwiseMatrix(rebuilt.CellTable(prefixSim), 0.7)
+	for i := range mA {
+		for j := range mA[i] {
+			if mA[i][j] != mB[i][j] {
+				t.Fatalf("matrix diverged at (%d,%d): %v vs %v (must be bit-identical)",
+					i, j, mA[i][j], mB[i][j])
+			}
+		}
+	}
+	eA, eB := handoff.EditDistanceMatrix(), rebuilt.EditDistanceMatrix()
+	lA, lB := handoff.LCSSMatrix(), rebuilt.LCSSMatrix()
+	for i := range eA {
+		for j := range eA[i] {
+			if eA[i][j] != eB[i][j] || lA[i][j] != lB[i][j] {
+				t.Fatalf("distance matrices diverged at (%d,%d)", i, j)
+			}
+		}
+	}
+	cA := handoff.KMedoids(handoff.CellTable(prefixSim), 0.7, 5, 7)
+	cB := rebuilt.KMedoids(rebuilt.CellTable(prefixSim), 0.7, 5, 7)
+	if fmt.Sprint(cA.Medoids) != fmt.Sprint(cB.Medoids) || fmt.Sprint(cA.Assign) != fmt.Sprint(cB.Assign) {
+		t.Fatalf("clusterings diverged: %v/%v vs %v/%v", cA.Medoids, cA.Assign, cB.Medoids, cB.Assign)
+	}
+}
+
+// TestCellTableReuseAcrossSnapshots: the live-analytics pattern — build a
+// cell table once, keep ingesting, re-snapshot the corpus every round —
+// must not force an O(k²) table rebuild: while the cell alphabet is
+// unchanged, successive Store.Corpus() snapshots share one dictionary
+// identity, so a table built from an earlier snapshot still works.
+func TestCellTableReuseAcrossSnapshots(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	trajs := randomCorpusTrajs(rng, 80)
+	st := NewSharded(4)
+	st.PutBatch(trajs[:40])
+
+	table := st.Corpus().CellTable(prefixSim)
+	st.PutBatch(trajs[40:]) // same alphabet: randomCorpusTrajs draws from A–H
+	c2 := st.Corpus()
+	m := c2.PairwiseMatrix(table, 0.7) // must not panic (dict identity stable)
+	ref := c2.PairwiseMatrix(c2.CellTable(prefixSim), 0.7)
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] != ref[i][j] {
+				t.Fatalf("reused table diverged at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// A genuinely new cell invalidates identity, and the corpus rejects the
+	// stale table instead of returning wrong similarities.
+	nt, err := core.NewTrajectory("newcomer", core.Trace{{
+		Cell: "brand-new-cell", Start: day, End: day.Add(time.Minute),
+	}}, core.NewAnnotations("k", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Put(nt)
+	c3 := st.Corpus()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("stale table after alphabet growth must panic")
+			}
+		}()
+		c3.PairwiseMatrix(table, 0.7)
+	}()
+}
+
+// TestStoreSequencesMatchesMining: Sequences must decode to exactly
+// mining.SequencesOf(All()), and feeding the interned pair to
+// PrefixSpanInterned must reproduce the string pipeline bit for bit.
+func TestStoreSequencesMatchesMining(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	trajs := randomCorpusTrajs(rng, 150)
+	st := NewSharded(3)
+	st.PutBatch(trajs)
+
+	dict, seqs := st.Sequences()
+	want := mining.SequencesOf(st.All())
+	if len(seqs) != len(want) {
+		t.Fatalf("sequence count %d vs %d", len(seqs), len(want))
+	}
+	for i := range seqs {
+		decoded := make([]string, len(seqs[i]))
+		for k, id := range seqs[i] {
+			decoded[k] = dict.Symbol(id)
+		}
+		if fmt.Sprint(decoded) != fmt.Sprint(want[i]) {
+			t.Fatalf("sequence %d: %v vs %v", i, decoded, want[i])
+		}
+	}
+
+	got := mining.PrefixSpanInterned(dict, seqs, len(seqs)/10+1, 4)
+	ref := mining.PrefixSpan(want, len(want)/10+1, 4)
+	if len(got) != len(ref) {
+		t.Fatalf("pattern count %d vs %d", len(got), len(ref))
+	}
+	for i := range got {
+		if got[i].Support != ref[i].Support || fmt.Sprint(got[i].Cells) != fmt.Sprint(ref[i].Cells) {
+			t.Fatalf("pattern %d: %v/%d vs %v/%d",
+				i, got[i].Cells, got[i].Support, ref[i].Cells, ref[i].Support)
+		}
+	}
+}
+
+// TestCorpusHandoffAllocsIndependentOfDict is the acceptance guard on the
+// zero-re-interning claim: building a corpus from a warm store allocates a
+// constant number of objects, independent of dictionary size. A handoff
+// that re-interned would pay O(dict) map insertions; here a store with a
+// 100× larger cell alphabet must hand off with the same allocation count.
+func TestCorpusHandoffAllocsIndependentOfDict(t *testing.T) {
+	build := func(distinctCells int) *Store {
+		st := NewSharded(4)
+		var ts []core.Trajectory
+		for i := 0; i < 300; i++ {
+			var tr core.Trace
+			t0 := day.Add(time.Duration(i) * time.Minute)
+			for k := 0; k < 4; k++ {
+				tr = append(tr, core.PresenceInterval{
+					Cell:  fmt.Sprintf("cell%04d", (i*4+k)%distinctCells),
+					Start: t0.Add(time.Duration(k) * time.Minute),
+					End:   t0.Add(time.Duration(k+1) * time.Minute),
+				})
+			}
+			traj, err := core.NewTrajectory(fmt.Sprintf("mo%03d", i%40), tr, core.NewAnnotations("k", "v"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts = append(ts, traj)
+		}
+		st.PutBatch(ts)
+		return st
+	}
+	small := build(12)
+	big := build(1200)
+	if n := big.Summarize().Cells; n != 1200 {
+		t.Fatalf("big store alphabet = %d, want 1200", n)
+	}
+	allocsSmall := testing.AllocsPerRun(20, func() { small.Corpus() })
+	allocsBig := testing.AllocsPerRun(20, func() { big.Corpus() })
+	if allocsBig > allocsSmall+8 {
+		t.Fatalf("corpus handoff allocations grew with dictionary size: %v (k=12) vs %v (k=1200)",
+			allocsSmall, allocsBig)
+	}
+	t.Logf("corpus handoff allocs: %v (k=12) vs %v (k=1200)", allocsSmall, allocsBig)
+}

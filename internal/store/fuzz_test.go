@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
+
+	"sitm/internal/core"
 )
 
 // FuzzReadDetectionsCSV fuzzes the external-input CSV parser. The parser
@@ -53,3 +56,98 @@ func FuzzReadDetectionsCSV(f *testing.F) {
 // normCRLF normalises the \r\n → \n rewriting encoding/csv performs inside
 // quoted fields, so the round-trip oracle doesn't flag it as data loss.
 func normCRLF(s string) string { return strings.ReplaceAll(s, "\r\n", "\n") }
+
+// FuzzShardedStoreQueries fuzzes the interned query path: a byte script
+// drives a sharded store and a plain trajectory list in lockstep (every
+// two script bytes become one single-interval trajectory), then the fuzzed
+// window/cell/run queries are checked against naive string-world scans.
+// The engine must never panic, never intern a probed-but-unseen symbol
+// into its summary counts, and always agree with the scans.
+func FuzzShardedStoreQueries(f *testing.F) {
+	f.Add(uint8(1), []byte{0, 1, 2, 3, 4, 5})
+	f.Add(uint8(3), []byte{7, 7, 7, 7})
+	f.Add(uint8(8), []byte("interleaved-cells-and-mos"))
+	f.Add(uint8(0), []byte{})
+	f.Fuzz(func(t *testing.T, shardsRaw uint8, script []byte) {
+		shards := int(shardsRaw%8) + 1
+		s := NewSharded(shards)
+		// all mirrors the store's actual insertion order: Puts land
+		// immediately, batched trajectories land when their batch flushes.
+		var all []core.Trajectory
+		cellName := func(b byte) string { return string(rune('A' + b%7)) }
+		var batch []core.Trajectory
+		for i := 0; i+1 < len(script); i += 2 {
+			mo := "mo" + string(rune('a'+script[i]%5))
+			start := day.Add(time.Duration(script[i]) * time.Minute)
+			tr := core.Trace{{
+				Cell:  cellName(script[i+1]),
+				Start: start,
+				End:   start.Add(time.Duration(script[i+1]%30+1) * time.Minute),
+			}}
+			traj, err := core.NewTrajectory(mo, tr, core.NewAnnotations("k", "v"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if script[i]%3 == 0 {
+				s.Put(traj)
+				all = append(all, traj)
+			} else {
+				batch = append(batch, traj)
+				if len(batch) == 3 {
+					s.PutBatch(batch)
+					all = append(all, batch...)
+					batch = nil
+				}
+			}
+		}
+		s.PutBatch(batch)
+		all = append(all, batch...)
+		if s.Len() != len(all) {
+			t.Fatalf("Len = %d, want %d", s.Len(), len(all))
+		}
+		// Window + cell probes derived from the script tail (or defaults).
+		var a, b byte = 3, 9
+		if len(script) > 0 {
+			a, b = script[0], script[len(script)-1]
+		}
+		from := day.Add(time.Duration(a%120) * time.Minute)
+		to := from.Add(time.Duration(b%90) * time.Minute)
+		probe := cellName(b)
+
+		got := s.Overlapping(from, to)
+		want := linearOverlapping(all, from, to)
+		if len(got) != len(want) {
+			t.Fatalf("Overlapping: %d vs %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i].MO != want[i].MO || !got[i].Start().Equal(want[i].Start()) {
+				t.Fatalf("Overlapping order diverged at %d", i)
+			}
+		}
+		gm := s.InCellDuring(probe, from, to)
+		wm := linearInCellDuring(all, probe, from, to)
+		if strings.Join(gm, ",") != strings.Join(wm, ",") {
+			t.Fatalf("InCellDuring(%s): %v vs %v", probe, gm, wm)
+		}
+		run := []string{cellName(a), cellName(b)}
+		gr := s.ThroughSequence(run...)
+		var wr int
+		for _, tr := range all {
+			if containsStringRun(dedupStrings(tr.Trace.Cells()), run) {
+				wr++
+			}
+		}
+		if len(gr) != wr {
+			t.Fatalf("ThroughSequence(%v): %d vs %d", run, len(gr), wr)
+		}
+		// Probing unknown symbols must not grow the dictionaries.
+		sum := s.Summarize()
+		s.ThroughCell("never-stored")
+		s.InCellDuring("never-stored", from, to)
+		s.ThroughSequence("never-stored")
+		s.ByMO("never-stored")
+		if s.Summarize() != sum {
+			t.Fatal("query-path probe grew the store summary")
+		}
+	})
+}

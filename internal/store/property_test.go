@@ -1,0 +1,224 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"sitm/internal/core"
+)
+
+// shardFlag lets CI sweep the stress/property tests across shard counts:
+//
+//	go test -race -run TestRaceStress -shards 8 ./internal/store
+var shardFlag = flag.Int("shards", 0, "store shard count for stress tests (0 = default)")
+
+// newTestStore builds the store the stress tests run against, honoring the
+// -shards override.
+func newTestStore() *Store { return NewSharded(*shardFlag) }
+
+// String-world reference helpers (the pre-interning semantics the integer
+// engine must reproduce).
+func dedupStrings(cells []string) []string {
+	var out []string
+	for _, c := range cells {
+		if len(out) == 0 || out[len(out)-1] != c {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func containsStringRun(seq, run []string) bool {
+	for i := 0; i+len(run) <= len(seq); i++ {
+		ok := true
+		for j := range run {
+			if seq[i+j] != run[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// randomCorpusTrajs draws a randomized corpus: repeated MOs, multi-interval
+// traces over a small cell alphabet, varied annotations.
+func randomCorpusTrajs(rng *rand.Rand, n int) []core.Trajectory {
+	cells := []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+	out := make([]core.Trajectory, 0, n)
+	for i := 0; i < n; i++ {
+		mo := fmt.Sprintf("mo%02d", rng.Intn(14))
+		var tr core.Trace
+		t := day.Add(time.Duration(rng.Intn(5000)) * time.Minute)
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			d := time.Duration(rng.Intn(60)+1) * time.Minute
+			tr = append(tr, core.PresenceInterval{
+				Cell:  cells[rng.Intn(len(cells))],
+				Start: t,
+				End:   t.Add(d),
+			})
+			t = t.Add(d + time.Duration(rng.Intn(15))*time.Minute)
+		}
+		ann := core.NewAnnotations("activity", fmt.Sprint(rng.Intn(3)), "style", fmt.Sprint(rng.Intn(2)))
+		traj, err := core.NewTrajectory(mo, tr, ann)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, traj)
+	}
+	return out
+}
+
+// applySchedule writes the trajectories with a deterministic mix of Put
+// and PutBatch chunkings.
+func applySchedule(s *Store, trajs []core.Trajectory, chunks []int) {
+	i := 0
+	for _, n := range chunks {
+		if i >= len(trajs) {
+			return
+		}
+		if i+n > len(trajs) {
+			n = len(trajs) - i
+		}
+		if n == 1 {
+			s.Put(trajs[i])
+		} else {
+			s.PutBatch(trajs[i : i+n])
+		}
+		i += n
+	}
+	if i < len(trajs) {
+		s.PutBatch(trajs[i:])
+	}
+}
+
+// trajSig is a deep one-line signature of a trajectory list.
+func trajSig(ts []core.Trajectory) string {
+	var b strings.Builder
+	for _, t := range ts {
+		fmt.Fprintf(&b, "%s|", t)
+	}
+	return b.String()
+}
+
+// TestShardedObservablyEquivalent is the sharding correctness property:
+// for every query API, a store with 2 or 8 shards is observably identical
+// to a 1-shard store fed the same schedule — across randomized corpora,
+// seeds, insertion chunkings, and GOMAXPROCS 1 and 8.
+func TestShardedObservablyEquivalent(t *testing.T) {
+	for _, procs := range []int{1, 8} {
+		t.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			for seed := int64(0); seed < 5; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				trajs := randomCorpusTrajs(rng, 60+rng.Intn(80))
+				var chunks []int
+				for c := 0; c < len(trajs); {
+					n := 1 + rng.Intn(9)
+					chunks = append(chunks, n)
+					c += n
+				}
+				ref := NewSharded(1)
+				applySchedule(ref, trajs, chunks)
+				for _, shards := range []int{2, 8} {
+					got := NewSharded(shards)
+					applySchedule(got, trajs, chunks)
+					compareStores(t, ref, got, rand.New(rand.NewSource(seed^0x5a5a)))
+					if t.Failed() {
+						t.Fatalf("divergence with shards=%d seed=%d procs=%d", shards, seed, procs)
+					}
+				}
+			}
+		})
+	}
+}
+
+// compareStores asserts observable equivalence over every query API.
+func compareStores(t *testing.T, ref, got *Store, rng *rand.Rand) {
+	t.Helper()
+	if ref.Len() != got.Len() {
+		t.Errorf("Len: %d vs %d", ref.Len(), got.Len())
+	}
+	if a, b := trajSig(ref.All()), trajSig(got.All()); a != b {
+		t.Errorf("All diverged:\n%s\nvs\n%s", a, b)
+	}
+	if a, b := fmt.Sprint(ref.MOs()), fmt.Sprint(got.MOs()); a != b {
+		t.Errorf("MOs: %s vs %s", a, b)
+	}
+	for _, mo := range ref.MOs() {
+		if a, b := trajSig(ref.ByMO(mo)), trajSig(got.ByMO(mo)); a != b {
+			t.Errorf("ByMO(%s) diverged", mo)
+		}
+	}
+	if _, err := got.GetByMO("never-seen"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("GetByMO(unknown) err = %v", err)
+	}
+	cells := []string{"A", "B", "C", "D", "E", "F", "G", "H", "Z"}
+	for _, c := range cells {
+		if a, b := trajSig(ref.ThroughCell(c)), trajSig(got.ThroughCell(c)); a != b {
+			t.Errorf("ThroughCell(%s) diverged", c)
+		}
+	}
+	for probe := 0; probe < 30; probe++ {
+		from := day.Add(time.Duration(rng.Intn(6000)) * time.Minute)
+		to := from.Add(time.Duration(rng.Intn(600)) * time.Minute)
+		if a, b := trajSig(ref.Overlapping(from, to)), trajSig(got.Overlapping(from, to)); a != b {
+			t.Errorf("Overlapping(%v, %v) diverged", from, to)
+		}
+		cell := cells[rng.Intn(len(cells))]
+		if a, b := fmt.Sprint(ref.InCellDuring(cell, from, to)), fmt.Sprint(got.InCellDuring(cell, from, to)); a != b {
+			t.Errorf("InCellDuring(%s) %s vs %s", cell, a, b)
+		}
+		run := make([]string, 1+rng.Intn(3))
+		for i := range run {
+			run[i] = cells[rng.Intn(len(cells))]
+		}
+		if a, b := trajSig(ref.ThroughSequence(run...)), trajSig(got.ThroughSequence(run...)); a != b {
+			t.Errorf("ThroughSequence(%v) diverged", run)
+		}
+	}
+	if a, b := ref.Summarize(), got.Summarize(); a != b {
+		t.Errorf("Summarize: %+v vs %+v", a, b)
+	}
+	// Serialisation observes insertion order too.
+	var bufA, bufB bytes.Buffer
+	if err := ref.WriteJSON(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WriteJSON(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Error("WriteJSON diverged")
+	}
+	// The analytics handoffs decode identically.
+	dictA, seqsA := ref.Sequences()
+	dictB, seqsB := got.Sequences()
+	if len(seqsA) != len(seqsB) {
+		t.Fatalf("Sequences count %d vs %d", len(seqsA), len(seqsB))
+	}
+	for i := range seqsA {
+		a := make([]string, len(seqsA[i]))
+		for k, id := range seqsA[i] {
+			a[k] = dictA.Symbol(id)
+		}
+		b := make([]string, len(seqsB[i]))
+		for k, id := range seqsB[i] {
+			b[k] = dictB.Symbol(id)
+		}
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Errorf("Sequences[%d]: %v vs %v", i, a, b)
+		}
+	}
+}

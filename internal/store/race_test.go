@@ -33,7 +33,7 @@ func TestRaceStressWritersVsReaders(t *testing.T) {
 		preloadTrajs  = 25
 		sequenceCells = 3
 	)
-	s := New()
+	s := newTestStore()
 	var preloaded []core.Trajectory
 	for i := 0; i < preloadTrajs; i++ {
 		tr := traj(t, fmt.Sprintf("pre%03d", i), i*20, "E", "P", "S")
@@ -120,7 +120,7 @@ func TestRaceStressWritersVsReaders(t *testing.T) {
 						return
 					}
 					for _, tr := range got {
-						if !containsRun(dedup(tr.Trace.Cells()), []string{"E", "P", "S"}) {
+						if !containsStringRun(dedupStrings(tr.Trace.Cells()), []string{"E", "P", "S"}) {
 							errs <- fmt.Errorf("reader %d: sequence result without the run", r)
 							return
 						}

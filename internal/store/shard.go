@@ -1,0 +1,150 @@
+package store
+
+import (
+	"sync"
+
+	"sitm/internal/core"
+)
+
+// shard is one horizontal slice of the store: the trajectories of the
+// moving objects hashing here, with the shard's own lock, posting lists
+// and incremental interval indexes. Everything inside is keyed by dense
+// ids — cell posting lists and per-cell interval indexes are slices
+// indexed by interned cell id, candidates are int32 slots, and the
+// write-time encoded traces ride beside the trajectories so sequence
+// checks and the analytics handoff never look at a string again.
+type shard struct {
+	mu sync.RWMutex
+
+	// Parallel per-slot columns (one entry per stored trajectory).
+	seqs  []uint64          // global insertion sequence
+	trajs []core.Trajectory // the trajectory itself
+	encs  [][]int32         // interned Trace cells (write-time encoding)
+	anns  [][]int32         // sorted distinct interned annotation-pair ids
+	moIDs []int32           // interned moving-object id
+
+	byMO      map[int32][]int32 // mo id → slots, append order
+	byCell    [][]int32         // cell id → slots visiting the cell (ascending)
+	spanIdx   *intervalIndex    // whole-trajectory spans → slot
+	cellIdx   []*intervalIndex  // cell id → presence intervals → slot
+	intervals int               // total presence intervals stored
+	maxLen    int               // longest encoded trace (corpus scratch sizing)
+
+	// Generation-stamped distinct-cell detector: seen[id] == seenGen marks
+	// "already posted during the current insert", giving first-occurrence
+	// detection in O(L) with no per-insert allocation (the PrefixSpan
+	// stamp-set discipline, §3.6).
+	seen    []uint32
+	seenGen uint32
+}
+
+func (sh *shard) init() {
+	sh.byMO = make(map[int32][]int32)
+	sh.spanIdx = newIntervalIndex()
+}
+
+// posting returns the cell's posting list (nil when the shard has never
+// seen the cell) — a bounds-checked slice index, no hashing.
+func (sh *shard) posting(cell int32) []int32 {
+	if int(cell) >= len(sh.byCell) {
+		return nil
+	}
+	return sh.byCell[cell]
+}
+
+// cellIndex returns the cell's interval index, or nil.
+func (sh *shard) cellIndex(cell int32) *intervalIndex {
+	if int(cell) >= len(sh.cellIdx) {
+		return nil
+	}
+	return sh.cellIdx[cell]
+}
+
+// growCell extends the dense per-cell tables to cover the id.
+func (sh *shard) growCell(cell int32) {
+	for int(cell) >= len(sh.byCell) {
+		sh.byCell = append(sh.byCell, nil)
+	}
+	for int(cell) >= len(sh.cellIdx) {
+		sh.cellIdx = append(sh.cellIdx, nil)
+	}
+	for int(cell) >= len(sh.seen) {
+		sh.seen = append(sh.seen, 0) // 0 never equals a live generation
+	}
+}
+
+// addSlot appends the per-slot columns and posting-list entries of one
+// trajectory and returns its slot. Interval-index maintenance is left to
+// the caller (single insert vs batched insertAll).
+func (sh *shard) addSlot(seq uint64, t core.Trajectory, moID int32, enc, ann []int32) int32 {
+	slot := int32(len(sh.trajs))
+	sh.seqs = append(sh.seqs, seq)
+	sh.trajs = append(sh.trajs, t)
+	sh.encs = append(sh.encs, enc)
+	sh.anns = append(sh.anns, ann)
+	sh.moIDs = append(sh.moIDs, moID)
+	sh.byMO[moID] = append(sh.byMO[moID], slot)
+	sh.intervals += len(enc)
+	if len(enc) > sh.maxLen {
+		sh.maxLen = len(enc)
+	}
+	// Distinct cells in first-visit order via the stamp set: O(L).
+	sh.seenGen++
+	if sh.seenGen == 0 { // stamp wrap: reset and restart generations
+		clear(sh.seen)
+		sh.seenGen = 1
+	}
+	for _, id := range enc {
+		sh.growCell(id)
+		if sh.seen[id] != sh.seenGen {
+			sh.seen[id] = sh.seenGen
+			sh.byCell[id] = append(sh.byCell[id], slot)
+		}
+	}
+	return slot
+}
+
+// insertOne indexes a single trajectory under the (held) shard lock:
+// sorted inserts into the interval-index merge buffers, O(log n + √n)
+// amortized.
+func (sh *shard) insertOne(seq uint64, t core.Trajectory, moID int32, enc, ann []int32) {
+	slot := sh.addSlot(seq, t, moID, enc, ann)
+	sh.spanIdx.insert(span{start: t.Start(), end: t.End(), ref: int(slot)})
+	for i, p := range t.Trace {
+		id := enc[i]
+		ix := sh.cellIdx[id]
+		if ix == nil {
+			ix = newIntervalIndex()
+			sh.cellIdx[id] = ix
+		}
+		ix.insert(span{start: p.Start, end: p.End, ref: int(slot)})
+	}
+}
+
+// insertBatch indexes the batch members routed to this shard under the
+// (held) shard lock, grouping presence spans per cell so every touched
+// interval index absorbs the burst with a single buffer merge. idxs are
+// indexes into ts; trajectory ts[i] carries sequence base+i, so the batch
+// is observed in argument order.
+func (sh *shard) insertBatch(base uint64, ts []core.Trajectory, idxs []int32, moIDs []int32, encs, anns [][]int32) {
+	spans := make([]span, 0, len(idxs))
+	perCell := make(map[int32][]span)
+	for _, i := range idxs {
+		t := ts[i]
+		slot := sh.addSlot(base+uint64(i), t, moIDs[i], encs[i], anns[i])
+		spans = append(spans, span{start: t.Start(), end: t.End(), ref: int(slot)})
+		for k, p := range t.Trace {
+			id := encs[i][k]
+			perCell[id] = append(perCell[id], span{start: p.Start, end: p.End, ref: int(slot)})
+		}
+	}
+	sh.spanIdx.insertAll(spans)
+	for id, sp := range perCell {
+		ix := sh.cellIdx[id]
+		if ix == nil {
+			ix = newIntervalIndex()
+			sh.cellIdx[id] = ix
+		}
+		ix.insertAll(sp)
+	}
+}

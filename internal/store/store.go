@@ -1,25 +1,28 @@
 // Package store provides the trajectory data-management substrate implied
 // by the paper's data-engineering framing: an in-memory semantic trajectory
-// store with a primary index by moving object, an inverted index by cell,
-// and interval indexes by time — one over whole-trajectory spans serving
-// Overlapping, and one per cell over presence intervals serving
-// InCellDuring. The interval indexes keep their spans sorted by start time
-// (binary search bounds the candidates) with a max-end segment tree
-// augmentation (subtrees ending before the window are pruned whole), so
-// temporal windows are answered in O(log n + matches) instead of a full
-// scan.
+// store built as a sharded, dictionary-encoded engine. The store owns
+// symbol dictionaries (internal/symtab) for cell names, moving-object ids
+// and annotation pairs, and interns them once at write time; trajectories
+// hash by moving object across N shards (default GOMAXPROCS), each shard
+// carrying its own lock, posting lists and incremental interval indexes
+// keyed by dense int32 cell ids instead of strings. Sequence checks are
+// integer compares, per-cell index lookup is slice indexing, and writers to
+// different shards never contend.
 //
-// The indexes are maintained incrementally: every Put merges the new spans
-// into a small sorted buffer beside the bulk index, and the buffer is
-// folded into the bulk with one linear merge once it outgrows ~2·√n — the
-// streaming-ingestion workload of live positioning feeds never pays the
-// O(n log n) wholesale rebuild a dirty-flag design would. PutBatch
-// amortizes locking and buffer maintenance across a burst of writes, and
-// readers run entirely under the shared read lock (writes never force a
-// reader to rebuild anything). The package also offers sequence queries
-// (which trajectories pass through a cell sequence, answered by
-// intersecting all cells' posting lists), JSON/CSV round-trips, and a
-// streaming CSV detection reader for feed ingestion.
+// Read queries fan out across the shards (internal/parallel) and merge by
+// a global insertion sequence, so All, ByMO, Overlapping and
+// ThroughSequence observe the exact insertion order a single-lock store
+// would have produced. Each shard keeps the two-tier incremental interval
+// indexes of the streaming engine (sorted starts + max-end segment tree
+// with a √n merge buffer, see interval.go): temporal windows are answered
+// in O(log n + √n + matches) per shard with no rebuild ever.
+//
+// Because encoding happens at write time, the store can hand its contents
+// to the analytics layer with zero re-encoding: Corpus() builds a
+// similarity.Corpus and Sequences() builds mining input directly on frozen
+// snapshots of the store's own dictionaries (see corpus.go). The package
+// also offers JSON/CSV round-trips and a streaming CSV detection reader
+// for feed ingestion.
 package store
 
 import (
@@ -28,96 +31,134 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
+	"runtime"
 	"sort"
 	"strconv"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"sitm/internal/core"
+	"sitm/internal/parallel"
+	"sitm/internal/symtab"
 )
 
 // Store is a concurrency-safe in-memory trajectory store. The zero value is
-// not usable; call New.
+// not usable; call New or NewSharded.
 type Store struct {
-	mu     sync.RWMutex
-	trajs  []core.Trajectory
-	byMO   map[string][]int
-	byCell map[string][]int // trajectory indexes touching the cell
+	// nextSeq issues the global insertion sequence every stored trajectory
+	// is stamped with; cross-shard query results merge by it, so the
+	// observable order is insertion order regardless of sharding.
+	nextSeq atomic.Uint64
 
-	// Interval indexes, maintained incrementally on every write: queries
-	// read them under the shared lock without ever rebuilding.
-	spanIdx *intervalIndex            // whole-trajectory spans → traj index
-	cellIdx map[string]*intervalIndex // per-cell presence intervals → traj index
+	// The store-owned dictionaries: symbols are interned exactly once, at
+	// write time. Query paths only Lookup (probing an unknown cell or MO
+	// never grows a dictionary), so dictionary sizes equal the distinct
+	// symbol counts of the stored data.
+	cells *symtab.SyncDict // cell names → dense int32 ids
+	mos   *symtab.SyncDict // moving-object ids → dense int32 ids
+	pairs *symtab.SyncDict // annotation "key\x00value" pairs → dense ids
+
+	shards []shard
 }
 
-// New returns an empty store.
-func New() *Store {
-	return &Store{
-		byMO:    make(map[string][]int),
-		byCell:  make(map[string][]int),
-		spanIdx: newIntervalIndex(),
-		cellIdx: make(map[string]*intervalIndex),
+// New returns an empty store with the default shard count (GOMAXPROCS).
+func New() *Store { return NewSharded(0) }
+
+// NewSharded returns an empty store with the given shard count (0 or
+// negative selects GOMAXPROCS). One shard reproduces the single-lock
+// engine; every shard count is observably equivalent (the property tests
+// enforce it) — more shards buy write concurrency.
+func NewSharded(n int) *Store {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
 	}
+	s := &Store{
+		cells:  symtab.NewSyncDict(),
+		mos:    symtab.NewSyncDict(),
+		pairs:  symtab.NewSyncDict(),
+		shards: make([]shard, n),
+	}
+	for i := range s.shards {
+		s.shards[i].init()
+	}
+	return s
 }
 
 // ErrNotFound is returned for queries with no result.
 var ErrNotFound = errors.New("store: not found")
 
-// Put inserts a trajectory and indexes it incrementally: the primary and
-// posting indexes append, and the interval indexes take a sorted insert
-// into their merge buffers — O(log n + √n) amortized, never a rebuild.
-func (s *Store) Put(t core.Trajectory) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	idx := len(s.trajs)
-	s.trajs = append(s.trajs, t)
-	s.byMO[t.MO] = append(s.byMO[t.MO], idx)
-	for _, c := range t.Trace.DistinctCells() {
-		s.byCell[c] = append(s.byCell[c], idx)
+// shardIndex picks the home shard of a moving object (FNV-1a over the raw
+// id): all trajectories of one MO land in one shard, so per-MO order is a
+// per-shard concern and MO-distinct queries need no cross-shard dedup.
+func (s *Store) shardIndex(mo string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(mo); i++ {
+		h ^= uint32(mo[i])
+		h *= 16777619
 	}
-	s.spanIdx.insert(span{start: t.Start(), end: t.End(), ref: idx})
-	for _, p := range t.Trace {
-		ix := s.cellIdx[p.Cell]
-		if ix == nil {
-			ix = newIntervalIndex()
-			s.cellIdx[p.Cell] = ix
-		}
-		ix.insert(span{start: p.Start, end: p.End, ref: idx})
-	}
+	return int(h % uint32(len(s.shards)))
 }
 
-// PutBatch inserts many trajectories under one lock acquisition, grouping
-// the new presence spans per cell so every touched interval index absorbs
-// the burst with a single buffer merge — the amortized write path of
-// streaming ingestion.
+func (s *Store) shardOf(mo string) *shard { return &s.shards[s.shardIndex(mo)] }
+
+// encodeAnn interns the trajectory's annotation pairs into the store's
+// pair dictionary as a sorted distinct id set — the exact encoding
+// similarity.NewCorpus computes, precomputed at write time so the corpus
+// handoff never touches the annotations again.
+func (s *Store) encodeAnn(ann core.Annotations) []int32 {
+	var ids []int32
+	ann.ForEachPair(func(k, v string) {
+		ids = append(ids, s.pairs.Intern(k+"\x00"+v))
+	})
+	return symtab.SortDistinct(ids)
+}
+
+// Put inserts a trajectory: symbols are interned once (outside any shard
+// lock), then the home shard indexes it incrementally under its own lock —
+// O(log n + √n) amortized in the shard, never a rebuild, and disjoint
+// moving objects never contend.
+func (s *Store) Put(t core.Trajectory) {
+	enc := s.cells.EncodeTrace(t.Trace)
+	moID := s.mos.Intern(t.MO)
+	ann := s.encodeAnn(t.Ann)
+	sh := s.shardOf(t.MO)
+	sh.mu.Lock()
+	seq := s.nextSeq.Add(1) - 1
+	sh.insertOne(seq, t, moID, enc, ann)
+	sh.mu.Unlock()
+}
+
+// PutBatch inserts many trajectories, encoding everything outside the
+// locks, reserving one contiguous block of insertion sequences (so the
+// batch is observed in argument order, exactly like sequential Puts), and
+// then visiting every touched shard once: one lock acquisition and one
+// interval-index buffer merge per touched index — the amortized write path
+// of streaming ingestion.
 func (s *Store) PutBatch(ts []core.Trajectory) {
 	if len(ts) == 0 {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	spans := make([]span, len(ts))
-	perCell := make(map[string][]span)
+	encs := make([][]int32, len(ts))
+	anns := make([][]int32, len(ts))
+	moIDs := make([]int32, len(ts))
+	groups := make([][]int32, len(s.shards)) // per-shard indexes into ts
 	for i, t := range ts {
-		idx := len(s.trajs)
-		s.trajs = append(s.trajs, t)
-		s.byMO[t.MO] = append(s.byMO[t.MO], idx)
-		for _, c := range t.Trace.DistinctCells() {
-			s.byCell[c] = append(s.byCell[c], idx)
-		}
-		spans[i] = span{start: t.Start(), end: t.End(), ref: idx}
-		for _, p := range t.Trace {
-			perCell[p.Cell] = append(perCell[p.Cell], span{start: p.Start, end: p.End, ref: idx})
-		}
+		encs[i] = s.cells.EncodeTrace(t.Trace)
+		moIDs[i] = s.mos.Intern(t.MO)
+		anns[i] = s.encodeAnn(t.Ann)
+		g := s.shardIndex(t.MO)
+		groups[g] = append(groups[g], int32(i))
 	}
-	s.spanIdx.insertAll(spans)
-	for c, sp := range perCell {
-		ix := s.cellIdx[c]
-		if ix == nil {
-			ix = newIntervalIndex()
-			s.cellIdx[c] = ix
+	base := s.nextSeq.Add(uint64(len(ts))) - uint64(len(ts))
+	for g, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
 		}
-		ix.insertAll(sp)
+		sh := &s.shards[g]
+		sh.mu.Lock()
+		sh.insertBatch(base, ts, idxs, moIDs, encs, anns)
+		sh.mu.Unlock()
 	}
 }
 
@@ -127,38 +168,178 @@ func (s *Store) PutAll(ts []core.Trajectory) { s.PutBatch(ts) }
 
 // Len returns the number of stored trajectories.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.trajs)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.trajs)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
-// All returns all trajectories in insertion order.
-func (s *Store) All() []core.Trajectory {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]core.Trajectory, len(s.trajs))
-	copy(out, s.trajs)
-	return out
+// shardRows is one shard's contribution to a cross-shard query: the
+// matching trajectories and their insertion sequences, in tandem.
+type shardRows struct {
+	keys []uint64
+	ts   []core.Trajectory
 }
 
-// ByMO returns the trajectories of one moving object in insertion order.
-func (s *Store) ByMO(mo string) []core.Trajectory {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []core.Trajectory
-	for _, i := range s.byMO[mo] {
-		out = append(out, s.trajs[i])
+func (r *shardRows) add(seq uint64, t core.Trajectory) {
+	r.keys = append(r.keys, seq)
+	r.ts = append(r.ts, t)
+}
+
+// seqOrder returns the insertion-order output position of every row, or
+// nil when the rows are already in order. Insertion sequences are unique
+// and near-dense (every value the counter issued is stored exactly once; a
+// snapshot taken mid-write misses at most the few in-flight ones), so
+// instead of a comparison sort the positions come from a bitmap rank: two
+// popcount passes, O(rows), no compares — cheap enough that every query
+// and every corpus snapshot affords a fully ordered view.
+func seqOrder(keys []uint64) []int {
+	if len(keys) < 2 {
+		return nil
+	}
+	sorted := true
+	minSeq, maxSeq := keys[0], keys[0]
+	for i := 1; i < len(keys); i++ {
+		k := keys[i]
+		if k < keys[i-1] {
+			sorted = false
+		}
+		if k < minSeq {
+			minSeq = k
+		}
+		if k > maxSeq {
+			maxSeq = k
+		}
+	}
+	if sorted {
+		return nil
+	}
+	width := maxSeq - minSeq + 1
+	if width > uint64(8*len(keys))+1024 {
+		// Defensive fallback for a sparse key range (cannot arise from the
+		// store's dense sequence counter, but placement must not assume).
+		idx := make([]int, len(keys))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+		pos := make([]int, len(keys))
+		for p, i := range idx {
+			pos[i] = p
+		}
+		return pos
+	}
+	words := make([]uint64, (width+63)>>6)
+	for _, k := range keys {
+		words[(k-minSeq)>>6] |= 1 << ((k - minSeq) & 63)
+	}
+	rank := make([]int, len(words)+1)
+	for i, w := range words {
+		rank[i+1] = rank[i] + bits.OnesCount64(w)
+	}
+	pos := make([]int, len(keys))
+	for i, k := range keys {
+		off := k - minSeq
+		w := off >> 6
+		pos[i] = rank[w] + bits.OnesCount64(words[w]&(1<<(off&63)-1))
+	}
+	return pos
+}
+
+// placeAt applies a seqOrder placement (nil = already ordered).
+func placeAt[T any](pos []int, vals []T) []T {
+	if pos == nil {
+		return vals
+	}
+	out := make([]T, len(vals))
+	for i, v := range vals {
+		out[pos[i]] = v
 	}
 	return out
 }
 
+// placeBySeq reorders vals into insertion order per their keys.
+func placeBySeq[T any](keys []uint64, vals []T) []T {
+	return placeAt(seqOrder(keys), vals)
+}
+
+// gather fans collect out across the shards (each invocation runs under
+// that shard's read lock) and merges the rows into insertion order.
+func (s *Store) gather(collect func(sh *shard, out *shardRows)) []core.Trajectory {
+	per := make([]shardRows, len(s.shards))
+	parallel.ForEach(len(s.shards), func(i int) {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		collect(sh, &per[i])
+		sh.mu.RUnlock()
+	})
+	total := 0
+	for i := range per {
+		total += len(per[i].ts)
+	}
+	if total == 0 {
+		return nil
+	}
+	keys := make([]uint64, 0, total)
+	ts := make([]core.Trajectory, 0, total)
+	for i := range per {
+		keys = append(keys, per[i].keys...)
+		ts = append(ts, per[i].ts...)
+	}
+	return placeBySeq(keys, ts)
+}
+
+// All returns all trajectories in insertion order.
+func (s *Store) All() []core.Trajectory {
+	return s.gather(func(sh *shard, out *shardRows) {
+		out.keys = append([]uint64(nil), sh.seqs...)
+		out.ts = append([]core.Trajectory(nil), sh.trajs...)
+	})
+}
+
+// ByMO returns the trajectories of one moving object in insertion order.
+// An MO lives entirely in its home shard, so this is a single-shard read.
+func (s *Store) ByMO(mo string) []core.Trajectory {
+	id, ok := s.mos.Lookup(mo)
+	if !ok {
+		return nil
+	}
+	sh := s.shardOf(mo)
+	sh.mu.RLock()
+	slots := sh.byMO[id]
+	keys := make([]uint64, len(slots))
+	ts := make([]core.Trajectory, len(slots))
+	for i, sl := range slots {
+		keys[i] = sh.seqs[sl]
+		ts[i] = sh.trajs[sl]
+	}
+	sh.mu.RUnlock()
+	if len(ts) == 0 {
+		return nil
+	}
+	return placeBySeq(keys, ts)
+}
+
 // MOs returns the distinct moving-object ids, sorted.
 func (s *Store) MOs() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.byMO))
-	for mo := range s.byMO {
-		out = append(out, mo)
+	var ids []int32
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.byMO {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+	}
+	// One O(1) frozen snapshot instead of a lock acquisition per Symbol.
+	snap := s.mos.Freeze()
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, snap.Symbol(id))
 	}
 	sort.Strings(out)
 	return out
@@ -166,86 +347,105 @@ func (s *Store) MOs() []string {
 
 // ThroughCell returns the trajectories that visit the cell at least once.
 func (s *Store) ThroughCell(cell string) []core.Trajectory {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []core.Trajectory
-	for _, i := range s.byCell[cell] {
-		out = append(out, s.trajs[i])
+	id, ok := s.cells.Lookup(cell)
+	if !ok {
+		return nil
 	}
-	return out
+	return s.gather(func(sh *shard, out *shardRows) {
+		for _, sl := range sh.posting(id) {
+			out.add(sh.seqs[sl], sh.trajs[sl])
+		}
+	})
 }
 
 // InCellDuring returns the MOs present in the cell at any point during
-// [from, to] (inclusive bounds, presence intervals intersecting the window).
-// It walks the cell's interval index, so cost scales with the matches, not
-// with the cell's total visit history. The index is always current — every
-// completed Put has already merged its spans — so the query runs entirely
-// under the shared read lock.
+// [from, to] (inclusive bounds, presence intervals intersecting the
+// window), sorted. Each shard walks its own per-cell interval index — a
+// slice lookup by dense cell id — so cost scales with the matches, not the
+// cell's total visit history; MOs never span shards, so the per-shard
+// distinct sets union without dedup.
 func (s *Store) InCellDuring(cell string, from, to time.Time) []string {
-	s.mu.RLock()
-	var out []string
-	if ix := s.cellIdx[cell]; ix != nil {
-		seen := make(map[string]bool)
-		ix.visit(from, to, func(ref int) {
-			mo := s.trajs[ref].MO
-			if !seen[mo] {
-				seen[mo] = true
-				out = append(out, mo)
-			}
-		})
+	id, ok := s.cells.Lookup(cell)
+	if !ok {
+		return nil
 	}
-	s.mu.RUnlock()
+	per := make([][]int32, len(s.shards))
+	parallel.ForEach(len(s.shards), func(i int) {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		if ix := sh.cellIndex(id); ix != nil {
+			seen := make(map[int32]bool)
+			ix.visit(from, to, func(ref int) {
+				mo := sh.moIDs[ref]
+				if !seen[mo] {
+					seen[mo] = true
+					per[i] = append(per[i], mo)
+				}
+			})
+		}
+		sh.mu.RUnlock()
+	})
+	var out []string
+	snap := s.mos.Freeze() // lock-free Symbol decode of the result batch
+	for _, ids := range per {
+		for _, mo := range ids {
+			out = append(out, snap.Symbol(mo))
+		}
+	}
 	sort.Strings(out)
 	return out
 }
 
 // Overlapping returns the trajectories whose time span intersects
-// [from, to], in insertion order, via the trajectory-span interval index
-// (current on every completed Put; served under the shared read lock).
+// [from, to], in insertion order, via the per-shard trajectory-span
+// interval indexes (current on every completed Put; served under shared
+// read locks).
 func (s *Store) Overlapping(from, to time.Time) []core.Trajectory {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var refs []int
-	s.spanIdx.visit(from, to, func(ref int) { refs = append(refs, ref) })
-	sort.Ints(refs)
-	out := make([]core.Trajectory, 0, len(refs))
-	for _, r := range refs {
-		out = append(out, s.trajs[r])
-	}
-	return out
+	return s.gather(func(sh *shard, out *shardRows) {
+		sh.spanIdx.visit(from, to, func(ref int) {
+			out.add(sh.seqs[ref], sh.trajs[ref])
+		})
+	})
 }
 
 // ThroughSequence returns trajectories whose (deduplicated) cell sequence
-// contains the given cells consecutively in order. Candidates are the
-// intersection of every cell's posting list — a trajectory missing any of
-// the cells is never materialised, let alone sequence-checked.
+// contains the given cells consecutively in order. The run is interned
+// once (a cell the store has never seen short-circuits to nothing); each
+// shard intersects its integer posting lists and run-checks candidates
+// over the write-time encoded traces — integer compares, no strings.
 func (s *Store) ThroughSequence(cells ...string) []core.Trajectory {
 	if len(cells) == 0 {
 		return nil
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	cand := s.byCell[cells[0]]
-	for _, c := range cells[1:] {
-		if len(cand) == 0 {
+	run := make([]int32, len(cells))
+	for i, c := range cells {
+		id, ok := s.cells.Lookup(c)
+		if !ok {
 			return nil
 		}
-		cand = intersectSorted(cand, s.byCell[c])
+		run[i] = id
 	}
-	var out []core.Trajectory
-	for _, idx := range cand {
-		t := s.trajs[idx]
-		seq := dedup(t.Trace.Cells())
-		if containsRun(seq, cells) {
-			out = append(out, t)
+	return s.gather(func(sh *shard, out *shardRows) {
+		cand := sh.posting(run[0])
+		for _, id := range run[1:] {
+			if len(cand) == 0 {
+				return
+			}
+			cand = intersectSorted(cand, sh.posting(id))
 		}
-	}
-	return out
+		var dedup []int32
+		for _, slot := range cand {
+			dedup = dedupInto(dedup[:0], sh.encs[slot])
+			if containsRun(dedup, run) {
+				out.add(sh.seqs[slot], sh.trajs[slot])
+			}
+		}
+	})
 }
 
 // intersectSorted merges two ascending posting lists.
-func intersectSorted(a, b []int) []int {
-	var out []int
+func intersectSorted(a, b []int32) []int32 {
+	var out []int32
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -260,6 +460,34 @@ func intersectSorted(a, b []int) []int {
 		}
 	}
 	return out
+}
+
+// dedupInto appends seq with consecutive repeats collapsed.
+func dedupInto(dst, seq []int32) []int32 {
+	for _, id := range seq {
+		if len(dst) == 0 || dst[len(dst)-1] != id {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// containsRun reports whether seq contains run as a consecutive
+// subsequence — dense-id integer compares.
+func containsRun(seq, run []int32) bool {
+	for i := 0; i+len(run) <= len(seq); i++ {
+		ok := true
+		for j := range run {
+			if seq[i+j] != run[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
 }
 
 // GetByMO returns the trajectories of one moving object, or ErrNotFound if
@@ -282,32 +510,6 @@ func (s *Store) GetThroughCell(cell string) ([]core.Trajectory, error) {
 	return out, nil
 }
 
-func dedup(cells []string) []string {
-	var out []string
-	for _, c := range cells {
-		if len(out) == 0 || out[len(out)-1] != c {
-			out = append(out, c)
-		}
-	}
-	return out
-}
-
-func containsRun(seq, run []string) bool {
-	for i := 0; i+len(run) <= len(seq); i++ {
-		ok := true
-		for j := range run {
-			if seq[i+j] != run[j] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			return true
-		}
-	}
-	return false
-}
-
 // ---- Serialisation ----------------------------------------------------
 
 // jsonInterval mirrors core.PresenceInterval for encoding.
@@ -325,12 +527,11 @@ type jsonTrajectory struct {
 	Trace []jsonInterval   `json:"trace"`
 }
 
-// WriteJSON streams all trajectories as a JSON array.
+// WriteJSON streams all trajectories as a JSON array (insertion order).
 func (s *Store) WriteJSON(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]jsonTrajectory, 0, len(s.trajs))
-	for _, t := range s.trajs {
+	trajs := s.All()
+	out := make([]jsonTrajectory, 0, len(trajs))
+	for _, t := range trajs {
 		jt := jsonTrajectory{MO: t.MO, Ann: t.Ann}
 		for _, p := range t.Trace {
 			jt.Trace = append(jt.Trace, jsonInterval{
@@ -346,12 +547,16 @@ func (s *Store) WriteJSON(w io.Writer) error {
 }
 
 // ReadJSON loads trajectories previously written by WriteJSON into the
-// store (appending).
+// store (appending). The whole load goes through PutBatch: one lock
+// acquisition and one interval-index buffer merge per touched index,
+// matching the streaming write path instead of paying per-trajectory
+// locking and index maintenance.
 func (s *Store) ReadJSON(r io.Reader) error {
 	var in []jsonTrajectory
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return fmt.Errorf("store: decode: %w", err)
 	}
+	ts := make([]core.Trajectory, 0, len(in))
 	for _, jt := range in {
 		var trace core.Trace
 		for _, p := range jt.Trace {
@@ -364,8 +569,9 @@ func (s *Store) ReadJSON(r io.Reader) error {
 		if err != nil {
 			return fmt.Errorf("store: trajectory %q: %w", jt.MO, err)
 		}
-		s.Put(t)
+		ts = append(ts, t)
 	}
+	s.PutBatch(ts)
 	return nil
 }
 
@@ -464,13 +670,18 @@ type Summary struct {
 	Intervals    int
 }
 
-// Summarize returns counts over the store.
+// Summarize returns counts over the store. Distinct-symbol counts come
+// straight from the dictionaries (only writes intern, so dictionary sizes
+// are exactly the stored alphabet sizes).
 func (s *Store) Summarize() Summary {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sum := Summary{Trajectories: len(s.trajs), MOs: len(s.byMO), Cells: len(s.byCell)}
-	for _, t := range s.trajs {
-		sum.Intervals += len(t.Trace)
+	sum := Summary{Cells: s.cells.Len()}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		sum.Trajectories += len(sh.trajs)
+		sum.MOs += len(sh.byMO)
+		sum.Intervals += sh.intervals
+		sh.mu.RUnlock()
 	}
 	return sum
 }

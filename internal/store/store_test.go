@@ -34,7 +34,7 @@ func traj(t *testing.T, mo string, startMin int, cells ...string) core.Trajector
 
 func fill(t *testing.T) *Store {
 	t.Helper()
-	s := New()
+	s := newTestStore() // honors the -shards sweep (see property_test.go)
 	s.PutAll([]core.Trajectory{
 		traj(t, "alice", 0, "E", "P", "S"),
 		traj(t, "bob", 5, "E", "S"),

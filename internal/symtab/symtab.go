@@ -16,10 +16,12 @@ import "sitm/internal/core"
 // Dict is an append-only bijection between symbol strings and dense int32
 // ids. The zero value is not usable; call NewDict. A Dict is not safe for
 // concurrent mutation; encode corpora up front, then share the frozen Dict
-// freely across workers (reads are pure).
+// freely across workers (reads are pure). SyncDict.Freeze produces frozen,
+// decode-only Dict views that stay valid while writers keep interning.
 type Dict struct {
-	ids  map[string]int32
-	syms []string
+	ids    map[string]int32
+	syms   []string
+	frozen bool // decode-only snapshot view (see SyncDict.Freeze)
 }
 
 // NewDict returns an empty dictionary.
@@ -32,6 +34,9 @@ func (d *Dict) Intern(s string) int32 {
 	if id, ok := d.ids[s]; ok {
 		return id
 	}
+	if d.frozen {
+		panic("symtab: Intern on a frozen dictionary snapshot")
+	}
 	id := int32(len(d.syms))
 	d.ids[s] = id
 	d.syms = append(d.syms, s)
@@ -39,8 +44,19 @@ func (d *Dict) Intern(s string) int32 {
 }
 
 // Lookup returns the id of s without interning; ok is false when s has
-// never been interned.
+// never been interned. Frozen snapshots carry the symbol table but not
+// the reverse map, so Lookup on one honors the contract by linear scan —
+// O(Len), fine for the occasional decode-side probe; anything doing bulk
+// reverse lookups should hold the live SyncDict instead.
 func (d *Dict) Lookup(s string) (int32, bool) {
+	if d.frozen {
+		for i, sym := range d.syms {
+			if sym == s {
+				return int32(i), true
+			}
+		}
+		return 0, false
+	}
 	id, ok := d.ids[s]
 	return id, ok
 }
@@ -74,6 +90,28 @@ func (d *Dict) EncodeTrace(tr core.Trace) []int32 {
 	out := make([]int32, len(tr))
 	for i, p := range tr {
 		out[i] = d.Intern(p.Cell)
+	}
+	return out
+}
+
+// SortDistinct sorts ids in place and drops duplicates, returning the
+// shortened slice — the canonical encoding of id *sets* (annotation pairs,
+// cell alphabets) shared by the analytics kernels and the store's write-time
+// encoder. Insertion sort: these sets are tiny (a handful of ids).
+func SortDistinct(ids []int32) []int32 {
+	if len(ids) < 2 {
+		return ids
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
 	}
 	return out
 }

@@ -1,0 +1,129 @@
+package symtab
+
+import (
+	"sync"
+
+	"sitm/internal/core"
+)
+
+// SyncDict is a concurrency-safe Dict for write-time interning: the storage
+// engine owns one per symbol space (cells, moving objects, annotation
+// pairs) and interns under it while readers decode and snapshot freely.
+// Interning double-checks under a read lock first, so a warmed-up dict —
+// the steady state of a live feed, where every cell name has been seen —
+// serves Intern with shared locks only.
+type SyncDict struct {
+	mu     sync.RWMutex
+	d      Dict
+	frozen *Dict // cached Freeze view; nil until asked for or after growth
+}
+
+// NewSyncDict returns an empty concurrent dictionary.
+func NewSyncDict() *SyncDict {
+	return &SyncDict{d: Dict{ids: make(map[string]int32)}}
+}
+
+// Intern returns the id of s, assigning the next dense id on first sight.
+func (s *SyncDict) Intern(str string) int32 {
+	s.mu.RLock()
+	id, ok := s.d.ids[str]
+	s.mu.RUnlock()
+	if ok {
+		return id
+	}
+	s.mu.Lock()
+	n := len(s.d.syms)
+	id = s.d.Intern(str)
+	if len(s.d.syms) != n {
+		s.frozen = nil // alphabet grew: cached snapshot is stale
+	}
+	s.mu.Unlock()
+	return id
+}
+
+// Lookup returns the id of s without interning; ok is false when s has
+// never been interned. Query paths use Lookup so probing for an unknown
+// symbol never grows the dictionary.
+func (s *SyncDict) Lookup(str string) (int32, bool) {
+	s.mu.RLock()
+	id, ok := s.d.ids[str]
+	s.mu.RUnlock()
+	return id, ok
+}
+
+// Symbol resolves an id back to its string (ids come only from Intern).
+func (s *SyncDict) Symbol(id int32) string {
+	s.mu.RLock()
+	v := s.d.syms[id]
+	s.mu.RUnlock()
+	return v
+}
+
+// Len returns the number of distinct symbols interned so far.
+func (s *SyncDict) Len() int {
+	s.mu.RLock()
+	n := len(s.d.syms)
+	s.mu.RUnlock()
+	return n
+}
+
+// EncodeTrace interns the cell of every presence interval of the trace.
+// The fast path resolves the whole trace under one shared lock; only a
+// trace introducing a new symbol takes the exclusive lock.
+func (s *SyncDict) EncodeTrace(tr core.Trace) []int32 {
+	out := make([]int32, len(tr))
+	s.mu.RLock()
+	ok := true
+	for i, p := range tr {
+		id, hit := s.d.ids[p.Cell]
+		if !hit {
+			ok = false
+			break
+		}
+		out[i] = id
+	}
+	s.mu.RUnlock()
+	if ok {
+		return out
+	}
+	s.mu.Lock()
+	n := len(s.d.syms)
+	for i, p := range tr {
+		out[i] = s.d.Intern(p.Cell)
+	}
+	if len(s.d.syms) != n {
+		s.frozen = nil
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// Freeze returns a frozen decode-only snapshot of the dictionary as of the
+// call: Symbol and Len work (and keep answering for exactly the symbols
+// interned so far), Intern panics, and Lookup degrades to a linear scan
+// of the snapshot's symbols. The snapshot is O(1) — it
+// shares the append-only symbol array with the live dict, which is safe
+// because writers only ever append past the snapshot's length (or move to
+// a fresh array) — so handing a dictionary to an analytics corpus costs
+// at most one allocation regardless of dictionary size.
+//
+// Snapshots are pointer-stable while the alphabet is unchanged: Freeze
+// returns the same *Dict until the next new symbol is interned. Anything
+// keyed by dictionary identity — a similarity.CellSimTable built from one
+// store corpus — therefore stays valid across snapshots of an
+// alphabet-stable store instead of forcing an O(k²) rebuild per snapshot.
+func (s *SyncDict) Freeze() *Dict {
+	s.mu.RLock()
+	f := s.frozen
+	s.mu.RUnlock()
+	if f != nil {
+		return f
+	}
+	s.mu.Lock()
+	if s.frozen == nil {
+		s.frozen = &Dict{syms: s.d.syms[:len(s.d.syms):len(s.d.syms)], frozen: true}
+	}
+	f = s.frozen
+	s.mu.Unlock()
+	return f
+}

@@ -1,0 +1,215 @@
+package symtab
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sitm/internal/core"
+)
+
+// TestSyncDictBasics: interning is idempotent, ids dense, decode exact.
+func TestSyncDictBasics(t *testing.T) {
+	d := NewSyncDict()
+	if id := d.Intern("a"); id != 0 {
+		t.Fatalf("first id = %d", id)
+	}
+	if id := d.Intern("b"); id != 1 {
+		t.Fatalf("second id = %d", id)
+	}
+	if id := d.Intern("a"); id != 0 {
+		t.Fatalf("re-intern = %d", id)
+	}
+	if d.Len() != 2 || d.Symbol(0) != "a" || d.Symbol(1) != "b" {
+		t.Fatalf("decode broken: len=%d", d.Len())
+	}
+	if id, ok := d.Lookup("b"); !ok || id != 1 {
+		t.Fatalf("Lookup(b) = %d, %v", id, ok)
+	}
+	if _, ok := d.Lookup("nope"); ok {
+		t.Fatal("Lookup must not intern")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Lookup grew the dict to %d", d.Len())
+	}
+}
+
+// TestSyncDictEncodeTrace covers both the all-hits fast path and the
+// new-symbol slow path.
+func TestSyncDictEncodeTrace(t *testing.T) {
+	d := NewSyncDict()
+	tr := core.Trace{{Cell: "E"}, {Cell: "P"}, {Cell: "E"}}
+	got := d.EncodeTrace(tr)
+	if fmt.Sprint(got) != "[0 1 0]" {
+		t.Fatalf("slow path = %v", got)
+	}
+	got = d.EncodeTrace(tr) // warmed: pure read-lock path
+	if fmt.Sprint(got) != "[0 1 0]" {
+		t.Fatalf("fast path = %v", got)
+	}
+	mixed := core.Trace{{Cell: "P"}, {Cell: "S"}}
+	if got := d.EncodeTrace(mixed); fmt.Sprint(got) != "[1 2]" {
+		t.Fatalf("mixed = %v", got)
+	}
+}
+
+// TestSyncDictConcurrentIntern: racing interns agree on one id per symbol
+// and ids stay a dense bijection (run under -race in CI).
+func TestSyncDictConcurrentIntern(t *testing.T) {
+	d := NewSyncDict()
+	const workers = 8
+	const syms = 200
+	ids := make([][]int32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids[w] = make([]int32, syms)
+			for i := 0; i < syms; i++ {
+				ids[w][i] = d.Intern(fmt.Sprintf("cell%03d", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d.Len() != syms {
+		t.Fatalf("dict len = %d, want %d", d.Len(), syms)
+	}
+	for w := 1; w < workers; w++ {
+		for i := 0; i < syms; i++ {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d disagrees on symbol %d: %d vs %d", w, i, ids[w][i], ids[0][i])
+			}
+		}
+	}
+	seen := make(map[int32]bool)
+	for i := 0; i < syms; i++ {
+		id := ids[0][i]
+		if id < 0 || int(id) >= syms || seen[id] {
+			t.Fatalf("ids not a dense bijection: %d", id)
+		}
+		seen[id] = true
+		if d.Symbol(id) != fmt.Sprintf("cell%03d", i) {
+			t.Fatalf("decode of %d wrong", id)
+		}
+	}
+}
+
+// TestFreezeSnapshotStability: a frozen view keeps decoding its symbols
+// while the live dict grows (even across backing-array reallocation), and
+// write/lookup operations on it panic loudly.
+func TestFreezeSnapshotStability(t *testing.T) {
+	d := NewSyncDict()
+	d.Intern("a")
+	d.Intern("b")
+	snap := d.Freeze()
+	for i := 0; i < 1000; i++ {
+		d.Intern(fmt.Sprintf("later%04d", i))
+	}
+	if snap.Len() != 2 || snap.Symbol(0) != "a" || snap.Symbol(1) != "b" {
+		t.Fatalf("snapshot drifted: len=%d", snap.Len())
+	}
+	if d.Len() != 1002 {
+		t.Fatalf("live dict len = %d", d.Len())
+	}
+	mustPanic(t, "Intern", func() { snap.Intern("c") })
+	// Lookup keeps its contract on snapshots (linear scan over the frozen
+	// symbol table): hits resolve, later-interned symbols are "never seen".
+	if id, ok := snap.Lookup("b"); !ok || id != 1 {
+		t.Fatalf("frozen Lookup(b) = %d, %v", id, ok)
+	}
+	if _, ok := snap.Lookup("later0000"); ok {
+		t.Fatal("frozen Lookup must not see post-snapshot symbols")
+	}
+}
+
+// TestFreezeConcurrentWithInterning: freezing and decoding snapshots while
+// writers intern is race-free (the -race CI run is the real check; the
+// assertions here pin the semantics).
+func TestFreezeConcurrentWithInterning(t *testing.T) {
+	d := NewSyncDict()
+	d.Intern("seed")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				d.Intern(fmt.Sprintf("w%d-%03d", w, i))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				snap := d.Freeze()
+				n := snap.Len()
+				if n < 1 {
+					t.Error("snapshot lost the seed")
+					return
+				}
+				for id := 0; id < n; id += 7 {
+					if snap.Symbol(int32(id)) == "" {
+						t.Error("empty symbol in snapshot")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestFreezePointerStableUntilGrowth: snapshots of an alphabet-stable dict
+// are the same *Dict (so identity-keyed caches like CellSimTable survive
+// re-snapshotting); a new symbol invalidates the cache.
+func TestFreezePointerStableUntilGrowth(t *testing.T) {
+	d := NewSyncDict()
+	d.Intern("a")
+	s1 := d.Freeze()
+	d.Intern("a") // re-intern: no growth
+	d.Lookup("never-seen")
+	if s2 := d.Freeze(); s2 != s1 {
+		t.Fatal("snapshot pointer changed without alphabet growth")
+	}
+	d.Intern("b")
+	s3 := d.Freeze()
+	if s3 == s1 {
+		t.Fatal("snapshot not invalidated by growth")
+	}
+	if s1.Len() != 1 || s3.Len() != 2 {
+		t.Fatalf("snapshot lens %d, %d", s1.Len(), s3.Len())
+	}
+	d.EncodeTrace(core.Trace{{Cell: "c"}}) // growth via the batch path
+	if s4 := d.Freeze(); s4 == s3 || s4.Len() != 3 {
+		t.Fatal("EncodeTrace growth did not invalidate the snapshot")
+	}
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s on frozen dict must panic", name)
+		}
+	}()
+	fn()
+}
+
+// TestSortDistinct pins the set encoding shared by store and similarity.
+func TestSortDistinct(t *testing.T) {
+	cases := []struct{ in, want []int32 }{
+		{nil, nil},
+		{[]int32{5}, []int32{5}},
+		{[]int32{3, 1, 2}, []int32{1, 2, 3}},
+		{[]int32{2, 2, 2}, []int32{2}},
+		{[]int32{4, 1, 4, 1, 0}, []int32{0, 1, 4}},
+	}
+	for _, c := range cases {
+		if got := SortDistinct(append([]int32(nil), c.in...)); fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("SortDistinct(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # bench.sh — run the E-series benchmarks (DESIGN.md §4) and emit a
-# machine-readable BENCH_3.json beside the raw benchstat-friendly text.
+# machine-readable BENCH_4.json beside the raw benchstat-friendly text.
 #
 # Usage:
 #   scripts/bench.sh [json-out] [text-out]
 #
-# Defaults: BENCH_3.json and bench.txt in the repo root. BENCHTIME
+# Defaults: BENCH_4.json and bench.txt in the repo root. BENCHTIME
 # overrides the per-benchmark budget (default 1x: one iteration per bench,
 # the CI smoke setting; use e.g. BENCHTIME=2s locally for stable numbers).
 # BENCHFILTER overrides the benchmark regexp.
@@ -15,14 +15,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-json_out="${1:-BENCH_3.json}"
+json_out="${1:-BENCH_4.json}"
 text_out="${2:-bench.txt}"
 benchtime="${BENCHTIME:-1x}"
-filter="${BENCHFILTER:-^Benchmark(Store(Overlapping|InCellDuring|Mixed)|Similarity|KMedoids|TrajectorySimilarity|PrefixSpan|E6)}"
+filter="${BENCHFILTER:-^Benchmark(Store(Overlapping|InCellDuring|Mixed|Corpus|Sequences)|Similarity|KMedoids|TrajectorySimilarity|PrefixSpan|E6|E7|ReadJSON|Load)}"
 
-# ./... keeps every package's benchmarks in scope (today they all live in
-# the root package, but nothing should rely on that staying true); awk
-# below only consumes the Benchmark lines, so multi-package output is fine.
+# ./... keeps every package's benchmarks in scope (the E7 engine benches
+# live in internal/store, the rest in the root package); awk below only
+# consumes the Benchmark lines, so multi-package output is fine.
 go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" ./... | tee "$text_out"
 
 # Convert "BenchmarkName-P  iters  N ns/op  B B/op  A allocs/op" lines into

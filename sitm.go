@@ -44,6 +44,7 @@ import (
 	"sitm/internal/similarity"
 	"sitm/internal/simulate"
 	"sitm/internal/store"
+	"sitm/internal/symtab"
 	"sitm/internal/topo"
 )
 
@@ -297,6 +298,18 @@ func PrefixSpan(sequences [][]string, minSupport, maxLen int) []Pattern {
 	return mining.PrefixSpan(sequences, minSupport, maxLen)
 }
 
+// SymbolDict is a dense string↔int32 symbol dictionary (the
+// dictionary-encoding substrate of the store and the analytics engine).
+type SymbolDict = symtab.Dict
+
+// PrefixSpanInterned mines frequent sequential patterns over sequences
+// that are already dictionary-encoded — the zero-re-encode handoff from
+// Store.Sequences: patterns come out bit-for-bit equal to PrefixSpan on
+// the decoded sequences, without re-interning the corpus.
+func PrefixSpanInterned(dict *SymbolDict, seqs [][]int32, minSupport, maxLen int) []Pattern {
+	return mining.PrefixSpanInterned(dict, seqs, minSupport, maxLen)
+}
+
 // SequencesOf extracts deduplicated cell sequences from trajectories.
 func SequencesOf(trajs []Trajectory) [][]string { return mining.SequencesOf(trajs) }
 
@@ -380,20 +393,32 @@ func KMedoidsMatrix(sim [][]float64, k int, seed int64) Clusters {
 
 // ---- Storage --------------------------------------------------------------
 
-// Store is a concurrency-safe in-memory trajectory store with MO and cell
-// indexes plus interval indexes by time: Overlapping and InCellDuring are
-// answered in O(log n + matches) via sorted starts and a max-end segment
-// tree, and ThroughSequence intersects every cell's posting list before
-// sequence-checking. GetByMO and GetThroughCell report missing keys as
+// Store is a concurrency-safe in-memory trajectory store: a sharded,
+// dictionary-encoded engine. Cell and MO names are interned once at write
+// time; trajectories hash by MO across shards, each with its own lock,
+// integer posting lists and incremental interval indexes, so Overlapping
+// and InCellDuring are answered in O(log n + matches) per shard and
+// ThroughSequence intersects integer posting lists before integer
+// sequence-checking. Read queries fan out across shards and merge in
+// insertion order. GetByMO and GetThroughCell report missing keys as
 // ErrNotFound.
+//
+// Because encoding happens at write time, Store.Corpus hands the contents
+// to the similarity engine and Store.Sequences to the mining engine with
+// zero re-encoding (experiment E7).
 type Store = store.Store
 
 // ErrNotFound is returned by the store's Get-style queries when the key
 // has no stored trajectories.
 var ErrNotFound = store.ErrNotFound
 
-// NewStore returns an empty trajectory store.
+// NewStore returns an empty trajectory store (GOMAXPROCS shards).
 func NewStore() *Store { return store.New() }
+
+// NewShardedStore returns an empty trajectory store with an explicit shard
+// count (0 = GOMAXPROCS). Every shard count is observably equivalent; more
+// shards buy write concurrency under multi-feed ingestion.
+func NewShardedStore(shards int) *Store { return store.NewSharded(shards) }
 
 // ---- Streaming ingestion -------------------------------------------------
 
