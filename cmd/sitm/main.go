@@ -6,8 +6,11 @@
 //	sitm generate -out f    write the calibrated synthetic dataset as CSV
 //	sitm ingest -in f       stream a detection feed (file or '-' = stdin)
 //	                        into a queryable store and report on it
-//	sitm query -store f     answer spatio-temporal queries (-through,
-//	                        -overlap, -in-cell) against a JSON store file
+//	sitm query -store f     answer spatio-temporal and semantic queries
+//	                        (-through, -overlap, -in-cell, -mo, -region,
+//	                        -annotation) against a JSON store file; the
+//	                        semantic flags compose all given predicates
+//	                        into one plan on the store's query engine
 //	sitm mine               run the mining pipeline (patterns, rules, stays)
 //	sitm profile            cluster visitors into profiles (k-medoids over
 //	                        the interned similarity engine)
@@ -89,7 +92,10 @@ commands:
   ingest     stream a detection feed (-in file, '-' = stdin) through the
              online segmenter into an incrementally-indexed store
   query      load a JSON store file (-store) and answer spatio-temporal
-             queries: -through a,b,c | -overlap from,to | -in-cell c,from,to
+             queries: -through a,b,c | -overlap from,to | -in-cell c,from,to;
+             -mo id | -region layer:id | -annotation k=v compose every
+             given predicate into one plan (-region rolls up through the
+             -model hierarchy, e.g. -region Wing:denon)
   mine       run the mining pipeline on a seeded dataset
   profile    cluster visitors (k-medoids over the interned similarity
              engine) and report the profiles
@@ -482,6 +488,10 @@ func runQuery(args []string, out io.Writer) error {
 	through := fs.String("through", "", "comma-separated cell run: trajectories passing through it consecutively")
 	overlap := fs.String("overlap", "", "from,to (RFC 3339): trajectories overlapping the window")
 	inCell := fs.String("in-cell", "", "cell,from,to (RFC 3339): MOs present in the cell during the window")
+	mo := fs.String("mo", "", "moving-object id (composes into one plan)")
+	region := fs.String("region", "", "layer:id hierarchy region, e.g. Wing:denon (composes; needs -model)")
+	annotation := fs.String("annotation", "", "k=v trajectory annotation (composes into one plan)")
+	model := fs.String("model", "louvre", "space model compiled for -region (only louvre is built in)")
 	shards := fs.Int("shards", 0, "store shard count (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -489,8 +499,9 @@ func runQuery(args []string, out io.Writer) error {
 	if *storePath == "" {
 		return fmt.Errorf("query: -store is required")
 	}
-	if *through == "" && *overlap == "" && *inCell == "" {
-		return fmt.Errorf("query: need at least one of -through, -overlap, -in-cell")
+	composed := *mo != "" || *region != "" || *annotation != ""
+	if !composed && *through == "" && *overlap == "" && *inCell == "" {
+		return fmt.Errorf("query: need at least one of -through, -overlap, -in-cell, -mo, -region, -annotation")
 	}
 	f, err := os.Open(*storePath)
 	if err != nil {
@@ -502,6 +513,11 @@ func runQuery(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(out, "store:", st.Summarize())
+	if composed {
+		// Any of the new flags switches to plan mode: every given predicate
+		// composes into one And-plan on the store's query engine.
+		return runQueryPlan(st, out, *through, *overlap, *inCell, *mo, *region, *annotation, *model)
+	}
 	if *through != "" {
 		cells := strings.Split(*through, ",")
 		got := st.ThroughSequence(cells...)
@@ -536,6 +552,84 @@ func runQuery(args []string, out io.Writer) error {
 		}
 		fmt.Fprint(out, viz.Table([]string{"mo"}, rows))
 	}
+	return nil
+}
+
+// runQueryPlan composes every given predicate into one And-plan and runs
+// it through the store's semantic query engine. -region needs a compiled
+// hierarchy; the Louvre model is the built-in one (-model louvre).
+func runQueryPlan(st *sitm.Store, out io.Writer, through, overlap, inCell, mo, region, annotation, model string) error {
+	var conjuncts []sitm.StoreQuery
+	var desc []string
+	if through != "" {
+		cells := strings.Split(through, ",")
+		conjuncts = append(conjuncts, sitm.QThrough(cells...))
+		desc = append(desc, "through "+strings.Join(cells, "→"))
+	}
+	if overlap != "" {
+		from, to, err := parseWindow(overlap)
+		if err != nil {
+			return fmt.Errorf("query: -overlap: %w", err)
+		}
+		conjuncts = append(conjuncts, sitm.QTimeOverlap(from, to))
+		desc = append(desc, fmt.Sprintf("overlap [%s, %s]", from.Format(time.RFC3339), to.Format(time.RFC3339)))
+	}
+	if inCell != "" {
+		parts := strings.SplitN(inCell, ",", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("query: -in-cell wants cell,from,to")
+		}
+		from, to, err := parseWindow(parts[1])
+		if err != nil {
+			return fmt.Errorf("query: -in-cell: %w", err)
+		}
+		conjuncts = append(conjuncts, sitm.QCellDuring(parts[0], from, to))
+		desc = append(desc, fmt.Sprintf("in %s during [%s, %s]", parts[0], from.Format(time.RFC3339), to.Format(time.RFC3339)))
+	}
+	if mo != "" {
+		conjuncts = append(conjuncts, sitm.QByMO(mo))
+		desc = append(desc, "mo "+mo)
+	}
+	if region != "" {
+		layer, id, ok := strings.Cut(region, ":")
+		if !ok || layer == "" || id == "" {
+			return fmt.Errorf("query: -region wants layer:id, got %q", region)
+		}
+		switch model {
+		case "louvre":
+			sg, h, err := sitm.BuildLouvre()
+			if err != nil {
+				return err
+			}
+			rt, err := sitm.CompileRegions(sg, h)
+			if err != nil {
+				return err
+			}
+			st.AttachRegions(rt)
+		default:
+			return fmt.Errorf("query: unknown -model %q (only louvre is built in)", model)
+		}
+		conjuncts = append(conjuncts, sitm.QRegion(layer, id))
+		desc = append(desc, "region "+layer+":"+id)
+	}
+	if annotation != "" {
+		k, v, ok := strings.Cut(annotation, "=")
+		if !ok || k == "" {
+			return fmt.Errorf("query: -annotation wants k=v, got %q", annotation)
+		}
+		conjuncts = append(conjuncts, sitm.QHasAnnotation(k, v))
+		desc = append(desc, "annotation "+k+"="+v)
+	}
+	q := conjuncts[0]
+	if len(conjuncts) > 1 {
+		q = sitm.QAnd(conjuncts...)
+	}
+	got, err := st.Select(q)
+	if err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	fmt.Fprintf(out, "plan %s: %d trajectories\n", strings.Join(desc, " ∧ "), len(got))
+	writeTrajTable(out, got)
 	return nil
 }
 

@@ -40,6 +40,19 @@ func TestGoldenSubcommands(t *testing.T) {
 			"-through", "P,S,C",
 			"-overlap", "2017-02-14T04:50:00Z,2017-02-14T06:00:00Z",
 			"-in-cell", "E,2017-02-14T00:00:00Z,2017-02-14T00:05:00Z"}},
+		{"query-plan-region", []string{"query", "-store", "testdata/louvre-store.json",
+			"-region", "Wing:napoleon"}},
+		{"query-plan-floor", []string{"query", "-store", "testdata/louvre-store.json",
+			"-region", "Floor:napoleon:-2", "-annotation", "activity=visit"}},
+		{"query-plan-compose", []string{"query", "-store", "testdata/louvre-store.json", "-shards", "2",
+			"-region", "Wing:napoleon",
+			"-annotation", "activity=visit",
+			"-overlap", "2017-02-14T00:00:00Z,2017-02-14T02:00:00Z",
+			"-through", "zone60885,zone60887"}},
+		{"query-plan-mo", []string{"query", "-store", "testdata/store.json",
+			"-mo", "alice", "-through", "E,P"}},
+		{"query-plan-empty", []string{"query", "-store", "testdata/louvre-store.json",
+			"-region", "Wing:richelieu"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -130,6 +143,39 @@ func TestQueryRejectsBadInvocations(t *testing.T) {
 	}
 	if err := run([]string{"query", "-store", "testdata/missing.json", "-through", "E"}, &buf); err == nil {
 		t.Fatal("missing store file must error")
+	}
+}
+
+// TestQueryPlanRejectsBadInvocations: the composing plan flags surface
+// malformed inputs and unknown regions as errors, with the offending value
+// named.
+func TestQueryPlanRejectsBadInvocations(t *testing.T) {
+	louvre := []string{"query", "-store", "testdata/louvre-store.json"}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"region-no-colon", append(louvre[:len(louvre):len(louvre)], "-region", "Wingnapoleon"), "layer:id"},
+		{"region-empty-id", append(louvre[:len(louvre):len(louvre)], "-region", "Wing:"), "layer:id"},
+		{"region-unknown", append(louvre[:len(louvre):len(louvre)], "-region", "Wing:atlantis"), "unknown region"},
+		{"region-unknown-layer", append(louvre[:len(louvre):len(louvre)], "-region", "Basement:denon"), "unknown region"},
+		{"annotation-no-eq", append(louvre[:len(louvre):len(louvre)], "-annotation", "activity"), "k=v"},
+		{"bad-model", append(louvre[:len(louvre):len(louvre)], "-region", "Wing:denon", "-model", "martian"), "unknown -model"},
+		{"plan-bad-window", append(louvre[:len(louvre):len(louvre)], "-mo", "alice", "-overlap", "notatime,2017-02-14T00:00:00Z"), "-overlap"},
+		{"plan-short-in-cell", append(louvre[:len(louvre):len(louvre)], "-mo", "alice", "-in-cell", "E"), "cell,from,to"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run(tc.args, &buf)
+			if err == nil {
+				t.Fatalf("run(%v) must error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) err = %q, want substring %q", tc.args, err, tc.want)
+			}
+		})
 	}
 }
 

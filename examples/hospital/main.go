@@ -98,6 +98,61 @@ func main() {
 	for _, p := range up.Trace {
 		fmt.Printf("  %s: %v → %v (%v)\n", p.Cell, p.Start.Format("15:04"), p.End.Format("15:04"), p.Ann)
 	}
+
+	// --- Storage: the sharded dictionary-encoded engine. ------------------
+	// Everything below runs off the store: names are interned once at write
+	// time, the hierarchy compiles into a region table, and the analytics
+	// handoffs (Corpus, Sequences) re-encode nothing.
+	pump2, err := sitm.NewTrajectory("pump-342", pump, sitm.NewAnnotations("asset", "infusion-pump"))
+	check(err)
+	nurse := sitm.Trace{
+		{Cell: "ward-a", Start: t0, End: t0.Add(20 * time.Minute),
+			Ann: sitm.NewAnnotations("activity", "rounds")},
+		{Transition: "d2", Cell: "corridor", Start: t0.Add(20 * time.Minute), End: t0.Add(22 * time.Minute)},
+		{Transition: "d3", Cell: "ward-b", Start: t0.Add(22 * time.Minute), End: t0.Add(50 * time.Minute),
+			Ann: sitm.NewAnnotations("activity", "rounds")},
+	}
+	nt, err := sitm.NewTrajectory("nurse-012", nurse, sitm.NewAnnotations("role", "nurse"))
+	check(err)
+	st := sitm.NewStore()
+	st.PutAll([]sitm.Trajectory{pt, pump2, nt})
+	fmt.Println("\nstore:", st.Summarize())
+
+	// --- Semantic region queries on the compiled hierarchy. ---------------
+	// The hierarchy compiles once into a region table; attached to the
+	// store, every building/floor becomes a queryable region and "who was
+	// in the surgery building this morning" is one posting-list plan, not
+	// an expand-to-rooms loop.
+	rt, err := sitm.CompileRegions(sg, h)
+	check(err)
+	st.AttachRegions(rt)
+	inSurgery, err := st.SelectMOs(sitm.QAnd(
+		sitm.QRegion("Building", "surgery"),
+		sitm.QTimeOverlap(t0, t0.Add(4*time.Hour)),
+	))
+	check(err)
+	fmt.Println("in the surgery building this morning:", inSurgery)
+	crossed, err := st.Select(sitm.QThroughRegions(
+		sitm.RegionRef{Layer: "Building", ID: "main"},
+		sitm.RegionRef{Layer: "Building", ID: "surgery"},
+	))
+	check(err)
+	for _, t := range crossed {
+		fmt.Printf("crossed main → surgery: %s\n", t.MO)
+	}
+
+	// --- Mining and similarity off the zero-re-encode handoffs. -----------
+	dict, seqs := st.Sequences()
+	patterns, err := sitm.PrefixSpanRegions(dict, seqs, rt, "Building", 2, 3)
+	check(err)
+	fmt.Println("building-level movement patterns (support ≥ 2):")
+	for _, p := range patterns {
+		fmt.Printf("  %v support %d\n", p.Cells, p.Support)
+	}
+	corpus := st.Corpus()
+	table := corpus.CellTable(sitm.HierarchyCellSimilarity(sg, h))
+	sim := corpus.PairwiseMatrix(table, 0.7)
+	fmt.Printf("patient vs nurse trajectory similarity: %.2f\n", sim[0][2])
 }
 
 func check(err error) {

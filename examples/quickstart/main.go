@@ -80,6 +80,35 @@ func main() {
 	up, err := traj.RollUp(sg, "Floor")
 	check(err)
 	fmt.Println("floor-level view:", up.Trace.Cells())
+
+	// --- 6. Storage + semantic queries: the sharded store. ---------------
+	// The store interns every name once at write time; with the compiled
+	// hierarchy attached, floors and the building are queryable regions and
+	// the analytics handoff (Sequences) re-encodes nothing.
+	afternoon, err := sitm.NewTrajectory("alice", reconstructed,
+		sitm.NewAnnotations("activity", "lunch-run"))
+	check(err)
+	st := sitm.NewStore()
+	st.PutAll([]sitm.Trajectory{traj, afternoon})
+	rt, err := sitm.CompileRegions(sg, h)
+	check(err)
+	st.AttachRegions(rt)
+	fmt.Println("store:", st.Summarize())
+
+	upstairs, err := st.SelectMOs(sitm.QAnd(
+		sitm.QRegion("Floor", "floor1"),
+		sitm.QTimeOverlap(t0, t0.Add(2*time.Hour)),
+	))
+	check(err)
+	fmt.Println("on floor1 during the morning:", upstairs)
+
+	dict, seqs := st.Sequences()
+	floorPatterns, err := sitm.PrefixSpanRegions(dict, seqs, rt, "Floor", 2, 3)
+	check(err)
+	fmt.Println("floor-level patterns (both visits):")
+	for _, p := range floorPatterns {
+		fmt.Printf("  %v support %d\n", p.Cells, p.Support)
+	}
 }
 
 func check(err error) {

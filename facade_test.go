@@ -165,3 +165,77 @@ func TestEndToEndMiningPipeline(t *testing.T) {
 		t.Error("Salle des États never visited — weighting broken?")
 	}
 }
+
+// TestPublicAPISemanticQueries exercises the semantic query planner facade
+// end-to-end on the Louvre model: compile the hierarchy, attach it to a
+// store, and run composed region/annotation/time plans plus region-level
+// mining.
+func TestPublicAPISemanticQueries(t *testing.T) {
+	sg, h, err := sitm.BuildLouvre()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := sitm.CompileRegions(sg, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sitm.DefaultDatasetParams()
+	p.Visitors, p.ReturningVisitors, p.RepeatVisits = 50, 10, 12
+	p.TargetDetections = 260
+	d, _, err := sitm.GenerateLouvreDataset(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trajs, _ := sitm.BuildTrajectories(d.Detections(), sitm.BuildOptions{
+		DropZeroDuration: true,
+		SessionGap:       10 * time.Hour,
+	})
+	st := sitm.NewStore()
+	st.PutAll(trajs)
+	st.AttachRegions(rt)
+
+	// Region roll-up query: everyone in the Denon wing is also in the
+	// museum; a wing visit implies a museum visit, never the reverse.
+	denon, err := st.Select(sitm.QRegion(sitm.LouvreWingLayer, "denon"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	museum, err := st.Select(sitm.QRegion(sitm.LouvreMuseumLayer, "louvre"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(denon) == 0 || len(museum) < len(denon) {
+		t.Fatalf("denon %d, museum %d", len(denon), len(museum))
+	}
+
+	// Composed plan: wing + time window + annotation.
+	if _, err := st.Select(sitm.QAnd(
+		sitm.QRegion(sitm.LouvreWingLayer, "denon"),
+		sitm.QTimeOverlap(trajs[0].Start(), trajs[0].End()),
+		sitm.QHasAnnotation("activity", "visit"),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.SelectMOs(sitm.QOr(
+		sitm.QRegion(sitm.LouvreWingLayer, "sully"),
+		sitm.QThroughRegions(
+			sitm.RegionRef{Layer: sitm.LouvreWingLayer, ID: "napoleon"},
+			sitm.RegionRef{Layer: sitm.LouvreWingLayer, ID: "denon"},
+		),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Select(sitm.QRegion("Ghost", "x")); err == nil {
+		t.Fatal("unknown region layer must error")
+	}
+
+	// Region-level mining off the store handoff: wing-granularity patterns.
+	dict, seqs := st.Sequences()
+	pats, err := sitm.PrefixSpanRegions(dict, seqs, rt, sitm.LouvreWingLayer, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) == 0 {
+		t.Fatal("no wing-level patterns")
+	}
+}

@@ -1,0 +1,223 @@
+package indoor
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// This file compiles a SpaceGraph + Hierarchy into a RegionTable: the
+// frozen, query-ready form of the paper's multi-granularity space model.
+// Every cell of every hierarchy layer becomes a *region* with a dense
+// int32 index; for every cell the table precomputes its *ancestor closure*
+// (the region indexes of the cell itself and all its ancestors up the
+// hierarchy) and for every region its *member set* (the cells of its
+// subtree, itself included). A trajectory recorded at any granularity —
+// zones, rooms, RoIs — can then be rolled up to any coarser region with
+// integer set operations instead of repeated Parent walks: the storage
+// engine binds the closures to its interned cell dictionary once per
+// dictionary snapshot and answers "who passed through Wing Denon" as
+// posting-list algebra (see internal/store).
+//
+// A RegionTable is immutable after CompileRegions returns and safe for
+// unsynchronised concurrent use, exactly like a frozen symtab snapshot.
+
+// RegionRef names a region as a (hierarchy layer, cell id) pair — the
+// user-facing spelling of a query like Region("Wing", "denon").
+type RegionRef struct {
+	Layer string
+	ID    string
+}
+
+// String renders the reference in the CLI's layer:id spelling.
+func (r RegionRef) String() string { return r.Layer + ":" + r.ID }
+
+// RegionTable is the compiled hierarchy: dense region indexes over every
+// hierarchy cell, per-cell ancestor closures, and per-region member sets.
+type RegionTable struct {
+	layers []string // hierarchy layers, coarsest first
+
+	refs  []RegionRef         // region index → (layer, cell id)
+	index map[RegionRef]int32 // (layer, cell id) → region index
+
+	// closure[cell id] = sorted region indexes of the cell itself and every
+	// ancestor within the hierarchy. Only hierarchy cells appear.
+	closure map[string][]int32
+
+	// members[region] = cell ids of the region's subtree (itself included),
+	// in hierarchy-compilation order — the expand-to-leaf set a string-world
+	// region query would enumerate.
+	members [][]string
+}
+
+// CompileRegions validates the hierarchy against the space graph and
+// compiles the region table. Malformed inputs (nil graph, missing layers,
+// orphan cells, duplicate layer ids, joint edges skipping layers or
+// carrying inadmissible relations, ...) are reported as errors, never
+// panics — the compilation is fuzzed on that contract.
+func CompileRegions(s *SpaceGraph, h Hierarchy) (*RegionTable, error) {
+	if s == nil {
+		return nil, fmt.Errorf("indoor: CompileRegions: nil space graph")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("indoor: CompileRegions: %w", err)
+	}
+	if err := h.Validate(s); err != nil {
+		return nil, fmt.Errorf("indoor: CompileRegions: %w", err)
+	}
+	rt := &RegionTable{
+		layers:  append([]string(nil), h.Layers...),
+		index:   make(map[RegionRef]int32),
+		closure: make(map[string][]int32),
+	}
+	// Dense region indexes, layer-major (coarsest layer first, cells in
+	// space-graph insertion order within a layer): deterministic and
+	// independent of map iteration.
+	for _, lid := range h.Layers {
+		for _, c := range s.CellsInLayer(lid) {
+			ref := RegionRef{Layer: lid, ID: c.ID}
+			if _, dup := rt.index[ref]; dup {
+				return nil, fmt.Errorf("indoor: CompileRegions: duplicate region %v", ref)
+			}
+			rt.index[ref] = int32(len(rt.refs))
+			rt.refs = append(rt.refs, ref)
+		}
+	}
+	rt.members = make([][]string, len(rt.refs))
+
+	// Ancestor closures: one Parent chain per cell. Validate guarantees a
+	// unique parent chain for non-root layers, but the walk still guards
+	// against cycles and dead ends so a hostile graph yields an error.
+	for _, lid := range h.Layers {
+		for _, c := range s.CellsInLayer(lid) {
+			closure, err := rt.compileClosure(s, h, c.ID)
+			if err != nil {
+				return nil, err
+			}
+			rt.closure[c.ID] = closure
+			for _, r := range closure {
+				rt.members[r] = append(rt.members[r], c.ID)
+			}
+		}
+	}
+	return rt, nil
+}
+
+// compileClosure walks cellID's parent chain to the hierarchy root and
+// returns the sorted region indexes encountered (the cell itself included).
+// The walk resolves, at each step, the parent in the *next coarser
+// hierarchy layer* — the parent Validate proved unique — so joints to
+// layers outside the hierarchy never derail it.
+func (rt *RegionTable) compileClosure(s *SpaceGraph, h Hierarchy, cellID string) ([]int32, error) {
+	cur, _ := s.Cell(cellID)
+	depth := h.depth(cur.Layer)
+	if depth < 0 {
+		return nil, fmt.Errorf("%w: cell %q layer %q", ErrHierarchyLayerMiss, cellID, cur.Layer)
+	}
+	var closure []int32
+	for {
+		idx, ok := rt.index[RegionRef{Layer: cur.Layer, ID: cur.ID}]
+		if !ok {
+			return nil, fmt.Errorf("indoor: CompileRegions: %q reaches %q outside the hierarchy", cellID, cur.ID)
+		}
+		closure = append(closure, idx)
+		if depth == 0 {
+			break
+		}
+		pid, err := hierarchyParent(s, h, cur.ID, h.Layers[depth-1])
+		if err != nil {
+			return nil, fmt.Errorf("%w (reached from %q)", err, cellID)
+		}
+		cur, _ = s.Cell(pid)
+		depth--
+	}
+	sort.Slice(closure, func(i, j int) bool { return closure[i] < closure[j] })
+	return closure, nil
+}
+
+// hierarchyParent resolves the unique parent of cellID in the given layer
+// via the normalized joint edges (either storage direction).
+func hierarchyParent(s *SpaceGraph, h Hierarchy, cellID, parentLayer string) (string, error) {
+	found := ""
+	for _, j := range s.JointsOf(cellID) {
+		p, child, _, ok := normalizedJoint(j)
+		if !ok || child != cellID {
+			continue
+		}
+		if pc, okc := s.Cell(p); okc && pc.Layer == parentLayer {
+			if found != "" && found != p {
+				return "", fmt.Errorf("%w: %q", ErrHierarchyMultiParent, cellID)
+			}
+			found = p
+		}
+	}
+	if found == "" {
+		return "", fmt.Errorf("%w: %q in layer %q", ErrHierarchyOrphan, cellID, parentLayer)
+	}
+	return found, nil
+}
+
+// Layers returns the hierarchy layers, coarsest first.
+func (rt *RegionTable) Layers() []string { return append([]string(nil), rt.layers...) }
+
+// NumRegions returns the number of compiled regions (= hierarchy cells).
+func (rt *RegionTable) NumRegions() int { return len(rt.refs) }
+
+// Region resolves a (layer, cell id) pair to its dense region index.
+func (rt *RegionTable) Region(layer, id string) (int32, bool) {
+	idx, ok := rt.index[RegionRef{Layer: layer, ID: id}]
+	return idx, ok
+}
+
+// Ref returns the (layer, cell id) naming of a region index.
+func (rt *RegionTable) Ref(idx int32) RegionRef { return rt.refs[idx] }
+
+// Closure returns the sorted region indexes of the cell itself and all its
+// ancestors, or nil when the cell is not part of the hierarchy. The
+// returned slice is shared and must not be mutated.
+func (rt *RegionTable) Closure(cellID string) []int32 { return rt.closure[cellID] }
+
+// Members returns the cell ids of the region's subtree (itself included) —
+// the expand-to-leaf view. The returned slice is shared and must not be
+// mutated.
+func (rt *RegionTable) Members(idx int32) []string { return rt.members[idx] }
+
+// AncestorAt returns the cell's ancestor (or itself) in the given layer,
+// resolving through the precomputed closure instead of a Parent walk. ok is
+// false when the cell is outside the hierarchy or has no ancestor at that
+// layer.
+func (rt *RegionTable) AncestorAt(cellID, layer string) (string, bool) {
+	for _, r := range rt.closure[cellID] {
+		if rt.refs[r].Layer == layer {
+			return rt.refs[r].ID, true
+		}
+	}
+	return "", false
+}
+
+// BindClosures resolves the per-cell ancestor closures against a symbol
+// table presented as (size, decode) — in practice a frozen store
+// dictionary snapshot: out[id] = Closure(symbol(id)). Like the snapshot it
+// is bound to, the result is immutable; symbols that are not hierarchy
+// cells bind to nil. The inner slices are shared with the table and must
+// not be mutated.
+func (rt *RegionTable) BindClosures(n int, symbol func(int32) string) [][]int32 {
+	out := make([][]int32, n)
+	for id := int32(0); int(id) < n; id++ {
+		out[id] = rt.closure[symbol(id)]
+	}
+	return out
+}
+
+// RegionMask builds the region's membership bitmap over a bound closure
+// set: bit id is set iff symbol id's closure contains the region — the
+// per-region leaf bitmap the sequence-run predicates test against.
+func RegionMask(closures [][]int32, region int32) []uint64 {
+	mask := make([]uint64, (len(closures)+63)/64)
+	for id, cl := range closures {
+		if _, ok := slices.BinarySearch(cl, region); ok {
+			mask[id/64] |= 1 << (uint(id) % 64)
+		}
+	}
+	return mask
+}

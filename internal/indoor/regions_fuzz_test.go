@@ -1,0 +1,123 @@
+package indoor
+
+import (
+	"fmt"
+	"testing"
+
+	"sitm/internal/topo"
+)
+
+// FuzzCompileRegions drives CompileRegions with arbitrary space graphs and
+// hierarchies decoded from a byte script. The contract under fuzz: the
+// compiler must return an error for every malformed input — missing
+// joints, orphan cells, duplicate or unknown layer ids, layer-skipping
+// joints, inadmissible relations — and never panic; when it accepts, the
+// compiled table must satisfy its structural invariants (sorted closures,
+// consistent member sets, resolvable refs).
+//
+// Script encoding (two bytes per op, truncated tail ignored):
+//
+//	op%6 == 0  add layer  L<arg%5>      rank derived from arg
+//	op%6 == 1  add cell   c<n> in layer L<arg%5>
+//	op%6 == 2  add joint  between two existing cells, rel from arg
+//	op%6 == 3  add joint  skipping: first cell → last cell
+//	op%6 == 4  append     L<arg%5> to the hierarchy layer list
+//	op%6 == 5  append     a bogus layer id to the hierarchy
+func FuzzCompileRegions(f *testing.F) {
+	f.Add([]byte{0x00, 0x04, 0x00, 0x03, 0x01, 0x04, 0x01, 0x03, 0x02, 0x00, 0x04, 0x04, 0x04, 0x03})
+	f.Add([]byte{0x00, 0x00, 0x04, 0x00, 0x04, 0x00})                                     // duplicate hierarchy layer
+	f.Add([]byte{0x05, 0x00, 0x05, 0x01})                                                 // hierarchy of unknown layers
+	f.Add([]byte{0x00, 0x04, 0x00, 0x03, 0x01, 0x04, 0x01, 0x03, 0x04, 0x04, 0x04, 0x03}) // orphan: no joint
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		s := NewSpaceGraph()
+		var h Hierarchy
+		var cells []string
+		rels := []topo.Rel{topo.NTPPi, topo.TPPi, topo.NTPP, topo.TPP, topo.PO, topo.EQ}
+		for i := 0; i+1 < len(script); i += 2 {
+			op, arg := script[i], script[i+1]
+			layer := fmt.Sprintf("L%d", arg%5)
+			switch op % 6 {
+			case 0:
+				// Rank spreads layers over a few levels; collisions and
+				// re-adds are allowed to fail.
+				_ = s.AddLayer(Layer{ID: layer, Rank: int(arg % 5)})
+			case 1:
+				id := fmt.Sprintf("c%d", len(cells))
+				if err := s.AddCell(Cell{ID: id, Layer: layer}); err == nil {
+					cells = append(cells, id)
+				}
+			case 2:
+				if len(cells) >= 2 {
+					from := cells[int(op)%len(cells)]
+					to := cells[int(arg)%len(cells)]
+					_ = s.AddJoint(from, to, rels[int(arg)%len(rels)])
+				}
+			case 3:
+				if len(cells) >= 2 {
+					_ = s.AddJoint(cells[0], cells[len(cells)-1], rels[int(arg)%len(rels)])
+				}
+			case 4:
+				h.Layers = append(h.Layers, layer)
+			case 5:
+				h.Layers = append(h.Layers, fmt.Sprintf("ghost%d", arg))
+			}
+		}
+
+		rt, err := CompileRegions(s, h) // must never panic
+		if err != nil {
+			return
+		}
+		// Accepted: check the table's structural invariants.
+		if got, want := fmt.Sprint(rt.Layers()), fmt.Sprint(h.Layers); got != want {
+			t.Fatalf("Layers drifted: %s vs %s", got, want)
+		}
+		seen := 0
+		for idx := int32(0); int(idx) < rt.NumRegions(); idx++ {
+			ref := rt.Ref(idx)
+			back, ok := rt.Region(ref.Layer, ref.ID)
+			if !ok || back != idx {
+				t.Fatalf("Ref/Region round trip broken at %d (%v)", idx, ref)
+			}
+			members := rt.Members(idx)
+			if len(members) == 0 {
+				t.Fatalf("region %v has no members (must contain itself)", ref)
+			}
+			seen += len(members)
+		}
+		for _, lid := range h.Layers {
+			for _, c := range s.CellsInLayer(lid) {
+				cl := rt.Closure(c.ID)
+				if len(cl) == 0 {
+					t.Fatalf("hierarchy cell %q has empty closure", c.ID)
+				}
+				selfSeen := false
+				for k, r := range cl {
+					if k > 0 && cl[k-1] >= r {
+						t.Fatalf("closure of %q not sorted-distinct: %v", c.ID, cl)
+					}
+					if rt.Ref(r) == (RegionRef{Layer: lid, ID: c.ID}) {
+						selfSeen = true
+					}
+				}
+				if !selfSeen {
+					t.Fatalf("closure of %q misses the cell itself", c.ID)
+				}
+				// Depth of the closure equals the cell's distance from root + 1.
+				if want := h.depth(lid) + 1; len(cl) != want {
+					t.Fatalf("closure of %q has %d entries, want %d", c.ID, len(cl), want)
+				}
+			}
+		}
+		// Member sets and closures are two views of one relation.
+		total := 0
+		for _, lid := range h.Layers {
+			for _, c := range s.CellsInLayer(lid) {
+				total += len(rt.Closure(c.ID))
+			}
+		}
+		if total != seen {
+			t.Fatalf("closure mass %d != member mass %d", total, seen)
+		}
+	})
+}

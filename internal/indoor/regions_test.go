@@ -1,0 +1,293 @@
+package indoor
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sitm/internal/topo"
+)
+
+// buildCampus builds a small two-building campus:
+//
+//	campus → {main, annex} → {main:0, main:1, annex:0} → rooms a..e
+//
+// rooms a,b on main:0; c on main:1; d,e on annex:0.
+func buildCampus(t *testing.T) (*SpaceGraph, Hierarchy) {
+	t.Helper()
+	s := NewSpaceGraph()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AddLayer(Layer{ID: "Complex", Rank: 3}))
+	must(s.AddLayer(Layer{ID: "Building", Rank: 2}))
+	must(s.AddLayer(Layer{ID: "Floor", Rank: 1}))
+	must(s.AddLayer(Layer{ID: "Room", Rank: 0}))
+	must(s.AddCell(Cell{ID: "campus", Layer: "Complex"}))
+	for _, b := range []string{"main", "annex"} {
+		must(s.AddCell(Cell{ID: b, Layer: "Building"}))
+		must(s.AddJoint("campus", b, topo.NTPPi))
+	}
+	for _, f := range []string{"main:0", "main:1", "annex:0"} {
+		must(s.AddCell(Cell{ID: f, Layer: "Floor"}))
+		must(s.AddJoint(f[:len(f)-2], f, topo.TPPi))
+	}
+	rooms := map[string]string{"a": "main:0", "b": "main:0", "c": "main:1", "d": "annex:0", "e": "annex:0"}
+	for _, r := range []string{"a", "b", "c", "d", "e"} {
+		must(s.AddCell(Cell{ID: r, Layer: "Room"}))
+		must(s.AddJoint(rooms[r], r, topo.TPPi))
+	}
+	return s, Hierarchy{Layers: []string{"Complex", "Building", "Floor", "Room"}}
+}
+
+func TestCompileRegionsClosuresAndMembers(t *testing.T) {
+	s, h := buildCampus(t)
+	rt, err := CompileRegions(s, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rt.NumRegions(), 1+2+3+5; got != want {
+		t.Fatalf("NumRegions = %d, want %d", got, want)
+	}
+	if got := fmt.Sprint(rt.Layers()); got != "[Complex Building Floor Room]" {
+		t.Fatalf("Layers = %s", got)
+	}
+
+	// Room a's closure is {a, main:0, main, campus}.
+	cl := rt.Closure("a")
+	if len(cl) != 4 {
+		t.Fatalf("Closure(a) = %v", cl)
+	}
+	want := map[RegionRef]bool{
+		{"Complex", "campus"}: true, {"Building", "main"}: true,
+		{"Floor", "main:0"}: true, {"Room", "a"}: true,
+	}
+	for _, r := range cl {
+		if !want[rt.Ref(r)] {
+			t.Fatalf("Closure(a) contains unexpected %v", rt.Ref(r))
+		}
+	}
+	for i := 1; i < len(cl); i++ {
+		if cl[i-1] >= cl[i] {
+			t.Fatalf("Closure(a) not sorted: %v", cl)
+		}
+	}
+
+	// Building main's members are itself, its floors and their rooms.
+	idx, ok := rt.Region("Building", "main")
+	if !ok {
+		t.Fatal("Region(Building, main) missing")
+	}
+	members := map[string]bool{}
+	for _, m := range rt.Members(idx) {
+		members[m] = true
+	}
+	for _, m := range []string{"main", "main:0", "main:1", "a", "b", "c"} {
+		if !members[m] {
+			t.Fatalf("Members(main) missing %q (got %v)", m, rt.Members(idx))
+		}
+	}
+	for _, m := range []string{"annex", "d", "campus"} {
+		if members[m] {
+			t.Fatalf("Members(main) wrongly contains %q", m)
+		}
+	}
+
+	// Non-hierarchy probes.
+	if rt.Closure("nope") != nil {
+		t.Fatal("Closure of unknown cell must be nil")
+	}
+	if _, ok := rt.Region("Building", "nope"); ok {
+		t.Fatal("unknown region must not resolve")
+	}
+	if _, ok := rt.Region("Wing", "main"); ok {
+		t.Fatal("unknown layer must not resolve")
+	}
+}
+
+func TestCompileRegionsAncestorAt(t *testing.T) {
+	s, h := buildCampus(t)
+	rt, err := CompileRegions(s, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		cell, layer, want string
+		ok                bool
+	}{
+		{"d", "Building", "annex", true},
+		{"d", "Floor", "annex:0", true},
+		{"d", "Room", "d", true},
+		{"d", "Complex", "campus", true},
+		{"main:1", "Building", "main", true},
+		{"d", "Wing", "", false},
+		{"zzz", "Building", "", false},
+	}
+	for _, c := range cases {
+		got, ok := rt.AncestorAt(c.cell, c.layer)
+		if got != c.want || ok != c.ok {
+			t.Errorf("AncestorAt(%s, %s) = %q,%v want %q,%v", c.cell, c.layer, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestBindClosuresAndRegionMask(t *testing.T) {
+	s, h := buildCampus(t)
+	rt, err := CompileRegions(s, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fake interned dictionary: ids 0..3 = a, d, unknown, b.
+	syms := []string{"a", "d", "zz-not-a-cell", "b"}
+	closures := rt.BindClosures(len(syms), func(id int32) string { return syms[id] })
+	if closures[2] != nil {
+		t.Fatal("non-cell symbol must bind nil closure")
+	}
+	mainIdx, _ := rt.Region("Building", "main")
+	annexIdx, _ := rt.Region("Building", "annex")
+	mainMask := RegionMask(closures, mainIdx)
+	annexMask := RegionMask(closures, annexIdx)
+	bit := func(mask []uint64, id int) bool { return mask[id/64]&(1<<(uint(id)%64)) != 0 }
+	wantMain := []bool{true, false, false, true}
+	wantAnnex := []bool{false, true, false, false}
+	for id := range syms {
+		if bit(mainMask, id) != wantMain[id] {
+			t.Errorf("main mask bit %d (%s) = %v", id, syms[id], bit(mainMask, id))
+		}
+		if bit(annexMask, id) != wantAnnex[id] {
+			t.Errorf("annex mask bit %d (%s) = %v", id, syms[id], bit(annexMask, id))
+		}
+	}
+}
+
+func TestCompileRegionsRejectsMalformed(t *testing.T) {
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("nil-graph", func(t *testing.T) {
+		if _, err := CompileRegions(nil, Hierarchy{Layers: []string{"A", "B"}}); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("short-hierarchy", func(t *testing.T) {
+		s := NewSpaceGraph()
+		must(s.AddLayer(Layer{ID: "A", Rank: 1}))
+		if _, err := CompileRegions(s, Hierarchy{Layers: []string{"A"}}); !errors.Is(err, ErrHierarchyTooShort) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("missing-layer", func(t *testing.T) {
+		s := NewSpaceGraph()
+		must(s.AddLayer(Layer{ID: "A", Rank: 1}))
+		if _, err := CompileRegions(s, Hierarchy{Layers: []string{"A", "ghost"}}); !errors.Is(err, ErrHierarchyLayerMiss) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("duplicate-layer", func(t *testing.T) {
+		s := NewSpaceGraph()
+		must(s.AddLayer(Layer{ID: "A", Rank: 1}))
+		if _, err := CompileRegions(s, Hierarchy{Layers: []string{"A", "A"}}); !errors.Is(err, ErrHierarchyRankOrder) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("orphan-cell", func(t *testing.T) {
+		s := NewSpaceGraph()
+		must(s.AddLayer(Layer{ID: "A", Rank: 1}))
+		must(s.AddLayer(Layer{ID: "B", Rank: 0}))
+		must(s.AddCell(Cell{ID: "root", Layer: "A"}))
+		must(s.AddCell(Cell{ID: "orphan", Layer: "B"}))
+		if _, err := CompileRegions(s, Hierarchy{Layers: []string{"A", "B"}}); !errors.Is(err, ErrHierarchyOrphan) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("multi-parent", func(t *testing.T) {
+		s := NewSpaceGraph()
+		must(s.AddLayer(Layer{ID: "A", Rank: 1}))
+		must(s.AddLayer(Layer{ID: "B", Rank: 0}))
+		must(s.AddCell(Cell{ID: "r1", Layer: "A"}))
+		must(s.AddCell(Cell{ID: "r2", Layer: "A"}))
+		must(s.AddCell(Cell{ID: "kid", Layer: "B"}))
+		must(s.AddJoint("r1", "kid", topo.NTPPi))
+		must(s.AddJoint("r2", "kid", topo.NTPPi))
+		if _, err := CompileRegions(s, Hierarchy{Layers: []string{"A", "B"}}); !errors.Is(err, ErrHierarchyMultiParent) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("layer-skip", func(t *testing.T) {
+		s := NewSpaceGraph()
+		must(s.AddLayer(Layer{ID: "A", Rank: 2}))
+		must(s.AddLayer(Layer{ID: "B", Rank: 1}))
+		must(s.AddLayer(Layer{ID: "C", Rank: 0}))
+		must(s.AddCell(Cell{ID: "top", Layer: "A"}))
+		must(s.AddCell(Cell{ID: "mid", Layer: "B"}))
+		must(s.AddCell(Cell{ID: "leaf", Layer: "C"}))
+		must(s.AddJoint("top", "mid", topo.NTPPi))
+		must(s.AddJoint("mid", "leaf", topo.NTPPi))
+		must(s.AddJoint("top", "leaf", topo.NTPPi)) // skips B
+		if _, err := CompileRegions(s, Hierarchy{Layers: []string{"A", "B", "C"}}); !errors.Is(err, ErrHierarchySkip) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("bad-joint-rel", func(t *testing.T) {
+		s := NewSpaceGraph()
+		must(s.AddLayer(Layer{ID: "A", Rank: 1}))
+		must(s.AddLayer(Layer{ID: "B", Rank: 0}))
+		must(s.AddCell(Cell{ID: "root", Layer: "A"}))
+		must(s.AddCell(Cell{ID: "kid", Layer: "B"}))
+		must(s.AddJoint("root", "kid", topo.PO)) // overlap is not a partonomy
+		if _, err := CompileRegions(s, Hierarchy{Layers: []string{"A", "B"}}); !errors.Is(err, ErrHierarchyBadRel) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+// TestCompileRegionsLouvreScale compiles the region table of a deep
+// hierarchy (6 layers) and spot-checks cross-layer roll-ups.
+func TestCompileRegionsDeepHierarchy(t *testing.T) {
+	s := NewSpaceGraph()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	layers := []string{"L5", "L4", "L3", "L2", "L1", "L0"}
+	for i, l := range layers {
+		must(s.AddLayer(Layer{ID: l, Rank: len(layers) - i}))
+	}
+	// One chain of cells, three leaves at the bottom.
+	prev := ""
+	for i, l := range layers[:5] {
+		id := fmt.Sprintf("c%d", i)
+		must(s.AddCell(Cell{ID: id, Layer: l}))
+		if prev != "" {
+			must(s.AddJoint(prev, id, topo.NTPPi))
+		}
+		prev = id
+	}
+	for _, leaf := range []string{"x", "y", "z"} {
+		must(s.AddCell(Cell{ID: leaf, Layer: "L0"}))
+		must(s.AddJoint(prev, leaf, topo.NTPPi))
+	}
+	rt, err := CompileRegions(s, Hierarchy{Layers: layers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rt.NumRegions(), 8; got != want {
+		t.Fatalf("NumRegions = %d, want %d", got, want)
+	}
+	if a, ok := rt.AncestorAt("x", "L5"); !ok || a != "c0" {
+		t.Fatalf("AncestorAt(x, L5) = %q,%v", a, ok)
+	}
+	top, _ := rt.Region("L5", "c0")
+	if got := len(rt.Members(top)); got != 8 {
+		t.Fatalf("root members = %d, want all 8", got)
+	}
+}

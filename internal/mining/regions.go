@@ -1,0 +1,78 @@
+package mining
+
+import (
+	"fmt"
+
+	"sitm/internal/indoor"
+	"sitm/internal/symtab"
+)
+
+// This file lifts sequential-pattern mining to an arbitrary hierarchy
+// granularity: interned leaf sequences (the zero-re-encode handoff from
+// store.Sequences) are mapped through a compiled indoor.RegionTable to the
+// cells of a coarser layer — floor, wing, building — with run-collapsing,
+// then mined by the interned PrefixSpan. The leaf→region mapping is
+// resolved once per interned symbol (one table lookup per dictionary
+// entry, not per occurrence), so rolling a million-sequence corpus up to
+// wing granularity costs one O(dict) pass plus the collapsed re-encode.
+
+// PrefixSpanRegions mines frequent sequential patterns at the granularity
+// of the given hierarchy layer: every interned cell id of seqs (encoded
+// under dict, e.g. from store.Sequences) is rolled up to its ancestor in
+// that layer via the region table, consecutive repeats collapse (moving
+// between two rooms of one wing is not a wing-level movement), and the
+// pattern-growth miner runs over the collapsed region sequences. Cells
+// outside the hierarchy — or with no ancestor at the layer — are dropped
+// from the sequences before collapsing; patterns come out as region cell
+// ids. The layer must belong to the table's hierarchy.
+func PrefixSpanRegions(dict *symtab.Dict, seqs [][]int32, rt *indoor.RegionTable, layer string, minSupport, maxLen int) ([]Pattern, error) {
+	if rt == nil {
+		return nil, fmt.Errorf("mining: PrefixSpanRegions: nil region table")
+	}
+	known := false
+	for _, l := range rt.Layers() {
+		if l == layer {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("mining: PrefixSpanRegions: layer %q not in hierarchy %v", layer, rt.Layers())
+	}
+
+	// Resolve every interned leaf symbol to its region id once: regionOf[id]
+	// is the region's id in a fresh region dictionary, or -1 when the leaf
+	// does not roll up to the layer.
+	k := dict.Len()
+	regionDict := symtab.NewDict()
+	regionOf := make([]int32, k)
+	for id := int32(0); int(id) < k; id++ {
+		if a, ok := rt.AncestorAt(dict.Symbol(id), layer); ok {
+			regionOf[id] = regionDict.Intern(a)
+		} else {
+			regionOf[id] = -1
+		}
+	}
+
+	// Map + run-collapse each sequence over one flat backing array.
+	total := 0
+	for _, s := range seqs {
+		total += len(s)
+	}
+	flat := make([]int32, 0, total)
+	mapped := make([][]int32, len(seqs))
+	for i, s := range seqs {
+		lo := len(flat)
+		for _, id := range s {
+			r := regionOf[id]
+			if r < 0 {
+				continue
+			}
+			if len(flat) == lo || flat[len(flat)-1] != r {
+				flat = append(flat, r)
+			}
+		}
+		mapped[i] = flat[lo:len(flat):len(flat)]
+	}
+	return PrefixSpanInterned(regionDict, mapped, minSupport, maxLen), nil
+}

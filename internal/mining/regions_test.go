@@ -1,0 +1,151 @@
+package mining
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sitm/internal/indoor"
+	"sitm/internal/symtab"
+	"sitm/internal/topo"
+)
+
+// regionModel compiles a building → wing → zone hierarchy: zones z0..z7,
+// four per wing.
+func regionModel(tb testing.TB) *indoor.RegionTable {
+	tb.Helper()
+	sg := indoor.NewSpaceGraph()
+	must := func(err error) {
+		tb.Helper()
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	must(sg.AddLayer(indoor.Layer{ID: "Building", Rank: 2}))
+	must(sg.AddLayer(indoor.Layer{ID: "Wing", Rank: 1}))
+	must(sg.AddLayer(indoor.Layer{ID: "Zone", Rank: 0}))
+	must(sg.AddCell(indoor.Cell{ID: "b", Layer: "Building"}))
+	for _, w := range []string{"w0", "w1"} {
+		must(sg.AddCell(indoor.Cell{ID: w, Layer: "Wing"}))
+		must(sg.AddJoint("b", w, topo.NTPPi))
+	}
+	for z := 0; z < 8; z++ {
+		id := fmt.Sprintf("z%d", z)
+		must(sg.AddCell(indoor.Cell{ID: id, Layer: "Zone"}))
+		must(sg.AddJoint(fmt.Sprintf("w%d", z/4), id, topo.NTPPi))
+	}
+	rt, err := indoor.CompileRegions(sg, indoor.Hierarchy{Layers: []string{"Building", "Wing", "Zone"}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return rt
+}
+
+// encodeSeqs interns string sequences the way store.Sequences hands them
+// to mining.
+func encodeSeqs(seqs [][]string) (*symtab.Dict, [][]int32) {
+	dict := symtab.NewDict()
+	out := make([][]int32, len(seqs))
+	for i, s := range seqs {
+		out[i] = dict.Encode(s)
+	}
+	return dict, out
+}
+
+// stringRollUp is the oracle: map each cell to its layer ancestor in
+// string world, drop unmapped, collapse runs.
+func stringRollUp(seqs [][]string, rt *indoor.RegionTable, layer string) [][]string {
+	out := make([][]string, len(seqs))
+	for i, s := range seqs {
+		var m []string
+		for _, c := range s {
+			a, ok := rt.AncestorAt(c, layer)
+			if !ok {
+				continue
+			}
+			if len(m) == 0 || m[len(m)-1] != a {
+				m = append(m, a)
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+func patternsSig(ps []Pattern) string {
+	var b strings.Builder
+	for _, p := range ps {
+		fmt.Fprintf(&b, "%v=%d|", p.Cells, p.Support)
+	}
+	return b.String()
+}
+
+// TestPrefixSpanRegionsMatchesStringRollUp: region-level mining is
+// bit-for-bit PrefixSpan over the string-world rolled-up sequences, at
+// every hierarchy layer, across random corpora.
+func TestPrefixSpanRegionsMatchesStringRollUp(t *testing.T) {
+	rt := regionModel(t)
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var seqs [][]string
+		for i := 0; i < 60; i++ {
+			n := 1 + rng.Intn(8)
+			s := make([]string, n)
+			for j := range s {
+				if rng.Intn(10) == 0 {
+					s[j] = "off-model" // dropped by the roll-up
+				} else {
+					s[j] = fmt.Sprintf("z%d", rng.Intn(8))
+				}
+			}
+			seqs = append(seqs, s)
+		}
+		dict, enc := encodeSeqs(seqs)
+		for _, layer := range []string{"Building", "Wing", "Zone"} {
+			got, err := PrefixSpanRegions(dict, enc, rt, layer, 5, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := PrefixSpan(stringRollUp(seqs, rt, layer), 5, 4)
+			if patternsSig(got) != patternsSig(want) {
+				t.Fatalf("seed %d layer %s:\ngot  %s\nwant %s", seed, layer, patternsSig(got), patternsSig(want))
+			}
+		}
+	}
+}
+
+func TestPrefixSpanRegionsWingPatterns(t *testing.T) {
+	rt := regionModel(t)
+	// Three visitors crossing w0 → w1, one staying inside w0.
+	dict, enc := encodeSeqs([][]string{
+		{"z0", "z1", "z4"},
+		{"z2", "z5", "z6"},
+		{"z3", "z3", "z7"},
+		{"z0", "z2", "z1"},
+	})
+	pats, err := PrefixSpanRegions(dict, enc, rt, "Wing", 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"[w0]": 4, "[w1]": 3, "[w0 w1]": 3}
+	if len(pats) != len(want) {
+		t.Fatalf("patterns = %s", patternsSig(pats))
+	}
+	for _, p := range pats {
+		if want[fmt.Sprint(p.Cells)] != p.Support {
+			t.Fatalf("pattern %v support %d (want %d)", p.Cells, p.Support, want[fmt.Sprint(p.Cells)])
+		}
+	}
+}
+
+func TestPrefixSpanRegionsErrors(t *testing.T) {
+	rt := regionModel(t)
+	dict, enc := encodeSeqs([][]string{{"z0"}})
+	if _, err := PrefixSpanRegions(dict, enc, rt, "Ghost", 1, 2); err == nil {
+		t.Fatal("unknown layer must error")
+	}
+	if _, err := PrefixSpanRegions(dict, enc, nil, "Wing", 1, 2); err == nil {
+		t.Fatal("nil table must error")
+	}
+}

@@ -1,0 +1,349 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"sitm/internal/core"
+	"sitm/internal/indoor"
+	"sitm/internal/topo"
+)
+
+// queryModel builds the planner test model: one building, two wings, and
+// the cells A..H as leaf zones (A–D in west, E–H in east), matching the
+// alphabet of randomCorpusTrajs.
+//
+//	campus → {west, east} → {A..D | E..H}
+func queryModel(tb testing.TB) *indoor.RegionTable {
+	tb.Helper()
+	sg := indoor.NewSpaceGraph()
+	must := func(err error) {
+		tb.Helper()
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	must(sg.AddLayer(indoor.Layer{ID: "Building", Rank: 2}))
+	must(sg.AddLayer(indoor.Layer{ID: "Wing", Rank: 1}))
+	must(sg.AddLayer(indoor.Layer{ID: "Zone", Rank: 0}))
+	must(sg.AddCell(indoor.Cell{ID: "campus", Layer: "Building"}))
+	for _, w := range []string{"west", "east"} {
+		must(sg.AddCell(indoor.Cell{ID: w, Layer: "Wing"}))
+		must(sg.AddJoint("campus", w, topo.NTPPi))
+	}
+	for i, z := range []string{"A", "B", "C", "D", "E", "F", "G", "H"} {
+		must(sg.AddCell(indoor.Cell{ID: z, Layer: "Zone"}))
+		wing := "west"
+		if i >= 4 {
+			wing = "east"
+		}
+		must(sg.AddJoint(wing, z, topo.NTPPi))
+	}
+	rt, err := indoor.CompileRegions(sg, indoor.Hierarchy{Layers: []string{"Building", "Wing", "Zone"}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return rt
+}
+
+// queryTraj builds a single-MO trajectory over the given cells with
+// hour-long stays starting at day+offset hours.
+func queryTraj(tb testing.TB, mo string, offset int, ann core.Annotations, cells ...string) core.Trajectory {
+	tb.Helper()
+	var tr core.Trace
+	at := day.Add(time.Duration(offset) * time.Hour)
+	for _, c := range cells {
+		tr = append(tr, core.PresenceInterval{Cell: c, Start: at, End: at.Add(time.Hour)})
+		at = at.Add(time.Hour)
+	}
+	t, err := core.NewTrajectory(mo, tr, ann)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return t
+}
+
+func mosOf(ts []core.Trajectory) string {
+	var out []string
+	for _, t := range ts {
+		out = append(out, t.MO)
+	}
+	return strings.Join(out, ",")
+}
+
+func queryFixture(t *testing.T) *Store {
+	t.Helper()
+	s := newTestStore()
+	s.AttachRegions(queryModel(t))
+	visit := core.NewAnnotations("activity", "visit")
+	clean := core.NewAnnotations("activity", "clean", "shift", "night")
+	s.Put(queryTraj(t, "alice", 0, visit, "A", "B", "E"))
+	s.Put(queryTraj(t, "bob", 1, visit, "E", "F"))
+	s.Put(queryTraj(t, "carol", 2, clean, "C", "C", "D"))
+	s.Put(queryTraj(t, "dave", 30, visit, "G", "A"))
+	return s
+}
+
+func TestSelectPredicates(t *testing.T) {
+	s := queryFixture(t)
+	sel := func(q Query) string {
+		t.Helper()
+		out, err := s.Select(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mosOf(out)
+	}
+
+	if got := sel(Cell("A")); got != "alice,dave" {
+		t.Errorf("Cell(A) = %s", got)
+	}
+	if got := sel(Region("Wing", "west")); got != "alice,carol,dave" {
+		t.Errorf("Region(west) = %s", got)
+	}
+	if got := sel(Region("Wing", "east")); got != "alice,bob,dave" {
+		t.Errorf("Region(east) = %s", got)
+	}
+	if got := sel(Region("Building", "campus")); got != "alice,bob,carol,dave" {
+		t.Errorf("Region(campus) = %s", got)
+	}
+	if got := sel(Region("Zone", "F")); got != "bob" {
+		t.Errorf("Region(Zone F) = %s", got)
+	}
+	if got := sel(ByMO("carol")); got != "carol" {
+		t.Errorf("ByMO = %s", got)
+	}
+	if got := sel(HasAnnotation("shift", "night")); got != "carol" {
+		t.Errorf("HasAnnotation = %s", got)
+	}
+	if got := sel(TimeOverlap(day, day.Add(90*time.Minute))); got != "alice,bob" {
+		t.Errorf("TimeOverlap = %s", got)
+	}
+	if got := sel(And(Region("Wing", "west"), HasAnnotation("activity", "visit"))); got != "alice,dave" {
+		t.Errorf("And = %s", got)
+	}
+	if got := sel(Or(ByMO("bob"), ByMO("carol"))); got != "bob,carol" {
+		t.Errorf("Or = %s", got)
+	}
+	if got := sel(And(Or(Region("Wing", "west"), Region("Wing", "east")),
+		TimeOverlap(day.Add(30*time.Hour), day.Add(40*time.Hour)))); got != "dave" {
+		t.Errorf("nested = %s", got)
+	}
+	if got := sel(Through("A", "B")); got != "alice" {
+		t.Errorf("Through = %s", got)
+	}
+	// carol stalls in C (dedup collapses C,C) then moves to D.
+	if got := sel(Through("C", "D")); got != "carol" {
+		t.Errorf("Through dedup = %s", got)
+	}
+	if got := sel(CellDuring("E", day.Add(2*time.Hour), day.Add(3*time.Hour))); got != "alice,bob" {
+		t.Errorf("CellDuring = %s", got)
+	}
+	// alice is in E only from +2h; a window before that misses her.
+	if got := sel(CellDuring("E", day.Add(1*time.Hour), day.Add(90*time.Minute))); got != "bob" {
+		t.Errorf("CellDuring window = %s", got)
+	}
+
+	// ThroughRegions: west then east (alice A,B→E; dave goes east→west).
+	if got := sel(ThroughRegions(
+		indoor.RegionRef{Layer: "Wing", ID: "west"},
+		indoor.RegionRef{Layer: "Wing", ID: "east"},
+	)); got != "alice" {
+		t.Errorf("ThroughRegions(west,east) = %s", got)
+	}
+	// east→west needs an east block before a west block: only dave (G→A);
+	// alice (A,B,E = west,west,east) ends in east and must not match.
+	if got := sel(ThroughRegions(
+		indoor.RegionRef{Layer: "Wing", ID: "east"},
+		indoor.RegionRef{Layer: "Wing", ID: "west"},
+	)); got != "dave" {
+		t.Errorf("ThroughRegions(east,west) = %s", got)
+	}
+	// Overlapping regions at different layers: Zone A then Wing west needs
+	// a split like A | B (both blocks non-empty).
+	if got := sel(ThroughRegions(
+		indoor.RegionRef{Layer: "Zone", ID: "A"},
+		indoor.RegionRef{Layer: "Wing", ID: "west"},
+	)); got != "alice" {
+		t.Errorf("ThroughRegions(A,west) = %s", got)
+	}
+
+	// Unknown symbols compile to statically empty plans, not errors.
+	for _, q := range []Query{Cell("zzz"), ByMO("zzz"), HasAnnotation("zzz", "v"),
+		Through("A", "zzz"), CellDuring("zzz", day, day), And(Cell("A"), Cell("zzz")),
+		Or(Cell("zzz"), Cell("yyy"))} {
+		if got := sel(q); got != "" {
+			t.Errorf("unknown-symbol query %v matched %s", q, got)
+		}
+	}
+}
+
+func TestSelectMatchesThroughRegionsEastWest(t *testing.T) {
+	// Pin the subtle case from above: east→west over alice's A,B,E must not
+	// match (E is her last cell), while dave's G,A must.
+	s := queryFixture(t)
+	out, err := s.Select(ThroughRegions(
+		indoor.RegionRef{Layer: "Wing", ID: "east"},
+		indoor.RegionRef{Layer: "Wing", ID: "west"},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mosOf(out); got != "dave" {
+		t.Fatalf("ThroughRegions(east,west) = %s, want dave", got)
+	}
+}
+
+func TestSelectMOs(t *testing.T) {
+	s := queryFixture(t)
+	got, err := s.SelectMOs(Region("Wing", "east"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[alice bob dave]" {
+		t.Fatalf("SelectMOs = %v", got)
+	}
+	none, err := s.SelectMOs(Cell("zzz"))
+	if err != nil || none != nil {
+		t.Fatalf("SelectMOs(empty) = %v, %v", none, err)
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	s := queryFixture(t)
+	if _, err := s.Select(nil); err == nil {
+		t.Error("nil query must error")
+	}
+	if _, err := s.Select(And()); err == nil {
+		t.Error("empty And must error")
+	}
+	if _, err := s.Select(Or()); err == nil {
+		t.Error("empty Or must error")
+	}
+	if _, err := s.Select(Through()); err == nil {
+		t.Error("empty Through must error")
+	}
+	if _, err := s.Select(ThroughRegions()); err == nil {
+		t.Error("empty ThroughRegions must error")
+	}
+	if _, err := s.Select(Region("Wing", "nope")); !errors.Is(err, ErrUnknownRegion) {
+		t.Errorf("unknown region err = %v", err)
+	}
+	if _, err := s.Select(Region("Ghost", "west")); !errors.Is(err, ErrUnknownRegion) {
+		t.Errorf("unknown layer err = %v", err)
+	}
+	// Errors surface from nested positions too.
+	if _, err := s.Select(And(Cell("A"), Or(Region("Wing", "nope")))); !errors.Is(err, ErrUnknownRegion) {
+		t.Errorf("nested err = %v", err)
+	}
+
+	bare := newTestStore()
+	bare.Put(queryTraj(t, "x", 0, core.NewAnnotations("k", "v"), "A"))
+	if _, err := bare.Select(Region("Wing", "west")); !errors.Is(err, ErrNoRegions) {
+		t.Errorf("no-table err = %v", err)
+	}
+	if _, err := bare.Select(ThroughRegions(indoor.RegionRef{Layer: "Wing", ID: "west"})); !errors.Is(err, ErrNoRegions) {
+		t.Errorf("no-table ThroughRegions err = %v", err)
+	}
+}
+
+// TestAttachRegionsRebuildsAndDetaches: attaching after ingestion rebuilds
+// the postings for stored trajectories; re-attaching nil detaches.
+func TestAttachRegionsRebuildsAndDetaches(t *testing.T) {
+	s := newTestStore()
+	visit := core.NewAnnotations("activity", "visit")
+	s.Put(queryTraj(t, "alice", 0, visit, "A", "E"))
+	s.PutBatch([]core.Trajectory{
+		queryTraj(t, "bob", 1, visit, "E"),
+		queryTraj(t, "carol", 2, visit, "B", "C"),
+	})
+
+	rt := queryModel(t)
+	s.AttachRegions(rt)
+	if s.Regions() != rt {
+		t.Fatal("Regions() must return the attached table")
+	}
+	out, err := s.Select(Region("Wing", "west"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mosOf(out); got != "alice,carol" {
+		t.Fatalf("post-attach Region(west) = %s", got)
+	}
+	// Writes after the attach maintain the postings incrementally.
+	s.Put(queryTraj(t, "dave", 3, visit, "D"))
+	out, _ = s.Select(Region("Wing", "west"))
+	if got := mosOf(out); got != "alice,carol,dave" {
+		t.Fatalf("post-attach write Region(west) = %s", got)
+	}
+
+	s.AttachRegions(nil)
+	if s.Regions() != nil {
+		t.Fatal("detach must clear the table")
+	}
+	if _, err := s.Select(Region("Wing", "west")); !errors.Is(err, ErrNoRegions) {
+		t.Fatalf("detached region query err = %v", err)
+	}
+}
+
+// TestCannedQueriesAreThinWrappers: the refactored query methods agree
+// with explicit plans on the engine.
+func TestCannedQueriesAreThinWrappers(t *testing.T) {
+	s := queryFixture(t)
+	from, to := day, day.Add(3*time.Hour)
+
+	want, err := s.Select(TimeOverlap(from, to))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := trajSig(s.Overlapping(from, to)), trajSig(want); a != b {
+		t.Fatalf("Overlapping ≠ Select(TimeOverlap):\n%s\n%s", a, b)
+	}
+
+	want, err = s.Select(Through("A", "B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := trajSig(s.ThroughSequence("A", "B")), trajSig(want); a != b {
+		t.Fatalf("ThroughSequence ≠ Select(Through)")
+	}
+
+	wantMOs, err := s.SelectMOs(CellDuring("E", from, to))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := fmt.Sprint(s.InCellDuring("E", from, to)), fmt.Sprint(wantMOs); a != b {
+		t.Fatalf("InCellDuring ≠ SelectMOs(CellDuring): %s vs %s", a, b)
+	}
+
+	want, err = s.Select(Cell("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := trajSig(s.ThroughCell("A")), trajSig(want); a != b {
+		t.Fatalf("ThroughCell ≠ Select(Cell)")
+	}
+}
+
+// TestSelectDictGrowthRebindsClosures: region plans stay correct after the
+// cell alphabet grows past the bound snapshot (the closure cache rebinds).
+func TestSelectDictGrowthRebindsClosures(t *testing.T) {
+	s := newTestStore()
+	s.AttachRegions(queryModel(t))
+	s.Put(queryTraj(t, "alice", 0, core.NewAnnotations("k", "v"), "A"))
+	if out, err := s.Select(ThroughRegions(indoor.RegionRef{Layer: "Wing", ID: "west"})); err != nil || mosOf(out) != "alice" {
+		t.Fatalf("warmup = %v, %v", mosOf(out), err)
+	}
+	// Grow the alphabet with cells E..H plus one unknown-to-the-model cell.
+	s.Put(queryTraj(t, "bob", 1, core.NewAnnotations("k", "v"), "E", "H", "off-model"))
+	out, err := s.Select(ThroughRegions(indoor.RegionRef{Layer: "Wing", ID: "east"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mosOf(out); got != "bob" {
+		t.Fatalf("post-growth ThroughRegions(east) = %s", got)
+	}
+}

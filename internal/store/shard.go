@@ -2,6 +2,7 @@ package store
 
 import (
 	"sync"
+	"time"
 
 	"sitm/internal/core"
 )
@@ -9,22 +10,26 @@ import (
 // shard is one horizontal slice of the store: the trajectories of the
 // moving objects hashing here, with the shard's own lock, posting lists
 // and incremental interval indexes. Everything inside is keyed by dense
-// ids — cell posting lists and per-cell interval indexes are slices
-// indexed by interned cell id, candidates are int32 slots, and the
-// write-time encoded traces ride beside the trajectories so sequence
-// checks and the analytics handoff never look at a string again.
+// ids — cell, annotation-pair and region posting lists and per-cell
+// interval indexes are slices indexed by interned id, candidates are int32
+// slots, and the write-time encoded traces ride beside the trajectories so
+// sequence checks and the analytics handoff never look at a string again.
 type shard struct {
 	mu sync.RWMutex
 
 	// Parallel per-slot columns (one entry per stored trajectory).
-	seqs  []uint64          // global insertion sequence
-	trajs []core.Trajectory // the trajectory itself
-	encs  [][]int32         // interned Trace cells (write-time encoding)
-	anns  [][]int32         // sorted distinct interned annotation-pair ids
-	moIDs []int32           // interned moving-object id
+	seqs   []uint64          // global insertion sequence
+	trajs  []core.Trajectory // the trajectory itself
+	encs   [][]int32         // interned Trace cells (write-time encoding)
+	anns   [][]int32         // sorted distinct interned annotation-pair ids
+	moIDs  []int32           // interned moving-object id
+	starts []time.Time       // trajectory span start (write-time, O(1) tests)
+	ends   []time.Time       // trajectory span end
 
 	byMO      map[int32][]int32 // mo id → slots, append order
 	byCell    [][]int32         // cell id → slots visiting the cell (ascending)
+	byPair    [][]int32         // annotation-pair id → slots carrying it (ascending)
+	byRegion  [][]int32         // region index → slots touching the region (ascending)
 	spanIdx   *intervalIndex    // whole-trajectory spans → slot
 	cellIdx   []*intervalIndex  // cell id → presence intervals → slot
 	intervals int               // total presence intervals stored
@@ -52,6 +57,24 @@ func (sh *shard) posting(cell int32) []int32 {
 	return sh.byCell[cell]
 }
 
+// pairPosting returns the annotation pair's posting list, or nil.
+func (sh *shard) pairPosting(pair int32) []int32 {
+	if int(pair) >= len(sh.byPair) {
+		return nil
+	}
+	return sh.byPair[pair]
+}
+
+// regionPosting returns the region's posting list, or nil. Region indexes
+// come from the attached RegionTable (see regions.go); without one the
+// table is empty and everything misses.
+func (sh *shard) regionPosting(region int32) []int32 {
+	if int(region) >= len(sh.byRegion) {
+		return nil
+	}
+	return sh.byRegion[region]
+}
+
 // cellIndex returns the cell's interval index, or nil.
 func (sh *shard) cellIndex(cell int32) *intervalIndex {
 	if int(cell) >= len(sh.cellIdx) {
@@ -74,15 +97,19 @@ func (sh *shard) growCell(cell int32) {
 }
 
 // addSlot appends the per-slot columns and posting-list entries of one
-// trajectory and returns its slot. Interval-index maintenance is left to
-// the caller (single insert vs batched insertAll).
-func (sh *shard) addSlot(seq uint64, t core.Trajectory, moID int32, enc, ann []int32) int32 {
+// trajectory and returns its slot. regs is the trajectory's sorted
+// distinct region closure (nil without an attached region table).
+// Interval-index maintenance is left to the caller (single insert vs
+// batched insertAll).
+func (sh *shard) addSlot(seq uint64, t core.Trajectory, moID int32, enc, ann, regs []int32) int32 {
 	slot := int32(len(sh.trajs))
 	sh.seqs = append(sh.seqs, seq)
 	sh.trajs = append(sh.trajs, t)
 	sh.encs = append(sh.encs, enc)
 	sh.anns = append(sh.anns, ann)
 	sh.moIDs = append(sh.moIDs, moID)
+	sh.starts = append(sh.starts, t.Start())
+	sh.ends = append(sh.ends, t.End())
 	sh.byMO[moID] = append(sh.byMO[moID], slot)
 	sh.intervals += len(enc)
 	if len(enc) > sh.maxLen {
@@ -101,14 +128,28 @@ func (sh *shard) addSlot(seq uint64, t core.Trajectory, moID int32, enc, ann []i
 			sh.byCell[id] = append(sh.byCell[id], slot)
 		}
 	}
+	// Annotation pairs and regions arrive sorted-distinct, so each posting
+	// list receives the slot exactly once and stays ascending.
+	for _, p := range ann {
+		for int(p) >= len(sh.byPair) {
+			sh.byPair = append(sh.byPair, nil)
+		}
+		sh.byPair[p] = append(sh.byPair[p], slot)
+	}
+	for _, r := range regs {
+		for int(r) >= len(sh.byRegion) {
+			sh.byRegion = append(sh.byRegion, nil)
+		}
+		sh.byRegion[r] = append(sh.byRegion[r], slot)
+	}
 	return slot
 }
 
 // insertOne indexes a single trajectory under the (held) shard lock:
 // sorted inserts into the interval-index merge buffers, O(log n + √n)
 // amortized.
-func (sh *shard) insertOne(seq uint64, t core.Trajectory, moID int32, enc, ann []int32) {
-	slot := sh.addSlot(seq, t, moID, enc, ann)
+func (sh *shard) insertOne(seq uint64, t core.Trajectory, moID int32, enc, ann, regs []int32) {
+	slot := sh.addSlot(seq, t, moID, enc, ann, regs)
 	sh.spanIdx.insert(span{start: t.Start(), end: t.End(), ref: int(slot)})
 	for i, p := range t.Trace {
 		id := enc[i]
@@ -125,13 +166,14 @@ func (sh *shard) insertOne(seq uint64, t core.Trajectory, moID int32, enc, ann [
 // (held) shard lock, grouping presence spans per cell so every touched
 // interval index absorbs the burst with a single buffer merge. idxs are
 // indexes into ts; trajectory ts[i] carries sequence base+i, so the batch
-// is observed in argument order.
-func (sh *shard) insertBatch(base uint64, ts []core.Trajectory, idxs []int32, moIDs []int32, encs, anns [][]int32) {
+// is observed in argument order. regions resolves each trajectory's region
+// closure (it must be called under the shard lock, see Store.PutBatch).
+func (sh *shard) insertBatch(base uint64, ts []core.Trajectory, idxs []int32, moIDs []int32, encs, anns [][]int32, regions func(core.Trajectory) []int32) {
 	spans := make([]span, 0, len(idxs))
 	perCell := make(map[int32][]span)
 	for _, i := range idxs {
 		t := ts[i]
-		slot := sh.addSlot(base+uint64(i), t, moIDs[i], encs[i], anns[i])
+		slot := sh.addSlot(base+uint64(i), t, moIDs[i], encs[i], anns[i], regions(t))
 		spans = append(spans, span{start: t.Start(), end: t.End(), ref: int(slot)})
 		for k, p := range t.Trace {
 			id := encs[i][k]

@@ -17,6 +17,17 @@
 // with a √n merge buffer, see interval.go): temporal windows are answered
 // in O(log n + √n + matches) per shard with no rebuild ever.
 //
+// On top of the indexes sits a semantic query planner (query.go): a
+// composable AST — Cell, Region, TimeOverlap, ByMO, HasAnnotation,
+// Through, ThroughRegions, CellDuring, And, Or — compiled per query into
+// interned posting-list and bitmap algebra with selectivity-ordered
+// execution. Attaching a compiled indoor hierarchy (AttachRegions, see
+// regions.go) makes every hierarchy cell a first-class region: the shards
+// maintain per-region posting lists at write time, so "who passed through
+// Wing Denon during lunch" is a posting intersection, not an
+// expand-to-leaf loop. Overlapping, InCellDuring and ThroughSequence are
+// canned plans on this engine.
+//
 // Because encoding happens at write time, the store can hand its contents
 // to the analytics layer with zero re-encoding: Corpus() builds a
 // similarity.Corpus and Sequences() builds mining input directly on frozen
@@ -58,6 +69,11 @@ type Store struct {
 	cells *symtab.SyncDict // cell names → dense int32 ids
 	mos   *symtab.SyncDict // moving-object ids → dense int32 ids
 	pairs *symtab.SyncDict // annotation "key\x00value" pairs → dense ids
+
+	// The attached hierarchy (AttachRegions) plus its dictionary-bound
+	// closure cache, feeding the per-shard region postings and the query
+	// planner (see regions.go, query.go).
+	regions regionState
 
 	shards []shard
 }
@@ -125,7 +141,9 @@ func (s *Store) Put(t core.Trajectory) {
 	sh := s.shardOf(t.MO)
 	sh.mu.Lock()
 	seq := s.nextSeq.Add(1) - 1
-	sh.insertOne(seq, t, moID, enc, ann)
+	// Region closures resolve under the shard lock so every insert orders
+	// cleanly against a concurrent AttachRegions rebuild.
+	sh.insertOne(seq, t, moID, enc, ann, s.trajectoryRegions(t))
 	sh.mu.Unlock()
 }
 
@@ -157,7 +175,7 @@ func (s *Store) PutBatch(ts []core.Trajectory) {
 		}
 		sh := &s.shards[g]
 		sh.mu.Lock()
-		sh.insertBatch(base, ts, idxs, moIDs, encs, anns)
+		sh.insertBatch(base, ts, idxs, moIDs, encs, anns, s.trajectoryRegions)
 		sh.mu.Unlock()
 	}
 }
@@ -345,102 +363,45 @@ func (s *Store) MOs() []string {
 	return out
 }
 
-// ThroughCell returns the trajectories that visit the cell at least once.
+// ThroughCell returns the trajectories that visit the cell at least once —
+// the canned Cell plan (compile of a known cell never errors).
 func (s *Store) ThroughCell(cell string) []core.Trajectory {
-	id, ok := s.cells.Lookup(cell)
-	if !ok {
-		return nil
-	}
-	return s.gather(func(sh *shard, out *shardRows) {
-		for _, sl := range sh.posting(id) {
-			out.add(sh.seqs[sl], sh.trajs[sl])
-		}
-	})
+	out, _ := s.Select(Cell(cell))
+	return out
 }
 
 // InCellDuring returns the MOs present in the cell at any point during
 // [from, to] (inclusive bounds, presence intervals intersecting the
-// window), sorted. Each shard walks its own per-cell interval index — a
-// slice lookup by dense cell id — so cost scales with the matches, not the
-// cell's total visit history; MOs never span shards, so the per-shard
-// distinct sets union without dedup.
+// window), sorted — the canned CellDuring plan: each shard walks its own
+// per-cell interval index (a slice lookup by dense cell id), so cost
+// scales with the matches, not the cell's total visit history; MOs never
+// span shards, so the per-shard distinct sets union without dedup.
 func (s *Store) InCellDuring(cell string, from, to time.Time) []string {
-	id, ok := s.cells.Lookup(cell)
-	if !ok {
-		return nil
-	}
-	per := make([][]int32, len(s.shards))
-	parallel.ForEach(len(s.shards), func(i int) {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		if ix := sh.cellIndex(id); ix != nil {
-			seen := make(map[int32]bool)
-			ix.visit(from, to, func(ref int) {
-				mo := sh.moIDs[ref]
-				if !seen[mo] {
-					seen[mo] = true
-					per[i] = append(per[i], mo)
-				}
-			})
-		}
-		sh.mu.RUnlock()
-	})
-	var out []string
-	snap := s.mos.Freeze() // lock-free Symbol decode of the result batch
-	for _, ids := range per {
-		for _, mo := range ids {
-			out = append(out, snap.Symbol(mo))
-		}
-	}
-	sort.Strings(out)
+	out, _ := s.SelectMOs(CellDuring(cell, from, to))
 	return out
 }
 
 // Overlapping returns the trajectories whose time span intersects
-// [from, to], in insertion order, via the per-shard trajectory-span
-// interval indexes (current on every completed Put; served under shared
-// read locks).
+// [from, to], in insertion order — the canned TimeOverlap plan, answered
+// by the per-shard trajectory-span interval indexes (current on every
+// completed Put; served under shared read locks).
 func (s *Store) Overlapping(from, to time.Time) []core.Trajectory {
-	return s.gather(func(sh *shard, out *shardRows) {
-		sh.spanIdx.visit(from, to, func(ref int) {
-			out.add(sh.seqs[ref], sh.trajs[ref])
-		})
-	})
+	out, _ := s.Select(TimeOverlap(from, to))
+	return out
 }
 
 // ThroughSequence returns trajectories whose (deduplicated) cell sequence
-// contains the given cells consecutively in order. The run is interned
-// once (a cell the store has never seen short-circuits to nothing); each
-// shard intersects its integer posting lists and run-checks candidates
-// over the write-time encoded traces — integer compares, no strings.
+// contains the given cells consecutively in order — the canned Through
+// plan: the run is interned once (a cell the store has never seen
+// compiles to a statically empty plan), each shard intersects its integer
+// posting lists and run-checks candidates over the write-time encoded
+// traces — integer compares, no strings.
 func (s *Store) ThroughSequence(cells ...string) []core.Trajectory {
 	if len(cells) == 0 {
 		return nil
 	}
-	run := make([]int32, len(cells))
-	for i, c := range cells {
-		id, ok := s.cells.Lookup(c)
-		if !ok {
-			return nil
-		}
-		run[i] = id
-	}
-	return s.gather(func(sh *shard, out *shardRows) {
-		cand := sh.posting(run[0])
-		for _, id := range run[1:] {
-			if len(cand) == 0 {
-				return
-			}
-			cand = intersectSorted(cand, sh.posting(id))
-		}
-		var dedup []int32
-		for _, slot := range cand {
-			dedup = dedupInto(dedup[:0], sh.encs[slot])
-			if containsRun(dedup, run) {
-				out.add(sh.seqs[slot], sh.trajs[slot])
-			}
-		}
-	})
+	out, _ := s.Select(Through(cells...))
+	return out
 }
 
 // intersectSorted merges two ascending posting lists.

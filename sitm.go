@@ -310,6 +310,15 @@ func PrefixSpanInterned(dict *SymbolDict, seqs [][]int32, minSupport, maxLen int
 	return mining.PrefixSpanInterned(dict, seqs, minSupport, maxLen)
 }
 
+// PrefixSpanRegions mines frequent sequential patterns at the granularity
+// of a hierarchy layer: interned leaf sequences (e.g. from Store.Sequences)
+// roll up through a compiled RegionTable with run-collapsing before the
+// pattern-growth miner runs — "which wing-to-wing routes are frequent",
+// not just zone-to-zone.
+func PrefixSpanRegions(dict *SymbolDict, seqs [][]int32, rt *RegionTable, layer string, minSupport, maxLen int) ([]Pattern, error) {
+	return mining.PrefixSpanRegions(dict, seqs, rt, layer, minSupport, maxLen)
+}
+
 // SequencesOf extracts deduplicated cell sequences from trajectories.
 func SequencesOf(trajs []Trajectory) [][]string { return mining.SequencesOf(trajs) }
 
@@ -419,6 +428,77 @@ func NewStore() *Store { return store.New() }
 // count (0 = GOMAXPROCS). Every shard count is observably equivalent; more
 // shards buy write concurrency under multi-feed ingestion.
 func NewShardedStore(shards int) *Store { return store.NewSharded(shards) }
+
+// ---- Semantic query planner ------------------------------------------------
+
+// The store's composable query AST: predicates constructed with the Q*
+// functions below compile — per query, against the store's interned
+// dictionaries and attached hierarchy — into posting-list and bitmap
+// algebra executed per shard with selectivity-ordered plans
+// (Store.Select, Store.SelectMOs). The canned Overlapping/InCellDuring/
+// ThroughSequence methods are thin wrappers over the same engine.
+type (
+	// StoreQuery is one node of the store's query AST.
+	StoreQuery = store.Query
+	// RegionTable is a compiled hierarchy: dense region indexes over every
+	// hierarchy cell, ancestor closures, member sets (CompileRegions).
+	RegionTable = indoor.RegionTable
+	// RegionRef names a region as a (hierarchy layer, cell id) pair.
+	RegionRef = indoor.RegionRef
+)
+
+// Errors reported by region queries (Store.Select / Store.SelectMOs).
+var (
+	// ErrNoRegions: a region predicate ran on a store without an attached
+	// region table (Store.AttachRegions).
+	ErrNoRegions = store.ErrNoRegions
+	// ErrUnknownRegion: a region predicate named a (layer, id) pair the
+	// attached table does not contain.
+	ErrUnknownRegion = store.ErrUnknownRegion
+)
+
+// CompileRegions validates the hierarchy against the space graph and
+// compiles it into a frozen RegionTable — attach it to a store with
+// Store.AttachRegions to make every hierarchy cell a queryable region.
+func CompileRegions(sg *SpaceGraph, h Hierarchy) (*RegionTable, error) {
+	return indoor.CompileRegions(sg, h)
+}
+
+// QCell matches trajectories visiting the cell at least once.
+func QCell(name string) StoreQuery { return store.Cell(name) }
+
+// QRegion matches trajectories touching any cell of the region's subtree
+// (a hierarchy cell addressed as layer:id, e.g. QRegion("Wing", "denon")).
+func QRegion(layer, id string) StoreQuery { return store.Region(layer, id) }
+
+// QTimeOverlap matches trajectories whose span intersects [from, to].
+func QTimeOverlap(from, to time.Time) StoreQuery { return store.TimeOverlap(from, to) }
+
+// QByMO matches the trajectories of one moving object.
+func QByMO(mo string) StoreQuery { return store.ByMO(mo) }
+
+// QHasAnnotation matches trajectories annotated with value under key.
+func QHasAnnotation(key, value string) StoreQuery { return store.HasAnnotation(key, value) }
+
+// QThrough matches trajectories passing through the cells consecutively.
+func QThrough(cells ...string) StoreQuery { return store.Through(cells...) }
+
+// QThroughRegions matches trajectories passing through the regions in
+// order — "through Wing Denon then Floor denon:1"; regions may live at
+// different hierarchy layers.
+func QThroughRegions(refs ...RegionRef) StoreQuery { return store.ThroughRegions(refs...) }
+
+// QCellDuring matches trajectories with a presence interval at the cell
+// intersecting [from, to] (the InCellDuring predicate).
+func QCellDuring(cell string, from, to time.Time) StoreQuery {
+	return store.CellDuring(cell, from, to)
+}
+
+// QAnd matches trajectories satisfying every sub-query.
+func QAnd(qs ...StoreQuery) StoreQuery { return store.And(qs...) }
+
+// QOr matches trajectories satisfying at least one sub-query.
+func QOr(qs ...StoreQuery) StoreQuery { return store.Or(qs...) }
 
 // ---- Streaming ingestion -------------------------------------------------
 
