@@ -1,0 +1,108 @@
+// Command sitmlint runs the sitm invariant analyzers (internal/analysis)
+// over one or more Go package patterns. It is the static half of the
+// engine's correctness story: the race detector and golden tests catch an
+// invariant violation when it fires; sitmlint catches the code shape that
+// makes it possible.
+//
+// Usage:
+//
+//	sitmlint [-list] [-only a,b] [patterns...]
+//
+// With no patterns it checks ./... from the module root. Exit status is 1
+// if any diagnostic is reported, 2 on a driver error (load or type-check
+// failure), 0 when clean.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sitm/internal/analysis"
+	"sitm/internal/analysis/anz"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("sitmlint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	all := analysis.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	selected, err := selectAnalyzers(all, *only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sitmlint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := anz.ModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sitmlint:", err)
+		return 2
+	}
+	pkgs, err := anz.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sitmlint:", err)
+		return 2
+	}
+
+	diags, err := anz.Run(pkgs, selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sitmlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sitmlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers filters all by the -only flag, erroring on unknown names
+// so a typo in CI fails loudly instead of silently skipping a check.
+func selectAnalyzers(all []*anz.Analyzer, only string) ([]*anz.Analyzer, error) {
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*anz.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*anz.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-only selected no analyzers")
+	}
+	return out, nil
+}

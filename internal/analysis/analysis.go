@@ -1,0 +1,15 @@
+package analysis
+
+import "sitm/internal/analysis/anz"
+
+// All returns every sitmlint analyzer in stable (alphabetical) order —
+// the order cmd/sitmlint and the CI gate run them in.
+func All() []*anz.Analyzer {
+	return []*anz.Analyzer{
+		Hotpathalloc,
+		Lockguard,
+		Maporder,
+		Postingalias,
+		Snapshotbind,
+	}
+}

@@ -1,0 +1,57 @@
+package analysis_test
+
+import (
+	"sort"
+	"testing"
+
+	"sitm/internal/analysis"
+	"sitm/internal/analysis/anz"
+)
+
+// TestRepoInvariantsClean is the tier-1 self-gate: every analyzer runs
+// over the whole repository (testdata fixtures excluded by ./...) and
+// must report nothing. A regression that breaks lock discipline, snapshot
+// binding, hot-path allocation, output determinism or posting ownership
+// fails `go test` before it ever reaches CI's sitmlint step.
+func TestRepoInvariantsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repository")
+	}
+	root, err := anz.ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := anz.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; expected the whole repository", len(pkgs))
+	}
+	diags, err := anz.Run(pkgs, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestAllOrdered pins the analyzer registry: stable order, distinct
+// non-empty names, documented invariants.
+func TestAllOrdered(t *testing.T) {
+	all := analysis.All()
+	if len(all) != 5 {
+		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	}
+	names := make([]string, len(all))
+	for i, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("analyzer %d incompletely declared: %+v", i, a)
+		}
+		names[i] = a.Name
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("All() not in stable alphabetical order: %v", names)
+	}
+}

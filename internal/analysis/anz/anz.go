@@ -1,0 +1,237 @@
+// Package anz is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis driver shapes: an Analyzer owns a Run
+// function that inspects one type-checked package through a Pass and emits
+// Diagnostics. The engine's invariant checkers (internal/analysis) are
+// written against this API so they read exactly like stock go/analysis
+// analyzers, but the whole stack — loader included — builds from the
+// standard library alone, keeping the lint gate runnable in hermetic
+// environments with no module downloads.
+package anz
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects the package presented by pass and reports findings
+	// through pass.Reportf. A non-nil error aborts the whole run (reserve
+	// it for internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// A Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes every analyzer over every package and returns the combined
+// findings sorted by position (filename, line, column, analyzer).
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// ---- Directive comments -------------------------------------------------
+
+// The analyzers are driven by machine-readable marker comments of the form
+//
+//	//sitm:<name> [args...]
+//
+// attached to struct fields, type declarations, functions, or statements.
+// Directive extracts the first such marker from a comment group.
+
+// Directive returns the arguments of the //sitm:<name> marker in cg, and
+// whether the marker is present (a bare marker returns "", true).
+func Directive(cg *ast.CommentGroup, name string) (args string, ok bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, c := range cg.List {
+		if a, hit := directiveText(c.Text, name); hit {
+			return a, true
+		}
+	}
+	return "", false
+}
+
+// directiveText matches one comment's raw text against //sitm:<name>.
+func directiveText(text, name string) (args string, ok bool) {
+	const prefix = "//sitm:"
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	rest := text[len(prefix):]
+	if !strings.HasPrefix(rest, name) {
+		return "", false
+	}
+	rest = rest[len(name):]
+	if rest == "" {
+		return "", true
+	}
+	if rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // longer directive name sharing the prefix
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// DirectiveLines collects the source lines carrying a //sitm:<name> marker
+// anywhere in the file (directives on statements inside function bodies are
+// not attached to AST nodes, so statement-level markers are matched by
+// line). The returned positions are the marker comments' own positions.
+type DirectiveLines struct {
+	lines map[int]token.Pos
+}
+
+// FileDirectives scans every comment of f for //sitm:<name> markers.
+func FileDirectives(fset *token.FileSet, f *ast.File, name string) DirectiveLines {
+	dl := DirectiveLines{lines: make(map[int]token.Pos)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if _, ok := directiveText(c.Text, name); ok {
+				dl.lines[fset.Position(c.Pos()).Line] = c.Pos()
+			}
+		}
+	}
+	return dl
+}
+
+// Covers reports whether a marker sits on the given line or the line above
+// it — the two spots a statement- or literal-level directive may occupy.
+func (dl DirectiveLines) Covers(line int) bool {
+	if dl.lines == nil {
+		return false
+	}
+	_, onLine := dl.lines[line]
+	_, above := dl.lines[line-1]
+	return onLine || above
+}
+
+// ---- Shared AST helpers -------------------------------------------------
+
+// BasePath flattens a selector chain to its dotted base path: for the
+// expression sh.byCell (an *ast.SelectorExpr), the base of the field access
+// is "sh"; for s.regions.rt it is "s.regions". Parenthesis and pointer
+// dereference wrappers are looked through. The empty string marks a base
+// that is not a pure identifier chain (an index expression, a call, …):
+// such accesses cannot be matched to a lock statement lexically.
+func BasePath(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := BasePath(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return BasePath(x.X)
+	case *ast.StarExpr:
+		return BasePath(x.X)
+	}
+	return ""
+}
+
+// Deref strips pointers off a type.
+func Deref(t types.Type) types.Type {
+	for {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+// NamedOf returns the named type of t, looking through one level of
+// pointer, or nil.
+func NamedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsPkgCall reports whether call invokes a function of the package with the
+// given import path (e.g. "fmt", "sitm/internal/parallel"), returning the
+// function name.
+func IsPkgCall(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,83 @@
+package anz
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestDirectiveText(t *testing.T) {
+	cases := []struct {
+		text, name string
+		args       string
+		ok         bool
+	}{
+		{"//sitm:locked", "locked", "", true},
+		{"//sitm:guardedby mu", "guardedby", "mu", true},
+		{"//sitm:orderok  counts only ", "orderok", "counts only", true},
+		{"// sitm:locked", "locked", "", false},     // not a directive (space)
+		{"//sitm:lockedby mu", "locked", "", false}, // longer name, same prefix
+		{"//sitm:locked", "guardedby", "", false},   // wrong name
+		{"//sitm:hotpath", "hotpath", "", true},
+		{"// plain comment", "locked", "", false},
+	}
+	for _, c := range cases {
+		args, ok := directiveText(c.text, c.name)
+		if args != c.args || ok != c.ok {
+			t.Errorf("directiveText(%q, %q) = (%q, %v), want (%q, %v)",
+				c.text, c.name, args, ok, c.args, c.ok)
+		}
+	}
+}
+
+func TestBasePath(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"sh", "sh"},
+		{"sh.mu", "sh.mu"},
+		{"s.regions.mu", "s.regions.mu"},
+		{"(s).regions", "s.regions"},
+		{"(*p).mu", "p.mu"},
+		{"xs[0].mu", ""},
+		{"f().mu", ""},
+	}
+	for _, c := range cases {
+		e, err := parser.ParseExpr(c.src)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", c.src, err)
+		}
+		if got := BasePath(e); got != c.want {
+			t.Errorf("BasePath(%s) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestFileDirectivesCovers(t *testing.T) {
+	const src = `package p
+
+func f() {
+	//sitm:orderok reason
+	_ = 1
+	_ = 2
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl := FileDirectives(fset, f, "orderok")
+	if !dl.Covers(4) { // the marker's own line
+		t.Error("marker line not covered")
+	}
+	if !dl.Covers(5) { // the statement below it
+		t.Error("line below marker not covered")
+	}
+	if dl.Covers(6) {
+		t.Error("unrelated line covered")
+	}
+	var _ ast.Node = f // keep go/ast imported alongside parser helpers
+}

@@ -1,0 +1,125 @@
+// Package anztest runs an anz.Analyzer over fixture packages and checks
+// its diagnostics against `// want` expectations embedded in the fixture
+// sources — the analysistest contract, reimplemented over the stdlib-only
+// anz driver. A fixture line carrying
+//
+//	x := bad() // want `regexp`
+//
+// expects exactly one diagnostic on that line whose message matches the
+// back-quoted regular expression; several expectations on one line expect
+// several diagnostics. Every diagnostic must be wanted and every want must
+// be matched, so each analyzer's fixtures necessarily cover both flagged
+// and passing shapes.
+package anztest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sitm/internal/analysis/anz"
+)
+
+// want is one expectation: a diagnostic on file:line matching rx.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// wantRE matches the back-quoted patterns of a `// want` comment.
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// Run loads the fixture packages named by import-path patterns (relative
+// to the module root) and asserts the analyzer's diagnostics equal the
+// fixtures' want expectations.
+func Run(t *testing.T, a *anz.Analyzer, patterns ...string) {
+	t.Helper()
+	root, err := anz.ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := anz.Load(root, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages matched %v", patterns)
+	}
+	wants := collectWants(t, pkgs)
+	diags, err := anz.Run(pkgs, []*anz.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// collectWants scans every fixture comment for want expectations.
+func collectWants(t *testing.T, pkgs []*anz.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWant(t, pkg.Fset, c)...)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWant extracts the expectations of one comment, if it is a want.
+func parseWant(t *testing.T, fset *token.FileSet, c *ast.Comment) []*want {
+	t.Helper()
+	text, ok := strings.CutPrefix(c.Text, "// want ")
+	if !ok {
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	ms := wantRE.FindAllStringSubmatch(text, -1)
+	if len(ms) == 0 {
+		t.Fatalf("%s: malformed want comment %q (patterns must be back-quoted)", pos, c.Text)
+	}
+	var out []*want
+	for _, m := range ms {
+		rx, err := regexp.Compile(m[1])
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+		}
+		out = append(out, &want{file: pos.Filename, line: pos.Line, rx: rx})
+	}
+	return out
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// pattern matches the message.
+func claim(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.rx.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Fixture builds the import-path pattern of a fixture package, e.g.
+// Fixture("lockguard", "a") → "sitm/internal/analysis/testdata/src/lockguard/a".
+func Fixture(analyzer string, pkg string) string {
+	return fmt.Sprintf("sitm/internal/analysis/testdata/src/%s/%s", analyzer, pkg)
+}

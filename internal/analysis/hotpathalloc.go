@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sitm/internal/analysis/anz"
+)
+
+// Hotpathalloc keeps the interned kernels interned. Functions annotated
+//
+//	//sitm:hotpath
+//
+// are the engine's per-pair / per-slot inner loops — the similarity DPs,
+// the PrefixSpan projection machinery, the posting-list algebra — whose
+// whole performance story (E6–E8) is that after write-time interning they
+// touch only dense int32 data. Inside them (and their nested literals)
+// the analyzer rejects the four ways string traffic creeps back in:
+//
+//   - any call into package fmt (formatting allocates and reflects);
+//   - conversions to string (string(b), string(r) allocate);
+//   - string-keyed map reads, writes, or ranges (hashing + possible
+//     allocation per op; the interned design replaces these with dense
+//     slices indexed by id);
+//   - append onto a []string (per-element string headers).
+var Hotpathalloc = &anz.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "check //sitm:hotpath functions stay free of fmt calls, string conversions, string-keyed maps and string appends",
+	Run:  runHotpathalloc,
+}
+
+func runHotpathalloc(pass *anz.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, hot := anz.Directive(fd.Doc, "hotpath"); !hot {
+				continue
+			}
+			checkHotBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkHotBody(pass *anz.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := anz.IsPkgCall(info, x, "fmt"); ok {
+				pass.Reportf(x.Pos(), "fmt.%s in hot path (allocates and reflects); format outside the kernel", name)
+			}
+			checkStringConversion(pass, x)
+			checkStringAppend(pass, x)
+		case *ast.IndexExpr:
+			if keyIsString(info.Types[x.X].Type) {
+				pass.Reportf(x.Pos(), "string-keyed map access in hot path; intern the key and index a dense slice")
+			}
+		case *ast.RangeStmt:
+			if keyIsString(info.Types[x.X].Type) {
+				pass.Reportf(x.Pos(), "range over string-keyed map in hot path; intern the keys and iterate a dense slice")
+			}
+		}
+		return true
+	})
+}
+
+// checkStringConversion flags string(x) conversions of non-string operands.
+func checkStringConversion(pass *anz.Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	if !isStringType(tv.Type) {
+		return
+	}
+	argT := pass.TypesInfo.Types[call.Args[0]].Type
+	if argT == nil || isStringType(argT) {
+		return
+	}
+	pass.Reportf(call.Pos(), "string(%s) conversion in hot path allocates; keep the data interned", argT)
+}
+
+// checkStringAppend flags append onto a string slice.
+func checkStringAppend(pass *anz.Pass, call *ast.CallExpr) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	t := pass.TypesInfo.Types[call.Args[0]].Type
+	if t == nil {
+		return
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok || !isStringType(sl.Elem()) {
+		return
+	}
+	pass.Reportf(call.Pos(), "append of strings in hot path; emit interned ids and decode once at the boundary")
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func keyIsString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	m, ok := t.Underlying().(*types.Map)
+	return ok && isStringType(m.Key())
+}

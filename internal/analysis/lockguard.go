@@ -1,0 +1,310 @@
+// Package analysis hosts sitmlint's invariant checkers: custom analyzers
+// (built on the stdlib-only anz driver) that machine-check the unwritten
+// rules the storage and analytics engines depend on — lock discipline over
+// shard state, frozen-snapshot binding, allocation-free hot paths,
+// deterministic output ordering, and posting-list ownership. Each analyzer
+// documents its invariant in Doc, is exercised by analysistest-style
+// fixtures under testdata/src, and runs over the whole repository in CI
+// (cmd/sitmlint) and in tier-1 (TestRepoInvariantsClean).
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sitm/internal/analysis/anz"
+)
+
+// Lockguard enforces the shard-lock discipline of the storage engine.
+//
+// Fields annotated
+//
+//	//sitm:guardedby <mutex>
+//
+// (where <mutex> names a sync.Mutex/RWMutex field of the same struct) may
+// only be accessed in functions that lexically acquire that mutex on the
+// same receiver path first, or in functions annotated //sitm:locked —
+// the contract "my caller holds the lock", which is how the shard's
+// insert/posting helpers and the per-shard query executors document
+// themselves. Additionally, while one of those guard mutexes is held, the
+// critical section must stay compute-only: no goroutine launches, channel
+// operations, select statements, parallel.* fan-outs, or fmt/os I/O — a
+// shard lock is held on every write and every cross-shard query, so any
+// blocking operation inside it stalls the whole engine.
+var Lockguard = &anz.Analyzer{
+	Name: "lockguard",
+	Doc:  "check //sitm:guardedby fields are accessed under their mutex and critical sections stay compute-only",
+	Run:  runLockguard,
+}
+
+// guardedField records one annotated field: its defining object and the
+// name of the mutex field guarding it.
+type guardedField struct {
+	mutex string
+}
+
+func runLockguard(pass *anz.Pass) error {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		lockedLines := anz.FileDirectives(pass.Fset, f, "locked")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lg := &lockguardWalker{
+				pass:        pass,
+				guarded:     guarded,
+				lockedLines: lockedLines,
+			}
+			_, fnLocked := anz.Directive(fd.Doc, "locked")
+			lg.checkFunc(fd.Body, fnLocked, nil)
+		}
+	}
+	return nil
+}
+
+// collectGuarded maps field objects to their guard annotations, validating
+// that the named mutex exists in the same struct.
+func collectGuarded(pass *anz.Pass) map[types.Object]guardedField {
+	guarded := make(map[types.Object]guardedField)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := make(map[string]bool)
+			for _, fl := range st.Fields.List {
+				for _, name := range fl.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, fl := range st.Fields.List {
+				mux, ok := anz.Directive(fl.Doc, "guardedby")
+				if !ok {
+					mux, ok = anz.Directive(fl.Comment, "guardedby")
+				}
+				if !ok {
+					continue
+				}
+				mux = firstWord(mux)
+				if !fieldNames[mux] {
+					pass.Reportf(fl.Pos(), "guardedby names %q, which is not a field of this struct", mux)
+					continue
+				}
+				for _, name := range fl.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guarded[obj] = guardedField{mutex: mux}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func firstWord(s string) string {
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// lockguardWalker walks one top-level function, tracking mutex events per
+// lexical scope (the function body and each nested function literal).
+type lockguardWalker struct {
+	pass        *anz.Pass
+	guarded     map[types.Object]guardedField
+	lockedLines anz.DirectiveLines
+
+	// lockSeen records, per mutex path ("sh.mu", "s.regions.mu"), the
+	// position of every acquisition in the whole top-level function. The
+	// guarded-access check is deliberately flat and lexical: an access is
+	// fine if the right mutex was acquired somewhere before it. This
+	// over-approximates reachability but never flags the engine's locking
+	// idioms, and forgetting to lock at all — the bug class that matters —
+	// is always caught.
+	lockSeen map[string][]token.Pos
+}
+
+// mutexEvent is one Lock/Unlock call in a scope, in lexical order.
+type mutexEvent struct {
+	path   string
+	pos    token.Pos
+	unlock bool
+}
+
+// checkFunc analyses one function scope. body is the scope's block,
+// locked marks a //sitm:locked annotation on this scope or any enclosing
+// one, and outerLocks carries the lock acquisitions of enclosing scopes.
+func (lg *lockguardWalker) checkFunc(body *ast.BlockStmt, locked bool, outerLocks map[string][]token.Pos) {
+	if lg.lockSeen == nil {
+		lg.lockSeen = make(map[string][]token.Pos)
+	}
+	for path, ps := range outerLocks {
+		lg.lockSeen[path] = append(lg.lockSeen[path], ps...)
+	}
+	var events []mutexEvent
+	// First pass over this scope (not descending into nested literals):
+	// collect the mutex events that define the critical sections.
+	lg.scanScope(body, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if ev, ok := lg.mutexEvent(call); ok {
+				events = append(events, ev)
+				if !ev.unlock {
+					lg.lockSeen[ev.path] = append(lg.lockSeen[ev.path], ev.pos)
+				}
+			}
+		}
+	})
+	// Second pass: guarded accesses and critical-section hygiene, in this
+	// scope and (for hygiene) every nested literal, since a literal invoked
+	// inside the section runs under the lock.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// Nested scope: recurse with this scope's locks inherited, then
+			// stop the outer walk (hygiene inside the literal is re-checked
+			// below against this scope's sections via position containment).
+			inherited := make(map[string][]token.Pos, len(lg.lockSeen))
+			for p, ps := range lg.lockSeen {
+				for _, pos := range ps {
+					if pos < x.Pos() {
+						inherited[p] = append(inherited[p], pos)
+					}
+				}
+			}
+			nested := &lockguardWalker{pass: lg.pass, guarded: lg.guarded, lockedLines: lg.lockedLines}
+			nested.checkFunc(x.Body, locked || lg.litLocked(x), inherited)
+			return false
+		case *ast.SelectorExpr:
+			lg.checkAccess(x, locked)
+		}
+		return true
+	})
+	lg.checkSections(body, events)
+}
+
+// scanScope visits every node of block except nested function literals.
+func (lg *lockguardWalker) scanScope(block *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(block, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// litLocked reports whether a function literal carries a //sitm:locked
+// marker on its own line or the line above.
+func (lg *lockguardWalker) litLocked(fl *ast.FuncLit) bool {
+	return lg.lockedLines.Covers(lg.pass.Fset.Position(fl.Pos()).Line)
+}
+
+// mutexEvent decodes calls of the form <path>.Lock/RLock/Unlock/RUnlock().
+func (lg *lockguardWalker) mutexEvent(call *ast.CallExpr) (mutexEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return mutexEvent{}, false
+	}
+	var unlock bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+	case "Unlock", "RUnlock":
+		unlock = true
+	default:
+		return mutexEvent{}, false
+	}
+	path := anz.BasePath(sel.X)
+	if path == "" {
+		return mutexEvent{}, false
+	}
+	return mutexEvent{path: path, pos: call.Pos(), unlock: unlock}, true
+}
+
+// checkAccess flags a guarded-field access with no prior acquisition of
+// its mutex.
+func (lg *lockguardWalker) checkAccess(sel *ast.SelectorExpr, locked bool) {
+	obj := lg.pass.TypesInfo.Uses[sel.Sel]
+	gf, ok := lg.guarded[obj]
+	if !ok {
+		return
+	}
+	if locked {
+		return
+	}
+	base := anz.BasePath(sel.X)
+	if base == "" {
+		// The base is not an identifier chain (an index or call result);
+		// the lexical matcher cannot pair it with a lock statement, so
+		// require the function to declare itself //sitm:locked instead.
+		lg.pass.Reportf(sel.Pos(), "access to guarded field %s through a non-identifier base; hold %s or annotate the function //sitm:locked", sel.Sel.Name, gf.mutex)
+		return
+	}
+	want := base + "." + gf.mutex
+	for _, pos := range lg.lockSeen[want] {
+		if pos < sel.Pos() {
+			return
+		}
+	}
+	lg.pass.Reportf(sel.Pos(), "field %s.%s is guarded by %s and accessed without %s held (lock it, or annotate the function //sitm:locked)", base, sel.Sel.Name, gf.mutex, want)
+}
+
+// checkSections enforces critical-section hygiene: between a guard mutex's
+// Lock and its next lexical Unlock (or the scope's end, covering deferred
+// unlocks), no goroutine launches, channel ops, selects, parallel.* calls,
+// or fmt/os I/O.
+func (lg *lockguardWalker) checkSections(body *ast.BlockStmt, events []mutexEvent) {
+	for i, ev := range events {
+		if ev.unlock {
+			continue
+		}
+		end := body.End()
+		for _, later := range events[i+1:] {
+			if later.unlock && later.path == ev.path {
+				end = later.pos
+				break
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if n == nil || n.Pos() <= ev.pos || n.Pos() >= end {
+				// Keep walking: children may still land inside the section.
+				return true
+			}
+			switch x := n.(type) {
+			case *ast.GoStmt:
+				lg.pass.Reportf(x.Pos(), "goroutine launched while %s is held", ev.path)
+			case *ast.SendStmt:
+				lg.pass.Reportf(x.Pos(), "channel send while %s is held", ev.path)
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					lg.pass.Reportf(x.Pos(), "channel receive while %s is held", ev.path)
+				}
+			case *ast.SelectStmt:
+				lg.pass.Reportf(x.Pos(), "select while %s is held", ev.path)
+			case *ast.CallExpr:
+				if name, ok := anz.IsPkgCall(lg.pass.TypesInfo, x, "sitm/internal/parallel"); ok {
+					lg.pass.Reportf(x.Pos(), "parallel.%s fan-out while %s is held", name, ev.path)
+				}
+				if name, ok := anz.IsPkgCall(lg.pass.TypesInfo, x, "fmt"); ok &&
+					(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+					lg.pass.Reportf(x.Pos(), "fmt.%s I/O while %s is held", name, ev.path)
+				}
+				if name, ok := anz.IsPkgCall(lg.pass.TypesInfo, x, "os"); ok {
+					lg.pass.Reportf(x.Pos(), "os.%s I/O while %s is held", name, ev.path)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"sitm/internal/analysis"
+	"sitm/internal/analysis/anz/anztest"
+)
+
+func TestLockguard(t *testing.T) {
+	anztest.Run(t, analysis.Lockguard, anztest.Fixture("lockguard", "a"))
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sitm/internal/analysis/anz"
+)
+
+// Maporder protects the engine's determinism story. Every golden file,
+// differential oracle, and "bit-identical across shard counts ×
+// GOMAXPROCS" property test assumes that no map-iteration order ever
+// leaks into output. The analyzer flags two sink shapes inside a range
+// over a map:
+//
+//   - writes to an output stream (fmt.Fprint*/Print*, Write/WriteString/
+//     WriteRune/WriteByte method calls) — always flagged, since the bytes
+//     are gone before any sort could fix them;
+//   - appends to a slice declared outside the loop — flagged unless a
+//     sort.* / slices.Sort* call follows the loop in the same function
+//     (the collect-then-sort idiom), since the slice otherwise carries
+//     the nondeterministic order outward.
+//
+// A range whose order is genuinely immaterial can be annotated
+// //sitm:orderok <reason> on the range statement's line or the line above.
+var Maporder = &anz.Analyzer{
+	Name: "maporder",
+	Doc:  "check map ranges never leak iteration order into slices or writers without a sort",
+	Run:  runMaporder,
+}
+
+func runMaporder(pass *anz.Pass) error {
+	for _, f := range pass.Files {
+		orderok := anz.FileDirectives(pass.Fset, f, "orderok")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if _, isMap := pass.TypesInfo.Types[rng.X].Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if orderok.Covers(pass.Fset.Position(rng.Pos()).Line) {
+					return true
+				}
+				checkMapRange(pass, fd.Body, rng)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkMapRange(pass *anz.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	sorted := sortFollows(pass, fnBody, rng)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isWriterSink(pass, x) {
+				pass.Reportf(x.Pos(), "write to an output stream inside a map range: iteration order leaks into the output; collect, sort, then write")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if i < len(x.Lhs) && isOrderCarryingAppend(pass, rng, x.Lhs[i], rhs) && !sorted {
+					pass.Reportf(x.Pos(), "append to a slice inside a map range with no sort after the loop: iteration order escapes; sort the result or annotate //sitm:orderok")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isWriterSink matches stream-writing calls: fmt print family and
+// Write*/WriteString/... methods on any receiver.
+func isWriterSink(pass *anz.Pass, call *ast.CallExpr) bool {
+	if name, ok := anz.IsPkgCall(pass.TypesInfo, call, "fmt"); ok {
+		// Print/Println and Fprint* write streams; Sprint* only formats.
+		return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		// Method only (package-level Write functions are handled above).
+		return pass.TypesInfo.Selections[sel] != nil
+	}
+	return false
+}
+
+// isOrderCarryingAppend reports whether rhs is append(dst, ...) where dst
+// resolves to a slice variable declared outside the range statement — the
+// shape that carries iteration order out of the loop.
+func isOrderCarryingAppend(pass *anz.Pass, rng *ast.RangeStmt, lhs, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	target, _ := rootIdent(lhs)
+	if target == nil {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[target]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[target]
+	}
+	if obj == nil {
+		return false
+	}
+	if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+		return false
+	}
+	// Declared inside the loop: order cannot outlive one iteration.
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortFollows reports whether a sort.* or slices.Sort* call appears after
+// the range statement in the enclosing function body.
+func sortFollows(pass *anz.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if _, ok := anz.IsPkgCall(pass.TypesInfo, call, "sort"); ok {
+			found = true
+		}
+		if name, ok := anz.IsPkgCall(pass.TypesInfo, call, "slices"); ok && strings.HasPrefix(name, "Sort") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

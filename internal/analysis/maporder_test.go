@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"sitm/internal/analysis"
+	"sitm/internal/analysis/anz/anztest"
+)
+
+func TestMaporder(t *testing.T) {
+	anztest.Run(t, analysis.Maporder, anztest.Fixture("maporder", "a"))
+}

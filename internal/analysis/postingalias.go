@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sitm/internal/analysis/anz"
+)
+
+// Postingalias tracks ownership of the shard's index slices. Posting
+// lists and encoded columns annotated
+//
+//	//sitm:owned
+//
+// belong to their shard: they are read and appended under the shard lock,
+// and a reference that escapes the lock scope is a use-after-unlock race
+// waiting for the next writer's append to reallocate (or worse, not
+// reallocate and be observed mid-mutation). Returning such a slice is
+// therefore an explicit, annotated act:
+//
+//   - a function returning an owned field (or an element/subslice of one,
+//     or the result of another //sitm:aliases function) must itself be
+//     annotated //sitm:aliases — the machine-checked version of the
+//     "returned slice is live, do not mutate, do not hold past the lock"
+//     comments the store used to rely on;
+//   - an exported function must never carry //sitm:aliases: owned data
+//     crossing the package boundary must be copied first (append to a
+//     fresh slice), because no caller outside the package holds the lock.
+var Postingalias = &anz.Analyzer{
+	Name: "postingalias",
+	Doc:  "check //sitm:owned shard slices only escape through //sitm:aliases-annotated unexported functions",
+	Run:  runPostingalias,
+}
+
+func runPostingalias(pass *anz.Pass) error {
+	owned := collectOwned(pass)
+	if len(owned) == 0 {
+		return nil
+	}
+	aliases := collectAliases(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fnObj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if aliases[fnObj] {
+				if fd.Name.IsExported() {
+					pass.Reportf(fd.Name.Pos(), "exported function %s is annotated //sitm:aliases: owned shard data must be copied before crossing the package boundary", fd.Name.Name)
+				}
+				continue // the annotation acknowledges the aliasing
+			}
+			checkReturns(pass, fd, owned, aliases)
+		}
+	}
+	return nil
+}
+
+// collectOwned maps //sitm:owned slice/map field objects.
+func collectOwned(pass *anz.Pass) map[types.Object]bool {
+	owned := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fl := range st.Fields.List {
+				_, ok := anz.Directive(fl.Doc, "owned")
+				if !ok {
+					_, ok = anz.Directive(fl.Comment, "owned")
+				}
+				if !ok {
+					continue
+				}
+				for _, name := range fl.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						owned[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return owned
+}
+
+// collectAliases maps function objects annotated //sitm:aliases.
+func collectAliases(pass *anz.Pass) map[*types.Func]bool {
+	aliases := make(map[*types.Func]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if _, ok := anz.Directive(fd.Doc, "aliases"); !ok {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				aliases[fn] = true
+			}
+		}
+	}
+	return aliases
+}
+
+// checkReturns flags return statements leaking owned slices from an
+// unannotated function. Nested literals are included: a closure returning
+// an owned list leaks it just the same.
+func checkReturns(pass *anz.Pass, fd *ast.FuncDecl, owned map[types.Object]bool, aliases map[*types.Func]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if why, leak := aliasingExpr(pass, res, owned, aliases); leak {
+				pass.Reportf(res.Pos(), "returning %s without a copy; copy it (append to a fresh slice) or annotate the function //sitm:aliases", why)
+			}
+		}
+		return true
+	})
+}
+
+// aliasingExpr reports whether e evaluates to a view of an owned slice:
+// the field itself, an element or subslice of it, or a call into an
+// //sitm:aliases function.
+func aliasingExpr(pass *anz.Pass, e ast.Expr, owned map[types.Object]bool, aliases map[*types.Func]bool) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if owned[pass.TypesInfo.Uses[x.Sel]] {
+			return "owned field " + x.Sel.Name, true
+		}
+	case *ast.IndexExpr:
+		return aliasingExpr(pass, x.X, owned, aliases)
+	case *ast.SliceExpr:
+		return aliasingExpr(pass, x.X, owned, aliases)
+	case *ast.CallExpr:
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+			if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && aliases[fn] {
+				return "aliasing result of " + fn.Name(), true
+			}
+		}
+		if id, ok := x.Fun.(*ast.Ident); ok {
+			if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok && aliases[fn] {
+				return "aliasing result of " + fn.Name(), true
+			}
+		}
+	}
+	return "", false
+}

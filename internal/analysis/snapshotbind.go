@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sitm/internal/analysis/anz"
+)
+
+// Snapshotbind enforces the frozen-snapshot contract of the dictionary
+// layer: values returned by a Freeze() method (symtab.SyncDict.Freeze's
+// decode-only *Dict views, and anything shaped like them) are immutable
+// and identity-keyed. Plan caches, region-closure binds and CellSimTables
+// are all invalidated by pointer comparison of the snapshot — Freeze is
+// pointer-stable while the alphabet is unchanged — so structural
+// comparison is both wasteful (O(dict) walk) and wrong (two different
+// snapshots of equal content must not be conflated), and any mutation
+// through a snapshot corrupts every consumer sharing it. The analyzer
+// flags:
+//
+//   - reflect.DeepEqual with a snapshot-typed operand (compare pointers);
+//   - assignments or index writes through a variable bound to a Freeze()
+//     result;
+//   - calls to interning/encoding mutators (Intern, Encode*) on such a
+//     variable — these panic at runtime on frozen dictionaries; the
+//     analyzer moves the failure to compile-check time.
+//
+// A type is snapshot-typed if it is sitm/internal/symtab.Dict or the
+// pointed-to result type of any Freeze() call in the package.
+var Snapshotbind = &anz.Analyzer{
+	Name: "snapshotbind",
+	Doc:  "check Freeze() snapshots are never mutated and compared only by pointer identity",
+	Run:  runSnapshotbind,
+}
+
+// knownSnapshotTypes always count as snapshot-typed, even in packages that
+// never call Freeze themselves.
+var knownSnapshotTypes = map[string]bool{
+	"sitm/internal/symtab.Dict": true,
+}
+
+// snapshotMutators are methods that grow a dictionary and therefore panic
+// on a frozen view.
+var snapshotMutators = map[string]bool{
+	"Intern": true, "Encode": true, "EncodeInto": true,
+	"EncodeTrace": true, "EncodeAll": true,
+}
+
+func runSnapshotbind(pass *anz.Pass) error {
+	snapTypes := collectSnapshotTypes(pass)
+	snapVars := collectSnapshotVars(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkDeepEqual(pass, x, snapTypes)
+				checkMutatorCall(pass, x, snapVars)
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					checkMutation(pass, lhs, snapVars)
+				}
+			case *ast.IncDecStmt:
+				checkMutation(pass, x.X, snapVars)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectSnapshotTypes unions the built-in snapshot types with the
+// pointed-to result type of every Freeze() call in the package.
+func collectSnapshotTypes(pass *anz.Pass) map[*types.Named]bool {
+	snap := make(map[*types.Named]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Freeze" {
+				if named := anz.NamedOf(pass.TypesInfo.Types[call].Type); named != nil {
+					snap[named] = true
+				}
+			}
+			return true
+		})
+	}
+	return snap
+}
+
+// isSnapshotType reports whether t (possibly behind a pointer) is
+// snapshot-typed.
+func isSnapshotType(t types.Type, snap map[*types.Named]bool) bool {
+	named := anz.NamedOf(t)
+	if named == nil {
+		return false
+	}
+	if snap[named] {
+		return true
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return knownSnapshotTypes[obj.Pkg().Path()+"."+obj.Name()]
+}
+
+// collectSnapshotVars finds every variable object bound to a Freeze()
+// result anywhere in the package (flow-insensitive: once a name holds a
+// snapshot, mutations through it are flagged wherever they appear).
+func collectSnapshotVars(pass *anz.Pass) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Freeze" {
+			return
+		}
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			vars[obj] = true
+		} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			vars[obj] = true
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) == len(x.Rhs) {
+					for i := range x.Lhs {
+						bind(x.Lhs[i], x.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(x.Names) == len(x.Values) {
+					for i := range x.Names {
+						bind(x.Names[i], x.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return vars
+}
+
+// checkDeepEqual flags reflect.DeepEqual over snapshot-typed operands.
+func checkDeepEqual(pass *anz.Pass, call *ast.CallExpr, snap map[*types.Named]bool) {
+	if name, ok := anz.IsPkgCall(pass.TypesInfo, call, "reflect"); !ok || name != "DeepEqual" {
+		return
+	}
+	for _, arg := range call.Args {
+		t := pass.TypesInfo.Types[arg].Type
+		if t != nil && isSnapshotType(t, snap) {
+			pass.Reportf(call.Pos(), "reflect.DeepEqual on a frozen snapshot; snapshots are identity-keyed, compare pointers with ==")
+			return
+		}
+	}
+}
+
+// checkMutatorCall flags interning mutators invoked on a snapshot-bound
+// variable.
+func checkMutatorCall(pass *anz.Pass, call *ast.CallExpr, vars map[types.Object]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !snapshotMutators[sel.Sel.Name] {
+		return
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || !vars[pass.TypesInfo.Uses[id]] {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s.%s on a frozen snapshot (panics at runtime); intern through the live dictionary instead", id.Name, sel.Sel.Name)
+}
+
+// checkMutation flags writes through a snapshot-bound variable: snap.f = x,
+// snap.f[i] = x, snap.m[k] = v and friends.
+func checkMutation(pass *anz.Pass, lhs ast.Expr, vars map[types.Object]bool) {
+	root, steps := rootIdent(lhs)
+	if root == nil || steps == 0 {
+		return
+	}
+	if !vars[pass.TypesInfo.Uses[root]] {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "write through frozen snapshot %s; snapshots are immutable and shared by every consumer", root.Name)
+}
+
+// rootIdent peels selector/index/slice steps off an lvalue, returning the
+// base identifier and how many steps were peeled.
+func rootIdent(e ast.Expr) (*ast.Ident, int) {
+	steps := 0
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, steps
+		case *ast.SelectorExpr:
+			e = x.X
+			steps++
+		case *ast.IndexExpr:
+			e = x.X
+			steps++
+		case *ast.SliceExpr:
+			e = x.X
+			steps++
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, steps
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"sitm/internal/analysis"
+	"sitm/internal/analysis/anz/anztest"
+)
+
+func TestSnapshotbind(t *testing.T) {
+	anztest.Run(t, analysis.Snapshotbind, anztest.Fixture("snapshotbind", "a"))
+}

@@ -1,0 +1,41 @@
+// Package a exercises the hotpathalloc analyzer: annotated kernels must
+// stay free of fmt calls, string conversions, string-keyed maps and
+// string appends; unannotated code may do all of it.
+package a
+
+import "fmt"
+
+// sum is a clean kernel: dense int32 data only.
+//
+//sitm:hotpath
+func sum(ids []int32) int32 {
+	var total int32
+	for _, id := range ids {
+		total += id
+	}
+	return total
+}
+
+// lookup backslides into string traffic in every way the analyzer knows.
+//
+//sitm:hotpath
+func lookup(names map[string]int32, raw []byte, ids []int32) int32 {
+	fmt.Println(len(ids))  // want `fmt\.Println in hot path`
+	key := string(raw)     // want `conversion in hot path allocates`
+	v := names[key]        // want `string-keyed map access in hot path`
+	for k := range names { // want `range over string-keyed map in hot path`
+		_ = k
+	}
+	var labels []string
+	labels = append(labels, key) // want `append of strings in hot path`
+	return v + int32(len(labels))
+}
+
+// cold does the same work unannotated: no findings.
+func cold(names map[string]int32, raw []byte) int32 {
+	key := string(raw)
+	out := make([]string, 0, 1)
+	out = append(out, key)
+	fmt.Println(out)
+	return names[key]
+}

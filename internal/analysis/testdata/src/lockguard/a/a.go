@@ -1,0 +1,115 @@
+// Package a exercises the lockguard analyzer: guarded fields, locked
+// helpers, nested literals, and critical-section hygiene.
+package a
+
+import (
+	"fmt"
+	"sync"
+
+	"sitm/internal/parallel"
+)
+
+type counter struct {
+	mu sync.Mutex
+	//sitm:guardedby mu
+	n int
+}
+
+type badguard struct {
+	mu sync.Mutex
+	//sitm:guardedby lock
+	x int // want `guardedby names "lock", which is not a field of this struct`
+}
+
+func (b *badguard) read() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.x
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) deferredRead() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) racyRead() int {
+	return c.n // want `field c\.n is guarded by mu and accessed without c\.mu held`
+}
+
+// lockedRead documents that its caller holds the lock.
+//
+//sitm:locked
+func (c *counter) lockedRead() int {
+	return c.n
+}
+
+func sum(cs []*counter) int {
+	total := 0
+	for _, c := range cs {
+		c.mu.Lock()
+		total += c.n
+		c.mu.Unlock()
+	}
+	return total
+}
+
+func first(cs []*counter) int {
+	return cs[0].n // want `access to guarded field n through a non-identifier base`
+}
+
+func (c *counter) visit(fn func()) { fn() }
+
+func annotatedLit(c *counter) int {
+	out := 0
+	c.visit(func() { //sitm:locked
+		out = c.n
+	})
+	return out
+}
+
+func racyLit(c *counter) int {
+	out := 0
+	c.visit(func() {
+		out = c.n // want `field c\.n is guarded by mu and accessed without c\.mu held`
+	})
+	return out
+}
+
+func inheritedLit(c *counter) int {
+	out := 0
+	c.mu.Lock()
+	func() {
+		out = c.n
+	}()
+	c.mu.Unlock()
+	return out
+}
+
+func work() {}
+
+func (c *counter) leaky(ch chan int) {
+	c.mu.Lock()
+	ch <- c.n                         // want `channel send while c\.mu is held`
+	fmt.Println(c.n)                  // want `fmt\.Println I/O while c\.mu is held`
+	parallel.ForEach(1, func(int) {}) // want `parallel\.ForEach fan-out while c\.mu is held`
+	go work()                         // want `goroutine launched while c\.mu is held`
+	select {                          // want `select while c\.mu is held`
+	default:
+	}
+	c.mu.Unlock()
+	ch <- 0
+}
+
+func (c *counter) waits(ch chan int) int {
+	c.mu.Lock()
+	v := <-ch // want `channel receive while c\.mu is held`
+	c.mu.Unlock()
+	return v
+}

@@ -1,0 +1,60 @@
+// Package a exercises the maporder analyzer: map iteration order must not
+// reach writers or escaping slices unless sorted or annotated.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func leakWrite(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(w, k) // want `write to an output stream inside a map range`
+	}
+}
+
+func builderWrite(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want `write to an output stream inside a map range`
+	}
+	return sb.String()
+}
+
+func leakAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to a slice inside a map range with no sort`
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func annotated(w io.Writer, m map[string]int) {
+	//sitm:orderok screen output for humans, consumers are order-insensitive
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}
+
+func perValue(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		local := make([]int, 0, len(vs))
+		for _, v := range vs {
+			local = append(local, v)
+		}
+		total += len(local)
+	}
+	return total
+}

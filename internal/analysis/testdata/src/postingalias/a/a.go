@@ -1,0 +1,45 @@
+// Package a exercises the postingalias analyzer: owned posting lists may
+// escape only through unexported //sitm:aliases functions.
+package a
+
+type index struct {
+	//sitm:owned
+	postings [][]int32
+	names    []string
+}
+
+// view returns a live posting list; the annotation is the contract.
+//
+//sitm:aliases
+func (ix *index) view(cell int32) []int32 {
+	return ix.postings[cell]
+}
+
+func (ix *index) leak(cell int32) []int32 {
+	return ix.postings[cell] // want `returning owned field postings without a copy`
+}
+
+func (ix *index) leakAll() [][]int32 {
+	return ix.postings // want `returning owned field postings without a copy`
+}
+
+func (ix *index) indirect(cell int32) []int32 {
+	return ix.view(cell) // want `returning aliasing result of view`
+}
+
+// copied is the blessed escape: a fresh slice per call.
+func (ix *index) copied(cell int32) []int32 {
+	return append([]int32(nil), ix.postings[cell]...)
+}
+
+// name aliases an unowned column, which is fine.
+func (ix *index) name(i int) string {
+	return ix.names[i]
+}
+
+// Postings is exported: the annotation cannot bless it.
+//
+//sitm:aliases
+func (ix *index) Postings(cell int32) []int32 { // want `exported function Postings is annotated //sitm:aliases`
+	return ix.postings[cell]
+}

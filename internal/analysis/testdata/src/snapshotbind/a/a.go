@@ -1,0 +1,55 @@
+// Package a exercises the snapshotbind analyzer over a local Freeze type
+// and the real symtab dictionary.
+package a
+
+import (
+	"reflect"
+
+	"sitm/internal/symtab"
+)
+
+type table struct {
+	rows []int
+	tag  string
+}
+
+func (t *table) Freeze() *table { return t }
+
+func snapshotMutations() int {
+	live := &table{rows: make([]int, 4)}
+	snap := live.Freeze()
+	snap.rows[0] = 1 // want `write through frozen snapshot snap`
+	snap.tag = "x"   // want `write through frozen snapshot snap`
+	return snap.rows[0]
+}
+
+func rebind() *table {
+	live := &table{}
+	snap := live.Freeze()
+	snap = live.Freeze() // rebinding the variable itself is fine
+	return snap
+}
+
+func equalSnapshots(a, b *table) bool {
+	x, y := a.Freeze(), b.Freeze()
+	if reflect.DeepEqual(x, y) { // want `reflect\.DeepEqual on a frozen snapshot`
+		return true
+	}
+	return x == y
+}
+
+func dictMutation(sd *symtab.SyncDict) string {
+	frozen := sd.Freeze()
+	frozen.Intern("cell") // want `frozen\.Intern on a frozen snapshot \(panics at runtime\)`
+	return frozen.Symbol(0)
+}
+
+func dictReads(sd *symtab.SyncDict) (int, bool) {
+	frozen := sd.Freeze()
+	_, ok := frozen.Lookup("cell")
+	return frozen.Len(), ok
+}
+
+func liveIsFine(sd *symtab.SyncDict) int32 {
+	return sd.Intern("cell") // the live dictionary may grow
+}

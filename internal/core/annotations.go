@@ -111,7 +111,7 @@ func (a Annotations) Merge(b Annotations) Annotations {
 // sets (order-insensitive). The event-based SITM splits a presence interval
 // exactly when this predicate flips (§3.3).
 func (a Annotations) Equal(b Annotations) bool {
-	if len(a.nonEmptyKeys()) != len(b.nonEmptyKeys()) {
+	if a.nonEmptyCount() != b.nonEmptyCount() {
 		return false
 	}
 	for k, vs := range a {
@@ -135,14 +135,14 @@ func (a Annotations) Equal(b Annotations) bool {
 	return true
 }
 
-func (a Annotations) nonEmptyKeys() []string {
-	var out []string
-	for k, vs := range a {
+func (a Annotations) nonEmptyCount() int {
+	n := 0
+	for _, vs := range a {
 		if len(vs) > 0 {
-			out = append(out, k)
+			n++
 		}
 	}
-	return out
+	return n
 }
 
 // ForEachPair invokes fn for every (key, value) pair of the annotation set,

@@ -2,6 +2,7 @@ package louvre
 
 import (
 	"fmt"
+	"sort"
 
 	"sitm/internal/geom"
 	"sitm/internal/positioning"
@@ -39,7 +40,10 @@ func Beacons() map[string]positioning.Beacon {
 }
 
 // BeaconsNear returns the beacons of the given floor within radius metres
-// of p — the subset a phone would hear.
+// of p — the subset a phone would hear — sorted by beacon ID. The sort
+// matters: callers feed the result into measurement vectors whose
+// floating-point accumulation order would otherwise follow map iteration
+// order, breaking bit-identical positioning runs.
 func BeaconsNear(beacons map[string]positioning.Beacon, p geom.Point, floor int, radius float64) []positioning.Beacon {
 	var out []positioning.Beacon
 	for _, b := range beacons {
@@ -47,5 +51,6 @@ func BeaconsNear(beacons map[string]positioning.Beacon, p geom.Point, floor int,
 			out = append(out, b)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }

@@ -1,6 +1,7 @@
 package louvre
 
 import (
+	"sort"
 	"testing"
 
 	"sitm/internal/indoor"
@@ -281,6 +282,30 @@ func TestBeaconLayout(t *testing.T) {
 	for _, b := range near {
 		if b.Floor != 0 {
 			t.Errorf("beacon %s on floor %d leaked in", b.ID, b.Floor)
+		}
+	}
+}
+
+// BeaconsNear selects from a map; its result must not depend on iteration
+// order, or every downstream measurement vector (and the floating-point
+// trilateration consuming it) becomes run-dependent.
+func TestBeaconsNearDeterministic(t *testing.T) {
+	beacons := Beacons()
+	z, _ := ZoneByID("zone60853")
+	p := z.Geometry.Centroid()
+	first := BeaconsNear(beacons, p, 0, 30)
+	if !sort.SliceIsSorted(first, func(i, j int) bool { return first[i].ID < first[j].ID }) {
+		t.Fatal("BeaconsNear result not sorted by beacon ID")
+	}
+	for run := 0; run < 5; run++ {
+		again := BeaconsNear(beacons, p, 0, 30)
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d beacons, want %d", run, len(again), len(first))
+		}
+		for i := range again {
+			if again[i].ID != first[i].ID {
+				t.Fatalf("run %d: beacon order diverged at %d: %s vs %s", run, i, again[i].ID, first[i].ID)
+			}
 		}
 	}
 }

@@ -187,6 +187,8 @@ func rootSupport(seqs [][]int32, db []proj, k int) []int32 {
 // countRange adds each db entry's distinct suffix items into counts, using
 // generation stamps in seen (one generation per entry) instead of a fresh
 // set per entry. It returns the next free generation.
+//
+//sitm:hotpath
 func countRange(seqs [][]int32, db []proj, counts []int32, seen []uint32, gen uint32) uint32 {
 	for _, p := range db {
 		gen++
@@ -271,6 +273,8 @@ func (s *psScratch) mine(out *[]Pattern, db []proj, depth int) {
 // extracts the items meeting the threshold into lv, sorted by symbol name
 // (the legacy frequentItems order). The count vector is zeroed behind it,
 // so the recursion can reuse it at every depth.
+//
+//sitm:hotpath
 func (s *psScratch) frequentInto(lv *psLevel, db []proj) {
 	lv.items = lv.items[:0]
 	lv.sups = lv.sups[:0]
@@ -319,6 +323,8 @@ func (s *psScratch) resolvePrefix() []string {
 
 // project narrows db to the suffixes after each entry's first `item`,
 // writing into the depth's arena buffer (reused across siblings).
+//
+//sitm:hotpath
 func (s *psScratch) project(db []proj, item int32, depth int) []proj {
 	for len(s.levels) <= depth {
 		s.levels = append(s.levels, psLevel{})

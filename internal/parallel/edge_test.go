@@ -1,0 +1,132 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// The pool primitives are called from every analytics entry point with
+// caller-supplied sizes; the degenerate inputs — empty ranges, negative
+// counts, bogus worker requests — must all be total.
+
+func TestWorkersNegative(t *testing.T) {
+	if got := Workers(-4); got < 1 {
+		t.Errorf("Workers(-4) = %d, want the GOMAXPROCS default", got)
+	}
+	if Workers(-4) != Workers(0) {
+		t.Errorf("negative and zero requests should agree: %d vs %d", Workers(-4), Workers(0))
+	}
+}
+
+func TestForEachEmptyAndNegative(t *testing.T) {
+	var calls atomic.Int32
+	ForEach(0, func(int) { calls.Add(1) })
+	ForEach(-7, func(int) { calls.Add(1) })
+	ForEachN(-1, 4, func(int) { calls.Add(1) })
+	if n := calls.Load(); n != 0 {
+		t.Fatalf("empty/negative ranges invoked fn %d times", n)
+	}
+}
+
+func TestForEachNNegativeWorkers(t *testing.T) {
+	// A negative worker request falls back to the default pool and must
+	// still cover every index exactly once.
+	const n = 513
+	hits := make([]int32, n)
+	ForEachN(n, -3, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestMapEmptyAndNegative(t *testing.T) {
+	if got := Map(0, func(i int) int { return i }); got != nil {
+		t.Errorf("Map(0) = %v, want nil", got)
+	}
+	if got := Map(-3, func(i int) int { return i }); got != nil {
+		t.Errorf("Map(-3) = %v, want nil", got)
+	}
+}
+
+func TestMapPairsSymmetricDegenerate(t *testing.T) {
+	var calls atomic.Int32
+	for _, n := range []int{-1, 0, 1} {
+		MapPairsSymmetric(n, func(i, j int) { calls.Add(1) })
+	}
+	if c := calls.Load(); c != 0 {
+		t.Fatalf("no pairs exist below n=2, yet fn ran %d times", c)
+	}
+	// n=2 is the smallest real instance and takes the sequential path.
+	var got [][2]int
+	MapPairsSymmetric(2, func(i, j int) { got = append(got, [2]int{i, j}) })
+	if len(got) != 1 || got[0] != [2]int{0, 1} {
+		t.Fatalf("MapPairsSymmetric(2) visited %v, want [[0 1]]", got)
+	}
+}
+
+func TestMapPairsSymmetricWithDegenerate(t *testing.T) {
+	states := 0
+	MapPairsSymmetricWith(1, func() int { states++; return 0 }, func(int, int, int) {
+		t.Fatal("no pairs below n=2")
+	})
+	if states != 0 {
+		t.Fatalf("newState ran %d times for an empty schedule", states)
+	}
+}
+
+func TestMapPanicPropagatesToCaller(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "map-boom" {
+			t.Fatalf("recovered %v, want the worker's panic value", r)
+		}
+	}()
+	Map(5000, func(i int) int {
+		if i == 4000 {
+			panic("map-boom")
+		}
+		return i
+	})
+	t.Fatal("panic in fn must propagate out of Map")
+}
+
+type testPanicPayload struct{ code int }
+
+func TestMapPairsSymmetricWithPanicPropagates(t *testing.T) {
+	want := testPanicPayload{code: 7}
+	defer func() {
+		if r := recover(); r != want {
+			t.Fatalf("recovered %v, want the original non-string payload %v", r, want)
+		}
+	}()
+	MapPairsSymmetricWith(300, func() []int32 { return make([]int32, 8) },
+		func(s []int32, i, j int) {
+			s[0]++
+			if i == 5 && j == 250 {
+				panic(want)
+			}
+		})
+	t.Fatal("panic in fn must propagate out of MapPairsSymmetricWith")
+}
+
+func TestForEachPanicKeepsPoolDraining(t *testing.T) {
+	// After one worker panics, the cursor jumps past the end: the call
+	// still returns (re-raising), and no fn invocation runs on an index
+	// outside [0, n).
+	var outside atomic.Int32
+	func() {
+		defer func() { _ = recover() }()
+		ForEachN(20000, 8, func(i int) {
+			if i < 0 || i >= 20000 {
+				outside.Add(1)
+			}
+			if i == 11 {
+				panic("drain")
+			}
+		})
+	}()
+	if n := outside.Load(); n != 0 {
+		t.Fatalf("%d invocations outside the range after a panic", n)
+	}
+}

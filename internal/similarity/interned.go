@@ -160,6 +160,8 @@ func (s *scratch) dtwRows(n int) (prevC, curC []float64, prevL, curL []int32) {
 // the worker scratch, no allocation. Identical-sequence and empty-side
 // cases exit before touching the DP (the only early-abandon the metric
 // admits without a caller-provided cutoff).
+//
+//sitm:hotpath
 func editDistanceInt(a, b []int32, s *scratch) int {
 	if len(a) == 0 {
 		return len(b)
@@ -197,6 +199,8 @@ func editDistanceInt(a, b []int32, s *scratch) int {
 }
 
 // lcssInt is the interned longest-common-subsequence kernel.
+//
+//sitm:hotpath
 func lcssInt(a, b []int32, s *scratch) int {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
@@ -224,6 +228,8 @@ func lcssInt(a, b []int32, s *scratch) int {
 }
 
 // int32Equal reports element-wise equality.
+//
+//sitm:hotpath
 func int32Equal(a, b []int32) bool {
 	if len(a) != len(b) {
 		return false
@@ -241,6 +247,8 @@ func int32Equal(a, b []int32) bool {
 // comparison order (diagonal, then above, then left, strict <) and the
 // accumulation expressions mirror the legacy 2-D implementation exactly,
 // so the result is bit-for-bit the legacy DTW value.
+//
+//sitm:hotpath
 func dtwInt(a, b []int32, tab *CellSimTable, s *scratch) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		if len(a) == 0 && len(b) == 0 {
@@ -288,6 +296,8 @@ func dtwInt(a, b []int32, tab *CellSimTable, s *scratch) float64 {
 // jaccardSorted is Jaccard over two sorted distinct id sets by linear
 // merge: the same |A∩B| / |A∪B| counts the legacy pair-map path produced,
 // hence the same float.
+//
+//sitm:hotpath
 func jaccardSorted(a, b []int32) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
@@ -312,6 +322,8 @@ func jaccardSorted(a, b []int32) float64 {
 
 // pairSimilarity is the combined trajectory kernel over interned data:
 // DTW spatial + Jaccard semantic, blended by the (pre-clamped) weight.
+//
+//sitm:hotpath
 func (c *Corpus) pairSimilarity(i, j int, tab *CellSimTable, w float64, s *scratch) float64 {
 	spatial := dtwInt(c.seqs[i], c.seqs[j], tab, s)
 	semantic := jaccardSorted(c.anns[i], c.anns[j])

@@ -298,7 +298,10 @@ func (ctx *execCtx) member(cell int32, b int) bool {
 }
 
 // estimate returns a cheap upper bound on the node's matches in the shard,
-// used to order conjuncts most-selective-first.
+// used to order conjuncts most-selective-first. Runs under the caller-held
+// shard lock.
+//
+//sitm:locked
 func (c *cplan) estimate(sh *shard) int {
 	switch c.kind {
 	case kEmpty:
@@ -364,6 +367,9 @@ func (c *cplan) postingBacked() bool {
 
 // postingOf returns the node's posting list (postingBacked nodes only).
 // The returned slice is the shard's live list and must not be mutated.
+//
+//sitm:locked
+//sitm:aliases
 func (c *cplan) postingOf(sh *shard) []int32 {
 	switch c.kind {
 	case kCell:
@@ -380,6 +386,9 @@ func (c *cplan) postingOf(sh *shard) []int32 {
 
 // exec materialises the node's matching slots in one shard, ascending.
 // The result may alias a live posting list; callers must not mutate it.
+//
+//sitm:locked
+//sitm:aliases
 func (c *cplan) exec(ctx *execCtx) []int32 {
 	sh := ctx.sh
 	switch c.kind {
@@ -452,7 +461,11 @@ func (c *cplan) exec(ctx *execCtx) []int32 {
 
 // intersectPostings intersects the posting lists of a sequence-run node's
 // members (cell postings for kThrough, region postings for
-// kThroughRegions), shortest-first.
+// kThroughRegions), shortest-first. The result may alias the shortest
+// member's live posting list.
+//
+//sitm:locked
+//sitm:aliases
 func (c *cplan) intersectPostings(sh *shard) []int32 {
 	var lists [][]int32
 	switch c.kind {
@@ -488,7 +501,10 @@ func filterSlots(ctx *execCtx, c *cplan, slots []int32) []int32 {
 	return out
 }
 
-// test evaluates the node as a per-slot predicate.
+// test evaluates the node as a per-slot predicate. Runs under the
+// caller-held shard lock.
+//
+//sitm:locked
 func (c *cplan) test(ctx *execCtx, slot int32) bool {
 	sh := ctx.sh
 	switch c.kind {
@@ -579,12 +595,16 @@ func (ctx *execCtx) regionRun(seq []int32, c *cplan) bool {
 }
 
 // containsSorted reports whether the ascending list holds v.
+//
+//sitm:hotpath
 func containsSorted(list []int32, v int32) bool {
 	_, ok := slices.BinarySearch(list, v)
 	return ok
 }
 
 // dedupSorted removes duplicates from an ascending slice in place.
+//
+//sitm:hotpath
 func dedupSorted(slots []int32) []int32 {
 	if len(slots) < 2 {
 		return slots
@@ -609,7 +629,7 @@ func (s *Store) Select(q Query) ([]core.Trajectory, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.gather(func(sh *shard, out *shardRows) {
+	return s.gather(func(sh *shard, out *shardRows) { //sitm:locked
 		ctx := execCtx{s: s, sh: sh}
 		for _, slot := range plan.exec(&ctx) {
 			out.add(sh.seqs[slot], sh.trajs[slot])

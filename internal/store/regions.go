@@ -36,10 +36,13 @@ var (
 // cache key is the snapshot pointer itself and a rebind happens exactly
 // when the stored cell alphabet grew.
 type regionState struct {
-	mu       sync.RWMutex
-	rt       *indoor.RegionTable
-	snap     *symtab.Dict // the frozen dict closures are bound to
-	closures [][]int32    // interned cell id → sorted region closure
+	mu sync.RWMutex
+	//sitm:guardedby mu
+	rt *indoor.RegionTable
+	//sitm:guardedby mu
+	snap *symtab.Dict // the frozen dict closures are bound to
+	//sitm:guardedby mu
+	closures [][]int32 // interned cell id → sorted region closure
 }
 
 // AttachRegions attaches a compiled region table (indoor.CompileRegions)

@@ -18,31 +18,54 @@ type shard struct {
 	mu sync.RWMutex
 
 	// Parallel per-slot columns (one entry per stored trajectory).
-	seqs   []uint64          // global insertion sequence
-	trajs  []core.Trajectory // the trajectory itself
-	encs   [][]int32         // interned Trace cells (write-time encoding)
-	anns   [][]int32         // sorted distinct interned annotation-pair ids
-	moIDs  []int32           // interned moving-object id
-	starts []time.Time       // trajectory span start (write-time, O(1) tests)
-	ends   []time.Time       // trajectory span end
+	//sitm:guardedby mu
+	seqs []uint64 // global insertion sequence
+	//sitm:guardedby mu
+	trajs []core.Trajectory // the trajectory itself
+	//sitm:guardedby mu
+	encs [][]int32 // interned Trace cells (write-time encoding)
+	//sitm:guardedby mu
+	anns [][]int32 // sorted distinct interned annotation-pair ids
+	//sitm:guardedby mu
+	moIDs []int32 // interned moving-object id
+	//sitm:guardedby mu
+	starts []time.Time // trajectory span start (write-time, O(1) tests)
+	//sitm:guardedby mu
+	ends []time.Time // trajectory span end
 
-	byMO      map[int32][]int32 // mo id → slots, append order
-	byCell    [][]int32         // cell id → slots visiting the cell (ascending)
-	byPair    [][]int32         // annotation-pair id → slots carrying it (ascending)
-	byRegion  [][]int32         // region index → slots touching the region (ascending)
-	spanIdx   *intervalIndex    // whole-trajectory spans → slot
-	cellIdx   []*intervalIndex  // cell id → presence intervals → slot
-	intervals int               // total presence intervals stored
-	maxLen    int               // longest encoded trace (corpus scratch sizing)
+	//sitm:guardedby mu
+	//sitm:owned
+	byMO map[int32][]int32 // mo id → slots, append order
+	//sitm:guardedby mu
+	//sitm:owned
+	byCell [][]int32 // cell id → slots visiting the cell (ascending)
+	//sitm:guardedby mu
+	//sitm:owned
+	byPair [][]int32 // annotation-pair id → slots carrying it (ascending)
+	//sitm:guardedby mu
+	//sitm:owned
+	byRegion [][]int32 // region index → slots touching the region (ascending)
+	//sitm:guardedby mu
+	spanIdx *intervalIndex // whole-trajectory spans → slot
+	//sitm:guardedby mu
+	//sitm:owned
+	cellIdx []*intervalIndex // cell id → presence intervals → slot
+	//sitm:guardedby mu
+	intervals int // total presence intervals stored
+	//sitm:guardedby mu
+	maxLen int // longest encoded trace (corpus scratch sizing)
 
 	// Generation-stamped distinct-cell detector: seen[id] == seenGen marks
 	// "already posted during the current insert", giving first-occurrence
 	// detection in O(L) with no per-insert allocation (the PrefixSpan
 	// stamp-set discipline, §3.6).
-	seen    []uint32
+	//sitm:guardedby mu
+	seen []uint32
+	//sitm:guardedby mu
 	seenGen uint32
 }
 
+//sitm:locked
 func (sh *shard) init() {
 	sh.byMO = make(map[int32][]int32)
 	sh.spanIdx = newIntervalIndex()
@@ -50,6 +73,9 @@ func (sh *shard) init() {
 
 // posting returns the cell's posting list (nil when the shard has never
 // seen the cell) — a bounds-checked slice index, no hashing.
+//
+//sitm:locked
+//sitm:aliases
 func (sh *shard) posting(cell int32) []int32 {
 	if int(cell) >= len(sh.byCell) {
 		return nil
@@ -58,6 +84,9 @@ func (sh *shard) posting(cell int32) []int32 {
 }
 
 // pairPosting returns the annotation pair's posting list, or nil.
+//
+//sitm:locked
+//sitm:aliases
 func (sh *shard) pairPosting(pair int32) []int32 {
 	if int(pair) >= len(sh.byPair) {
 		return nil
@@ -68,6 +97,9 @@ func (sh *shard) pairPosting(pair int32) []int32 {
 // regionPosting returns the region's posting list, or nil. Region indexes
 // come from the attached RegionTable (see regions.go); without one the
 // table is empty and everything misses.
+//
+//sitm:locked
+//sitm:aliases
 func (sh *shard) regionPosting(region int32) []int32 {
 	if int(region) >= len(sh.byRegion) {
 		return nil
@@ -76,6 +108,9 @@ func (sh *shard) regionPosting(region int32) []int32 {
 }
 
 // cellIndex returns the cell's interval index, or nil.
+//
+//sitm:locked
+//sitm:aliases
 func (sh *shard) cellIndex(cell int32) *intervalIndex {
 	if int(cell) >= len(sh.cellIdx) {
 		return nil
@@ -84,6 +119,8 @@ func (sh *shard) cellIndex(cell int32) *intervalIndex {
 }
 
 // growCell extends the dense per-cell tables to cover the id.
+//
+//sitm:locked
 func (sh *shard) growCell(cell int32) {
 	for int(cell) >= len(sh.byCell) {
 		sh.byCell = append(sh.byCell, nil)
@@ -101,6 +138,8 @@ func (sh *shard) growCell(cell int32) {
 // distinct region closure (nil without an attached region table).
 // Interval-index maintenance is left to the caller (single insert vs
 // batched insertAll).
+//
+//sitm:locked
 func (sh *shard) addSlot(seq uint64, t core.Trajectory, moID int32, enc, ann, regs []int32) int32 {
 	slot := int32(len(sh.trajs))
 	sh.seqs = append(sh.seqs, seq)
@@ -148,6 +187,8 @@ func (sh *shard) addSlot(seq uint64, t core.Trajectory, moID int32, enc, ann, re
 // insertOne indexes a single trajectory under the (held) shard lock:
 // sorted inserts into the interval-index merge buffers, O(log n + √n)
 // amortized.
+//
+//sitm:locked
 func (sh *shard) insertOne(seq uint64, t core.Trajectory, moID int32, enc, ann, regs []int32) {
 	slot := sh.addSlot(seq, t, moID, enc, ann, regs)
 	sh.spanIdx.insert(span{start: t.Start(), end: t.End(), ref: int(slot)})
@@ -168,6 +209,8 @@ func (sh *shard) insertOne(seq uint64, t core.Trajectory, moID int32, enc, ann, 
 // indexes into ts; trajectory ts[i] carries sequence base+i, so the batch
 // is observed in argument order. regions resolves each trajectory's region
 // closure (it must be called under the shard lock, see Store.PutBatch).
+//
+//sitm:locked
 func (sh *shard) insertBatch(base uint64, ts []core.Trajectory, idxs []int32, moIDs []int32, encs, anns [][]int32, regions func(core.Trajectory) []int32) {
 	spans := make([]span, 0, len(idxs))
 	perCell := make(map[int32][]span)

@@ -215,6 +215,8 @@ func (r *shardRows) add(seq uint64, t core.Trajectory) {
 // instead of a comparison sort the positions come from a bitmap rank: two
 // popcount passes, O(rows), no compares — cheap enough that every query
 // and every corpus snapshot affords a fully ordered view.
+//
+//sitm:hotpath
 func seqOrder(keys []uint64) []int {
 	if len(keys) < 2 {
 		return nil
@@ -313,7 +315,7 @@ func (s *Store) gather(collect func(sh *shard, out *shardRows)) []core.Trajector
 
 // All returns all trajectories in insertion order.
 func (s *Store) All() []core.Trajectory {
-	return s.gather(func(sh *shard, out *shardRows) {
+	return s.gather(func(sh *shard, out *shardRows) { //sitm:locked
 		out.keys = append([]uint64(nil), sh.seqs...)
 		out.ts = append([]core.Trajectory(nil), sh.trajs...)
 	})
@@ -405,6 +407,8 @@ func (s *Store) ThroughSequence(cells ...string) []core.Trajectory {
 }
 
 // intersectSorted merges two ascending posting lists.
+//
+//sitm:hotpath
 func intersectSorted(a, b []int32) []int32 {
 	var out []int32
 	i, j := 0, 0
@@ -424,6 +428,8 @@ func intersectSorted(a, b []int32) []int32 {
 }
 
 // dedupInto appends seq with consecutive repeats collapsed.
+//
+//sitm:hotpath
 func dedupInto(dst, seq []int32) []int32 {
 	for _, id := range seq {
 		if len(dst) == 0 || dst[len(dst)-1] != id {
@@ -435,6 +441,8 @@ func dedupInto(dst, seq []int32) []int32 {
 
 // containsRun reports whether seq contains run as a consecutive
 // subsequence — dense-id integer compares.
+//
+//sitm:hotpath
 func containsRun(seq, run []int32) bool {
 	for i := 0; i+len(run) <= len(seq); i++ {
 		ok := true

@@ -13,8 +13,10 @@ import (
 // the steady state of a live feed, where every cell name has been seen —
 // serves Intern with shared locks only.
 type SyncDict struct {
-	mu     sync.RWMutex
-	d      Dict
+	mu sync.RWMutex
+	//sitm:guardedby mu
+	d Dict
+	//sitm:guardedby mu
 	frozen *Dict // cached Freeze view; nil until asked for or after growth
 }
 

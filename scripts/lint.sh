@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# lint.sh — the static-analysis gate, identical locally and in CI.
+#
+# Usage:
+#   scripts/lint.sh [go package patterns...]
+#
+# Runs, in order:
+#   1. sitmlint (cmd/sitmlint) — the repo's own invariant analyzers
+#      (lock discipline, snapshot binding, hot-path allocation, map-order
+#      determinism, posting-list ownership) over the given patterns
+#      (default ./...).
+#   2. staticcheck, if installed — pin STATICCHECK_VERSION in CI so runs
+#      are reproducible; skipped with a notice when the binary is absent
+#      (hermetic/offline environments).
+#   3. govulncheck, if installed — same pinning/skip policy.
+#
+# The sitmlint binary is cached at bin/sitmlint and rebuilt only when its
+# sources change (go build is incremental, so the rebuild is cheap; CI
+# additionally caches the go build cache across runs).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+patterns=("$@")
+if [ ${#patterns[@]} -eq 0 ]; then
+  patterns=("./...")
+fi
+
+mkdir -p bin
+go build -o bin/sitmlint ./cmd/sitmlint
+echo "== sitmlint ${patterns[*]}"
+bin/sitmlint "${patterns[@]}"
+
+if command -v staticcheck >/dev/null 2>&1; then
+  echo "== staticcheck ($(staticcheck -version 2>/dev/null | head -1))"
+  staticcheck "${patterns[@]}"
+else
+  echo "== staticcheck not installed; skipping (CI installs a pinned version)"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+  echo "== govulncheck"
+  govulncheck "${patterns[@]}"
+else
+  echo "== govulncheck not installed; skipping (CI installs a pinned version)"
+fi
+
+echo "lint OK"
