@@ -5,12 +5,15 @@
 //	sitm figures -id F3     print one artefact (T1, F1–F6, X1) or all
 //	sitm generate -out f    write the calibrated synthetic dataset as CSV
 //	sitm ingest -in f       stream a detection feed (file or '-' = stdin)
-//	                        into a queryable store and report on it
+//	                        into a queryable store and report on it;
+//	                        -store dir makes the ingest durable (WAL)
 //	sitm query -store f     answer spatio-temporal and semantic queries
 //	                        (-through, -overlap, -in-cell, -mo, -region,
-//	                        -annotation) against a JSON store file; the
-//	                        semantic flags compose all given predicates
-//	                        into one plan on the store's query engine
+//	                        -annotation) against a JSON store file or a
+//	                        durable store directory; the semantic flags
+//	                        compose all given predicates into one plan on
+//	                        the store's query engine
+//	sitm compact -store d   checkpoint a durable store directory
 //	sitm mine               run the mining pipeline (patterns, rules, stays)
 //	sitm profile            cluster visitors into profiles (k-medoids over
 //	                        the interned similarity engine)
@@ -77,8 +80,29 @@ func run(args []string, out io.Writer) error {
 		return runProfile(args[1:], out)
 	case "gml":
 		return runGML(args[1:], out)
+	case "compact":
+		return runCompact(args[1:], out)
 	}
 	return errUnknownCommand
+}
+
+// writeFile writes one output artefact: create, fn, then Sync and Close,
+// every error propagated — a full disk surfaces as an error here, not as a
+// silently truncated file with a clean exit status.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func usage() {
@@ -100,7 +124,9 @@ commands:
   profile    cluster visitors (k-medoids over the interned similarity
              engine) and report the profiles
   gml        export the Louvre space graph as IndoorGML-style XML (-out file)
-             and verify the round trip`)
+             and verify the round trip
+  compact    checkpoint a durable store directory (-store dir): fold the
+             write-ahead log into immutable columnar segments`)
 }
 
 func params(seed int64, scale float64) sitm.DatasetParams {
@@ -388,16 +414,13 @@ func runGenerate(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(*outPath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
 	dets := d.Detections()
 	if *stream {
 		dets = d.DetectionsByTime()
 	}
-	if err := sitm.WriteDetectionsCSV(f, dets); err != nil {
+	if err := writeFile(*outPath, func(w io.Writer) error {
+		return sitm.WriteDetectionsCSV(w, dets)
+	}); err != nil {
 		return err
 	}
 	s := sitm.ComputeDatasetStats(d)
@@ -410,9 +433,10 @@ func runGenerate(args []string, out io.Writer) error {
 	return nil
 }
 
-func runIngest(args []string, out io.Writer) error {
+func runIngest(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
 	in := fs.String("in", "-", "detections CSV feed ('-' = stdin)")
+	storeDir := fs.String("store", "", "durable store directory (empty = in-memory only)")
 	gap := fs.Duration("gap", 10*time.Hour, "session gap splitting visits")
 	merge := fs.Bool("merge", false, "coalesce consecutive same-cell detections")
 	keepZero := fs.Bool("keep-zero", false, "keep zero-duration detections (errors)")
@@ -428,11 +452,28 @@ func runIngest(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 		r = f
 		src = *in
 	}
-	ing := sitm.NewIngestor(nil, sitm.IngestOptions{
+	var target *sitm.Store
+	if *storeDir != "" {
+		st, err := sitm.OpenStore(*storeDir, sitm.StoreOptions{})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := st.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		target = st
+	}
+	ing := sitm.NewIngestor(target, sitm.IngestOptions{
 		Stream: sitm.StreamOptions{Build: sitm.BuildOptions{
 			DropZeroDuration: !*keepZero,
 			SessionGap:       *gap,
@@ -449,6 +490,15 @@ func runIngest(args []string, out io.Writer) error {
 	ing.Flush()
 	stats := ing.Stats()
 	st := ing.Store()
+	if *storeDir != "" {
+		if err := st.Sync(); err != nil {
+			return err
+		}
+		if d, ok := st.Durability(); ok {
+			fmt.Fprintf(out, "durable store %s: segment gen %d, %d WAL bytes pending compaction\n",
+				d.Dir, d.Gen, d.WALBytes)
+		}
+	}
 	sum := st.Summarize()
 	fmt.Fprintf(out, "ingested %d detections from %s (%d zero-duration dropped, %d merged)\n",
 		stats.Input, src, stats.DroppedZero, stats.Merged)
@@ -482,9 +532,9 @@ func runIngest(args []string, out io.Writer) error {
 	return nil
 }
 
-func runQuery(args []string, out io.Writer) error {
+func runQuery(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
-	storePath := fs.String("store", "", "JSON store file (as written by Store.WriteJSON)")
+	storePath := fs.String("store", "", "JSON store file (as written by Store.WriteJSON) or durable store directory")
 	through := fs.String("through", "", "comma-separated cell run: trajectories passing through it consecutively")
 	overlap := fs.String("overlap", "", "from,to (RFC 3339): trajectories overlapping the window")
 	inCell := fs.String("in-cell", "", "cell,from,to (RFC 3339): MOs present in the cell during the window")
@@ -503,14 +553,32 @@ func runQuery(args []string, out io.Writer) error {
 	if !composed && *through == "" && *overlap == "" && *inCell == "" {
 		return fmt.Errorf("query: need at least one of -through, -overlap, -in-cell, -mo, -region, -annotation")
 	}
-	f, err := os.Open(*storePath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	st := sitm.NewShardedStore(*shards)
-	if err := st.ReadJSON(f); err != nil {
-		return err
+	var st *sitm.Store
+	if fi, statErr := os.Stat(*storePath); statErr == nil && fi.IsDir() {
+		// A directory is a durable store: recover it instead of parsing JSON.
+		st, err = sitm.OpenStore(*storePath, sitm.StoreOptions{Shards: *shards})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := st.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+	} else {
+		f, err := os.Open(*storePath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		st = sitm.NewShardedStore(*shards)
+		if err := st.ReadJSON(f); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintln(out, "store:", st.Summarize())
 	if composed {
@@ -746,15 +814,9 @@ func runGML(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(*outPath)
-	if err != nil {
-		return err
-	}
-	if err := gml.Encode(f, sg); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := writeFile(*outPath, func(w io.Writer) error {
+		return gml.Encode(w, sg)
+	}); err != nil {
 		return err
 	}
 	// Verify the round trip: decode and revalidate the hierarchy.
@@ -773,6 +835,34 @@ func runGML(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "wrote %s (%d cells, %d joints); round trip verified\n",
 		*outPath, back.NumCells(), len(back.Joints()))
 	return nil
+}
+
+// runCompact checkpoints a durable store directory: the WAL tail is
+// compacted into immutable columnar segments and the replayed WAL files
+// are deleted, so the next open recovers from columns alone.
+func runCompact(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	dir := fs.String("store", "", "durable store directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("compact: -store is required")
+	}
+	st, err := sitm.OpenStore(*dir, sitm.StoreOptions{})
+	if err != nil {
+		return err
+	}
+	before, _ := st.Durability()
+	if err := st.Checkpoint(); err != nil {
+		st.Close()
+		return err
+	}
+	after, _ := st.Durability()
+	fmt.Fprintln(out, "store:", st.Summarize())
+	fmt.Fprintf(out, "compacted %s: segment gen %d → %d, wal bytes %d → %d\n",
+		*dir, before.Gen, after.Gen, before.WALBytes, after.WALBytes)
+	return st.Close()
 }
 
 func runMine(args []string, out io.Writer) error {

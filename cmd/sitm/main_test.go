@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"sitm"
 )
 
 // -update regenerates the golden files from current output:
@@ -176,6 +178,121 @@ func TestQueryPlanRejectsBadInvocations(t *testing.T) {
 				t.Fatalf("run(%v) err = %q, want substring %q", tc.args, err, tc.want)
 			}
 		})
+	}
+}
+
+// TestQueryDurableStoreGoldens: pointing -store at a durable directory
+// must produce byte-identical output to the JSON-file path — both when the
+// store is recovered from the WAL alone and when it was checkpointed into
+// columnar segments. The existing query goldens are reused verbatim.
+func TestQueryDurableStoreGoldens(t *testing.T) {
+	build := func(t *testing.T, checkpoint bool) string {
+		t.Helper()
+		dir := filepath.Join(t.TempDir(), "store")
+		st, err := sitm.OpenStore(dir, sitm.StoreOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Open(filepath.Join("testdata", "store.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.ReadJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if checkpoint {
+			if err := st.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	cases := []struct {
+		golden string
+		args   []string
+	}{
+		{"query-through", []string{"-through", "E,P,S"}},
+		{"query-overlap", []string{"-overlap", "2017-02-14T00:00:00Z,2017-02-14T00:30:00Z"}},
+		{"query-incell", []string{"-in-cell", "S,2017-02-14T00:20:00Z,2017-02-14T00:40:00Z"}},
+		{"query-plan-mo", []string{"-mo", "alice", "-through", "E,P"}},
+	}
+	for _, variant := range []struct {
+		name       string
+		checkpoint bool
+	}{{"wal-only", false}, {"checkpointed", true}} {
+		t.Run(variant.name, func(t *testing.T) {
+			dir := build(t, variant.checkpoint)
+			for _, tc := range cases {
+				t.Run(tc.golden, func(t *testing.T) {
+					var buf bytes.Buffer
+					args := append([]string{"query", "-store", dir}, tc.args...)
+					if err := run(args, &buf); err != nil {
+						t.Fatalf("run(%v): %v", args, err)
+					}
+					want, err := os.ReadFile(filepath.Join("testdata", tc.golden+".golden"))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(buf.Bytes(), want) {
+						t.Errorf("durable store output drifted from %s.golden:\n%s",
+							tc.golden, firstDiffContext(buf.String(), string(want)))
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestIngestDurableAndCompact: -store makes ingest durable; compact folds
+// the WAL into a segment generation; the directory stays queryable.
+func TestIngestDurableAndCompact(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	var buf bytes.Buffer
+	if err := run([]string{"ingest", "-in", filepath.Join("testdata", "feed.csv"), "-store", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "durable store "+dir) {
+		t.Fatalf("ingest output missing durable report:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"compact", "-store", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "segment gen 0 → 1") {
+		t.Fatalf("compact output = %q", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"query", "-store", dir, "-overlap", "2017-02-14T00:00:00Z,2017-02-15T00:00:00Z"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trajectories") {
+		t.Fatalf("query against compacted store = %q", buf.String())
+	}
+
+	if err := run([]string{"compact"}, &buf); err == nil {
+		t.Fatal("compact without -store must error")
+	}
+}
+
+// TestWriteErrorsSurface: a failing write target must turn into a non-nil
+// error, not a clean exit with a truncated file (the bug this PR fixes:
+// generate and gml deferred Close and dropped Sync/Close errors).
+func TestWriteErrorsSurface(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available on this platform")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"generate", "-scale", "0.01", "-out", "/dev/full"}, &buf); err == nil {
+		t.Fatal("generate to /dev/full must error")
+	}
+	if err := run([]string{"gml", "-out", "/dev/full"}, &buf); err == nil {
+		t.Fatal("gml to /dev/full must error")
 	}
 }
 

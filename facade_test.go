@@ -239,3 +239,63 @@ func TestPublicAPISemanticQueries(t *testing.T) {
 		t.Fatal("no wing-level patterns")
 	}
 }
+
+// TestPublicAPIDurableStore exercises the documented durability path:
+// OpenStore → writes → Sync → crash-free reopen → Checkpoint → reopen
+// from segments, observably the same store throughout.
+func TestPublicAPIDurableStore(t *testing.T) {
+	dir := t.TempDir()
+	p := sitm.DefaultDatasetParams()
+	p.Visitors = 30
+	p.ReturningVisitors = 5
+	p.RepeatVisits = 6
+	p.TargetDetections = 150
+	d, _, err := sitm.GenerateLouvreDataset(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trajs, _ := sitm.BuildTrajectories(d.Detections(), sitm.BuildOptions{
+		DropZeroDuration: true,
+		SessionGap:       10 * time.Hour,
+	})
+
+	st, err := sitm.OpenStore(dir, sitm.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.PutAll(trajs)
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	stats, ok := st.Durability()
+	if !ok || stats.Dir != dir {
+		t.Fatalf("Durability = %+v, %v", stats, ok)
+	}
+	want := st.Len()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err = sitm.OpenStore(dir, sitm.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != want {
+		t.Fatalf("reopen lost trajectories: %d vs %d", st.Len(), want)
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err = sitm.OpenStore(dir, sitm.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Len() != want {
+		t.Fatalf("post-checkpoint reopen lost trajectories: %d vs %d", st.Len(), want)
+	}
+}

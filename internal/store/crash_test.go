@@ -1,0 +1,283 @@
+package store
+
+import (
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"sitm/internal/core"
+	"sitm/internal/wal"
+)
+
+// Crash-recovery property tests: build a durable store put by put while
+// recording the WAL high-water mark after each put, then simulate a crash
+// by truncating a WAL file at arbitrary byte offsets in a copy of the
+// directory and reopening. The recovered store must be observably
+// identical (WriteJSON bytes and query results) to a fresh in-memory
+// store fed exactly the puts whose frames survived the cut — no more, no
+// less, regardless of whether the cut lands on a frame boundary or tears
+// a frame in half.
+
+// copyTree clones a durable directory so each crash probe mutates a
+// private copy.
+func copyTree(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.WalkDir(src, func(p string, e fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if e.IsDir() {
+			return os.MkdirAll(out, 0o755)
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(out, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// rowWALSize reads shard g's logical row-WAL size (including buffered
+// bytes; Close flushes them, so after Close this is the file size).
+func rowWALSize(s *Store, g int) int64 {
+	rl := &s.dur.rows[g]
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return rl.log.Size()
+}
+
+// dictWALSize reads the logical dict-WAL size.
+func dictWALSize(s *Store) int64 {
+	d := s.dur
+	d.dictMu.Lock()
+	defer d.dictMu.Unlock()
+	return d.dictLog.Size()
+}
+
+// seedDictsFromWAL replays a probe's (possibly truncated) dict WAL into
+// ref's dictionaries, exactly as recovery will. Symbols whose deltas
+// survived a crash stay interned even when every row referencing them was
+// torn away — that superset is part of the crash contract, so the oracle
+// must carry the same alphabet for Summarize to agree.
+func seedDictsFromWAL(t *testing.T, ref *Store, path string) {
+	t.Helper()
+	dicts := ref.dictKinds()
+	lg, err := wal.Open(path, func(typ byte, payload []byte) error {
+		if typ != recDict {
+			return nil
+		}
+		return applyDictDelta(dicts, payload)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashRecoveryTruncatedRowWAL(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		for _, procs := range []int{1, 8} {
+			t.Run(fmt.Sprintf("shards=%d,procs=%d", shards, procs), func(t *testing.T) {
+				prev := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+				crashRecoverRowWAL(t, shards, int64(100*shards+procs))
+			})
+		}
+	}
+}
+
+// crashRecoverRowWAL cuts each shard's row WAL at assorted offsets. The
+// dict WAL stays intact, so the surviving rows of the cut shard are
+// exactly those whose frame lies within the cut; every other shard keeps
+// all of its rows.
+func crashRecoverRowWAL(t *testing.T, shards int, seed int64) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(seed))
+	trajs := randomCorpusTrajs(rng, 50)
+
+	s := mustOpen(t, dir, Options{Shards: shards})
+	// sizes[g][i] is shard g's WAL size after the first i puts; index 0 is
+	// the pre-put baseline. Put i's frame survives a cut at c iff
+	// sizes[g][i+1] <= c; the put was routed to g iff the size grew.
+	sizes := make([][]int64, shards)
+	for g := range sizes {
+		sizes[g] = append(sizes[g], rowWALSize(s, g))
+	}
+	for _, tr := range trajs {
+		s.Put(tr)
+		for g := range sizes {
+			sizes[g] = append(sizes[g], rowWALSize(s, g))
+		}
+	}
+	mustClose(t, s)
+
+	for g := 0; g < shards; g++ {
+		final := sizes[g][len(sizes[g])-1]
+		cuts := []int64{0, 1, final}
+		for i := 0; i < 6; i++ {
+			cuts = append(cuts, rng.Int63n(final+1))
+		}
+		for _, cut := range cuts {
+			probe := copyTree(t, dir)
+			if err := os.Truncate(walRowPath(probe, 1, g), cut); err != nil {
+				t.Fatal(err)
+			}
+			ref := NewSharded(1)
+			seedDictsFromWAL(t, ref, walDictPath(probe, 1))
+			for i, tr := range trajs {
+				routedHere := sizes[g][i+1] > sizes[g][i]
+				if routedHere && sizes[g][i+1] > cut {
+					continue // frame past the cut: must not survive
+				}
+				ref.Put(tr)
+			}
+			got := mustOpen(t, probe, Options{})
+			if gotJSON, want := storeJSON(t, got), storeJSON(t, ref); gotJSON != want {
+				t.Fatalf("shards=%d shard=%d cut=%d: recovered store diverged from surviving-prefix oracle", shards, g, cut)
+			}
+			compareStores(t, ref, got, rng)
+			mustClose(t, got)
+		}
+	}
+}
+
+// TestCrashRecoveryCheckpointPlusTornTail cuts the post-checkpoint WAL
+// generation: recovery must load every checkpointed row from the segment
+// columns and then splice in exactly the surviving tail rows.
+func TestCrashRecoveryCheckpointPlusTornTail(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+			rng := rand.New(rand.NewSource(int64(300 + shards)))
+			pre := randomCorpusTrajs(rng, 30)
+			post := randomCorpusTrajs(rng, 30)
+
+			s := mustOpen(t, dir, Options{Shards: shards})
+			s.PutBatch(pre)
+			if err := s.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			sizes := make([][]int64, shards)
+			for g := range sizes {
+				sizes[g] = append(sizes[g], rowWALSize(s, g))
+			}
+			for _, tr := range post {
+				s.Put(tr)
+				for g := range sizes {
+					sizes[g] = append(sizes[g], rowWALSize(s, g))
+				}
+			}
+			mustClose(t, s)
+
+			for g := 0; g < shards; g++ {
+				final := sizes[g][len(sizes[g])-1]
+				cuts := []int64{0, final}
+				for i := 0; i < 4; i++ {
+					cuts = append(cuts, rng.Int63n(final+1))
+				}
+				for _, cut := range cuts {
+					probe := copyTree(t, dir)
+					if err := os.Truncate(walRowPath(probe, 2, g), cut); err != nil {
+						t.Fatal(err)
+					}
+					ref := NewSharded(1)
+					ref.PutBatch(pre) // same call shape: same interning order
+					seedDictsFromWAL(t, ref, walDictPath(probe, 2))
+					for i, tr := range post {
+						routedHere := sizes[g][i+1] > sizes[g][i]
+						if routedHere && sizes[g][i+1] > cut {
+							continue
+						}
+						ref.Put(tr)
+					}
+					got := mustOpen(t, probe, Options{})
+					if gotJSON, want := storeJSON(t, got), storeJSON(t, ref); gotJSON != want {
+						t.Fatalf("shards=%d shard=%d cut=%d: checkpoint+tail recovery diverged", shards, g, cut)
+					}
+					compareStores(t, ref, got, rng)
+					mustClose(t, got)
+				}
+			}
+		})
+	}
+}
+
+func TestCrashRecoveryTruncatedDictWAL(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		for _, procs := range []int{1, 8} {
+			t.Run(fmt.Sprintf("shards=%d,procs=%d", shards, procs), func(t *testing.T) {
+				prev := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+				crashRecoverDictWAL(t, shards, int64(200*shards+procs))
+			})
+		}
+	}
+}
+
+// crashRecoverDictWAL cuts the shared dict WAL. Every put below interns a
+// fresh moving object and a fresh cell, so a put's row is replayable iff
+// every dict delta logged for it survived — which makes the after-put dict
+// WAL size a strictly increasing watermark and the surviving puts exactly
+// the prefix whose watermark fits under the cut. Rows past that prefix are
+// intact in their row WALs but reference never-durable ids; recovery must
+// treat them as a torn tail (errStaleRow → ErrStopReplay), not corruption.
+func crashRecoverDictWAL(t *testing.T, shards int, seed int64) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(seed))
+
+	const n = 40
+	trajs := make([]core.Trajectory, 0, n)
+	for i := 0; i < n; i++ {
+		trajs = append(trajs, mkTraj(t, fmt.Sprintf("cm%03d", i), "A", fmt.Sprintf("cc%03d", i)))
+	}
+
+	s := mustOpen(t, dir, Options{Shards: shards})
+	marks := make([]int64, 0, n) // dict WAL size after put i (strictly increasing)
+	for _, tr := range trajs {
+		s.Put(tr)
+		marks = append(marks, dictWALSize(s))
+	}
+	mustClose(t, s)
+
+	final := marks[len(marks)-1]
+	cuts := []int64{0, 1, marks[0] - 1, marks[0], final}
+	for i := 0; i < 6; i++ {
+		cuts = append(cuts, rng.Int63n(final+1))
+	}
+	for _, cut := range cuts {
+		probe := copyTree(t, dir)
+		if err := os.Truncate(walDictPath(probe, 1), cut); err != nil {
+			t.Fatal(err)
+		}
+		ref := NewSharded(1)
+		seedDictsFromWAL(t, ref, walDictPath(probe, 1))
+		for i, tr := range trajs {
+			if marks[i] > cut {
+				break // first put whose deltas were torn; nothing later survives
+			}
+			ref.Put(tr)
+		}
+		got := mustOpen(t, probe, Options{})
+		if gotJSON, want := storeJSON(t, got), storeJSON(t, ref); gotJSON != want {
+			t.Fatalf("shards=%d cut=%d: recovered store diverged from surviving-prefix oracle", shards, cut)
+		}
+		compareStores(t, ref, got, rng)
+		mustClose(t, got)
+	}
+}

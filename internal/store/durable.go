@@ -1,0 +1,763 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"sitm/internal/core"
+	"sitm/internal/parallel"
+	"sitm/internal/symtab"
+	"sitm/internal/wal"
+)
+
+// Durable store (DESIGN.md §3.10): the in-memory sharded engine backed by
+// a per-shard write-ahead log plus immutable columnar segments, mirroring
+// the in-memory layout — the WAL carries the already-interned row columns
+// and dictionary deltas, segments carry the encoded columns and dict pages
+// verbatim, so Open replays bytes back into shard columns instead of
+// parse-and-re-intern.
+//
+// Write protocol: a writer holds the checkpoint gate shared, logs any
+// dictionary growth to the dict WAL, appends the encoded row to its home
+// shard's WAL (sequence assignment and append under one mutex, so each
+// shard's WAL is ascending in seq for sequential writers), then inserts
+// into the shard exactly like the in-memory path. Append ≠ durable: call
+// Sync (or Close) to fsync; a crash loses at most the unsynced tail, never
+// the prefix, and never consistency.
+//
+// Checkpoint protocol: under the gate held exclusive — so no append or
+// insert is in flight — capture slice headers of every shard's append-only
+// columns plus full dictionary pages, rotate every WAL to a fresh
+// generation, and release the gate. Segments and dict pages are then
+// encoded and committed (temp + rename) off the write path, and the
+// MANIFEST rename is the commit point: rows with seq < manifest.next_seq
+// live in segments, everything after replays from the WALs. Failures
+// before the manifest commit leave the old manifest pointing at the old
+// segments while recovery replays both WAL generations — nothing is lost,
+// the checkpoint just didn't happen.
+
+// Options tune a durable store opened with Open.
+type Options struct {
+	// Shards is the shard count for a fresh directory (0 = GOMAXPROCS).
+	// An existing directory's shard layout is authoritative: 0 adopts it,
+	// a conflicting non-zero value errors.
+	Shards int
+	// AutoCompactBytes, when > 0, triggers a background checkpoint once
+	// the live WAL bytes exceed it. 0 disables background compaction
+	// (checkpoint explicitly via Checkpoint).
+	AutoCompactBytes int64
+}
+
+const walFrameOverhead = 9 // 8-byte frame header + 1 type byte
+
+// rowLog is one shard's WAL handle. mu serializes sequence assignment and
+// append so the shard's WAL stays seq-ascending for sequential writers,
+// and guards the handle across checkpoint rotation.
+type rowLog struct {
+	mu sync.Mutex
+	//sitm:guardedby mu
+	log *wal.Log
+	//sitm:guardedby mu
+	buf []byte // row encode scratch
+}
+
+// durable is the persistence state hanging off a Store opened with Open.
+type durable struct {
+	dir  string
+	opts Options
+
+	// gate admits writers shared and the checkpoint rotation exclusive:
+	// rotation must observe no WAL append or shard insert in flight.
+	gate sync.RWMutex
+
+	dictMu sync.Mutex
+	//sitm:guardedby dictMu
+	dictLog *wal.Log
+	//sitm:guardedby dictMu
+	dictLogged [3]int // symbols persisted per dict (cells, mos, pairs)
+	//sitm:guardedby dictMu
+	dictBuf []byte
+
+	rows []rowLog // one per shard, parallel to Store.shards
+
+	// ckptMu serializes Checkpoint/Close against each other.
+	ckptMu sync.Mutex
+	//sitm:guardedby ckptMu
+	gen uint64 // committed segment generation (0 = none)
+	//sitm:guardedby ckptMu
+	walGen uint64 // generation of the current WAL files
+	//sitm:guardedby ckptMu
+	staleWAL []string // replayed WAL files awaiting checkpoint cleanup
+
+	walLive    atomic.Int64 // bytes across live WAL files (compaction trigger)
+	compacting atomic.Bool
+	closed     atomic.Bool
+	wg         sync.WaitGroup
+
+	errMu sync.Mutex
+	// err is the first durability failure; once set, the store keeps
+	// serving reads and in-memory writes but Sync/Checkpoint/Close
+	// report it — the on-disk state is a consistent prefix, not a lie.
+	//sitm:guardedby errMu
+	err error
+}
+
+func (d *durable) fail(err error) {
+	if err == nil {
+		return
+	}
+	d.errMu.Lock()
+	if d.err == nil {
+		d.err = err
+	}
+	d.errMu.Unlock()
+}
+
+func (d *durable) sticky() error {
+	d.errMu.Lock()
+	err := d.err
+	d.errMu.Unlock()
+	return err
+}
+
+// dictKinds orders the store dictionaries for delta records and pages.
+func (s *Store) dictKinds() [3]*symtab.SyncDict {
+	return [3]*symtab.SyncDict{s.cells, s.mos, s.pairs}
+}
+
+// logDictTail appends a delta record for every dictionary that has grown
+// past its persisted length. Called before appending a row, it guarantees
+// the row's ids are covered by deltas earlier in the dict WAL — Sync
+// syncs the dict WAL first, and recovery replays it first, so a row can
+// never outlive the symbols it references.
+func (d *durable) logDictTail(s *Store) {
+	dicts := s.dictKinds()
+	lens := [3]int{dicts[0].Len(), dicts[1].Len(), dicts[2].Len()}
+	d.dictMu.Lock()
+	for k := range dicts {
+		if lens[k] <= d.dictLogged[k] {
+			continue
+		}
+		syms := dicts[k].SymbolsFrom(d.dictLogged[k])
+		if len(syms) == 0 {
+			continue
+		}
+		payload := append(d.dictBuf[:0], byte(k))
+		payload = binary.AppendUvarint(payload, uint64(d.dictLogged[k]))
+		payload = symtab.AppendPage(payload, syms)
+		d.dictBuf = payload
+		if err := d.dictLog.Append(recDict, payload); err != nil {
+			d.fail(err)
+		}
+		d.dictLogged[k] += len(syms)
+		d.walLive.Add(int64(len(payload)) + walFrameOverhead)
+	}
+	d.dictMu.Unlock()
+}
+
+// putDurable is Put's durable back half: WAL-append then shard insert,
+// under the checkpoint gate. Symbols are already interned by the caller.
+func (s *Store) putDurable(t core.Trajectory, moID int32, enc, ann []int32) {
+	d := s.dur
+	d.gate.RLock()
+	d.logDictTail(s)
+	g := s.shardIndex(t.MO)
+	rl := &d.rows[g]
+	rl.mu.Lock()
+	seq := s.nextSeq.Add(1) - 1
+	rl.buf = appendRow(rl.buf[:0], seq, moID, enc, ann, t)
+	if err := rl.log.Append(recRow, rl.buf); err != nil {
+		d.fail(err)
+	}
+	d.walLive.Add(int64(len(rl.buf)) + walFrameOverhead)
+	rl.mu.Unlock()
+	sh := &s.shards[g]
+	sh.mu.Lock()
+	sh.insertOne(seq, t, moID, enc, ann, s.trajectoryRegions(t))
+	sh.mu.Unlock()
+	d.gate.RUnlock()
+	d.maybeCompact(s)
+}
+
+// putBatchDurable is PutBatch's durable back half: one WAL-append run and
+// one shard visit per touched shard.
+func (s *Store) putBatchDurable(ts []core.Trajectory, moIDs []int32, encs, anns [][]int32, groups [][]int32) {
+	d := s.dur
+	d.gate.RLock()
+	d.logDictTail(s)
+	base := s.nextSeq.Add(uint64(len(ts))) - uint64(len(ts))
+	for g, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		rl := &d.rows[g]
+		rl.mu.Lock()
+		for _, i := range idxs {
+			rl.buf = appendRow(rl.buf[:0], base+uint64(i), moIDs[i], encs[i], anns[i], ts[i])
+			if err := rl.log.Append(recRow, rl.buf); err != nil {
+				d.fail(err)
+				break
+			}
+			d.walLive.Add(int64(len(rl.buf)) + walFrameOverhead)
+		}
+		rl.mu.Unlock()
+		sh := &s.shards[g]
+		sh.mu.Lock()
+		sh.insertBatch(base, ts, idxs, moIDs, encs, anns, s.trajectoryRegions)
+		sh.mu.Unlock()
+	}
+	d.gate.RUnlock()
+	d.maybeCompact(s)
+}
+
+// Sync makes every previously completed Put/PutBatch durable: the dict
+// WAL is synced before the row WALs, preserving the replay invariant. On
+// an in-memory store Sync is a no-op. The first underlying failure is
+// sticky and re-reported here.
+func (s *Store) Sync() error {
+	d := s.dur
+	if d == nil {
+		return nil
+	}
+	d.gate.RLock()
+	d.dictMu.Lock()
+	dl := d.dictLog
+	d.dictMu.Unlock()
+	if err := dl.Sync(); err != nil {
+		d.fail(err)
+	}
+	for i := range d.rows {
+		rl := &d.rows[i]
+		rl.mu.Lock()
+		lg := rl.log
+		rl.mu.Unlock()
+		if err := lg.Sync(); err != nil {
+			d.fail(err)
+		}
+	}
+	d.gate.RUnlock()
+	return d.sticky()
+}
+
+// ckptSnapshot is everything a checkpoint captures under the gate: the
+// watermark, full dictionary pages, and per-shard column slice headers
+// (safe to read after release — the columns are append-only, so later
+// writers either append past the captured length or move to a new array).
+type ckptSnapshot struct {
+	nextSeq uint64
+	cells   []string
+	mos     []string
+	pairs   []string
+	shards  []segmentColumns
+}
+
+// rotate runs under the gate held exclusive: captures the snapshot, swaps
+// every WAL to the pre-created next-generation logs, and closes (flushing
+// and syncing) the old ones. It returns the snapshot and the old WAL
+// paths for post-commit deletion.
+func (d *durable) rotate(s *Store, newDict *wal.Log, newRows []*wal.Log) (*ckptSnapshot, []string) {
+	snap := &ckptSnapshot{
+		nextSeq: s.nextSeq.Load(),
+		cells:   s.cells.SymbolsFrom(0),
+		mos:     s.mos.SymbolsFrom(0),
+		pairs:   s.pairs.SymbolsFrom(0),
+		shards:  make([]segmentColumns, len(s.shards)),
+	}
+	oldPaths := make([]string, 0, len(s.shards)+1)
+	d.dictMu.Lock()
+	oldDict := d.dictLog
+	d.dictLog = newDict
+	d.dictLogged = [3]int{len(snap.cells), len(snap.mos), len(snap.pairs)}
+	d.dictMu.Unlock()
+	if err := oldDict.Close(); err != nil {
+		d.fail(err)
+	}
+	oldPaths = append(oldPaths, oldDict.Path())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		snap.shards[i] = segmentColumns{
+			seqs: sh.seqs, moIDs: sh.moIDs, encs: sh.encs, anns: sh.anns,
+			starts: sh.starts, ends: sh.ends, trajs: sh.trajs,
+		}
+		sh.mu.RUnlock()
+		rl := &d.rows[i]
+		rl.mu.Lock()
+		oldLog := rl.log
+		rl.log = newRows[i]
+		rl.mu.Unlock()
+		if err := oldLog.Close(); err != nil {
+			d.fail(err)
+		}
+		oldPaths = append(oldPaths, oldLog.Path())
+	}
+	d.walLive.Store(0)
+	return snap, oldPaths
+}
+
+// Checkpoint compacts the WALs into a new immutable segment generation:
+// rotate-and-capture stops the world only for slice-header copies and
+// file swaps; encoding and committing the segments happens with writers
+// flowing into the fresh WALs. On success the replayed-away WAL files and
+// the previous segment generation are deleted. A failure leaves the
+// previous generation authoritative and every row still recoverable from
+// the (now two generations of) WAL files. Checkpoint on an in-memory
+// store is a no-op.
+func (s *Store) Checkpoint() error {
+	d := s.dur
+	if d == nil {
+		return nil
+	}
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	if d.closed.Load() {
+		return errors.New("store: checkpoint on closed store")
+	}
+	if err := d.sticky(); err != nil {
+		return err
+	}
+
+	// Pre-create the next WAL generation before taking the gate, so the
+	// stop-the-world window contains no file creation.
+	nextWAL := d.walGen + 1
+	newDict, newRows, err := createWALGen(d.dir, nextWAL, len(d.rows))
+	if err != nil {
+		return err
+	}
+	d.gate.Lock()
+	snap, oldWAL := d.rotate(s, newDict, newRows)
+	d.gate.Unlock()
+	d.walGen = nextWAL
+	// The rotated-out files stay tracked until a checkpoint commits: on
+	// any failure below, recovery (and the next checkpoint's cleanup)
+	// still needs them.
+	d.staleWAL = append(d.staleWAL, oldWAL...)
+	if err := d.sticky(); err != nil {
+		return err
+	}
+
+	// Encode and commit off the write path.
+	gen := d.gen + 1
+	if err := commitFile(segDictPath(d.dir, gen), encodeDictFile(snap.cells, snap.mos, snap.pairs)); err != nil {
+		return err
+	}
+	segErrs := make([]error, len(snap.shards))
+	parallel.ForEach(len(snap.shards), func(i int) {
+		segErrs[i] = commitFile(segPath(d.dir, gen, i), encodeSegment(&snap.shards[i]))
+	})
+	for _, err := range segErrs {
+		if err != nil {
+			return err
+		}
+	}
+	man := &manifest{Version: manifestVersion, Shards: len(d.rows), Gen: gen, NextSeq: snap.nextSeq}
+	if err := writeManifest(d.dir, man); err != nil {
+		return err
+	}
+
+	// Committed: the old WAL generations and the old segments are dead.
+	oldGen := d.gen
+	d.gen = gen
+	removeAll(d.staleWAL)
+	d.staleWAL = nil
+	if oldGen > 0 {
+		old := []string{segDictPath(d.dir, oldGen)}
+		for i := range d.rows {
+			old = append(old, segPath(d.dir, oldGen, i))
+		}
+		removeAll(old)
+	}
+	return nil
+}
+
+// createWALGen creates the dict and per-shard row logs of one generation,
+// cleaning up on partial failure.
+func createWALGen(dir string, gen uint64, nShards int) (*wal.Log, []*wal.Log, error) {
+	dict, err := wal.Create(walDictPath(dir, gen))
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := make([]*wal.Log, nShards)
+	for i := range rows {
+		rows[i], err = wal.Create(walRowPath(dir, gen, i))
+		if err != nil {
+			dict.Close()
+			os.Remove(dict.Path())
+			for _, lg := range rows[:i] {
+				lg.Close()
+				os.Remove(lg.Path())
+			}
+			return nil, nil, err
+		}
+	}
+	return dict, rows, nil
+}
+
+// removeAll best-effort deletes the given files (cleanup after a commit;
+// a leftover file is re-deleted by the next checkpoint).
+func removeAll(paths []string) {
+	for _, p := range paths {
+		os.Remove(p)
+	}
+}
+
+// maybeCompact kicks off a background checkpoint once the live WAL bytes
+// cross the configured threshold. Single-flight: at most one background
+// compaction runs at a time.
+func (d *durable) maybeCompact(s *Store) {
+	if d.opts.AutoCompactBytes <= 0 || d.closed.Load() {
+		return
+	}
+	if d.walLive.Load() < d.opts.AutoCompactBytes {
+		return
+	}
+	if !d.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		defer d.compacting.Store(false)
+		if err := s.Checkpoint(); err != nil && !d.closed.Load() {
+			d.fail(err)
+		}
+	}()
+}
+
+// Close waits for background compaction, flushes and fsyncs every WAL,
+// and closes the files. Close on an in-memory store is a no-op. The
+// returned error is the sticky durability error, if any — a nil return
+// means everything written is on disk.
+func (s *Store) Close() error {
+	d := s.dur
+	if d == nil {
+		return nil
+	}
+	if d.closed.Swap(true) {
+		return d.sticky()
+	}
+	d.wg.Wait()
+	d.ckptMu.Lock()
+	d.dictMu.Lock()
+	dl := d.dictLog
+	d.dictMu.Unlock()
+	if err := dl.Close(); err != nil {
+		d.fail(err)
+	}
+	for i := range d.rows {
+		rl := &d.rows[i]
+		rl.mu.Lock()
+		lg := rl.log
+		rl.mu.Unlock()
+		if err := lg.Close(); err != nil {
+			d.fail(err)
+		}
+	}
+	d.ckptMu.Unlock()
+	return d.sticky()
+}
+
+// DurableStats describes the persistence state of a durable store; ok is
+// false for an in-memory store.
+type DurableStats struct {
+	Dir      string
+	Gen      uint64 // committed segment generation (0 = none yet)
+	WALBytes int64  // live WAL bytes awaiting compaction
+}
+
+// Durability returns the store's persistence state.
+func (s *Store) Durability() (DurableStats, bool) {
+	d := s.dur
+	if d == nil {
+		return DurableStats{}, false
+	}
+	d.ckptMu.Lock()
+	st := DurableStats{Dir: d.dir, Gen: d.gen, WALBytes: d.walLive.Load()}
+	d.ckptMu.Unlock()
+	return st, true
+}
+
+// errStaleRow tags a WAL row whose ids point past the recovered
+// dictionaries — the row was appended (and possibly synced) after dict
+// deltas that never became durable. Recovery treats it as the start of a
+// torn tail for that shard.
+var errStaleRow = errors.New("row references unrecovered dictionary symbols")
+
+// Open opens (creating if needed) a durable store rooted at dir: load the
+// committed segment generation's dict pages and columnar segments, then
+// replay the WAL tail — dict deltas first, then each shard's rows, with
+// rows below the manifest watermark skipped (they live in the segments).
+// Torn WAL tails are truncated silently (the crash contract); corruption
+// inside intact frames or segment files is a hard error, never a silent
+// partial load.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, walDirName), 0o755); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Join(dir, segDirName), 0o755); err != nil {
+		return nil, err
+	}
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	nShards := opts.Shards
+	if man != nil {
+		if nShards != 0 && nShards != man.Shards {
+			return nil, fmt.Errorf("store: directory %s has %d shards; Options.Shards is %d (use 0 to adopt)", dir, man.Shards, nShards)
+		}
+		nShards = man.Shards
+	}
+	s := NewSharded(nShards)
+	nShards = len(s.shards)
+	if man == nil {
+		man = &manifest{Version: manifestVersion, Shards: nShards}
+		if err := writeManifest(dir, man); err != nil {
+			return nil, err
+		}
+	}
+
+	// 1. Dictionaries from the committed pages.
+	if man.Gen > 0 {
+		path := segDictPath(dir, man.Gen)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		cells, mos, pairs, err := decodeDictFile(data, path)
+		if err != nil {
+			return nil, err
+		}
+		if s.cells, err = symtab.NewSyncDictFromSymbols(cells); err != nil {
+			return nil, err
+		}
+		if s.mos, err = symtab.NewSyncDictFromSymbols(mos); err != nil {
+			return nil, err
+		}
+		if s.pairs, err = symtab.NewSyncDictFromSymbols(pairs); err != nil {
+			return nil, err
+		}
+	}
+
+	// 2. Dict WAL replay (before segments' row decode would not matter —
+	// segments validate against the pages alone — but rows replayed later
+	// may reference delta symbols, so deltas apply first).
+	dictFiles, rowFiles, err := listWALFiles(dir, nShards)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		openLogs []*wal.Log // every log left open, for cleanup on error
+		stale    []string   // replayed files no longer appended to
+		walBytes int64
+	)
+	fail := func(err error) (*Store, error) {
+		for _, lg := range openLogs {
+			lg.Close()
+		}
+		return nil, err
+	}
+	dicts := s.dictKinds()
+	var dictLog *wal.Log
+	for fi, wf := range dictFiles {
+		lg, err := wal.Open(wf.path, func(typ byte, payload []byte) error {
+			if typ != recDict {
+				return fmt.Errorf("record type %d in dict wal", typ)
+			}
+			return applyDictDelta(dicts, payload)
+		})
+		if err != nil {
+			return fail(err)
+		}
+		openLogs = append(openLogs, lg)
+		walBytes += lg.Size()
+		if fi == len(dictFiles)-1 {
+			dictLog = lg
+		} else {
+			stale = append(stale, wf.path)
+		}
+	}
+
+	// 3. Segments: rebuild each shard's columns, in parallel.
+	maxSeqs := make([]uint64, nShards)
+	if man.Gen > 0 {
+		segErrs := make([]error, nShards)
+		parallel.ForEach(nShards, func(i int) {
+			path := segPath(dir, man.Gen, i)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				segErrs[i] = err
+				return
+			}
+			rows, spans, err := decodeSegment(data, path,
+				s.cells.Len(), s.mos.Len(), s.pairs.Len(),
+				s.cells.Symbol, s.mos.Symbol)
+			if err != nil {
+				segErrs[i] = err
+				return
+			}
+			for r := range rows {
+				if rows[r].seq >= maxSeqs[i] {
+					maxSeqs[i] = rows[r].seq + 1
+				}
+			}
+			s.shards[i].insertRecovered(rows, spans)
+		})
+		for _, err := range segErrs {
+			if err != nil {
+				return fail(err)
+			}
+		}
+	}
+
+	// 4. Row WAL replay per shard (gen order), skipping checkpointed rows.
+	rowLogs := make([]*wal.Log, nShards)
+	perShardStale := make([][]string, nShards)
+	replayErrs := make([]error, nShards)
+	replayBytes := make([]int64, nShards)
+	parallel.ForEach(nShards, func(i int) {
+		var rows []durableRow
+		for fi, wf := range rowFiles[i] {
+			lg, err := wal.Open(wf.path, func(typ byte, payload []byte) error {
+				if typ != recRow {
+					return fmt.Errorf("record type %d in row wal", typ)
+				}
+				row, err := decodeRow(payload,
+					s.cells.Len(), s.mos.Len(), s.pairs.Len(),
+					s.cells.Symbol, s.mos.Symbol)
+				if err != nil {
+					if errors.Is(err, errStaleRow) {
+						return wal.ErrStopReplay
+					}
+					return err
+				}
+				if row.seq < man.NextSeq {
+					return nil // already in the segments
+				}
+				rows = append(rows, row)
+				return nil
+			})
+			if err != nil {
+				replayErrs[i] = err
+				return
+			}
+			replayBytes[i] += lg.Size()
+			if fi == len(rowFiles[i])-1 {
+				rowLogs[i] = lg
+			} else {
+				perShardStale[i] = append(perShardStale[i], wf.path)
+				lg.Close()
+			}
+		}
+		for r := range rows {
+			if rows[r].seq >= maxSeqs[i] {
+				maxSeqs[i] = rows[r].seq + 1
+			}
+		}
+		s.shards[i].insertRecovered(rows, nil)
+	})
+	for _, err := range replayErrs {
+		if err != nil {
+			for _, lg := range rowLogs {
+				if lg != nil {
+					lg.Close()
+				}
+			}
+			return fail(err)
+		}
+	}
+	for i := range rowLogs {
+		if rowLogs[i] != nil {
+			openLogs = append(openLogs, rowLogs[i])
+		}
+		walBytes += replayBytes[i]
+		stale = append(stale, perShardStale[i]...)
+	}
+
+	// 5. Current WAL generation: append to the newest existing files,
+	// creating any that are missing at the highest generation seen.
+	walGen := uint64(1)
+	for _, wf := range dictFiles {
+		if wf.gen > walGen {
+			walGen = wf.gen
+		}
+	}
+	for i := range rowFiles {
+		for _, wf := range rowFiles[i] {
+			if wf.gen > walGen {
+				walGen = wf.gen
+			}
+		}
+	}
+	if dictLog == nil {
+		if dictLog, err = wal.Create(walDictPath(dir, walGen)); err != nil {
+			return fail(err)
+		}
+		openLogs = append(openLogs, dictLog)
+	}
+	for i := range rowLogs {
+		if rowLogs[i] == nil {
+			if rowLogs[i], err = wal.Create(walRowPath(dir, walGen, i)); err != nil {
+				return fail(err)
+			}
+			openLogs = append(openLogs, rowLogs[i])
+		}
+	}
+
+	nextSeq := man.NextSeq
+	for _, ms := range maxSeqs {
+		if ms > nextSeq {
+			nextSeq = ms
+		}
+	}
+	s.nextSeq.Store(nextSeq)
+
+	d := &durable{
+		dir:      dir,
+		opts:     opts,
+		dictLog:  dictLog,
+		rows:     make([]rowLog, nShards),
+		gen:      man.Gen,
+		walGen:   walGen,
+		staleWAL: stale,
+		dictLogged: [3]int{
+			s.cells.Len(), s.mos.Len(), s.pairs.Len(),
+		},
+	}
+	for i := range d.rows {
+		d.rows[i] = rowLog{log: rowLogs[i]}
+	}
+	d.walLive.Store(walBytes)
+	s.dur = d
+	return s, nil
+}
+
+// applyDictDelta replays one dict-delta record: kind byte, start id,
+// symbol page. Idempotent via the start id (AppendSymbols verifies and
+// skips already-known symbols).
+func applyDictDelta(dicts [3]*symtab.SyncDict, payload []byte) error {
+	if len(payload) < 1 {
+		return errors.New("empty dict delta")
+	}
+	kind := payload[0]
+	if int(kind) >= len(dicts) {
+		return fmt.Errorf("dict delta kind %d", kind)
+	}
+	start, w := binary.Uvarint(payload[1:])
+	if w <= 0 {
+		return errors.New("truncated dict delta")
+	}
+	syms, rest, err := symtab.DecodePage(payload[1+w:])
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("dict delta: %d trailing bytes", len(rest))
+	}
+	return dicts[kind].AppendSymbols(int(start), syms)
+}

@@ -1,0 +1,393 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sitm/internal/core"
+)
+
+// storeJSON renders a store through WriteJSON — the bit-equal oracle the
+// durability tests compare against.
+func storeJSON(t *testing.T, s *Store) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func mustClose(t *testing.T, s *Store) {
+	t.Helper()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestDurableObservablyEquivalent is the durability correctness property:
+// a durable store fed any schedule is observably identical to the
+// in-memory single-shard engine — live, after a clean close-and-reopen
+// (WAL-only recovery), after a checkpoint, and after reopening over
+// segments + WAL tail. Swept across shard counts.
+func TestDurableObservablyEquivalent(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		for seed := int64(0); seed < 3; seed++ {
+			t.Run(fmt.Sprintf("shards=%d/seed=%d", shards, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				trajs := randomCorpusTrajs(rng, 40+rng.Intn(40))
+				var chunks []int
+				for c := 0; c < len(trajs); {
+					n := 1 + rng.Intn(7)
+					chunks = append(chunks, n)
+					c += n
+				}
+				ref := NewSharded(1)
+				applySchedule(ref, trajs, chunks)
+				want := storeJSON(t, ref)
+
+				dir := t.TempDir()
+				s := mustOpen(t, dir, Options{Shards: shards})
+				applySchedule(s, trajs, chunks)
+				compareStores(t, ref, s, rand.New(rand.NewSource(seed^0x77)))
+				mustClose(t, s)
+
+				// Reopen: everything comes back from the WAL alone.
+				s = mustOpen(t, dir, Options{})
+				if got := storeJSON(t, s); got != want {
+					t.Fatal("WAL-only reopen diverged from reference JSON")
+				}
+				compareStores(t, ref, s, rand.New(rand.NewSource(seed^0x78)))
+
+				// Checkpoint, then half the corpus again on top.
+				if err := s.Checkpoint(); err != nil {
+					t.Fatalf("Checkpoint: %v", err)
+				}
+				more := randomCorpusTrajs(rng, 20)
+				s.PutBatch(more)
+				ref.PutBatch(more)
+				want = storeJSON(t, ref)
+				if got := storeJSON(t, s); got != want {
+					t.Fatal("post-checkpoint writes diverged")
+				}
+				mustClose(t, s)
+
+				// Reopen: segments + WAL tail.
+				s = mustOpen(t, dir, Options{})
+				if got := storeJSON(t, s); got != want {
+					t.Fatal("segment+tail reopen diverged from reference JSON")
+				}
+				compareStores(t, ref, s, rand.New(rand.NewSource(seed^0x79)))
+				mustClose(t, s)
+			})
+		}
+	}
+}
+
+// TestDurableCheckpointLifecycle checks generation bookkeeping: WAL bytes
+// accumulate, a checkpoint moves them into a new segment generation and
+// resets the WAL, and old generations disappear.
+func TestDurableCheckpointLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(7))
+	s := mustOpen(t, dir, Options{Shards: 2})
+	s.PutBatch(randomCorpusTrajs(rng, 30))
+
+	st, ok := s.Durability()
+	if !ok {
+		t.Fatal("Durability() not ok on a durable store")
+	}
+	if st.Gen != 0 || st.WALBytes == 0 {
+		t.Fatalf("before checkpoint: gen=%d walBytes=%d", st.Gen, st.WALBytes)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = s.Durability()
+	if st.Gen != 1 || st.WALBytes != 0 {
+		t.Fatalf("after checkpoint: gen=%d walBytes=%d", st.Gen, st.WALBytes)
+	}
+	s.PutBatch(randomCorpusTrajs(rng, 10))
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = s.Durability()
+	if st.Gen != 2 {
+		t.Fatalf("after second checkpoint: gen=%d", st.Gen)
+	}
+	mustClose(t, s)
+
+	// Old generation files must be gone; gen-2 files must exist.
+	if _, err := os.Stat(segDictPath(dir, 1)); !os.IsNotExist(err) {
+		t.Fatalf("gen-1 dict file still present: %v", err)
+	}
+	if _, err := os.Stat(segDictPath(dir, 2)); err != nil {
+		t.Fatalf("gen-2 dict file missing: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := os.Stat(segPath(dir, 2, i)); err != nil {
+			t.Fatalf("gen-2 segment %d missing: %v", i, err)
+		}
+	}
+	// Exactly one WAL generation should remain.
+	entries, err := os.ReadDir(filepath.Join(dir, walDirName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 { // dict + 2 shard row logs
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("wal dir has %v, want exactly one generation (3 files)", names)
+	}
+}
+
+// TestDurableInMemoryNoOps: Sync/Checkpoint/Close on the in-memory
+// constructors are documented no-ops.
+func TestDurableInMemoryNoOps(t *testing.T) {
+	s := New()
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Durability(); ok {
+		t.Fatal("Durability() ok on an in-memory store")
+	}
+}
+
+// TestDurableShardCountPinned: the directory's shard layout is
+// authoritative — 0 adopts it, a conflicting count is refused.
+func TestDurableShardCountPinned(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Shards: 3})
+	s.Put(mkTraj(t, "mo1", "A"))
+	mustClose(t, s)
+
+	s = mustOpen(t, dir, Options{})
+	if len(s.shards) != 3 {
+		t.Fatalf("adopted %d shards, want 3", len(s.shards))
+	}
+	mustClose(t, s)
+
+	if _, err := Open(dir, Options{Shards: 5}); err == nil {
+		t.Fatal("Open with a conflicting shard count succeeded")
+	}
+}
+
+// mkTraj builds a minimal valid trajectory.
+func mkTraj(t *testing.T, mo string, cells ...string) core.Trajectory {
+	t.Helper()
+	var tr core.Trace
+	at := day
+	for _, c := range cells {
+		tr = append(tr, core.PresenceInterval{Cell: c, Start: at, End: at.Add(time.Minute)})
+		at = at.Add(2 * time.Minute)
+	}
+	traj, err := core.NewTrajectory(mo, tr, core.NewAnnotations("k", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traj
+}
+
+// TestDurableAutoCompact: crossing the WAL byte threshold triggers a
+// background checkpoint without any explicit Checkpoint call.
+func TestDurableAutoCompact(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(11))
+	s := mustOpen(t, dir, Options{Shards: 2, AutoCompactBytes: 4 << 10})
+	ref := NewSharded(1)
+	for i := 0; i < 40; i++ {
+		batch := randomCorpusTrajs(rng, 10)
+		s.PutBatch(batch)
+		ref.PutBatch(batch)
+	}
+	// The checkpoint runs on a background goroutine; give it a deadline to
+	// land before closing (Close would refuse a checkpoint that only gets
+	// scheduled after it).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, ok := s.Durability()
+		if !ok {
+			t.Fatal("durable store reports no durability stats")
+		}
+		if st.Gen > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background compaction never ran despite WAL growth")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mustClose(t, s)
+
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Gen == 0 {
+		t.Fatal("manifest lost the background checkpoint generation")
+	}
+	s = mustOpen(t, dir, Options{})
+	if got, want := storeJSON(t, s), storeJSON(t, ref); got != want {
+		t.Fatal("auto-compacted store diverged after reopen")
+	}
+	mustClose(t, s)
+}
+
+// TestDurableConcurrentWritersAndCheckpoints hammers Put/PutBatch from
+// several goroutines while checkpoints run, then proves reopen sees every
+// trajectory exactly once. (The race detector covers the memory model; CI
+// runs this with -race across shard counts.)
+func TestDurableConcurrentWritersAndCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Shards: shardCount()})
+	const writers = 4
+	const perWriter = 30
+	done := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				tr := mkTraj(t, fmt.Sprintf("w%d-%d", w, i), "A", "B")
+				if rng.Intn(2) == 0 {
+					s.Put(tr)
+				} else {
+					s.PutBatch([]core.Trajectory{tr})
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Checkpoint(); err != nil {
+			t.Errorf("Checkpoint: %v", err)
+		}
+	}
+	for w := 0; w < writers; w++ {
+		<-done
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want := s.Len()
+	mustClose(t, s)
+
+	s = mustOpen(t, dir, Options{})
+	defer mustClose(t, s)
+	if s.Len() != want {
+		t.Fatalf("reopen lost rows: %d vs %d", s.Len(), want)
+	}
+	seen := make(map[string]bool)
+	for _, tr := range s.All() {
+		if seen[tr.MO] {
+			t.Fatalf("trajectory %s recovered twice", tr.MO)
+		}
+		seen[tr.MO] = true
+	}
+	if len(seen) != writers*perWriter {
+		t.Fatalf("recovered %d distinct MOs, want %d", len(seen), writers*perWriter)
+	}
+}
+
+// shardCount resolves the -shards test flag like newTestStore does.
+func shardCount() int { return *shardFlag }
+
+// TestOpenRejectsCorruptSegment: a flipped byte inside a committed
+// segment (or dict file) must fail Open outright — checksummed files are
+// never half-loaded.
+func TestOpenRejectsCorruptSegment(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(3))
+	s := mustOpen(t, dir, Options{Shards: 1})
+	s.PutBatch(randomCorpusTrajs(rng, 20))
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	mustClose(t, s)
+
+	for _, path := range []string{segPath(dir, 1, 0), segDictPath(dir, 1)} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corrupt := append([]byte(nil), data...)
+		corrupt[len(corrupt)/2] ^= 0x40
+		if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(dir, Options{}); err == nil {
+			t.Fatalf("Open succeeded over corrupt %s", filepath.Base(path))
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Restored: opens clean again.
+	s = mustOpen(t, dir, Options{})
+	mustClose(t, s)
+}
+
+// TestDurableReadJSONPersists: the JSON load path goes through the
+// durable PutBatch hook, so a loaded file survives reopen byte-for-byte.
+func TestDurableReadJSONPersists(t *testing.T) {
+	ref := NewSharded(1)
+	rng := rand.New(rand.NewSource(5))
+	ref.PutBatch(randomCorpusTrajs(rng, 25))
+	want := storeJSON(t, ref)
+
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Shards: 4})
+	if err := s.ReadJSON(strings.NewReader(want)); err != nil {
+		t.Fatal(err)
+	}
+	mustClose(t, s)
+	s = mustOpen(t, dir, Options{})
+	defer mustClose(t, s)
+	if got := storeJSON(t, s); got != want {
+		t.Fatal("durable ReadJSON round trip diverged")
+	}
+}
+
+// TestDurableRegionsAttachAfterRecovery: region postings are not
+// persisted; attaching a hierarchy to a recovered store rebuilds them
+// (same contract as the in-memory store).
+func TestDurableRegionsAttachAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Shards: 2})
+	s.Put(mkTraj(t, "mo1", "A", "B"))
+	s.Put(mkTraj(t, "mo2", "E"))
+	mustClose(t, s)
+
+	s = mustOpen(t, dir, Options{})
+	defer mustClose(t, s)
+	s.AttachRegions(queryModel(t))
+	got, err := s.SelectMOs(Region("Wing", "west"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[mo1]" {
+		t.Fatalf("Region(west) after recovery = %v, want [mo1]", got)
+	}
+}

@@ -1,0 +1,341 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"sitm/internal/core"
+	"sitm/internal/symtab"
+)
+
+// On-disk layout of a durable store directory (DESIGN.md §3.10):
+//
+//	dir/MANIFEST.json        commit point: {version, shards, gen, next_seq}
+//	dir/seg/<gen>.dict       dict pages (cells, mos, pairs) as of gen
+//	dir/seg/<gen>-<shard>.seg one immutable columnar segment per shard
+//	dir/wal/<gen>.dict.wal   dict-delta WAL (global)
+//	dir/wal/<gen>-<shard>.row.wal row WAL, one per shard
+//
+// Segments and the dict file are written to a temp name and renamed; the
+// MANIFEST rename is the checkpoint's commit point. Every non-WAL file is
+// framed magic + payload + trailing CRC32C, so a half-written file (crash
+// before rename can't leave one visible, but a torn rename target on a
+// non-atomic filesystem could) is detected, not half-loaded.
+
+const (
+	manifestName    = "MANIFEST.json"
+	walDirName      = "wal"
+	segDirName      = "seg"
+	manifestVersion = 1
+
+	segMagic  = "SITMSEG1"
+	dictMagic = "SITMDCT1"
+
+	// WAL record types.
+	recDict byte = 1 // dict delta: kind, startID, symbol page
+	recRow  byte = 2 // one encoded trajectory row
+)
+
+// manifest is the durable store's commit record.
+type manifest struct {
+	Version int    `json:"version"`
+	Shards  int    `json:"shards"`
+	Gen     uint64 `json:"gen"`      // segment generation (0 = none)
+	NextSeq uint64 `json:"next_seq"` // rows with seq < NextSeq live in segments
+}
+
+func segDictPath(dir string, gen uint64) string {
+	return filepath.Join(dir, segDirName, fmt.Sprintf("%08d.dict", gen))
+}
+
+func segPath(dir string, gen uint64, shard int) string {
+	return filepath.Join(dir, segDirName, fmt.Sprintf("%08d-%04d.seg", gen, shard))
+}
+
+func walDictPath(dir string, gen uint64) string {
+	return filepath.Join(dir, walDirName, fmt.Sprintf("%08d.dict.wal", gen))
+}
+
+func walRowPath(dir string, gen uint64, shard int) string {
+	return filepath.Join(dir, walDirName, fmt.Sprintf("%08d-%04d.row.wal", gen, shard))
+}
+
+func readManifest(dir string) (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("store: manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("store: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	if m.Shards <= 0 {
+		return nil, fmt.Errorf("store: manifest shards %d", m.Shards)
+	}
+	return &m, nil
+}
+
+// writeManifest commits a manifest atomically: temp file, fsync, rename,
+// fsync of the directory. After the rename is durable, recovery observes
+// the new generation and checkpoint watermark together or not at all.
+func writeManifest(dir string, m *manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return commitFile(filepath.Join(dir, manifestName), append(data, '\n'))
+}
+
+// commitFile atomically replaces path with data (temp + fsync + rename +
+// dir fsync).
+func commitFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// frame wraps payload as magic + payload + CRC32C.
+func frame(magic string, payload []byte) []byte {
+	out := make([]byte, 0, len(magic)+len(payload)+4)
+	out = append(out, magic...)
+	out = append(out, payload...)
+	sum := crc32.Checksum(payload, castagnoliTable)
+	return binary.LittleEndian.AppendUint32(out, sum)
+}
+
+var castagnoliTable = crc32.MakeTable(crc32.Castagnoli)
+
+// unframe validates magic and trailing CRC and returns the payload.
+func unframe(magic string, data []byte, path string) ([]byte, error) {
+	if len(data) < len(magic)+4 || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("store: %s: bad or missing %s header", path, magic)
+	}
+	payload := data[len(magic) : len(data)-4]
+	sum := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(payload, castagnoliTable) != sum {
+		return nil, fmt.Errorf("store: %s: checksum mismatch", path)
+	}
+	return payload, nil
+}
+
+// encodeDictFile serializes the three dictionary pages.
+func encodeDictFile(cells, mos, pairs []string) []byte {
+	var payload []byte
+	payload = symtab.AppendPage(payload, cells)
+	payload = symtab.AppendPage(payload, mos)
+	payload = symtab.AppendPage(payload, pairs)
+	return frame(dictMagic, payload)
+}
+
+func decodeDictFile(data []byte, path string) (cells, mos, pairs []string, err error) {
+	payload, err := unframe(dictMagic, data, path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if cells, payload, err = symtab.DecodePage(payload); err != nil {
+		return nil, nil, nil, fmt.Errorf("store: %s cells: %w", path, err)
+	}
+	if mos, payload, err = symtab.DecodePage(payload); err != nil {
+		return nil, nil, nil, fmt.Errorf("store: %s mos: %w", path, err)
+	}
+	if pairs, payload, err = symtab.DecodePage(payload); err != nil {
+		return nil, nil, nil, fmt.Errorf("store: %s pairs: %w", path, err)
+	}
+	if len(payload) != 0 {
+		return nil, nil, nil, fmt.Errorf("store: %s: %d trailing bytes", path, len(payload))
+	}
+	return cells, mos, pairs, nil
+}
+
+// segmentColumns is one shard's capture for segment writing: slice headers
+// over the shard's append-only columns, taken under the checkpoint gate.
+type segmentColumns struct {
+	seqs   []uint64
+	moIDs  []int32
+	encs   [][]int32
+	anns   [][]int32
+	starts []time.Time
+	ends   []time.Time
+	trajs  []core.Trajectory // residual source (encoded outside the gate)
+}
+
+// encodeSegment lays the captured columns out column-major: row count,
+// then the seqs, moIDs, encs, anns and span columns, then the residual
+// row blobs. Readers rebuild the exact in-memory columns with no
+// re-interning; the span column feeds the interval index directly.
+func encodeSegment(c *segmentColumns) []byte {
+	var p []byte
+	p = binary.AppendUvarint(p, uint64(len(c.seqs)))
+	for _, s := range c.seqs {
+		p = binary.AppendUvarint(p, s)
+	}
+	for _, id := range c.moIDs {
+		p = binary.AppendUvarint(p, uint64(id))
+	}
+	for _, enc := range c.encs {
+		p = appendIDs(p, enc)
+	}
+	for _, ann := range c.anns {
+		p = appendIDs(p, ann)
+	}
+	for i := range c.starts {
+		p = binary.AppendVarint(p, c.starts[i].UnixNano())
+		p = binary.AppendVarint(p, c.ends[i].UnixNano())
+	}
+	for i := range c.trajs {
+		p = appendRowResidual(p, c.trajs[i])
+	}
+	return frame(segMagic, p)
+}
+
+// decodeSegment rebuilds the rows of one segment. Dictionary limits and
+// resolvers come from the already-loaded dict pages; every id is
+// validated, so a segment referencing symbols its dict file doesn't hold
+// is rejected (that combination cannot come from a completed checkpoint).
+func decodeSegment(data []byte, path string, cellLimit, moLimit, pairLimit int, cells, mos func(int32) string) ([]durableRow, [][2]int64, error) {
+	payload, err := unframe(segMagic, data, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := &rowDecoder{b: payload}
+	n := d.count(1)
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	rows := make([]durableRow, n)
+	for i := range rows {
+		rows[i].seq = d.uvarint()
+	}
+	for i := range rows {
+		v := d.uvarint()
+		if d.err == nil && v >= uint64(moLimit) {
+			d.fail(fmt.Sprintf("mo id %d beyond dictionary size %d", v, moLimit))
+		}
+		rows[i].moID = int32(v)
+	}
+	for i := range rows {
+		rows[i].enc = d.ids(cellLimit)
+	}
+	for i := range rows {
+		rows[i].ann = d.ids(pairLimit)
+	}
+	spans := make([][2]int64, n)
+	for i := range spans {
+		spans[i][0] = d.varint()
+		spans[i][1] = d.varint()
+	}
+	if d.err != nil {
+		return nil, nil, fmt.Errorf("store: segment %s: %w", path, d.err)
+	}
+	for i := range rows {
+		rows[i].traj = d.rowResidual(rows[i].moID, rows[i].enc, cells, mos)
+		if d.err != nil {
+			return nil, nil, fmt.Errorf("store: segment %s row %d: %w", path, i, d.err)
+		}
+	}
+	if len(d.b) != 0 {
+		return nil, nil, fmt.Errorf("store: segment %s: %d trailing bytes", path, len(d.b))
+	}
+	return rows, spans, nil
+}
+
+// walFile is one discovered WAL file: its generation and path.
+type walFile struct {
+	gen  uint64
+	path string
+}
+
+// listWALFiles scans dir/wal and returns the dict WALs and per-shard row
+// WALs in ascending generation order. Files for shards ≥ nShards mean the
+// directory was written with a different layout and error out.
+func listWALFiles(dir string, nShards int) (dicts []walFile, rows [][]walFile, err error) {
+	entries, err := os.ReadDir(filepath.Join(dir, walDirName))
+	if err != nil {
+		return nil, nil, err
+	}
+	rows = make([][]walFile, nShards)
+	for _, e := range entries {
+		name := e.Name()
+		full := filepath.Join(dir, walDirName, name)
+		switch {
+		case strings.HasSuffix(name, ".dict.wal"):
+			gen, err := strconv.ParseUint(strings.TrimSuffix(name, ".dict.wal"), 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("store: unrecognized wal file %s", name)
+			}
+			dicts = append(dicts, walFile{gen, full})
+		case strings.HasSuffix(name, ".row.wal"):
+			base := strings.TrimSuffix(name, ".row.wal")
+			genStr, shardStr, ok := strings.Cut(base, "-")
+			if !ok {
+				return nil, nil, fmt.Errorf("store: unrecognized wal file %s", name)
+			}
+			gen, err1 := strconv.ParseUint(genStr, 10, 64)
+			shard, err2 := strconv.Atoi(shardStr)
+			if err1 != nil || err2 != nil {
+				return nil, nil, fmt.Errorf("store: unrecognized wal file %s", name)
+			}
+			if shard >= nShards {
+				return nil, nil, fmt.Errorf("store: wal file %s names shard %d of %d", name, shard, nShards)
+			}
+			rows[shard] = append(rows[shard], walFile{gen, full})
+		default:
+			return nil, nil, fmt.Errorf("store: unrecognized wal file %s", name)
+		}
+	}
+	sort.Slice(dicts, func(i, j int) bool { return dicts[i].gen < dicts[j].gen })
+	for i := range rows {
+		r := rows[i]
+		sort.Slice(r, func(a, b int) bool { return r[a].gen < r[b].gen })
+	}
+	return dicts, rows, nil
+}

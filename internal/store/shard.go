@@ -203,6 +203,47 @@ func (sh *shard) insertOne(seq uint64, t core.Trajectory, moID int32, enc, ann, 
 	}
 }
 
+// insertRecovered rebuilds this shard's columns and indexes from decoded
+// durable rows (segment rows, then WAL-tail rows), carrying each row's
+// original insertion sequence explicitly — unlike insertBatch, recovered
+// sequences are not contiguous. spanNanos, when non-nil, is the segment's
+// span column (UnixNano start/end per row); nil derives spans from the
+// trajectories (the WAL-row path). Region postings are left empty: a
+// later AttachRegions rebuilds them from the recovered trajectories, the
+// same contract the in-memory store has.
+func (sh *shard) insertRecovered(rows []durableRow, spanNanos [][2]int64) {
+	if len(rows) == 0 {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	spans := make([]span, 0, len(rows))
+	perCell := make(map[int32][]span)
+	for ri := range rows {
+		r := &rows[ri]
+		slot := sh.addSlot(r.seq, r.traj, r.moID, r.enc, r.ann, nil)
+		st, en := r.traj.Start(), r.traj.End()
+		if spanNanos != nil {
+			st = time.Unix(0, spanNanos[ri][0]).UTC()
+			en = time.Unix(0, spanNanos[ri][1]).UTC()
+		}
+		spans = append(spans, span{start: st, end: en, ref: int(slot)})
+		for k, p := range r.traj.Trace {
+			id := r.enc[k]
+			perCell[id] = append(perCell[id], span{start: p.Start, end: p.End, ref: int(slot)})
+		}
+	}
+	sh.spanIdx.insertAll(spans)
+	for id, sp := range perCell {
+		ix := sh.cellIdx[id]
+		if ix == nil {
+			ix = newIntervalIndex()
+			sh.cellIdx[id] = ix
+		}
+		ix.insertAll(sp)
+	}
+}
+
 // insertBatch indexes the batch members routed to this shard under the
 // (held) shard lock, grouping presence spans per cell so every touched
 // interval index absorbs the burst with a single buffer merge. idxs are

@@ -76,6 +76,10 @@ type Store struct {
 	regions regionState
 
 	shards []shard
+
+	// dur is the persistence state of a store opened with Open; nil for
+	// the in-memory constructors. Set once before the store is shared.
+	dur *durable
 }
 
 // New returns an empty store with the default shard count (GOMAXPROCS).
@@ -138,6 +142,10 @@ func (s *Store) Put(t core.Trajectory) {
 	enc := s.cells.EncodeTrace(t.Trace)
 	moID := s.mos.Intern(t.MO)
 	ann := s.encodeAnn(t.Ann)
+	if s.dur != nil {
+		s.putDurable(t, moID, enc, ann)
+		return
+	}
 	sh := s.shardOf(t.MO)
 	sh.mu.Lock()
 	seq := s.nextSeq.Add(1) - 1
@@ -167,6 +175,10 @@ func (s *Store) PutBatch(ts []core.Trajectory) {
 		anns[i] = s.encodeAnn(t.Ann)
 		g := s.shardIndex(t.MO)
 		groups[g] = append(groups[g], int32(i))
+	}
+	if s.dur != nil {
+		s.putBatchDurable(ts, moIDs, encs, anns, groups)
+		return
 	}
 	base := s.nextSeq.Add(uint64(len(ts))) - uint64(len(ts))
 	for g, idxs := range groups {
@@ -520,10 +532,26 @@ func (s *Store) WriteJSON(w io.Writer) error {
 // acquisition and one interval-index buffer merge per touched index,
 // matching the streaming write path instead of paying per-trajectory
 // locking and index maintenance.
+//
+// The load is all-or-nothing: every trajectory is validated before the
+// first insert, so a decode or validation error leaves the store
+// untouched. The input must be exactly one JSON value — trailing
+// non-whitespace data (a torn write, a concatenated pair of store files)
+// is rejected rather than silently ignored. A JSON null is a valid empty
+// store (Go's encoder writes nil slices as null) and loads nothing.
 func (s *Store) ReadJSON(r io.Reader) error {
 	var in []jsonTrajectory
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
 		return fmt.Errorf("store: decode: %w", err)
+	}
+	// A second token must not exist: Decode stops at the end of the first
+	// value and would silently ignore whatever follows.
+	if _, err := dec.Token(); err != io.EOF {
+		if err == nil {
+			err = errors.New("unexpected data after store document")
+		}
+		return fmt.Errorf("store: decode: trailing data: %w", err)
 	}
 	ts := make([]core.Trajectory, 0, len(in))
 	for _, jt := range in {

@@ -155,6 +155,87 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestJSONRoundTripEmpty: an empty store writes a valid document (Go
+// encodes the nil slice as null) that loads back to an empty store.
+func TestJSONRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	if err := s.ReadJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("empty round trip produced %d trajectories", s.Len())
+	}
+	// An explicit null is the same empty store.
+	s = New()
+	if err := s.ReadJSON(strings.NewReader("null")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("null loaded %d trajectories", s.Len())
+	}
+}
+
+// TestReadJSONTrailingData: ReadJSON must consume exactly one JSON value.
+// Decode stops at the end of the first value, so without the explicit
+// trailing-token check a torn write or a concatenated pair of store files
+// would load the first document and silently drop the rest.
+func TestReadJSONTrailingData(t *testing.T) {
+	one := `[{"mo":"a","ann":{"k":["v"]},"trace":[{"cell":"E","start":"2024-01-01T00:00:00Z","end":"2024-01-01T00:05:00Z"}]}]`
+	for _, tc := range []struct {
+		name, in string
+		ok       bool
+		want     int
+	}{
+		{"clean", one, true, 1},
+		{"trailing whitespace", one + " \n\t\n", true, 1},
+		{"trailing garbage", one + "garbage", false, 0},
+		{"concatenated documents", one + one, false, 0},
+		{"second null document", one + "null", false, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New()
+			err := s.ReadJSON(strings.NewReader(tc.in))
+			if tc.ok && err != nil {
+				t.Fatalf("ReadJSON: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("ReadJSON accepted trailing data")
+			}
+			if s.Len() != tc.want {
+				t.Fatalf("loaded %d trajectories, want %d", s.Len(), tc.want)
+			}
+		})
+	}
+}
+
+// TestReadJSONAllOrNothing: an invalid trajectory in the middle of the
+// document must leave the store untouched — no partial load.
+func TestReadJSONAllOrNothing(t *testing.T) {
+	doc := `[
+		{"mo":"a","ann":{"k":["v"]},"trace":[{"cell":"E","start":"2024-01-01T00:00:00Z","end":"2024-01-01T00:05:00Z"}]},
+		{"mo":"","ann":{"k":["v"]},"trace":[{"cell":"S","start":"2024-01-01T00:00:00Z","end":"2024-01-01T00:05:00Z"}]},
+		{"mo":"c","ann":{"k":["v"]},"trace":[{"cell":"P","start":"2024-01-01T00:00:00Z","end":"2024-01-01T00:05:00Z"}]}
+	]`
+	s := New()
+	if err := s.ReadJSON(strings.NewReader(doc)); err == nil {
+		t.Fatal("ReadJSON accepted an invalid trajectory")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("partial load: %d trajectories inserted before the error", s.Len())
+	}
+	got, err := s.SelectMOs(Cell("E"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("partial load visible to queries: %v", got)
+	}
+}
+
 func TestDetectionsCSVRoundTrip(t *testing.T) {
 	dets := []core.Detection{
 		{MO: "a", Cell: "E", Start: at(0), End: at(5)},

@@ -1,0 +1,113 @@
+package symtab
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Dict page serialization: the durable store persists each dictionary as
+// one page — a count followed by length-prefixed symbols in id order — so
+// recovery rebuilds the id↔symbol bijection by appending symbols in slice
+// order (ids are dense and assigned in first-intern order, so the slice
+// order IS the id assignment). WAL dict deltas reuse the same encoding for
+// the tail of symbols interned since the last page was written.
+
+// AppendPage appends the page encoding of syms to dst and returns the
+// extended slice.
+func AppendPage(dst []byte, syms []string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(syms)))
+	for _, s := range syms {
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// DecodePage decodes one page from data, returning the symbols and the
+// unconsumed remainder.
+func DecodePage(data []byte) (syms []string, rest []byte, err error) {
+	n, w := binary.Uvarint(data)
+	if w <= 0 {
+		return nil, nil, fmt.Errorf("symtab: truncated page header")
+	}
+	data = data[w:]
+	if n > uint64(len(data)) {
+		// Each symbol costs at least one byte, so a count beyond the
+		// remaining bytes is corruption — reject before allocating.
+		return nil, nil, fmt.Errorf("symtab: page claims %d symbols in %d bytes", n, len(data))
+	}
+	syms = make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, w := binary.Uvarint(data)
+		if w <= 0 || l > uint64(len(data)-w) {
+			return nil, nil, fmt.Errorf("symtab: truncated symbol %d of %d", i, n)
+		}
+		syms = append(syms, string(data[w:w+int(l)]))
+		data = data[w+int(l):]
+	}
+	return syms, data, nil
+}
+
+// NewSyncDictFromSymbols rebuilds a dictionary from a persisted page:
+// symbol i gets id i. A duplicate symbol means the page cannot be a valid
+// dictionary image and is rejected. The dictionary under construction is
+// not yet shared, hence unlocked access.
+//
+//sitm:locked
+func NewSyncDictFromSymbols(syms []string) (*SyncDict, error) {
+	d := &SyncDict{d: Dict{
+		ids:  make(map[string]int32, len(syms)),
+		syms: make([]string, 0, len(syms)),
+	}}
+	for _, s := range syms {
+		if _, dup := d.d.ids[s]; dup {
+			return nil, fmt.Errorf("symtab: duplicate symbol %q in dictionary page", s)
+		}
+		d.d.ids[s] = int32(len(d.d.syms))
+		d.d.syms = append(d.d.syms, s)
+	}
+	return d, nil
+}
+
+// SymbolsFrom returns a copy of the symbols with ids in [from, Len()) —
+// the delta the durable store logs when the alphabet has grown past the
+// last persisted point. from beyond the current length yields nil.
+func (s *SyncDict) SymbolsFrom(from int) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if from >= len(s.d.syms) {
+		return nil
+	}
+	out := make([]string, len(s.d.syms)-from)
+	copy(out, s.d.syms[from:])
+	return out
+}
+
+// AppendSymbols replays a persisted delta: syms carry ids
+// [startID, startID+len(syms)). Replay is idempotent — symbols the dict
+// already holds are verified against the delta and skipped — but a gap
+// (startID beyond Len) or a mismatch against an already-assigned id is
+// corruption and errors out.
+func (s *SyncDict) AppendSymbols(startID int, syms []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if startID > len(s.d.syms) {
+		return fmt.Errorf("symtab: delta starts at id %d but dictionary has %d symbols", startID, len(s.d.syms))
+	}
+	for i, sym := range syms {
+		id := startID + i
+		if id < len(s.d.syms) {
+			if s.d.syms[id] != sym {
+				return fmt.Errorf("symtab: delta symbol %q for id %d conflicts with %q", sym, id, s.d.syms[id])
+			}
+			continue
+		}
+		if prev, dup := s.d.ids[sym]; dup {
+			return fmt.Errorf("symtab: delta symbol %q for id %d already interned as %d", sym, id, prev)
+		}
+		s.d.ids[sym] = int32(id)
+		s.d.syms = append(s.d.syms, sym)
+		s.frozen = nil
+	}
+	return nil
+}

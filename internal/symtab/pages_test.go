@@ -1,0 +1,147 @@
+package symtab
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPageRoundTrip(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{},
+		{""},
+		{"a"},
+		{"room-12", "", "corridor/3", "éclair", "a\x00b"},
+	}
+	for _, syms := range cases {
+		buf := AppendPage(nil, syms)
+		got, rest, err := DecodePage(buf)
+		if err != nil {
+			t.Fatalf("DecodePage(%q): %v", syms, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("DecodePage(%q): %d leftover bytes", syms, len(rest))
+		}
+		if len(got) != len(syms) {
+			t.Fatalf("DecodePage(%q): got %q", syms, got)
+		}
+		for i := range syms {
+			if got[i] != syms[i] {
+				t.Fatalf("symbol %d: got %q want %q", i, got[i], syms[i])
+			}
+		}
+	}
+}
+
+func TestPageConcatenation(t *testing.T) {
+	buf := AppendPage(nil, []string{"a", "b"})
+	buf = AppendPage(buf, []string{"c"})
+	p1, rest, err := DecodePage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, rest, err := DecodePage(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 || !reflect.DeepEqual(p1, []string{"a", "b"}) || !reflect.DeepEqual(p2, []string{"c"}) {
+		t.Fatalf("got %q / %q, rest %d bytes", p1, p2, len(rest))
+	}
+}
+
+func TestDecodePageRejectsTruncation(t *testing.T) {
+	buf := AppendPage(nil, []string{"abc", "defgh"})
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodePage(buf[:cut]); err == nil && cut < len(buf) {
+			// A cut can only be valid if it lands exactly on a page
+			// boundary, and a 2-symbol page has none before its end.
+			t.Fatalf("DecodePage accepted truncation at %d/%d", cut, len(buf))
+		}
+	}
+}
+
+func TestDecodePageRejectsOverclaimedCount(t *testing.T) {
+	buf := AppendPage(nil, []string{"x"})
+	buf[0] = 200 // claim 200 symbols; only one follows
+	if _, _, err := DecodePage(buf); err == nil {
+		t.Fatal("DecodePage accepted an overclaimed symbol count")
+	}
+}
+
+func TestNewSyncDictFromSymbols(t *testing.T) {
+	d, err := NewSyncDictFromSymbols([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if id, ok := d.Lookup("b"); !ok || id != 1 {
+		t.Fatalf("Lookup(b) = %d, %v", id, ok)
+	}
+	if d.Symbol(2) != "c" {
+		t.Fatalf("Symbol(2) = %q", d.Symbol(2))
+	}
+	// The rebuilt dict must keep interning with dense ids past the page.
+	if id := d.Intern("d"); id != 3 {
+		t.Fatalf("Intern(d) = %d, want 3", id)
+	}
+	if _, err := NewSyncDictFromSymbols([]string{"a", "a"}); err == nil {
+		t.Fatal("duplicate symbols accepted")
+	}
+}
+
+func TestSymbolsFrom(t *testing.T) {
+	d := NewSyncDict()
+	for _, s := range []string{"a", "b", "c", "d"} {
+		d.Intern(s)
+	}
+	if got := d.SymbolsFrom(2); !reflect.DeepEqual(got, []string{"c", "d"}) {
+		t.Fatalf("SymbolsFrom(2) = %q", got)
+	}
+	if got := d.SymbolsFrom(4); got != nil {
+		t.Fatalf("SymbolsFrom(4) = %q, want nil", got)
+	}
+	if got := d.SymbolsFrom(0); len(got) != 4 {
+		t.Fatalf("SymbolsFrom(0) = %q", got)
+	}
+}
+
+func TestAppendSymbolsIdempotentReplay(t *testing.T) {
+	d := NewSyncDict()
+	if err := d.AppendSymbols(0, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the same delta (recovery reprocessing an already-applied
+	// record) is a no-op.
+	if err := d.AppendSymbols(0, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping delta extends past the known prefix.
+	if err := d.AppendSymbols(1, []string{"b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 || d.Symbol(2) != "c" {
+		t.Fatalf("after replays: Len=%d", d.Len())
+	}
+	// Gap: delta claims ids beyond the dictionary.
+	if err := d.AppendSymbols(5, []string{"x"}); err == nil {
+		t.Fatal("gap delta accepted")
+	}
+	// Conflict: id 0 is "a", delta says otherwise.
+	if err := d.AppendSymbols(0, []string{"z"}); err == nil {
+		t.Fatal("conflicting delta accepted")
+	}
+	// Duplicate: "a" already has id 0, delta assigns it id 3.
+	if err := d.AppendSymbols(3, []string{"a"}); err == nil {
+		t.Fatal("duplicate-symbol delta accepted")
+	}
+	// Interning still works and invalidates cached snapshots.
+	f1 := d.Freeze()
+	if err := d.AppendSymbols(3, []string{"d"}); err != nil {
+		t.Fatal(err)
+	}
+	if f2 := d.Freeze(); f2 == f1 {
+		t.Fatal("Freeze snapshot not invalidated by AppendSymbols growth")
+	}
+}

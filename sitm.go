@@ -429,6 +429,24 @@ func NewStore() *Store { return store.New() }
 // shards buy write concurrency under multi-feed ingestion.
 func NewShardedStore(shards int) *Store { return store.NewSharded(shards) }
 
+// StoreOptions configures OpenStore: shard count and the WAL byte
+// threshold that triggers background compaction (0 disables it).
+type StoreOptions = store.Options
+
+// DurableStats reports a durable store's on-disk state (see
+// Store.Durability): directory, committed segment generation and live WAL
+// bytes since the last checkpoint.
+type DurableStats = store.DurableStats
+
+// OpenStore opens (creating if needed) a durable trajectory store rooted
+// at dir. Writes append to a per-shard write-ahead log before touching the
+// in-memory indexes; Store.Sync makes everything written so far crash
+// durable, Store.Checkpoint compacts the WAL into immutable columnar
+// segments, and Store.Close flushes and releases the directory. Reopening
+// replays segments and the WAL tail, truncating any torn tail a crash left
+// behind (experiment E9).
+func OpenStore(dir string, opts StoreOptions) (*Store, error) { return store.Open(dir, opts) }
+
 // ---- Semantic query planner ------------------------------------------------
 
 // The store's composable query AST: predicates constructed with the Q*
