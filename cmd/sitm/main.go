@@ -22,12 +22,18 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"sitm"
@@ -445,21 +451,50 @@ func runIngest(args []string, out io.Writer) (err error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var r io.Reader = os.Stdin
+	var rc io.ReadCloser = os.Stdin
 	src := "stdin"
 	if *in != "-" {
 		f, err := os.Open(*in)
 		if err != nil {
 			return err
 		}
-		defer func() {
-			if cerr := f.Close(); cerr != nil && err == nil {
-				err = cerr
-			}
-		}()
-		r = f
+		rc = f
+	}
+	if *in != "-" {
 		src = *in
 	}
+	// The feed may be interrupted: SIGINT/SIGTERM stops consuming and
+	// falls through to the normal end-of-feed path (Flush, Sync, Close),
+	// so every detection read before the signal is persisted and
+	// acknowledged in the report. Closing the input unblocks a read
+	// stuck on a quiet feed (a pipe with no traffic); the resulting read
+	// error is expected and suppressed.
+	var stopped atomic.Bool
+	var closeOnce sync.Once
+	var closeErr error
+	closeInput := func() { closeOnce.Do(func() { closeErr = rc.Close() }) }
+	if *in != "-" {
+		defer func() {
+			closeInput()
+			if closeErr != nil && err == nil && !stopped.Load() {
+				err = closeErr
+			}
+		}()
+	}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	feedDone := make(chan struct{})
+	defer close(feedDone)
+	go func() {
+		select {
+		case <-sigCh:
+			stopped.Store(true)
+			closeInput()
+		case <-feedDone:
+		}
+	}()
+	r := io.Reader(rc)
 	var target *sitm.Store
 	if *storeDir != "" {
 		st, err := sitm.OpenStore(*storeDir, sitm.StoreOptions{})
@@ -481,11 +516,18 @@ func runIngest(args []string, out io.Writer) (err error) {
 		}},
 		BatchSize: *batch,
 	})
+	errFeedStopped := errors.New("feed interrupted")
 	if err := sitm.StreamDetectionsCSV(r, func(d sitm.Detection) error {
+		if stopped.Load() {
+			return errFeedStopped
+		}
 		ing.Observe(d)
 		return nil
-	}); err != nil {
+	}); err != nil && !stopped.Load() && !errors.Is(err, errFeedStopped) {
 		return err
+	}
+	if stopped.Load() {
+		fmt.Fprintln(out, "ingest: interrupted by signal, flushing what was read")
 	}
 	ing.Flush()
 	stats := ing.Stats()
@@ -555,8 +597,17 @@ func runQuery(args []string, out io.Writer) (err error) {
 	}
 	var st *sitm.Store
 	if fi, statErr := os.Stat(*storePath); statErr == nil && fi.IsDir() {
-		// A directory is a durable store: recover it instead of parsing JSON.
-		st, err = sitm.OpenStore(*storePath, sitm.StoreOptions{Shards: *shards})
+		// A directory is a durable store: recover it instead of parsing
+		// JSON. Querying never writes, so a checkpointed directory is
+		// opened read-only — no WAL is created, appended, or truncated,
+		// and the directory can be served concurrently by a writer. A
+		// directory that has never been checkpointed has no manifest and
+		// only WALs to recover from, which needs the read-write path.
+		opts := sitm.StoreOptions{Shards: *shards}
+		if _, merr := os.Stat(filepath.Join(*storePath, "MANIFEST.json")); merr == nil {
+			opts.ReadOnly = true
+		}
+		st, err = sitm.OpenStore(*storePath, opts)
 		if err != nil {
 			return err
 		}

@@ -7,6 +7,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -100,6 +101,91 @@ func ForEachN(n, workers int, fn func(i int)) {
 	if p := panicked.Load(); p != nil {
 		panic(p.val)
 	}
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: workers stop
+// grabbing new chunks once ctx is done, and ForEachCtx returns ctx.Err()
+// if any index was skipped. Indexes already dispatched when cancellation
+// lands still run to completion — fn is never interrupted mid-call — so
+// on a nil return every index ran exactly once, and on a non-nil return
+// each index ran at most once. This is the serving layer's deadline
+// seam: a timed-out request stops burning shard workers at the next
+// chunk boundary instead of finishing the whole plan.
+func ForEachCtx(ctx context.Context, n int, fn func(i int)) error {
+	if n <= 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	w := Workers(0)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	chunk := chunkSize(n, w)
+	var next atomic.Int64
+	var stopped atomic.Bool
+	var panicked atomic.Pointer[workerPanic]
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			defer capturePanic(&next, int64(n)+int64(chunk), &panicked)
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				if ctx.Err() != nil {
+					// Give the chunk back conceptually: record that work
+					// was skipped and let every worker drain out.
+					stopped.Store(true)
+					next.Store(int64(n) + int64(chunk))
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p.val)
+	}
+	if stopped.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// MapCtx invokes fn(i) for every i in [0, n) in parallel, collecting
+// results in index order, stopping early if ctx is cancelled. On a
+// non-nil error the returned slice is nil — a partially-filled result
+// has no well-defined meaning, so it is withheld entirely.
+func MapCtx[T any](ctx context.Context, n int, fn func(i int) T) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	out := make([]T, n)
+	if err := ForEachCtx(ctx, n, func(i int) { out[i] = fn(i) }); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Map invokes fn(i) for every i in [0, n) in parallel and collects the

@@ -1,0 +1,172 @@
+// Package retry implements capped exponential backoff with jitter and the
+// retryable-error taxonomy the serving layer is built on (DESIGN.md §3.11).
+//
+// The taxonomy matters more than the loop. The durable store produces two
+// very different failure shapes: *wedging* errors — a WAL write or fsync
+// failed, the log is sticky-failed and every later call returns the same
+// error, so retrying is pure waste — and *transient* errors — a checkpoint
+// commit (temp-file write or manifest rename) failed before the commit
+// point, leaving the store fully functional on its WALs, so the checkpoint
+// can simply be attempted again. Code that knows which shape it produced
+// marks the error with MarkTransient; Do retries only marked errors (plus
+// a caller-supplied classifier) and stops immediately on everything else.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Transient is the sentinel wrapped by MarkTransient; errors.Is(err,
+// Transient) reports whether any error in the chain was marked.
+var Transient = errors.New("transient")
+
+// transientErr wraps an error with the Transient marker while preserving
+// the original chain for errors.Is/As.
+type transientErr struct{ err error }
+
+func (e *transientErr) Error() string { return e.err.Error() }
+func (e *transientErr) Unwrap() []error {
+	return []error{e.err, Transient}
+}
+
+// MarkTransient marks err as safe to retry. A nil err stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientErr{err: err}
+}
+
+// IsTransient reports whether err carries the Transient marker.
+func IsTransient(err error) bool {
+	return errors.Is(err, Transient)
+}
+
+// Policy configures Do. The zero value is usable: 4 attempts, 10ms base
+// delay doubling to a 1s cap, with ±50% jitter.
+type Policy struct {
+	// MaxAttempts is the total number of attempts, including the first
+	// (0 = 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (0 = 10ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0 = 1s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts (0 = 2).
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomised, in [0, 1]:
+	// the sleep is delay * (1 - Jitter + Jitter*U[0,2)), so 0.5 yields
+	// ±50%. Jitter spreads synchronized clients (retry storms) apart.
+	Jitter float64
+	// Retryable, when non-nil, extends the taxonomy: an error is retried
+	// if it is marked Transient or Retryable returns true.
+	Retryable func(error) bool
+	// rand returns U[0,1); tests inject a deterministic source.
+	rand func() float64
+}
+
+func (p Policy) attempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return 4
+}
+
+// Delay returns the backoff before attempt n (n = 1 delays the second
+// attempt), without jitter. Exposed so servers can derive Retry-After
+// hints from the same schedule clients back off on. Pure arithmetic on
+// purpose — it runs on every retry decision, including the rejection
+// paths of an overloaded server.
+//
+//sitm:hotpath
+func (p Policy) Delay(n int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = time.Second
+	}
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	d := float64(base)
+	for i := 1; i < n; i++ {
+		d *= mult
+		if d >= float64(maxd) {
+			return maxd
+		}
+	}
+	if d > float64(maxd) {
+		return maxd
+	}
+	return time.Duration(d)
+}
+
+// jittered applies the policy's jitter to a delay.
+//
+//sitm:hotpath
+func (p Policy) jittered(d time.Duration) time.Duration {
+	j := p.Jitter
+	if j < 0 {
+		j = 0
+	}
+	if j > 1 {
+		j = 1
+	}
+	if j == 0 {
+		return d
+	}
+	r := p.rand
+	if r == nil {
+		r = rand.Float64
+	}
+	f := 1 - j + j*2*r()
+	return time.Duration(float64(d) * f)
+}
+
+// retryable reports whether the policy retries err.
+func (p Policy) retryable(err error) bool {
+	if IsTransient(err) {
+		return true
+	}
+	return p.Retryable != nil && p.Retryable(err)
+}
+
+// Do runs op until it succeeds, exhausts the attempt budget, fails with a
+// non-retryable error, or ctx is done. It returns nil on success; the
+// last error otherwise. The attempt number passed to op is 1-based.
+// Between attempts Do sleeps the jittered backoff, aborting early (with
+// the last op error, not ctx.Err(), so callers see what actually failed)
+// if ctx is cancelled mid-sleep.
+func Do(ctx context.Context, p Policy, op func(attempt int) error) error {
+	attempts := p.attempts()
+	var last error
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return last
+			}
+			return err
+		}
+		last = op(attempt)
+		if last == nil {
+			return nil
+		}
+		if attempt >= attempts || !p.retryable(last) {
+			return last
+		}
+		t := time.NewTimer(p.jittered(p.Delay(attempt)))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return last
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+func fastPolicy() Policy {
+	return Policy{MaxAttempts: 5, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+}
+
+func TestMarkTransient(t *testing.T) {
+	if MarkTransient(nil) != nil {
+		t.Fatal("MarkTransient(nil) != nil")
+	}
+	err := MarkTransient(errBoom)
+	if !IsTransient(err) {
+		t.Fatal("marked error not IsTransient")
+	}
+	if !errors.Is(err, errBoom) {
+		t.Fatal("marking lost the original error chain")
+	}
+	wrapped := fmt.Errorf("checkpoint: %w", err)
+	if !IsTransient(wrapped) {
+		t.Fatal("wrapping hid the Transient marker")
+	}
+	if IsTransient(errBoom) {
+		t.Fatal("unmarked error IsTransient")
+	}
+}
+
+func TestDoRetriesTransientUntilSuccess(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), fastPolicy(), func(attempt int) error {
+		calls++
+		if attempt != calls {
+			t.Fatalf("attempt = %d on call %d", attempt, calls)
+		}
+		if calls < 3 {
+			return MarkTransient(errBoom)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls; want nil after 3", err, calls)
+	}
+}
+
+func TestDoStopsOnNonRetryable(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), fastPolicy(), func(int) error {
+		calls++
+		return errBoom // not marked: a wedged WAL, not a failed checkpoint
+	})
+	if !errors.Is(err, errBoom) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls; want boom after exactly 1", err, calls)
+	}
+}
+
+func TestDoExhaustsBudget(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), fastPolicy(), func(int) error {
+		calls++
+		return MarkTransient(errBoom)
+	})
+	if !errors.Is(err, errBoom) || calls != 5 {
+		t.Fatalf("Do = %v after %d calls; want boom after 5", err, calls)
+	}
+}
+
+func TestDoCustomClassifier(t *testing.T) {
+	p := fastPolicy()
+	p.Retryable = func(err error) bool { return errors.Is(err, errBoom) }
+	calls := 0
+	err := Do(context.Background(), p, func(int) error {
+		calls++
+		return errBoom
+	})
+	if !errors.Is(err, errBoom) || calls != 5 {
+		t.Fatalf("classifier not honoured: %v after %d calls", err, calls)
+	}
+}
+
+func TestDoContextCancelledMidBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 10, BaseDelay: time.Hour} // sleep would block forever
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(ctx, p, func(int) error {
+			calls++
+			return MarkTransient(errBoom)
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("Do = %v; want the last op error, not ctx.Err()", err)
+		}
+		if calls != 1 {
+			t.Fatalf("calls = %d, want 1", calls)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancel")
+	}
+}
+
+func TestDoPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Do(ctx, fastPolicy(), func(int) error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("Do = %v after %d calls; want Canceled after 0", err, calls)
+	}
+}
+
+func TestDelaySchedule(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{
+		10 * time.Millisecond,  // attempt 1
+		20 * time.Millisecond,  // 2
+		40 * time.Millisecond,  // 3
+		80 * time.Millisecond,  // 4
+		100 * time.Millisecond, // 5: capped
+		100 * time.Millisecond, // 6: stays capped
+	}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	p := Policy{Jitter: 0.5}
+	for _, r := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
+		p.rand = func() float64 { return r }
+		d := p.jittered(100 * time.Millisecond)
+		if d < 50*time.Millisecond || d > 150*time.Millisecond {
+			t.Fatalf("jittered(100ms) with U=%v = %v, outside ±50%%", r, d)
+		}
+	}
+	// Jitter 0 is deterministic.
+	p = Policy{}
+	if d := p.jittered(time.Second); d != time.Second {
+		t.Fatalf("zero jitter changed the delay: %v", d)
+	}
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Admission control (DESIGN.md §3.11): each request class — reads
+// (queries) and writes (ingest) — owns a bounded semaphore plus a
+// bounded wait queue, both plain buffered channels. A request first
+// tries the semaphore; if full, it takes a queue token and blocks on
+// the semaphore under its own deadline; if even the queue is full it is
+// shed immediately with 429 + Retry-After. Memory and latency are both
+// bounded by construction: at most slots+queue requests are anywhere
+// past admission, everything beyond that is rejected in O(1), and an
+// admitted request has at most queue/slots service times of wait ahead
+// of it — which is what makes the E10 p99 floor enforceable under
+// overload.
+type admitClass struct {
+	name  string
+	slots chan struct{} // semaphore: capacity = max concurrent in service
+	queue chan struct{} // waiters:   capacity = max queued behind the slots
+
+	admitted atomic.Int64 // granted a slot
+	queued   atomic.Int64 // had to wait in the queue first
+	shed     atomic.Int64 // rejected: queue full
+	expired  atomic.Int64 // deadline fired while queued
+}
+
+func newAdmitClass(name string, slots, queue int) *admitClass {
+	return &admitClass{
+		name:  name,
+		slots: make(chan struct{}, slots),
+		queue: make(chan struct{}, queue),
+	}
+}
+
+// admit acquires one slot, waiting in the bounded queue if necessary.
+// On success it returns a release func; otherwise the typed rejection
+// (overloaded when shed, deadline_exceeded when the request's own
+// deadline fired while waiting). retryAfter seeds the Retry-After hint
+// on shed responses. This runs once per request including every shed
+// one — the whole point of admission is that rejection is O(1) — so it
+// is held to the hot-path allocation discipline.
+//
+//sitm:hotpath
+func (c *admitClass) admit(ctx context.Context, retryAfter time.Duration) (func(), *apiError) {
+	select {
+	case c.slots <- struct{}{}:
+		c.admitted.Add(1)
+		return func() { <-c.slots }, nil
+	default:
+	}
+	select {
+	case c.queue <- struct{}{}:
+	default:
+		c.shed.Add(1)
+		return nil, errOverloaded(c.name, retryAfter)
+	}
+	c.queued.Add(1)
+	defer func() { <-c.queue }()
+	select {
+	case c.slots <- struct{}{}:
+		c.admitted.Add(1)
+		return func() { <-c.slots }, nil
+	case <-ctx.Done():
+		c.expired.Add(1)
+		return nil, errDeadline("waiting for a " + c.name + " slot")
+	}
+}
+
+// admitStats is the wire shape of one class's counters.
+type admitStats struct {
+	Slots    int   `json:"slots"`
+	Queue    int   `json:"queue"`
+	InFlight int   `json:"in_flight"`
+	Admitted int64 `json:"admitted"`
+	Queued   int64 `json:"queued"`
+	Shed     int64 `json:"shed"`
+	Expired  int64 `json:"expired"`
+}
+
+func (c *admitClass) stats() admitStats {
+	return admitStats{
+		Slots:    cap(c.slots),
+		Queue:    cap(c.queue),
+		InFlight: len(c.slots),
+		Admitted: c.admitted.Load(),
+		Queued:   c.queued.Load(),
+		Shed:     c.shed.Load(),
+		Expired:  c.expired.Load(),
+	}
+}

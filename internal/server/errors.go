@@ -1,0 +1,117 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// The typed error taxonomy of the serving layer (DESIGN.md §3.11). Every
+// non-2xx response carries a machine-readable envelope:
+//
+//	{"error": {"code": "...", "message": "...", "retryable": true}}
+//
+// The code set is closed and each code has a fixed HTTP status, so
+// clients (and the load generator) branch on codes, not prose. Retryable
+// marks errors a well-behaved client may retry after backing off —
+// shedding and draining are retryable (the condition is expected to
+// clear), durability failures are not (the store wedged; retrying the
+// write would re-acknowledge nothing).
+const (
+	codeBadRequest = "bad_request"       // 400: malformed body, unparseable query
+	codeNotFound   = "not_found"         // 404: unknown route
+	codeReadOnly   = "read_only"         // 403: write against a read-only replica
+	codeOverloaded = "overloaded"        // 429: admission queue full, request shed
+	codeDraining   = "draining"          // 503: server is draining for shutdown
+	codeDurability = "durability"        // 503: write reached the store but did not become durable
+	codeDeadline   = "deadline_exceeded" // 504: request deadline fired (in queue or mid-plan)
+	codeInternal   = "internal"          // 500: everything else
+)
+
+// apiError is one typed failure, ready to render.
+type apiError struct {
+	status     int
+	code       string
+	message    string
+	retryable  bool
+	retryAfter time.Duration // > 0 adds a Retry-After header
+}
+
+func (e *apiError) Error() string { return e.code + ": " + e.message }
+
+func errBadRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: codeBadRequest, message: fmt.Sprintf(format, args...)}
+}
+
+func errNotFound(path string) *apiError {
+	return &apiError{status: http.StatusNotFound, code: codeNotFound, message: "no such endpoint: " + path}
+}
+
+func errReadOnly() *apiError {
+	return &apiError{status: http.StatusForbidden, code: codeReadOnly, message: "store is open read-only"}
+}
+
+func errOverloaded(class string, retryAfter time.Duration) *apiError {
+	return &apiError{
+		status:     http.StatusTooManyRequests,
+		code:       codeOverloaded,
+		message:    class + " admission queue full, request shed",
+		retryable:  true,
+		retryAfter: retryAfter,
+	}
+}
+
+func errDraining(retryAfter time.Duration) *apiError {
+	return &apiError{
+		status:     http.StatusServiceUnavailable,
+		code:       codeDraining,
+		message:    "server is draining",
+		retryable:  true,
+		retryAfter: retryAfter,
+	}
+}
+
+func errDurability(err error) *apiError {
+	return &apiError{
+		status:  http.StatusServiceUnavailable,
+		code:    codeDurability,
+		message: "write not durable: " + err.Error(),
+	}
+}
+
+func errDeadline(where string) *apiError {
+	return &apiError{status: http.StatusGatewayTimeout, code: codeDeadline, message: "deadline exceeded " + where}
+}
+
+func errInternal(err error) *apiError {
+	return &apiError{status: http.StatusInternalServerError, code: codeInternal, message: err.Error()}
+}
+
+// errorEnvelope is the wire shape of an apiError.
+type errorEnvelope struct {
+	Error struct {
+		Code      string `json:"code"`
+		Message   string `json:"message"`
+		Retryable bool   `json:"retryable"`
+	} `json:"error"`
+}
+
+// writeError renders e as its HTTP response.
+func writeError(w http.ResponseWriter, e *apiError) {
+	if e.retryAfter > 0 {
+		secs := int64(e.retryAfter / time.Second)
+		if e.retryAfter%time.Second != 0 {
+			secs++ // round up: "retry after 0s" invites an immediate storm
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.status)
+	var env errorEnvelope
+	env.Error.Code = e.code
+	env.Error.Message = e.message
+	env.Error.Retryable = e.retryable
+	json.NewEncoder(w).Encode(&env)
+}

@@ -1,0 +1,249 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sitm/internal/retry"
+)
+
+// The load generator is both the E10 bench driver and a reference client:
+// it demonstrates the retry discipline the error taxonomy asks for. Only
+// responses marked retryable (shed, draining) and transport failures are
+// retried, with capped exponential backoff floored by the server's
+// Retry-After hint; durability failures and deadline expiries are
+// terminal for that request. Every acknowledged write's key is recorded —
+// the E10 loss oracle replays them against a recovered store.
+
+// LoadConfig tunes one load run.
+type LoadConfig struct {
+	// BaseURL of the target server, e.g. "http://127.0.0.1:8088".
+	BaseURL string
+	// Client to send with; nil uses a dedicated transport.
+	Client *http.Client
+	// Clients is the number of concurrent client goroutines; Requests is
+	// how many requests each issues.
+	Clients  int
+	Requests int
+	// WriteEvery makes every Nth request (per client) an ingest instead
+	// of a query; 0 sends queries only.
+	WriteEvery int
+	// QueryBody is the JSON body for POST /v1/query. Empty selects a
+	// default single-cell query.
+	QueryBody []byte
+	// KeyPrefix namespaces the MO keys of generated writes so concurrent
+	// runs do not collide.
+	KeyPrefix string
+	// TimeoutMillis is sent as X-Sitm-Timeout on every request (0 omits
+	// the header, leaving the server default in force).
+	TimeoutMillis int
+	// Retry is the per-request retry budget. Zero value = package default.
+	Retry retry.Policy
+}
+
+// LoadStats aggregates one run.
+type LoadStats struct {
+	Accepted int64 // requests that got a 2xx (possibly after retries)
+	Failed   int64 // requests that exhausted their retry budget or hit a terminal error
+	Shed     int64 // 429 responses observed (attempt-level)
+	Draining int64 // 503 draining responses observed (attempt-level)
+	Expired  int64 // 504 deadline responses observed (attempt-level)
+	Retried  int64 // attempts beyond the first
+
+	// AckedKeys are the MO keys of every ingest the server acknowledged
+	// with a 2xx — the set that must survive any crash.
+	AckedKeys []string
+
+	// Latencies of accepted requests (whole-request, including retries),
+	// sorted ascending.
+	Latencies []time.Duration
+}
+
+// Percentile returns the p-th (0 < p <= 100) latency of accepted
+// requests, 0 when none were accepted.
+func (st *LoadStats) Percentile(p float64) time.Duration {
+	if len(st.Latencies) == 0 {
+		return 0
+	}
+	i := int(p/100*float64(len(st.Latencies))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(st.Latencies) {
+		i = len(st.Latencies) - 1
+	}
+	return st.Latencies[i]
+}
+
+// terminalError is a non-retryable request outcome (4xx, durability,
+// deadline): recorded and not retried.
+type terminalError struct {
+	status int
+	code   string
+}
+
+func (e *terminalError) Error() string {
+	return "server returned " + strconv.Itoa(e.status) + " (" + e.code + ")"
+}
+
+var defaultQueryBody = []byte(`{"query": {"cell": "loadgen-cell"}, "mos_only": true}`)
+
+// RunLoad drives cfg.Clients concurrent clients against cfg.BaseURL and
+// aggregates the outcome. It returns when every client has finished its
+// quota or ctx expires (requests in flight at expiry count as failed).
+func RunLoad(ctx context.Context, cfg LoadConfig) LoadStats {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 16
+	}
+	if len(cfg.QueryBody) == 0 {
+		cfg.QueryBody = defaultQueryBody
+	}
+	if cfg.KeyPrefix == "" {
+		cfg.KeyPrefix = "lg"
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+
+	var (
+		mu       sync.Mutex
+		stats    LoadStats
+		shed     atomic.Int64
+		draining atomic.Int64
+		expired  atomic.Int64
+		retried  atomic.Int64
+	)
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for seq := 0; seq < cfg.Requests; seq++ {
+				if ctx.Err() != nil {
+					mu.Lock()
+					stats.Failed++
+					mu.Unlock()
+					continue
+				}
+				isWrite := cfg.WriteEvery > 0 && seq%cfg.WriteEvery == 0
+				key := fmt.Sprintf("%s-%d-%d", cfg.KeyPrefix, c, seq)
+				start := time.Now()
+				err := retry.Do(ctx, cfg.Retry, func(attempt int) error {
+					if attempt > 1 {
+						retried.Add(1)
+					}
+					return doRequest(ctx, client, cfg, isWrite, key, &shed, &draining, &expired)
+				})
+				elapsed := time.Since(start)
+				mu.Lock()
+				if err == nil {
+					stats.Accepted++
+					stats.Latencies = append(stats.Latencies, elapsed)
+					if isWrite {
+						stats.AckedKeys = append(stats.AckedKeys, key)
+					}
+				} else {
+					stats.Failed++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	stats.Shed = shed.Load()
+	stats.Draining = draining.Load()
+	stats.Expired = expired.Load()
+	stats.Retried = retried.Load()
+	sort.Slice(stats.Latencies, func(i, j int) bool { return stats.Latencies[i] < stats.Latencies[j] })
+	return stats
+}
+
+// doRequest issues one attempt. Retryable outcomes (transport errors,
+// responses whose envelope says retryable) return errors marked
+// transient; terminal outcomes return terminalError.
+func doRequest(ctx context.Context, client *http.Client, cfg LoadConfig, isWrite bool, key string, shed, draining, expired *atomic.Int64) error {
+	var (
+		url  string
+		body []byte
+		typ  string
+	)
+	if isWrite {
+		url = cfg.BaseURL + "/v1/ingest"
+		body = []byte("mo,cell,start,end\n" +
+			key + ",loadgen-cell,2019-05-01T10:00:00Z,2019-05-01T10:05:00Z\n")
+		typ = "text/csv"
+	} else {
+		url = cfg.BaseURL + "/v1/query"
+		body = cfg.QueryBody
+		typ = "application/json"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", typ)
+	if cfg.TimeoutMillis > 0 {
+		req.Header.Set("X-Sitm-Timeout", strconv.Itoa(cfg.TimeoutMillis))
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return err // run is over; not transient
+		}
+		return retry.MarkTransient(err)
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 300 {
+		return nil
+	}
+
+	var env errorEnvelope
+	json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&env)
+	switch env.Error.Code {
+	case codeOverloaded:
+		shed.Add(1)
+	case codeDraining:
+		draining.Add(1)
+	case codeDeadline:
+		expired.Add(1)
+	}
+	terr := &terminalError{status: resp.StatusCode, code: env.Error.Code}
+	if !env.Error.Retryable {
+		return terr
+	}
+	// Honor the server's Retry-After floor before handing the error back
+	// to the backoff loop (whose own delay then stacks on top; under
+	// shedding the server's hint dominates).
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			wait := time.Duration(secs) * time.Second
+			if wait > 2*time.Second {
+				wait = 2 * time.Second
+			}
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return terr
+			}
+		}
+	}
+	return retry.MarkTransient(terr)
+}

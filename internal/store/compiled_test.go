@@ -1,0 +1,140 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestSelectCtxMatchesSelect(t *testing.T) {
+	s := NewSharded(4)
+	s.Put(mkTraj(t, "mo-1", "a", "b"))
+	s.Put(mkTraj(t, "mo-2", "b", "c"))
+	s.Put(mkTraj(t, "mo-3", "a", "c"))
+
+	q := Or(Cell("a"), Cell("c"))
+	want, err := s.Select(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.SelectCtx(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SelectCtx diverged from Select:\n%v\nvs\n%v", got, want)
+	}
+
+	wantMOs, err := s.SelectMOs(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMOs, err := s.SelectMOsCtx(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotMOs, wantMOs) {
+		t.Fatalf("SelectMOsCtx diverged: %v vs %v", gotMOs, wantMOs)
+	}
+}
+
+func TestSelectCtxCancelled(t *testing.T) {
+	s := NewSharded(4)
+	s.Put(mkTraj(t, "mo-1", "a"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SelectCtx(ctx, Cell("a")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SelectCtx on cancelled ctx = %v, want Canceled", err)
+	}
+	if _, err := s.SelectMOsCtx(ctx, Cell("a")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SelectMOsCtx on cancelled ctx = %v, want Canceled", err)
+	}
+}
+
+func TestCompiledQueryHitAndDegrade(t *testing.T) {
+	ctx := context.Background()
+	s := NewSharded(2)
+	s.Put(mkTraj(t, "mo-1", "a", "b"))
+
+	cq, err := s.Compile(Cell("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cq.Valid(s) {
+		t.Fatal("freshly compiled plan is stale")
+	}
+	got, err := s.SelectCompiledCtx(ctx, cq)
+	if err != nil || len(got) != 1 || got[0].MO != "mo-1" {
+		t.Fatalf("SelectCompiledCtx = %v, %v", got, err)
+	}
+
+	// Re-putting only known symbols keeps every snapshot pointer stable:
+	// the plan stays valid (the cache-hit path).
+	s.Put(mkTraj(t, "mo-1", "a", "b"))
+	if !cq.Valid(s) {
+		t.Fatal("plan went stale without any dictionary growth")
+	}
+	got, err = s.SelectCompiledCtx(ctx, cq)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("after same-alphabet put: %d rows, %v; want 2", len(got), err)
+	}
+
+	// Interning a new symbol rotates the cell snapshot: the plan must
+	// report stale and the compiled entry points must degrade to a fresh
+	// compile, not fail and not miss rows.
+	s.Put(mkTraj(t, "mo-2", "zz", "a"))
+	if cq.Valid(s) {
+		t.Fatal("plan still valid after the cell alphabet grew")
+	}
+	got, err = s.SelectCompiledCtx(ctx, cq)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("after degrade: %d rows, %v; want 3", len(got), err)
+	}
+}
+
+// TestCompiledUnknownSymbolRecompiles is the correctness case pointer
+// invalidation exists for: a plan compiled while a symbol was unknown is
+// an empty plan, and serving it after the symbol arrives would silently
+// return nothing. The snapshot rotation forces the recompile.
+func TestCompiledUnknownSymbolRecompiles(t *testing.T) {
+	ctx := context.Background()
+	s := NewSharded(2)
+	s.Put(mkTraj(t, "mo-1", "a"))
+
+	cq, err := s.Compile(Cell("future"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.SelectCompiledCtx(ctx, cq); err != nil || len(got) != 0 {
+		t.Fatalf("unknown cell should select nothing: %v, %v", got, err)
+	}
+
+	s.Put(mkTraj(t, "mo-9", "future"))
+	if cq.Valid(s) {
+		t.Fatal("plan claims valid after its unknown symbol was interned")
+	}
+	got, err := s.SelectCompiledCtx(ctx, cq)
+	if err != nil || len(got) != 1 || got[0].MO != "mo-9" {
+		t.Fatalf("stale empty plan was served: %v, %v", got, err)
+	}
+
+	mos, err := s.SelectMOsCompiledCtx(ctx, cq)
+	if err != nil || len(mos) != 1 || mos[0] != "mo-9" {
+		t.Fatalf("SelectMOsCompiledCtx = %v, %v", mos, err)
+	}
+}
+
+func TestCompiledQueryCancelled(t *testing.T) {
+	s := NewSharded(2)
+	s.Put(mkTraj(t, "mo-1", "a"))
+	cq, err := s.Compile(Cell("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SelectCompiledCtx(ctx, cq); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SelectCompiledCtx on cancelled ctx = %v", err)
+	}
+}

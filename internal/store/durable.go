@@ -4,13 +4,14 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 
 	"sitm/internal/core"
+	"sitm/internal/faultfs"
 	"sitm/internal/parallel"
+	"sitm/internal/retry"
 	"sitm/internal/symtab"
 	"sitm/internal/wal"
 )
@@ -51,7 +52,25 @@ type Options struct {
 	// the live WAL bytes exceed it. 0 disables background compaction
 	// (checkpoint explicitly via Checkpoint).
 	AutoCompactBytes int64
+	// ReadOnly opens the directory without creating or appending any
+	// file: no manifest bootstrap, no WAL creation, no torn-tail
+	// truncation — the open leaves the directory byte-identical. The
+	// directory must already hold a manifest (i.e. have been written by
+	// a read-write open). Put/PutBatch panic with ErrReadOnly;
+	// Checkpoint returns ErrReadOnly; Sync and Close are no-ops.
+	ReadOnly bool
+	// FS is the filesystem the store performs all durability I/O
+	// through (nil = the real filesystem). Fault-injection tests pass a
+	// faultfs.Injector to fail fsyncs, writes and renames at the
+	// syscall boundary.
+	FS faultfs.FS
 }
+
+// ErrReadOnly reports a write attempted on a store opened with
+// Options.ReadOnly. Put and PutBatch panic with an error wrapping it
+// (their signatures predate the read-only mode and have no error
+// return); Checkpoint returns it.
+var ErrReadOnly = errors.New("store: read-only")
 
 const walFrameOverhead = 9 // 8-byte frame header + 1 type byte
 
@@ -70,6 +89,12 @@ type rowLog struct {
 type durable struct {
 	dir  string
 	opts Options
+	// fs is the filesystem every durability syscall goes through
+	// (faultfs.OS outside fault-injection tests).
+	fs faultfs.FS
+	// readOnly marks a store opened with Options.ReadOnly: no WAL
+	// handles exist and every mutating entry point refuses.
+	readOnly bool
 
 	// gate admits writers shared and the checkpoint rotation exclusive:
 	// rotation must observe no WAL append or shard insert in flight.
@@ -164,6 +189,9 @@ func (d *durable) logDictTail(s *Store) {
 // under the checkpoint gate. Symbols are already interned by the caller.
 func (s *Store) putDurable(t core.Trajectory, moID int32, enc, ann []int32) {
 	d := s.dur
+	if d.readOnly {
+		panic(fmt.Errorf("store: Put on read-only store %s: %w", d.dir, ErrReadOnly))
+	}
 	d.gate.RLock()
 	d.logDictTail(s)
 	g := s.shardIndex(t.MO)
@@ -188,6 +216,9 @@ func (s *Store) putDurable(t core.Trajectory, moID int32, enc, ann []int32) {
 // one shard visit per touched shard.
 func (s *Store) putBatchDurable(ts []core.Trajectory, moIDs []int32, encs, anns [][]int32, groups [][]int32) {
 	d := s.dur
+	if d.readOnly {
+		panic(fmt.Errorf("store: PutBatch on read-only store %s: %w", d.dir, ErrReadOnly))
+	}
 	d.gate.RLock()
 	d.logDictTail(s)
 	base := s.nextSeq.Add(uint64(len(ts))) - uint64(len(ts))
@@ -221,7 +252,7 @@ func (s *Store) putBatchDurable(ts []core.Trajectory, moIDs []int32, encs, anns 
 // sticky and re-reported here.
 func (s *Store) Sync() error {
 	d := s.dur
-	if d == nil {
+	if d == nil || d.readOnly {
 		return nil
 	}
 	d.gate.RLock()
@@ -313,6 +344,9 @@ func (s *Store) Checkpoint() error {
 	if d == nil {
 		return nil
 	}
+	if d.readOnly {
+		return fmt.Errorf("store: checkpoint on read-only store %s: %w", d.dir, ErrReadOnly)
+	}
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
 	if d.closed.Load() {
@@ -323,11 +357,12 @@ func (s *Store) Checkpoint() error {
 	}
 
 	// Pre-create the next WAL generation before taking the gate, so the
-	// stop-the-world window contains no file creation.
+	// stop-the-world window contains no file creation. A creation failure
+	// leaves the current generation untouched and is safe to retry.
 	nextWAL := d.walGen + 1
-	newDict, newRows, err := createWALGen(d.dir, nextWAL, len(d.rows))
+	newDict, newRows, err := createWALGen(d.fs, d.dir, nextWAL, len(d.rows))
 	if err != nil {
-		return err
+		return retry.MarkTransient(err)
 	}
 	d.gate.Lock()
 	snap, oldWAL := d.rotate(s, newDict, newRows)
@@ -341,56 +376,60 @@ func (s *Store) Checkpoint() error {
 		return err
 	}
 
-	// Encode and commit off the write path.
+	// Encode and commit off the write path. Failures here (temp-file
+	// write, fsync, manifest rename) happen before the commit point: the
+	// previous generation stays authoritative and every row is still
+	// recoverable from the WALs, so these errors are marked transient —
+	// callers may simply call Checkpoint again.
 	gen := d.gen + 1
-	if err := commitFile(segDictPath(d.dir, gen), encodeDictFile(snap.cells, snap.mos, snap.pairs)); err != nil {
-		return err
+	if err := commitFile(d.fs, segDictPath(d.dir, gen), encodeDictFile(snap.cells, snap.mos, snap.pairs)); err != nil {
+		return retry.MarkTransient(err)
 	}
 	segErrs := make([]error, len(snap.shards))
 	parallel.ForEach(len(snap.shards), func(i int) {
-		segErrs[i] = commitFile(segPath(d.dir, gen, i), encodeSegment(&snap.shards[i]))
+		segErrs[i] = commitFile(d.fs, segPath(d.dir, gen, i), encodeSegment(&snap.shards[i]))
 	})
 	for _, err := range segErrs {
 		if err != nil {
-			return err
+			return retry.MarkTransient(err)
 		}
 	}
 	man := &manifest{Version: manifestVersion, Shards: len(d.rows), Gen: gen, NextSeq: snap.nextSeq}
-	if err := writeManifest(d.dir, man); err != nil {
-		return err
+	if err := writeManifest(d.fs, d.dir, man); err != nil {
+		return retry.MarkTransient(err)
 	}
 
 	// Committed: the old WAL generations and the old segments are dead.
 	oldGen := d.gen
 	d.gen = gen
-	removeAll(d.staleWAL)
+	removeAll(d.fs, d.staleWAL)
 	d.staleWAL = nil
 	if oldGen > 0 {
 		old := []string{segDictPath(d.dir, oldGen)}
 		for i := range d.rows {
 			old = append(old, segPath(d.dir, oldGen, i))
 		}
-		removeAll(old)
+		removeAll(d.fs, old)
 	}
 	return nil
 }
 
 // createWALGen creates the dict and per-shard row logs of one generation,
 // cleaning up on partial failure.
-func createWALGen(dir string, gen uint64, nShards int) (*wal.Log, []*wal.Log, error) {
-	dict, err := wal.Create(walDictPath(dir, gen))
+func createWALGen(fsys faultfs.FS, dir string, gen uint64, nShards int) (*wal.Log, []*wal.Log, error) {
+	dict, err := wal.CreateFS(fsys, walDictPath(dir, gen))
 	if err != nil {
 		return nil, nil, err
 	}
 	rows := make([]*wal.Log, nShards)
 	for i := range rows {
-		rows[i], err = wal.Create(walRowPath(dir, gen, i))
+		rows[i], err = wal.CreateFS(fsys, walRowPath(dir, gen, i))
 		if err != nil {
 			dict.Close()
-			os.Remove(dict.Path())
+			fsys.Remove(dict.Path())
 			for _, lg := range rows[:i] {
 				lg.Close()
-				os.Remove(lg.Path())
+				fsys.Remove(lg.Path())
 			}
 			return nil, nil, err
 		}
@@ -400,9 +439,9 @@ func createWALGen(dir string, gen uint64, nShards int) (*wal.Log, []*wal.Log, er
 
 // removeAll best-effort deletes the given files (cleanup after a commit;
 // a leftover file is re-deleted by the next checkpoint).
-func removeAll(paths []string) {
+func removeAll(fsys faultfs.FS, paths []string) {
 	for _, p := range paths {
-		os.Remove(p)
+		fsys.Remove(p)
 	}
 }
 
@@ -438,6 +477,11 @@ func (s *Store) Close() error {
 	if d == nil {
 		return nil
 	}
+	if d.readOnly {
+		// Nothing is open for writing; there is nothing to flush.
+		d.closed.Store(true)
+		return nil
+	}
 	if d.closed.Swap(true) {
 		return d.sticky()
 	}
@@ -460,6 +504,12 @@ func (s *Store) Close() error {
 	}
 	d.ckptMu.Unlock()
 	return d.sticky()
+}
+
+// ReadOnly reports whether the store was opened with Options.ReadOnly.
+// An in-memory store is writable.
+func (s *Store) ReadOnly() bool {
+	return s.dur != nil && s.dur.readOnly
 }
 
 // DurableStats describes the persistence state of a durable store; ok is
@@ -496,13 +546,17 @@ var errStaleRow = errors.New("row references unrecovered dictionary symbols")
 // inside intact frames or segment files is a hard error, never a silent
 // partial load.
 func Open(dir string, opts Options) (*Store, error) {
-	if err := os.MkdirAll(filepath.Join(dir, walDirName), 0o755); err != nil {
+	fsys := faultfs.Or(opts.FS)
+	if opts.ReadOnly {
+		return openReadOnly(fsys, dir, opts)
+	}
+	if err := fsys.MkdirAll(filepath.Join(dir, walDirName), 0o755); err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(filepath.Join(dir, segDirName), 0o755); err != nil {
+	if err := fsys.MkdirAll(filepath.Join(dir, segDirName), 0o755); err != nil {
 		return nil, err
 	}
-	man, err := readManifest(dir)
+	man, err := readManifest(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -517,7 +571,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	nShards = len(s.shards)
 	if man == nil {
 		man = &manifest{Version: manifestVersion, Shards: nShards}
-		if err := writeManifest(dir, man); err != nil {
+		if err := writeManifest(fsys, dir, man); err != nil {
 			return nil, err
 		}
 	}
@@ -525,7 +579,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	// 1. Dictionaries from the committed pages.
 	if man.Gen > 0 {
 		path := segDictPath(dir, man.Gen)
-		data, err := os.ReadFile(path)
+		data, err := fsys.ReadFile(path)
 		if err != nil {
 			return nil, err
 		}
@@ -547,7 +601,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	// 2. Dict WAL replay (before segments' row decode would not matter —
 	// segments validate against the pages alone — but rows replayed later
 	// may reference delta symbols, so deltas apply first).
-	dictFiles, rowFiles, err := listWALFiles(dir, nShards)
+	dictFiles, rowFiles, err := listWALFiles(fsys, dir, nShards)
 	if err != nil {
 		return nil, err
 	}
@@ -565,7 +619,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	dicts := s.dictKinds()
 	var dictLog *wal.Log
 	for fi, wf := range dictFiles {
-		lg, err := wal.Open(wf.path, func(typ byte, payload []byte) error {
+		lg, err := wal.OpenFS(fsys, wf.path, func(typ byte, payload []byte) error {
 			if typ != recDict {
 				return fmt.Errorf("record type %d in dict wal", typ)
 			}
@@ -589,7 +643,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		segErrs := make([]error, nShards)
 		parallel.ForEach(nShards, func(i int) {
 			path := segPath(dir, man.Gen, i)
-			data, err := os.ReadFile(path)
+			data, err := fsys.ReadFile(path)
 			if err != nil {
 				segErrs[i] = err
 				return
@@ -623,7 +677,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	parallel.ForEach(nShards, func(i int) {
 		var rows []durableRow
 		for fi, wf := range rowFiles[i] {
-			lg, err := wal.Open(wf.path, func(typ byte, payload []byte) error {
+			lg, err := wal.OpenFS(fsys, wf.path, func(typ byte, payload []byte) error {
 				if typ != recRow {
 					return fmt.Errorf("record type %d in row wal", typ)
 				}
@@ -695,14 +749,14 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 	}
 	if dictLog == nil {
-		if dictLog, err = wal.Create(walDictPath(dir, walGen)); err != nil {
+		if dictLog, err = wal.CreateFS(fsys, walDictPath(dir, walGen)); err != nil {
 			return fail(err)
 		}
 		openLogs = append(openLogs, dictLog)
 	}
 	for i := range rowLogs {
 		if rowLogs[i] == nil {
-			if rowLogs[i], err = wal.Create(walRowPath(dir, walGen, i)); err != nil {
+			if rowLogs[i], err = wal.CreateFS(fsys, walRowPath(dir, walGen, i)); err != nil {
 				return fail(err)
 			}
 			openLogs = append(openLogs, rowLogs[i])
@@ -720,6 +774,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	d := &durable{
 		dir:      dir,
 		opts:     opts,
+		fs:       fsys,
 		dictLog:  dictLog,
 		rows:     make([]rowLog, nShards),
 		gen:      man.Gen,
@@ -731,6 +786,168 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	for i := range d.rows {
 		d.rows[i] = rowLog{log: rowLogs[i]}
+	}
+	d.walLive.Store(walBytes)
+	s.dur = d
+	return s, nil
+}
+
+// openReadOnly is Open's read-only half: the same recovery pipeline —
+// dict pages, dict-WAL deltas, segments, row-WAL tails — but through
+// wal.ScanFS, which neither opens files for writing nor truncates torn
+// tails, and with no manifest bootstrap or WAL creation. The loaded
+// state is exactly what a read-write open would recover; the directory
+// is left byte-identical.
+func openReadOnly(fsys faultfs.FS, dir string, opts Options) (*Store, error) {
+	man, err := readManifest(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	if man == nil {
+		return nil, fmt.Errorf("store: read-only open of %s: no %s (not a durable store directory)", dir, manifestName)
+	}
+	if opts.Shards != 0 && opts.Shards != man.Shards {
+		return nil, fmt.Errorf("store: directory %s has %d shards; Options.Shards is %d (use 0 to adopt)", dir, man.Shards, opts.Shards)
+	}
+	nShards := man.Shards
+	s := NewSharded(nShards)
+
+	// 1. Dictionaries from the committed pages.
+	if man.Gen > 0 {
+		path := segDictPath(dir, man.Gen)
+		data, err := fsys.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		cells, mos, pairs, err := decodeDictFile(data, path)
+		if err != nil {
+			return nil, err
+		}
+		if s.cells, err = symtab.NewSyncDictFromSymbols(cells); err != nil {
+			return nil, err
+		}
+		if s.mos, err = symtab.NewSyncDictFromSymbols(mos); err != nil {
+			return nil, err
+		}
+		if s.pairs, err = symtab.NewSyncDictFromSymbols(pairs); err != nil {
+			return nil, err
+		}
+	}
+
+	// 2. Dict-WAL deltas, all generations in order.
+	dictFiles, rowFiles, err := listWALFiles(fsys, dir, nShards)
+	if err != nil {
+		return nil, err
+	}
+	dicts := s.dictKinds()
+	var walBytes int64
+	for _, wf := range dictFiles {
+		n, err := wal.ScanFS(fsys, wf.path, func(typ byte, payload []byte) error {
+			if typ != recDict {
+				return fmt.Errorf("record type %d in dict wal", typ)
+			}
+			return applyDictDelta(dicts, payload)
+		})
+		if err != nil {
+			return nil, err
+		}
+		walBytes += n
+	}
+
+	// 3. Segments, in parallel.
+	maxSeqs := make([]uint64, nShards)
+	if man.Gen > 0 {
+		segErrs := make([]error, nShards)
+		parallel.ForEach(nShards, func(i int) {
+			path := segPath(dir, man.Gen, i)
+			data, err := fsys.ReadFile(path)
+			if err != nil {
+				segErrs[i] = err
+				return
+			}
+			rows, spans, err := decodeSegment(data, path,
+				s.cells.Len(), s.mos.Len(), s.pairs.Len(),
+				s.cells.Symbol, s.mos.Symbol)
+			if err != nil {
+				segErrs[i] = err
+				return
+			}
+			for r := range rows {
+				if rows[r].seq >= maxSeqs[i] {
+					maxSeqs[i] = rows[r].seq + 1
+				}
+			}
+			s.shards[i].insertRecovered(rows, spans)
+		})
+		for _, err := range segErrs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// 4. Row-WAL tails per shard, skipping checkpointed rows.
+	replayErrs := make([]error, nShards)
+	replayBytes := make([]int64, nShards)
+	parallel.ForEach(nShards, func(i int) {
+		var rows []durableRow
+		for _, wf := range rowFiles[i] {
+			n, err := wal.ScanFS(fsys, wf.path, func(typ byte, payload []byte) error {
+				if typ != recRow {
+					return fmt.Errorf("record type %d in row wal", typ)
+				}
+				row, err := decodeRow(payload,
+					s.cells.Len(), s.mos.Len(), s.pairs.Len(),
+					s.cells.Symbol, s.mos.Symbol)
+				if err != nil {
+					if errors.Is(err, errStaleRow) {
+						return wal.ErrStopReplay
+					}
+					return err
+				}
+				if row.seq < man.NextSeq {
+					return nil // already in the segments
+				}
+				rows = append(rows, row)
+				return nil
+			})
+			if err != nil {
+				replayErrs[i] = err
+				return
+			}
+			replayBytes[i] += n
+		}
+		for r := range rows {
+			if rows[r].seq >= maxSeqs[i] {
+				maxSeqs[i] = rows[r].seq + 1
+			}
+		}
+		s.shards[i].insertRecovered(rows, nil)
+	})
+	for _, err := range replayErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := range replayBytes {
+		walBytes += replayBytes[i]
+	}
+
+	nextSeq := man.NextSeq
+	for _, ms := range maxSeqs {
+		if ms > nextSeq {
+			nextSeq = ms
+		}
+	}
+	s.nextSeq.Store(nextSeq)
+
+	d := &durable{
+		dir:      dir,
+		opts:     opts,
+		fs:       fsys,
+		readOnly: true,
+		rows:     make([]rowLog, nShards),
+		gen:      man.Gen,
 	}
 	d.walLive.Store(walBytes)
 	s.dur = d

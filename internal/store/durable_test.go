@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sitm/internal/core"
+	"sitm/internal/faultfs"
 )
 
 // storeJSON renders a store through WriteJSON — the bit-equal oracle the
@@ -242,7 +243,7 @@ func TestDurableAutoCompact(t *testing.T) {
 	}
 	mustClose(t, s)
 
-	man, err := readManifest(dir)
+	man, err := readManifest(faultfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

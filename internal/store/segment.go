@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"sitm/internal/core"
+	"sitm/internal/faultfs"
 	"sitm/internal/symtab"
 )
 
@@ -68,8 +69,8 @@ func walRowPath(dir string, gen uint64, shard int) string {
 	return filepath.Join(dir, walDirName, fmt.Sprintf("%08d-%04d.row.wal", gen, shard))
 }
 
-func readManifest(dir string) (*manifest, error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+func readManifest(fsys faultfs.FS, dir string) (*manifest, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, manifestName))
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -92,47 +93,50 @@ func readManifest(dir string) (*manifest, error) {
 // writeManifest commits a manifest atomically: temp file, fsync, rename,
 // fsync of the directory. After the rename is durable, recovery observes
 // the new generation and checkpoint watermark together or not at all.
-func writeManifest(dir string, m *manifest) error {
+func writeManifest(fsys faultfs.FS, dir string, m *manifest) error {
 	data, err := json.Marshal(m)
 	if err != nil {
 		return err
 	}
-	return commitFile(filepath.Join(dir, manifestName), append(data, '\n'))
+	return commitFile(fsys, filepath.Join(dir, manifestName), append(data, '\n'))
 }
 
 // commitFile atomically replaces path with data (temp + fsync + rename +
-// dir fsync).
-func commitFile(path string, data []byte) error {
+// dir fsync). All I/O goes through fsys so fault-injection tests can fail
+// any step — a failed rename leaves the old file authoritative and the
+// temp file behind (ignored by recovery), which is exactly why checkpoint
+// commit failures are retryable.
+func commitFile(fsys faultfs.FS, path string, data []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	tmp, err := fsys.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
 		return err
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }
 
 // syncDir fsyncs a directory so a rename within it is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys faultfs.FS, dir string) error {
+	d, err := fsys.OpenFile(dir, os.O_RDONLY, 0)
 	if err != nil {
 		return err
 	}
@@ -297,8 +301,8 @@ type walFile struct {
 // listWALFiles scans dir/wal and returns the dict WALs and per-shard row
 // WALs in ascending generation order. Files for shards ≥ nShards mean the
 // directory was written with a different layout and error out.
-func listWALFiles(dir string, nShards int) (dicts []walFile, rows [][]walFile, err error) {
-	entries, err := os.ReadDir(filepath.Join(dir, walDirName))
+func listWALFiles(fsys faultfs.FS, dir string, nShards int) (dicts []walFile, rows [][]walFile, err error) {
+	entries, err := fsys.ReadDir(filepath.Join(dir, walDirName))
 	if err != nil {
 		return nil, nil, err
 	}

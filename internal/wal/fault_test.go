@@ -1,0 +1,194 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"sitm/internal/faultfs"
+)
+
+// appendAndSync appends one record and syncs, failing the test on error.
+func appendAndSync(t *testing.T, l *Log, typ byte, payload []byte) {
+	t.Helper()
+	if err := l.Append(typ, payload); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+}
+
+// TestPartialWriteLeavesLogReplayable is the in-process counterpart of the
+// torn-tail-on-disk property tests: a flush that dies mid-frame (short
+// write followed by ENOSPC) must leave the file replayable to the last
+// intact frame, and the log object wedged so no later append can
+// interleave bytes after the torn frame.
+func TestPartialWriteLeavesLogReplayable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.wal")
+
+	in := faultfs.NewInjector(nil)
+	l, err := OpenFS(in, path, nil)
+	if err != nil {
+		t.Fatalf("OpenFS: %v", err)
+	}
+	appendAndSync(t, l, 1, []byte("first-record"))
+	durableSize := l.Size()
+
+	// The next flush tears: 5 bytes of the second frame reach the file,
+	// then the disk is full.
+	in.Add(faultfs.Fault{Op: faultfs.OpWrite, Err: syscall.ENOSPC, ShortWrite: 5})
+	if err := l.Append(2, []byte("second-record")); err != nil {
+		t.Fatalf("Append (buffered) should not see the write fault: %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Sync should surface ENOSPC, got %v", err)
+	}
+	// The log is wedged: appends and syncs keep returning the first error
+	// rather than writing garbage after the torn frame.
+	if err := l.Append(3, []byte("third")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Append after failure should return sticky error, got %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Sync after failure should return sticky error, got %v", err)
+	}
+	in.Reset()
+	l.Close()
+
+	// On disk: the first frame plus 5 torn bytes of the second.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(raw)) != durableSize+5 {
+		t.Fatalf("on-disk size = %d, want %d durable + 5 torn", len(raw), durableSize)
+	}
+
+	// Reopen: recovery must replay exactly the first record and truncate
+	// the torn bytes.
+	var types []byte
+	var payloads [][]byte
+	l2, err := Open(path, func(typ byte, payload []byte) error {
+		types = append(types, typ)
+		payloads = append(payloads, bytes.Clone(payload))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if len(types) != 1 || types[0] != 1 || string(payloads[0]) != "first-record" {
+		t.Fatalf("replayed %d records %v; want the single intact first record", len(types), types)
+	}
+	if l2.Size() != durableSize {
+		t.Fatalf("recovered size = %d, want %d", l2.Size(), durableSize)
+	}
+	// And the log must be appendable again after recovery.
+	appendAndSync(t, l2, 4, []byte("post-recovery"))
+}
+
+// TestSyncFailureDoesNotAcknowledge proves the core durability invariant at
+// the wal layer: if Sync returns an error, the record it covered must not
+// be treated as durable — and after reopen the file holds exactly the
+// records covered by successful Syncs.
+func TestSyncFailureDoesNotAcknowledge(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.wal")
+
+	in := faultfs.NewInjector(nil)
+	l, err := OpenFS(in, path, nil)
+	if err != nil {
+		t.Fatalf("OpenFS: %v", err)
+	}
+	appendAndSync(t, l, 1, []byte("acked"))
+
+	// fsync itself fails (after the flush wrote the bytes): the record may
+	// or may not be on disk, so it must NOT be acknowledged — but recovery
+	// accepting it is legal. What is illegal is losing "acked".
+	in.Add(faultfs.Fault{Op: faultfs.OpSync, Err: syscall.EIO})
+	if err := l.Append(2, []byte("not-acked")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Sync should surface EIO, got %v", err)
+	}
+	in.Reset()
+	// Abandon without Close: crash.
+
+	var got []byte
+	if _, err := Open(path, func(typ byte, payload []byte) error {
+		if typ == 1 {
+			got = bytes.Clone(payload)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if string(got) != "acked" {
+		t.Fatalf("acked record lost across injected fsync failure: %q", got)
+	}
+}
+
+// TestScanFSReadOnly verifies the read-only scan: same replayed prefix as
+// Open, no truncation, no file creation for missing paths.
+func TestScanFSReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.wal")
+
+	l, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAndSync(t, l, 7, []byte("alpha"))
+	appendAndSync(t, l, 8, []byte("beta"))
+	size := l.Size()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail by hand: append garbage that recovery must ignore.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xff, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var types []byte
+	valid, err := ScanFS(faultfs.OS, path, func(typ byte, payload []byte) error {
+		types = append(types, typ)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ScanFS: %v", err)
+	}
+	if valid != size {
+		t.Fatalf("valid = %d, want %d", valid, size)
+	}
+	if len(types) != 2 || types[0] != 7 || types[1] != 8 {
+		t.Fatalf("replayed types = %v", types)
+	}
+	// Crucially, ScanFS must NOT have truncated the torn tail.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != size+3 {
+		t.Fatalf("ScanFS mutated the file: size %d, want %d", st.Size(), size+3)
+	}
+
+	// Missing file: empty log, and no file is created.
+	missing := filepath.Join(dir, "missing.wal")
+	valid, err = ScanFS(faultfs.OS, missing, nil)
+	if err != nil || valid != 0 {
+		t.Fatalf("ScanFS(missing) = %d, %v", valid, err)
+	}
+	if _, err := os.Stat(missing); !os.IsNotExist(err) {
+		t.Fatalf("ScanFS created the missing file")
+	}
+}

@@ -22,6 +22,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"sitm/internal/faultfs"
 )
 
 // castagnoli is the CRC32C polynomial table; Castagnoli has hardware
@@ -55,9 +57,10 @@ type Log struct {
 
 	mu sync.Mutex
 	// f is the underlying file, positioned at the end of the last intact
-	// record after Open.
+	// record after Open. It is a faultfs.File so tests can inject write
+	// and fsync failures at the syscall boundary.
 	//sitm:guardedby mu
-	f *os.File
+	f faultfs.File
 	// w buffers appends so one logical record is one (or few) syscalls.
 	//sitm:guardedby mu
 	w *bufio.Writer
@@ -80,7 +83,13 @@ type Log struct {
 // replay error aborts Open — except ErrStopReplay, which truncates the log
 // just before the offending record and opens it normally.
 func Open(path string, replay func(typ byte, payload []byte) error) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFS(faultfs.OS, path, replay)
+}
+
+// OpenFS is Open through an explicit filesystem; production code uses
+// faultfs.OS, fault-injection tests pass a faultfs.Injector.
+func OpenFS(fsys faultfs.FS, path string, replay func(typ byte, payload []byte) error) (*Log, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -104,17 +113,44 @@ func Open(path string, replay func(typ byte, payload []byte) error) (*Log, error
 // exists. Checkpoint rotation uses it so a rotation can never silently
 // adopt a stale file's contents.
 func Create(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	return CreateFS(faultfs.OS, path)
+}
+
+// CreateFS is Create through an explicit filesystem.
+func CreateFS(fsys faultfs.FS, path string) (*Log, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	return &Log{path: path, f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
 }
 
+// ScanFS replays every intact record of the log at path without opening it
+// for writing and without truncating a torn tail, returning the number of
+// valid bytes. A missing file is an empty log (0, nil): read-only opens
+// must not create files as a side effect. The replayed prefix is exactly
+// what Open would recover — ScanFS is the read-only half of the crash
+// contract.
+func ScanFS(fsys faultfs.FS, path string, replay func(typ byte, payload []byte) error) (int64, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	valid, err := scan(f, replay)
+	if err != nil {
+		return 0, fmt.Errorf("wal %s: %w", path, err)
+	}
+	return valid, nil
+}
+
 // scan walks the frame stream from the start of f, replaying intact
 // records, and returns the offset of the first byte past the last record
 // that should survive.
-func scan(f *os.File, replay func(typ byte, payload []byte) error) (int64, error) {
+func scan(f faultfs.File, replay func(typ byte, payload []byte) error) (int64, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, err
 	}
