@@ -88,6 +88,8 @@ func run(args []string, out io.Writer) error {
 		return runGML(args[1:], out)
 	case "compact":
 		return runCompact(args[1:], out)
+	case "inspect":
+		return runInspect(args[1:], out)
 	}
 	return errUnknownCommand
 }
@@ -132,7 +134,10 @@ commands:
   gml        export the Louvre space graph as IndoorGML-style XML (-out file)
              and verify the round trip
   compact    checkpoint a durable store directory (-store dir): fold the
-             write-ahead log into immutable columnar segments`)
+             write-ahead log into immutable columnar segments
+  inspect    dump a durable store directory (-store dir or positional):
+             manifest, per-segment block layout with zone-map extents,
+             and the block format's compression ratio`)
 }
 
 func params(seed int64, scale float64) sitm.DatasetParams {
@@ -914,6 +919,24 @@ func runCompact(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "compacted %s: segment gen %d → %d, wal bytes %d → %d\n",
 		*dir, before.Gen, after.Gen, before.WALBytes, after.WALBytes)
 	return st.Close()
+}
+
+// runInspect dumps a durable store directory: manifest, per-segment block
+// layout with zone-map extents, and the compression ratio of the block
+// format against a v1 re-encode. Strictly read-only.
+func runInspect(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	dir := fs.String("store", "", "durable store directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" && fs.NArg() == 1 {
+		*dir = fs.Arg(0)
+	}
+	if *dir == "" {
+		return fmt.Errorf("inspect: give the store directory (-store dir or positional)")
+	}
+	return sitm.InspectStoreDir(*dir, out)
 }
 
 func runMine(args []string, out io.Writer) error {

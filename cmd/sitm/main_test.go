@@ -3,10 +3,12 @@ package main
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"sitm"
 )
@@ -314,5 +316,60 @@ func TestGenerateStreamFeedRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "ingested 202 detections") {
 		t.Fatalf("ingest output = %q", buf.String())
+	}
+}
+
+// TestGoldenInspect locks the inspect report (E11). The durable directory
+// is rebuilt deterministically on every run — fixed trajectories, fixed
+// shard count, one checkpoint — so the manifest line, the per-segment
+// block layout with zone-map extents, and the compression ratio are all
+// stable bytes.
+func TestGoldenInspect(t *testing.T) {
+	dir := t.TempDir()
+	st, err := sitm.OpenStore(dir, sitm.StoreOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2017, 2, 14, 9, 0, 0, 0, time.UTC)
+	var trajs []sitm.Trajectory
+	for i := 0; i < 24; i++ {
+		at := base.Add(time.Duration(i*37) * time.Minute)
+		tr := sitm.Trace{{
+			Cell:  fmt.Sprintf("zone%02d", i%5),
+			Start: at,
+			End:   at.Add(15 * time.Minute),
+		}}
+		traj, err := sitm.NewTrajectory(fmt.Sprintf("visitor%02d", i%7), tr,
+			sitm.NewAnnotations("activity", "visit"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trajs = append(trajs, traj)
+	}
+	st.PutBatch(trajs)
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"inspect", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "inspect-store.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("inspect output drifted:\n--- got ---\n%s\n--- want ---\n%s", buf.String(), want)
 	}
 }

@@ -338,8 +338,9 @@ type statsResponse struct {
 		Read  admitStats `json:"read"`
 		Write admitStats `json:"write"`
 	} `json:"admission"`
-	PlanCache *cacheStats `json:"plan_cache,omitempty"`
-	Draining  bool        `json:"draining"`
+	PlanCache  *cacheStats            `json:"plan_cache,omitempty"`
+	BlockCache *store.BlockCacheStats `json:"block_cache,omitempty"`
+	Draining   bool                   `json:"draining"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) *apiError {
@@ -355,6 +356,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) *apiError {
 	if s.cache != nil {
 		cs := s.cache.stats()
 		resp.PlanCache = &cs
+	}
+	if bcs, ok := s.st.BlockCacheStats(); ok {
+		resp.BlockCache = &bcs
 	}
 	resp.Draining = s.draining.Load()
 	return writeJSON(w, &resp)

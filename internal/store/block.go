@@ -1,0 +1,1162 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"slices"
+	"sync/atomic"
+	"time"
+
+	"sitm/internal/core"
+)
+
+// Block-structured compressed segments, format "SITMSEG2" (DESIGN.md
+// §3.12). Where the v1 format is one monolithic varint blob per shard, a
+// v2 segment splits its rows into fixed-row-count blocks, each carrying
+// its own CRC and a zone map, laid out as:
+//
+//	"SITMSEG2"
+//	uvarint headerLen │ header │ crc32c(header)
+//	block 0 payload │ crc32c(block 0)
+//	block 1 payload │ crc32c(block 1)
+//	...
+//
+// header: uvarint totalRows, uvarint blockCount, then per block a uvarint
+// payload length and the block's zone map (min/max seq, min/max span
+// start/end nanos, row count, distinct cell/MO counts, 256-bit cell-id
+// bloom). The header alone answers "which blocks can match this
+// predicate" without touching a single block byte.
+//
+// Each block payload holds a time scale — the GCD of every time delta in
+// the block, so second- or minute-granular feeds encode their deltas in
+// one or two bytes instead of six — then the eager columns: seqs (delta
+// varint), moIDs (plain or run-length, whichever is smaller), spans
+// (scaled delta varint), encs and anns (block-local sorted dictionaries +
+// per-row local indexes) — followed by the residual section: a block-local string dictionary and
+// per-row transition/time/annotation data. Cold Open decodes only the
+// eager columns (rebuilding postings) and structurally validates the
+// residual; the expensive part — string, map and Trace materialization —
+// is deferred until a query touches the block, behind the shared
+// BlockCache. Corruption anywhere is reported with the block index and
+// byte offset and fails that segment's load at Open; materialization
+// after a clean Open cannot fail.
+
+const segMagicV2 = "SITMSEG2"
+
+// segBlockRows is the row capacity of one segment block. A variable so
+// the block-boundary and pruning tests can exercise many-block segments
+// with small corpora; the on-disk format carries explicit per-block row
+// counts, so readers never depend on this value.
+var segBlockRows = 1024
+
+// nextBlockSegID issues process-unique segment ids for block-cache keys:
+// two stores (or two generations of one store) sharing a BlockCache can
+// never collide.
+var nextBlockSegID atomic.Uint64
+
+// ---- Zone maps -----------------------------------------------------------
+
+// zoneMap summarizes one block for predicate pushdown: any trajectory in
+// the block has seq ∈ [minSeq, maxSeq], span start ∈ [minStart, maxStart]
+// and span end ∈ [minEnd, maxEnd] (unix nanos), and every cell id it
+// visits is present in the bloom filter. Presence intervals lie inside
+// their trajectory's span (validated at decode), so [minStart, maxEnd]
+// also envelopes every interval in the block.
+type zoneMap struct {
+	minSeq, maxSeq     uint64
+	minStart, maxStart int64
+	minEnd, maxEnd     int64
+	rows               int32
+	distinctCells      int32
+	distinctMOs        int32
+	bloom              [4]uint64 // 256-bit cell-id summary, 2 probes
+}
+
+// bloomPositions derives two bit positions in [0, 256) from a cell id.
+//
+//sitm:hotpath
+func bloomPositions(id int32) (uint32, uint32) {
+	x := uint32(id)*0x9E3779B1 + 0x7F4A7C15
+	x ^= x >> 15
+	x *= 0x85EBCA77
+	x ^= x >> 13
+	return x & 255, (x >> 16) & 255
+}
+
+func (z *zoneMap) bloomAdd(id int32) {
+	a, b := bloomPositions(id)
+	z.bloom[a>>6] |= 1 << (a & 63)
+	z.bloom[b>>6] |= 1 << (b & 63)
+}
+
+// bloomHas reports whether the cell id may appear in the block (no false
+// negatives for validated segments).
+//
+//sitm:hotpath
+func (z *zoneMap) bloomHas(id int32) bool {
+	a, b := bloomPositions(id)
+	return z.bloom[a>>6]&(1<<(a&63)) != 0 && z.bloom[b>>6]&(1<<(b&63)) != 0
+}
+
+// timeDisjoint reports that no trajectory span (hence no presence
+// interval) in the block can intersect [fromN, toN].
+//
+//sitm:hotpath
+func (z *zoneMap) timeDisjoint(fromN, toN int64) bool {
+	return z.maxEnd < fromN || z.minStart > toN
+}
+
+// timeCovered reports that every trajectory span in the block intersects
+// [fromN, toN]: the earliest end is past from and the latest start before
+// to, so the per-slot overlap test holds for all rows.
+//
+//sitm:hotpath
+func (z *zoneMap) timeCovered(fromN, toN int64) bool {
+	return z.minEnd >= fromN && z.maxStart <= toN
+}
+
+func appendZone(dst []byte, z *zoneMap) []byte {
+	dst = binary.AppendUvarint(dst, z.minSeq)
+	dst = binary.AppendUvarint(dst, z.maxSeq-z.minSeq)
+	dst = binary.AppendVarint(dst, z.minStart)
+	dst = binary.AppendVarint(dst, z.maxStart-z.minStart)
+	dst = binary.AppendVarint(dst, z.minEnd-z.minStart)
+	dst = binary.AppendVarint(dst, z.maxEnd-z.minEnd)
+	dst = binary.AppendUvarint(dst, uint64(z.rows))
+	dst = binary.AppendUvarint(dst, uint64(z.distinctCells))
+	dst = binary.AppendUvarint(dst, uint64(z.distinctMOs))
+	for _, w := range z.bloom {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
+}
+
+func (d *rowDecoder) zone() zoneMap {
+	var z zoneMap
+	z.minSeq = d.uvarint()
+	z.maxSeq = z.minSeq + d.uvarint()
+	z.minStart = d.varint()
+	z.maxStart = z.minStart + d.varint()
+	z.minEnd = z.minStart + d.varint()
+	z.maxEnd = z.minEnd + d.varint()
+	rows := d.uvarint()
+	cells := d.uvarint()
+	mos := d.uvarint()
+	if d.err == nil && (rows > 1<<30 || cells > 1<<30 || mos > 1<<30) {
+		d.fail("zone count out of range")
+	}
+	z.rows = int32(rows)
+	z.distinctCells = int32(cells)
+	z.distinctMOs = int32(mos)
+	w := d.raw(32)
+	if d.err == nil {
+		for i := range z.bloom {
+			z.bloom[i] = binary.LittleEndian.Uint64(w[i*8:])
+		}
+	}
+	return z
+}
+
+// ---- Small decoder helpers (block-local dictionaries) -------------------
+
+// raw consumes n bytes verbatim.
+func (d *rowDecoder) raw(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n > len(d.b) {
+		d.fail("truncated raw bytes")
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+// skipStr consumes a length-prefixed string without materializing it.
+func (d *rowDecoder) skipStr() {
+	n := d.uvarint()
+	if d.err != nil {
+		return
+	}
+	if n > uint64(len(d.b)) {
+		d.fail("truncated string")
+		return
+	}
+	d.b = d.b[n:]
+}
+
+// localID decodes an index into a block-local dictionary of the given
+// size. Callers must check d.err before using the result as an index.
+func (d *rowDecoder) localID(limit int) int {
+	v := d.uvarint()
+	if d.err == nil && v >= uint64(limit) {
+		d.fail(fmt.Sprintf("local id %d beyond block dictionary size %d", v, limit))
+	}
+	return int(v)
+}
+
+// localStr resolves one block-local string id.
+func (d *rowDecoder) localStr(dict []string) string {
+	i := d.localID(len(dict))
+	if d.err != nil {
+		return ""
+	}
+	return dict[i]
+}
+
+// deltaDict decodes a strictly ascending id dictionary (count, first id,
+// then positive gaps), validating every id against limit.
+func (d *rowDecoder) deltaDict(limit int) []int32 {
+	n := d.count(1)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int32, n)
+	prev := uint64(0)
+	for i := range out {
+		v := d.uvarint()
+		if d.err != nil {
+			return nil
+		}
+		if i > 0 {
+			if v == 0 {
+				d.fail("block dictionary not strictly ascending")
+				return nil
+			}
+			v += prev
+		}
+		if v >= uint64(limit) {
+			d.failStale(fmt.Sprintf("id %d beyond dictionary size %d", v, limit))
+			return nil
+		}
+		out[i] = int32(v)
+		prev = v
+	}
+	return out
+}
+
+func appendDeltaDict(dst []byte, ids []int32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ids)))
+	prev := int32(0)
+	for i, id := range ids {
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, uint64(id))
+		} else {
+			dst = binary.AppendUvarint(dst, uint64(id-prev))
+		}
+		prev = id
+	}
+	return dst
+}
+
+// appendLocalAnnotations mirrors appendAnnotations over a block-local
+// string dictionary: presence flag (0 = nil map), then sorted keys and
+// in-order values as interned ids.
+func appendLocalAnnotations(dst []byte, a core.Annotations, intern func(string) uint64) []byte {
+	if a == nil {
+		return binary.AppendUvarint(dst, 0)
+	}
+	keys := a.Keys()
+	dst = binary.AppendUvarint(dst, uint64(1+len(keys)))
+	for _, k := range keys {
+		dst = binary.AppendUvarint(dst, intern(k))
+		vs := a[k]
+		dst = binary.AppendUvarint(dst, uint64(len(vs)))
+		for _, v := range vs {
+			dst = binary.AppendUvarint(dst, intern(v))
+		}
+	}
+	return dst
+}
+
+// localAnnotations decodes an annotation map encoded by
+// appendLocalAnnotations, resolving ids through the block's string dict.
+func (d *rowDecoder) localAnnotations(dict []string) core.Annotations {
+	flag := d.count(1)
+	if d.err != nil || flag == 0 {
+		return nil
+	}
+	nKeys := flag - 1
+	a := make(core.Annotations, nKeys)
+	for i := 0; i < nKeys; i++ {
+		k := d.localStr(dict)
+		nVals := d.count(1)
+		if d.err != nil {
+			return nil
+		}
+		var vs []string
+		if nVals > 0 {
+			vs = make([]string, nVals)
+			for j := range vs {
+				vs[j] = d.localStr(dict)
+			}
+		}
+		a[k] = vs
+	}
+	if d.err != nil {
+		return nil
+	}
+	return a
+}
+
+// skipLocalAnn validates an annotation map's structure and ids without
+// building it.
+func (d *rowDecoder) skipLocalAnn(limit int) {
+	flag := d.count(1)
+	if d.err != nil || flag == 0 {
+		return
+	}
+	for i := 0; i < flag-1 && d.err == nil; i++ {
+		d.localID(limit)
+		nVals := d.count(1)
+		if d.err != nil {
+			return
+		}
+		for j := 0; j < nVals; j++ {
+			d.localID(limit)
+		}
+	}
+}
+
+// ---- Encoding ------------------------------------------------------------
+
+// residualSource returns the per-row trajectory column for re-encoding:
+// the in-memory trajs column, with any lazily held block prefix
+// materialized block-by-block through the shared cache (a checkpoint after
+// a cold open must not write empty residuals for rows it never touched).
+func (c *segmentColumns) residualSource() []core.Trajectory {
+	if c.blk == nil || c.blk.rowCount == 0 {
+		return c.trajs
+	}
+	out := c.blk.allTrajs()
+	return append(out, c.trajs[c.blk.rowCount:]...)
+}
+
+// encodeSegmentV2 lays the captured columns out as a block-structured
+// segment: segBlockRows rows per block, per-column cheap encodings, one
+// CRC and zone map per block.
+func encodeSegmentV2(c *segmentColumns) []byte {
+	n := len(c.seqs)
+	trajs := c.residualSource()
+	var payloads [][]byte
+	var zones []zoneMap
+	for base := 0; base < n; base += segBlockRows {
+		end := base + segBlockRows
+		if end > n {
+			end = n
+		}
+		p, z := encodeBlock(c, trajs, base, end)
+		payloads = append(payloads, p)
+		zones = append(zones, z)
+	}
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, uint64(n))
+	hdr = binary.AppendUvarint(hdr, uint64(len(payloads)))
+	for i := range payloads {
+		hdr = binary.AppendUvarint(hdr, uint64(len(payloads[i])))
+		hdr = appendZone(hdr, &zones[i])
+	}
+	out := make([]byte, 0, len(segMagicV2)+len(hdr)+16)
+	out = append(out, segMagicV2...)
+	out = binary.AppendUvarint(out, uint64(len(hdr)))
+	out = append(out, hdr...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(hdr, castagnoliTable))
+	for _, p := range payloads {
+		out = append(out, p...)
+		out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(p, castagnoliTable))
+	}
+	return out
+}
+
+// gcd64 is the binary-size GCD over unsigned deltas; gcd64(0, x) == x, so
+// a running fold starts at 0.
+func gcd64(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// absDelta is |v| as uint64 (well-defined at math.MinInt64).
+func absDelta(v int64) uint64 {
+	if v < 0 {
+		return uint64(-v)
+	}
+	return uint64(v)
+}
+
+// blockTimeScale folds the GCD of every time delta the block will encode —
+// span start deltas, span lengths, and the residual's per-point interval
+// deltas. Real feeds are clock-granular (seconds, minutes), so the scaled
+// deltas shrink from ~6 varint bytes to 1–2; a pathological mix just
+// yields 1 and encodes verbatim.
+func blockTimeScale(c *segmentColumns, trajs []core.Trajectory, base, end int) uint64 {
+	g := uint64(0)
+	prevStart := int64(0)
+	for i := base; i < end; i++ {
+		st, en := c.starts[i].UnixNano(), c.ends[i].UnixNano()
+		g = gcd64(g, absDelta(st-prevStart))
+		g = gcd64(g, absDelta(en-st))
+		prevStart = st
+		prevT := st
+		for _, pt := range trajs[i].Trace {
+			pst, pen := pt.Start.UnixNano(), pt.End.UnixNano()
+			g = gcd64(g, absDelta(pst-prevT))
+			g = gcd64(g, absDelta(pen-pst))
+			prevT = pen
+		}
+	}
+	if g == 0 {
+		return 1
+	}
+	return g
+}
+
+// encodeBlock encodes rows [base, end) of the captured columns as one
+// block payload and its zone map.
+func encodeBlock(c *segmentColumns, trajs []core.Trajectory, base, end int) ([]byte, zoneMap) {
+	rows := end - base
+	z := zoneMap{rows: int32(rows)}
+	z.minSeq, z.maxSeq = c.seqs[base], c.seqs[base]
+	z.minStart = c.starts[base].UnixNano()
+	z.maxStart = z.minStart
+	z.minEnd = c.ends[base].UnixNano()
+	z.maxEnd = z.minEnd
+	for i := base; i < end; i++ {
+		if q := c.seqs[i]; q < z.minSeq {
+			z.minSeq = q
+		} else if q > z.maxSeq {
+			z.maxSeq = q
+		}
+		st, en := c.starts[i].UnixNano(), c.ends[i].UnixNano()
+		if st < z.minStart {
+			z.minStart = st
+		}
+		if st > z.maxStart {
+			z.maxStart = st
+		}
+		if en < z.minEnd {
+			z.minEnd = en
+		}
+		if en > z.maxEnd {
+			z.maxEnd = en
+		}
+	}
+
+	tg := blockTimeScale(c, trajs, base, end)
+	tsc := int64(tg)
+
+	var p []byte
+	// Time scale: every span/residual time delta below is divided by it
+	// (exactly — it is their GCD) and multiplied back at decode.
+	p = binary.AppendUvarint(p, tg)
+
+	// seqs: first absolute, then signed deltas (near-monotone in practice).
+	p = binary.AppendUvarint(p, c.seqs[base])
+	for i := base + 1; i < end; i++ {
+		p = binary.AppendVarint(p, int64(c.seqs[i]-c.seqs[i-1]))
+	}
+
+	// moIDs: run-length when runs win, plain otherwise; one flag byte.
+	nRuns := 1
+	moSet := make(map[int32]struct{}, 16)
+	moSet[c.moIDs[base]] = struct{}{}
+	for i := base + 1; i < end; i++ {
+		if c.moIDs[i] != c.moIDs[i-1] {
+			nRuns++
+		}
+		moSet[c.moIDs[i]] = struct{}{}
+	}
+	z.distinctMOs = int32(len(moSet))
+	if nRuns*2 < rows {
+		p = append(p, 1)
+		p = binary.AppendUvarint(p, uint64(nRuns))
+		i := base
+		for i < end {
+			j := i
+			for j < end && c.moIDs[j] == c.moIDs[i] {
+				j++
+			}
+			p = binary.AppendUvarint(p, uint64(c.moIDs[i]))
+			p = binary.AppendUvarint(p, uint64(j-i))
+			i = j
+		}
+	} else {
+		p = append(p, 0)
+		for i := base; i < end; i++ {
+			p = binary.AppendUvarint(p, uint64(c.moIDs[i]))
+		}
+	}
+
+	// spans: start as scaled delta to the previous start, end as scaled
+	// offset from start.
+	prevStart := int64(0)
+	for i := base; i < end; i++ {
+		st, en := c.starts[i].UnixNano(), c.ends[i].UnixNano()
+		p = binary.AppendVarint(p, (st-prevStart)/tsc)
+		p = binary.AppendVarint(p, (en-st)/tsc)
+		prevStart = st
+	}
+
+	// encs: block-local sorted cell dictionary + per-row local indexes.
+	local := make(map[int32]int32, 32)
+	var cellDict []int32
+	for i := base; i < end; i++ {
+		for _, id := range c.encs[i] {
+			if _, ok := local[id]; !ok {
+				local[id] = 0
+				cellDict = append(cellDict, id)
+			}
+		}
+	}
+	slices.Sort(cellDict)
+	for li, id := range cellDict {
+		local[id] = int32(li)
+		z.bloomAdd(id)
+	}
+	z.distinctCells = int32(len(cellDict))
+	p = appendDeltaDict(p, cellDict)
+	for i := base; i < end; i++ {
+		p = binary.AppendUvarint(p, uint64(len(c.encs[i])))
+		for _, id := range c.encs[i] {
+			p = binary.AppendUvarint(p, uint64(local[id]))
+		}
+	}
+
+	// anns: same local-dictionary shape over annotation-pair ids.
+	pairLocal := make(map[int32]int32, 16)
+	var pairDict []int32
+	for i := base; i < end; i++ {
+		for _, id := range c.anns[i] {
+			if _, ok := pairLocal[id]; !ok {
+				pairLocal[id] = 0
+				pairDict = append(pairDict, id)
+			}
+		}
+	}
+	slices.Sort(pairDict)
+	for li, id := range pairDict {
+		pairLocal[id] = int32(li)
+	}
+	p = appendDeltaDict(p, pairDict)
+	for i := base; i < end; i++ {
+		p = binary.AppendUvarint(p, uint64(len(c.anns[i])))
+		for _, id := range c.anns[i] {
+			p = binary.AppendUvarint(p, uint64(pairLocal[id]))
+		}
+	}
+
+	// Residual: rows buffer first so the string dictionary they intern
+	// into can precede them in the payload.
+	strIdx := make(map[string]uint64, 32)
+	var strDict []string
+	intern := func(s string) uint64 {
+		id, ok := strIdx[s]
+		if !ok {
+			id = uint64(len(strDict))
+			strIdx[s] = id
+			strDict = append(strDict, s)
+		}
+		return id
+	}
+	var rp []byte
+	for i := base; i < end; i++ {
+		t := trajs[i]
+		rp = appendLocalAnnotations(rp, t.Ann, intern)
+		prevT := c.starts[i].UnixNano()
+		for _, pt := range t.Trace {
+			rp = binary.AppendUvarint(rp, intern(pt.Transition))
+			st, en := pt.Start.UnixNano(), pt.End.UnixNano()
+			rp = binary.AppendVarint(rp, (st-prevT)/tsc)
+			rp = binary.AppendVarint(rp, (en-st)/tsc)
+			prevT = en
+			rp = appendLocalAnnotations(rp, pt.Ann, intern)
+			rp = appendLocalAnnotations(rp, pt.TransitionAnn, intern)
+		}
+	}
+	p = binary.AppendUvarint(p, uint64(len(strDict)))
+	for _, s := range strDict {
+		p = appendStr(p, s)
+	}
+	p = append(p, rp...)
+	return p, z
+}
+
+// ---- Decoding ------------------------------------------------------------
+
+// segData is one decoded v2 segment: the flat eager columns (ready for
+// bulk shard insertion) plus the lazy block state.
+type segData struct {
+	seqs   []uint64
+	moIDs  []int32
+	encs   [][]int32
+	anns   [][]int32
+	starts []time.Time
+	ends   []time.Time
+	blocks *shardBlocks // nil for an empty segment
+}
+
+// blockInfo is the retained per-block state: slot base, zone map, time
+// scale, and the raw residual section (aliasing the segment's file
+// buffer).
+type blockInfo struct {
+	base   int32
+	zone   zoneMap
+	tscale int64
+	res    []byte
+}
+
+// decodeSegmentV2 decodes a block-structured segment: header and zone
+// maps, then per block the CRC, the eager columns (validated against the
+// zone map — pruning trusts zones, so a zone inconsistent with its rows is
+// corruption) and the residual structure. Errors name the failing block
+// and its byte offset; a failed block fails the segment's load, it never
+// panics later.
+func decodeSegmentV2(data []byte, path string, cellLimit, moLimit, pairLimit int, cells, mos func(int32) string, cache *BlockCache) (*segData, error) {
+	ml := len(segMagicV2)
+	if len(data) < ml+1 || string(data[:ml]) != segMagicV2 {
+		return nil, fmt.Errorf("store: %s: bad or missing %s header", path, segMagicV2)
+	}
+	hlen, w := binary.Uvarint(data[ml:])
+	if w <= 0 || hlen > uint64(len(data)-ml-w) {
+		return nil, fmt.Errorf("store: segment %s: truncated header", path)
+	}
+	hdrOff := ml + w
+	hdr := data[hdrOff : hdrOff+int(hlen)]
+	crcOff := hdrOff + int(hlen)
+	if len(data) < crcOff+4 {
+		return nil, fmt.Errorf("store: segment %s: truncated header checksum", path)
+	}
+	if crc32.Checksum(hdr, castagnoliTable) != binary.LittleEndian.Uint32(data[crcOff:]) {
+		return nil, fmt.Errorf("store: segment %s: header checksum mismatch", path)
+	}
+
+	d := &rowDecoder{b: hdr}
+	total := d.uvarint()
+	if d.err == nil && total > uint64(len(data)) {
+		d.fail("row count exceeds file size")
+	}
+	nBlocks := d.count(40) // a zone map alone is > 40 header bytes
+	plens := make([]uint64, 0, nBlocks)
+	zones := make([]zoneMap, 0, nBlocks)
+	rowSum := uint64(0)
+	for b := 0; b < nBlocks && d.err == nil; b++ {
+		plen := d.uvarint()
+		z := d.zone()
+		if d.err != nil {
+			break
+		}
+		if z.rows <= 0 || uint64(z.rows) > total {
+			d.fail(fmt.Sprintf("block %d row count %d of %d total", b, z.rows, total))
+			break
+		}
+		rowSum += uint64(z.rows)
+		plens = append(plens, plen)
+		zones = append(zones, z)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("store: segment %s: header: %w", path, d.err)
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("store: segment %s: header: %d trailing bytes", path, len(d.b))
+	}
+	if rowSum != total {
+		return nil, fmt.Errorf("store: segment %s: header: blocks hold %d rows, header says %d", path, rowSum, total)
+	}
+
+	sd := &segData{
+		seqs:   make([]uint64, 0, total),
+		moIDs:  make([]int32, 0, total),
+		encs:   make([][]int32, 0, total),
+		anns:   make([][]int32, 0, total),
+		starts: make([]time.Time, 0, total),
+		ends:   make([]time.Time, 0, total),
+	}
+	infos := make([]blockInfo, 0, nBlocks)
+	pos := crcOff + 4
+	base := 0
+	for b := 0; b < nBlocks; b++ {
+		plen := int(plens[b])
+		if plen < 0 || pos+plen+4 > len(data) {
+			return nil, fmt.Errorf("store: segment %s: block %d at offset %d: truncated", path, b, pos)
+		}
+		payload := data[pos : pos+plen]
+		if crc32.Checksum(payload, castagnoliTable) != binary.LittleEndian.Uint32(data[pos+plen:]) {
+			return nil, fmt.Errorf("store: segment %s: block %d at offset %d: checksum mismatch", path, b, pos)
+		}
+		resOff, tscale, err := decodeBlockColumns(payload, &zones[b], sd, cellLimit, moLimit, pairLimit)
+		if err != nil {
+			return nil, fmt.Errorf("store: segment %s: block %d at offset %d: %w", path, b, pos, err)
+		}
+		res := payload[resOff:]
+		if err := validateBlockResidual(res, sd, base, int(zones[b].rows), tscale); err != nil {
+			return nil, fmt.Errorf("store: segment %s: block %d at offset %d: %w", path, b, pos, err)
+		}
+		infos = append(infos, blockInfo{base: int32(base), zone: zones[b], tscale: tscale, res: res})
+		base += int(zones[b].rows)
+		pos += plen + 4
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("store: segment %s: %d trailing bytes", path, len(data)-pos)
+	}
+	if total > 0 {
+		sd.blocks = &shardBlocks{
+			cache:    cache,
+			segID:    nextBlockSegID.Add(1),
+			rowCount: int(total),
+			blocks:   infos,
+			encs:     sd.encs,
+			moIDs:    sd.moIDs,
+			starts:   sd.starts,
+			cellSym:  cells,
+			moSym:    mos,
+		}
+	}
+	return sd, nil
+}
+
+// decodeBlockColumns decodes one block's eager columns into sd, verifying
+// every value against the block's zone map, and returns the offset of the
+// residual section within payload plus the block's time scale.
+func decodeBlockColumns(payload []byte, z *zoneMap, sd *segData, cellLimit, moLimit, pairLimit int) (int, int64, error) {
+	d := &rowDecoder{b: payload}
+	rows := int(z.rows)
+
+	// Time scale: multiplies every span/residual time delta. The bound
+	// keeps a corrupt scale from overflowing the delta multiplies silently
+	// (the zone cross-checks below would still catch it).
+	tscale := int64(1)
+	if ts := d.uvarint(); d.err == nil {
+		if ts == 0 || ts > 1<<62 {
+			d.fail(fmt.Sprintf("time scale %d out of range", ts))
+		} else {
+			tscale = int64(ts)
+		}
+	}
+
+	// seqs.
+	seq := d.uvarint()
+	minSeq, maxSeq := seq, seq
+	sd.seqs = append(sd.seqs, seq)
+	for i := 1; i < rows; i++ {
+		seq += uint64(d.varint())
+		if seq < minSeq {
+			minSeq = seq
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		sd.seqs = append(sd.seqs, seq)
+	}
+	if d.err == nil && (minSeq != z.minSeq || maxSeq != z.maxSeq) {
+		d.fail("seq column outside zone map")
+	}
+
+	// moIDs.
+	flag := d.raw(1)
+	switch {
+	case d.err != nil:
+	case flag[0] == 1:
+		nRuns := d.count(2)
+		got := 0
+		for r := 0; r < nRuns && d.err == nil; r++ {
+			id := d.uvarint()
+			runLen := d.uvarint()
+			if d.err != nil {
+				break
+			}
+			if id >= uint64(moLimit) {
+				d.failStale(fmt.Sprintf("mo id %d beyond dictionary size %d", id, moLimit))
+				break
+			}
+			if runLen == 0 || got+int(runLen) > rows {
+				d.fail("mo run overflows block")
+				break
+			}
+			for k := 0; k < int(runLen); k++ {
+				sd.moIDs = append(sd.moIDs, int32(id))
+			}
+			got += int(runLen)
+		}
+		if d.err == nil && got != rows {
+			d.fail("mo runs cover partial block")
+		}
+	case flag[0] == 0:
+		for i := 0; i < rows && d.err == nil; i++ {
+			id := d.uvarint()
+			if d.err == nil && id >= uint64(moLimit) {
+				d.failStale(fmt.Sprintf("mo id %d beyond dictionary size %d", id, moLimit))
+				break
+			}
+			sd.moIDs = append(sd.moIDs, int32(id))
+		}
+	default:
+		d.fail(fmt.Sprintf("mo column flag %d", flag[0]))
+	}
+
+	// spans.
+	prevStart := int64(0)
+	var minStart, maxStart, minEnd, maxEnd int64
+	for i := 0; i < rows && d.err == nil; i++ {
+		st := prevStart + d.varint()*tscale
+		en := st + d.varint()*tscale
+		if d.err != nil {
+			break
+		}
+		prevStart = st
+		if i == 0 {
+			minStart, maxStart, minEnd, maxEnd = st, st, en, en
+		} else {
+			if st < minStart {
+				minStart = st
+			}
+			if st > maxStart {
+				maxStart = st
+			}
+			if en < minEnd {
+				minEnd = en
+			}
+			if en > maxEnd {
+				maxEnd = en
+			}
+		}
+		sd.starts = append(sd.starts, time.Unix(0, st).UTC())
+		sd.ends = append(sd.ends, time.Unix(0, en).UTC())
+	}
+	if d.err == nil && (minStart != z.minStart || maxStart != z.maxStart || minEnd != z.minEnd || maxEnd != z.maxEnd) {
+		d.fail("span column outside zone map")
+	}
+
+	// encs: local cell dictionary, then per-row local index sequences.
+	cellDict := d.deltaDict(cellLimit)
+	if d.err == nil {
+		if int32(len(cellDict)) != z.distinctCells {
+			d.fail("cell dictionary size disagrees with zone map")
+		}
+		for _, id := range cellDict {
+			if !z.bloomHas(id) {
+				d.fail("cell id missing from zone bloom")
+				break
+			}
+		}
+	}
+	counts := make([]int, rows)
+	var flatCells []int32
+	for i := 0; i < rows && d.err == nil; i++ {
+		n := d.count(1)
+		counts[i] = n
+		for k := 0; k < n && d.err == nil; k++ {
+			li := d.localID(len(cellDict))
+			if d.err != nil {
+				break
+			}
+			flatCells = append(flatCells, cellDict[li])
+		}
+	}
+	off := 0
+	for i := 0; i < rows && d.err == nil; i++ {
+		if counts[i] == 0 {
+			sd.encs = append(sd.encs, nil)
+			continue
+		}
+		sd.encs = append(sd.encs, flatCells[off:off+counts[i]:off+counts[i]])
+		off += counts[i]
+	}
+
+	// anns: local pair dictionary + per-row ascending local indexes.
+	pairDict := d.deltaDict(pairLimit)
+	var flatPairs []int32
+	for i := 0; i < rows && d.err == nil; i++ {
+		n := d.count(1)
+		counts[i] = n
+		prev := -1
+		for k := 0; k < n && d.err == nil; k++ {
+			li := d.localID(len(pairDict))
+			if d.err != nil {
+				break
+			}
+			if li <= prev {
+				d.fail("annotation ids not ascending")
+				break
+			}
+			prev = li
+			flatPairs = append(flatPairs, pairDict[li])
+		}
+	}
+	off = 0
+	for i := 0; i < rows && d.err == nil; i++ {
+		if counts[i] == 0 {
+			sd.anns = append(sd.anns, nil)
+			continue
+		}
+		sd.anns = append(sd.anns, flatPairs[off:off+counts[i]:off+counts[i]])
+		off += counts[i]
+	}
+
+	if d.err == nil && (z.distinctMOs <= 0 || int(z.distinctMOs) > rows) {
+		d.fail("distinct-mo count out of range")
+	}
+	if d.err != nil {
+		return 0, 0, d.err
+	}
+	return len(payload) - len(d.b), tscale, nil
+}
+
+// validateBlockResidual structurally validates a block's residual section
+// without materializing strings or maps: every local id bounds-checked,
+// every presence interval inside its row's span (the kCellDuring prune
+// relies on that envelope). After this walk, materialization cannot fail.
+func validateBlockResidual(res []byte, sd *segData, base, rows int, tscale int64) error {
+	d := &rowDecoder{b: res}
+	nStr := d.count(1)
+	for i := 0; i < nStr && d.err == nil; i++ {
+		d.skipStr()
+	}
+	for r := 0; r < rows && d.err == nil; r++ {
+		i := base + r
+		d.skipLocalAnn(nStr)
+		rowStart := sd.starts[i].UnixNano()
+		rowEnd := sd.ends[i].UnixNano()
+		prevT := rowStart
+		for range sd.encs[i] {
+			d.localID(nStr)
+			st := prevT + d.varint()*tscale
+			en := st + d.varint()*tscale
+			if d.err != nil {
+				break
+			}
+			if st < rowStart || en < st || en > rowEnd {
+				d.fail("presence interval outside row span")
+				break
+			}
+			prevT = en
+			d.skipLocalAnn(nStr)
+			d.skipLocalAnn(nStr)
+			if d.err != nil {
+				break
+			}
+		}
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("store: corrupt record: %d trailing residual bytes", len(d.b))
+	}
+	return nil
+}
+
+// ---- Lazy block state ----------------------------------------------------
+
+// shardBlocks is a shard's lazily materialized segment prefix: slots
+// [0, rowCount) were recovered from a v2 segment with their eager columns
+// inserted but their trajectory column empty. traj materializes a slot's
+// block through the shared cache on demand. All fields are immutable after
+// open, so reads need no lock beyond the cache's own.
+type shardBlocks struct {
+	cache    *BlockCache
+	segID    uint64
+	rowCount int
+	blocks   []blockInfo
+	// Per-row decode inputs, aliasing the shard's own column backing (the
+	// block prefix of those columns never changes after open).
+	encs    [][]int32
+	moIDs   []int32
+	starts  []time.Time
+	cellSym func(int32) string
+	moSym   func(int32) string
+}
+
+// blockOf locates the block holding slot (binary search on block bases).
+//
+//sitm:hotpath
+func (bs *shardBlocks) blockOf(slot int32) int {
+	lo, hi := 0, len(bs.blocks)
+	for hi-lo > 1 {
+		mid := int(uint(lo+hi) >> 1)
+		if bs.blocks[mid].base <= slot {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// traj returns the trajectory at slot, materializing its block on a cache
+// miss. The cache-hit path is allocation-free.
+func (bs *shardBlocks) traj(slot int32) core.Trajectory {
+	b := bs.blockOf(slot)
+	return bs.materialize(b)[slot-bs.blocks[b].base]
+}
+
+// materialize returns the decoded trajectories of one block, consulting
+// the shared cache first.
+func (bs *shardBlocks) materialize(b int) []core.Trajectory {
+	key := blockKey{seg: bs.segID, block: int32(b)}
+	if bs.cache != nil {
+		if ts, ok := bs.cache.get(key); ok {
+			return ts
+		}
+	}
+	ts, err := bs.decodeBlockTrajs(b)
+	if err != nil {
+		// Unreachable: the residual section was structurally validated at
+		// open, and the inputs are immutable.
+		panic(fmt.Errorf("store: segment block %d failed decode after validation: %w", b, err))
+	}
+	if bs.cache != nil {
+		bs.cache.put(key, ts, blockFootprint(&bs.blocks[b], len(ts)))
+	}
+	return ts
+}
+
+// blockFootprint estimates the in-memory bytes of a materialized block:
+// residual bytes inflate into strings, maps and Trace slices, plus fixed
+// per-row struct overhead.
+func blockFootprint(info *blockInfo, rows int) int64 {
+	return int64(len(info.res))*4 + int64(rows)*128
+}
+
+// allTrajs materializes every block in order (the checkpoint re-encode
+// path), touching each block exactly once.
+func (bs *shardBlocks) allTrajs() []core.Trajectory {
+	out := make([]core.Trajectory, 0, bs.rowCount)
+	for b := range bs.blocks {
+		out = append(out, bs.materialize(b)...)
+	}
+	return out
+}
+
+// decodeBlockTrajs decodes one block's residual section into trajectories
+// (the mirror of encodeBlock's residual pass, resolving block-local string
+// ids and interned cell/MO ids).
+func (bs *shardBlocks) decodeBlockTrajs(b int) ([]core.Trajectory, error) {
+	info := &bs.blocks[b]
+	d := &rowDecoder{b: info.res}
+	nStr := d.count(1)
+	dict := make([]string, nStr)
+	for i := range dict {
+		dict[i] = d.str()
+	}
+	rows := int(info.zone.rows)
+	ts := make([]core.Trajectory, rows)
+	for r := 0; r < rows && d.err == nil; r++ {
+		slot := int(info.base) + r
+		enc := bs.encs[slot]
+		t := core.Trajectory{MO: bs.moSym(bs.moIDs[slot]), Ann: d.localAnnotations(dict)}
+		if len(enc) > 0 {
+			t.Trace = make(core.Trace, len(enc))
+		}
+		prevT := bs.starts[slot].UnixNano()
+		for i, cellID := range enc {
+			p := &t.Trace[i]
+			p.Cell = bs.cellSym(cellID)
+			p.Transition = d.localStr(dict)
+			st := prevT + d.varint()*info.tscale
+			en := st + d.varint()*info.tscale
+			p.Start = time.Unix(0, st).UTC()
+			p.End = time.Unix(0, en).UTC()
+			prevT = en
+			p.Ann = d.localAnnotations(dict)
+			p.TransitionAnn = d.localAnnotations(dict)
+		}
+		ts[r] = t
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("store: corrupt record: %d trailing residual bytes", len(d.b))
+	}
+	return ts, nil
+}
+
+// ---- Zone-map pruning (plan executor hooks) ------------------------------
+
+// appendTimeSlots appends the lazily held slots whose trajectory span
+// overlaps [from, to]: zone-disjoint blocks are skipped without touching
+// their rows, zone-covered blocks contribute every slot, and partial
+// blocks fall back to the eager per-slot span columns. noPrune disables
+// the zone tests (the property-test oracle), forcing the per-slot path for
+// every block.
+//
+//sitm:locked
+func (bs *shardBlocks) appendTimeSlots(slots []int32, sh *shard, from, to time.Time, noPrune bool) []int32 {
+	fromN, toN := from.UnixNano(), to.UnixNano()
+	for b := range bs.blocks {
+		info := &bs.blocks[b]
+		z := &info.zone
+		if !noPrune && z.timeDisjoint(fromN, toN) {
+			continue
+		}
+		last := info.base + z.rows
+		if !noPrune && z.timeCovered(fromN, toN) {
+			for s := info.base; s < last; s++ {
+				slots = append(slots, s)
+			}
+			continue
+		}
+		for s := info.base; s < last; s++ {
+			if !sh.ends[s].Before(from) && !sh.starts[s].After(to) {
+				slots = append(slots, s)
+			}
+		}
+	}
+	return slots
+}
+
+// appendCellDuringSlots appends the lazily held slots with a presence
+// interval at cell intersecting [from, to]. Candidates come from the exact
+// cell posting list; zone maps then skip whole blocks (bloom miss or
+// window disjoint from the block's span envelope) before any residual
+// materializes, so a narrow window touches only the blocks it can match.
+//
+//sitm:locked
+func (bs *shardBlocks) appendCellDuringSlots(slots []int32, sh *shard, cell int32, from, to time.Time, noPrune bool) []int32 {
+	post := sh.posting(cell)
+	// Restrict to the lazily held prefix; live slots are served by the
+	// per-cell interval indexes.
+	lo, hi := 0, len(post)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(post[mid]) < bs.rowCount {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	post = post[:lo]
+	if len(post) == 0 {
+		return slots
+	}
+	fromN, toN := from.UnixNano(), to.UnixNano()
+	pi := 0
+	for b := 0; b < len(bs.blocks) && pi < len(post); b++ {
+		info := &bs.blocks[b]
+		last := info.base + info.zone.rows
+		start := pi
+		for pi < len(post) && post[pi] < last {
+			pi++
+		}
+		if start == pi {
+			continue
+		}
+		if !noPrune && (!info.zone.bloomHas(cell) || info.zone.timeDisjoint(fromN, toN)) {
+			continue
+		}
+		ts := bs.materialize(b)
+		for _, slot := range post[start:pi] {
+			tr := ts[slot-info.base].Trace
+			for i, id := range sh.encs[slot] {
+				if id == cell && !tr[i].End.Before(from) && !tr[i].Start.After(to) {
+					slots = append(slots, slot)
+					break
+				}
+			}
+		}
+	}
+	return slots
+}

@@ -133,7 +133,7 @@ func (s *Store) selectPlanCtx(ctx context.Context, plan *cplan) ([]core.Trajecto
 		sh.mu.RLock()
 		ectx := execCtx{s: s, sh: sh}
 		for _, slot := range plan.exec(&ectx) {
-			per[i].add(sh.seqs[slot], sh.trajs[slot])
+			per[i].add(sh.seqs[slot], sh.trajAt(slot))
 		}
 		sh.mu.RUnlock()
 	})

@@ -64,6 +64,14 @@ type Options struct {
 	// faultfs.Injector to fail fsyncs, writes and renames at the
 	// syscall boundary.
 	FS faultfs.FS
+	// BlockCacheBytes bounds the cache of lazily materialized segment
+	// blocks (0 = DefaultBlockCacheBytes, negative = no caching).
+	// Ignored when BlockCache is set.
+	BlockCacheBytes int64
+	// BlockCache, when non-nil, is used instead of a private cache —
+	// pass one cache to every read-only replica of a serving fleet so
+	// they share a single residual-block budget.
+	BlockCache *BlockCache
 }
 
 // ErrReadOnly reports a write attempted on a store opened with
@@ -95,6 +103,9 @@ type durable struct {
 	// readOnly marks a store opened with Options.ReadOnly: no WAL
 	// handles exist and every mutating entry point refuses.
 	readOnly bool
+	// cache holds lazily materialized segment blocks (possibly shared
+	// across stores via Options.BlockCache). Immutable after Open.
+	cache *BlockCache
 
 	// gate admits writers shared and the checkpoint rotation exclusive:
 	// rotation must observe no WAL append or shard insert in flight.
@@ -314,7 +325,7 @@ func (d *durable) rotate(s *Store, newDict *wal.Log, newRows []*wal.Log) (*ckptS
 		sh.mu.RLock()
 		snap.shards[i] = segmentColumns{
 			seqs: sh.seqs, moIDs: sh.moIDs, encs: sh.encs, anns: sh.anns,
-			starts: sh.starts, ends: sh.ends, trajs: sh.trajs,
+			starts: sh.starts, ends: sh.ends, trajs: sh.trajs, blk: sh.blk,
 		}
 		sh.mu.RUnlock()
 		rl := &d.rows[i]
@@ -387,7 +398,7 @@ func (s *Store) Checkpoint() error {
 	}
 	segErrs := make([]error, len(snap.shards))
 	parallel.ForEach(len(snap.shards), func(i int) {
-		segErrs[i] = commitFile(d.fs, segPath(d.dir, gen, i), encodeSegment(&snap.shards[i]))
+		segErrs[i] = commitFile(d.fs, segPath(d.dir, gen, i), encodeSegmentV2(&snap.shards[i]))
 	})
 	for _, err := range segErrs {
 		if err != nil {
@@ -532,6 +543,48 @@ func (s *Store) Durability() (DurableStats, bool) {
 	return st, true
 }
 
+// loadSegment decodes one shard's segment file, dispatching on the format
+// magic: v2 block-structured segments (SITMSEG2) bulk-insert their eager
+// columns and leave the residual rows lazy behind the block cache; v1
+// monolithic segments (SITMSEG1) decode in full, keeping directories
+// written by older builds readable. Returns one past the highest row seq
+// in the segment (0 when empty).
+func (s *Store) loadSegment(shard int, data []byte, path string, cache *BlockCache) (uint64, error) {
+	if len(data) >= len(segMagicV2) && string(data[:len(segMagicV2)]) == segMagicV2 {
+		sd, err := decodeSegmentV2(data, path,
+			s.cells.Len(), s.mos.Len(), s.pairs.Len(),
+			s.cells.Symbol, s.mos.Symbol, cache)
+		if err != nil {
+			return 0, err
+		}
+		return s.shards[shard].insertBlockRows(sd), nil
+	}
+	rows, spans, err := decodeSegment(data, path,
+		s.cells.Len(), s.mos.Len(), s.pairs.Len(),
+		s.cells.Symbol, s.mos.Symbol)
+	if err != nil {
+		return 0, err
+	}
+	var next uint64
+	for r := range rows {
+		if rows[r].seq >= next {
+			next = rows[r].seq + 1
+		}
+	}
+	s.shards[shard].insertRecovered(rows, spans)
+	return next, nil
+}
+
+// BlockCacheStats returns the residual-block cache counters of a durable
+// store; ok is false for an in-memory store, which holds no lazy blocks.
+func (s *Store) BlockCacheStats() (BlockCacheStats, bool) {
+	d := s.dur
+	if d == nil || d.cache == nil {
+		return BlockCacheStats{}, false
+	}
+	return d.cache.Stats(), true
+}
+
 // errStaleRow tags a WAL row whose ids point past the recovered
 // dictionaries — the row was appended (and possibly synced) after dict
 // deltas that never became durable. Recovery treats it as the start of a
@@ -637,7 +690,14 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 	}
 
-	// 3. Segments: rebuild each shard's columns, in parallel.
+	// 3. Segments: rebuild each shard's columns, in parallel. The decode
+	// is version-dispatched: v2 block-structured segments insert their
+	// eager columns and defer residual decode behind the block cache; v1
+	// monolithic segments decode in full.
+	cache := opts.BlockCache
+	if cache == nil {
+		cache = NewBlockCache(opts.BlockCacheBytes)
+	}
 	maxSeqs := make([]uint64, nShards)
 	if man.Gen > 0 {
 		segErrs := make([]error, nShards)
@@ -648,19 +708,7 @@ func Open(dir string, opts Options) (*Store, error) {
 				segErrs[i] = err
 				return
 			}
-			rows, spans, err := decodeSegment(data, path,
-				s.cells.Len(), s.mos.Len(), s.pairs.Len(),
-				s.cells.Symbol, s.mos.Symbol)
-			if err != nil {
-				segErrs[i] = err
-				return
-			}
-			for r := range rows {
-				if rows[r].seq >= maxSeqs[i] {
-					maxSeqs[i] = rows[r].seq + 1
-				}
-			}
-			s.shards[i].insertRecovered(rows, spans)
+			maxSeqs[i], segErrs[i] = s.loadSegment(i, data, path, cache)
 		})
 		for _, err := range segErrs {
 			if err != nil {
@@ -775,6 +823,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		dir:      dir,
 		opts:     opts,
 		fs:       fsys,
+		cache:    cache,
 		dictLog:  dictLog,
 		rows:     make([]rowLog, nShards),
 		gen:      man.Gen,
@@ -854,7 +903,11 @@ func openReadOnly(fsys faultfs.FS, dir string, opts Options) (*Store, error) {
 		walBytes += n
 	}
 
-	// 3. Segments, in parallel.
+	// 3. Segments, in parallel (version-dispatched, like Open).
+	cache := opts.BlockCache
+	if cache == nil {
+		cache = NewBlockCache(opts.BlockCacheBytes)
+	}
 	maxSeqs := make([]uint64, nShards)
 	if man.Gen > 0 {
 		segErrs := make([]error, nShards)
@@ -865,19 +918,7 @@ func openReadOnly(fsys faultfs.FS, dir string, opts Options) (*Store, error) {
 				segErrs[i] = err
 				return
 			}
-			rows, spans, err := decodeSegment(data, path,
-				s.cells.Len(), s.mos.Len(), s.pairs.Len(),
-				s.cells.Symbol, s.mos.Symbol)
-			if err != nil {
-				segErrs[i] = err
-				return
-			}
-			for r := range rows {
-				if rows[r].seq >= maxSeqs[i] {
-					maxSeqs[i] = rows[r].seq + 1
-				}
-			}
-			s.shards[i].insertRecovered(rows, spans)
+			maxSeqs[i], segErrs[i] = s.loadSegment(i, data, path, cache)
 		})
 		for _, err := range segErrs {
 			if err != nil {
@@ -945,6 +986,7 @@ func openReadOnly(fsys faultfs.FS, dir string, opts Options) (*Store, error) {
 		dir:      dir,
 		opts:     opts,
 		fs:       fsys,
+		cache:    cache,
 		readOnly: true,
 		rows:     make([]rowLog, nShards),
 		gen:      man.Gen,

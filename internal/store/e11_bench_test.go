@@ -1,0 +1,358 @@
+package store
+
+// E11 (DESIGN.md §3.12): block-structured compressed segments vs the
+// monolithic v1 format they replace. Both sides hold the identical corpus
+// (the e7 synthetic set, sorted by span start — the time-ordered arrival a
+// production ingest feed produces) in directories built with the two
+// encoders:
+//
+//   - Cold open: a read-only open of the v2 directory decodes eager
+//     columns and zone maps only, deferring every residual block; the v1
+//     directory decodes every row in full and builds interval indexes.
+//   - Windowed query from cold: open + compile TimeOverlap(one day) +
+//     SelectCompiledCtx + close. The v2 side materializes only the blocks
+//     the zone maps cannot prune; the v1 side has already paid for
+//     everything at open.
+//   - On-disk size: per-column block compression vs the verbatim v1 blob.
+//
+// TestE11BlocksBeatMonolith enforces the acceptance floors in tier-1,
+// after proving both directories and the in-memory oracle are observably
+// identical (WriteJSON byte-equality + the full compareStores surface).
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"sitm/internal/core"
+	"sitm/internal/faultfs"
+)
+
+const (
+	e11Trajs     = 4000
+	e11Shards    = 4
+	e11BlockRows = 64 // block size the E11 directories are built with
+)
+
+// e11Corpus is the e7 synthetic set in time-of-arrival order: sorting by
+// span start models a live ingest feed and gives segment blocks the
+// temporal locality zone maps exist to exploit.
+func e11Corpus(tb testing.TB) []core.Trajectory {
+	tb.Helper()
+	trajs := slices.Clone(e7Trajectories(tb)[:e11Trajs])
+	slices.SortStableFunc(trajs, func(a, b core.Trajectory) int {
+		return a.Start().Compare(b.Start())
+	})
+	return trajs
+}
+
+// writeLegacySegmentDir writes a checkpointed durable directory in the
+// monolithic v1 segment format — byte-for-byte what the pre-block encoder
+// produced: v1 segments, dict pages, a committed manifest, and an empty
+// WAL directory (a clean checkpoint has no tail).
+func writeLegacySegmentDir(tb testing.TB, dir string, trajs []core.Trajectory, shards int) {
+	tb.Helper()
+	mem := NewSharded(shards)
+	mem.PutBatch(trajs)
+	fsys := faultfs.OS
+	for _, sub := range []string{segDirName, walDirName} {
+		if err := fsys.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	const gen = uint64(1)
+	dict := encodeDictFile(mem.cells.SymbolsFrom(0), mem.mos.SymbolsFrom(0), mem.pairs.SymbolsFrom(0))
+	if err := commitFile(fsys, segDictPath(dir, gen), dict); err != nil {
+		tb.Fatal(err)
+	}
+	for i := range mem.shards {
+		sh := &mem.shards[i]
+		cols := segmentColumns{
+			seqs: sh.seqs, moIDs: sh.moIDs, encs: sh.encs, anns: sh.anns,
+			starts: sh.starts, ends: sh.ends, trajs: sh.trajs,
+		}
+		if err := commitFile(fsys, segPath(dir, gen, i), encodeSegmentV1(&cols)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	man := &manifest{Version: manifestVersion, Shards: shards, Gen: gen, NextSeq: mem.nextSeq.Load()}
+	if err := writeManifest(fsys, dir, man); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// e11Dirs builds (once per binary run) two checkpointed directories with
+// the identical corpus: v1 monolithic segments and v2 block segments.
+var e11V1Cache, e11V2Cache string
+
+func e11Dirs(tb testing.TB) (v1Dir, v2Dir string) {
+	tb.Helper()
+	if e11V1Cache == "" {
+		trajs := e11Corpus(tb)
+		prev := segBlockRows
+		segBlockRows = e11BlockRows
+		defer func() { segBlockRows = prev }()
+
+		v1, err := os.MkdirTemp("", "sitm-e11v1-*")
+		if err != nil {
+			tb.Fatal(err)
+		}
+		writeLegacySegmentDir(tb, v1, trajs, e11Shards)
+
+		v2, err := os.MkdirTemp("", "sitm-e11v2-*")
+		if err != nil {
+			tb.Fatal(err)
+		}
+		s, err := Open(v2, Options{Shards: e11Shards})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		s.PutBatch(trajs)
+		if err := s.Checkpoint(); err != nil {
+			tb.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			tb.Fatal(err)
+		}
+		e11V1Cache, e11V2Cache = v1, v2
+	}
+	return e11V1Cache, e11V2Cache
+}
+
+// segFileBytes sums the segment file sizes (dict pages excluded — both
+// formats share the identical dict encoding).
+func segFileBytes(tb testing.TB, dir string) int64 {
+	tb.Helper()
+	ents, err := os.ReadDir(filepath.Join(dir, segDirName))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var total int64
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".seg") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		total += info.Size()
+	}
+	return total
+}
+
+// e11Window is the canonical narrow query: one mid-corpus day out of the
+// ~90-day span.
+func e11Window() (time.Time, time.Time) {
+	from := day.AddDate(0, 0, 45)
+	return from, from.AddDate(0, 0, 1)
+}
+
+// e11OpenQuery cold-opens dir read-only, runs the compiled one-day window
+// query, and returns the match count.
+func e11OpenQuery(tb testing.TB, dir string) int {
+	tb.Helper()
+	s, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	from, to := e11Window()
+	cq, err := s.Compile(TimeOverlap(from, to))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ts, err := s.SelectCompiledCtx(context.Background(), cq)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return len(ts)
+}
+
+// BenchmarkE11ColdOpenBlocks (E11 after): read-only open of the v2
+// block-structured directory — eager columns + zone maps, residuals lazy.
+func BenchmarkE11ColdOpenBlocks(b *testing.B) {
+	_, v2 := e11Dirs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(v2, Options{ReadOnly: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Len() != e11Trajs {
+			b.Fatal("short recovery")
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkE11ColdOpenMonolith (E11 before): read-only open of the v1
+// monolithic directory — every row decoded in full.
+func BenchmarkE11ColdOpenMonolith(b *testing.B) {
+	v1, _ := e11Dirs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(v1, Options{ReadOnly: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Len() != e11Trajs {
+			b.Fatal("short recovery")
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkE11WindowQueryBlocks (E11 after): cold open + compiled one-day
+// window query against the v2 directory; zone maps prune the blocks the
+// window cannot touch.
+func BenchmarkE11WindowQueryBlocks(b *testing.B) {
+	_, v2 := e11Dirs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e11OpenQuery(b, v2) == 0 {
+			b.Fatal("window matched nothing")
+		}
+	}
+}
+
+// BenchmarkE11WindowQueryMonolith (E11 before): the same cold open +
+// query against the v1 directory.
+func BenchmarkE11WindowQueryMonolith(b *testing.B) {
+	v1, _ := e11Dirs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e11OpenQuery(b, v1) == 0 {
+			b.Fatal("window matched nothing")
+		}
+	}
+}
+
+// BenchmarkE11SegmentSize reports the two formats' on-disk segment bytes
+// (bytes/op metrics; the floor test enforces the ratio).
+func BenchmarkE11SegmentSize(b *testing.B) {
+	v1, v2 := e11Dirs(b)
+	v1b, v2b := segFileBytes(b, v1), segFileBytes(b, v2)
+	for i := 0; i < b.N; i++ {
+		_ = v1b
+	}
+	b.ReportMetric(float64(v1b), "v1-bytes")
+	b.ReportMetric(float64(v2b), "v2-bytes")
+	b.ReportMetric(float64(v2b)/float64(v1b), "v2/v1-ratio")
+}
+
+// TestE11BlocksBeatMonolith enforces the E11 acceptance criteria in
+// tier-1: the block-structured format must cold-open ≥2x faster, answer a
+// time-windowed compiled query from cold ≥3x faster, and occupy ≤60% of
+// the v1 segment bytes — all on directories proven observably identical
+// to each other and to the in-memory oracle first.
+func TestE11BlocksBeatMonolith(t *testing.T) {
+	v1Dir, v2Dir := e11Dirs(t)
+	trajs := e11Corpus(t)
+
+	// Equivalence before speed: oracle vs both on-disk formats.
+	oracle := NewSharded(e11Shards)
+	oracle.PutBatch(trajs)
+	sV1, err := Open(v1Dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sV2, err := Open(v2Dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufO, buf1, buf2 bytes.Buffer
+	if err := oracle.WriteJSON(&bufO); err != nil {
+		t.Fatal(err)
+	}
+	if err := sV1.WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sV2.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufO.Bytes(), buf1.Bytes()) {
+		t.Fatal("v1 recovery and in-memory oracle materialize different stores")
+	}
+	if !bytes.Equal(bufO.Bytes(), buf2.Bytes()) {
+		t.Fatal("v2 recovery and in-memory oracle materialize different stores")
+	}
+	compareStores(t, oracle, sV2, rand.New(rand.NewSource(0xE11)))
+	if t.Failed() {
+		t.Fatal("v2 recovery diverges from the oracle on the query surface")
+	}
+	from, to := e11Window()
+	a, err := sV1.Select(TimeOverlap(from, to))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sV2.Select(TimeOverlap(from, to))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("window query diverges: %d vs %d trajectories", len(a), len(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("window matched nothing — floor would be vacuous")
+	}
+	sV1.Close()
+	sV2.Close()
+
+	// On-disk size ceiling: v2 ≤ 60% of v1.
+	v1Bytes, v2Bytes := segFileBytes(t, v1Dir), segFileBytes(t, v2Dir)
+	ratio := float64(v2Bytes) / float64(v1Bytes)
+	if ratio > 0.60 {
+		t.Fatalf("v2 segments %d bytes = %.0f%% of v1 %d bytes, want ≤60%%", v2Bytes, ratio*100, v1Bytes)
+	}
+	t.Logf("E11 size: v1 %d bytes, v2 %d bytes (%.0f%%)", v1Bytes, v2Bytes, ratio*100)
+
+	if testing.Short() {
+		t.Skip("timing floors under -short")
+	}
+
+	// Cold open: ≥2x.
+	openV2 := best3(func() {
+		s, err := Open(v2Dir, Options{ReadOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() != e11Trajs {
+			t.Fatal("short recovery")
+		}
+		s.Close()
+	})
+	openV1 := best3(func() {
+		s, err := Open(v1Dir, Options{ReadOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() != e11Trajs {
+			t.Fatal("short recovery")
+		}
+		s.Close()
+	})
+	if openV2*2 > openV1 {
+		t.Fatalf("v2 cold open %v not ≥2x faster than v1 %v (%.1fx)",
+			openV2, openV1, float64(openV1)/float64(openV2))
+	}
+	t.Logf("E11 cold open: v1 %v, v2 %v (%.1fx)", openV1, openV2, float64(openV1)/float64(openV2))
+
+	// Windowed query from cold: ≥3x.
+	queryV2 := best3(func() { e11OpenQuery(t, v2Dir) })
+	queryV1 := best3(func() { e11OpenQuery(t, v1Dir) })
+	if queryV2*3 > queryV1 {
+		t.Fatalf("v2 cold windowed query %v not ≥3x faster than v1 %v (%.1fx)",
+			queryV2, queryV1, float64(queryV1)/float64(queryV2))
+	}
+	t.Logf("E11 windowed query: v1 %v, v2 %v (%.1fx)", queryV1, queryV2, float64(queryV1)/float64(queryV2))
+}

@@ -397,17 +397,26 @@ func (c *cplan) exec(ctx *execCtx) []int32 {
 	case kCell, kRegion, kPair, kMO:
 		return c.postingOf(sh)
 	case kTime:
+		// Lazily held block slots first (zone-map pruned — the interval
+		// indexes only cover live rows), then the span index.
 		var slots []int32
+		if bs := sh.blk; bs != nil {
+			slots = bs.appendTimeSlots(slots, sh, c.from, c.to, ctx.s.noPrune)
+		}
 		sh.spanIdx.visit(c.from, c.to, func(ref int) { slots = append(slots, int32(ref)) })
 		slices.Sort(slots)
 		return slots
 	case kCellDuring:
-		ix := sh.cellIndex(c.id)
-		if ix == nil {
+		var slots []int32
+		if bs := sh.blk; bs != nil {
+			slots = bs.appendCellDuringSlots(slots, sh, c.id, c.from, c.to, ctx.s.noPrune)
+		}
+		if ix := sh.cellIndex(c.id); ix != nil {
+			ix.visit(c.from, c.to, func(ref int) { slots = append(slots, int32(ref)) })
+		}
+		if len(slots) == 0 {
 			return nil
 		}
-		var slots []int32
-		ix.visit(c.from, c.to, func(ref int) { slots = append(slots, int32(ref)) })
 		slices.Sort(slots)
 		return dedupSorted(slots)
 	case kThrough, kThroughRegions:
@@ -521,7 +530,7 @@ func (c *cplan) test(ctx *execCtx, slot int32) bool {
 	case kTime:
 		return !sh.ends[slot].Before(c.from) && !sh.starts[slot].After(c.to)
 	case kCellDuring:
-		tr := sh.trajs[slot].Trace
+		tr := sh.trajAt(slot).Trace
 		for i, id := range sh.encs[slot] {
 			if id == c.id && !tr[i].End.Before(c.from) && !tr[i].Start.After(c.to) {
 				return true
@@ -632,7 +641,7 @@ func (s *Store) Select(q Query) ([]core.Trajectory, error) {
 	return s.gather(func(sh *shard, out *shardRows) { //sitm:locked
 		ctx := execCtx{s: s, sh: sh}
 		for _, slot := range plan.exec(&ctx) {
-			out.add(sh.seqs[slot], sh.trajs[slot])
+			out.add(sh.seqs[slot], sh.trajAt(slot))
 		}
 	}), nil
 }

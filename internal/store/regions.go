@@ -57,6 +57,7 @@ func (s *Store) AttachRegions(rt *indoor.RegionTable) {
 	s.regions.snap = nil
 	s.regions.closures = nil
 	s.regions.mu.Unlock()
+	snap := s.cells.Freeze()
 	parallel.ForEach(len(s.shards), func(i int) {
 		sh := &s.shards[i]
 		sh.mu.Lock()
@@ -66,9 +67,14 @@ func (s *Store) AttachRegions(rt *indoor.RegionTable) {
 			// racing attach may have replaced s.regions.rt, and indexes from
 			// a different table must not land in this rebuild's postings
 			// (the racer's own rebuild overwrites them wholesale anyway).
+			// Closures are resolved from the write-time encoded traces, not
+			// the trajectories, so a lazily held segment prefix (sh.blk)
+			// contributes without materializing a single residual block.
 			sh.byRegion = make([][]int32, rt.NumRegions())
-			for slot, t := range sh.trajs {
-				for _, r := range regionsOf(rt, t) {
+			var scratch []int32
+			for slot, enc := range sh.encs {
+				scratch = regionClosureOfEnc(scratch[:0], rt, enc, snap)
+				for _, r := range scratch {
 					sh.byRegion[r] = append(sh.byRegion[r], int32(slot))
 				}
 			}
@@ -120,6 +126,27 @@ func regionsOf(rt *indoor.RegionTable, t core.Trajectory) []int32 {
 	}
 	slices.Sort(regs)
 	return slices.Compact(regs)
+}
+
+// regionClosureOfEnc is regionsOf over a write-time encoded trace: ids
+// resolve to names through the frozen dict snapshot (interning is
+// injective, so consecutive-id dedup equals the string dedup in
+// regionsOf). Every stored id is < snap.Len() — the snapshot was taken
+// after the rows were interned.
+func regionClosureOfEnc(dst []int32, rt *indoor.RegionTable, enc []int32, snap *symtab.Dict) []int32 {
+	prev := int32(-1)
+	for _, id := range enc {
+		if id == prev {
+			continue
+		}
+		prev = id
+		dst = append(dst, rt.Closure(snap.Symbol(id))...)
+	}
+	if len(dst) < 2 {
+		return dst
+	}
+	slices.Sort(dst)
+	return slices.Compact(dst)
 }
 
 // boundClosures returns the attached table plus the per-cell ancestor

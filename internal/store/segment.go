@@ -210,13 +210,15 @@ type segmentColumns struct {
 	starts []time.Time
 	ends   []time.Time
 	trajs  []core.Trajectory // residual source (encoded outside the gate)
+	blk    *shardBlocks      // lazily held prefix of trajs, if recovered from a v2 segment
 }
 
-// encodeSegment lays the captured columns out column-major: row count,
+// encodeSegmentV1 lays the captured columns out column-major: row count,
 // then the seqs, moIDs, encs, anns and span columns, then the residual
-// row blobs. Readers rebuild the exact in-memory columns with no
-// re-interning; the span column feeds the interval index directly.
-func encodeSegment(c *segmentColumns) []byte {
+// row blobs — one monolithic checksummed blob. Kept verbatim as the
+// legacy baseline the E11 floors measure against; checkpoints write the
+// block-structured v2 layout (block.go) instead.
+func encodeSegmentV1(c *segmentColumns) []byte {
 	var p []byte
 	p = binary.AppendUvarint(p, uint64(len(c.seqs)))
 	for _, s := range c.seqs {

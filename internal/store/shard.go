@@ -55,6 +55,15 @@ type shard struct {
 	//sitm:guardedby mu
 	maxLen int // longest encoded trace (corpus scratch sizing)
 
+	// blk is the lazily materialized segment prefix recovered from a v2
+	// block-structured segment (nil for in-memory stores, v1 recoveries
+	// and fresh shards): slots [0, blk.rowCount) have zero-value trajs
+	// entries and are served by blk.traj through the block cache. The
+	// prefix has no spanIdx/cellIdx entries — the plan executor covers it
+	// with zone-map pruning (block.go) instead.
+	//sitm:guardedby mu
+	blk *shardBlocks
+
 	// Generation-stamped distinct-cell detector: seen[id] == seenGen marks
 	// "already posted during the current insert", giving first-occurrence
 	// detection in O(L) with no per-insert allocation (the PrefixSpan
@@ -201,6 +210,80 @@ func (sh *shard) insertOne(seq uint64, t core.Trajectory, moID int32, enc, ann, 
 		}
 		ix.insert(span{start: p.Start, end: p.End, ref: int(slot)})
 	}
+}
+
+// trajAt returns the trajectory at slot, materializing its block through
+// the cache when the slot lives in the lazily held segment prefix.
+//
+//sitm:locked
+func (sh *shard) trajAt(slot int32) core.Trajectory {
+	if bs := sh.blk; bs != nil && int(slot) < bs.rowCount {
+		return bs.traj(slot)
+	}
+	return sh.trajs[slot]
+}
+
+// insertBlockRows bulk-loads a decoded v2 segment into a fresh shard: the
+// eager columns append verbatim (trajs zero-filled), posting lists build
+// from the encoded traces, and the residual stays lazy behind sd.blocks.
+// No spanIdx/cellIdx entries are built for these slots; the executor
+// consults the zone maps instead. Returns one past the highest seq.
+func (sh *shard) insertBlockRows(sd *segData) uint64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.seqs) != 0 {
+		panic("store: insertBlockRows on non-empty shard")
+	}
+	var next uint64
+	for ri := range sd.seqs {
+		seq := sd.seqs[ri]
+		if seq >= next {
+			next = seq + 1
+		}
+		enc := sd.encs[ri]
+		slot := int32(len(sh.seqs))
+		sh.seqs = append(sh.seqs, seq)
+		sh.trajs = append(sh.trajs, core.Trajectory{})
+		sh.encs = append(sh.encs, enc)
+		sh.anns = append(sh.anns, sd.anns[ri])
+		sh.moIDs = append(sh.moIDs, sd.moIDs[ri])
+		sh.starts = append(sh.starts, sd.starts[ri])
+		sh.ends = append(sh.ends, sd.ends[ri])
+		sh.byMO[sd.moIDs[ri]] = append(sh.byMO[sd.moIDs[ri]], slot)
+		sh.intervals += len(enc)
+		if len(enc) > sh.maxLen {
+			sh.maxLen = len(enc)
+		}
+		sh.seenGen++
+		if sh.seenGen == 0 {
+			clear(sh.seen)
+			sh.seenGen = 1
+		}
+		for _, id := range enc {
+			sh.growCell(id)
+			if sh.seen[id] != sh.seenGen {
+				sh.seen[id] = sh.seenGen
+				sh.byCell[id] = append(sh.byCell[id], slot)
+			}
+		}
+		for _, p := range sd.anns[ri] {
+			for int(p) >= len(sh.byPair) {
+				sh.byPair = append(sh.byPair, nil)
+			}
+			sh.byPair[p] = append(sh.byPair[p], slot)
+		}
+	}
+	if bs := sd.blocks; bs != nil {
+		// Rebind the per-row decode inputs to the shard's own columns so
+		// later appends can't strand them (same backing arrays today —
+		// the shard columns were empty — but the shard's headers are the
+		// authoritative ones).
+		bs.encs = sh.encs[:bs.rowCount:bs.rowCount]
+		bs.moIDs = sh.moIDs[:bs.rowCount:bs.rowCount]
+		bs.starts = sh.starts[:bs.rowCount:bs.rowCount]
+		sh.blk = bs
+	}
+	return next
 }
 
 // insertRecovered rebuilds this shard's columns and indexes from decoded

@@ -80,6 +80,12 @@ type Store struct {
 	// dur is the persistence state of a store opened with Open; nil for
 	// the in-memory constructors. Set once before the store is shared.
 	dur *durable
+
+	// noPrune disables zone-map block pruning in the plan executor: every
+	// lazily held block falls back to per-slot tests (exact posting-list
+	// candidates are still used — they are not a heuristic). A test knob
+	// for the prune-equivalence oracle; set before the store is shared.
+	noPrune bool
 }
 
 // New returns an empty store with the default shard count (GOMAXPROCS).
@@ -329,7 +335,11 @@ func (s *Store) gather(collect func(sh *shard, out *shardRows)) []core.Trajector
 func (s *Store) All() []core.Trajectory {
 	return s.gather(func(sh *shard, out *shardRows) { //sitm:locked
 		out.keys = append([]uint64(nil), sh.seqs...)
-		out.ts = append([]core.Trajectory(nil), sh.trajs...)
+		if bs := sh.blk; bs != nil {
+			out.ts = append(bs.allTrajs(), sh.trajs[bs.rowCount:]...)
+		} else {
+			out.ts = append([]core.Trajectory(nil), sh.trajs...)
+		}
 	})
 }
 
@@ -347,7 +357,7 @@ func (s *Store) ByMO(mo string) []core.Trajectory {
 	ts := make([]core.Trajectory, len(slots))
 	for i, sl := range slots {
 		keys[i] = sh.seqs[sl]
-		ts[i] = sh.trajs[sl]
+		ts[i] = sh.trajAt(sl)
 	}
 	sh.mu.RUnlock()
 	if len(ts) == 0 {

@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # bench.sh — run the E-series benchmarks (DESIGN.md §4) and emit a
-# machine-readable BENCH_7.json beside the raw benchstat-friendly text.
+# machine-readable BENCH_8.json beside the raw benchstat-friendly text.
 #
 # Usage:
 #   scripts/bench.sh [json-out] [text-out]
 #
-# Defaults: BENCH_7.json and bench.txt in the repo root. BENCHTIME
+# Defaults: BENCH_8.json and bench.txt in the repo root. BENCHTIME
 # overrides the per-benchmark budget (default 1x: one iteration per bench,
 # the CI smoke setting; use e.g. BENCHTIME=2s locally for stable numbers).
 # BENCHFILTER overrides the benchmark regexp.
@@ -15,10 +15,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-json_out="${1:-BENCH_7.json}"
+json_out="${1:-BENCH_8.json}"
 text_out="${2:-bench.txt}"
 benchtime="${BENCHTIME:-1x}"
-filter="${BENCHFILTER:-^Benchmark(Store(Overlapping|InCellDuring|Mixed|Corpus|Sequences)|Similarity|KMedoids|TrajectorySimilarity|PrefixSpan|E6|E7|E8|E9|E10|ReadJSON|Load)}"
+filter="${BENCHFILTER:-^Benchmark(Store(Overlapping|InCellDuring|Mixed|Corpus|Sequences)|Similarity|KMedoids|TrajectorySimilarity|PrefixSpan|E6|E7|E8|E9|E10|E11|ReadJSON|Load)}"
 
 # ./... keeps every package's benchmarks in scope (the E7 engine benches
 # live in internal/store, the rest in the root package); awk below only

@@ -447,6 +447,27 @@ type DurableStats = store.DurableStats
 // behind (experiment E9).
 func OpenStore(dir string, opts StoreOptions) (*Store, error) { return store.Open(dir, opts) }
 
+// BlockCache is the bounded sharded cache serving lazily decoded segment
+// blocks (experiment E11). Construct one with NewBlockCache and pass it
+// via StoreOptions.BlockCache to share a single residual-decode budget
+// across every read-only replica of a serving fleet; leave the field nil
+// and each store gets a private cache of StoreOptions.BlockCacheBytes.
+type BlockCache = store.BlockCache
+
+// BlockCacheStats reports a block cache's occupancy and hit/miss/eviction
+// counters (see Store.BlockCacheStats and BlockCache.Stats).
+type BlockCacheStats = store.BlockCacheStats
+
+// NewBlockCache returns a block cache bounded by capBytes (0 selects the
+// engine default; negative disables caching).
+func NewBlockCache(capBytes int64) *BlockCache { return store.NewBlockCache(capBytes) }
+
+// InspectStoreDir writes a human-readable report of a durable store
+// directory — manifest, per-segment block layout and zone-map extents,
+// and the block format's compression ratio — without modifying it. It
+// backs the `sitm inspect` subcommand.
+func InspectStoreDir(dir string, w io.Writer) error { return store.InspectDir(dir, w) }
+
 // ---- Semantic query planner ------------------------------------------------
 
 // The store's composable query AST: predicates constructed with the Q*
